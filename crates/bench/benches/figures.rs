@@ -1,0 +1,76 @@
+//! Macro benchmarks, one group per figure of the paper: bench-sized
+//! Flower-CDN and Squirrel runs (Figures 6–8 compare the two on the
+//! same trace; Figure 5 is a Flower-only run), plus a churn run for
+//! the §5 recovery machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flower_bench::{bench_flower_config, bench_squirrel_config};
+use flower_core::system::FlowerSystem;
+use simnet::{ChurnConfig, ChurnScript, SimDuration, SimTime};
+use squirrel::SquirrelSystem;
+
+/// Figure 5: hit ratio & background traffic over time (Flower only).
+fn bench_fig5_flower_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("flower_2min_300nodes", |b| {
+        b.iter(|| {
+            let (_, r) = FlowerSystem::run(&bench_flower_config(5));
+            (r.hit_ratio, r.background_bps)
+        })
+    });
+    g.finish();
+}
+
+/// Figures 6–8: the comparison pair on one trace.
+fn bench_fig678_pair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig678");
+    g.sample_size(10);
+    g.bench_function("flower_vs_squirrel_pair", |b| {
+        b.iter(|| {
+            let (_, f) = FlowerSystem::run(&bench_flower_config(6));
+            let (_, s) = SquirrelSystem::run(&bench_squirrel_config(6));
+            (f.mean_lookup_ms, s.mean_lookup_ms)
+        })
+    });
+    g.bench_function("squirrel_only", |b| {
+        b.iter(|| {
+            let (_, s) = SquirrelSystem::run(&bench_squirrel_config(7));
+            s.mean_lookup_ms
+        })
+    });
+    g.finish();
+}
+
+/// The churn extension: recovery machinery under session churn.
+fn bench_churn_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("churn");
+    g.sample_size(10);
+    g.bench_function("flower_with_churn", |b| {
+        b.iter(|| {
+            let cfg = bench_flower_config(8);
+            let mut sys = FlowerSystem::build(&cfg);
+            let horizon = SimTime::from_ms(cfg.workload.duration_ms);
+            let affected: Vec<_> = sys
+                .community(workload::WebsiteId(0), simnet::Locality(0))
+                .iter()
+                .take(10)
+                .copied()
+                .collect();
+            let churn = ChurnConfig {
+                start: SimTime::from_secs(20),
+                end: horizon,
+                mean_session: SimDuration::from_secs(30),
+                mean_downtime: SimDuration::from_secs(10),
+                permanent: false,
+            };
+            sys.apply_churn(&ChurnScript::generate(&churn, &affected, 8));
+            sys.run_until(horizon);
+            sys.report().hit_ratio
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(figures, bench_fig5_flower_run, bench_fig678_pair, bench_churn_run);
+criterion_main!(figures);

@@ -1,0 +1,153 @@
+//! Micro-benchmarks of the hot paths: Bloom summaries, gossip view
+//! operations, Chord lookup machinery, D-ring key handling, Zipf
+//! sampling, and the event queue.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use bloom::{BloomFilter, ContentSummary, ObjectId};
+use chord::{stable_ring, ChordConfig, ChordId, PeerRef};
+use flower_core::id::KeyScheme;
+use flower_core::policy::DringPolicy;
+use gossip::{View, ViewEntry};
+use simnet::{NodeId, SimTime};
+use workload::Zipf;
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    g.bench_function("insert_500", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::with_rate(500, 8);
+            for k in 0..500u64 {
+                f.insert(black_box(k));
+            }
+            f
+        })
+    });
+    let mut filter = BloomFilter::with_rate(500, 8);
+    for k in 0..500u64 {
+        filter.insert(k);
+    }
+    g.bench_function("contains", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9);
+            black_box(filter.contains(black_box(k)))
+        })
+    });
+    g.bench_function("summary_rebuild_500", |b| {
+        let objs: Vec<ObjectId> = (0..500).map(ObjectId).collect();
+        b.iter(|| ContentSummary::from_objects(500, black_box(&objs)))
+    });
+    g.finish();
+}
+
+fn bench_gossip_view(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip_view");
+    let mut rng = StdRng::seed_from_u64(1);
+    let make_view = || {
+        let mut v: View<u32, u8> = View::new(50);
+        for p in 0..50u32 {
+            v.insert_fresh(p, 0);
+        }
+        v
+    };
+    let view = make_view();
+    g.bench_function("select_subset_10_of_50", |b| {
+        b.iter(|| view.select_subset(&mut rng, 10))
+    });
+    g.bench_function("merge_10_into_50", |b| {
+        b.iter_batched(
+            make_view,
+            |mut v| {
+                let subset: Vec<ViewEntry<u32, u8>> =
+                    (100..110u32).map(|p| ViewEntry { peer: p, age: 1, data: 0 }).collect();
+                v.merge(999, ViewEntry::fresh(50, 0), subset);
+                v
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_chord(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chord");
+    let members: Vec<PeerRef> = (0..600u64)
+        .map(|i| PeerRef { id: ChordId(chord::hash64(i)), node: NodeId(i as u32) })
+        .collect();
+    let states = stable_ring(&members, &ChordConfig::default());
+    g.bench_function("stable_ring_600", |b| {
+        b.iter(|| stable_ring(black_box(&members), &ChordConfig::default()))
+    });
+    g.bench_function("local_lookup", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            black_box(states[0].local_lookup(ChordId(k)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_dring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dring");
+    let scheme = KeyScheme::new(8, 0);
+    g.bench_function("key_encode", |b| {
+        b.iter(|| scheme.key(black_box(workload::WebsiteId(42)), black_box(simnet::Locality(3))))
+    });
+    // Conditional local lookup over a realistic D-ring neighbourhood.
+    let members: Vec<PeerRef> = (0..100u16)
+        .flat_map(|ws| {
+            (0..6u16).map(move |l| PeerRef {
+                id: scheme.key(workload::WebsiteId(ws), simnet::Locality(l)),
+                node: NodeId((ws * 6 + l) as u32),
+            })
+        })
+        .collect();
+    let states = stable_ring(&members, &ChordConfig::default());
+    let policy = DringPolicy::new(scheme);
+    let key = scheme.key(workload::WebsiteId(50), simnet::Locality(5));
+    g.bench_function("conditional_local_lookup", |b| {
+        b.iter(|| policy.conditional_local_lookup(black_box(&states[0]), black_box(key)))
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    let z = Zipf::new(500, 0.8);
+    let mut rng = StdRng::seed_from_u64(2);
+    g.bench_function("zipf_sample_500", |b| b.iter(|| z.sample(&mut rng)));
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet");
+    g.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = simnet::event::EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_ms((i * 7919) % 1000), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_bloom,
+    bench_gossip_view,
+    bench_chord,
+    bench_dring,
+    bench_workload,
+    bench_event_queue
+);
+criterion_main!(micro);

@@ -1,0 +1,82 @@
+//! Macro benchmarks, one group per table of the paper: bench-sized
+//! versions of the Table 2 sweeps. Each measurement runs a complete
+//! miniature simulation with the swept parameter, so the relative
+//! costs (e.g. gossip frequency vs wall time) are visible in the
+//! Criterion report, while the full-scale values live in
+//! `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flower_bench::bench_flower_config;
+use flower_core::system::FlowerSystem;
+use simnet::SimDuration;
+
+/// Table 2(a): sweep Lgossip.
+fn bench_table2a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2a_lgossip");
+    g.sample_size(10);
+    for l in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter(|| {
+                let mut cfg = bench_flower_config(1);
+                cfg.flower.l_gossip = l;
+                let (_, r) = FlowerSystem::run(&cfg);
+                r.hit_ratio
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table 2(b): sweep Tgossip.
+fn bench_table2b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2b_tgossip");
+    g.sample_size(10);
+    for secs in [5u64, 30] {
+        g.bench_with_input(BenchmarkId::from_parameter(secs), &secs, |b, &secs| {
+            b.iter(|| {
+                let mut cfg = bench_flower_config(1);
+                cfg.flower.t_gossip = SimDuration::from_secs(secs);
+                let (_, r) = FlowerSystem::run(&cfg);
+                r.hit_ratio
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table 2(c): sweep Vgossip.
+fn bench_table2c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2c_vgossip");
+    g.sample_size(10);
+    for v in [10usize, 30] {
+        g.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
+            b.iter(|| {
+                let mut cfg = bench_flower_config(1);
+                cfg.flower.v_gossip = v;
+                let (_, r) = FlowerSystem::run(&cfg);
+                r.hit_ratio
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §6.2 text: push-threshold sweep.
+fn bench_push_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("push_threshold");
+    g.sample_size(10);
+    for th in [0.1f64, 0.7] {
+        g.bench_with_input(BenchmarkId::from_parameter(th), &th, |b, &th| {
+            b.iter(|| {
+                let mut cfg = bench_flower_config(1);
+                cfg.flower.push_threshold = th;
+                let (_, r) = FlowerSystem::run(&cfg);
+                r.hit_ratio
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(tables, bench_table2a, bench_table2b, bench_table2c, bench_push_threshold);
+criterion_main!(tables);

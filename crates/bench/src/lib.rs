@@ -1,0 +1,44 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The macro benches (`benches/tables.rs`, `benches/figures.rs`) run
+//! miniature versions of the paper's experiments — small topology,
+//! minutes-long horizon — so Criterion can iterate them; the
+//! statistics they measure are the *costs* of the protocols, while
+//! the `flower-experiments` binary regenerates the paper's *values*
+//! at full scale.
+
+use flower_core::system::SystemConfig;
+use simnet::SimDuration;
+use squirrel::SquirrelConfig;
+
+/// A bench-sized Flower-CDN configuration: 300 nodes, two active
+/// websites, two simulated minutes.
+pub fn bench_flower_config(seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::small_test();
+    cfg.seed = seed;
+    cfg.workload.duration_ms = 2 * 60 * 1000;
+    cfg.window = SimDuration::from_secs(30);
+    cfg
+}
+
+/// The matching Squirrel configuration.
+pub fn bench_squirrel_config(seed: u64) -> SquirrelConfig {
+    let mut cfg = SquirrelConfig::small_test();
+    cfg.seed = seed;
+    cfg.workload.duration_ms = 2 * 60 * 1000;
+    cfg.window = SimDuration::from_secs(30);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_configs_run() {
+        let (_, r) = flower_core::system::FlowerSystem::run(&bench_flower_config(1));
+        assert!(r.resolved > 0);
+        let (_, s) = squirrel::SquirrelSystem::run(&bench_squirrel_config(1));
+        assert!(s.resolved > 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # bloom — Bloom filters and content summaries
+//!
+//! Flower-CDN represents the content held by a peer or indexed by a
+//! directory as a *summary*: a Bloom filter over object identifiers,
+//! following the summary-cache design of Fan et al. (SIGCOMM 1998)
+//! that the paper cites for both its content summaries (§4.2) and its
+//! directory summaries (§3.3).
+//!
+//! Sizing follows Table 1 of the paper: `summary size = 8 · nb-ob`
+//! bits, i.e. 8 bits per potential object, which with the optimal
+//! number of hash functions gives a false-positive rate around 2 %.
+//!
+//! The crate provides:
+//! * [`BitVec`] — a compact bit vector;
+//! * [`BloomFilter`] — insert / query / union with double hashing;
+//! * [`ContentSummary`] — the paper-facing wrapper sized per Table 1,
+//!   reporting its wire size for the bandwidth model.
+
+pub mod bits;
+pub mod filter;
+pub mod summary;
+
+pub use bits::BitVec;
+pub use filter::BloomFilter;
+pub use summary::{ContentSummary, ObjectId};

@@ -1,0 +1,207 @@
+//! Identifier-ring arithmetic.
+//!
+//! Chord places peers and keys on a circular identifier space
+//! `[0, 2^m)`; we use `m = 64` (the paper leaves `m` free and uses a
+//! toy `m = 7` in its Figure 3 example). All interval tests wrap
+//! around the ring and follow the conventions of the Chord paper
+//! (Stoica et al., SIGCOMM 2001).
+
+/// A position on the 2^64 identifier circle.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChordId(pub u64);
+
+impl ChordId {
+    /// Number of bits of the identifier space.
+    pub const BITS: u32 = 64;
+
+    /// Clockwise distance from `self` to `to` (how far a key must
+    /// travel forward to reach `to`).
+    pub fn clockwise_distance(self, to: ChordId) -> u64 {
+        to.0.wrapping_sub(self.0)
+    }
+
+    /// Ring distance: the shorter way around, used for the paper's
+    /// "numerically closest" tie-breaking.
+    pub fn ring_distance(self, other: ChordId) -> u64 {
+        let cw = self.clockwise_distance(other);
+        cw.min(cw.wrapping_neg())
+    }
+
+    /// The id `2^i` clockwise from `self` — the i-th finger target.
+    pub fn finger_target(self, i: u32) -> ChordId {
+        debug_assert!(i < Self::BITS);
+        ChordId(self.0.wrapping_add(1u64 << i))
+    }
+
+    /// True if `x` lies in the open interval `(a, b)` going clockwise.
+    /// When `a == b` the interval is the full ring minus `a` (the
+    /// Chord convention for a single-node ring).
+    pub fn in_open(a: ChordId, b: ChordId, x: ChordId) -> bool {
+        if a == b {
+            x != a
+        } else {
+            let d_ab = a.clockwise_distance(b);
+            let d_ax = a.clockwise_distance(x);
+            d_ax > 0 && d_ax < d_ab
+        }
+    }
+
+    /// True if `x` lies in the half-open interval `(a, b]` clockwise.
+    /// When `a == b` the interval is the full ring (everything is in
+    /// `(a, a]`), matching Chord's single-node responsibility.
+    pub fn in_open_closed(a: ChordId, b: ChordId, x: ChordId) -> bool {
+        if a == b {
+            true
+        } else {
+            let d_ab = a.clockwise_distance(b);
+            let d_ax = a.clockwise_distance(x);
+            d_ax > 0 && d_ax <= d_ab
+        }
+    }
+}
+
+impl std::fmt::Debug for ChordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "id:{:016x}", self.0)
+    }
+}
+
+impl std::fmt::Display for ChordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A 64-bit mixing hash (SplitMix64 finalizer) used to derive ring
+/// identifiers from names/URLs; strong enough that 100 websites or a
+/// few thousand peers collide with negligible probability.
+pub fn hash64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash an arbitrary byte string (e.g. a URL) onto the ring.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    // FNV-1a into the SplitMix finalizer.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ChordId = ChordId(10);
+    const B: ChordId = ChordId(20);
+
+    #[test]
+    fn open_interval_no_wrap() {
+        assert!(ChordId::in_open(A, B, ChordId(15)));
+        assert!(!ChordId::in_open(A, B, A));
+        assert!(!ChordId::in_open(A, B, B));
+        assert!(!ChordId::in_open(A, B, ChordId(25)));
+    }
+
+    #[test]
+    fn open_interval_wraps() {
+        // (20, 10): wraps through 0.
+        assert!(ChordId::in_open(B, A, ChordId(u64::MAX)));
+        assert!(ChordId::in_open(B, A, ChordId(0)));
+        assert!(ChordId::in_open(B, A, ChordId(5)));
+        assert!(!ChordId::in_open(B, A, ChordId(15)));
+    }
+
+    #[test]
+    fn open_closed_includes_bound() {
+        assert!(ChordId::in_open_closed(A, B, B));
+        assert!(!ChordId::in_open_closed(A, B, A));
+        assert!(ChordId::in_open_closed(A, B, ChordId(11)));
+    }
+
+    #[test]
+    fn degenerate_intervals() {
+        // (a, a) = ring minus a; (a, a] = full ring.
+        assert!(ChordId::in_open(A, A, B));
+        assert!(!ChordId::in_open(A, A, A));
+        assert!(ChordId::in_open_closed(A, A, A));
+        assert!(ChordId::in_open_closed(A, A, B));
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(A.clockwise_distance(B), 10);
+        assert_eq!(B.clockwise_distance(A), u64::MAX - 9);
+        assert_eq!(A.ring_distance(B), 10);
+        assert_eq!(B.ring_distance(A), 10);
+        assert_eq!(A.ring_distance(A), 0);
+    }
+
+    #[test]
+    fn finger_targets() {
+        assert_eq!(ChordId(0).finger_target(0), ChordId(1));
+        assert_eq!(ChordId(0).finger_target(63), ChordId(1 << 63));
+        assert_eq!(ChordId(u64::MAX).finger_target(0), ChordId(0));
+    }
+
+    #[test]
+    fn hashes_spread() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            seen.insert(hash64(i));
+        }
+        assert_eq!(seen.len(), 1000, "hash64 collisions on small input set");
+        assert_ne!(hash_bytes(b"site-a"), hash_bytes(b"site-b"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// x ∈ (a,b] iff x ∈ (a,b) or x == b (for a != b).
+        #[test]
+        fn interval_relation(a in any::<u64>(), b in any::<u64>(), x in any::<u64>()) {
+            prop_assume!(a != b);
+            let (a, b, x) = (ChordId(a), ChordId(b), ChordId(x));
+            prop_assert_eq!(
+                ChordId::in_open_closed(a, b, x),
+                ChordId::in_open(a, b, x) || x == b
+            );
+        }
+
+        /// Exactly one of: x == a, x ∈ (a,b], x ∈ (b,a] — the two
+        /// half-open arcs plus the point a partition the ring.
+        #[test]
+        fn arcs_partition_ring(a in any::<u64>(), b in any::<u64>(), x in any::<u64>()) {
+            prop_assume!(a != b);
+            let (a, b, x) = (ChordId(a), ChordId(b), ChordId(x));
+            let cases = [x == a, ChordId::in_open_closed(a, b, x), ChordId::in_open_closed(b, a, x)];
+            prop_assert_eq!(cases.iter().filter(|c| **c).count(), 1);
+        }
+
+        /// Ring distance is symmetric and at most half the ring.
+        #[test]
+        fn ring_distance_laws(a in any::<u64>(), b in any::<u64>()) {
+            let (a, b) = (ChordId(a), ChordId(b));
+            prop_assert_eq!(a.ring_distance(b), b.ring_distance(a));
+            prop_assert!(a.ring_distance(b) <= 1u64 << 63);
+            prop_assert_eq!(a.ring_distance(a), 0);
+        }
+
+        /// Clockwise distance concatenates: d(a,b) + d(b,c) ≡ d(a,c) (mod 2^64).
+        #[test]
+        fn clockwise_additive(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+            let (a, b, c) = (ChordId(a), ChordId(b), ChordId(c));
+            let lhs = a.clockwise_distance(b).wrapping_add(b.clockwise_distance(c));
+            prop_assert_eq!(lhs, a.clockwise_distance(c));
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! The Chord message protocol: recursive key-based routing
+//! (Algorithm 1 of the Flower-CDN paper), join, stabilization and
+//! finger maintenance.
+//!
+//! The protocol is written against a tiny [`Transport`] abstraction so
+//! that higher-level protocols (Flower-CDN's D-ring, Squirrel) can
+//! embed [`ChordMsg`] inside their own message enums and drive this
+//! module from their event handlers.
+//!
+//! Routing is *recursive*: each hop runs `local_lookup` and forwards,
+//! exactly as the paper's Algorithm 1 presents it. The next-hop choice
+//! can be adjusted by a [`RoutePolicy`] — the single extension point
+//! Flower-CDN's Algorithm 2 needs (the conditional website-aware
+//! lookup), demonstrating the paper's claim that D-ring integrates
+//! into an existing DHT without modifying it.
+
+use simnet::NodeId;
+
+use crate::id::ChordId;
+use crate::state::{ChordState, PeerRef};
+
+/// Bytes of the fixed routing header we model for every Chord message
+/// (key + hop counter + addressing).
+pub const HEADER_BYTES: u32 = 24;
+
+/// Application payloads carried through the DHT must report their
+/// modelled wire size.
+pub trait Wire {
+    /// Serialized size in bytes.
+    fn wire_size(&self) -> u32;
+}
+
+/// Why a routed message was handed to the application.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeliveryReason {
+    /// This node is the owner of the key (normal case).
+    Responsible,
+    /// The hop limit was exceeded; the application decides how to
+    /// recover (Flower-CDN falls back to the origin server).
+    HopLimit,
+}
+
+/// Outcome of handling a Chord message, surfaced to the embedding
+/// protocol.
+#[derive(Debug)]
+pub enum ChordOutcome<A> {
+    /// A routed application payload terminated here.
+    Deliver {
+        /// The routed key.
+        key: ChordId,
+        /// The application payload.
+        payload: A,
+        /// Hops taken from the first routing step.
+        hops: u8,
+        /// Why it was delivered here.
+        reason: DeliveryReason,
+    },
+    /// This node's join lookup completed; the state has adopted the
+    /// returned successor.
+    JoinComplete,
+}
+
+/// Messages exchanged by Chord peers. `A` is the application payload
+/// type routed through the ring.
+#[derive(Clone, Debug)]
+pub enum ChordMsg<A> {
+    /// A routed message: forwarded greedily toward the owner of `key`.
+    Route {
+        /// Destination key.
+        key: ChordId,
+        /// Hops taken so far.
+        hops: u8,
+        /// What is being routed.
+        payload: RoutePayload<A>,
+    },
+    /// Direct answer to a routed `FindSuccessor`.
+    FoundSuccessor {
+        /// Correlates with the lookup request.
+        token: LookupToken,
+        /// The owner of the looked-up key.
+        owner: PeerRef,
+    },
+    /// Stabilization: ask a peer for its predecessor and successors.
+    NeighborsReq,
+    /// Stabilization answer.
+    NeighborsResp {
+        /// The peer's predecessor.
+        pred: Option<PeerRef>,
+        /// The peer's successor list.
+        succs: Vec<PeerRef>,
+    },
+    /// Chord `notify`: the sender believes it is our predecessor.
+    Notify {
+        /// The candidate predecessor.
+        peer: PeerRef,
+    },
+}
+
+/// What a lookup was for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LookupToken {
+    /// Fixing finger `i`.
+    Finger(u32),
+    /// A join lookup for our own id.
+    Join,
+}
+
+/// Internal payloads routed through the ring.
+#[derive(Clone, Debug)]
+pub enum RoutePayload<A> {
+    /// An application message.
+    App(A),
+    /// A successor lookup on behalf of `requester`.
+    FindSuccessor {
+        /// Who asked (gets the `FoundSuccessor` reply directly).
+        requester: PeerRef,
+        /// Correlation token.
+        token: LookupToken,
+    },
+}
+
+impl<A: Wire> ChordMsg<A> {
+    /// Modelled wire size of this message.
+    pub fn wire_size(&self) -> u32 {
+        match self {
+            ChordMsg::Route { payload, .. } => {
+                HEADER_BYTES
+                    + match payload {
+                        RoutePayload::App(a) => a.wire_size(),
+                        RoutePayload::FindSuccessor { .. } => 16,
+                    }
+            }
+            ChordMsg::FoundSuccessor { .. } => HEADER_BYTES + 16,
+            ChordMsg::NeighborsReq => HEADER_BYTES,
+            ChordMsg::NeighborsResp { succs, .. } => HEADER_BYTES + 16 + 16 * succs.len() as u32,
+            ChordMsg::Notify { .. } => HEADER_BYTES + 16,
+        }
+    }
+
+    /// Whether this message is routing traffic (`Route`,
+    /// `FoundSuccessor`) as opposed to ring maintenance.
+    pub fn is_routing(&self) -> bool {
+        matches!(self, ChordMsg::Route { .. } | ChordMsg::FoundSuccessor { .. })
+    }
+}
+
+/// Message-sending abstraction the embedding protocol provides.
+pub trait Transport<A> {
+    /// Send a Chord message to an underlay node.
+    fn send_chord(&mut self, to: NodeId, msg: ChordMsg<A>);
+}
+
+/// Next-hop adjustment hook — Algorithm 2 of the paper overrides this
+/// for website-aware D-ring routing.
+pub trait RoutePolicy {
+    /// Given the default candidate `dflt` chosen by `local_lookup`,
+    /// return the peer to actually forward to. The default
+    /// implementation is the unmodified DHT (Algorithm 1).
+    fn adjust_next_hop(&self, st: &ChordState, key: ChordId, dflt: PeerRef) -> PeerRef {
+        let _ = (st, key);
+        dflt
+    }
+}
+
+/// The unmodified Chord routing of Algorithm 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardPolicy;
+
+impl RoutePolicy for StandardPolicy {}
+
+/// Start routing `payload` toward `key` from this node (the first
+/// routing step runs locally). May deliver immediately.
+pub fn start_route<A: Wire, T: Transport<A>>(
+    st: &mut ChordState,
+    t: &mut T,
+    key: ChordId,
+    payload: A,
+    policy: &impl RoutePolicy,
+) -> Option<ChordOutcome<A>> {
+    step_route(st, t, key, 0, RoutePayload::App(payload), policy)
+}
+
+/// Handle an incoming Chord message. Returns an outcome if something
+/// terminated at this node.
+pub fn handle<A: Wire, T: Transport<A>>(
+    st: &mut ChordState,
+    t: &mut T,
+    from: NodeId,
+    msg: ChordMsg<A>,
+    policy: &impl RoutePolicy,
+) -> Option<ChordOutcome<A>> {
+    match msg {
+        ChordMsg::Route { key, hops, payload } => step_route(st, t, key, hops, payload, policy),
+        ChordMsg::FoundSuccessor { token, owner } => {
+            match token {
+                LookupToken::Finger(i) => {
+                    st.set_finger(i, owner);
+                    None
+                }
+                LookupToken::Join => {
+                    st.adopt_successor(owner);
+                    // Kick stabilization toward the new successor so
+                    // the ring learns about us quickly.
+                    t.send_chord(owner.node, ChordMsg::NeighborsReq);
+                    t.send_chord(owner.node, ChordMsg::Notify { peer: st.me() });
+                    Some(ChordOutcome::JoinComplete)
+                }
+            }
+        }
+        ChordMsg::NeighborsReq => {
+            let resp = ChordMsg::NeighborsResp {
+                pred: st.predecessor(),
+                succs: st.successors().to_vec(),
+            };
+            t.send_chord(from, resp);
+            None
+        }
+        ChordMsg::NeighborsResp { pred, succs } => {
+            // `from` is (one of) our successors answering stabilize.
+            if let Some(succ) = st.successors().iter().copied().find(|p| p.node == from) {
+                let to_notify = st.on_successor_predecessor(succ, pred);
+                if to_notify.node == succ.node {
+                    st.refresh_successor_list(succ, &succs);
+                }
+                t.send_chord(to_notify.node, ChordMsg::Notify { peer: st.me() });
+            }
+            None
+        }
+        ChordMsg::Notify { peer } => {
+            st.on_notify(peer);
+            None
+        }
+    }
+}
+
+/// One recursive routing step at this node.
+fn step_route<A: Wire, T: Transport<A>>(
+    st: &mut ChordState,
+    t: &mut T,
+    key: ChordId,
+    hops: u8,
+    payload: RoutePayload<A>,
+    policy: &impl RoutePolicy,
+) -> Option<ChordOutcome<A>> {
+    let candidate = st.local_lookup(key);
+    let me = st.me();
+    let (deliver, reason) = if candidate.node == me.node {
+        (true, DeliveryReason::Responsible)
+    } else if hops >= st.config().max_hops {
+        (true, DeliveryReason::HopLimit)
+    } else {
+        (false, DeliveryReason::Responsible)
+    };
+
+    if deliver {
+        return terminate(st, t, key, hops, payload, reason);
+    }
+
+    let next = policy.adjust_next_hop(st, key, candidate);
+    if next.node == me.node {
+        return terminate(st, t, key, hops, payload, DeliveryReason::Responsible);
+    }
+    t.send_chord(next.node, ChordMsg::Route { key, hops: hops + 1, payload });
+    None
+}
+
+fn terminate<A: Wire, T: Transport<A>>(
+    st: &mut ChordState,
+    t: &mut T,
+    key: ChordId,
+    hops: u8,
+    payload: RoutePayload<A>,
+    reason: DeliveryReason,
+) -> Option<ChordOutcome<A>> {
+    match payload {
+        RoutePayload::App(payload) => Some(ChordOutcome::Deliver { key, payload, hops, reason }),
+        RoutePayload::FindSuccessor { requester, token } => {
+            t.send_chord(requester.node, ChordMsg::FoundSuccessor { token, owner: st.me() });
+            None
+        }
+    }
+}
+
+/// Periodic stabilization tick: probe our successor.
+pub fn start_stabilize<A: Wire, T: Transport<A>>(st: &mut ChordState, t: &mut T) {
+    if let Some(s) = st.successor() {
+        t.send_chord(s.node, ChordMsg::NeighborsReq);
+    }
+}
+
+/// Periodic finger-fix tick: look up the next finger target through
+/// the ring.
+pub fn start_fix_finger<A: Wire, T: Transport<A>>(
+    st: &mut ChordState,
+    t: &mut T,
+    policy: &impl RoutePolicy,
+) {
+    let (i, target) = st.next_finger_target();
+    let me = st.me();
+    let payload = RoutePayload::FindSuccessor { requester: me, token: LookupToken::Finger(i) };
+    let _ = step_route::<A, T>(st, t, target, 0, payload, policy);
+}
+
+/// Join the ring through `bootstrap`: route a successor lookup for our
+/// own id. The [`ChordOutcome::JoinComplete`] outcome arrives via the
+/// `FoundSuccessor` reply.
+pub fn start_join<A: Wire, T: Transport<A>>(st: &mut ChordState, t: &mut T, bootstrap: NodeId) {
+    let me = st.me();
+    let msg = ChordMsg::Route {
+        key: me.id,
+        hops: 0,
+        payload: RoutePayload::FindSuccessor { requester: me, token: LookupToken::Join },
+    };
+    t.send_chord(bootstrap, msg);
+}
+
+/// A previously sent message bounced (destination down): purge the
+/// dead peer from the routing state. Returns true if the state
+/// referenced it.
+pub fn on_undeliverable<A>(st: &mut ChordState, dead: NodeId, _msg: &ChordMsg<A>) -> bool {
+    st.on_peer_dead(dead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{stable_ring, ChordConfig};
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Payload(u64);
+    impl Wire for Payload {
+        fn wire_size(&self) -> u32 {
+            8
+        }
+    }
+
+    /// A loop-back transport over a vector of (to, msg).
+    #[derive(Default)]
+    struct VecTransport {
+        out: Vec<(NodeId, ChordMsg<Payload>)>,
+    }
+    impl Transport<Payload> for VecTransport {
+        fn send_chord(&mut self, to: NodeId, msg: ChordMsg<Payload>) {
+            self.out.push((to, msg));
+        }
+    }
+
+    fn ring(ids: &[u64]) -> Vec<ChordState> {
+        let members: Vec<PeerRef> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| PeerRef { id: ChordId(*id), node: NodeId(i as u32) })
+            .collect();
+        stable_ring(&members, &ChordConfig::default())
+    }
+
+    /// Synchronously run routing across a set of states until delivery.
+    fn route_to_completion(
+        states: &mut [ChordState],
+        start: usize,
+        key: ChordId,
+        payload: Payload,
+    ) -> (usize, u8) {
+        let mut t = VecTransport::default();
+        if let Some(ChordOutcome::Deliver { hops, .. }) =
+            start_route(&mut states[start], &mut t, key, payload.clone(), &StandardPolicy)
+        {
+            return (start, hops);
+        }
+        let mut steps = 0;
+        while let Some((to, msg)) = t.out.pop() {
+            steps += 1;
+            assert!(steps < 1000, "routing did not terminate");
+            let idx = to.idx();
+            if let Some(ChordOutcome::Deliver { hops, payload: p, .. }) =
+                handle(&mut states[idx], &mut t, NodeId(0), msg, &StandardPolicy)
+            {
+                assert_eq!(p, payload);
+                return (idx, hops);
+            }
+        }
+        panic!("message lost");
+    }
+
+    #[test]
+    fn routes_reach_the_owner() {
+        let ids: Vec<u64> = (0..32).map(|i| crate::id::hash64(i)).collect();
+        let mut states = ring(&ids);
+        // The owner of key k is the member minimizing clockwise k→owner.
+        for probe in 0..50u64 {
+            let key = ChordId(crate::id::hash64(1000 + probe));
+            let expected = states
+                .iter()
+                .map(|s| s.me())
+                .min_by_key(|p| key.clockwise_distance(p.id))
+                .unwrap();
+            let (got, _) = route_to_completion(&mut states, (probe % 32) as usize, key, Payload(probe));
+            assert_eq!(states[got].me().node, expected.node, "wrong owner for {key:?}");
+        }
+    }
+
+    #[test]
+    fn hop_count_is_logarithmic() {
+        let n = 256u64;
+        let ids: Vec<u64> = (0..n).map(crate::id::hash64).collect();
+        let mut states = ring(&ids);
+        let mut total_hops = 0u32;
+        let probes = 100u64;
+        for probe in 0..probes {
+            let key = ChordId(crate::id::hash64(77_000 + probe));
+            let (_, hops) = route_to_completion(&mut states, (probe % n) as usize, key, Payload(probe));
+            total_hops += hops as u32;
+        }
+        let avg = total_hops as f64 / probes as f64;
+        // log2(256) = 8; expect roughly half that on average, never more.
+        assert!(avg <= 8.0, "average hops {avg} too high for 256 nodes");
+        assert!(avg >= 1.0, "suspiciously low hop count {avg}");
+    }
+
+    #[test]
+    fn exact_key_delivers_at_exact_owner() {
+        let ids = [100u64, 200, 300];
+        let mut states = ring(&ids);
+        let (idx, _) = route_to_completion(&mut states, 0, ChordId(200), Payload(1));
+        assert_eq!(states[idx].id(), ChordId(200));
+    }
+
+    #[test]
+    fn find_successor_fixes_finger() {
+        let ids = [0u64, 1 << 62, 1 << 63];
+        let mut states = ring(&ids);
+        // Clear node 0's finger for 2^62 and re-fix it via lookup.
+        let me0 = states[0].me();
+        states[0].set_finger(62, me0);
+        let mut t = VecTransport::default();
+        // Force the round-robin to index 62.
+        for _ in 0..62 {
+            states[0].next_finger_target();
+        }
+        start_fix_finger(&mut states[0], &mut t, &StandardPolicy);
+        // Drive messages.
+        let mut guard = 0;
+        while let Some((to, msg)) = t.out.pop() {
+            guard += 1;
+            assert!(guard < 100);
+            let idx = to.idx();
+            let _ = handle(&mut states[idx], &mut t, NodeId(99), msg, &StandardPolicy);
+        }
+        let f: Vec<ChordId> = states[0].fingers().map(|p| p.id).collect();
+        assert!(f.contains(&ChordId(1 << 62)), "finger 62 not fixed: {f:?}");
+    }
+
+    #[test]
+    fn join_adopts_successor_and_notifies() {
+        let ids = [100u64, 200];
+        let mut states = ring(&ids);
+        let newbie_ref = PeerRef { id: ChordId(150), node: NodeId(2) };
+        let mut newbie = ChordState::new(newbie_ref, ChordConfig::default());
+        let mut t = VecTransport::default();
+        start_join(&mut newbie, &mut t, NodeId(0));
+        let mut all = vec![states.remove(0), states.remove(0), newbie];
+        let mut joined = false;
+        let mut guard = 0;
+        while let Some((to, msg)) = t.out.pop() {
+            guard += 1;
+            assert!(guard < 100);
+            let idx = to.idx();
+            if let Some(ChordOutcome::JoinComplete) =
+                handle(&mut all[idx], &mut t, NodeId(0), msg, &StandardPolicy)
+            {
+                joined = true;
+            }
+        }
+        assert!(joined);
+        // 150's successor is 200 (owner of key 150).
+        assert_eq!(all[2].successor().unwrap().id, ChordId(200));
+        // 200 should have been notified and adopted 150 as predecessor.
+        assert_eq!(all[1].predecessor().unwrap().id, ChordId(150));
+    }
+
+    #[test]
+    fn stabilization_repairs_successor() {
+        // 10 → 30 ring, node 20 interposed (it joined; 10 doesn't know).
+        let mut s10 = ChordState::new(
+            PeerRef { id: ChordId(10), node: NodeId(0) },
+            ChordConfig::default(),
+        );
+        let mut s30 = ChordState::new(
+            PeerRef { id: ChordId(30), node: NodeId(2) },
+            ChordConfig::default(),
+        );
+        s10.adopt_successor(s30.me());
+        s30.on_notify(PeerRef { id: ChordId(20), node: NodeId(1) });
+        let mut t = VecTransport::default();
+        start_stabilize(&mut s10, &mut t);
+        // s30 answers NeighborsReq.
+        let (to, msg) = t.out.remove(0);
+        assert_eq!(to, NodeId(2));
+        let _ = handle(&mut s30, &mut t, NodeId(0), msg, &StandardPolicy);
+        // s10 processes the response.
+        let (to, msg) = t.out.remove(0);
+        assert_eq!(to, NodeId(0));
+        let _ = handle(&mut s10, &mut t, NodeId(2), msg, &StandardPolicy);
+        assert_eq!(s10.successor().unwrap().id, ChordId(20), "stabilize must adopt 20");
+        // And s10 notifies 20.
+        assert!(t
+            .out
+            .iter()
+            .any(|(to, m)| *to == NodeId(1) && matches!(m, ChordMsg::Notify { .. })));
+    }
+
+    #[test]
+    fn undeliverable_purges_dead_peer() {
+        let ids = [1u64, 2, 3];
+        let mut states = ring(&ids);
+        let dead = states[0].successor().unwrap().node;
+        let bounced: ChordMsg<Payload> = ChordMsg::NeighborsReq;
+        assert!(on_undeliverable(&mut states[0], dead, &bounced));
+        assert_ne!(states[0].successor().map(|p| p.node), Some(dead));
+    }
+
+    #[test]
+    fn wire_sizes_are_plausible() {
+        let m: ChordMsg<Payload> = ChordMsg::Route {
+            key: ChordId(1),
+            hops: 0,
+            payload: RoutePayload::App(Payload(9)),
+        };
+        assert_eq!(m.wire_size(), HEADER_BYTES + 8);
+        assert!(m.is_routing());
+        let n: ChordMsg<Payload> = ChordMsg::NeighborsResp {
+            pred: None,
+            succs: vec![PeerRef { id: ChordId(0), node: NodeId(0) }; 3],
+        };
+        assert_eq!(n.wire_size(), HEADER_BYTES + 16 + 48);
+        assert!(!n.is_routing());
+    }
+}

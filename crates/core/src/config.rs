@@ -1,0 +1,223 @@
+//! Flower-CDN protocol parameters.
+//!
+//! Defaults reproduce Table 1 of the paper plus the protocol constants
+//! the paper mentions in prose (keepalives, `Tdead`, push thresholds,
+//! summary refresh). Everything the evaluation sweeps (`Lgossip`,
+//! `Tgossip`, `Vgossip`, push threshold, `Sco`) is a field here.
+
+use simnet::SimDuration;
+
+use crate::cache::CachePolicy;
+
+/// All tunables of the Flower-CDN protocol.
+#[derive(Clone, Debug)]
+pub struct FlowerConfig {
+    // ---- gossip (Table 1, §4.2) ----
+    /// View size `Vgossip`: max contacts in a content peer's view.
+    pub v_gossip: usize,
+    /// Gossip length `Lgossip`: view entries sent per exchange.
+    pub l_gossip: usize,
+    /// Gossip period `Tgossip` between exchanges a peer initiates.
+    pub t_gossip: SimDuration,
+
+    // ---- directory maintenance (§4.2.1, §5.1) ----
+    /// Fraction of changed content triggering a push to the directory
+    /// (Table 1: push threshold; default 0.1).
+    pub push_threshold: f64,
+    /// Fraction of new indexed objects triggering a directory-summary
+    /// refresh to neighbour directory peers (§4.2.1, "delayed
+    /// propagation").
+    pub summary_refresh_threshold: f64,
+    /// Age limit `Tdead` (in directory ticks) after which a directory
+    /// entry is considered dead and removed (§5.1).
+    pub t_dead: u32,
+    /// Keepalive period of content peers toward their directory
+    /// (§5.1); also the directory's age-increment tick.
+    pub keepalive_period: SimDuration,
+
+    // ---- overlay capacity (§5.3, Table 1) ----
+    /// Maximum content-overlay size `Sco`.
+    pub max_overlay: usize,
+
+    // ---- D-ring key scheme (§3.1, §5.3) ----
+    /// Bits `m1` of the locality segment (2^m1 ≥ k).
+    pub locality_bits: u32,
+    /// Extra low-order bits `b` for the §5.3 scale-up extension
+    /// (multiple directory peers per (website, locality)); 0 in the
+    /// paper's base design.
+    pub instance_bits: u32,
+
+    // ---- DHT maintenance ----
+    /// Chord stabilization period for directory peers.
+    pub stabilize_period: SimDuration,
+    /// Chord finger-repair period for directory peers.
+    pub fix_finger_period: SimDuration,
+
+    // ---- failure handling (§5.1, §5.2) ----
+    /// Redirection retries before falling back to the server when
+    /// holders turn out dead (§5.1).
+    pub holder_retries: u8,
+    /// Directory-level redirections allowed per query (Algorithm 3's
+    /// directory-summary step). The paper's design gives 1: the
+    /// locality's own directory plus at most one summary redirect.
+    /// 0 disables directory summaries (ablation).
+    pub max_dir_hops: u8,
+    /// How many summary-matched view candidates a content peer probes
+    /// before giving up on the overlay.
+    pub summary_fetch_retries: u8,
+    /// Where a content peer's query goes when its own cache and its
+    /// view summaries fail. The paper's design sends it to the origin
+    /// server: "once a client has become a content peer, any
+    /// subsequent queries … directly use the content overlay instead
+    /// of the D-ring" (§3.4) — which is exactly why the hit ratio of
+    /// Table 2 depends on the gossip parameters. Setting this to true
+    /// escalates to the directory peer instead (a design variant the
+    /// ablation experiment measures).
+    pub member_dir_fallback: bool,
+    /// Maximum jitter before a content peer attempts to replace a dead
+    /// directory (reduces join collisions; §5.2).
+    pub dir_replacement_jitter: SimDuration,
+
+    // ---- §8 extensions (off by default: the paper's base system) ----
+    /// Cache replacement policy of content peers (paper: unbounded).
+    pub cache_policy: CachePolicy,
+    /// Cache capacity in objects when the policy is bounded.
+    pub cache_capacity: usize,
+    /// Period of the active-replication extension (§8: "pushing
+    /// popular contents towards other overlays of the same website");
+    /// `None` disables it (the paper's base system).
+    pub replication_period: Option<SimDuration>,
+    /// How many of the most-requested objects each replication round
+    /// offers to neighbour overlays.
+    pub replication_top_k: usize,
+}
+
+impl Default for FlowerConfig {
+    fn default() -> Self {
+        FlowerConfig {
+            v_gossip: 50,
+            l_gossip: 10,
+            t_gossip: SimDuration::from_mins(30),
+            push_threshold: 0.1,
+            summary_refresh_threshold: 0.1,
+            t_dead: 10,
+            keepalive_period: SimDuration::from_mins(5),
+            max_overlay: 100,
+            locality_bits: 8,
+            instance_bits: 0,
+            stabilize_period: SimDuration::from_mins(1),
+            fix_finger_period: SimDuration::from_secs(30),
+            holder_retries: 3,
+            max_dir_hops: 1,
+            summary_fetch_retries: 2,
+            member_dir_fallback: false,
+            dir_replacement_jitter: SimDuration::from_secs(60),
+            cache_policy: CachePolicy::Unbounded,
+            cache_capacity: 0,
+            replication_period: None,
+            replication_top_k: 5,
+        }
+    }
+}
+
+impl FlowerConfig {
+    /// The paper's chosen operating point (§6.2): `Tgossip = 30 min`,
+    /// `Lgossip = 10`, `Vgossip = 50`.
+    pub fn paper() -> Self {
+        FlowerConfig::default()
+    }
+
+    /// A fast-converging configuration for small tests: second-scale
+    /// periods instead of minutes.
+    pub fn fast_test() -> Self {
+        FlowerConfig {
+            t_gossip: SimDuration::from_secs(10),
+            keepalive_period: SimDuration::from_secs(5),
+            stabilize_period: SimDuration::from_secs(5),
+            fix_finger_period: SimDuration::from_secs(2),
+            dir_replacement_jitter: SimDuration::from_secs(20),
+            max_overlay: 20,
+            v_gossip: 10,
+            l_gossip: 4,
+            ..Default::default()
+        }
+    }
+
+    /// Validate invariants against the deployment parameters.
+    pub fn validate(&self, num_localities: usize) -> Result<(), String> {
+        if self.v_gossip == 0 {
+            return Err("Vgossip must be positive".into());
+        }
+        if self.l_gossip == 0 || self.l_gossip > self.v_gossip {
+            return Err(format!(
+                "Lgossip must be in 1..=Vgossip ({} vs {})",
+                self.l_gossip, self.v_gossip
+            ));
+        }
+        if self.t_gossip.is_zero() {
+            return Err("Tgossip must be positive".into());
+        }
+        if !(self.push_threshold > 0.0) {
+            return Err("push threshold must be positive".into());
+        }
+        if self.t_dead == 0 {
+            return Err("Tdead must be positive".into());
+        }
+        if self.max_overlay == 0 {
+            return Err("Sco must be positive".into());
+        }
+        let max_loc = 1usize << self.locality_bits;
+        if num_localities > max_loc {
+            return Err(format!(
+                "2^m1 = {max_loc} localities representable, {num_localities} requested"
+            ));
+        }
+        if self.locality_bits + self.instance_bits >= 56 {
+            return Err("locality+instance bits leave too few website bits".into());
+        }
+        if self.cache_policy != CachePolicy::Unbounded && self.cache_capacity == 0 {
+            return Err("bounded cache policy needs a positive capacity".into());
+        }
+        if let Some(p) = self.replication_period {
+            if p.is_zero() {
+                return Err("replication period must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let c = FlowerConfig::default();
+        assert_eq!(c.v_gossip, 50);
+        assert_eq!(c.l_gossip, 10);
+        assert_eq!(c.t_gossip, SimDuration::from_mins(30));
+        assert_eq!(c.max_overlay, 100);
+        assert!((c.push_threshold - 0.1).abs() < 1e-12);
+        c.validate(6).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = FlowerConfig::default();
+        c.l_gossip = 0;
+        assert!(c.validate(6).is_err());
+        c = FlowerConfig::default();
+        c.l_gossip = c.v_gossip + 1;
+        assert!(c.validate(6).is_err());
+        c = FlowerConfig::default();
+        c.locality_bits = 2;
+        assert!(c.validate(6).is_err(), "6 localities need 3 bits");
+        c = FlowerConfig::default();
+        c.locality_bits = 3;
+        assert!(c.validate(6).is_ok());
+        c = FlowerConfig::default();
+        c.instance_bits = 60;
+        assert!(c.validate(6).is_err());
+    }
+}

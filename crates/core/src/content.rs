@@ -1,0 +1,479 @@
+//! The content peer (§4, Algorithms 4–5).
+//!
+//! A content peer `c_{ws,loc}` keeps the objects of `ws` it has
+//! requested, and participates in its overlay's gossip:
+//!
+//! * **content-list** — the objects currently held, with a change log
+//!   feeding the push protocol (Algorithm 5);
+//! * **view** — a bounded partial view of the overlay
+//!   ([`gossip::View`]), each entry carrying the contact's content
+//!   summary, maintained by the active/passive exchange of
+//!   Algorithm 4;
+//! * **directory entry** — a special (address, age) entry for
+//!   `d_{ws,loc}`, piggybacked on every gossip exchange so directory
+//!   replacements propagate epidemically (§4.2.1, §5.2).
+//!
+//! Once a client has become a content peer, "any subsequent queries
+//! use the content overlay instead of the D-ring" (§3.4): the local
+//! search order is own content → view summaries → directory peer.
+
+use std::collections::HashSet;
+
+use bloom::{ContentSummary, ObjectId};
+use gossip::{ChangeKind, ChangeLog, PushPolicy, View, ViewEntry};
+use rand::Rng;
+use simnet::{Locality, NodeId};
+use workload::WebsiteId;
+
+use crate::cache::CacheManager;
+use crate::msg::{GossipEntry, GossipPayload};
+
+/// State of one content-peer role (one per website the node supports).
+#[derive(Clone, Debug)]
+pub struct ContentPeerState {
+    website: WebsiteId,
+    /// The overlay's locality: overlays are scoped by (website,
+    /// locality), and gossip must never leak across localities.
+    locality: Locality,
+    content: HashSet<ObjectId>,
+    cache: CacheManager,
+    changes: ChangeLog<ObjectId>,
+    view: View<NodeId, Option<ContentSummary>>,
+    dir: Option<NodeId>,
+    dir_age: u32,
+    summary_capacity: usize,
+}
+
+impl ContentPeerState {
+    /// A fresh content peer for `(website, locality)` with view bound
+    /// `v_gossip`.
+    pub fn new(
+        website: WebsiteId,
+        locality: Locality,
+        v_gossip: usize,
+        summary_capacity: usize,
+    ) -> Self {
+        Self::with_cache(website, locality, v_gossip, summary_capacity, CacheManager::unbounded())
+    }
+
+    /// A content peer with a bounded cache (the §8 replacement-policy
+    /// extension).
+    pub fn with_cache(
+        website: WebsiteId,
+        locality: Locality,
+        v_gossip: usize,
+        summary_capacity: usize,
+        cache: CacheManager,
+    ) -> Self {
+        ContentPeerState {
+            website,
+            locality,
+            content: HashSet::new(),
+            cache,
+            changes: ChangeLog::new(),
+            view: View::new(v_gossip),
+            dir: None,
+            dir_age: 0,
+            summary_capacity,
+        }
+    }
+
+    /// The website this role serves.
+    pub fn website(&self) -> WebsiteId {
+        self.website
+    }
+
+    /// The locality of the overlay this role belongs to.
+    pub fn locality(&self) -> Locality {
+        self.locality
+    }
+
+    /// Does this peer hold `o`?
+    pub fn has(&self, o: ObjectId) -> bool {
+        self.content.contains(&o)
+    }
+
+    /// Number of objects held.
+    pub fn content_len(&self) -> usize {
+        self.content.len()
+    }
+
+    /// Store an object (after being served); logged for the next
+    /// push. A bounded cache may evict a victim first (also logged, so
+    /// the directory learns via the next ∆list).
+    pub fn insert_object(&mut self, o: ObjectId) {
+        if self.content.contains(&o) {
+            self.cache.touch(o);
+            return;
+        }
+        if let Some(victim) = self.cache.evict_for_insert(self.content.len()) {
+            if self.content.remove(&victim) {
+                self.changes.record(victim, ChangeKind::Removed);
+            }
+        }
+        self.content.insert(o);
+        self.cache.touch(o);
+        self.changes.record(o, ChangeKind::Added);
+    }
+
+    /// Record a cache hit (replacement bookkeeping).
+    pub fn touch_object(&mut self, o: ObjectId) {
+        self.cache.touch(o);
+    }
+
+    /// Drop an object (external invalidation); logged for the next
+    /// push.
+    pub fn remove_object(&mut self, o: ObjectId) {
+        if self.content.remove(&o) {
+            self.cache.forget(o);
+            self.changes.record(o, ChangeKind::Removed);
+        }
+    }
+
+    /// The peer's *current* content summary (rebuilt on demand).
+    pub fn current_summary(&self) -> ContentSummary {
+        ContentSummary::from_objects(self.summary_capacity, self.content.iter())
+    }
+
+    /// Pending unreported changes.
+    pub fn pending_changes(&self) -> usize {
+        self.changes.count()
+    }
+
+    /// Algorithm 5's gate: extract the ∆list if the push threshold is
+    /// reached. Also resets the directory entry age ("the pushing peer
+    /// resets to 0 its age field of d"), performed by the caller via
+    /// [`ContentPeerState::reset_dir_age`] after actually sending.
+    pub fn take_push(&mut self, policy: PushPolicy) -> Option<(Vec<ObjectId>, Vec<ObjectId>)> {
+        if !policy.should_push(self.changes.count(), self.content.len()) {
+            return None;
+        }
+        let delta = self.changes.extract();
+        Some((delta.added, delta.removed))
+    }
+
+    // ---- directory tracking (§4.2.1) ----
+
+    /// The directory peer this content peer currently believes in.
+    pub fn directory(&self) -> Option<NodeId> {
+        self.dir
+    }
+
+    /// Age of the directory entry (ticks since last confirmation).
+    pub fn dir_age(&self) -> u32 {
+        self.dir_age
+    }
+
+    /// Adopt a directory peer (join, gossip hint, replacement).
+    pub fn set_directory(&mut self, dir: NodeId) {
+        self.dir = Some(dir);
+        self.dir_age = 0;
+    }
+
+    /// Reset the directory age (after a push or keepalive).
+    pub fn reset_dir_age(&mut self) {
+        self.dir_age = 0;
+    }
+
+    /// Forget a dead directory (§5.2, detection).
+    pub fn clear_directory(&mut self) {
+        self.dir = None;
+        self.dir_age = 0;
+    }
+
+    // ---- view management (Algorithm 4) ----
+
+    /// Read-only access to the view.
+    pub fn view(&self) -> &View<NodeId, Option<ContentSummary>> {
+        &self.view
+    }
+
+    /// Seed the view with contacts of unknown content (admission from
+    /// the directory index or a serving peer's view subset): "F's
+    /// initial view will not have content summaries but will
+    /// progressively fill them via gossip".
+    pub fn seed_view(&mut self, peers: &[NodeId], myself: NodeId) {
+        for p in peers {
+            if *p != myself && !self.view.contains(*p) {
+                self.view.insert_fresh(*p, None);
+            }
+        }
+    }
+
+    /// The gossip period elapsed: age the view and the directory
+    /// entry, and pick the exchange partner (`select_oldest`).
+    pub fn gossip_tick(&mut self) -> Option<NodeId> {
+        self.view.increment_ages();
+        self.dir_age = self.dir_age.saturating_add(1);
+        self.view.select_oldest().map(|e| e.peer)
+    }
+
+    /// Build the gossip message content: own current summary, a random
+    /// `Lgossip`-subset of the view, and the directory hint.
+    pub fn build_gossip<R: Rng>(&self, rng: &mut R, l_gossip: usize) -> GossipPayload {
+        let subset = self
+            .view
+            .select_subset(rng, l_gossip)
+            .into_iter()
+            .map(|e| GossipEntry { peer: e.peer, age: e.age, summary: e.data })
+            .collect();
+        GossipPayload {
+            website: self.website,
+            locality: self.locality,
+            summary: self.current_summary(),
+            subset,
+            dir_hint: self.dir.map(|d| (d, self.dir_age)),
+        }
+    }
+
+    /// Merge a received gossip payload (both the active and passive
+    /// sides end with this): refresh the partner's entry with its
+    /// fresh summary, fold the subset, adopt a fresher directory hint.
+    ///
+    /// `max_hint_age` bounds how stale a directory hint may be and
+    /// still be adopted (hints about a dead directory keep circulating
+    /// for a while; without the bound they would resurrect it
+    /// endlessly and §5.2 replacement could never start).
+    pub fn absorb_gossip(
+        &mut self,
+        myself: NodeId,
+        from: NodeId,
+        payload: GossipPayload,
+        max_hint_age: u32,
+    ) {
+        let partner = ViewEntry::fresh(from, Some(payload.summary));
+        let subset = payload
+            .subset
+            .into_iter()
+            .map(|e| ViewEntry { peer: e.peer, age: e.age, data: e.summary })
+            .collect();
+        self.view.merge(myself, partner, subset);
+        if let Some((dir, age)) = payload.dir_hint {
+            if age >= max_hint_age {
+                return;
+            }
+            // Adopt strictly fresher knowledge about the directory, or
+            // any (sufficiently fresh) directory if we lost ours.
+            if self.dir.is_none() || (Some(dir) != self.dir && age < self.dir_age) {
+                self.dir = Some(dir);
+                self.dir_age = age;
+            } else if Some(dir) == self.dir {
+                self.dir_age = self.dir_age.min(age);
+            }
+        }
+    }
+
+    /// View contacts whose summary suggests they hold `o`, youngest
+    /// first, excluding already-tried peers.
+    pub fn summary_candidates(&self, o: ObjectId, tried: &[NodeId]) -> Vec<NodeId> {
+        let mut c: Vec<(u32, NodeId)> = self
+            .view
+            .iter()
+            .filter(|e| !tried.contains(&e.peer))
+            .filter(|e| e.data.as_ref().is_some_and(|s| s.might_contain(o)))
+            .map(|e| (e.age, e.peer))
+            .collect();
+        c.sort_unstable_by_key(|(age, p)| (*age, p.0));
+        c.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Drop a dead or departed contact (§5.4: peers that changed
+    /// locality "are removed from contacts as with dead peers").
+    pub fn forget_peer(&mut self, peer: NodeId) {
+        self.view.remove(peer);
+        if self.dir == Some(peer) {
+            self.clear_directory();
+        }
+    }
+
+    /// All objects held (for directory hand-off seeding and tests).
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.content.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const ME: NodeId = NodeId(0);
+    const O1: ObjectId = ObjectId(101);
+    const O2: ObjectId = ObjectId(202);
+
+    fn peer() -> ContentPeerState {
+        ContentPeerState::new(WebsiteId(1), Locality(0), 10, 100)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn content_and_changes() {
+        let mut c = peer();
+        c.insert_object(O1);
+        c.insert_object(O1); // duplicate: no double change
+        assert!(c.has(O1));
+        assert_eq!(c.pending_changes(), 1);
+        c.remove_object(O1);
+        assert_eq!(c.pending_changes(), 0, "add+remove cancels");
+        assert!(!c.has(O1));
+    }
+
+    #[test]
+    fn push_respects_threshold() {
+        let mut c = peer();
+        // 10 objects held, 1 change → 10% with threshold 0.5: no push.
+        for i in 0..10u64 {
+            c.insert_object(ObjectId(i));
+        }
+        let _ = c.take_push(PushPolicy::new(0.0001)); // drain initial adds
+        c.insert_object(ObjectId(100));
+        assert!(c.take_push(PushPolicy::new(0.5)).is_none());
+        // threshold 0.05 → push fires with the single pending change.
+        let (added, removed) = c.take_push(PushPolicy::new(0.05)).expect("push due");
+        assert_eq!(added, vec![ObjectId(100)]);
+        assert!(removed.is_empty());
+        assert_eq!(c.pending_changes(), 0);
+    }
+
+    #[test]
+    fn summary_reflects_current_content() {
+        let mut c = peer();
+        c.insert_object(O1);
+        assert!(c.current_summary().might_contain(O1));
+        c.remove_object(O1);
+        assert!(!c.current_summary().might_contain(O1), "summary is rebuilt, not stale");
+    }
+
+    #[test]
+    fn gossip_tick_ages_and_selects_oldest() {
+        let mut c = peer();
+        c.seed_view(&[NodeId(1), NodeId(2)], ME);
+        assert!(c.gossip_tick().is_some());
+        // Refresh 2 via gossip; 1 becomes the oldest.
+        c.absorb_gossip(ME, NodeId(2), GossipPayload {
+                website: WebsiteId(1),
+                locality: Locality(0),
+                summary: ContentSummary::empty(100),
+                subset: vec![],
+                dir_hint: None,
+            },
+            10,
+        );
+        assert_eq!(c.gossip_tick(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn absorb_gossip_fills_summaries() {
+        let mut c = peer();
+        let mut s = ContentSummary::empty(100);
+        s.insert(O1);
+        c.absorb_gossip(ME, NodeId(5), GossipPayload {
+                website: WebsiteId(1),
+                locality: Locality(0),
+                summary: s,
+                subset: vec![GossipEntry { peer: NodeId(6), age: 2, summary: None }],
+                dir_hint: None,
+            },
+            10,
+        );
+        assert_eq!(c.summary_candidates(O1, &[]), vec![NodeId(5)]);
+        assert!(c.view().contains(NodeId(6)));
+        // Tried peers are excluded.
+        assert!(c.summary_candidates(O1, &[NodeId(5)]).is_empty());
+    }
+
+    #[test]
+    fn self_never_enters_view() {
+        let mut c = peer();
+        c.seed_view(&[ME, NodeId(1)], ME);
+        assert!(!c.view().contains(ME));
+        c.absorb_gossip(ME, NodeId(1), GossipPayload {
+                website: WebsiteId(1),
+                locality: Locality(0),
+                summary: ContentSummary::empty(100),
+                subset: vec![GossipEntry { peer: ME, age: 0, summary: None }],
+                dir_hint: None,
+            },
+            10,
+        );
+        assert!(!c.view().contains(ME));
+    }
+
+    #[test]
+    fn dir_hint_adoption_rules() {
+        let mut c = peer();
+        c.set_directory(NodeId(9));
+        // Age our knowledge by 3 ticks.
+        for _ in 0..3 {
+            c.gossip_tick();
+        }
+        assert_eq!(c.dir_age(), 3);
+        // A staler hint about another node is ignored.
+        let hint = |dir: u32, age: u32| GossipPayload {
+            website: WebsiteId(1),
+            locality: Locality(0),
+            summary: ContentSummary::empty(100),
+            subset: vec![],
+            dir_hint: Some((NodeId(dir), age)),
+        };
+        c.absorb_gossip(ME, NodeId(1), hint(8, 5), 10);
+        assert_eq!(c.directory(), Some(NodeId(9)));
+        // A fresher hint about a new directory wins (§5.2 epidemic
+        // propagation of the replacement).
+        c.absorb_gossip(ME, NodeId(1), hint(8, 1), 10);
+        assert_eq!(c.directory(), Some(NodeId(8)));
+        assert_eq!(c.dir_age(), 1);
+        // Same-directory hints only lower the age.
+        c.absorb_gossip(ME, NodeId(2), hint(8, 0), 10);
+        assert_eq!(c.dir_age(), 0);
+        // Having lost the directory, any hint is adopted.
+        c.clear_directory();
+        c.absorb_gossip(ME, NodeId(3), hint(7, 9), 10);
+        assert_eq!(c.directory(), Some(NodeId(7)));
+    }
+
+    #[test]
+    fn gossip_payload_shape() {
+        let mut c = peer();
+        c.set_directory(NodeId(9));
+        c.seed_view(&(1..=8).map(NodeId).collect::<Vec<_>>(), ME);
+        let p = c.build_gossip(&mut rng(), 4);
+        assert_eq!(p.subset.len(), 4);
+        assert_eq!(p.dir_hint, Some((NodeId(9), 0)));
+        assert_eq!(p.website, WebsiteId(1));
+    }
+
+    #[test]
+    fn forget_peer_clears_view_and_dir() {
+        let mut c = peer();
+        c.seed_view(&[NodeId(1)], ME);
+        c.set_directory(NodeId(1));
+        c.forget_peer(NodeId(1));
+        assert!(!c.view().contains(NodeId(1)));
+        assert_eq!(c.directory(), None);
+    }
+
+    #[test]
+    fn candidates_sorted_young_first() {
+        let mut c = peer();
+        let with_obj = |age: u32, p: u32| {
+            let mut s = ContentSummary::empty(100);
+            s.insert(O2);
+            GossipEntry { peer: NodeId(p), age, summary: Some(s) }
+        };
+        c.absorb_gossip(ME, NodeId(50), GossipPayload {
+                website: WebsiteId(1),
+                locality: Locality(0),
+                summary: ContentSummary::empty(100),
+                subset: vec![with_obj(5, 1), with_obj(1, 2), with_obj(3, 3)],
+                dir_hint: None,
+            },
+            10,
+        );
+        assert_eq!(c.summary_candidates(O2, &[]), vec![NodeId(2), NodeId(3), NodeId(1)]);
+    }
+}

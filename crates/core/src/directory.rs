@@ -1,0 +1,644 @@
+//! The directory peer (§3.3–3.4, Algorithm 3, §4.2.1 directory
+//! management, §5.1 failure handling).
+//!
+//! A directory peer `d_{ws,loc}` maintains:
+//!
+//! * **directory-index(ws, loc)** — one entry per content peer of its
+//!   overlay: address, age (failure detection) and the list of object
+//!   identifiers the peer holds. The paper calls this "a complete view
+//!   of its content overlay".
+//! * **directory-summaries(ws, locj)** — Bloom summaries of the
+//!   directory indexes of the *other* directory peers of the same
+//!   website it knows through its routing table (its ring
+//!   neighbours), refreshed lazily (§4.2.1).
+//!
+//! Query processing is exactly Algorithm 3: try the index, then the
+//! summaries, then the origin server. The index is kept fresh by
+//! pushes and keepalives; entries whose age reaches `Tdead` are
+//! evicted (§5.1).
+
+use std::collections::HashMap;
+
+use bloom::{ContentSummary, ObjectId};
+use chord::ChordId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use simnet::{Locality, NodeId};
+use workload::WebsiteId;
+
+/// One directory-index entry (§3.3): a content peer of the overlay.
+#[derive(Clone, Debug)]
+pub struct DirEntry {
+    /// Age, in directory ticks, since the peer last pushed or sent a
+    /// keepalive.
+    pub age: u32,
+    /// Object identifiers the peer reported holding.
+    pub objects: std::collections::HashSet<ObjectId>,
+    /// Gossip-learned content summary; a freshly promoted directory
+    /// peer answers from these until pushes rebuild the index (§5.2:
+    /// "meanwhile, d answers first queries from its content
+    /// summaries").
+    pub summary: Option<ContentSummary>,
+}
+
+impl DirEntry {
+    fn fresh() -> Self {
+        DirEntry { age: 0, objects: Default::default(), summary: None }
+    }
+
+    /// Does this entry indicate the peer holds `o`?
+    fn indicates(&self, o: ObjectId) -> bool {
+        self.objects.contains(&o) || self.summary.as_ref().is_some_and(|s| s.might_contain(o))
+    }
+}
+
+/// A received directory summary of a neighbouring directory peer.
+#[derive(Clone, Debug)]
+pub struct NeighborSummary {
+    /// The neighbour's underlay address.
+    pub dir: NodeId,
+    /// The neighbour's locality.
+    pub locality: Locality,
+    /// The neighbour's ring id.
+    pub dir_id: ChordId,
+    /// Bloom summary of its directory index.
+    pub summary: ContentSummary,
+}
+
+/// Algorithm 3's decision for a query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DirDecision {
+    /// Redirect to a content peer of this overlay listed as holding
+    /// the object.
+    ToHolder(NodeId),
+    /// Redirect to another directory peer of the same website whose
+    /// directory summary matched.
+    ToDirectory(NodeId),
+    /// No peer can serve: fall back to the origin server.
+    ToServer,
+}
+
+/// The state of one directory role `d_{ws,loc}`.
+#[derive(Clone, Debug)]
+pub struct DirectoryState {
+    website: WebsiteId,
+    locality: Locality,
+    index: HashMap<NodeId, DirEntry>,
+    neighbor_summaries: Vec<NeighborSummary>,
+    /// Overlay capacity `Sco`.
+    capacity: usize,
+    /// Age limit for index entries.
+    t_dead: u32,
+    /// Objects newly indexed since the last summary broadcast.
+    new_since_refresh: usize,
+    /// Total object listings in the index (for the refresh ratio).
+    total_indexed: usize,
+    /// nb-ob, for sizing summaries.
+    summary_capacity: usize,
+    /// §8 active replication: requests per object since the last
+    /// replication round (decayed each round).
+    popularity: HashMap<ObjectId, u64>,
+}
+
+impl DirectoryState {
+    /// An empty directory for `(website, locality)`.
+    pub fn new(
+        website: WebsiteId,
+        locality: Locality,
+        capacity: usize,
+        t_dead: u32,
+        summary_capacity: usize,
+    ) -> Self {
+        DirectoryState {
+            website,
+            locality,
+            index: HashMap::new(),
+            neighbor_summaries: Vec::new(),
+            capacity,
+            t_dead,
+            new_since_refresh: 0,
+            total_indexed: 0,
+            summary_capacity,
+            popularity: HashMap::new(),
+        }
+    }
+
+    /// The website this directory serves.
+    pub fn website(&self) -> WebsiteId {
+        self.website
+    }
+
+    /// The locality this directory covers.
+    pub fn locality(&self) -> Locality {
+        self.locality
+    }
+
+    /// Number of content peers currently indexed.
+    pub fn overlay_size(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the overlay reached `Sco` (§5.3: no more joins).
+    pub fn is_full(&self) -> bool {
+        self.index.len() >= self.capacity
+    }
+
+    /// Is `peer` a member of this overlay?
+    pub fn contains(&self, peer: NodeId) -> bool {
+        self.index.contains_key(&peer)
+    }
+
+    /// Iterate over the indexed members.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// **Algorithm 3**: decide where to send `query(o)`.
+    ///
+    /// `exclude` is the querying peer itself (it obviously does not
+    /// want a redirect to itself). Holders whose entry age has reached
+    /// `Tdead` are skipped ("after checking its aliveness"); among the
+    /// live holders one is drawn uniformly, which spreads the load
+    /// "rather evenly across the set of content peers holding copies"
+    /// (§4.1).
+    pub fn process<R: Rng>(
+        &self,
+        rng: &mut R,
+        object: ObjectId,
+        exclude: NodeId,
+        max_dir_hops: u8,
+        dir_hops: u8,
+    ) -> DirDecision {
+        // §8 extension bookkeeping: popularity of requested objects.
+        // (The base protocol never reads this map.)
+        // NOTE: kept in process() so redirected queries count too.
+        //
+        // 1. directory-index lookup. (Sorted so the random draw is a
+        // pure function of the RNG, not of hash-map iteration order.)
+        let mut holders: Vec<NodeId> = self
+            .index
+            .iter()
+            .filter(|(peer, e)| **peer != exclude && e.age < self.t_dead && e.indicates(object))
+            .map(|(peer, _)| *peer)
+            .collect();
+        holders.sort_unstable_by_key(|n| n.0);
+        if let Some(h) = holders.choose(rng) {
+            return DirDecision::ToHolder(*h);
+        }
+        // 2. directory summaries (only if the query may still travel).
+        if dir_hops < max_dir_hops {
+            let candidates: Vec<NodeId> = self
+                .neighbor_summaries
+                .iter()
+                .filter(|n| n.summary.might_contain(object))
+                .map(|n| n.dir)
+                .collect();
+            if let Some(d) = candidates.choose(rng) {
+                return DirDecision::ToDirectory(*d);
+            }
+        }
+        // 3. the origin server.
+        DirDecision::ToServer
+    }
+
+    /// Optimistic entry creation (§3.4): after serving a new client,
+    /// "d optimistically adds a new entry in its directory index: peer
+    /// F with its requested object, and age zero". Returns false when
+    /// the peer is new and the overlay is full (admission denied).
+    pub fn admit_or_refresh(&mut self, peer: NodeId, object: ObjectId) -> bool {
+        match self.index.get_mut(&peer) {
+            Some(e) => {
+                e.age = 0;
+                if e.objects.insert(object) {
+                    self.new_since_refresh += 1;
+                    self.total_indexed += 1;
+                }
+                true
+            }
+            None => {
+                if self.is_full() {
+                    return false;
+                }
+                let mut e = DirEntry::fresh();
+                e.objects.insert(object);
+                self.index.insert(peer, e);
+                self.new_since_refresh += 1;
+                self.total_indexed += 1;
+                true
+            }
+        }
+    }
+
+    /// Apply a push `∆list` (Algorithm 6): update the pushing peer's
+    /// entry and reset its age. Unknown pushers are admitted if
+    /// capacity allows (they may have joined under a previous
+    /// directory incarnation; §5.2).
+    pub fn apply_push(&mut self, peer: NodeId, added: &[ObjectId], removed: &[ObjectId]) {
+        if !self.index.contains_key(&peer) && self.is_full() {
+            return;
+        }
+        let e = self.index.entry(peer).or_insert_with(DirEntry::fresh);
+        e.age = 0;
+        for o in added {
+            if e.objects.insert(*o) {
+                self.new_since_refresh += 1;
+                self.total_indexed += 1;
+            }
+        }
+        for o in removed {
+            if e.objects.remove(o) {
+                self.total_indexed = self.total_indexed.saturating_sub(1);
+            }
+        }
+    }
+
+    /// A keepalive arrived (§5.1): reset the sender's age. A keepalive
+    /// from a member we do not index is direct evidence of membership
+    /// (we may be a fresh §5.2 replacement, or the entry aged out):
+    /// re-admit it optimistically with an empty object list — its
+    /// objects return with its next push, exactly how the paper's new
+    /// directory "gradually builds its directory upon receiving push
+    /// messages".
+    pub fn keepalive(&mut self, peer: NodeId) {
+        match self.index.get_mut(&peer) {
+            Some(e) => e.age = 0,
+            None => {
+                if !self.is_full() {
+                    self.index.insert(peer, DirEntry::fresh());
+                }
+            }
+        }
+    }
+
+    /// Directory tick (Algorithm 6 active behaviour): age all entries,
+    /// evicting those that reached `Tdead`. Returns the evicted peers.
+    pub fn tick(&mut self) -> Vec<NodeId> {
+        let mut dead = Vec::new();
+        for (peer, e) in &mut self.index {
+            e.age = e.age.saturating_add(1);
+            if e.age >= self.t_dead {
+                dead.push(*peer);
+            }
+        }
+        for peer in &dead {
+            if let Some(e) = self.index.remove(peer) {
+                self.total_indexed = self.total_indexed.saturating_sub(e.objects.len());
+            }
+        }
+        dead.sort_unstable_by_key(|n| n.0);
+        dead
+    }
+
+    /// Remove an entry after a redirection failure (§5.1: "the
+    /// directory peer removes the invalid directory entry").
+    pub fn remove_entry(&mut self, peer: NodeId) -> bool {
+        match self.index.remove(&peer) {
+            Some(e) => {
+                self.total_indexed = self.total_indexed.saturating_sub(e.objects.len());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Store/refresh a neighbour directory's summary (§3.3).
+    pub fn update_neighbor_summary(&mut self, n: NeighborSummary) {
+        if let Some(existing) = self.neighbor_summaries.iter_mut().find(|x| x.dir_id == n.dir_id) {
+            *existing = n;
+        } else {
+            self.neighbor_summaries.push(n);
+        }
+    }
+
+    /// Drop a neighbour summary (its directory died).
+    pub fn remove_neighbor(&mut self, dir: NodeId) {
+        self.neighbor_summaries.retain(|n| n.dir != dir);
+    }
+
+    /// The neighbour summaries currently held.
+    pub fn neighbor_summaries(&self) -> &[NeighborSummary] {
+        &self.neighbor_summaries
+    }
+
+    /// Should a refreshed directory summary be broadcast? (§4.2.1:
+    /// "only when the percentage of new object identifiers reaches a
+    /// threshold".) Resets the change counter when answering yes.
+    pub fn take_summary_refresh(&mut self, threshold: f64) -> Option<ContentSummary> {
+        if self.new_since_refresh == 0 {
+            return None;
+        }
+        let ratio = self.new_since_refresh as f64 / self.total_indexed.max(1) as f64;
+        if ratio < threshold {
+            return None;
+        }
+        self.new_since_refresh = 0;
+        Some(self.build_summary())
+    }
+
+    /// §8 active replication: note one request for `o`.
+    pub fn note_request(&mut self, o: ObjectId) {
+        *self.popularity.entry(o).or_insert(0) += 1;
+    }
+
+    /// §8 active replication: the `k` most requested objects that some
+    /// live member holds, each paired with one such holder. Decays all
+    /// counters afterwards so popularity tracks the recent past.
+    pub fn take_hot_objects<R: Rng>(&mut self, rng: &mut R, k: usize) -> Vec<(ObjectId, NodeId)> {
+        let mut ranked: Vec<(ObjectId, u64)> =
+            self.popularity.iter().map(|(o, c)| (*o, *c)).collect();
+        ranked.sort_unstable_by_key(|(o, c)| (std::cmp::Reverse(*c), o.key()));
+        let mut out = Vec::with_capacity(k);
+        for (o, _) in ranked {
+            if out.len() >= k {
+                break;
+            }
+            // Reuse Algorithm 3's holder choice for a live provider.
+            if let DirDecision::ToHolder(h) = self.process(rng, o, NodeId(u32::MAX), 0, 0) {
+                out.push((o, h));
+            }
+        }
+        for c in self.popularity.values_mut() {
+            *c /= 2;
+        }
+        self.popularity.retain(|_, c| *c > 0);
+        out
+    }
+
+    /// Bloom summary over every object currently indexed.
+    pub fn build_summary(&self) -> ContentSummary {
+        let mut s = ContentSummary::empty(self.summary_capacity);
+        for e in self.index.values() {
+            for o in &e.objects {
+                s.insert(*o);
+            }
+        }
+        s
+    }
+
+    /// A view seed for a joining client: up to `n` members (the
+    /// youngest entries first — most likely alive).
+    pub fn view_seed(&self, n: usize, exclude: NodeId) -> Vec<NodeId> {
+        let mut members: Vec<(&NodeId, &DirEntry)> =
+            self.index.iter().filter(|(p, _)| **p != exclude).collect();
+        members.sort_by_key(|(p, e)| (e.age, p.0));
+        members.into_iter().take(n).map(|(p, _)| *p).collect()
+    }
+
+    /// Seed the index from a gossip view after a §5.2 takeover: the
+    /// new directory knows members and their summaries, but not their
+    /// exact object lists yet.
+    pub fn seed_from_view<'a>(
+        &mut self,
+        entries: impl IntoIterator<Item = (NodeId, Option<&'a ContentSummary>)>,
+    ) {
+        for (peer, summary) in entries {
+            if self.is_full() || self.index.contains_key(&peer) {
+                continue;
+            }
+            let mut e = DirEntry::fresh();
+            e.summary = summary.cloned();
+            self.index.insert(peer, e);
+        }
+    }
+
+    /// Install a snapshot received in a voluntary hand-off (§5.2).
+    pub fn install_snapshot(&mut self, entries: Vec<(NodeId, u32, Vec<ObjectId>)>) {
+        self.index.clear();
+        self.total_indexed = 0;
+        for (peer, age, objects) in entries {
+            let mut e = DirEntry::fresh();
+            e.age = age;
+            self.total_indexed += objects.len();
+            e.objects = objects.into_iter().collect();
+            self.index.insert(peer, e);
+        }
+    }
+
+    /// Export the index for a voluntary hand-off (§5.2), in
+    /// deterministic (node-id) order.
+    pub fn snapshot(&self) -> Vec<(NodeId, u32, Vec<ObjectId>)> {
+        let mut snap: Vec<(NodeId, u32, Vec<ObjectId>)> = self
+            .index
+            .iter()
+            .map(|(p, e)| {
+                let mut objs: Vec<ObjectId> = e.objects.iter().copied().collect();
+                objs.sort_unstable();
+                (*p, e.age, objs)
+            })
+            .collect();
+        snap.sort_unstable_by_key(|(p, _, _)| p.0);
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dir() -> DirectoryState {
+        DirectoryState::new(WebsiteId(1), Locality(0), 3, 5, 100)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    const O1: ObjectId = ObjectId(11);
+    const O2: ObjectId = ObjectId(22);
+
+    #[test]
+    fn algorithm3_prefers_index_then_summaries_then_server() {
+        let mut d = dir();
+        let mut r = rng();
+        // Empty: server.
+        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToServer);
+        // Neighbour summary knows O1: directory redirect.
+        let mut s = ContentSummary::empty(100);
+        s.insert(O1);
+        d.update_neighbor_summary(NeighborSummary {
+            dir: NodeId(50),
+            locality: Locality(1),
+            dir_id: ChordId(5),
+            summary: s,
+        });
+        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToDirectory(NodeId(50)));
+        // Local holder wins over the summary.
+        assert!(d.admit_or_refresh(NodeId(1), O1));
+        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToHolder(NodeId(1)));
+    }
+
+    #[test]
+    fn dir_hop_budget_disables_summary_redirect() {
+        let mut d = dir();
+        let mut r = rng();
+        let mut s = ContentSummary::empty(100);
+        s.insert(O1);
+        d.update_neighbor_summary(NeighborSummary {
+            dir: NodeId(50),
+            locality: Locality(1),
+            dir_id: ChordId(5),
+            summary: s,
+        });
+        // Budget exhausted → server, not another directory.
+        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 1), DirDecision::ToServer);
+    }
+
+    #[test]
+    fn querying_peer_is_never_its_own_holder() {
+        let mut d = dir();
+        let mut r = rng();
+        assert!(d.admit_or_refresh(NodeId(1), O1));
+        assert_eq!(d.process(&mut r, O1, NodeId(1), 1, 0), DirDecision::ToServer);
+    }
+
+    #[test]
+    fn load_spreads_over_holders() {
+        let mut d = DirectoryState::new(WebsiteId(1), Locality(0), 10, 5, 100);
+        let mut r = rng();
+        for p in 0..5u32 {
+            assert!(d.admit_or_refresh(NodeId(p), O1));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            if let DirDecision::ToHolder(h) = d.process(&mut r, O1, NodeId(99), 1, 0) {
+                seen.insert(h);
+            }
+        }
+        assert_eq!(seen.len(), 5, "redirections must hit every holder");
+    }
+
+    #[test]
+    fn capacity_blocks_admission_but_not_refresh() {
+        let mut d = dir(); // capacity 3
+        assert!(d.admit_or_refresh(NodeId(1), O1));
+        assert!(d.admit_or_refresh(NodeId(2), O1));
+        assert!(d.admit_or_refresh(NodeId(3), O1));
+        assert!(d.is_full());
+        assert!(!d.admit_or_refresh(NodeId(4), O1), "full overlay rejects new peers");
+        assert!(d.admit_or_refresh(NodeId(1), O2), "members always refresh");
+        assert_eq!(d.overlay_size(), 3);
+    }
+
+    #[test]
+    fn tick_ages_and_evicts_at_tdead() {
+        let mut d = dir(); // Tdead = 5
+        d.admit_or_refresh(NodeId(1), O1);
+        d.admit_or_refresh(NodeId(2), O1);
+        for _ in 0..4 {
+            assert!(d.tick().is_empty());
+        }
+        // Keepalive saves peer 2.
+        d.keepalive(NodeId(2));
+        let dead = d.tick();
+        assert_eq!(dead, vec![NodeId(1)]);
+        assert!(!d.contains(NodeId(1)));
+        assert!(d.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn push_updates_entry_and_age() {
+        let mut d = dir();
+        d.admit_or_refresh(NodeId(1), O1);
+        d.tick();
+        d.apply_push(NodeId(1), &[O2], &[O1]);
+        let mut r = rng();
+        assert_eq!(d.process(&mut r, O2, NodeId(99), 1, 0), DirDecision::ToHolder(NodeId(1)));
+        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToServer);
+    }
+
+    #[test]
+    fn stale_holders_are_skipped() {
+        let mut d = dir();
+        let mut r = rng();
+        d.admit_or_refresh(NodeId(1), O1);
+        for _ in 0..5 {
+            d.tick(); // evicts at age 5
+        }
+        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToServer);
+    }
+
+    #[test]
+    fn summary_refresh_threshold() {
+        let mut d = DirectoryState::new(WebsiteId(1), Locality(0), 100, 5, 100);
+        for p in 0..10u32 {
+            d.admit_or_refresh(NodeId(p), ObjectId(p as u64));
+        }
+        // 10 new / 10 total = 1.0 ≥ 0.5 → refresh.
+        let s = d.take_summary_refresh(0.5).expect("refresh due");
+        assert!(s.might_contain(ObjectId(3)));
+        // Counter reset: no refresh until enough new changes.
+        assert!(d.take_summary_refresh(0.5).is_none());
+        d.admit_or_refresh(NodeId(0), ObjectId(100));
+        // 1 new / 11 total < 0.5.
+        assert!(d.take_summary_refresh(0.5).is_none());
+        assert!(d.take_summary_refresh(0.05).is_some());
+    }
+
+    #[test]
+    fn view_seed_prefers_young_entries() {
+        let mut d = DirectoryState::new(WebsiteId(1), Locality(0), 100, 10, 100);
+        d.admit_or_refresh(NodeId(1), O1);
+        d.tick();
+        d.tick();
+        d.admit_or_refresh(NodeId(2), O1); // younger
+        let seed = d.view_seed(1, NodeId(99));
+        assert_eq!(seed, vec![NodeId(2)]);
+        // exclusion works
+        assert_eq!(d.view_seed(5, NodeId(2)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn takeover_seeding_answers_from_summaries() {
+        let mut d = dir();
+        let mut r = rng();
+        let mut s = ContentSummary::empty(100);
+        s.insert(O1);
+        d.seed_from_view([(NodeId(7), Some(&s)), (NodeId(8), None)]);
+        assert_eq!(d.overlay_size(), 2);
+        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToHolder(NodeId(7)));
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut d = dir();
+        d.admit_or_refresh(NodeId(1), O1);
+        d.admit_or_refresh(NodeId(1), O2);
+        d.tick();
+        let snap = d.snapshot();
+        let mut d2 = dir();
+        d2.install_snapshot(snap);
+        assert!(d2.contains(NodeId(1)));
+        let mut r = rng();
+        assert_eq!(d2.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToHolder(NodeId(1)));
+    }
+
+    #[test]
+    fn remove_entry_after_redirection_failure() {
+        let mut d = dir();
+        d.admit_or_refresh(NodeId(1), O1);
+        assert!(d.remove_entry(NodeId(1)));
+        assert!(!d.remove_entry(NodeId(1)));
+        assert!(!d.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn neighbor_summary_replaced_not_duplicated() {
+        let mut d = dir();
+        let mk = |o: ObjectId| {
+            let mut s = ContentSummary::empty(100);
+            s.insert(o);
+            NeighborSummary {
+                dir: NodeId(50),
+                locality: Locality(1),
+                dir_id: ChordId(5),
+                summary: s,
+            }
+        };
+        d.update_neighbor_summary(mk(O1));
+        d.update_neighbor_summary(mk(O2));
+        assert_eq!(d.neighbor_summaries().len(), 1);
+        assert!(d.neighbor_summaries()[0].summary.might_contain(O2));
+    }
+}

@@ -1,0 +1,257 @@
+//! D-ring key management (§3.1, Figures 2–3) and the §5.3 scale-up
+//! extension.
+//!
+//! A D-ring peer identifier packs, from most to least significant:
+//!
+//! ```text
+//! | website ID (m2 bits) | locality ID (m1 bits) | instance (b bits) |
+//! ```
+//!
+//! * the **website ID** is `hash(ws)` truncated to `m2 = m − m1 − b`
+//!   bits, so all directory peers of a website share a prefix and are
+//!   therefore *neighbours on the ring* — the property Algorithm 2
+//!   and the directory-summary design rely on;
+//! * the **locality ID** enumerates the `k` localities, so the
+//!   directory peers of one website appear in locality order
+//!   (Figure 3);
+//! * the **instance** bits implement §5.3's extension ("the peer ID
+//!   should be extended by adding b extra bits at the end") allowing
+//!   several directory peers — each with its own content overlay —
+//!   per (website, locality). The paper's base design has `b = 0`.
+//!
+//! A query for website `ws` from locality `loc` is routed with the key
+//! `key(ws, loc)` instead of an object key: the DHT then lands exactly
+//! on `d_{ws,loc}` when it is alive, and near it otherwise.
+
+use chord::{hash64, ChordId};
+use simnet::Locality;
+use workload::WebsiteId;
+
+/// The bit layout of D-ring identifiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyScheme {
+    /// Locality bits `m1`.
+    pub locality_bits: u32,
+    /// Instance bits `b` (§5.3 extension; 0 in the base design).
+    pub instance_bits: u32,
+}
+
+impl KeyScheme {
+    /// A scheme with `m1` locality bits and `b` instance bits.
+    pub fn new(locality_bits: u32, instance_bits: u32) -> Self {
+        assert!(locality_bits >= 1, "need at least one locality bit");
+        assert!(
+            locality_bits + instance_bits < ChordId::BITS - 8,
+            "website segment too small"
+        );
+        KeyScheme { locality_bits, instance_bits }
+    }
+
+    /// Website bits `m2 = m − m1 − b`.
+    pub fn website_bits(&self) -> u32 {
+        ChordId::BITS - self.locality_bits - self.instance_bits
+    }
+
+    /// Number of representable localities.
+    pub fn max_localities(&self) -> usize {
+        1usize << self.locality_bits
+    }
+
+    /// Number of directory instances per (website, locality)
+    /// (1 in the base design).
+    pub fn instances(&self) -> usize {
+        1usize << self.instance_bits
+    }
+
+    /// The website segment of the identifier space for `ws`:
+    /// `hash(ws)` truncated to `m2` bits (the paper's `hash(ws)` into
+    /// the subspace `S'`).
+    pub fn website_segment(&self, ws: WebsiteId) -> u64 {
+        hash64((ws.0 as u64) ^ 0x5EED_F10E_12_00) >> (self.locality_bits + self.instance_bits)
+    }
+
+    /// The D-ring peer ID / search key for `d_{ws,loc}` (base design,
+    /// instance 0).
+    pub fn key(&self, ws: WebsiteId, loc: Locality) -> ChordId {
+        self.key_with_instance(ws, loc, 0)
+    }
+
+    /// The §5.3 extended key for a specific directory instance.
+    pub fn key_with_instance(&self, ws: WebsiteId, loc: Locality, instance: u32) -> ChordId {
+        assert!((loc.idx()) < self.max_localities(), "locality does not fit m1 bits");
+        assert!((instance as usize) < self.instances(), "instance does not fit b bits");
+        let w = self.website_segment(ws);
+        ChordId(
+            (w << (self.locality_bits + self.instance_bits))
+                | ((loc.0 as u64) << self.instance_bits)
+                | instance as u64,
+        )
+    }
+
+    /// Extract the website segment of an identifier.
+    pub fn website_of(&self, id: ChordId) -> u64 {
+        id.0 >> (self.locality_bits + self.instance_bits)
+    }
+
+    /// Extract the locality of an identifier.
+    pub fn locality_of(&self, id: ChordId) -> Locality {
+        Locality(((id.0 >> self.instance_bits) & ((1 << self.locality_bits) - 1)) as u16)
+    }
+
+    /// Extract the instance index of an identifier.
+    pub fn instance_of(&self, id: ChordId) -> u32 {
+        (id.0 & ((1 << self.instance_bits) - 1)) as u32
+    }
+
+    /// Do two identifiers belong to the same website? (The check of
+    /// Algorithm 2.)
+    pub fn same_website(&self, a: ChordId, b: ChordId) -> bool {
+        self.website_of(a) == self.website_of(b)
+    }
+}
+
+impl Default for KeyScheme {
+    fn default() -> Self {
+        KeyScheme::new(8, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> KeyScheme {
+        KeyScheme::new(8, 0)
+    }
+
+    #[test]
+    fn roundtrip_website_and_locality() {
+        let s = scheme();
+        for ws in [0u16, 1, 42, 99] {
+            for loc in [0u16, 1, 5] {
+                let key = s.key(WebsiteId(ws), Locality(loc));
+                assert_eq!(s.locality_of(key), Locality(loc));
+                assert_eq!(s.website_of(key), s.website_segment(WebsiteId(ws)));
+            }
+        }
+    }
+
+    #[test]
+    fn same_website_keys_are_ring_neighbours() {
+        // Directory peers of one website have consecutive ids
+        // (Figure 3: "they have successive peer IDs").
+        let s = scheme();
+        let ws = WebsiteId(7);
+        let k0 = s.key(ws, Locality(0));
+        let k1 = s.key(ws, Locality(1));
+        let k5 = s.key(ws, Locality(5));
+        assert_eq!(k1.0 - k0.0, 1);
+        assert_eq!(k5.0 - k0.0, 5);
+        assert!(s.same_website(k0, k5));
+    }
+
+    #[test]
+    fn different_websites_differ() {
+        let s = scheme();
+        let a = s.key(WebsiteId(1), Locality(0));
+        let b = s.key(WebsiteId(2), Locality(0));
+        assert!(!s.same_website(a, b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn website_segments_collision_free_for_paper_scale() {
+        let s = scheme();
+        let mut seen = std::collections::HashSet::new();
+        for ws in 0..100u16 {
+            assert!(
+                seen.insert(s.website_segment(WebsiteId(ws))),
+                "website hash collision at {ws} (56-bit space)"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_up_extension_keys() {
+        // §5.3: b = 2 → 4 directory peers per (website, locality),
+        // all sharing the website+locality prefix.
+        let s = KeyScheme::new(8, 2);
+        let ws = WebsiteId(3);
+        let loc = Locality(4);
+        let keys: Vec<ChordId> = (0..4).map(|i| s.key_with_instance(ws, loc, i)).collect();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(s.locality_of(*k), loc);
+            assert_eq!(s.instance_of(*k), i as u32);
+            assert!(s.same_website(keys[0], *k));
+        }
+        // Consecutive instances are consecutive ids.
+        assert_eq!(keys[1].0 - keys[0].0, 1);
+        // Next locality starts right after the last instance.
+        let next_loc = s.key_with_instance(ws, Locality(5), 0);
+        assert_eq!(next_loc.0 - keys[3].0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit m1")]
+    fn oversized_locality_rejected() {
+        let s = KeyScheme::new(2, 0);
+        let _ = s.key(WebsiteId(0), Locality(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit b")]
+    fn oversized_instance_rejected() {
+        let s = KeyScheme::new(8, 1);
+        let _ = s.key_with_instance(WebsiteId(0), Locality(0), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Key packing round-trips locality and instance for any
+        /// scheme geometry.
+        #[test]
+        fn pack_unpack_roundtrip(
+            m1 in 1u32..12,
+            b in 0u32..4,
+            ws in 0u16..1000,
+            loc_raw in 0u16..4096,
+            inst_raw in 0u32..16,
+        ) {
+            let s = KeyScheme::new(m1, b);
+            let loc = Locality(loc_raw % s.max_localities() as u16);
+            let inst = inst_raw % s.instances() as u32;
+            let key = s.key_with_instance(WebsiteId(ws), loc, inst);
+            prop_assert_eq!(s.locality_of(key), loc);
+            prop_assert_eq!(s.instance_of(key), inst);
+            prop_assert_eq!(s.website_of(key), s.website_segment(WebsiteId(ws)));
+        }
+
+        /// All keys of one website form one contiguous id block of
+        /// size k·instances — they are mutual ring neighbours.
+        #[test]
+        fn website_block_contiguous(m1 in 1u32..10, b in 0u32..3, ws in 0u16..500) {
+            let s = KeyScheme::new(m1, b);
+            let k = s.max_localities().min(8);
+            let mut prev: Option<u64> = None;
+            for loc in 0..k as u16 {
+                for inst in 0..s.instances().min(4) as u32 {
+                    let key = s.key_with_instance(WebsiteId(ws), Locality(loc), inst).0;
+                    if let Some(p) = prev {
+                        if inst == 0 && s.instances() > 4 {
+                            // skipped instances; only check monotonicity
+                            prop_assert!(key > p);
+                        } else {
+                            prop_assert!(key > p);
+                        }
+                    }
+                    prev = Some(key);
+                }
+            }
+        }
+    }
+}

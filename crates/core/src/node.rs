@@ -1,0 +1,1382 @@
+//! The Flower-CDN protocol node: one state machine per underlay node,
+//! combining up to three roles:
+//!
+//! * **directory peer** (§3) — a D-ring member with a Chord state and
+//!   a [`DirectoryState`], processing queries per Algorithm 3;
+//! * **content peer** (§4) — one [`ContentPeerState`] per supported
+//!   website, gossiping, pushing and answering fetches;
+//! * **origin server** — the website's web server, the fallback
+//!   provider (always has every object of its site).
+//!
+//! Plus the client behaviour: submitting queries, collecting served
+//! objects, joining overlays, and — per §5 — reacting to redirection
+//! failures, directory failures (detection, jittered replacement,
+//! conflict resolution) and locality changes.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bloom::ObjectId;
+use chord::{
+    ChordConfig, ChordMsg, ChordOutcome, ChordState, PeerRef, RoutePayload, Transport,
+};
+use gossip::PushPolicy;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use simnet::{Ctx, Event, Locality, NodeId, SimDuration, SimTime};
+use simnet::stats::ServedBy;
+use workload::{Catalog, WebsiteId};
+
+use crate::config::FlowerConfig;
+use crate::content::ContentPeerState;
+use crate::directory::{DirDecision, DirectoryState, NeighborSummary};
+use crate::id::KeyScheme;
+use crate::msg::{FlowerMsg, IndexSnapshotEntry, ProviderKind, Query};
+use crate::policy::DringPolicy;
+
+/// Timer kinds used by [`FlowerNode`].
+pub mod timers {
+    /// Gossip period elapsed for a content role (tag = website).
+    pub const GOSSIP: u16 = 1;
+    /// Keepalive period elapsed for a content role (tag = website).
+    pub const KEEPALIVE: u16 = 2;
+    /// Directory age tick (Algorithm 6 active behaviour).
+    pub const DIR_TICK: u16 = 3;
+    /// Chord stabilization tick.
+    pub const STABILIZE: u16 = 4;
+    /// Chord finger-repair tick.
+    pub const FIX_FINGER: u16 = 5;
+    /// Jittered directory-replacement attempt (tag = website; §5.2).
+    pub const REPLACE_DIR: u16 = 6;
+    /// Watchdog for an in-flight §5.2 replacement join (tag =
+    /// website): retries the join or stands down if a winner emerged.
+    pub const JOIN_RETRY: u16 = 7;
+    /// §8 active-replication round at a directory peer.
+    pub const REPLICATE: u16 = 8;
+}
+
+/// Deployment-wide shared knowledge (who the origin servers are, how
+/// to reach the D-ring). Everything here is public information a real
+/// deployment would ship in client configuration.
+#[derive(Debug)]
+pub struct Deployment {
+    /// Protocol parameters.
+    pub cfg: FlowerConfig,
+    /// The website/object universe.
+    pub catalog: Catalog,
+    /// The D-ring key layout.
+    pub scheme: KeyScheme,
+    /// Origin server node of each website (indexed by website id).
+    pub servers: Vec<NodeId>,
+    /// Well-known D-ring entry points for new clients and for §5.2
+    /// replacement joins.
+    pub bootstrap_dirs: Vec<NodeId>,
+}
+
+impl Deployment {
+    /// The origin server of `ws`.
+    pub fn server_of(&self, ws: WebsiteId) -> NodeId {
+        self.servers[ws.idx()]
+    }
+}
+
+/// The directory role of a node.
+#[derive(Debug)]
+pub struct DirRole {
+    /// D-ring position and routing state.
+    pub chord: ChordState,
+    /// The directory itself.
+    pub dir: DirectoryState,
+    /// True while a §5.2 replacement join is still in flight.
+    pub joining: bool,
+}
+
+/// A query this node originated and is still waiting on.
+#[derive(Debug, Clone, Default)]
+struct PendingQuery {
+    /// Summary candidates already probed (includes bounced peers).
+    tried: Vec<NodeId>,
+}
+
+/// The per-node protocol state machine. Implements
+/// [`simnet::Node<FlowerMsg>`].
+pub struct FlowerNode {
+    shared: Rc<Deployment>,
+    /// §5.4: a peer may detect a locality different from the
+    /// topology's initial assignment.
+    locality_override: Option<Locality>,
+    /// The directory role, if this node is (or is becoming) a
+    /// directory peer.
+    pub(crate) dir_role: Option<DirRole>,
+    /// Content-peer roles by website.
+    pub(crate) content: HashMap<WebsiteId, ContentPeerState>,
+    /// Which website this node is the origin server of.
+    server_for: Option<WebsiteId>,
+    /// Queries in flight that we originated.
+    pending: HashMap<u64, PendingQuery>,
+    /// Objects served before the admission decision arrived.
+    parked_objects: HashMap<WebsiteId, Vec<ObjectId>>,
+    /// Websites for which a replacement attempt is scheduled/running.
+    replacing: std::collections::HashSet<WebsiteId>,
+    /// Monotonic counters (observability / tests).
+    pub stats: NodeCounters,
+}
+
+/// Per-node protocol counters, exposed for tests and harnesses.
+#[derive(Debug, Default, Clone)]
+pub struct NodeCounters {
+    /// Queries this node submitted.
+    pub queries_submitted: u64,
+    /// Queries answered from the node's own cache.
+    pub self_hits: u64,
+    /// Objects this node served to other peers.
+    pub serves: u64,
+    /// Queries this node served as an origin server.
+    pub server_hits: u64,
+    /// Gossip exchanges initiated.
+    pub gossips_started: u64,
+    /// Pushes sent.
+    pub pushes_sent: u64,
+    /// Directory replacements completed by this node.
+    pub replacements_won: u64,
+    /// Directory replacement attempts abandoned (someone else won).
+    pub replacements_lost: u64,
+}
+
+/// Adapter exposing the simulator context as a Chord transport.
+struct CtxTransport<'a, 'b> {
+    ctx: &'a mut Ctx<'b, FlowerMsg>,
+}
+
+impl Transport<Query> for CtxTransport<'_, '_> {
+    fn send_chord(&mut self, to: NodeId, msg: ChordMsg<Query>) {
+        self.ctx.send(to, FlowerMsg::Chord(msg));
+    }
+}
+
+impl FlowerNode {
+    /// A plain client node.
+    pub fn client(shared: Rc<Deployment>) -> Self {
+        FlowerNode {
+            shared,
+            locality_override: None,
+            dir_role: None,
+            content: HashMap::new(),
+            server_for: None,
+            pending: HashMap::new(),
+            parked_objects: HashMap::new(),
+            replacing: Default::default(),
+            stats: NodeCounters::default(),
+        }
+    }
+
+    /// An origin-server node for `ws`.
+    pub fn server(shared: Rc<Deployment>, ws: WebsiteId) -> Self {
+        let mut n = Self::client(shared);
+        n.server_for = Some(ws);
+        n
+    }
+
+    /// A directory-peer node for `(ws, loc)` with a pre-installed
+    /// Chord state (the paper's evaluation starts from a stable
+    /// D-ring).
+    pub fn directory(shared: Rc<Deployment>, ws: WebsiteId, loc: Locality, chord: ChordState) -> Self {
+        let dir = DirectoryState::new(
+            ws,
+            loc,
+            shared.cfg.max_overlay,
+            shared.cfg.t_dead,
+            shared.catalog.objects_per_website(),
+        );
+        let mut n = Self::client(shared);
+        n.dir_role = Some(DirRole { chord, dir, joining: false });
+        n
+    }
+
+    /// Is this node currently a directory peer?
+    pub fn is_directory(&self) -> bool {
+        self.dir_role.as_ref().is_some_and(|r| !r.joining)
+    }
+
+    /// The directory role, if any.
+    pub fn dir_role(&self) -> Option<&DirRole> {
+        self.dir_role.as_ref()
+    }
+
+    /// Is this node a content peer of `ws`?
+    pub fn is_content_peer(&self, ws: WebsiteId) -> bool {
+        self.content.contains_key(&ws)
+    }
+
+    /// The content role for `ws`, if any.
+    pub fn content_role(&self, ws: WebsiteId) -> Option<&ContentPeerState> {
+        self.content.get(&ws)
+    }
+
+    /// Any participant role at all (content or directory)?
+    pub fn is_participant(&self) -> bool {
+        self.is_directory() || !self.content.is_empty()
+    }
+
+    /// The locality this node considers itself in (§5.4 override or
+    /// the topology's landmark measurement).
+    fn my_locality(&self, ctx: &Ctx<'_, FlowerMsg>) -> Locality {
+        self.locality_override.unwrap_or_else(|| ctx.locality(ctx.id()))
+    }
+
+    /// §5.4: the peer detects it moved to another locality. All
+    /// content roles are dropped (contacts learn via `Moved` replies);
+    /// held objects are parked so the rejoin pushes them to the new
+    /// directory. A directory role is handed off first.
+    pub fn change_locality(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, new: Locality) {
+        if let Some(role) = &self.dir_role {
+            if !role.joining {
+                self.voluntary_dir_handoff(ctx);
+            }
+        }
+        self.locality_override = Some(new);
+        let mut websites: Vec<WebsiteId> = self.content.keys().copied().collect();
+        websites.sort_unstable();
+        for ws in websites {
+            if let Some(cp) = self.content.remove(&ws) {
+                let objs: Vec<ObjectId> = cp.objects().collect();
+                self.parked_objects.entry(ws).or_default().extend(objs);
+            }
+        }
+    }
+
+    /// §5.2 voluntary leave: pick the youngest (most recently alive)
+    /// index entry and transfer the directory to it.
+    pub fn voluntary_dir_handoff(&mut self, ctx: &mut Ctx<'_, FlowerMsg>) -> Option<NodeId> {
+        let role = self.dir_role.take()?;
+        let me = ctx.id();
+        let target = role.dir.view_seed(1, me).first().copied();
+        let Some(target) = target else {
+            // Nobody to hand off to; the directory simply disappears
+            // and §5.2 crash recovery will eventually elect a peer.
+            return None;
+        };
+        let index = role
+            .dir
+            .snapshot()
+            .into_iter()
+            .map(|(peer, age, objects)| IndexSnapshotEntry { peer, age, objects })
+            .collect();
+        ctx.send(
+            target,
+            FlowerMsg::DirHandoff {
+                website: role.dir.website(),
+                locality: role.dir.locality(),
+                index,
+                successors: role.chord.successors().to_vec(),
+                predecessor: role.chord.predecessor(),
+            },
+        );
+        Some(target)
+    }
+
+    // ------------------------------------------------------------------
+    // Query origination
+    // ------------------------------------------------------------------
+
+    fn on_submit(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, qid: u64, ws: WebsiteId, object: ObjectId) {
+        self.stats.queries_submitted += 1;
+        ctx.query_stats().on_submit();
+        let me = ctx.id();
+        let query = Query {
+            id: qid,
+            origin: me,
+            origin_locality: self.my_locality(ctx),
+            website: ws,
+            object,
+            submitted_at: ctx.now(),
+            dir_hops: 0,
+            holder_retries: 0,
+        };
+
+        if let Some(cp) = self.content.get(&ws) {
+            // Content-peer path (§3.4: subsequent queries bypass D-ring).
+            if cp.has(object) {
+                // Served from the local cache: no lookup, no transfer.
+                self.content.get_mut(&ws).expect("checked").touch_object(object);
+                self.stats.self_hits += 1;
+                let now = ctx.now();
+                ctx.query_stats().on_resolved(now, 0, 0, ServedBy::OwnCache);
+                return;
+            }
+            let candidates = cp.summary_candidates(object, &[]);
+            if let Some(target) = candidates.first().copied() {
+                self.pending.insert(qid, PendingQuery { tried: vec![target] });
+                ctx.send(target, FlowerMsg::PeerFetch { query });
+                return;
+            }
+            // §3.4: members use the content overlay *instead of* the
+            // D-ring; with no summary match the query leaves the P2P
+            // system (unless the dir-fallback variant is enabled).
+            self.pending.insert(qid, PendingQuery::default());
+            if self.shared.cfg.member_dir_fallback {
+                if let Some(dir) = cp.directory() {
+                    ctx.send(dir, FlowerMsg::ClientQuery { query });
+                    return;
+                }
+            }
+            ctx.send(self.shared.server_of(ws), FlowerMsg::ServerQuery { query });
+            return;
+        }
+
+        // New-client path: route through the D-ring (§3.4).
+        self.pending.insert(qid, PendingQuery::default());
+        self.route_via_dring(ctx, query);
+    }
+
+    /// Route a query into the D-ring toward `d_{ws,loc}`.
+    fn route_via_dring(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, query: Query) {
+        let key = self.shared.scheme.key(query.website, query.origin_locality);
+        // If we are ourselves on the D-ring (and fully joined), route
+        // from here; a node mid-join has no usable routing state yet.
+        if self.dir_role.as_ref().is_some_and(|r| !r.joining) {
+            let policy = DringPolicy::new(self.shared.scheme);
+            let role = self.dir_role.as_mut().expect("checked");
+            let mut t = CtxTransport { ctx };
+            if let Some(outcome) = chord::start_route(&mut role.chord, &mut t, key, query, &policy)
+            {
+                self.on_chord_outcome(ctx, outcome);
+            }
+            return;
+        }
+        // Otherwise enter through a random well-known directory peer.
+        let entry = *self
+            .shared
+            .bootstrap_dirs
+            .choose(ctx.rng())
+            .expect("deployment has at least one bootstrap directory");
+        ctx.send(
+            entry,
+            FlowerMsg::Chord(ChordMsg::Route { key, hops: 0, payload: RoutePayload::App(query) }),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Directory-side query processing (Algorithm 3)
+    // ------------------------------------------------------------------
+
+    fn dir_process_query(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, query: Query) {
+        let me = ctx.id();
+        let Some(role) = &mut self.dir_role else {
+            // Not a directory (e.g. we abdicated moments ago): let the
+            // origin server handle it rather than dropping the query.
+            ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query });
+            return;
+        };
+        if role.dir.website() != query.website {
+            // Cross-website delivery can only happen when the whole
+            // website block is absent from D-ring; fall back (§3.4).
+            ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query });
+            return;
+        }
+
+        // Optimistic admission (§3.4) happens at the origin's own
+        // locality directory only.
+        let admits_here =
+            role.dir.locality() == query.origin_locality && !role.dir.contains(query.origin);
+        role.dir.note_request(query.object);
+        let max_hops = self.shared.cfg.max_dir_hops;
+        let decision =
+            role.dir.process(ctx.rng(), query.object, query.origin, max_hops, query.dir_hops);
+        if role.dir.locality() == query.origin_locality {
+            let admitted = role.dir.admit_or_refresh(query.origin, query.object);
+            if admits_here {
+                let view_seed = role.dir.view_seed(8, query.origin);
+                ctx.send(
+                    query.origin,
+                    FlowerMsg::Admission {
+                        website: query.website,
+                        locality: role.dir.locality(),
+                        admitted,
+                        dir: me,
+                        view_seed,
+                    },
+                );
+            }
+        }
+        match decision {
+            DirDecision::ToHolder(h) => ctx.send(h, FlowerMsg::RedirectToHolder { query }),
+            DirDecision::ToDirectory(d) => {
+                let mut q = query;
+                q.dir_hops += 1;
+                ctx.send(d, FlowerMsg::SummaryRedirect { query: q });
+            }
+            DirDecision::ToServer => {
+                ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query })
+            }
+        }
+        self.maybe_broadcast_summary(ctx);
+    }
+
+    /// §4.2.1: if enough of the index changed, send a refreshed
+    /// directory summary to the same-website directory peers we know
+    /// through the routing table.
+    fn maybe_broadcast_summary(&mut self, ctx: &mut Ctx<'_, FlowerMsg>) {
+        let scheme = self.shared.scheme;
+        let threshold = self.shared.cfg.summary_refresh_threshold;
+        let Some(role) = &mut self.dir_role else { return };
+        let Some(summary) = role.dir.take_summary_refresh(threshold) else { return };
+        let my_id = role.chord.id();
+        let me = role.chord.me().node;
+        let ws = role.dir.website();
+        let loc = role.dir.locality();
+        let neighbours: Vec<NodeId> = role
+            .chord
+            .known_peers()
+            .into_iter()
+            .filter(|p| p.node != me && scheme.same_website(p.id, my_id))
+            .map(|p| p.node)
+            .collect();
+        for n in neighbours {
+            ctx.send(
+                n,
+                FlowerMsg::DirSummary {
+                    website: ws,
+                    locality: loc,
+                    dir_id: my_id,
+                    summary: summary.clone(),
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Serving
+    // ------------------------------------------------------------------
+
+    /// Serve `query` from this node's cache (content peer) or as the
+    /// origin server.
+    fn serve(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, query: Query, provider: ProviderKind) {
+        let size = self.shared.catalog.object_size(query.object);
+        let view_seed = match provider {
+            ProviderKind::ContentPeer => {
+                self.stats.serves += 1;
+                self.content
+                    .get(&query.website)
+                    .map(|cp| {
+                        cp.view()
+                            .select_subset(ctx.rng(), 8)
+                            .into_iter()
+                            .map(|e| e.peer)
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            }
+            ProviderKind::OriginServer => {
+                self.stats.server_hits += 1;
+                ctx.gauge("server_load", 1.0);
+                Vec::new()
+            }
+        };
+        let now = ctx.now();
+        ctx.send(
+            query.origin,
+            FlowerMsg::ServeObject { query, resolved_at: now, provider, size, view_seed },
+        );
+    }
+
+    fn on_serve_object(
+        &mut self,
+        ctx: &mut Ctx<'_, FlowerMsg>,
+        from: NodeId,
+        query: Query,
+        resolved_at: SimTime,
+        provider: ProviderKind,
+        view_seed: Vec<NodeId>,
+    ) {
+        if self.pending.remove(&query.id).is_none() {
+            // Duplicate serve (e.g. a retry raced a slow holder): the
+            // metrics already counted this query.
+            return;
+        }
+        let me = ctx.id();
+        let lookup_ms = resolved_at.since(query.submitted_at).as_ms();
+        let transfer_ms = ctx.latency_ms(me, from);
+        let served_by = match provider {
+            ProviderKind::OriginServer => ServedBy::OriginServer,
+            ProviderKind::ContentPeer => {
+                if ctx.locality(from) == self.my_locality(ctx) {
+                    ServedBy::LocalOverlay
+                } else {
+                    ServedBy::RemoteOverlay
+                }
+            }
+        };
+        let now = ctx.now();
+        ctx.query_stats().on_resolved(now, lookup_ms, transfer_ms, served_by);
+
+        // Keep the object (§4.1: "after being served, p keeps its copy
+        // of o for subsequent requests").
+        let provider_locality = ctx.locality(from);
+        if let Some(cp) = self.content.get_mut(&query.website) {
+            cp.insert_object(query.object);
+            // View seeds only make sense from our own overlay (§4.2:
+            // the serving peer A and the client F share an overlay);
+            // a remote-overlay or server provider contributes none.
+            if !view_seed.is_empty() && provider_locality == cp.locality() {
+                cp.seed_view(&view_seed, me);
+            }
+            self.maybe_push(ctx, query.website);
+        } else {
+            // Not (yet) a member: park until the admission decision.
+            let parked = self.parked_objects.entry(query.website).or_default();
+            if !parked.contains(&query.object) {
+                parked.push(query.object);
+            }
+            if !view_seed.is_empty() {
+                // Remember contacts for the moment we join.
+                // (Seeding happens in on_admission.)
+            }
+        }
+    }
+
+    fn on_admission(
+        &mut self,
+        ctx: &mut Ctx<'_, FlowerMsg>,
+        ws: WebsiteId,
+        locality: Locality,
+        admitted: bool,
+        dir: NodeId,
+        view_seed: Vec<NodeId>,
+    ) {
+        if !admitted {
+            self.parked_objects.remove(&ws);
+            return;
+        }
+        let me = ctx.id();
+        let cfg = &self.shared.cfg;
+        // A stale admission from an overlay we no longer belong to
+        // (e.g. after a §5.4 move) must not resurrect the old role.
+        if locality != self.my_locality(ctx) {
+            return;
+        }
+        // An admission into a different locality's overlay than the
+        // role we hold means we moved: start a fresh role.
+        if self.content.get(&ws).is_some_and(|cp| cp.locality() != locality) {
+            self.content.remove(&ws);
+        }
+        let is_new = !self.content.contains_key(&ws);
+        let cp = self.content.entry(ws).or_insert_with(|| {
+            ContentPeerState::with_cache(
+                ws,
+                locality,
+                cfg.v_gossip,
+                self.shared.catalog.objects_per_website(),
+                crate::cache::CacheManager::new(
+                    cfg.cache_policy,
+                    cfg.cache_capacity.max(1),
+                ),
+            )
+        });
+        cp.set_directory(dir);
+        cp.seed_view(&view_seed, me);
+        if let Some(parked) = self.parked_objects.remove(&ws) {
+            for o in parked {
+                cp.insert_object(o);
+            }
+        }
+        if is_new {
+            // One sample per join: integrating this gauge over time
+            // gives the participant count for Figure 5.
+            ctx.gauge("joins", 1.0);
+            // Stagger periodic behaviour so overlays do not beat in
+            // lock-step.
+            let g = ctx.rng().gen_range(0..cfg.t_gossip.as_ms().max(1));
+            ctx.set_timer(SimDuration::from_ms(g), timers::GOSSIP, ws.0 as u64);
+            let k = ctx.rng().gen_range(0..cfg.keepalive_period.as_ms().max(1));
+            ctx.set_timer(SimDuration::from_ms(k), timers::KEEPALIVE, ws.0 as u64);
+        }
+        self.maybe_push(ctx, ws);
+    }
+
+    // ------------------------------------------------------------------
+    // Gossip & push (Algorithms 4–6)
+    // ------------------------------------------------------------------
+
+    fn on_gossip_timer(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, ws: WebsiteId) {
+        let l_gossip = self.shared.cfg.l_gossip;
+        let t_gossip = self.shared.cfg.t_gossip;
+        let Some(cp) = self.content.get_mut(&ws) else { return };
+        if let Some(target) = cp.gossip_tick() {
+            let payload = cp.build_gossip(ctx.rng(), l_gossip);
+            self.stats.gossips_started += 1;
+            ctx.send(target, FlowerMsg::GossipReq(payload));
+        }
+        ctx.set_timer(t_gossip, timers::GOSSIP, ws.0 as u64);
+    }
+
+    fn on_gossip_req(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, from: NodeId, payload: crate::msg::GossipPayload) {
+        let ws = payload.website;
+        let l_gossip = self.shared.cfg.l_gossip;
+        let me = ctx.id();
+        match self.content.get_mut(&ws) {
+            // Overlays are scoped by (website, locality): only
+            // same-overlay exchanges are answered.
+            Some(cp) if cp.locality() == payload.locality => {
+                let reply = cp.build_gossip(ctx.rng(), l_gossip);
+                ctx.send(from, FlowerMsg::GossipResp(reply));
+                cp.absorb_gossip(me, from, payload, self.shared.cfg.t_dead);
+                self.pin_own_directory(me, ws);
+            }
+            // We are not (any more) in this overlay: §5.4 — the
+            // contact should forget us.
+            _ => ctx.send(from, FlowerMsg::Moved { website: ws }),
+        }
+    }
+
+    /// Invariant repair: a node that *is* the directory of its
+    /// overlay must never be talked out of it by stale gossip hints
+    /// (a §5.2/§5.2-handoff heir can receive hints that still point
+    /// to its predecessor).
+    fn pin_own_directory(&mut self, me: NodeId, ws: WebsiteId) {
+        let Some(role) = &self.dir_role else { return };
+        if role.joining || role.dir.website() != ws {
+            return;
+        }
+        let loc = role.dir.locality();
+        if let Some(cp) = self.content.get_mut(&ws) {
+            if cp.locality() == loc && cp.directory() != Some(me) {
+                cp.set_directory(me);
+            }
+        }
+    }
+
+    fn maybe_push(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, ws: WebsiteId) {
+        let policy = PushPolicy::new(self.shared.cfg.push_threshold);
+        let Some(cp) = self.content.get_mut(&ws) else { return };
+        let Some(dir) = cp.directory() else { return };
+        let Some((added, removed)) = cp.take_push(policy) else { return };
+        cp.reset_dir_age();
+        self.stats.pushes_sent += 1;
+        if dir == ctx.id() {
+            // We are the directory ourselves (post-§5.2 takeover).
+            if let Some(role) = &mut self.dir_role {
+                role.dir.apply_push(dir, &added, &removed);
+            }
+            return;
+        }
+        ctx.send(dir, FlowerMsg::Push { website: ws, added, removed });
+    }
+
+    fn on_keepalive_timer(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, ws: WebsiteId) {
+        let period = self.shared.cfg.keepalive_period;
+        let me = ctx.id();
+        self.pin_own_directory(me, ws);
+        if let Some(cp) = self.content.get_mut(&ws) {
+            if let Some(dir) = cp.directory() {
+                if dir != me {
+                    // One-way probe for the *directory's* failure
+                    // detection (§5.1); it does not refresh our own
+                    // knowledge of the directory — only pushes and
+                    // gossip hints do (§4.2.1).
+                    ctx.send(dir, FlowerMsg::KeepAlive { website: ws });
+                }
+            }
+            ctx.set_timer(period, timers::KEEPALIVE, ws.0 as u64);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Directory failure handling (§5.2)
+    // ------------------------------------------------------------------
+
+    /// A message to our directory bounced: forget it and schedule a
+    /// jittered replacement attempt.
+    fn on_dir_unreachable(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, ws: WebsiteId, dead: NodeId) {
+        let jitter_ms = self.shared.cfg.dir_replacement_jitter.as_ms().max(1);
+        if let Some(cp) = self.content.get_mut(&ws) {
+            if cp.directory() == Some(dead) {
+                cp.clear_directory();
+            }
+            cp.forget_peer(dead);
+            if self.replacing.insert(ws) {
+                let j = ctx.rng().gen_range(0..jitter_ms);
+                ctx.set_timer(SimDuration::from_ms(j), timers::REPLACE_DIR, ws.0 as u64);
+            }
+        }
+    }
+
+    fn on_replace_dir_timer(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, ws: WebsiteId) {
+        self.replacing.remove(&ws);
+        let me = ctx.id();
+        let Some(cp) = self.content.get(&ws) else { return };
+        if cp.directory().is_some() {
+            // Gossip already told us about a replacement.
+            return;
+        }
+        if self.dir_role.is_some() {
+            // Base design: one D-ring position per node; leave the
+            // take-over to another overlay member.
+            return;
+        }
+        // §5.2: adopt the common key and join D-ring through a
+        // bootstrap entry.
+        let loc = self.my_locality(ctx);
+        let key = self.shared.scheme.key(ws, loc);
+        let chord = ChordState::new(PeerRef { id: key, node: me }, ChordConfig::default());
+        let dir = DirectoryState::new(
+            ws,
+            loc,
+            self.shared.cfg.max_overlay,
+            self.shared.cfg.t_dead,
+            self.shared.catalog.objects_per_website(),
+        );
+        self.dir_role = Some(DirRole { chord, dir, joining: true });
+        let entry = *self
+            .shared
+            .bootstrap_dirs
+            .choose(ctx.rng())
+            .expect("deployment has at least one bootstrap directory");
+        let role = self.dir_role.as_mut().expect("just installed");
+        let mut t = CtxTransport { ctx };
+        chord::start_join(&mut role.chord, &mut t, entry);
+        // Watchdog: lookups can be lost while the ring is healing
+        // around the dead directory; retry until we win or learn of a
+        // winner.
+        let watchdog = self.shared.cfg.keepalive_period.mul(2);
+        ctx.set_timer(watchdog, timers::JOIN_RETRY, ws.0 as u64);
+    }
+
+    /// The §5.2 join watchdog fired: stand down if a winner became
+    /// known through gossip, otherwise retry the join.
+    fn on_join_retry_timer(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, ws: WebsiteId) {
+        let me = ctx.id();
+        let Some(role) = &self.dir_role else { return };
+        if !role.joining || role.dir.website() != ws {
+            return;
+        }
+        // Did gossip tell us someone else already took the position?
+        let learned_winner = self
+            .content
+            .get(&ws)
+            .and_then(|cp| cp.directory())
+            .filter(|d| *d != me);
+        if let Some(winner) = learned_winner {
+            self.stats.replacements_lost += 1;
+            self.dir_role = None;
+            if let Some(cp) = self.content.get_mut(&ws) {
+                cp.set_directory(winner);
+            }
+            return;
+        }
+        let entry = *self
+            .shared
+            .bootstrap_dirs
+            .choose(ctx.rng())
+            .expect("deployment has at least one bootstrap directory");
+        let role = self.dir_role.as_mut().expect("checked");
+        let mut t = CtxTransport { ctx };
+        chord::start_join(&mut role.chord, &mut t, entry);
+        let watchdog = self.shared.cfg.keepalive_period.mul(2);
+        ctx.set_timer(watchdog, timers::JOIN_RETRY, ws.0 as u64);
+    }
+
+    /// The §5.2 join completed: either we own the position now, or
+    /// someone else took it first and we abdicate.
+    fn on_join_complete(&mut self, ctx: &mut Ctx<'_, FlowerMsg>) {
+        let me = ctx.id();
+        let Some(role) = &mut self.dir_role else { return };
+        if !role.joining {
+            return;
+        }
+        let my_id = role.chord.id();
+        let taken_by = role
+            .chord
+            .successor()
+            .filter(|s| s.id == my_id && s.node != me)
+            .map(|s| s.node);
+        let ws = role.dir.website();
+        if let Some(winner) = taken_by {
+            // Position already appropriated (§5.2): adopt the winner
+            // as our directory and stand down.
+            self.stats.replacements_lost += 1;
+            self.dir_role = None;
+            if let Some(cp) = self.content.get_mut(&ws) {
+                cp.set_directory(winner);
+            }
+            return;
+        }
+        role.joining = false;
+        self.stats.replacements_won += 1;
+        // Seed the new directory from our gossip view: members and
+        // their summaries ("answers first queries from its content
+        // summaries").
+        if let Some(cp) = self.content.get_mut(&ws) {
+            let entries: Vec<(NodeId, Option<&bloom::ContentSummary>)> =
+                cp.view().iter().map(|e| (e.peer, e.data.as_ref())).collect();
+            role.dir.seed_from_view(entries);
+            // Index ourselves with our own content.
+            for o in cp.objects().collect::<Vec<_>>() {
+                role.dir.admit_or_refresh(me, o);
+            }
+            cp.set_directory(me);
+        }
+        self.schedule_dir_timers(ctx);
+    }
+
+    /// Arm the periodic directory-side timers.
+    pub(crate) fn schedule_dir_timers(&mut self, ctx: &mut Ctx<'_, FlowerMsg>) {
+        let cfg = &self.shared.cfg;
+        ctx.set_timer(cfg.keepalive_period, timers::DIR_TICK, 0);
+        let s = ctx.rng().gen_range(0..cfg.stabilize_period.as_ms().max(1));
+        ctx.set_timer(SimDuration::from_ms(s), timers::STABILIZE, 0);
+        let f = ctx.rng().gen_range(0..cfg.fix_finger_period.as_ms().max(1));
+        ctx.set_timer(SimDuration::from_ms(f), timers::FIX_FINGER, 0);
+        if let Some(p) = cfg.replication_period {
+            let r = ctx.rng().gen_range(0..p.as_ms().max(1));
+            ctx.set_timer(SimDuration::from_ms(r), timers::REPLICATE, 0);
+        }
+    }
+
+    /// §8 active replication: offer our hottest objects to the
+    /// same-website neighbour directories.
+    fn on_replicate_timer(&mut self, ctx: &mut Ctx<'_, FlowerMsg>) {
+        let Some(period) = self.shared.cfg.replication_period else { return };
+        let top_k = self.shared.cfg.replication_top_k;
+        let scheme = self.shared.scheme;
+        let Some(role) = &mut self.dir_role else { return };
+        if role.joining {
+            ctx.set_timer(period, timers::REPLICATE, 0);
+            return;
+        }
+        let hot = role.dir.take_hot_objects(ctx.rng(), top_k);
+        if !hot.is_empty() {
+            let me = role.chord.me().node;
+            let my_id = role.chord.id();
+            let ws = role.dir.website();
+            let neighbours: Vec<NodeId> = role
+                .chord
+                .known_peers()
+                .into_iter()
+                .filter(|p| p.node != me && scheme.same_website(p.id, my_id))
+                .map(|p| p.node)
+                .collect();
+            for n in neighbours {
+                ctx.send(n, FlowerMsg::ReplicaOffer { website: ws, objects: hot.clone() });
+            }
+        }
+        ctx.set_timer(period, timers::REPLICATE, 0);
+    }
+
+    /// Conflict resolution for duplicate D-ring positions (two §5.2
+    /// replacements racing): the lower node id stays, the other
+    /// abdicates. Returns true if we abdicated.
+    fn resolve_position_conflict(&mut self, other: PeerRef, me: NodeId) -> bool {
+        let Some(role) = &self.dir_role else { return false };
+        if other.id != role.chord.id() || other.node == me {
+            return false;
+        }
+        if me.0 < other.node.0 {
+            return false; // we win; the other side will abdicate.
+        }
+        let ws = role.dir.website();
+        self.stats.replacements_lost += 1;
+        self.dir_role = None;
+        if let Some(cp) = self.content.get_mut(&ws) {
+            cp.set_directory(other.node);
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Chord plumbing
+    // ------------------------------------------------------------------
+
+    fn on_chord_msg(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, from: NodeId, msg: ChordMsg<Query>) {
+        let me = ctx.id();
+        // Duplicate-position detection on maintenance traffic.
+        match &msg {
+            ChordMsg::Notify { peer } => {
+                if self.resolve_position_conflict(*peer, me) {
+                    return;
+                }
+            }
+            ChordMsg::NeighborsResp { pred, succs } => {
+                let peers: Vec<PeerRef> = pred.iter().chain(succs.iter()).copied().collect();
+                for p in peers {
+                    if self.resolve_position_conflict(p, me) {
+                        return;
+                    }
+                }
+            }
+            _ => {}
+        }
+        let Some(role) = &mut self.dir_role else {
+            // DHT traffic for a node that is not (or no longer) on the
+            // D-ring. If it carries a query, rescue it via the origin
+            // server; everything else is dropped.
+            if let ChordMsg::Route { payload: RoutePayload::App(query), .. } = msg {
+                ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query });
+            }
+            return;
+        };
+        let policy = DringPolicy::new(self.shared.scheme);
+        let mut t = CtxTransport { ctx };
+        let outcome = chord::handle(&mut role.chord, &mut t, from, msg, &policy);
+        if let Some(outcome) = outcome {
+            self.on_chord_outcome(ctx, outcome);
+        }
+    }
+
+    fn on_chord_outcome(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, outcome: ChordOutcome<Query>) {
+        match outcome {
+            ChordOutcome::Deliver { payload, .. } => self.dir_process_query(ctx, payload),
+            ChordOutcome::JoinComplete => self.on_join_complete(ctx),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure notifications
+    // ------------------------------------------------------------------
+
+    fn on_undeliverable(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, to: NodeId, msg: FlowerMsg) {
+        match msg {
+            FlowerMsg::Chord(cm) => {
+                if let Some(role) = &mut self.dir_role {
+                    chord::on_undeliverable(&mut role.chord, to, &cm);
+                }
+                match cm {
+                    ChordMsg::Route { key, hops, payload } => {
+                        // Re-route around the dead hop.
+                        match payload {
+                            RoutePayload::App(query) => {
+                                if self.dir_role.is_some() {
+                                    let me = ctx.id();
+                                    let policy = DringPolicy::new(self.shared.scheme);
+                                    let role = self.dir_role.as_mut().expect("checked");
+                                    let mut t = CtxTransport { ctx };
+                                    let oc = chord::proto::handle(
+                                        &mut role.chord,
+                                        &mut t,
+                                        me,
+                                        ChordMsg::Route { key, hops, payload: RoutePayload::App(query) },
+                                        &policy,
+                                    );
+                                    if let Some(oc) = oc {
+                                        self.on_chord_outcome(ctx, oc);
+                                    }
+                                } else {
+                                    // A client whose bootstrap died:
+                                    // try another entry point.
+                                    self.route_via_dring(ctx, query);
+                                }
+                            }
+                            RoutePayload::FindSuccessor { requester, token } => {
+                                if requester.node == ctx.id() {
+                                    // Our own join lookup bounced:
+                                    // retry through another entry
+                                    // point (finger fixes simply wait
+                                    // for the next period).
+                                    if matches!(token, chord::LookupToken::Join) {
+                                        if let Some(role) = &mut self.dir_role {
+                                            if role.joining {
+                                                let entry =
+                                                    *self.shared.bootstrap_dirs.choose(ctx.rng())
+                                                        .expect("bootstrap set non-empty");
+                                                let mut t = CtxTransport { ctx };
+                                                chord::start_join(&mut role.chord, &mut t, entry);
+                                            }
+                                        }
+                                    }
+                                } else if self.dir_role.as_ref().is_some_and(|r| !r.joining) {
+                                    // We were forwarding someone
+                                    // else's lookup and the next hop
+                                    // died: re-route around it so the
+                                    // lookup is not lost (§5.2 joins
+                                    // depend on it while the ring
+                                    // heals).
+                                    let me = ctx.id();
+                                    let policy = DringPolicy::new(self.shared.scheme);
+                                    let role = self.dir_role.as_mut().expect("checked");
+                                    let mut t = CtxTransport { ctx };
+                                    let _ = chord::proto::handle(
+                                        &mut role.chord,
+                                        &mut t,
+                                        me,
+                                        ChordMsg::Route {
+                                            key,
+                                            hops,
+                                            payload: RoutePayload::FindSuccessor { requester, token },
+                                        },
+                                        &policy,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            FlowerMsg::RedirectToHolder { query } => {
+                // §5.1 redirection failure: drop the entry, retry.
+                ctx.query_stats().on_redirection_failure();
+                if let Some(role) = &mut self.dir_role {
+                    role.dir.remove_entry(to);
+                }
+                self.retry_after_holder_failure(ctx, query);
+            }
+            FlowerMsg::SummaryRedirect { query } => {
+                if let Some(role) = &mut self.dir_role {
+                    role.dir.remove_neighbor(to);
+                }
+                ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query });
+            }
+            FlowerMsg::ClientQuery { query } => {
+                self.on_dir_unreachable(ctx, query.website, to);
+                ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query });
+            }
+            FlowerMsg::PeerFetch { query } => {
+                if let Some(cp) = self.content.get_mut(&query.website) {
+                    cp.forget_peer(to);
+                }
+                self.continue_local_search(ctx, query, to);
+            }
+            FlowerMsg::Push { website, .. } | FlowerMsg::KeepAlive { website } => {
+                self.on_dir_unreachable(ctx, website, to);
+            }
+            FlowerMsg::GossipReq(p) | FlowerMsg::GossipResp(p) => {
+                if let Some(cp) = self.content.get_mut(&p.website) {
+                    cp.forget_peer(to);
+                }
+            }
+            FlowerMsg::ServeObject { .. }
+            | FlowerMsg::Admission { .. }
+            | FlowerMsg::FetchMiss { .. }
+            | FlowerMsg::DirSummary { .. }
+            | FlowerMsg::Moved { .. }
+            | FlowerMsg::ServerQuery { .. }
+            | FlowerMsg::DirHandoff { .. }
+            | FlowerMsg::Submit { .. }
+            | FlowerMsg::ReplicaOffer { .. }
+            | FlowerMsg::ReplicaInstruct { .. }
+            | FlowerMsg::ReplicaPull { .. }
+            | FlowerMsg::ReplicaData { .. }
+            | FlowerMsg::AdminLeave
+            | FlowerMsg::AdminChangeLocality { .. } => {}
+        }
+    }
+
+    /// A redirected holder was dead or lacked the object: re-run
+    /// Algorithm 3 with the retry budget, else fall back to the server
+    /// (§5.1: "tries another redirection destination until an
+    /// available copy is found").
+    fn retry_after_holder_failure(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, query: Query) {
+        let mut q = query;
+        q.holder_retries += 1;
+        if q.holder_retries > self.shared.cfg.holder_retries {
+            ctx.send(self.shared.server_of(q.website), FlowerMsg::ServerQuery { query: q });
+            return;
+        }
+        self.dir_process_query(ctx, q);
+    }
+
+    /// Continue the content-peer local search after a failed probe.
+    fn continue_local_search(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, query: Query, failed: NodeId) {
+        let Some(p) = self.pending.get_mut(&query.id) else { return };
+        if !p.tried.contains(&failed) {
+            p.tried.push(failed);
+        }
+        let tried = p.tried.clone();
+        let retries = self.shared.cfg.summary_fetch_retries as usize;
+        let Some(cp) = self.content.get(&query.website) else { return };
+        if tried.len() <= retries {
+            if let Some(next) = cp.summary_candidates(query.object, &tried).first().copied() {
+                if let Some(p) = self.pending.get_mut(&query.id) {
+                    p.tried.push(next);
+                }
+                ctx.send(next, FlowerMsg::PeerFetch { query });
+                return;
+            }
+        }
+        // Overlay exhausted: §3.4 sends the query to the origin
+        // server (or, in the fallback variant, the directory peer).
+        if self.shared.cfg.member_dir_fallback {
+            let dir = cp.directory();
+            match dir {
+                Some(dir) if dir == ctx.id() => {
+                    self.dir_process_query(ctx, query);
+                    return;
+                }
+                Some(dir) => {
+                    ctx.send(dir, FlowerMsg::ClientQuery { query });
+                    return;
+                }
+                None => {}
+            }
+        }
+        ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query });
+    }
+}
+
+impl simnet::Node<FlowerMsg> for FlowerNode {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, ev: Event<FlowerMsg>) {
+        match ev {
+            Event::Recv { from, msg } => match msg {
+                FlowerMsg::Submit { qid, website, object } => {
+                    self.on_submit(ctx, qid, website, object)
+                }
+                FlowerMsg::Chord(cm) => self.on_chord_msg(ctx, from, cm),
+                FlowerMsg::ClientQuery { query } => {
+                    // Refresh the member's entry; then Algorithm 3.
+                    self.dir_process_query(ctx, query);
+                }
+                FlowerMsg::SummaryRedirect { query } => self.dir_process_query(ctx, query),
+                FlowerMsg::RedirectToHolder { query } => {
+                    let has = self
+                        .content
+                        .get(&query.website)
+                        .is_some_and(|cp| cp.has(query.object));
+                    if has {
+                        self.serve(ctx, query, ProviderKind::ContentPeer);
+                    } else {
+                        // Stale index entry (we dropped the object):
+                        // tell the directory so it can retry.
+                        ctx.send(from, FlowerMsg::FetchMiss { query });
+                    }
+                }
+                FlowerMsg::PeerFetch { query } => {
+                    let has = self
+                        .content
+                        .get(&query.website)
+                        .is_some_and(|cp| cp.has(query.object));
+                    if has {
+                        self.serve(ctx, query, ProviderKind::ContentPeer);
+                    } else {
+                        ctx.send(from, FlowerMsg::FetchMiss { query });
+                    }
+                }
+                FlowerMsg::FetchMiss { query } => {
+                    if query.origin == ctx.id() {
+                        // Our local-search probe missed (summary false
+                        // positive): continue.
+                        self.continue_local_search(ctx, query, from);
+                    } else {
+                        // We are the directory that redirected to a
+                        // holder that no longer has the object.
+                        if let Some(role) = &mut self.dir_role {
+                            role.dir.apply_push(from, &[], &[query.object]);
+                        }
+                        self.retry_after_holder_failure(ctx, query);
+                    }
+                }
+                FlowerMsg::ServerQuery { query } => {
+                    debug_assert_eq!(self.server_for, Some(query.website), "query at wrong server");
+                    self.serve(ctx, query, ProviderKind::OriginServer);
+                }
+                FlowerMsg::ServeObject { query, resolved_at, provider, view_seed, .. } => {
+                    self.on_serve_object(ctx, from, query, resolved_at, provider, view_seed)
+                }
+                FlowerMsg::Admission { website, locality, admitted, dir, view_seed } => {
+                    self.on_admission(ctx, website, locality, admitted, dir, view_seed)
+                }
+                FlowerMsg::GossipReq(p) => self.on_gossip_req(ctx, from, p),
+                FlowerMsg::GossipResp(p) => {
+                    let me = ctx.id();
+                    let ws = p.website;
+                    let t_dead = self.shared.cfg.t_dead;
+                    if let Some(cp) = self.content.get_mut(&ws) {
+                        if cp.locality() == p.locality {
+                            cp.absorb_gossip(me, from, p, t_dead);
+                            self.pin_own_directory(me, ws);
+                        }
+                    }
+                }
+                FlowerMsg::Push { website, added, removed } => {
+                    match &mut self.dir_role {
+                        Some(role) if role.dir.website() == website => {
+                            role.dir.apply_push(from, &added, &removed);
+                            self.maybe_broadcast_summary(ctx);
+                        }
+                        _ => {
+                            // We are not this overlay's directory (we
+                            // stood down or handed off): tell the peer
+                            // so it re-learns its directory via gossip.
+                            ctx.send(from, FlowerMsg::Moved { website });
+                        }
+                    }
+                }
+                FlowerMsg::KeepAlive { website } => {
+                    match &mut self.dir_role {
+                        Some(role) if role.dir.website() == website => {
+                            role.dir.keepalive(from);
+                        }
+                        _ => ctx.send(from, FlowerMsg::Moved { website }),
+                    }
+                }
+                FlowerMsg::DirSummary { website, locality, dir_id, summary } => {
+                    if let Some(role) = &mut self.dir_role {
+                        if role.dir.website() == website {
+                            role.dir.update_neighbor_summary(NeighborSummary {
+                                dir: from,
+                                locality,
+                                dir_id,
+                                summary,
+                            });
+                        }
+                    }
+                }
+                FlowerMsg::DirHandoff { website, locality, index, successors, predecessor } => {
+                    // §5.2 voluntary hand-off: assume the departing
+                    // directory's identity and state.
+                    let me = ctx.id();
+                    let key = self.shared.scheme.key(website, locality);
+                    let mut chord_st =
+                        ChordState::new(PeerRef { id: key, node: me }, ChordConfig::default());
+                    chord_st.install(
+                        predecessor,
+                        successors.into_iter().filter(|p| p.node != me).collect(),
+                        vec![None; chord::ChordId::BITS as usize],
+                    );
+                    let mut dir = DirectoryState::new(
+                        website,
+                        locality,
+                        self.shared.cfg.max_overlay,
+                        self.shared.cfg.t_dead,
+                        self.shared.catalog.objects_per_website(),
+                    );
+                    let members: Vec<NodeId> =
+                        index.iter().map(|e| e.peer).filter(|p| *p != me).collect();
+                    dir.install_snapshot(
+                        index.into_iter().map(|e| (e.peer, e.age, e.objects)).collect(),
+                    );
+                    self.dir_role = Some(DirRole { chord: chord_st, dir, joining: false });
+                    // The heir is an overlay member (it came from the
+                    // directory index), but its own Admission may still
+                    // be in flight: ensure the content role exists so
+                    // the replacement hint spreads through gossip.
+                    let cfg = &self.shared.cfg;
+                    let is_new_role = !self.content.contains_key(&website);
+                    let cp = self.content.entry(website).or_insert_with(|| {
+                        ContentPeerState::with_cache(
+                            website,
+                            locality,
+                            cfg.v_gossip,
+                            self.shared.catalog.objects_per_website(),
+                            crate::cache::CacheManager::new(
+                                cfg.cache_policy,
+                                cfg.cache_capacity.max(1),
+                            ),
+                        )
+                    });
+                    cp.set_directory(me);
+                    cp.seed_view(&members, me);
+                    if is_new_role {
+                        let g = ctx.rng().gen_range(0..cfg.t_gossip.as_ms().max(1));
+                        ctx.set_timer(SimDuration::from_ms(g), timers::GOSSIP, website.0 as u64);
+                        let k = ctx.rng().gen_range(0..cfg.keepalive_period.as_ms().max(1));
+                        ctx.set_timer(SimDuration::from_ms(k), timers::KEEPALIVE, website.0 as u64);
+                    }
+                    self.schedule_dir_timers(ctx);
+                    // Tell the ring we exist.
+                    let role = self.dir_role.as_mut().expect("just installed");
+                    let mut t = CtxTransport { ctx };
+                    chord::start_stabilize(&mut role.chord, &mut t);
+                }
+                FlowerMsg::Moved { website } => {
+                    if let Some(cp) = self.content.get_mut(&website) {
+                        cp.forget_peer(from);
+                    }
+                }
+                FlowerMsg::ReplicaOffer { website, objects } => {
+                    // §8: pick a member to host each object we lack.
+                    let Some(role) = &mut self.dir_role else { return };
+                    if role.dir.website() != website {
+                        return;
+                    }
+                    for (object, holder) in objects {
+                        // Skip objects some live member already holds.
+                        let already = matches!(
+                            role.dir.process(ctx.rng(), object, NodeId(u32::MAX), 0, 0),
+                            crate::directory::DirDecision::ToHolder(_)
+                        );
+                        if already {
+                            continue;
+                        }
+                        if let Some(member) = role.dir.view_seed(1, holder).first().copied() {
+                            ctx.send(
+                                member,
+                                FlowerMsg::ReplicaInstruct { website, object, holder },
+                            );
+                        }
+                    }
+                }
+                FlowerMsg::ReplicaInstruct { website, object, holder } => {
+                    let should_pull = self
+                        .content
+                        .get(&website)
+                        .is_some_and(|cp| !cp.has(object));
+                    if should_pull {
+                        ctx.send(holder, FlowerMsg::ReplicaPull { website, object });
+                    }
+                }
+                FlowerMsg::ReplicaPull { website, object } => {
+                    let has = self.content.get(&website).is_some_and(|cp| cp.has(object));
+                    if has {
+                        let size = self.shared.catalog.object_size(object);
+                        ctx.send(from, FlowerMsg::ReplicaData { website, object, size });
+                    }
+                }
+                FlowerMsg::ReplicaData { website, object, .. } => {
+                    if let Some(cp) = self.content.get_mut(&website) {
+                        cp.insert_object(object);
+                    }
+                    self.maybe_push(ctx, website);
+                }
+                FlowerMsg::AdminLeave => {
+                    self.voluntary_dir_handoff(ctx);
+                }
+                FlowerMsg::AdminChangeLocality { to } => {
+                    self.change_locality(ctx, to);
+                }
+            },
+            Event::Timer { kind, tag } => match kind {
+                timers::GOSSIP => self.on_gossip_timer(ctx, WebsiteId(tag as u16)),
+                timers::KEEPALIVE => self.on_keepalive_timer(ctx, WebsiteId(tag as u16)),
+                timers::DIR_TICK => {
+                    let period = self.shared.cfg.keepalive_period;
+                    if let Some(role) = &mut self.dir_role {
+                        role.dir.tick();
+                        ctx.set_timer(period, timers::DIR_TICK, 0);
+                    }
+                }
+                timers::STABILIZE => {
+                    let period = self.shared.cfg.stabilize_period;
+                    if let Some(role) = &mut self.dir_role {
+                        let mut t = CtxTransport { ctx };
+                        chord::start_stabilize(&mut role.chord, &mut t);
+                        ctx.set_timer(period, timers::STABILIZE, 0);
+                    }
+                }
+                timers::FIX_FINGER => {
+                    let period = self.shared.cfg.fix_finger_period;
+                    if self.dir_role.is_some() {
+                        let policy = DringPolicy::new(self.shared.scheme);
+                        let role = self.dir_role.as_mut().expect("checked");
+                        let mut t = CtxTransport { ctx };
+                        chord::start_fix_finger(&mut role.chord, &mut t, &policy);
+                        ctx.set_timer(period, timers::FIX_FINGER, 0);
+                    }
+                }
+                timers::REPLACE_DIR => self.on_replace_dir_timer(ctx, WebsiteId(tag as u16)),
+                timers::JOIN_RETRY => self.on_join_retry_timer(ctx, WebsiteId(tag as u16)),
+                timers::REPLICATE => self.on_replicate_timer(ctx),
+                _ => {}
+            },
+            Event::Undeliverable { to, msg } => self.on_undeliverable(ctx, to, msg),
+            Event::NodeUp => {
+                // §5: a revived peer rejoins as a new client; volatile
+                // state did not survive the crash.
+                self.dir_role = None;
+                self.content.clear();
+                self.pending.clear();
+                self.parked_objects.clear();
+                self.replacing.clear();
+            }
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! The simulation harness: builds a complete Flower-CDN deployment
+//! (§6.1's setup) and runs the paper's workload against it.
+//!
+//! Responsibilities:
+//!
+//! 1. generate the underlay topology and localities (5000 nodes, k=6);
+//! 2. assign roles: one origin server per website, one directory peer
+//!    per `(website, locality)` — the paper "starts with a stable
+//!    D-ring … with an empty directory" — and, for each *active*
+//!    website, a community of up to `Sco` potential clients per
+//!    locality;
+//! 3. bootstrap the D-ring as a converged Chord ring over the
+//!    directory peers;
+//! 4. inject the query trace: each query picks a uniform random
+//!    locality and a uniform community member as originator ("a new
+//!    client or a content peer of ws is chosen from a random
+//!    locality");
+//! 5. run and report the paper's four metrics.
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use chord::PeerRef;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use simnet::{
+    ChurnScript, Engine, Event, Locality, NodeId, SimDuration, SimTime, Topology, TopologyConfig,
+};
+use workload::{Catalog, CatalogConfig, QueryStream, WebsiteId, WorkloadConfig};
+
+use crate::config::FlowerConfig;
+use crate::id::KeyScheme;
+use crate::msg::FlowerMsg;
+use crate::node::{timers, Deployment, FlowerNode};
+
+/// Everything needed to build and run one simulation.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Underlay shape.
+    pub topology: TopologyConfig,
+    /// Website/object universe.
+    pub catalog: CatalogConfig,
+    /// Query trace shape.
+    pub workload: WorkloadConfig,
+    /// Protocol parameters.
+    pub flower: FlowerConfig,
+    /// Master seed; every run is a pure function of the config.
+    pub seed: u64,
+    /// Metric series window.
+    pub window: SimDuration,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            topology: TopologyConfig::default(),
+            catalog: CatalogConfig::default(),
+            workload: WorkloadConfig::default(),
+            flower: FlowerConfig::default(),
+            seed: 42,
+            window: SimDuration::from_mins(30),
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The paper's Table 1 setup.
+    pub fn paper() -> Self {
+        SystemConfig::default()
+    }
+
+    /// A miniature deployment for fast tests: 3 localities, small
+    /// websites, minute-scale horizon, second-scale protocol periods.
+    pub fn small_test() -> Self {
+        SystemConfig {
+            topology: TopologyConfig { nodes: 300, localities: 3, ..Default::default() },
+            catalog: CatalogConfig {
+                num_websites: 6,
+                active_websites: 2,
+                objects_per_website: 30,
+                ..Default::default()
+            },
+            workload: WorkloadConfig {
+                query_rate_per_sec: 10.0,
+                duration_ms: 10 * 60 * 1000,
+                ..Default::default()
+            },
+            flower: FlowerConfig::fast_test(),
+            seed: 42,
+            window: SimDuration::from_mins(1),
+        }
+    }
+}
+
+/// End-of-run summary of the paper's metrics.
+#[derive(Clone, Debug)]
+pub struct SystemReport {
+    /// Queries submitted.
+    pub submitted: u64,
+    /// Queries resolved (always ≤ submitted; in-flight queries at the
+    /// horizon are not counted).
+    pub resolved: u64,
+    /// The paper's hit ratio.
+    pub hit_ratio: f64,
+    /// Mean lookup latency (ms).
+    pub mean_lookup_ms: f64,
+    /// Mean transfer distance (ms).
+    pub mean_transfer_ms: f64,
+    /// Mean transfer distance of P2P hits only (ms) — the paper uses
+    /// the metric "with queries satisfied from the P2P system".
+    pub mean_transfer_hit_ms: f64,
+    /// The paper's background-traffic metric (gossip + push bits per
+    /// second per participant).
+    pub background_bps: f64,
+    /// Participants at the horizon (directory + content peers).
+    pub participants: usize,
+    /// §5.1 redirection failures observed.
+    pub redirection_failures: u64,
+    /// Fraction of P2P hits served within the requester's locality.
+    pub local_hit_fraction: f64,
+}
+
+/// A built (and possibly run) Flower-CDN simulation.
+pub struct FlowerSystem {
+    engine: Engine<FlowerMsg, FlowerNode>,
+    dirs: BTreeMap<(WebsiteId, Locality), NodeId>,
+    communities: HashMap<(WebsiteId, Locality), Vec<NodeId>>,
+    servers: Vec<NodeId>,
+    duration: SimTime,
+    queries_scheduled: usize,
+}
+
+impl FlowerSystem {
+    /// Build the deployment and schedule the whole query trace.
+    pub fn build(cfg: &SystemConfig) -> FlowerSystem {
+        let topo = Topology::generate(&cfg.topology, cfg.seed);
+        let catalog = Catalog::new(cfg.catalog.clone());
+        let scheme = KeyScheme::new(cfg.flower.locality_bits, cfg.flower.instance_bits);
+        cfg.flower
+            .validate(topo.num_localities())
+            .expect("invalid Flower-CDN configuration");
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5E7_u64);
+
+        let k = topo.num_localities();
+        // Shuffled per-locality node pools.
+        let mut pools: Vec<Vec<NodeId>> = (0..k)
+            .map(|l| {
+                let mut v = topo.nodes_in(Locality(l as u16));
+                v.shuffle(&mut rng);
+                v
+            })
+            .collect();
+        debug_assert_eq!(pools.len(), k);
+
+        // Directory peers: one per (website, locality), drawn from the
+        // locality's pool.
+        let mut dirs: BTreeMap<(WebsiteId, Locality), NodeId> = BTreeMap::new();
+        for ws in catalog.websites() {
+            for l in 0..k {
+                let loc = Locality(l as u16);
+                let node = pools[l]
+                    .pop()
+                    .unwrap_or_else(|| panic!("locality {l} too small for the D-ring"));
+                dirs.insert((ws, loc), node);
+            }
+        }
+
+        // Origin servers: anywhere, not already directory peers.
+        let mut servers = Vec::with_capacity(catalog.websites().count());
+        {
+            let mut l = 0usize;
+            for _ws in catalog.websites() {
+                // Round-robin across localities for geographic spread.
+                let mut placed = None;
+                for _ in 0..k {
+                    l = (l + 1) % k;
+                    if let Some(n) = pools[l].pop() {
+                        placed = Some(n);
+                        break;
+                    }
+                }
+                servers.push(placed.expect("topology too small for origin servers"));
+            }
+        }
+
+        // Communities: for each active website and locality, up to
+        // `Sco` potential clients. Websites may share nodes ("no
+        // correlation between website communities" — a node can be
+        // interested in several sites), but directory peers and
+        // servers never query.
+        let mut communities: HashMap<(WebsiteId, Locality), Vec<NodeId>> = HashMap::new();
+        for ws in catalog.active_websites() {
+            for l in 0..k {
+                let loc = Locality(l as u16);
+                let pool = &pools[l];
+                let take = cfg.flower.max_overlay.min(pool.len());
+                let mut comm: Vec<NodeId> = pool
+                    .choose_multiple(&mut rng, take)
+                    .copied()
+                    .collect();
+                comm.sort_unstable_by_key(|n| n.0);
+                communities.insert((ws, loc), comm);
+            }
+        }
+
+        // D-ring bootstrap: a converged Chord ring over all directory
+        // peers (the paper's stable start).
+        let members: Vec<PeerRef> = dirs
+            .iter()
+            .map(|((ws, loc), node)| PeerRef { id: scheme.key(*ws, *loc), node: *node })
+            .collect();
+        let states = chord::stable_ring(&members, &chord::ChordConfig::default());
+        let state_by_node: HashMap<NodeId, chord::ChordState> =
+            members.iter().zip(states).map(|(m, s)| (m.node, s)).collect();
+
+        let deployment = Rc::new(Deployment {
+            cfg: cfg.flower.clone(),
+            catalog: Catalog::new(cfg.catalog.clone()),
+            scheme,
+            servers: servers.clone(),
+            bootstrap_dirs: members.iter().map(|m| m.node).collect(),
+        });
+
+        // Instantiate protocol nodes.
+        let dir_of_node: HashMap<NodeId, (WebsiteId, Locality)> =
+            dirs.iter().map(|(kl, n)| (*n, *kl)).collect();
+        let server_of_node: HashMap<NodeId, WebsiteId> = servers
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (*n, WebsiteId(i as u16)))
+            .collect();
+        let nodes: Vec<FlowerNode> = topo
+            .node_ids()
+            .map(|n| {
+                if let Some((ws, loc)) = dir_of_node.get(&n) {
+                    let st = state_by_node.get(&n).expect("dir has ring state").clone();
+                    FlowerNode::directory(Rc::clone(&deployment), *ws, *loc, st)
+                } else if let Some(ws) = server_of_node.get(&n) {
+                    FlowerNode::server(Rc::clone(&deployment), *ws)
+                } else {
+                    FlowerNode::client(Rc::clone(&deployment))
+                }
+            })
+            .collect();
+
+        let mut engine = Engine::with_window(topo, nodes, cfg.seed ^ 0xE6_91E, cfg.window);
+
+        // Arm directory timers (staggered).
+        for (_, node) in dirs.iter() {
+            let s = rng.gen_range(0..cfg.flower.keepalive_period.as_ms().max(2));
+            engine.schedule_at(
+                SimTime::from_ms(s),
+                *node,
+                Event::Timer { kind: timers::DIR_TICK, tag: 0 },
+            );
+            let s = rng.gen_range(0..cfg.flower.stabilize_period.as_ms().max(2));
+            engine.schedule_at(
+                SimTime::from_ms(s),
+                *node,
+                Event::Timer { kind: timers::STABILIZE, tag: 0 },
+            );
+            let s = rng.gen_range(0..cfg.flower.fix_finger_period.as_ms().max(2));
+            engine.schedule_at(
+                SimTime::from_ms(s),
+                *node,
+                Event::Timer { kind: timers::FIX_FINGER, tag: 0 },
+            );
+            if let Some(p) = cfg.flower.replication_period {
+                let s = rng.gen_range(0..p.as_ms().max(2));
+                engine.schedule_at(
+                    SimTime::from_ms(s),
+                    *node,
+                    Event::Timer { kind: timers::REPLICATE, tag: 0 },
+                );
+            }
+        }
+
+        // Schedule the query trace (§6.1 originator selection).
+        let stream = QueryStream::generate(&cfg.workload, &catalog, cfg.seed ^ 0x77AC_E5);
+        let mut scheduled = 0usize;
+        for (qid, ev) in stream.events().iter().enumerate() {
+            // "chosen from a random locality": uniform locality, then a
+            // uniform community member of (website, locality).
+            let mut origin = None;
+            for _attempt in 0..4 {
+                let loc = Locality(rng.gen_range(0..k) as u16);
+                let comm = &communities[&(ev.website, loc)];
+                if !comm.is_empty() {
+                    origin = Some(comm[rng.gen_range(0..comm.len())]);
+                    break;
+                }
+            }
+            let Some(origin) = origin else { continue };
+            engine.schedule_at(
+                SimTime::from_ms(ev.at_ms),
+                origin,
+                Event::Recv {
+                    from: origin,
+                    msg: FlowerMsg::Submit {
+                        qid: qid as u64,
+                        website: ev.website,
+                        object: ev.object,
+                    },
+                },
+            );
+            scheduled += 1;
+        }
+
+        FlowerSystem {
+            engine,
+            dirs,
+            communities,
+            servers,
+            duration: SimTime::from_ms(cfg.workload.duration_ms),
+            queries_scheduled: scheduled,
+        }
+    }
+
+    /// Build and run to the workload horizon (plus a drain margin so
+    /// in-flight queries resolve).
+    pub fn run(cfg: &SystemConfig) -> (FlowerSystem, SystemReport) {
+        let mut sys = FlowerSystem::build(cfg);
+        let horizon = sys.duration + SimDuration::from_secs(30);
+        sys.engine.run_until(horizon);
+        let report = sys.report();
+        (sys, report)
+    }
+
+    /// Advance the simulation to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.engine.run_until(t);
+    }
+
+    /// The engine (metrics, topology, node inspection).
+    pub fn engine(&self) -> &Engine<FlowerMsg, FlowerNode> {
+        &self.engine
+    }
+
+    /// Mutable engine access (churn installation, extra events).
+    pub fn engine_mut(&mut self) -> &mut Engine<FlowerMsg, FlowerNode> {
+        &mut self.engine
+    }
+
+    /// The workload horizon.
+    pub fn duration(&self) -> SimTime {
+        self.duration
+    }
+
+    /// Queries scheduled into the engine.
+    pub fn queries_scheduled(&self) -> usize {
+        self.queries_scheduled
+    }
+
+    /// Directory peer of `(ws, loc)` as initially deployed.
+    pub fn initial_directory(&self, ws: WebsiteId, loc: Locality) -> Option<NodeId> {
+        self.dirs.get(&(ws, loc)).copied()
+    }
+
+    /// The community (potential clients) of `(ws, loc)`.
+    pub fn community(&self, ws: WebsiteId, loc: Locality) -> &[NodeId] {
+        self.communities.get(&(ws, loc)).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Origin servers by website index.
+    pub fn servers(&self) -> &[NodeId] {
+        &self.servers
+    }
+
+    /// Current participants: nodes holding a directory or content
+    /// role.
+    pub fn participants(&self) -> Vec<NodeId> {
+        self.engine
+            .topology()
+            .node_ids()
+            .filter(|n| self.engine.node(*n).is_participant())
+            .collect()
+    }
+
+    /// Install a churn script over the engine.
+    pub fn apply_churn(&mut self, script: &ChurnScript) {
+        script.install(&mut self.engine);
+    }
+
+    /// Compute the end-of-run report.
+    pub fn report(&self) -> SystemReport {
+        let q = self.engine.query_stats();
+        let participants = self.participants();
+        let elapsed = self.engine.now() - SimTime::ZERO;
+        SystemReport {
+            submitted: q.submitted(),
+            resolved: q.resolved(),
+            hit_ratio: q.hit_ratio(),
+            mean_lookup_ms: q.mean_lookup_ms(),
+            mean_transfer_ms: q.mean_transfer_ms(),
+            mean_transfer_hit_ms: q.mean_transfer_hit_ms(),
+            background_bps: self.engine.traffic().background_bps(&participants, elapsed),
+            participants: participants.len(),
+            redirection_failures: q.redirection_failures(),
+            local_hit_fraction: q.local_hit_fraction(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_small(seed: u64) -> (FlowerSystem, SystemReport) {
+        let cfg = SystemConfig { seed, ..SystemConfig::small_test() };
+        FlowerSystem::run(&cfg)
+    }
+
+    #[test]
+    fn small_system_processes_queries() {
+        let (sys, r) = run_small(1);
+        assert!(r.submitted > 1000, "expected thousands of queries, got {}", r.submitted);
+        // Allow a tiny number of stragglers lost to protocol corner
+        // cases, but essentially everything must resolve.
+        assert!(
+            r.resolved as f64 >= r.submitted as f64 * 0.99,
+            "resolved {} of {}",
+            r.resolved,
+            r.submitted
+        );
+        assert!(r.hit_ratio > 0.5, "hit ratio {} too low", r.hit_ratio);
+        assert!(r.participants > 20, "participants {}", r.participants);
+        assert!(sys.queries_scheduled() > 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let (_, a) = run_small(7);
+        let (_, b) = run_small(7);
+        assert_eq!(a.submitted, b.submitted);
+        assert_eq!(a.resolved, b.resolved);
+        assert!((a.hit_ratio - b.hit_ratio).abs() < 1e-12);
+        assert!((a.background_bps - b.background_bps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (_, a) = run_small(1);
+        let (_, b) = run_small(2);
+        assert!(a.submitted != b.submitted || (a.hit_ratio - b.hit_ratio).abs() > 1e-12);
+    }
+
+    #[test]
+    fn deployment_shape() {
+        let cfg = SystemConfig::small_test();
+        let sys = FlowerSystem::build(&cfg);
+        // 6 websites × 3 localities directory peers.
+        let topo = sys.engine().topology();
+        assert_eq!(topo.num_localities(), 3);
+        for ws in 0..6u16 {
+            for l in 0..3u16 {
+                let d = sys.initial_directory(WebsiteId(ws), Locality(l));
+                assert!(d.is_some(), "missing directory for ws{ws} loc{l}");
+                assert!(sys.engine().node(d.unwrap()).is_directory());
+            }
+        }
+        assert_eq!(sys.servers().len(), 6);
+        // Active websites have communities.
+        for ws in 0..2u16 {
+            for l in 0..3u16 {
+                assert!(!sys.community(WebsiteId(ws), Locality(l)).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn hit_ratio_improves_over_time() {
+        let (sys, _) = run_small(3);
+        let pts = sys.engine().query_stats().hit_series().points();
+        let early: Vec<_> = pts.iter().take(3).filter(|p| p.count > 0).collect();
+        let late: Vec<_> = pts.iter().rev().take(3).filter(|p| p.count > 0).collect();
+        let avg = |v: &[&simnet::SeriesPoint]| {
+            v.iter().map(|p| p.mean()).sum::<f64>() / v.len().max(1) as f64
+        };
+        assert!(
+            avg(&late) > avg(&early),
+            "hit ratio should rise: early {:.3} late {:.3}",
+            avg(&early),
+            avg(&late)
+        );
+    }
+
+    #[test]
+    fn background_traffic_is_gossip_and_push_only() {
+        let (sys, r) = run_small(4);
+        assert!(r.background_bps > 0.0, "gossip must produce traffic");
+        let t = sys.engine().traffic();
+        let gossip = t.total_sent(simnet::TrafficClass::Gossip);
+        let push = t.total_sent(simnet::TrafficClass::Push);
+        assert!(gossip > 0, "no gossip traffic recorded");
+        assert!(push > 0, "no push traffic recorded");
+    }
+}

@@ -1,0 +1,158 @@
+//! Protocol-level integration tests for the §5 administrative paths:
+//! voluntary directory hand-off and locality migration, driven through
+//! the engine as an operator would.
+
+use flower_core::msg::FlowerMsg;
+use flower_core::system::{FlowerSystem, SystemConfig};
+use simnet::{Event, Locality, SimDuration, SimTime};
+use workload::WebsiteId;
+
+fn cfg(seed: u64) -> SystemConfig {
+    SystemConfig { seed, ..SystemConfig::small_test() }
+}
+
+/// §5.2 voluntary leave: `AdminLeave` makes the directory transfer its
+/// index and ring position to its youngest member via `DirHandoff`.
+#[test]
+fn admin_leave_hands_directory_to_a_member() {
+    let c = cfg(41);
+    let mut sys = FlowerSystem::build(&c);
+    let ws = WebsiteId(0);
+    let loc = Locality(0);
+    let old_dir = sys.initial_directory(ws, loc).unwrap();
+
+    // Let the overlay form first.
+    sys.run_until(SimTime::from_mins(4));
+    let members_before = {
+        let role = sys.engine().node(old_dir).dir_role().expect("old dir active");
+        assert!(role.dir.overlay_size() > 0, "overlay must have members for a hand-off");
+        role.dir.overlay_size()
+    };
+
+    let t = SimTime::from_mins(4) + SimDuration::from_secs(1);
+    sys.engine_mut().schedule_at(t, old_dir, Event::Recv { from: old_dir, msg: FlowerMsg::AdminLeave });
+    sys.run_until(SimTime::from_ms(c.workload.duration_ms) + SimDuration::from_secs(30));
+
+    // The old node stood down...
+    assert!(!sys.engine().node(old_dir).is_directory(), "old directory must abdicate");
+    // ...and exactly one community member inherited the directory,
+    // including the transferred index.
+    let heirs: Vec<_> = sys
+        .community(ws, loc)
+        .iter()
+        .copied()
+        .filter(|n| {
+            sys.engine()
+                .node(*n)
+                .dir_role()
+                .map(|r| r.dir.website() == ws && r.dir.locality() == loc)
+                .unwrap_or(false)
+        })
+        .collect();
+    assert_eq!(heirs.len(), 1, "exactly one heir expected, got {heirs:?}");
+    let heir_role = sys.engine().node(heirs[0]).dir_role().unwrap();
+    assert!(
+        heir_role.dir.overlay_size() + 5 >= members_before,
+        "hand-off must carry the index ({} vs {} before)",
+        heir_role.dir.overlay_size(),
+        members_before
+    );
+    // The system keeps resolving queries after the hand-off.
+    let r = sys.report();
+    assert!(r.resolved as f64 > r.submitted as f64 * 0.95, "{}/{}", r.resolved, r.submitted);
+}
+
+/// §5.4 locality change: the peer leaves its overlays and rejoins (as
+/// a new client) in the new locality on its next query.
+#[test]
+fn admin_change_locality_migrates_the_peer() {
+    let c = cfg(43);
+    let mut sys = FlowerSystem::build(&c);
+    let ws = WebsiteId(0);
+    let old_loc = Locality(0);
+    let new_loc = Locality(1);
+
+    sys.run_until(SimTime::from_mins(4));
+    // Pick a community member that actually joined.
+    let mover = sys
+        .community(ws, old_loc)
+        .iter()
+        .copied()
+        .find(|n| sys.engine().node(*n).is_content_peer(ws))
+        .expect("some member joined during warm-up");
+
+    let t = SimTime::from_mins(4) + SimDuration::from_secs(1);
+    sys.engine_mut().schedule_at(
+        t,
+        mover,
+        Event::Recv { from: mover, msg: FlowerMsg::AdminChangeLocality { to: new_loc } },
+    );
+    sys.run_until(t + SimDuration::from_ms(1));
+    assert!(
+        !sys.engine().node(mover).is_content_peer(ws),
+        "locality change must drop the old membership"
+    );
+
+    sys.run_until(SimTime::from_ms(c.workload.duration_ms) + SimDuration::from_secs(30));
+    // If the workload made the mover query again, it re-joined — and
+    // must have done so through the *new* locality's directory.
+    if let Some(cp) = sys.engine().node(mover).content_role(ws) {
+        let new_dir = sys.initial_directory(ws, new_loc).unwrap();
+        assert_eq!(
+            cp.directory(),
+            Some(new_dir),
+            "rejoined peer must belong to the new locality's overlay"
+        );
+    }
+    let r = sys.report();
+    assert!(r.resolved as f64 > r.submitted as f64 * 0.95);
+}
+
+/// The old overlay forgets a moved peer when gossiping with it
+/// (`Moved` replies, §5.4).
+#[test]
+fn old_overlay_forgets_moved_peers() {
+    let c = cfg(44);
+    let mut sys = FlowerSystem::build(&c);
+    let ws = WebsiteId(0);
+    let old_loc = Locality(0);
+    sys.run_until(SimTime::from_mins(5));
+    let mover = sys
+        .community(ws, old_loc)
+        .iter()
+        .copied()
+        .find(|n| sys.engine().node(*n).is_content_peer(ws))
+        .expect("warm-up produced members");
+    let t = SimTime::from_mins(5) + SimDuration::from_secs(1);
+    sys.engine_mut().schedule_at(
+        t,
+        mover,
+        Event::Recv { from: mover, msg: FlowerMsg::AdminChangeLocality { to: Locality(2) } },
+    );
+    // Run long enough for several gossip periods so contacts probe the
+    // mover and receive `Moved`.
+    sys.run_until(SimTime::from_ms(c.workload.duration_ms) + SimDuration::from_secs(30));
+    let mut still_known = 0;
+    for n in sys.community(ws, old_loc) {
+        if *n == mover {
+            continue;
+        }
+        if let Some(cp) = sys.engine().node(*n).content_role(ws) {
+            if cp.view().contains(mover) {
+                still_known += 1;
+            }
+        }
+    }
+    // Gossip copies of the stale entry may still circulate, but peers
+    // that contacted the mover directly must have dropped it; demand
+    // that most of the overlay forgot it.
+    let members: usize = sys
+        .community(ws, old_loc)
+        .iter()
+        .filter(|n| sys.engine().node(**n).is_content_peer(ws))
+        .count();
+    assert!(
+        still_known * 2 <= members,
+        "{still_known}/{members} members still list the moved peer"
+    );
+}

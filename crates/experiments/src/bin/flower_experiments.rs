@@ -1,0 +1,148 @@
+//! Command-line driver regenerating every table and figure of the
+//! Flower-CDN paper (§6).
+//!
+//! ```text
+//! flower-experiments <experiment> [--scale <f|full>] [--seed <n>] [--csv-dir <dir>]
+//!
+//! experiments:
+//!   table2a | table2b | table2c | push-threshold
+//!   fig5 | fig6 | fig7 | fig8
+//!   churn | ablation | all
+//! ```
+//!
+//! `--scale 0.1` simulates 2.4 h instead of 24 h (protocol periods
+//! scale along); `--scale full` is the paper's exact setup.
+
+use std::io::Write;
+
+use experiments::exps::{self, ExpOutput};
+use experiments::runner::RunScale;
+
+struct Args {
+    cmd: String,
+    scale: RunScale,
+    seed: u64,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().ok_or_else(usage)?;
+    let mut scale = RunScale::Scaled(0.1);
+    let mut seed = 42u64;
+    let mut csv_dir = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = RunScale::parse(&v)?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--csv-dir" => {
+                csv_dir = Some(args.next().ok_or("--csv-dir needs a value")?);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Args { cmd, scale, seed, csv_dir })
+}
+
+fn usage() -> String {
+    "usage: flower-experiments <table2a|table2b|table2c|push-threshold|fig5|fig6|fig7|fig8|churn|ablation|replication|cache|all> \
+     [--scale <f|full>] [--seed <n>] [--csv-dir <dir>]"
+        .to_string()
+}
+
+fn emit(name: &str, out: &ExpOutput, csv_dir: &Option<String>) {
+    println!("{}", out.text);
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        for (stem, content) in &out.csv {
+            let path = format!("{dir}/{name}_{stem}.csv");
+            let mut f = std::fs::File::create(&path).expect("create csv");
+            f.write_all(content.as_bytes()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+    if !out.all_passed() {
+        eprintln!("WARNING: {name}: some shape checks failed");
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let scale = args.scale;
+    let seed = args.seed;
+    eprintln!(
+        "# running {} at scale {:?} seed {} ({} simulated hours)",
+        args.cmd,
+        scale,
+        seed,
+        24.0 * scale.factor()
+    );
+    let t0 = std::time::Instant::now();
+    let mut failed = false;
+
+    let mut outputs: Vec<(String, ExpOutput)> = Vec::new();
+    match args.cmd.as_str() {
+        "all" => {
+            for name in ["table2a", "table2b", "table2c", "push-threshold", "fig5"] {
+                outputs.push((name.to_string(), run_one(name, scale, seed)));
+            }
+            let (fsys, ssys) = exps::comparison_pair(scale, seed);
+            outputs.push(("fig6".into(), exps::fig6(&fsys, &ssys)));
+            outputs.push(("fig7".into(), exps::fig7(&fsys, &ssys)));
+            outputs.push(("fig8".into(), exps::fig8(&fsys, &ssys)));
+            drop((fsys, ssys));
+            outputs.push(("churn".into(), run_one("churn", scale, seed)));
+            outputs.push(("ablation".into(), run_one("ablation", scale, seed)));
+            outputs.push(("replication".into(), run_one("replication", scale, seed)));
+            outputs.push(("cache".into(), run_one("cache", scale, seed)));
+        }
+        name => outputs.push((name.to_string(), run_one(name, scale, seed))),
+    }
+
+    for (name, out) in &outputs {
+        failed |= !out.all_passed();
+        emit(name, out, &args.csv_dir);
+    }
+    eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn run_one(name: &str, scale: RunScale, seed: u64) -> ExpOutput {
+    match name {
+        "table2a" => exps::table2a(scale, seed),
+        "table2b" => exps::table2b(scale, seed),
+        "table2c" => exps::table2c(scale, seed),
+        "push-threshold" => exps::push_threshold(scale, seed),
+        "fig5" => exps::fig5(scale, seed),
+        "fig6" | "fig7" | "fig8" => {
+            let (fsys, ssys) = exps::comparison_pair(scale, seed);
+            match name {
+                "fig6" => exps::fig6(&fsys, &ssys),
+                "fig7" => exps::fig7(&fsys, &ssys),
+                _ => exps::fig8(&fsys, &ssys),
+            }
+        }
+        "churn" => exps::churn(scale, seed),
+        "ablation" => exps::ablation(scale, seed),
+        "replication" => exps::replication(scale, seed),
+        "cache" => exps::cache_pressure(scale, seed),
+        other => {
+            eprintln!("unknown experiment {other:?}\n{}", usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The numbers reported in §6 of the paper, for side-by-side
+//! comparison with measured values.
+
+/// One row of Table 2(a): varying `Lgossip` with `Tgossip = 30 min`,
+/// `Vgossip = 50`.
+#[derive(Clone, Copy, Debug)]
+pub struct Table2Row {
+    /// The swept parameter's display value.
+    pub param: &'static str,
+    /// Hit ratio after 24 h.
+    pub hit_ratio: f64,
+    /// Background bandwidth in bps per peer.
+    pub background_bps: f64,
+}
+
+/// Table 2(a) — `Lgossip` ∈ {5, 10, 20}.
+pub const TABLE_2A: [Table2Row; 3] = [
+    Table2Row { param: "5", hit_ratio: 0.823, background_bps: 37.0 },
+    Table2Row { param: "10", hit_ratio: 0.86, background_bps: 74.0 },
+    Table2Row { param: "20", hit_ratio: 0.89, background_bps: 147.0 },
+];
+
+/// Table 2(b) — `Tgossip` ∈ {1 min, 30 min, 1 h}.
+pub const TABLE_2B: [Table2Row; 3] = [
+    Table2Row { param: "1min", hit_ratio: 0.94, background_bps: 2239.0 },
+    Table2Row { param: "30min", hit_ratio: 0.86, background_bps: 74.0 },
+    Table2Row { param: "1h", hit_ratio: 0.81, background_bps: 37.0 },
+];
+
+/// Table 2(c) — `Vgossip` ∈ {20, 50, 70}.
+pub const TABLE_2C: [Table2Row; 3] = [
+    Table2Row { param: "20", hit_ratio: 0.78, background_bps: 74.0 },
+    Table2Row { param: "50", hit_ratio: 0.86, background_bps: 74.0 },
+    Table2Row { param: "70", hit_ratio: 0.863, background_bps: 74.0 },
+];
+
+/// §6.2 (text): push thresholds {0.1, 0.5, 0.7} perform alike.
+pub const PUSH_THRESHOLDS: [f64; 3] = [0.1, 0.5, 0.7];
+
+/// Figure 5: background traffic stabilizes near this level (bps) after
+/// about five hours with the chosen setting.
+pub const FIG5_STABLE_BPS: f64 = 74.0;
+
+/// Figure 6: after 24 h, Flower-CDN's hit ratio trails Squirrel's by
+/// about this much (both converging to 1).
+pub const FIG6_HIT_GAP: f64 = 0.13;
+
+/// Figure 7(a): Flower-CDN's lookup latency stabilizes around this
+/// value (ms) after the warm-up.
+pub const FIG7_FLOWER_STABLE_LOOKUP_MS: f64 = 120.0;
+
+/// Figure 7(b): fraction of Flower-CDN queries resolved within 150 ms.
+pub const FIG7_FLOWER_LE_150MS: f64 = 0.87;
+
+/// Figure 7(b): fraction of Squirrel queries taking more than 1050 ms.
+pub const FIG7_SQUIRREL_GT_1050MS: f64 = 0.61;
+
+/// Headline: lookup latency reduced by a factor of ~9 vs Squirrel.
+pub const LOOKUP_SPEEDUP: f64 = 9.0;
+
+/// Figure 8(a): Flower-CDN's transfer distance drops to about this
+/// value (ms) after the warm-up.
+pub const FIG8_FLOWER_STABLE_TRANSFER_MS: f64 = 80.0;
+
+/// Figure 8(b): fraction of Flower-CDN queries served within 100 ms.
+pub const FIG8_FLOWER_LE_100MS: f64 = 0.59;
+
+/// Figure 8(b): fraction of Squirrel queries served within 100 ms.
+pub const FIG8_SQUIRREL_LE_100MS: f64 = 0.17;
+
+/// Headline: transfer distance reduced by a factor of ~2 vs Squirrel.
+pub const TRANSFER_SPEEDUP: f64 = 2.0;

@@ -1,0 +1,124 @@
+//! Configured paper-scale runs, with optional time scaling.
+//!
+//! A full reproduction simulates 24 hours of a 5000-node underlay
+//! (Table 1). `RunScale` shrinks the *simulated duration* (and,
+//! proportionally, the gossip/keepalive periods and the metric
+//! window) so the same dynamics play out faster — the standard trick
+//! for iterating on event simulations. `RunScale::Full` is the
+//! paper's exact setup and the one recorded in `EXPERIMENTS.md`.
+
+use flower_core::{FlowerConfig, FlowerSystem, SystemConfig, SystemReport};
+use simnet::SimDuration;
+use squirrel::{SquirrelConfig, SquirrelReport, SquirrelSystem};
+
+/// How much of the 24-hour experiment to simulate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RunScale {
+    /// The paper's full 24 h at 5000 nodes.
+    Full,
+    /// Duration (and protocol periods) scaled by the factor; 0.1 ⇒
+    /// 2.4 simulated hours with 3-minute gossip periods.
+    Scaled(f64),
+}
+
+impl RunScale {
+    /// The scale factor.
+    pub fn factor(self) -> f64 {
+        match self {
+            RunScale::Full => 1.0,
+            RunScale::Scaled(f) => f,
+        }
+    }
+
+    /// Parse `"full"` or a float factor.
+    pub fn parse(s: &str) -> Result<RunScale, String> {
+        if s == "full" || s == "1" || s == "1.0" {
+            return Ok(RunScale::Full);
+        }
+        let f: f64 = s.parse().map_err(|_| format!("bad scale {s:?}"))?;
+        if !(f > 0.0 && f <= 1.0) {
+            return Err(format!("scale must be in (0, 1], got {f}"));
+        }
+        Ok(RunScale::Scaled(f))
+    }
+
+    fn scale_duration(self, d: SimDuration) -> SimDuration {
+        match self {
+            RunScale::Full => d,
+            RunScale::Scaled(f) => {
+                SimDuration::from_ms(((d.as_ms() as f64 * f).round() as u64).max(1))
+            }
+        }
+    }
+}
+
+/// The paper-scale Flower-CDN configuration at a given time scale.
+///
+/// Time-like protocol parameters (`Tgossip`, keepalive, `Tdead` ticks
+/// stay ratio-identical because the tick period scales) shrink with
+/// the scale so convergence dynamics match the full run's shape.
+pub fn flower_config(scale: RunScale, seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper();
+    cfg.seed = seed;
+    cfg.workload.duration_ms = scale.scale_duration(SimDuration::from_hours(24)).as_ms();
+    cfg.flower = scale_flower(&cfg.flower, scale);
+    cfg.window = scale.scale_duration(SimDuration::from_mins(30));
+    cfg
+}
+
+/// Scale the time-like fields of a [`FlowerConfig`].
+pub fn scale_flower(base: &FlowerConfig, scale: RunScale) -> FlowerConfig {
+    let mut f = base.clone();
+    f.t_gossip = scale.scale_duration(f.t_gossip);
+    f.keepalive_period = scale.scale_duration(f.keepalive_period);
+    f.stabilize_period = scale.scale_duration(f.stabilize_period);
+    f.fix_finger_period = scale.scale_duration(f.fix_finger_period);
+    f.dir_replacement_jitter = scale.scale_duration(f.dir_replacement_jitter);
+    f
+}
+
+/// The matching Squirrel configuration (same topology, catalog,
+/// workload, seed).
+pub fn squirrel_config(scale: RunScale, seed: u64) -> SquirrelConfig {
+    let mut cfg = SquirrelConfig::paper();
+    cfg.seed = seed;
+    cfg.workload.duration_ms = scale.scale_duration(SimDuration::from_hours(24)).as_ms();
+    cfg.window = scale.scale_duration(SimDuration::from_mins(30));
+    cfg
+}
+
+/// Run Flower-CDN and return the system (for series/histograms) plus
+/// its report.
+pub fn run_flower(cfg: &SystemConfig) -> (FlowerSystem, SystemReport) {
+    FlowerSystem::run(cfg)
+}
+
+/// Run Squirrel likewise.
+pub fn run_squirrel(cfg: &SquirrelConfig) -> (SquirrelSystem, SquirrelReport) {
+    SquirrelSystem::run(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(RunScale::parse("full").unwrap(), RunScale::Full);
+        assert_eq!(RunScale::parse("0.25").unwrap(), RunScale::Scaled(0.25));
+        assert!(RunScale::parse("0").is_err());
+        assert!(RunScale::parse("2.0").is_err());
+        assert!(RunScale::parse("x").is_err());
+    }
+
+    #[test]
+    fn scaled_config_shrinks_time_not_space() {
+        let full = flower_config(RunScale::Full, 1);
+        let tenth = flower_config(RunScale::Scaled(0.1), 1);
+        assert_eq!(tenth.topology.nodes, full.topology.nodes);
+        assert_eq!(tenth.catalog.num_websites, full.catalog.num_websites);
+        assert_eq!(tenth.workload.duration_ms, full.workload.duration_ms / 10);
+        assert_eq!(tenth.flower.t_gossip.as_ms(), full.flower.t_gossip.as_ms() / 10);
+        assert_eq!(tenth.flower.v_gossip, full.flower.v_gossip);
+    }
+}

@@ -1,0 +1,220 @@
+//! One-way push of content-list deltas (paper §4.2.1, Algorithm 5).
+//!
+//! A content peer monitors the changes (object insertions and
+//! deletions) to its content list; whenever the percentage of
+//! unreported changes reaches a threshold, it extracts a `∆list` and
+//! pushes it to its directory peer. The same mechanism governs when a
+//! directory peer refreshes the directory summaries it sends to its
+//! D-ring neighbours (§4.2.1, delayed propagation per Fan et al.).
+
+/// Whether an object was added to or removed from the list.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChangeKind {
+    /// The object is newly held.
+    Added,
+    /// The object was dropped.
+    Removed,
+}
+
+/// The accumulated, not-yet-pushed changes of a content list: the
+/// paper's `∆list`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChangeLog<T> {
+    /// Objects added since the last push.
+    pub added: Vec<T>,
+    /// Objects removed since the last push.
+    pub removed: Vec<T>,
+}
+
+impl<T> Default for ChangeLog<T> {
+    fn default() -> Self {
+        ChangeLog { added: Vec::new(), removed: Vec::new() }
+    }
+}
+
+impl<T: PartialEq> ChangeLog<T> {
+    /// An empty log.
+    pub fn new() -> Self {
+        ChangeLog { added: Vec::new(), removed: Vec::new() }
+    }
+
+    /// Record one change. An add followed by a remove of the same item
+    /// (or vice versa) cancels out, leaving no pending change for it.
+    pub fn record(&mut self, item: T, kind: ChangeKind) {
+        match kind {
+            ChangeKind::Added => {
+                if let Some(i) = self.removed.iter().position(|x| *x == item) {
+                    self.removed.swap_remove(i);
+                } else if !self.added.contains(&item) {
+                    self.added.push(item);
+                }
+            }
+            ChangeKind::Removed => {
+                if let Some(i) = self.added.iter().position(|x| *x == item) {
+                    self.added.swap_remove(i);
+                } else if !self.removed.contains(&item) {
+                    self.removed.push(item);
+                }
+            }
+        }
+    }
+
+    /// `count_changes()` of Algorithm 5.
+    pub fn count(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// `extract_changes()` of Algorithm 5: take the ∆list, leaving the
+    /// log empty.
+    pub fn extract(&mut self) -> ChangeLog<T> {
+        std::mem::take(self)
+    }
+}
+
+impl<T> ChangeLog<T> {
+    /// Modelled wire size: each change ships one object id (8 bytes)
+    /// plus a one-byte op code.
+    pub fn wire_size(&self) -> u32 {
+        ((self.added.len() + self.removed.len()) * 9) as u32
+    }
+}
+
+/// The push-threshold policy of Algorithm 5: push when pending changes
+/// reach `threshold` as a fraction of the current list size.
+#[derive(Clone, Copy, Debug)]
+pub struct PushPolicy {
+    threshold: f64,
+}
+
+impl PushPolicy {
+    /// A policy pushing when `pending / list_len >= threshold`.
+    /// Table 1 explores thresholds 0.1, 0.5 and 0.7.
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold > 0.0, "a zero threshold would push on every change");
+        PushPolicy { threshold }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Decide whether to push given `pending` unreported changes and a
+    /// content list of `list_len` objects. An empty list with pending
+    /// changes always pushes (the ratio is unbounded).
+    pub fn should_push(&self, pending: usize, list_len: usize) -> bool {
+        if pending == 0 {
+            return false;
+        }
+        if list_len == 0 {
+            return true;
+        }
+        pending as f64 / list_len as f64 >= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_extract() {
+        let mut log = ChangeLog::new();
+        log.record(1u32, ChangeKind::Added);
+        log.record(2, ChangeKind::Added);
+        log.record(3, ChangeKind::Removed);
+        assert_eq!(log.count(), 3);
+        let delta = log.extract();
+        assert_eq!(delta.added, vec![1, 2]);
+        assert_eq!(delta.removed, vec![3]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn add_remove_cancels() {
+        let mut log = ChangeLog::new();
+        log.record(7u32, ChangeKind::Added);
+        log.record(7, ChangeKind::Removed);
+        assert!(log.is_empty());
+        log.record(8, ChangeKind::Removed);
+        log.record(8, ChangeKind::Added);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn duplicate_changes_collapse() {
+        let mut log = ChangeLog::new();
+        log.record(1u32, ChangeKind::Added);
+        log.record(1, ChangeKind::Added);
+        assert_eq!(log.count(), 1);
+    }
+
+    #[test]
+    fn wire_size_model() {
+        let mut log = ChangeLog::new();
+        log.record(1u32, ChangeKind::Added);
+        log.record(2, ChangeKind::Removed);
+        assert_eq!(log.wire_size(), 18);
+    }
+
+    #[test]
+    fn policy_thresholds() {
+        let p = PushPolicy::new(0.1);
+        assert!(!p.should_push(0, 100));
+        assert!(!p.should_push(9, 100));
+        assert!(p.should_push(10, 100));
+        assert!(p.should_push(1, 0), "first object on empty list pushes");
+        let strict = PushPolicy::new(0.7);
+        assert!(!strict.should_push(69, 100));
+        assert!(strict.should_push(70, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero threshold")]
+    fn zero_threshold_rejected() {
+        let _ = PushPolicy::new(0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// After any sequence of changes, no item appears in both the
+        /// added and removed sets, and no set has duplicates.
+        #[test]
+        fn changelog_consistency(ops in proptest::collection::vec((0u8..20, any::<bool>()), 0..100)) {
+            let mut log = ChangeLog::new();
+            for (item, add) in ops {
+                log.record(item, if add { ChangeKind::Added } else { ChangeKind::Removed });
+            }
+            for a in &log.added {
+                prop_assert!(!log.removed.contains(a));
+            }
+            let dedup = |v: &Vec<u8>| {
+                let mut s = v.clone();
+                s.sort_unstable();
+                s.dedup();
+                s.len()
+            };
+            prop_assert_eq!(dedup(&log.added), log.added.len());
+            prop_assert_eq!(dedup(&log.removed), log.removed.len());
+        }
+
+        /// should_push is monotone in pending changes.
+        #[test]
+        fn policy_monotone(threshold in 0.01f64..1.0, list_len in 0usize..500, pending in 0usize..500) {
+            let p = PushPolicy::new(threshold);
+            if p.should_push(pending, list_len) {
+                prop_assert!(p.should_push(pending + 1, list_len));
+            }
+        }
+    }
+}

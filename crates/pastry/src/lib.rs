@@ -1,0 +1,36 @@
+//! # pastry — a Pastry DHT substrate
+//!
+//! The Flower-CDN paper names two structured overlays its D-ring can
+//! run on: "any existing structured overlay based on a standard DHT
+//! (e.g., Chord, Pastry)" (§3.1). The evaluation simulates Chord (our
+//! [`chord`] crate); this crate implements **Pastry** (Rowstron &
+//! Druschel, Middleware 2001) to back that portability claim with
+//! code:
+//!
+//! * 64-bit identifiers interpreted as 16 hexadecimal digits
+//!   (`b = 4`);
+//! * a **leaf set** of the `L/2` numerically closest peers on each
+//!   side, which both defines responsibility (the numerically closest
+//!   leaf owns a key — Pastry's rule, and exactly the "numerically
+//!   closest" redirection the paper describes in §3.2) and provides
+//!   the final routing step;
+//! * a **routing table** of `16 × 16` prefix-matched entries, giving
+//!   `O(log₁₆ n)` hops;
+//! * [`state::stable_mesh`] building a converged network (leaf sets +
+//!   routing tables) for simulation bootstrap, mirroring
+//!   `chord::stable_ring`.
+//!
+//! The integration test `dring_over_pastry` routes D-ring keys over a
+//! Pastry mesh and shows the property the paper relies on: an absent
+//! directory's key is delivered to a ring-adjacent directory — with
+//! the D-ring id layout, almost always one of the same website.
+
+pub mod routing;
+pub mod state;
+
+pub use routing::{route_synchronously, RouteOutcome};
+pub use state::{stable_mesh, PastryConfig, PastryState};
+
+/// Re-export the shared id/peer types (Pastry and Chord share the
+/// 64-bit identifier space in this workspace).
+pub use chord::{ChordId as PastryId, PeerRef};

@@ -1,0 +1,176 @@
+//! Synchronous multi-hop routing over a set of Pastry states — the
+//! test/verification harness mirroring how the simulator would drive
+//! per-hop forwarding.
+
+use std::collections::HashMap;
+
+use chord::ChordId as PastryId;
+use simnet::NodeId;
+
+use crate::state::PastryState;
+
+/// Result of routing a key to its owner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// The node that delivered (the owner per Pastry's rule).
+    pub owner: NodeId,
+    /// Hops taken (0 = delivered at the start node).
+    pub hops: usize,
+}
+
+/// Route `key` starting at `start` across `states`, following each
+/// node's `next_hop` decision. Panics on a routing loop (more hops
+/// than nodes), which would indicate a broken mesh.
+pub fn route_synchronously(
+    states: &HashMap<NodeId, PastryState>,
+    start: NodeId,
+    key: PastryId,
+) -> RouteOutcome {
+    let mut at = start;
+    let mut hops = 0usize;
+    loop {
+        let st = states.get(&at).expect("route reached unknown node");
+        match st.next_hop(key) {
+            None => return RouteOutcome { owner: at, hops },
+            Some(next) => {
+                hops += 1;
+                assert!(
+                    hops <= states.len(),
+                    "routing loop: key {key:?} from {start:?} stuck at {at:?}"
+                );
+                at = next.node;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{stable_mesh, PastryConfig};
+    use chord::PeerRef;
+
+    fn mesh(n: u64) -> (HashMap<NodeId, PastryState>, Vec<PeerRef>) {
+        let members: Vec<PeerRef> = (0..n)
+            .map(|i| PeerRef { id: PastryId(chord::hash64(i)), node: NodeId(i as u32) })
+            .collect();
+        let states = stable_mesh(&members, &PastryConfig::default());
+        (members.iter().map(|m| m.node).zip(states).collect(), members)
+    }
+
+    fn owner_of(members: &[PeerRef], key: PastryId) -> NodeId {
+        members
+            .iter()
+            .min_by_key(|p| (p.id.ring_distance(key), p.id.0))
+            .expect("non-empty")
+            .node
+    }
+
+    #[test]
+    fn every_start_reaches_the_numerically_closest_owner() {
+        let (states, members) = mesh(48);
+        for probe in 0..64u64 {
+            let key = PastryId(chord::hash64(10_000 + probe));
+            let expect = owner_of(&members, key);
+            for m in &members {
+                let got = route_synchronously(&states, m.node, key);
+                assert_eq!(got.owner, expect, "key {key:?} from {:?}", m.node);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_ids_deliver_at_their_nodes() {
+        let (states, members) = mesh(32);
+        for m in &members {
+            let got = route_synchronously(&states, members[0].node, m.id);
+            assert_eq!(got.owner, m.node);
+        }
+    }
+
+    #[test]
+    fn hop_counts_are_logarithmic() {
+        let (states, members) = mesh(256);
+        let mut total = 0usize;
+        let probes = 128u64;
+        for probe in 0..probes {
+            let key = PastryId(chord::hash64(99_000 + probe));
+            let start = members[(probe % 256) as usize].node;
+            total += route_synchronously(&states, start, key).hops;
+        }
+        let avg = total as f64 / probes as f64;
+        // log16(256) = 2; leaf-set shortcuts keep it low. Anything
+        // beyond ~5 would mean prefix routing is broken.
+        assert!(avg <= 5.0, "average hops {avg} too high for 256 nodes");
+        assert!(avg >= 0.5, "suspiciously low average {avg}");
+    }
+
+    #[test]
+    fn mesh_survives_isolated_failures() {
+        let (mut states, members) = mesh(64);
+        // Kill 4 nodes; purge them from everyone and re-route.
+        let dead: Vec<NodeId> = members.iter().take(4).map(|m| m.node).collect();
+        for d in &dead {
+            states.remove(d);
+        }
+        for st in states.values_mut() {
+            for d in &dead {
+                st.on_peer_dead(*d);
+            }
+        }
+        let alive: Vec<&PeerRef> =
+            members.iter().filter(|m| !dead.contains(&m.node)).collect();
+        for probe in 0..32u64 {
+            let key = PastryId(chord::hash64(55_000 + probe));
+            let expect = alive
+                .iter()
+                .min_by_key(|p| (p.id.ring_distance(key), p.id.0))
+                .unwrap()
+                .node;
+            let start = alive[(probe % alive.len() as u64) as usize].node;
+            let got = route_synchronously(&states, start, key);
+            assert_eq!(got.owner, expect, "key {key:?} after failures");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::state::{stable_mesh, PastryConfig};
+    use chord::PeerRef;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Routing terminates at the unique numerically-closest member
+        /// from any start, for arbitrary meshes and keys.
+        #[test]
+        fn convergent_ownership(
+            ids in proptest::collection::btree_set(any::<u64>(), 2..40),
+            key in any::<u64>(),
+        ) {
+            let members: Vec<PeerRef> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, id)| PeerRef { id: PastryId(*id), node: NodeId(i as u32) })
+                .collect();
+            let states: HashMap<NodeId, PastryState> = members
+                .iter()
+                .map(|m| m.node)
+                .zip(stable_mesh(&members, &PastryConfig::default()))
+                .collect();
+            let key = PastryId(key);
+            let expect = members
+                .iter()
+                .min_by_key(|p| (p.id.ring_distance(key), p.id.0))
+                .unwrap()
+                .node;
+            for m in &members {
+                let got = route_synchronously(&states, m.node, key);
+                prop_assert_eq!(got.owner, expect);
+            }
+        }
+    }
+}

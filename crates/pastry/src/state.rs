@@ -1,0 +1,343 @@
+//! Pure Pastry node state: leaf sets and prefix routing tables.
+
+use chord::{ChordId as PastryId, PeerRef};
+
+/// Hex digits in a 64-bit identifier.
+pub const DIGITS: usize = 16;
+/// Radix (b = 4 bits per digit).
+pub const RADIX: usize = 16;
+
+/// Tunables of the Pastry instance.
+#[derive(Clone, Debug)]
+pub struct PastryConfig {
+    /// Leaf-set half size (`L/2` peers on each side; Pastry typically
+    /// uses 8 or 16 total).
+    pub leaf_half: usize,
+}
+
+impl Default for PastryConfig {
+    fn default() -> Self {
+        PastryConfig { leaf_half: 8 }
+    }
+}
+
+/// The `row`-th hex digit (most significant first) of `id`.
+pub fn digit(id: PastryId, row: usize) -> usize {
+    debug_assert!(row < DIGITS);
+    ((id.0 >> (60 - 4 * row)) & 0xF) as usize
+}
+
+/// Number of leading hex digits two ids share.
+pub fn shared_prefix_len(a: PastryId, b: PastryId) -> usize {
+    if a == b {
+        return DIGITS;
+    }
+    ((a.0 ^ b.0).leading_zeros() / 4) as usize
+}
+
+/// The local state of one Pastry peer.
+#[derive(Clone, Debug)]
+pub struct PastryState {
+    cfg: PastryConfig,
+    me: PeerRef,
+    /// `L/2` closest peers counter-clockwise (decreasing ids,
+    /// wrapping), nearest first.
+    leaf_smaller: Vec<PeerRef>,
+    /// `L/2` closest peers clockwise (increasing ids, wrapping),
+    /// nearest first.
+    leaf_larger: Vec<PeerRef>,
+    /// `table[row][col]`: a peer sharing `row` digits of prefix with
+    /// `me` whose next digit is `col`.
+    table: Vec<[Option<PeerRef>; RADIX]>,
+}
+
+impl PastryState {
+    /// An isolated node (leaf sets and table filled by
+    /// [`stable_mesh`] or, in a full deployment, by the join
+    /// protocol).
+    pub fn new(me: PeerRef, cfg: PastryConfig) -> Self {
+        PastryState {
+            cfg,
+            me,
+            leaf_smaller: Vec::new(),
+            leaf_larger: Vec::new(),
+            table: vec![[None; RADIX]; DIGITS],
+        }
+    }
+
+    /// This peer.
+    pub fn me(&self) -> PeerRef {
+        self.me
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PastryConfig {
+        &self.cfg
+    }
+
+    /// Both halves of the leaf set, nearest first.
+    pub fn leaves(&self) -> impl Iterator<Item = PeerRef> + '_ {
+        self.leaf_smaller.iter().chain(self.leaf_larger.iter()).copied()
+    }
+
+    /// All peers this node knows (leaf set + routing table).
+    pub fn known_peers(&self) -> Vec<PeerRef> {
+        let mut out: Vec<PeerRef> = self.leaves().collect();
+        out.extend(self.table.iter().flatten().flatten().copied());
+        out.sort_by_key(|p| p.id.0);
+        out.dedup_by_key(|p| p.node);
+        out
+    }
+
+    /// Install state directly (simulation bootstrap / tests).
+    pub fn install(
+        &mut self,
+        leaf_smaller: Vec<PeerRef>,
+        leaf_larger: Vec<PeerRef>,
+        table: Vec<[Option<PeerRef>; RADIX]>,
+    ) {
+        assert_eq!(table.len(), DIGITS, "routing table must have {DIGITS} rows");
+        self.leaf_smaller = leaf_smaller;
+        self.leaf_smaller.truncate(self.cfg.leaf_half);
+        self.leaf_larger = leaf_larger;
+        self.leaf_larger.truncate(self.cfg.leaf_half);
+        self.table = table;
+    }
+
+    /// Numerically closest candidate to `key` among this node and its
+    /// leaf set (Pastry's delivery rule: the message is delivered at
+    /// the live node numerically closest to the key).
+    pub fn closest_leaf(&self, key: PastryId) -> PeerRef {
+        let mut best = self.me;
+        let mut best_d = self.me.id.ring_distance(key);
+        for p in self.leaves() {
+            let d = p.id.ring_distance(key);
+            if d < best_d || (d == best_d && p.id.0 < best.id.0) {
+                best = p;
+                best_d = d;
+            }
+        }
+        best
+    }
+
+    /// Is `key` within this node's leaf-set span (so the closest leaf
+    /// is the true owner)?
+    pub fn key_in_leaf_range(&self, key: PastryId) -> bool {
+        // The span runs from the furthest counter-clockwise leaf to
+        // the furthest clockwise leaf. With fewer leaves than L/2 the
+        // node knows the whole (tiny) network and the span is total.
+        if self.leaf_smaller.len() < self.cfg.leaf_half
+            || self.leaf_larger.len() < self.cfg.leaf_half
+        {
+            return true;
+        }
+        let low = self.leaf_smaller.last().expect("non-empty").id;
+        let high = self.leaf_larger.last().expect("non-empty").id;
+        // key ∈ [low, high] going clockwise from low.
+        key == low || PastryId::in_open_closed(low, high, key)
+    }
+
+    /// Pastry's next-hop decision for `key`: `None` means "deliver
+    /// here".
+    pub fn next_hop(&self, key: PastryId) -> Option<PeerRef> {
+        if key == self.me.id {
+            return None;
+        }
+        // 1. Leaf set: if the key is in range, the numerically closest
+        //    leaf (possibly us) is the destination.
+        if self.key_in_leaf_range(key) {
+            let c = self.closest_leaf(key);
+            return if c.node == self.me.node { None } else { Some(c) };
+        }
+        // 2. Prefix routing: a peer sharing one more digit.
+        let l = shared_prefix_len(key, self.me.id);
+        if l < DIGITS {
+            if let Some(p) = self.table[l][digit(key, l)] {
+                return Some(p);
+            }
+        }
+        // 3. Rare case: any known peer with at least as long a shared
+        //    prefix and numerically closer to the key.
+        let my_d = self.me.id.ring_distance(key);
+        let candidate = self
+            .known_peers()
+            .into_iter()
+            .filter(|p| p.node != self.me.node)
+            .filter(|p| shared_prefix_len(p.id, key) >= l)
+            .filter(|p| p.id.ring_distance(key) < my_d)
+            .min_by_key(|p| (p.id.ring_distance(key), p.id.0));
+        candidate
+    }
+
+    /// Remove a dead peer from all structures. Returns true if it was
+    /// referenced.
+    pub fn on_peer_dead(&mut self, node: simnet::NodeId) -> bool {
+        let mut touched = false;
+        for v in [&mut self.leaf_smaller, &mut self.leaf_larger] {
+            let before = v.len();
+            v.retain(|p| p.node != node);
+            touched |= v.len() != before;
+        }
+        for row in &mut self.table {
+            for e in row.iter_mut() {
+                if e.map(|p| p.node) == Some(node) {
+                    *e = None;
+                    touched = true;
+                }
+            }
+        }
+        touched
+    }
+}
+
+/// Build globally consistent Pastry state for all `members` — the
+/// converged mesh a long-running deployment reaches, used (like
+/// `chord::stable_ring`) to start simulations from the paper's stable
+/// condition.
+pub fn stable_mesh(members: &[PeerRef], cfg: &PastryConfig) -> Vec<PastryState> {
+    assert!(!members.is_empty(), "mesh needs at least one member");
+    let mut sorted: Vec<PeerRef> = members.to_vec();
+    sorted.sort_by_key(|p| p.id.0);
+    for w in sorted.windows(2) {
+        assert!(w[0].id != w[1].id, "duplicate id {:?}", w[0].id);
+    }
+    let n = sorted.len();
+
+    members
+        .iter()
+        .map(|me| {
+            let pos = sorted.iter().position(|p| p.node == me.node).expect("member");
+            let mut st = PastryState::new(*me, cfg.clone());
+            // Use min(leaf_half, n-1) entries split around the ring;
+            // avoid double-counting when the ring is small.
+            let take = cfg.leaf_half.min(n.saturating_sub(1));
+            let mut smaller = Vec::with_capacity(take);
+            let mut larger = Vec::with_capacity(take);
+            for d in 1..=take {
+                larger.push(sorted[(pos + d) % n]);
+                smaller.push(sorted[(pos + n - d) % n]);
+            }
+            // Trim overlap in tiny networks: a peer should appear on
+            // one side only.
+            let mut seen: Vec<simnet::NodeId> = vec![me.node];
+            larger.retain(|p| {
+                if seen.contains(&p.node) {
+                    false
+                } else {
+                    seen.push(p.node);
+                    true
+                }
+            });
+            smaller.retain(|p| {
+                if seen.contains(&p.node) {
+                    false
+                } else {
+                    seen.push(p.node);
+                    true
+                }
+            });
+
+            let mut table: Vec<[Option<PeerRef>; RADIX]> = vec![[None; RADIX]; DIGITS];
+            for other in &sorted {
+                if other.node == me.node {
+                    continue;
+                }
+                let l = shared_prefix_len(me.id, other.id);
+                if l >= DIGITS {
+                    continue;
+                }
+                let c = digit(other.id, l);
+                let slot = &mut table[l][c];
+                // Prefer the numerically closest representative
+                // (deterministic; real Pastry prefers network
+                // proximity).
+                let better = match slot {
+                    None => true,
+                    Some(cur) => {
+                        (other.id.ring_distance(me.id), other.id.0)
+                            < (cur.id.ring_distance(me.id), cur.id.0)
+                    }
+                };
+                if better {
+                    *slot = Some(*other);
+                }
+            }
+            st.install(smaller, larger, table);
+            st
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NodeId;
+
+    fn peer(id: u64, node: u32) -> PeerRef {
+        PeerRef { id: PastryId(id), node: NodeId(node) }
+    }
+
+    #[test]
+    fn digits_and_prefixes() {
+        let a = PastryId(0x1234_5678_9ABC_DEF0);
+        assert_eq!(digit(a, 0), 0x1);
+        assert_eq!(digit(a, 1), 0x2);
+        assert_eq!(digit(a, 15), 0x0);
+        let b = PastryId(0x1234_5000_0000_0000);
+        assert_eq!(shared_prefix_len(a, b), 5);
+        assert_eq!(shared_prefix_len(a, a), DIGITS);
+        assert_eq!(shared_prefix_len(PastryId(0), PastryId(u64::MAX)), 0);
+    }
+
+    #[test]
+    fn single_node_delivers_everything() {
+        let st = stable_mesh(&[peer(42, 0)], &PastryConfig::default());
+        assert!(st[0].next_hop(PastryId(7)).is_none());
+        assert!(st[0].next_hop(PastryId(u64::MAX)).is_none());
+    }
+
+    #[test]
+    fn leaf_sets_are_ring_neighbours() {
+        let members: Vec<PeerRef> =
+            (0..20u64).map(|i| peer(chord::hash64(i), i as u32)).collect();
+        let states = stable_mesh(&members, &PastryConfig::default());
+        let mut sorted = members.clone();
+        sorted.sort_by_key(|p| p.id.0);
+        for st in &states {
+            let pos = sorted.iter().position(|p| p.node == st.me().node).unwrap();
+            // Nearest clockwise leaf is the ring successor.
+            let succ = sorted[(pos + 1) % sorted.len()];
+            assert_eq!(st.leaf_larger[0].node, succ.node);
+            let pred = sorted[(pos + sorted.len() - 1) % sorted.len()];
+            assert_eq!(st.leaf_smaller[0].node, pred.node);
+        }
+    }
+
+    #[test]
+    fn routing_table_entries_share_prefix() {
+        let members: Vec<PeerRef> =
+            (0..64u64).map(|i| peer(chord::hash64(i * 31), i as u32)).collect();
+        let states = stable_mesh(&members, &PastryConfig::default());
+        for st in &states {
+            for (row, cols) in st.table.iter().enumerate() {
+                for (col, e) in cols.iter().enumerate() {
+                    if let Some(p) = e {
+                        assert_eq!(shared_prefix_len(p.id, st.me().id), row);
+                        assert_eq!(digit(p.id, row), col);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_peers_are_purged() {
+        let members: Vec<PeerRef> =
+            (0..10u64).map(|i| peer(chord::hash64(i), i as u32)).collect();
+        let mut st = stable_mesh(&members, &PastryConfig::default())[0].clone();
+        let victim = st.leaf_larger[0].node;
+        assert!(st.on_peer_dead(victim));
+        assert!(st.known_peers().iter().all(|p| p.node != victim));
+        assert!(!st.on_peer_dead(victim));
+    }
+}

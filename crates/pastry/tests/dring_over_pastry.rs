@@ -1,0 +1,139 @@
+//! The paper's portability claim (§3.1): "D-Ring can be integrated
+//! into any existing structured overlay based on a standard DHT
+//! (e.g., Chord, Pastry)."
+//!
+//! This test runs the D-ring key scheme over the Pastry substrate and
+//! verifies the two properties query routing needs:
+//!
+//! 1. when `d_{ws,loc}` is alive, the key `key(ws, loc)` is delivered
+//!    exactly there;
+//! 2. when it is absent, Pastry's numerically-closest delivery lands
+//!    the query on a *ring-adjacent* directory — with the D-ring id
+//!    layout (website prefix ‖ locality) that is a same-website
+//!    directory whenever the website has another one, i.e. Algorithm
+//!    2's goal falls out of Pastry's delivery rule.
+
+use std::collections::HashMap;
+
+use chord::PeerRef;
+use flower_core::id::KeyScheme;
+use pastry::{route_synchronously, stable_mesh, PastryConfig, PastryState};
+use simnet::{Locality, NodeId};
+use workload::WebsiteId;
+
+fn build_dring(
+    websites: u16,
+    localities: u16,
+    skip: Option<(u16, u16)>,
+) -> (HashMap<NodeId, PastryState>, Vec<PeerRef>, KeyScheme) {
+    let scheme = KeyScheme::new(8, 0);
+    let mut members = Vec::new();
+    let mut idx = 0u32;
+    for ws in 0..websites {
+        for l in 0..localities {
+            if skip == Some((ws, l)) {
+                continue;
+            }
+            members.push(PeerRef {
+                id: scheme.key(WebsiteId(ws), Locality(l)),
+                node: NodeId(idx),
+            });
+            idx += 1;
+        }
+    }
+    let states = stable_mesh(&members, &PastryConfig::default());
+    (members.iter().map(|m| m.node).zip(states).collect(), members, scheme)
+}
+
+#[test]
+fn present_directories_are_hit_exactly() {
+    let (states, members, scheme) = build_dring(20, 6, None);
+    for ws in 0..20u16 {
+        for l in 0..6u16 {
+            let key = scheme.key(WebsiteId(ws), Locality(l));
+            let expect = members.iter().find(|m| m.id == key).expect("dir exists").node;
+            // From several different start points.
+            for start in [0u32, 7, 63, 100] {
+                let got = route_synchronously(&states, NodeId(start % members.len() as u32), key);
+                assert_eq!(got.owner, expect, "d(ws{ws},loc{l}) missed");
+            }
+        }
+    }
+}
+
+#[test]
+fn absent_directory_falls_to_a_same_website_neighbour() {
+    // Remove d(ws=5, loc=3); queries for it must land on another
+    // directory of website 5 (locality 2 or 4 — its ring neighbours).
+    let (states, members, scheme) = build_dring(20, 6, Some((5, 3)));
+    let key = scheme.key(WebsiteId(5), Locality(3));
+    for m in members.iter().step_by(7) {
+        let got = route_synchronously(&states, m.node, key);
+        let owner = members.iter().find(|p| p.node == got.owner).unwrap();
+        assert!(
+            scheme.same_website(owner.id, key),
+            "query for the absent directory landed on another website: {:?}",
+            owner.id
+        );
+        let landed_loc = scheme.locality_of(owner.id);
+        assert!(
+            landed_loc == Locality(2) || landed_loc == Locality(4),
+            "expected a ring-adjacent locality, got {landed_loc}"
+        );
+    }
+}
+
+#[test]
+fn hop_counts_stay_logarithmic_at_dring_scale() {
+    // The paper's D-ring: 100 websites × 6 localities = 600 members.
+    let (states, members, scheme) = build_dring(100, 6, None);
+    assert_eq!(members.len(), 600);
+    let mut total = 0usize;
+    let mut probes = 0usize;
+    for ws in (0..100u16).step_by(9) {
+        for l in 0..6u16 {
+            let key = scheme.key(WebsiteId(ws), Locality(l));
+            let start = members[(ws as usize * 31 + l as usize) % members.len()].node;
+            total += route_synchronously(&states, start, key).hops;
+            probes += 1;
+        }
+    }
+    let avg = total as f64 / probes as f64;
+    assert!(avg <= 5.0, "average hops {avg} too high for 600 members");
+}
+
+#[test]
+fn chord_and_pastry_agree_on_dring_ownership() {
+    // Same members, same keys: both substrates must deliver a key to
+    // the same directory (the numerically closest one).
+    let (pastry_states, members, scheme) = build_dring(12, 4, Some((3, 1)));
+    let chord_states = chord::stable_ring(&members, &chord::ChordConfig::default());
+    let by_node: HashMap<NodeId, &chord::ChordState> =
+        members.iter().map(|m| m.node).zip(chord_states.iter()).collect();
+
+    for ws in 0..12u16 {
+        for l in 0..4u16 {
+            let key = scheme.key(WebsiteId(ws), Locality(l));
+            let pastry_owner = route_synchronously(&pastry_states, members[0].node, key).owner;
+            // Chord's owner: the member whose is_responsible holds.
+            let chord_owner = members
+                .iter()
+                .find(|m| by_node[&m.node].is_responsible(key))
+                .expect("some owner")
+                .node;
+            // Chord assigns a key to its clockwise successor, Pastry
+            // to the numerically closest node; for *present* keys both
+            // are the exact directory. For the absent key they may
+            // name the two different ring neighbours — both of the
+            // same website thanks to the id layout.
+            if members.iter().any(|m| m.id == key) {
+                assert_eq!(pastry_owner, chord_owner, "substrates disagree on ws{ws} loc{l}");
+            } else {
+                let p = members.iter().find(|m| m.node == pastry_owner).unwrap();
+                let c = members.iter().find(|m| m.node == chord_owner).unwrap();
+                assert!(scheme.same_website(p.id, key));
+                assert!(scheme.same_website(c.id, key));
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Churn generation: session-based node failures and recoveries.
+//!
+//! The paper's evaluation runs in a stable environment and announces
+//! churn analysis as ongoing work (§8); the protocol sections (§5)
+//! nevertheless specify full failure handling. This module generates
+//! deterministic churn scripts — alternating up/down sessions with
+//! exponentially distributed lengths — used by the recovery tests and
+//! the `churn` experiment extension.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+
+/// What happens to a node at a churn event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChurnKind {
+    /// The node crashes (or leaves without notice).
+    Down,
+    /// The node comes back online.
+    Up,
+}
+
+/// One scheduled churn action.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnEvent {
+    /// When the action happens.
+    pub at: SimTime,
+    /// The affected node.
+    pub node: NodeId,
+    /// Crash or recovery.
+    pub kind: ChurnKind,
+}
+
+/// Parameters of the session-based churn model.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Churn starts after this warm-up offset.
+    pub start: SimTime,
+    /// No churn events are generated after this time.
+    pub end: SimTime,
+    /// Mean online-session length (exponential).
+    pub mean_session: SimDuration,
+    /// Mean offline time before recovery (exponential).
+    pub mean_downtime: SimDuration,
+    /// If set, a node that goes down stays down forever (pure failure
+    /// model rather than rejoin model).
+    pub permanent: bool,
+}
+
+impl ChurnConfig {
+    /// A moderate default: 2 h mean sessions, 10 min mean downtime.
+    pub fn moderate(start: SimTime, end: SimTime) -> Self {
+        ChurnConfig {
+            start,
+            end,
+            mean_session: SimDuration::from_hours(2),
+            mean_downtime: SimDuration::from_mins(10),
+            permanent: false,
+        }
+    }
+}
+
+/// A deterministic list of churn events for a set of nodes.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnScript {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnScript {
+    /// An empty script (no churn).
+    pub fn none() -> Self {
+        ChurnScript::default()
+    }
+
+    /// Generate alternating down/up events for each node in
+    /// `affected`, deterministically from `seed`.
+    pub fn generate(cfg: &ChurnConfig, affected: &[NodeId], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4_11);
+        let mut events = Vec::new();
+        for &node in affected {
+            let mut t = cfg.start;
+            loop {
+                // Online session, then crash.
+                t = t + exponential(&mut rng, cfg.mean_session);
+                if t >= cfg.end {
+                    break;
+                }
+                events.push(ChurnEvent { at: t, node, kind: ChurnKind::Down });
+                if cfg.permanent {
+                    break;
+                }
+                // Offline period, then recovery.
+                t = t + exponential(&mut rng, cfg.mean_downtime);
+                if t >= cfg.end {
+                    break;
+                }
+                events.push(ChurnEvent { at: t, node, kind: ChurnKind::Up });
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        ChurnScript { events }
+    }
+
+    /// A script that kills exactly the given nodes at the given times
+    /// (targeted failure injection, e.g. killing a directory peer).
+    pub fn kill_at(kills: &[(SimTime, NodeId)]) -> Self {
+        let mut events: Vec<ChurnEvent> = kills
+            .iter()
+            .map(|(at, node)| ChurnEvent { at: *at, node: *node, kind: ChurnKind::Down })
+            .collect();
+        events.sort_by_key(|e| e.at);
+        ChurnScript { events }
+    }
+
+    /// The ordered events.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Install every event of this script into `engine`.
+    pub fn install<M, N>(&self, engine: &mut crate::engine::Engine<M, N>)
+    where
+        M: crate::engine::Message,
+        N: crate::engine::Node<M>,
+    {
+        for ev in &self.events {
+            match ev.kind {
+                ChurnKind::Down => engine.schedule_down(ev.at, ev.node),
+                ChurnKind::Up => engine.schedule_up(ev.at, ev.node),
+            }
+        }
+    }
+}
+
+/// Exponentially distributed duration with the given mean (at least
+/// 1 ms so events never collapse onto the same instant en masse).
+fn exponential(rng: &mut StdRng, mean: SimDuration) -> SimDuration {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let ms = -u.ln() * mean.as_ms() as f64;
+    SimDuration::from_ms((ms.round() as u64).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ChurnConfig {
+        ChurnConfig::moderate(SimTime::from_hours(1), SimTime::from_hours(24))
+    }
+
+    #[test]
+    fn script_is_deterministic() {
+        let nodes: Vec<NodeId> = (0..20).map(NodeId).collect();
+        let a = ChurnScript::generate(&cfg(), &nodes, 7);
+        let b = ChurnScript::generate(&cfg(), &nodes, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.node, y.node);
+            assert_eq!(x.kind, y.kind);
+        }
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_in_range() {
+        let nodes: Vec<NodeId> = (0..50).map(NodeId).collect();
+        let s = ChurnScript::generate(&cfg(), &nodes, 3);
+        assert!(!s.is_empty(), "24h of churn should produce events");
+        let mut last = SimTime::ZERO;
+        for e in s.events() {
+            assert!(e.at >= last);
+            assert!(e.at >= cfg().start && e.at < cfg().end);
+            last = e.at;
+        }
+    }
+
+    #[test]
+    fn per_node_alternates_down_up() {
+        let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let s = ChurnScript::generate(&cfg(), &nodes, 11);
+        for &n in &nodes {
+            let kinds: Vec<ChurnKind> =
+                s.events().iter().filter(|e| e.node == n).map(|e| e.kind).collect();
+            for (i, k) in kinds.iter().enumerate() {
+                let expect = if i % 2 == 0 { ChurnKind::Down } else { ChurnKind::Up };
+                assert_eq!(*k, expect, "node {n:?} event {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn permanent_failures_never_recover() {
+        let cfg = ChurnConfig { permanent: true, ..cfg() };
+        let nodes: Vec<NodeId> = (0..30).map(NodeId).collect();
+        let s = ChurnScript::generate(&cfg, &nodes, 5);
+        assert!(s.events().iter().all(|e| e.kind == ChurnKind::Down));
+        // At most one event per node.
+        for &n in &nodes {
+            assert!(s.events().iter().filter(|e| e.node == n).count() <= 1);
+        }
+    }
+
+    #[test]
+    fn kill_at_sorted() {
+        let s = ChurnScript::kill_at(&[
+            (SimTime::from_secs(10), NodeId(2)),
+            (SimTime::from_secs(5), NodeId(1)),
+        ]);
+        assert_eq!(s.events()[0].node, NodeId(1));
+        assert_eq!(s.events()[1].node, NodeId(2));
+        assert!(s.events().iter().all(|e| e.kind == ChurnKind::Down));
+    }
+}

@@ -1,0 +1,561 @@
+//! The protocol engine: message delivery with link latency, timers,
+//! failure signalling, traffic accounting, and churn.
+//!
+//! Protocols are written as message-driven state machines: a node type
+//! implements [`Node`] for a protocol-specific message enum `M`
+//! implementing [`Message`]. All interaction with the outside world
+//! goes through [`Ctx`] — sending messages, arming timers, reading the
+//! clock/topology, and recording metrics — which keeps the protocol
+//! logic purely deterministic and unit-testable.
+//!
+//! Failure model: messages to a node that is *down* are dropped, and
+//! the sender receives an [`Event::Undeliverable`] notification one
+//! round trip later (modelling a connection-refused error). This is
+//! what drives the paper's redirection-failure handling (§5.1) and
+//! directory-failure detection (§5.2) without a global liveness
+//! oracle.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::event::EventQueue;
+use crate::stats::{QueryStats, TimeSeries, Traffic, TrafficClass};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{Locality, NodeId, Topology};
+
+/// A simulated wire message: every protocol message reports its size
+/// in bytes (for the paper's bandwidth metric) and its traffic class.
+pub trait Message: std::fmt::Debug {
+    /// Modelled serialized size in bytes.
+    fn wire_size(&self) -> u32;
+    /// Classification for traffic accounting.
+    fn class(&self) -> TrafficClass;
+}
+
+/// What a node can observe.
+#[derive(Debug)]
+pub enum Event<M> {
+    /// A message arrived from `from`.
+    Recv {
+        /// Sender of the message.
+        from: NodeId,
+        /// The message payload.
+        msg: M,
+    },
+    /// A timer armed with [`Ctx::set_timer`] fired.
+    Timer {
+        /// Application-defined timer kind.
+        kind: u16,
+        /// Application-defined payload for the timer.
+        tag: u64,
+    },
+    /// A message previously sent to `to` could not be delivered
+    /// because `to` is down. Arrives one round-trip after the send.
+    Undeliverable {
+        /// The unreachable destination.
+        to: NodeId,
+        /// The original message.
+        msg: M,
+    },
+    /// This node was revived after a churn-induced failure. State was
+    /// NOT cleared automatically; the protocol decides what survives a
+    /// restart (the paper: a revived peer rejoins as a new client).
+    NodeUp,
+}
+
+/// A protocol state machine bound to one simulated node.
+pub trait Node<M: Message> {
+    /// Handle one event. Use `ctx` to send messages, arm timers and
+    /// record metrics.
+    fn on_event(&mut self, ctx: &mut Ctx<'_, M>, ev: Event<M>);
+}
+
+/// Output actions buffered during an event handler.
+#[derive(Debug)]
+pub enum Action<M> {
+    /// Send `msg` to `to` (arrives after one link latency).
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Message payload.
+        msg: M,
+    },
+    /// Deliver `Event::Timer { kind, tag }` to self after `delay`.
+    Timer {
+        /// Delay until the timer fires.
+        delay: SimDuration,
+        /// Application-defined timer kind.
+        kind: u16,
+        /// Application-defined payload.
+        tag: u64,
+    },
+}
+
+/// The per-event execution context handed to [`Node::on_event`].
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    id: NodeId,
+    topo: &'a Topology,
+    rng: &'a mut StdRng,
+    query_stats: &'a mut QueryStats,
+    gauges: &'a mut GaugeSet,
+    out: Vec<Action<M>>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this event is executing on.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes in the underlay.
+    pub fn num_nodes(&self) -> usize {
+        self.topo.num_nodes()
+    }
+
+    /// Network locality of `n` (landmark measurement; §6.1).
+    pub fn locality(&self, n: NodeId) -> Locality {
+        self.topo.locality(n)
+    }
+
+    /// Number of localities `k`.
+    pub fn num_localities(&self) -> usize {
+        self.topo.num_localities()
+    }
+
+    /// Measured one-way latency between two nodes in milliseconds.
+    /// Protocols use this for the transfer-distance metric and for
+    /// latency-aware choices, mirroring the landmark-style probing the
+    /// paper assumes peers can perform.
+    pub fn latency_ms(&self, a: NodeId, b: NodeId) -> u64 {
+        self.topo.latency_ms(a, b)
+    }
+
+    /// Deterministic RNG shared by the whole simulation.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Send a message (delivered after one link latency).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.out.push(Action::Send { to, msg });
+    }
+
+    /// Arm a timer on this node.
+    pub fn set_timer(&mut self, delay: SimDuration, kind: u16, tag: u64) {
+        self.out.push(Action::Timer { delay, kind, tag });
+    }
+
+    /// The paper's query metrics sink.
+    pub fn query_stats(&mut self) -> &mut QueryStats {
+        self.query_stats
+    }
+
+    /// Record an application gauge sample (e.g. participant count,
+    /// server load) into a named windowed series.
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.record(self.now, name, value);
+    }
+}
+
+/// Named application-level time series (gauges).
+#[derive(Debug, Default)]
+pub struct GaugeSet {
+    window: SimDuration,
+    series: std::collections::HashMap<&'static str, TimeSeries>,
+}
+
+impl GaugeSet {
+    fn new(window: SimDuration) -> Self {
+        GaugeSet { window, series: Default::default() }
+    }
+
+    fn record(&mut self, at: SimTime, name: &'static str, value: f64) {
+        let window = self.window;
+        self.series
+            .entry(name)
+            .or_insert_with(|| TimeSeries::new(window))
+            .record(at, value);
+    }
+
+    /// Fetch a gauge series by name.
+    pub fn get(&self, name: &'static str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+}
+
+/// Internal queue payload.
+#[derive(Debug)]
+enum Pending<M> {
+    App { dst: NodeId, ev: Event<M> },
+    /// Traffic-accounted message in flight (recorded at send time;
+    /// this wrapper only exists to detect dead destinations at
+    /// delivery time).
+    Wire { from: NodeId, to: NodeId, msg: M },
+    ChurnDown(NodeId),
+    ChurnUp(NodeId),
+}
+
+/// The simulation driver.
+///
+/// Owns the topology, all protocol nodes, the event queue, the clock,
+/// the RNG and all statistics. See the crate docs for an end-to-end
+/// example.
+pub struct Engine<M: Message, N: Node<M>> {
+    topo: Topology,
+    nodes: Vec<N>,
+    up: Vec<bool>,
+    queue: EventQueue<Pending<M>>,
+    now: SimTime,
+    rng: StdRng,
+    traffic: Traffic,
+    query_stats: QueryStats,
+    gauges: GaugeSet,
+    events_processed: u64,
+}
+
+impl<M: Message, N: Node<M>> Engine<M, N> {
+    /// Build an engine over `topo` with one protocol node per underlay
+    /// node and a 30-minute metric window (the paper's plots).
+    pub fn new(topo: Topology, nodes: Vec<N>, seed: u64) -> Self {
+        Self::with_window(topo, nodes, seed, SimDuration::from_mins(30))
+    }
+
+    /// As [`Engine::new`] with an explicit series window.
+    pub fn with_window(topo: Topology, nodes: Vec<N>, seed: u64, window: SimDuration) -> Self {
+        assert_eq!(
+            topo.num_nodes(),
+            nodes.len(),
+            "one protocol node per underlay node"
+        );
+        let n = nodes.len();
+        Engine {
+            topo,
+            nodes,
+            up: vec![true; n],
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            traffic: Traffic::new(n, window),
+            query_stats: QueryStats::new(window),
+            gauges: GaugeSet::new(window),
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The underlay topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Immutable access to a protocol node (inspection in tests and
+    /// harnesses).
+    pub fn node(&self, n: NodeId) -> &N {
+        &self.nodes[n.idx()]
+    }
+
+    /// Mutable access to a protocol node (setup in harnesses).
+    pub fn node_mut(&mut self, n: NodeId) -> &mut N {
+        &mut self.nodes[n.idx()]
+    }
+
+    /// Whether `n` is currently up.
+    pub fn is_up(&self, n: NodeId) -> bool {
+        self.up[n.idx()]
+    }
+
+    /// Traffic accounting.
+    pub fn traffic(&self) -> &Traffic {
+        &self.traffic
+    }
+
+    /// Query metrics.
+    pub fn query_stats(&self) -> &QueryStats {
+        &self.query_stats
+    }
+
+    /// Application gauges.
+    pub fn gauges(&self) -> &GaugeSet {
+        &self.gauges
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedule an event for `node` at absolute time `at` (external
+    /// injection: workload queries, test fixtures).
+    pub fn schedule_at(&mut self, at: SimTime, node: NodeId, ev: Event<M>) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.queue.push(at, Pending::App { dst: node, ev });
+    }
+
+    /// Schedule an event `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, node: NodeId, ev: Event<M>) {
+        self.queue.push(self.now + delay, Pending::App { dst: node, ev });
+    }
+
+    /// Take `node` down at time `at` (messages to it bounce, its
+    /// timers are swallowed).
+    pub fn schedule_down(&mut self, at: SimTime, node: NodeId) {
+        self.queue.push(at, Pending::ChurnDown(node));
+    }
+
+    /// Bring `node` back up at time `at`; it receives
+    /// [`Event::NodeUp`].
+    pub fn schedule_up(&mut self, at: SimTime, node: NodeId) {
+        self.queue.push(at, Pending::ChurnUp(node));
+    }
+
+    /// Run until the queue is exhausted or `deadline` is reached.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start_count = self.events_processed;
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let item = self.queue.pop().expect("peeked");
+            debug_assert!(item.at >= self.now, "time went backwards");
+            self.now = item.at;
+            self.dispatch(item.payload);
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.events_processed - start_count
+    }
+
+    fn dispatch(&mut self, p: Pending<M>) {
+        match p {
+            Pending::ChurnDown(n) => {
+                self.up[n.idx()] = false;
+            }
+            Pending::ChurnUp(n) => {
+                self.up[n.idx()] = true;
+                self.deliver(n, Event::NodeUp);
+            }
+            Pending::App { dst, ev } => {
+                if self.up[dst.idx()] {
+                    self.deliver(dst, ev);
+                }
+                // Events to down nodes are dropped: timers die with the
+                // node; externally injected events are lost, like a user
+                // whose machine is off.
+            }
+            Pending::Wire { from, to, msg } => {
+                if self.up[to.idx()] {
+                    self.deliver(to, Event::Recv { from, msg });
+                } else if self.up[from.idx()] {
+                    // Bounce: the sender learns after one more one-way
+                    // latency (connection refused round trip).
+                    let back = self.topo.latency(to, from);
+                    self.queue.push(
+                        self.now + back,
+                        Pending::App { dst: from, ev: Event::Undeliverable { to, msg } },
+                    );
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, dst: NodeId, ev: Event<M>) {
+        self.events_processed += 1;
+        let mut ctx = Ctx {
+            now: self.now,
+            id: dst,
+            topo: &self.topo,
+            rng: &mut self.rng,
+            query_stats: &mut self.query_stats,
+            gauges: &mut self.gauges,
+            out: Vec::new(),
+        };
+        self.nodes[dst.idx()].on_event(&mut ctx, ev);
+        let actions = ctx.out;
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    self.traffic.record(self.now, dst, to, msg.class(), msg.wire_size());
+                    let lat = self.topo.latency(dst, to);
+                    self.queue.push(self.now + lat, Pending::Wire { from: dst, to, msg });
+                }
+                Action::Timer { delay, kind, tag } => {
+                    self.queue
+                        .push(self.now + delay, Pending::App { dst, ev: Event::Timer { kind, tag } });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    /// Echo protocol: replies to every Ping with a Pong; counts pongs.
+    #[derive(Clone, Debug)]
+    enum PingMsg {
+        Ping,
+        Pong,
+    }
+    impl Message for PingMsg {
+        fn wire_size(&self) -> u32 {
+            8
+        }
+        fn class(&self) -> TrafficClass {
+            TrafficClass::QueryControl
+        }
+    }
+
+    #[derive(Default)]
+    struct Echo {
+        pongs: u32,
+        undeliverable: u32,
+        revived: u32,
+        timer_fired: bool,
+    }
+    impl Node<PingMsg> for Echo {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, PingMsg>, ev: Event<PingMsg>) {
+            match ev {
+                Event::Recv { from, msg: PingMsg::Ping } => ctx.send(from, PingMsg::Pong),
+                Event::Recv { msg: PingMsg::Pong, .. } => self.pongs += 1,
+                Event::Undeliverable { .. } => self.undeliverable += 1,
+                Event::Timer { .. } => self.timer_fired = true,
+                Event::NodeUp => self.revived += 1,
+            }
+        }
+    }
+
+    fn engine() -> Engine<PingMsg, Echo> {
+        let topo = crate::topology::Topology::generate(&TopologyConfig::small_test(), 5);
+        let nodes = (0..topo.num_nodes()).map(|_| Echo::default()).collect();
+        Engine::new(topo, nodes, 99)
+    }
+
+    #[test]
+    fn ping_pong_round_trip_latency() {
+        let mut e = engine();
+        let a = NodeId(0);
+        let b = NodeId(1);
+        let one_way = e.topology().latency_ms(a, b);
+        e.schedule_at(SimTime::ZERO, a, Event::Recv { from: a, msg: PingMsg::Ping });
+        // a "receives" a self-ping at t=0, sends Pong to itself... use b:
+        let mut e = engine();
+        e.schedule_at(
+            SimTime::ZERO,
+            b,
+            Event::Recv { from: a, msg: PingMsg::Ping },
+        );
+        e.run_until(SimTime::from_secs(10));
+        assert_eq!(e.node(a).pongs, 1, "a should receive the pong");
+        // The pong took one one-way latency from b to a.
+        assert!(one_way > 0);
+    }
+
+    #[test]
+    fn traffic_recorded_on_send() {
+        let mut e = engine();
+        e.schedule_at(SimTime::ZERO, NodeId(1), Event::Recv { from: NodeId(0), msg: PingMsg::Ping });
+        e.run_until(SimTime::from_secs(5));
+        assert_eq!(e.traffic().sent_bytes(NodeId(1), TrafficClass::QueryControl), 8);
+        assert_eq!(e.traffic().recv_bytes(NodeId(0), TrafficClass::QueryControl), 8);
+    }
+
+    #[test]
+    fn down_node_bounces_to_sender() {
+        let mut e = engine();
+        e.schedule_down(SimTime::ZERO, NodeId(1));
+        e.schedule_at(
+            SimTime::from_ms(1),
+            NodeId(0),
+            Event::Recv { from: NodeId(0), msg: PingMsg::Ping },
+        );
+        // Node 0 replies Pong to itself (from==self), that's fine; instead
+        // directly test wire bounce by having node 0 ping node 1:
+        let mut e2 = engine();
+        e2.schedule_down(SimTime::ZERO, NodeId(1));
+        // Craft: node 2 receives Ping from node 1? Simpler: use a timer-
+        // free direct send: node 0 receives a Ping "from" node 1 and
+        // pongs back to the (dead) node 1.
+        e2.schedule_at(
+            SimTime::from_ms(1),
+            NodeId(0),
+            Event::Recv { from: NodeId(1), msg: PingMsg::Ping },
+        );
+        e2.run_until(SimTime::from_secs(10));
+        assert_eq!(e2.node(NodeId(0)).undeliverable, 1, "sender must learn of the bounce");
+        let _ = e; // silence unused
+    }
+
+    #[test]
+    fn revive_delivers_node_up() {
+        let mut e = engine();
+        e.schedule_down(SimTime::ZERO, NodeId(3));
+        e.schedule_up(SimTime::from_secs(1), NodeId(3));
+        e.run_until(SimTime::from_secs(2));
+        assert_eq!(e.node(NodeId(3)).revived, 1);
+        assert!(e.is_up(NodeId(3)));
+    }
+
+    #[test]
+    fn timers_fire() {
+        let mut e = engine();
+        e.schedule_at(SimTime::ZERO, NodeId(0), Event::Timer { kind: 1, tag: 0 });
+        e.run_until(SimTime::from_secs(1));
+        assert!(e.node(NodeId(0)).timer_fired);
+    }
+
+    #[test]
+    fn timers_die_with_node() {
+        let mut e = engine();
+        e.schedule_down(SimTime::ZERO, NodeId(0));
+        e.schedule_at(SimTime::from_ms(1), NodeId(0), Event::Timer { kind: 1, tag: 0 });
+        e.run_until(SimTime::from_secs(1));
+        assert!(!e.node(NodeId(0)).timer_fired, "timer on a down node must be swallowed");
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut e = engine();
+        e.run_until(SimTime::from_secs(30));
+        assert_eq!(e.now(), SimTime::from_secs(30));
+        assert_eq!(e.events_processed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e = engine();
+        e.run_until(SimTime::from_secs(10));
+        e.schedule_at(SimTime::from_secs(5), NodeId(0), Event::NodeUp);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut e = engine();
+            for i in 0..10u32 {
+                e.schedule_at(
+                    SimTime::from_ms(i as u64 * 7),
+                    NodeId(i % 4),
+                    Event::Recv { from: NodeId((i + 1) % 4), msg: PingMsg::Ping },
+                );
+            }
+            e.run_until(SimTime::from_secs(20));
+            (e.events_processed(), e.traffic().messages())
+        };
+        assert_eq!(run(), run());
+    }
+}

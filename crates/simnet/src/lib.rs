@@ -1,0 +1,81 @@
+//! # simnet — discrete-event network simulator
+//!
+//! The substrate underneath the Flower-CDN reproduction. The paper
+//! (El Dick, Pacitti, Kemme; EDBT 2009) evaluates Flower-CDN with the
+//! PeerSim event-driven simulator over a BRITE-generated Internet
+//! topology; this crate is the from-scratch equivalent:
+//!
+//! * a millisecond-resolution simulated clock ([`SimTime`]) and a
+//!   deterministic event queue ([`event::EventQueue`]);
+//! * an Internet-like underlay topology with per-link latencies in a
+//!   configurable range (default 10–500 ms, matching the paper) and
+//!   landmark-based network localities ([`topology`]);
+//! * a generic protocol engine ([`engine::Engine`]) that delivers
+//!   messages with link latency, runs timers, accounts traffic by
+//!   class, and injects churn;
+//! * measurement utilities ([`stats`]): per-class traffic accounting,
+//!   fixed-width histograms (the paper's latency/distance
+//!   distributions), windowed time series (the paper's
+//!   metric-vs-time figures), and the paper's four query metrics
+//!   (hit ratio, lookup latency, transfer distance, background
+//!   traffic).
+//!
+//! The whole simulation is single-threaded and fully deterministic:
+//! a run is a pure function of its configuration and RNG seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use simnet::prelude::*;
+//!
+//! // A trivial protocol: every node forwards a token once.
+//! #[derive(Clone, Debug)]
+//! struct Token(u32);
+//! impl Message for Token {
+//!     fn wire_size(&self) -> u32 { 4 }
+//!     fn class(&self) -> TrafficClass { TrafficClass::QueryControl }
+//! }
+//! struct Hop;
+//! impl Node<Token> for Hop {
+//!     fn on_event(&mut self, ctx: &mut Ctx<'_, Token>, ev: Event<Token>) {
+//!         if let Event::Recv { msg: Token(n), .. } = ev {
+//!             if n > 0 {
+//!                 let next = NodeId((ctx.id().0 + 1) % ctx.num_nodes() as u32);
+//!                 ctx.send(next, Token(n - 1));
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let topo = Topology::generate(&TopologyConfig::small_test(), 42);
+//! let nodes = (0..topo.num_nodes()).map(|_| Hop).collect();
+//! let mut engine = Engine::new(topo, nodes, 7);
+//! engine.schedule_in(SimDuration::ZERO, NodeId(0), Event::Recv {
+//!     from: NodeId(0),
+//!     msg: Token(5),
+//! });
+//! engine.run_until(SimTime::from_secs(10));
+//! assert!(engine.now() <= SimTime::from_secs(10));
+//! ```
+
+pub mod churn;
+pub mod engine;
+pub mod event;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use churn::{ChurnConfig, ChurnEvent, ChurnKind, ChurnScript};
+pub use engine::{Action, Ctx, Engine, Event, Message, Node};
+pub use stats::{Histogram, QueryStats, SeriesPoint, TimeSeries, Traffic, TrafficClass};
+pub use time::{SimDuration, SimTime};
+pub use topology::{Locality, NodeId, Topology, TopologyConfig};
+
+/// Convenient glob-import of the types almost every consumer needs.
+pub mod prelude {
+    pub use crate::churn::{ChurnConfig, ChurnScript};
+    pub use crate::engine::{Ctx, Engine, Event, Message, Node};
+    pub use crate::stats::{Histogram, QueryStats, TimeSeries, Traffic, TrafficClass};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::topology::{Locality, NodeId, Topology, TopologyConfig};
+}

@@ -1,0 +1,692 @@
+//! Measurement: traffic accounting, histograms, time series, and the
+//! paper's four query metrics.
+//!
+//! §6 of the paper evaluates four metrics:
+//!
+//! * **Background traffic** — average bps per content/directory peer
+//!   due to gossip and push exchanges;
+//! * **Hit ratio** — fraction of queries satisfied from the P2P
+//!   system;
+//! * **Lookup latency** — average latency to resolve a query (reach
+//!   the entity that will provide the object);
+//! * **Transfer distance** — network distance (latency) between the
+//!   querying peer and the provider.
+//!
+//! [`Traffic`] implements the first (bytes per node per class with a
+//! windowed series), [`QueryStats`] the other three (averages,
+//! fixed-width distributions as in Figures 7(b)/8(b), and windowed
+//! series as in Figures 5–8(a)).
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+
+/// Classification of simulated messages, used to separate the paper's
+/// "background traffic" (gossip + push) from query processing and DHT
+/// maintenance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TrafficClass {
+    /// Periodic gossip exchanges within content overlays (Alg. 4).
+    Gossip,
+    /// One-way content pushes to the directory peer (Alg. 5).
+    Push,
+    /// Keepalive probes (Sec. 5.1).
+    KeepAlive,
+    /// DHT key-based routing hops (Alg. 1/2).
+    DhtRouting,
+    /// DHT maintenance: join, stabilize, fix-fingers.
+    DhtMaintenance,
+    /// Query control traffic: submissions, redirections, serve notices.
+    QueryControl,
+    /// Object payload transfers.
+    Transfer,
+}
+
+impl TrafficClass {
+    /// All classes, for iteration/reporting.
+    pub const ALL: [TrafficClass; 7] = [
+        TrafficClass::Gossip,
+        TrafficClass::Push,
+        TrafficClass::KeepAlive,
+        TrafficClass::DhtRouting,
+        TrafficClass::DhtMaintenance,
+        TrafficClass::QueryControl,
+        TrafficClass::Transfer,
+    ];
+
+    /// Dense index for array-backed accounting.
+    pub fn index(self) -> usize {
+        match self {
+            TrafficClass::Gossip => 0,
+            TrafficClass::Push => 1,
+            TrafficClass::KeepAlive => 2,
+            TrafficClass::DhtRouting => 3,
+            TrafficClass::DhtMaintenance => 4,
+            TrafficClass::QueryControl => 5,
+            TrafficClass::Transfer => 6,
+        }
+    }
+
+    /// True for the classes the paper counts as background traffic
+    /// (gossip and push exchanges).
+    pub fn is_background(self) -> bool {
+        matches!(self, TrafficClass::Gossip | TrafficClass::Push)
+    }
+}
+
+const N_CLASSES: usize = TrafficClass::ALL.len();
+
+/// Per-node, per-class byte counters plus a windowed background-bytes
+/// series (for Figure 5).
+#[derive(Clone, Debug)]
+pub struct Traffic {
+    /// `sent[node][class]` = bytes sent.
+    sent: Vec<[u64; N_CLASSES]>,
+    /// `recv[node][class]` = bytes received.
+    recv: Vec<[u64; N_CLASSES]>,
+    /// Background (gossip+push) bytes, windowed over time.
+    background_series: TimeSeries,
+    messages: u64,
+    /// Message counts per class (system-wide).
+    msgs_by_class: [u64; N_CLASSES],
+}
+
+impl Traffic {
+    /// Accounting for `nodes` nodes with the given series window.
+    pub fn new(nodes: usize, window: SimDuration) -> Self {
+        Traffic {
+            sent: vec![[0; N_CLASSES]; nodes],
+            recv: vec![[0; N_CLASSES]; nodes],
+            background_series: TimeSeries::new(window),
+            messages: 0,
+            msgs_by_class: [0; N_CLASSES],
+        }
+    }
+
+    /// Record one message of `bytes` bytes from `from` to `to`.
+    pub fn record(&mut self, at: SimTime, from: NodeId, to: NodeId, class: TrafficClass, bytes: u32) {
+        let c = class.index();
+        self.sent[from.idx()][c] += bytes as u64;
+        self.recv[to.idx()][c] += bytes as u64;
+        self.messages += 1;
+        self.msgs_by_class[c] += 1;
+        if class.is_background() {
+            // Both endpoints experience the bytes (the paper's metric
+            // is "traffic experienced by a peer").
+            self.background_series.record(at, 2.0 * bytes as f64);
+        }
+    }
+
+    /// Total messages recorded.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Messages recorded in one class (system-wide).
+    pub fn messages_in(&self, class: TrafficClass) -> u64 {
+        self.msgs_by_class[class.index()]
+    }
+
+    /// Bytes sent by `node` in `class`.
+    pub fn sent_bytes(&self, node: NodeId, class: TrafficClass) -> u64 {
+        self.sent[node.idx()][class.index()]
+    }
+
+    /// Bytes received by `node` in `class`.
+    pub fn recv_bytes(&self, node: NodeId, class: TrafficClass) -> u64 {
+        self.recv[node.idx()][class.index()]
+    }
+
+    /// Background bytes (gossip + push, sent + received) experienced
+    /// by `node`.
+    pub fn background_bytes(&self, node: NodeId) -> u64 {
+        TrafficClass::ALL
+            .iter()
+            .filter(|c| c.is_background())
+            .map(|c| self.sent_bytes(node, *c) + self.recv_bytes(node, *c))
+            .sum()
+    }
+
+    /// Total bytes across all nodes in `class` (sent side only, to
+    /// avoid double counting when summing system-wide).
+    pub fn total_sent(&self, class: TrafficClass) -> u64 {
+        self.sent.iter().map(|row| row[class.index()]).sum()
+    }
+
+    /// The paper's background-traffic metric: average bits/second
+    /// experienced per participant, over `participants` peers and
+    /// `elapsed` simulated time.
+    pub fn background_bps(&self, participants: &[NodeId], elapsed: SimDuration) -> f64 {
+        if participants.is_empty() || elapsed.is_zero() {
+            return 0.0;
+        }
+        let bytes: u64 = participants.iter().map(|n| self.background_bytes(*n)).sum();
+        (bytes as f64 * 8.0) / participants.len() as f64 / elapsed.as_secs_f64()
+    }
+
+    /// Windowed background-bytes series (sum of bytes experienced per
+    /// window across all peers). Use together with a participant-count
+    /// series to produce Figure 5.
+    pub fn background_series(&self) -> &TimeSeries {
+        &self.background_series
+    }
+}
+
+/// A fixed-width-bucket histogram over `u64` values (milliseconds in
+/// practice). The last bucket is an unbounded overflow bucket, which
+/// directly expresses the paper's ">1050 ms" tail of Figure 7(b).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// `buckets` finite buckets of `bucket_width` each plus an
+    /// overflow bucket.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        Histogram { bucket_width, counts: vec![0; buckets + 1], total: 0, sum: 0, max: 0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = ((value / self.bucket_width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Fraction of observations `<= threshold`. `threshold` should be
+    /// a bucket boundary; values inside a bucket count as below it
+    /// only if their whole bucket is below.
+    pub fn fraction_le(&self, threshold: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let full = (threshold / self.bucket_width) as usize;
+        let c: u64 = self.counts.iter().take(full.min(self.counts.len())).sum();
+        c as f64 / self.total as f64
+    }
+
+    /// Fraction of observations strictly greater than `threshold`.
+    pub fn fraction_gt(&self, threshold: u64) -> f64 {
+        1.0 - self.fraction_le(threshold)
+    }
+
+    /// `(bucket_start_inclusive, fraction)` rows, overflow last (its
+    /// start is `buckets * width`).
+    pub fn distribution(&self) -> Vec<(u64, f64)> {
+        let t = self.total.max(1) as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i as u64 * self.bucket_width, *c as f64 / t))
+            .collect()
+    }
+
+    /// The configured bucket width.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+}
+
+/// One reported point of a [`TimeSeries`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesPoint {
+    /// Start of the window.
+    pub at: SimTime,
+    /// Sum of recorded values in the window.
+    pub sum: f64,
+    /// Number of records in the window.
+    pub count: u64,
+}
+
+impl SeriesPoint {
+    /// Mean of the window's values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A windowed accumulator: values recorded at simulated times are
+/// bucketed into fixed windows. Reproduces the paper's
+/// "metric variation with time" plots (Figures 5, 7(a), 8(a)).
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    window: SimDuration,
+    buckets: Vec<(f64, u64)>,
+}
+
+impl TimeSeries {
+    /// A series with the given window width.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "series window must be positive");
+        TimeSeries { window, buckets: Vec::new() }
+    }
+
+    /// Record `value` at time `at`.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        let idx = (at.as_ms() / self.window.as_ms()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, (0.0, 0));
+        }
+        let b = &mut self.buckets[idx];
+        b.0 += value;
+        b.1 += 1;
+    }
+
+    /// The window width.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// All windows in time order (including empty ones).
+    pub fn points(&self) -> Vec<SeriesPoint> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, (sum, count))| SeriesPoint {
+                at: SimTime::from_ms(i as u64 * self.window.as_ms()),
+                sum: *sum,
+                count: *count,
+            })
+            .collect()
+    }
+
+    /// Mean value over all records in all windows.
+    pub fn overall_mean(&self) -> f64 {
+        let (s, c) = self
+            .buckets
+            .iter()
+            .fold((0.0, 0u64), |(s, c), (bs, bc)| (s + bs, c + bc));
+        if c == 0 {
+            0.0
+        } else {
+            s / c as f64
+        }
+    }
+}
+
+/// Who ultimately served a query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServedBy {
+    /// The requester's own cache — a P2P hit with no network transfer
+    /// at all, therefore excluded from the transfer-distance metric
+    /// ("the network distance from the querying peer to the peer that
+    /// will provide the object" — there is no providing peer).
+    OwnCache,
+    /// A content peer of the requester's own locality's overlay.
+    LocalOverlay,
+    /// A content peer of another locality's overlay (directory
+    /// summaries redirection).
+    RemoteOverlay,
+    /// The origin web server (a P2P miss).
+    OriginServer,
+}
+
+/// The paper's per-query metrics, aggregated.
+///
+/// Hit ratio, lookup latency and transfer distance are recorded at
+/// query resolution time by the querying peer. Distributions use
+/// 150 ms buckets for lookup latency and 100 ms buckets for transfer
+/// distance, mirroring Figures 7(b) and 8(b).
+#[derive(Clone, Debug)]
+pub struct QueryStats {
+    submitted: u64,
+    hits: u64,
+    misses: u64,
+    local_hits: u64,
+    remote_hits: u64,
+    lookup_hist: Histogram,
+    transfer_hist: Histogram,
+    /// Transfer distances of P2P hits only (the paper: "used with
+    /// queries satisfied from the P2P system").
+    transfer_hits_hist: Histogram,
+    hit_series: TimeSeries,
+    lookup_series: TimeSeries,
+    transfer_series: TimeSeries,
+    cumulative_hit_series: Vec<(SimTime, f64)>,
+    redirection_failures: u64,
+}
+
+impl QueryStats {
+    /// Fresh statistics; `window` is the series window (the paper
+    /// plots 24 h runs, so 30-minute windows work well).
+    pub fn new(window: SimDuration) -> Self {
+        QueryStats {
+            submitted: 0,
+            hits: 0,
+            misses: 0,
+            local_hits: 0,
+            remote_hits: 0,
+            // 150 ms buckets up to 1050 ms + overflow (Fig. 7(b)).
+            lookup_hist: Histogram::new(150, 7),
+            // 100 ms buckets up to 500 ms + overflow (Fig. 8(b)).
+            transfer_hist: Histogram::new(100, 5),
+            transfer_hits_hist: Histogram::new(100, 5),
+            hit_series: TimeSeries::new(window),
+            lookup_series: TimeSeries::new(window),
+            transfer_series: TimeSeries::new(window),
+            cumulative_hit_series: Vec::new(),
+            redirection_failures: 0,
+        }
+    }
+
+    /// Note a query submission.
+    pub fn on_submit(&mut self) {
+        self.submitted += 1;
+    }
+
+    /// Record a resolved query.
+    ///
+    /// * `lookup_ms` — latency from submission until the provider was
+    ///   identified;
+    /// * `transfer_ms` — link latency between requester and provider;
+    /// * `served_by` — provider kind (peer ⇒ hit, server ⇒ miss).
+    pub fn on_resolved(&mut self, at: SimTime, lookup_ms: u64, transfer_ms: u64, served_by: ServedBy) {
+        let hit = served_by != ServedBy::OriginServer;
+        if hit {
+            self.hits += 1;
+            match served_by {
+                ServedBy::OwnCache | ServedBy::LocalOverlay => self.local_hits += 1,
+                ServedBy::RemoteOverlay => self.remote_hits += 1,
+                ServedBy::OriginServer => unreachable!(),
+            }
+        } else {
+            self.misses += 1;
+        }
+        self.lookup_hist.record(lookup_ms);
+        self.lookup_series.record(at, lookup_ms as f64);
+        self.hit_series.record(at, if hit { 1.0 } else { 0.0 });
+        // Transfer distance: own-cache hits involve no transfer and
+        // are excluded (Figure 8 measures actual transfers: peers and
+        // the early server-dominated phase).
+        if served_by != ServedBy::OwnCache {
+            self.transfer_hist.record(transfer_ms);
+            self.transfer_series.record(at, transfer_ms as f64);
+            if hit {
+                self.transfer_hits_hist.record(transfer_ms);
+            }
+        }
+        let resolved = self.hits + self.misses;
+        self.cumulative_hit_series.push((at, self.hits as f64 / resolved as f64));
+    }
+
+    /// Note a redirection failure (stale directory entry; Sec. 5.1).
+    pub fn on_redirection_failure(&mut self) {
+        self.redirection_failures += 1;
+    }
+
+    /// Queries submitted.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Queries resolved (hit or miss).
+    pub fn resolved(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// The paper's hit ratio: fraction of queries satisfied by the P2P
+    /// system.
+    pub fn hit_ratio(&self) -> f64 {
+        let r = self.resolved();
+        if r == 0 {
+            0.0
+        } else {
+            self.hits as f64 / r as f64
+        }
+    }
+
+    /// Fraction of hits served within the requester's own locality.
+    pub fn local_hit_fraction(&self) -> f64 {
+        if self.hits == 0 {
+            0.0
+        } else {
+            self.local_hits as f64 / self.hits as f64
+        }
+    }
+
+    /// Hits served by another locality's overlay.
+    pub fn remote_hits(&self) -> u64 {
+        self.remote_hits
+    }
+
+    /// Mean lookup latency (ms).
+    pub fn mean_lookup_ms(&self) -> f64 {
+        self.lookup_hist.mean()
+    }
+
+    /// Mean transfer distance (ms).
+    pub fn mean_transfer_ms(&self) -> f64 {
+        self.transfer_hist.mean()
+    }
+
+    /// Lookup-latency distribution (Fig. 7(b)).
+    pub fn lookup_hist(&self) -> &Histogram {
+        &self.lookup_hist
+    }
+
+    /// Transfer-distance distribution (Fig. 8(b)).
+    pub fn transfer_hist(&self) -> &Histogram {
+        &self.transfer_hist
+    }
+
+    /// Transfer-distance distribution restricted to P2P hits.
+    pub fn transfer_hit_hist(&self) -> &Histogram {
+        &self.transfer_hits_hist
+    }
+
+    /// Mean transfer distance of P2P hits (ms).
+    pub fn mean_transfer_hit_ms(&self) -> f64 {
+        self.transfer_hits_hist.mean()
+    }
+
+    /// Windowed hit ratio over time (Figures 5/6): mean of the 0/1 hit
+    /// indicator per window.
+    pub fn hit_series(&self) -> &TimeSeries {
+        &self.hit_series
+    }
+
+    /// Windowed mean lookup latency over time (Fig. 7(a)).
+    pub fn lookup_series(&self) -> &TimeSeries {
+        &self.lookup_series
+    }
+
+    /// Windowed mean transfer distance over time (Fig. 8(a)).
+    pub fn transfer_series(&self) -> &TimeSeries {
+        &self.transfer_series
+    }
+
+    /// Cumulative hit ratio after each resolution (smooth convergence
+    /// curve for Figure 6).
+    pub fn cumulative_hit_series(&self) -> &[(SimTime, f64)] {
+        &self.cumulative_hit_series
+    }
+
+    /// Redirection failures observed (Sec. 5.1).
+    pub fn redirection_failures(&self) -> u64 {
+        self.redirection_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accounting_by_class() {
+        let mut t = Traffic::new(3, SimDuration::from_mins(30));
+        t.record(SimTime::ZERO, NodeId(0), NodeId(1), TrafficClass::Gossip, 100);
+        t.record(SimTime::ZERO, NodeId(1), NodeId(0), TrafficClass::Push, 50);
+        t.record(SimTime::ZERO, NodeId(0), NodeId(2), TrafficClass::DhtRouting, 10);
+        assert_eq!(t.sent_bytes(NodeId(0), TrafficClass::Gossip), 100);
+        assert_eq!(t.recv_bytes(NodeId(1), TrafficClass::Gossip), 100);
+        assert_eq!(t.background_bytes(NodeId(0)), 150); // gossip sent + push recv
+        assert_eq!(t.background_bytes(NodeId(1)), 150);
+        assert_eq!(t.background_bytes(NodeId(2)), 0); // routing is not background
+        assert_eq!(t.messages(), 3);
+    }
+
+    #[test]
+    fn background_bps_definition() {
+        let mut t = Traffic::new(2, SimDuration::from_mins(30));
+        // 1000 bytes of gossip each way over 10 seconds between two peers.
+        t.record(SimTime::ZERO, NodeId(0), NodeId(1), TrafficClass::Gossip, 1000);
+        t.record(SimTime::ZERO, NodeId(1), NodeId(0), TrafficClass::Gossip, 1000);
+        let bps = t.background_bps(&[NodeId(0), NodeId(1)], SimDuration::from_secs(10));
+        // Each peer experienced 2000 bytes = 16000 bits over 10 s = 1600 bps.
+        assert!((bps - 1600.0).abs() < 1e-9, "bps = {bps}");
+    }
+
+    #[test]
+    fn background_bps_empty_cases() {
+        let t = Traffic::new(1, SimDuration::from_mins(1));
+        assert_eq!(t.background_bps(&[], SimDuration::from_secs(10)), 0.0);
+        assert_eq!(t.background_bps(&[NodeId(0)], SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_fractions() {
+        let mut h = Histogram::new(150, 7);
+        for v in [10, 140, 149, 150, 600, 2000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        // <=150 counts only bucket [0,150): 3 observations.
+        assert!((h.fraction_le(150) - 0.5).abs() < 1e-9);
+        assert!((h.fraction_gt(1050) - (1.0 / 6.0)).abs() < 1e-9);
+        assert_eq!(h.max(), 2000);
+        let mean = (10 + 140 + 149 + 150 + 600 + 2000) as f64 / 6.0;
+        assert!((h.mean() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_distribution_sums_to_one() {
+        let mut h = Histogram::new(100, 5);
+        for v in 0..1000 {
+            h.record(v * 3);
+        }
+        let total: f64 = h.distribution().iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new(10, 3);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.fraction_le(10), 0.0);
+    }
+
+    #[test]
+    fn series_windows() {
+        let mut s = TimeSeries::new(SimDuration::from_secs(10));
+        s.record(SimTime::from_secs(1), 1.0);
+        s.record(SimTime::from_secs(9), 3.0);
+        s.record(SimTime::from_secs(15), 10.0);
+        let pts = s.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].count, 2);
+        assert!((pts[0].mean() - 2.0).abs() < 1e-9);
+        assert!((pts[1].mean() - 10.0).abs() < 1e-9);
+        assert!((s.overall_mean() - 14.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_stats_hit_ratio() {
+        let mut q = QueryStats::new(SimDuration::from_mins(30));
+        q.on_submit();
+        q.on_submit();
+        q.on_submit();
+        q.on_resolved(SimTime::from_secs(1), 120, 40, ServedBy::LocalOverlay);
+        q.on_resolved(SimTime::from_secs(2), 900, 300, ServedBy::OriginServer);
+        q.on_resolved(SimTime::from_secs(3), 200, 90, ServedBy::RemoteOverlay);
+        assert_eq!(q.submitted(), 3);
+        assert_eq!(q.resolved(), 3);
+        assert!((q.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((q.local_hit_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(q.remote_hits(), 1);
+        assert!((q.mean_lookup_ms() - (120.0 + 900.0 + 200.0) / 3.0).abs() < 1e-9);
+        let cum = q.cumulative_hit_series();
+        assert_eq!(cum.len(), 3);
+        assert!((cum[2].1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_width_rejected() {
+        let _ = Histogram::new(0, 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// fraction_le + fraction_gt partition the observations.
+        #[test]
+        fn histogram_fractions_partition(values in proptest::collection::vec(0u64..5000, 1..200), thr_buckets in 0u64..10) {
+            let mut h = Histogram::new(150, 7);
+            for v in &values {
+                h.record(*v);
+            }
+            let thr = thr_buckets * 150;
+            let le = h.fraction_le(thr);
+            let gt = h.fraction_gt(thr);
+            prop_assert!((le + gt - 1.0).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&le));
+        }
+
+        /// Histogram mean equals the arithmetic mean of inputs.
+        #[test]
+        fn histogram_mean_exact(values in proptest::collection::vec(0u64..10_000, 1..300)) {
+            let mut h = Histogram::new(100, 20);
+            for v in &values {
+                h.record(*v);
+            }
+            let expect = values.iter().sum::<u64>() as f64 / values.len() as f64;
+            prop_assert!((h.mean() - expect).abs() < 1e-6);
+        }
+
+        /// TimeSeries never loses records: counts sum to inputs.
+        #[test]
+        fn series_preserves_counts(records in proptest::collection::vec((0u64..100_000, -100.0f64..100.0), 0..200)) {
+            let mut s = TimeSeries::new(SimDuration::from_secs(10));
+            for (t, v) in &records {
+                s.record(SimTime::from_ms(*t), *v);
+            }
+            let total: u64 = s.points().iter().map(|p| p.count).sum();
+            prop_assert_eq!(total as usize, records.len());
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Simulated time.
+//!
+//! The simulator uses a single monotonically increasing clock with
+//! millisecond resolution, matching the paper's latency model (link
+//! latencies of 10–500 ms, gossip periods of minutes, experiments of
+//! 24 simulated hours). `u64` milliseconds gives more than 500 million
+//! years of headroom, so arithmetic never overflows in practice; we
+//! still use saturating operations so a buggy caller cannot panic the
+//! simulation.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulated clock, in milliseconds since the start
+/// of the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// An instant `ms` milliseconds after the simulation start.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// An instant `secs` seconds after the simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1000)
+    }
+
+    /// An instant `mins` minutes after the simulation start.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimTime(mins * 60 * 1000)
+    }
+
+    /// An instant `hours` hours after the simulation start.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 60 * 60 * 1000)
+    }
+
+    /// Milliseconds since the simulation start.
+    pub const fn as_ms(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the simulation start.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Fractional hours since the simulation start.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero if `earlier`
+    /// is actually later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A duration of `ms` milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// A duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1000)
+    }
+
+    /// A duration of `mins` minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60 * 1000)
+    }
+
+    /// A duration of `hours` hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 60 * 60 * 1000)
+    }
+
+    /// The duration in milliseconds.
+    pub const fn as_ms(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// The duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scale the duration by an integer factor (saturating).
+    pub const fn mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// Integer division of the duration.
+    pub const fn div(self, divisor: u64) -> SimDuration {
+        SimDuration(self.0 / divisor)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0 % 1000;
+        let s = (self.0 / 1000) % 60;
+        let m = (self.0 / 60_000) % 60;
+        let h = self.0 / 3_600_000;
+        write!(f, "{h:02}:{m:02}:{s:02}.{ms:03}")
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_ms(2000));
+        assert_eq!(SimTime::from_mins(3), SimTime::from_secs(180));
+        assert_eq!(SimTime::from_hours(1), SimTime::from_mins(60));
+        assert_eq!(SimDuration::from_hours(24).as_secs(), 86_400);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ms(100) + SimDuration::from_ms(50);
+        assert_eq!(t.as_ms(), 150);
+        assert_eq!((t - SimTime::from_ms(40)).as_ms(), 110);
+        // Saturating subtraction: earlier - later == 0.
+        assert_eq!((SimTime::from_ms(10) - SimTime::from_ms(20)).as_ms(), 0);
+        assert_eq!(SimTime::from_ms(10).since(SimTime::from_ms(20)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(SimDuration::from_ms(30).mul(3).as_ms(), 90);
+        assert_eq!(SimDuration::from_ms(90).div(3).as_ms(), 30);
+        assert_eq!(SimDuration::from_ms(u64::MAX).mul(2).as_ms(), u64::MAX);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_hours(2) + SimDuration::from_mins(3) + SimDuration::from_ms(4005);
+        assert_eq!(format!("{t}"), "02:03:04.005");
+        assert_eq!(format!("{:?}", SimDuration::from_ms(7)), "7ms");
+    }
+
+    #[test]
+    fn fractional_accessors() {
+        assert!((SimTime::from_hours(3).as_hours_f64() - 3.0).abs() < 1e-12);
+        assert!((SimDuration::from_ms(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+}

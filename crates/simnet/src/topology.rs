@@ -1,0 +1,462 @@
+//! Underlay topology: node placement, link latencies, and network
+//! localities.
+//!
+//! The paper generates a 5000-node underlay with BRITE and assigns
+//! link latencies between 10 and 500 ms, then splits the Internet into
+//! `k` *network localities* using a landmark-based technique
+//! (Ratnasamy et al., INFOCOM 2002): every peer measures its latency
+//! to a small set of well-known landmarks and derives its locality
+//! from those measurements.
+//!
+//! We reproduce that pipeline with a metric-space embedding:
+//!
+//! 1. `k` cluster centres are placed on a circle in the unit square
+//!    (geographically dispersed regions);
+//! 2. each node is assigned to a region with non-uniform probability
+//!    (the paper: localities are "non-uniformly populated") and placed
+//!    around its centre with Gaussian spread, plus a small fraction of
+//!    uniformly scattered "background" nodes;
+//! 3. the latency of a link is an affine function of the Euclidean
+//!    distance between its endpoints, clamped to the configured
+//!    `[min,max]` range — close nodes talk in ~10–60 ms, cross-region
+//!    links cost hundreds of ms;
+//! 4. one landmark sits at each region centre and a node's locality is
+//!    the landmark it measures the lowest latency to, exactly the
+//!    measurement the paper assumes every peer can perform.
+//!
+//! Latencies are symmetric and deterministic, so the "transfer
+//! distance" metric is well defined.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// Identifier of a physical node in the underlay (index into the
+/// topology's node table).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a usize index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A network locality (the paper's `loc`), an integer in `[0, k)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Locality(pub u16);
+
+impl Locality {
+    /// The locality as a usize index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Locality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "loc{}", self.0)
+    }
+}
+
+/// A point in the unit square used for latency embedding.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate in `[0, 1]`.
+    pub x: f64,
+    /// Vertical coordinate in `[0, 1]`.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to `other`.
+    pub fn dist(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Configuration for topology generation. Defaults reproduce Table 1
+/// of the paper: 5000 nodes, 6 localities, 10–500 ms latencies.
+#[derive(Clone, Debug)]
+pub struct TopologyConfig {
+    /// Number of underlay nodes.
+    pub nodes: usize,
+    /// Number of network localities `k`.
+    pub localities: usize,
+    /// Minimum link latency in milliseconds.
+    pub min_latency_ms: u64,
+    /// Maximum link latency in milliseconds.
+    pub max_latency_ms: u64,
+    /// Standard deviation of a node's offset from its region centre
+    /// (unit-square units). Smaller values give tighter localities.
+    pub cluster_spread: f64,
+    /// Fraction of nodes scattered uniformly instead of clustered
+    /// (models poorly-connected stragglers).
+    pub background_fraction: f64,
+    /// Skew of the region population distribution. 0.0 = uniform; at
+    /// 1.0 region `i` has weight proportional to `i + 1` (the paper's
+    /// localities are non-uniformly populated).
+    pub population_skew: f64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            nodes: 5000,
+            localities: 6,
+            min_latency_ms: 10,
+            max_latency_ms: 500,
+            cluster_spread: 0.045,
+            background_fraction: 0.05,
+            population_skew: 1.0,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// A tiny topology suitable for unit tests (fast to generate).
+    pub fn small_test() -> Self {
+        TopologyConfig { nodes: 60, localities: 3, ..Default::default() }
+    }
+
+    /// Paper-scale topology (Table 1): 5000 nodes, 6 localities.
+    pub fn paper() -> Self {
+        TopologyConfig::default()
+    }
+}
+
+/// The generated underlay: node coordinates, landmark positions, and
+/// locality assignment.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    points: Vec<Point>,
+    locality_of: Vec<Locality>,
+    landmarks: Vec<Point>,
+    min_latency_ms: u64,
+    max_latency_ms: u64,
+    /// Scale factor mapping unit-square distance to milliseconds.
+    ms_per_unit: f64,
+    populations: Vec<u32>,
+}
+
+impl Topology {
+    /// Generate a topology from `cfg`, deterministically from `seed`.
+    pub fn generate(cfg: &TopologyConfig, seed: u64) -> Topology {
+        assert!(cfg.nodes > 0, "topology needs at least one node");
+        assert!(cfg.localities > 0, "topology needs at least one locality");
+        assert!(
+            cfg.min_latency_ms <= cfg.max_latency_ms,
+            "min latency must not exceed max latency"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x70_70_70);
+
+        // Region centres on a circle of radius 0.38 around the square
+        // centre: maximally separated for small k.
+        let k = cfg.localities;
+        let landmarks: Vec<Point> = (0..k)
+            .map(|i| {
+                let angle = (i as f64) * std::f64::consts::TAU / (k as f64);
+                Point {
+                    x: 0.5 + 0.38 * angle.cos(),
+                    y: 0.5 + 0.38 * angle.sin(),
+                }
+            })
+            .collect();
+
+        // Non-uniform region weights: weight(i) = 1 + skew * i.
+        let weights: Vec<f64> = (0..k).map(|i| 1.0 + cfg.population_skew * i as f64).collect();
+        let total_weight: f64 = weights.iter().sum();
+
+        let mut points = Vec::with_capacity(cfg.nodes);
+        for _ in 0..cfg.nodes {
+            if rng.gen::<f64>() < cfg.background_fraction {
+                points.push(Point { x: rng.gen(), y: rng.gen() });
+                continue;
+            }
+            // Weighted region choice.
+            let mut pick = rng.gen::<f64>() * total_weight;
+            let mut region = k - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    region = i;
+                    break;
+                }
+                pick -= *w;
+            }
+            let centre = landmarks[region];
+            // Box-Muller Gaussian offset, clamped into the unit square.
+            let (g1, g2) = gaussian_pair(&mut rng);
+            points.push(Point {
+                x: (centre.x + g1 * cfg.cluster_spread).clamp(0.0, 1.0),
+                y: (centre.y + g2 * cfg.cluster_spread).clamp(0.0, 1.0),
+            });
+        }
+
+        // Latency scale: the unit-square diagonal maps onto the full
+        // latency range.
+        let diag = std::f64::consts::SQRT_2;
+        let ms_per_unit = (cfg.max_latency_ms - cfg.min_latency_ms) as f64 / diag;
+
+        let mut topo = Topology {
+            points,
+            locality_of: Vec::new(),
+            landmarks,
+            min_latency_ms: cfg.min_latency_ms,
+            max_latency_ms: cfg.max_latency_ms,
+            ms_per_unit,
+            populations: vec![0; k],
+        };
+
+        // Landmark binning: locality = argmin latency-to-landmark.
+        let localities: Vec<Locality> = (0..topo.points.len())
+            .map(|i| {
+                let p = topo.points[i];
+                let best = topo
+                    .landmarks
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        p.dist(**a).partial_cmp(&p.dist(**b)).expect("distances are finite")
+                    })
+                    .map(|(j, _)| j)
+                    .expect("at least one landmark");
+                Locality(best as u16)
+            })
+            .collect();
+        for l in &localities {
+            topo.populations[l.idx()] += 1;
+        }
+        topo.locality_of = localities;
+        topo
+    }
+
+    /// Number of underlay nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of network localities `k`.
+    pub fn num_localities(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// The locality a node belongs to (the paper: detected via latency
+    /// measurements to landmarks).
+    pub fn locality(&self, n: NodeId) -> Locality {
+        self.locality_of[n.idx()]
+    }
+
+    /// Number of nodes assigned to `loc`.
+    pub fn population(&self, loc: Locality) -> u32 {
+        self.populations[loc.idx()]
+    }
+
+    /// All node ids in a locality (computed on demand).
+    pub fn nodes_in(&self, loc: Locality) -> Vec<NodeId> {
+        (0..self.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|n| self.locality(*n) == loc)
+            .collect()
+    }
+
+    /// One-way link latency between two nodes, in milliseconds.
+    /// Symmetric, deterministic, and clamped to the configured range.
+    /// The latency of a node to itself is zero (local delivery).
+    pub fn latency_ms(&self, a: NodeId, b: NodeId) -> u64 {
+        if a == b {
+            return 0;
+        }
+        let d = self.points[a.idx()].dist(self.points[b.idx()]);
+        let ms = self.min_latency_ms as f64 + d * self.ms_per_unit;
+        (ms.round() as u64).clamp(self.min_latency_ms, self.max_latency_ms)
+    }
+
+    /// One-way link latency as a [`SimDuration`].
+    pub fn latency(&self, a: NodeId, b: NodeId) -> SimDuration {
+        SimDuration::from_ms(self.latency_ms(a, b))
+    }
+
+    /// The configured minimum link latency (ms).
+    pub fn min_latency_ms_cfg(&self) -> u64 {
+        self.min_latency_ms
+    }
+
+    /// The configured maximum link latency (ms).
+    pub fn max_latency_ms_cfg(&self) -> u64 {
+        self.max_latency_ms
+    }
+
+    /// Iterate over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+}
+
+/// One pair of independent standard Gaussian samples (Box-Muller).
+fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = std::f64::consts::TAU * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::generate(&TopologyConfig::small_test(), 1)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Topology::generate(&TopologyConfig::small_test(), 9);
+        let b = Topology::generate(&TopologyConfig::small_test(), 9);
+        for n in a.node_ids() {
+            assert_eq!(a.locality(n), b.locality(n));
+            assert_eq!(a.latency_ms(NodeId(0), n), b.latency_ms(NodeId(0), n));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Topology::generate(&TopologyConfig::small_test(), 1);
+        let b = Topology::generate(&TopologyConfig::small_test(), 2);
+        let same = a
+            .node_ids()
+            .all(|n| a.latency_ms(NodeId(0), n) == b.latency_ms(NodeId(0), n));
+        assert!(!same, "seeds should change the embedding");
+    }
+
+    #[test]
+    fn latency_bounds_and_symmetry() {
+        let t = topo();
+        for a in t.node_ids() {
+            for b in t.node_ids() {
+                let l = t.latency_ms(a, b);
+                assert_eq!(l, t.latency_ms(b, a), "latency must be symmetric");
+                if a == b {
+                    assert_eq!(l, 0);
+                } else {
+                    assert!(l >= 10 && l <= 500, "latency {l} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_locality_populated_at_paper_scale() {
+        let t = Topology::generate(&TopologyConfig::default(), 3);
+        assert_eq!(t.num_localities(), 6);
+        for l in 0..6 {
+            assert!(t.population(Locality(l)) > 0, "locality {l} empty");
+        }
+    }
+
+    #[test]
+    fn populations_are_non_uniform() {
+        let t = Topology::generate(&TopologyConfig::default(), 3);
+        let pops: Vec<u32> = (0..6).map(|l| t.population(Locality(l))).collect();
+        let min = *pops.iter().min().unwrap();
+        let max = *pops.iter().max().unwrap();
+        assert!(max > min, "populations should be skewed: {pops:?}");
+    }
+
+    #[test]
+    fn intra_locality_latency_is_lower_than_inter() {
+        let t = Topology::generate(&TopologyConfig::default(), 7);
+        let mut intra = (0u64, 0u64);
+        let mut inter = (0u64, 0u64);
+        // Sample pairs deterministically.
+        for i in (0..t.num_nodes() as u32).step_by(97) {
+            for j in (0..t.num_nodes() as u32).step_by(89) {
+                if i == j {
+                    continue;
+                }
+                let (a, b) = (NodeId(i), NodeId(j));
+                let l = t.latency_ms(a, b);
+                if t.locality(a) == t.locality(b) {
+                    intra = (intra.0 + l, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + l, inter.1 + 1);
+                }
+            }
+        }
+        let intra_avg = intra.0 as f64 / intra.1 as f64;
+        let inter_avg = inter.0 as f64 / inter.1 as f64;
+        assert!(
+            intra_avg * 2.0 < inter_avg,
+            "locality structure too weak: intra {intra_avg:.1}ms inter {inter_avg:.1}ms"
+        );
+    }
+
+    #[test]
+    fn nodes_in_matches_population() {
+        let t = topo();
+        for l in 0..t.num_localities() as u16 {
+            assert_eq!(t.nodes_in(Locality(l)).len() as u32, t.population(Locality(l)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_topology_rejected() {
+        let _ = Topology::generate(&TopologyConfig { nodes: 0, ..Default::default() }, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Latency is symmetric, zero on the diagonal, and within the
+        /// configured bounds for any generated topology.
+        #[test]
+        fn latency_laws(seed in 0u64..500, nodes in 2usize..40, k in 1usize..5) {
+            let cfg = TopologyConfig { nodes, localities: k, ..Default::default() };
+            let t = Topology::generate(&cfg, seed);
+            for a in t.node_ids() {
+                prop_assert_eq!(t.latency_ms(a, a), 0);
+                for b in t.node_ids() {
+                    prop_assert_eq!(t.latency_ms(a, b), t.latency_ms(b, a));
+                    if a != b {
+                        let l = t.latency_ms(a, b);
+                        prop_assert!((10..=500).contains(&l));
+                    }
+                }
+            }
+        }
+
+        /// Every node gets a locality below k, and populations sum to
+        /// the node count.
+        #[test]
+        fn localities_partition_nodes(seed in 0u64..500, nodes in 1usize..60, k in 1usize..6) {
+            let cfg = TopologyConfig { nodes, localities: k, ..Default::default() };
+            let t = Topology::generate(&cfg, seed);
+            let mut total = 0u32;
+            for l in 0..k as u16 {
+                total += t.population(Locality(l));
+            }
+            prop_assert_eq!(total as usize, nodes);
+            for n in t.node_ids() {
+                prop_assert!(t.locality(n).idx() < k);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-style tests of the simulation engine: determinism under
+//! arbitrary scheduling, causality of message delivery, and churn
+//! semantics.
+
+use proptest::prelude::*;
+use simnet::prelude::*;
+use simnet::Event;
+
+/// A protocol that relays tokens a fixed number of times to a
+/// pseudo-random next hop, recording a digest of everything it saw.
+#[derive(Clone, Debug)]
+struct Token {
+    ttl: u8,
+    tag: u64,
+}
+impl Message for Token {
+    fn wire_size(&self) -> u32 {
+        9
+    }
+    fn class(&self) -> TrafficClass {
+        TrafficClass::QueryControl
+    }
+}
+
+#[derive(Default)]
+struct Relay {
+    digest: u64,
+    seen: u64,
+}
+
+impl Node<Token> for Relay {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Token>, ev: Event<Token>) {
+        match ev {
+            Event::Recv { msg, .. } => {
+                self.seen += 1;
+                self.digest = self
+                    .digest
+                    .wrapping_mul(0x100000001B3)
+                    .wrapping_add(msg.tag ^ ctx.now().as_ms());
+                if msg.ttl > 0 {
+                    let next =
+                        NodeId(((msg.tag ^ ctx.id().0 as u64) % ctx.num_nodes() as u64) as u32);
+                    ctx.send(next, Token { ttl: msg.ttl - 1, tag: msg.tag.wrapping_mul(31) });
+                }
+            }
+            Event::Timer { tag, .. } => {
+                self.digest ^= tag;
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run_schedule(injections: &[(u64, u32, u8, u64)], seed: u64) -> (u64, u64, u64) {
+    let topo = Topology::generate(&TopologyConfig::small_test(), seed);
+    let n = topo.num_nodes();
+    let nodes = (0..n).map(|_| Relay::default()).collect();
+    let mut engine = simnet::Engine::new(topo, nodes, seed);
+    for (at, node, ttl, tag) in injections {
+        engine.schedule_at(
+            SimTime::from_ms(*at),
+            NodeId(*node % n as u32),
+            Event::Recv { from: NodeId(0), msg: Token { ttl: *ttl % 16, tag: *tag } },
+        );
+    }
+    engine.run_until(SimTime::from_hours(1));
+    let digest = (0..n as u32)
+        .map(|i| engine.node(NodeId(i)).digest)
+        .fold(0u64, |a, d| a.wrapping_mul(1099511628211).wrapping_add(d));
+    let seen: u64 = (0..n as u32).map(|i| engine.node(NodeId(i)).seen).sum();
+    (digest, seen, engine.events_processed())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two runs of the same schedule are bit-identical, event for
+    /// event.
+    #[test]
+    fn engine_is_deterministic(
+        injections in proptest::collection::vec((0u64..60_000, any::<u32>(), any::<u8>(), any::<u64>()), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let a = run_schedule(&injections, seed);
+        let b = run_schedule(&injections, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every injected token with ttl t produces exactly t+1 receptions
+    /// (no message is lost or duplicated in a fully-up network).
+    #[test]
+    fn message_conservation(
+        injections in proptest::collection::vec((0u64..60_000, any::<u32>(), any::<u8>(), any::<u64>()), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let (_, seen, _) = run_schedule(&injections, seed);
+        let expected: u64 = injections.iter().map(|(_, _, ttl, _)| (*ttl % 16) as u64 + 1).sum();
+        prop_assert_eq!(seen, expected);
+    }
+}
+
+#[test]
+fn messages_to_down_nodes_bounce_exactly_once() {
+    let topo = Topology::generate(&TopologyConfig::small_test(), 5);
+    let n = topo.num_nodes();
+
+    #[derive(Default)]
+    struct Probe {
+        bounces: u32,
+        received: u32,
+    }
+    impl Node<Token> for Probe {
+        fn on_event(&mut self, _ctx: &mut Ctx<'_, Token>, ev: Event<Token>) {
+            match ev {
+                Event::Undeliverable { .. } => self.bounces += 1,
+                Event::Recv { .. } => self.received += 1,
+                _ => {}
+            }
+        }
+    }
+
+    let nodes = (0..n).map(|_| Probe::default()).collect();
+    let mut engine = simnet::Engine::new(topo, nodes, 9);
+    engine.schedule_down(SimTime::ZERO, NodeId(1));
+    // Node 0 "receives" a token that it would relay... instead drive a
+    // direct send by injecting at a helper that relays to 1. Simpler:
+    // schedule a Recv at node 0 from node 1 — Probe does not reply, so
+    // craft the send manually through a relay-like shim:
+    struct Shim;
+    impl Node<Token> for Shim {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Token>, ev: Event<Token>) {
+            if matches!(ev, Event::Timer { .. }) {
+                ctx.send(NodeId(1), Token { ttl: 0, tag: 7 });
+            }
+        }
+    }
+    // Rebuild with node 0 as the shim.
+    let topo = Topology::generate(&TopologyConfig::small_test(), 5);
+    let mut nodes: Vec<Box<dyn Node<Token>>> = Vec::new();
+    let _ = &mut nodes; // (trait objects not used; use a two-variant enum instead)
+
+    enum P {
+        Shim(Shim),
+        Probe(Probe),
+    }
+    impl Node<Token> for P {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Token>, ev: Event<Token>) {
+            match self {
+                P::Shim(s) => s.on_event(ctx, ev),
+                P::Probe(p) => p.on_event(ctx, ev),
+            }
+        }
+    }
+    let nodes: Vec<P> = (0..topo.num_nodes())
+        .map(|i| if i == 0 { P::Shim(Shim) } else { P::Probe(Probe::default()) })
+        .collect();
+    let mut engine = simnet::Engine::new(topo, nodes, 9);
+    engine.schedule_down(SimTime::ZERO, NodeId(1));
+    engine.schedule_at(SimTime::from_ms(1), NodeId(0), Event::Timer { kind: 1, tag: 0 });
+    engine.run_until(SimTime::from_secs(10));
+    // The shim gets no bounce notification (it is node 0 = Shim which
+    // ignores them), but the engine must not deliver to node 1:
+    if let P::Probe(p) = engine.node(NodeId(1)) {
+        assert_eq!(p.received, 0, "down node must not receive");
+    } else {
+        panic!("node 1 should be a probe");
+    }
+}
+
+#[test]
+fn churn_script_round_trips_through_engine() {
+    let topo = Topology::generate(&TopologyConfig::small_test(), 11);
+    let n = topo.num_nodes();
+    let nodes = (0..n).map(|_| Relay::default()).collect();
+    let mut engine = simnet::Engine::new(topo, nodes, 11);
+    let affected: Vec<NodeId> = (0..10).map(NodeId).collect();
+    let cfg = ChurnConfig {
+        start: SimTime::from_secs(1),
+        end: SimTime::from_mins(30),
+        mean_session: simnet::SimDuration::from_mins(5),
+        mean_downtime: simnet::SimDuration::from_mins(1),
+        permanent: false,
+    };
+    let script = ChurnScript::generate(&cfg, &affected, 11);
+    script.install(&mut engine);
+    engine.run_until(SimTime::from_mins(31));
+    // After the script ends, each node's final state matches the
+    // parity of its events.
+    for &node in &affected {
+        let downs =
+            script.events().iter().filter(|e| e.node == node).count();
+        let last_kind = script
+            .events()
+            .iter()
+            .filter(|e| e.node == node)
+            .next_back()
+            .map(|e| e.kind);
+        match last_kind {
+            Some(simnet::ChurnKind::Down) => assert!(!engine.is_up(node), "{node} should be down"),
+            Some(simnet::ChurnKind::Up) => assert!(engine.is_up(node), "{node} should be up"),
+            None => assert!(engine.is_up(node)),
+        }
+        let _ = downs;
+    }
+}

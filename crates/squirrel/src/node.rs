@@ -1,0 +1,405 @@
+//! The Squirrel peer (directory variant, Iyer et al. PODC 2002),
+//! as the Flower-CDN paper describes its comparator (§6.1, §7):
+//!
+//! * all participants form **one** DHT (Chord here) with uniformly
+//!   hashed node ids — no locality, no interest clustering;
+//! * for each object, the peer whose id is closest to `hash(url)` is
+//!   the object's **home node**, storing "a small directory of
+//!   pointers to recent downloaders of the object";
+//! * *every* query (after a local cache miss) "navigates through the
+//!   DHT and then receives a pointer to a peer that potentially has
+//!   the object"; stale pointers fall back to further candidates and
+//!   finally the origin web server.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use bloom::ObjectId;
+use chord::{ChordMsg, ChordOutcome, ChordState, RoutePayload, StandardPolicy, Transport};
+use simnet::stats::ServedBy;
+use simnet::{Ctx, Event, NodeId, SimTime};
+use workload::{Catalog, WebsiteId};
+
+use crate::msg::{SQuery, SquirrelMsg};
+
+/// Timer kinds for Squirrel nodes.
+pub mod timers {
+    /// Chord stabilization tick.
+    pub const STABILIZE: u16 = 1;
+    /// Chord finger repair tick.
+    pub const FIX_FINGER: u16 = 2;
+}
+
+/// Which of the Squirrel paper's two strategies to run (§7 of the
+/// Flower-CDN paper describes both; its evaluation uses `Directory`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SquirrelStrategy {
+    /// The home node keeps pointers to recent downloaders.
+    #[default]
+    Directory,
+    /// The home node stores the object itself ("home-store").
+    HomeStore,
+}
+
+/// Deployment-wide shared knowledge.
+#[derive(Debug)]
+pub struct SquirrelDeployment {
+    /// The website/object universe.
+    pub catalog: Catalog,
+    /// Origin server node per website.
+    pub servers: Vec<NodeId>,
+    /// Max pointers a home node keeps per object ("a small directory
+    /// of pointers to *recent* downloaders").
+    pub pointer_cap: usize,
+    /// How many stale pointers the origin tries before the server.
+    pub fetch_retries: usize,
+    /// Directory or home-store strategy.
+    pub strategy: SquirrelStrategy,
+}
+
+impl SquirrelDeployment {
+    /// The origin server of `ws`.
+    pub fn server_of(&self, ws: WebsiteId) -> NodeId {
+        self.servers[ws.idx()]
+    }
+}
+
+/// A pending query at its origin.
+#[derive(Debug, Clone)]
+struct Pending {
+    query: SQuery,
+    candidates: Vec<NodeId>,
+    next: usize,
+    /// The home node that answered (home-store replication target).
+    home: Option<NodeId>,
+}
+
+/// Per-node Squirrel state machine.
+pub struct SquirrelNode {
+    shared: Rc<SquirrelDeployment>,
+    /// Ring state (participants only; servers stay outside the DHT).
+    chord: Option<ChordState>,
+    /// The local web cache.
+    cache: HashSet<ObjectId>,
+    /// Home-node directory: object → recent downloaders (most recent
+    /// last).
+    home: HashMap<ObjectId, Vec<NodeId>>,
+    /// Queries we originated, awaiting resolution.
+    pending: HashMap<u64, Pending>,
+    /// Which website this node serves as origin server.
+    server_for: Option<WebsiteId>,
+    /// Observability counters.
+    pub stats: SquirrelCounters,
+}
+
+/// Per-node counters.
+#[derive(Debug, Default, Clone)]
+pub struct SquirrelCounters {
+    /// Queries submitted by this node.
+    pub queries_submitted: u64,
+    /// Local-cache hits.
+    pub self_hits: u64,
+    /// Objects served to other peers.
+    pub serves: u64,
+    /// Queries answered as origin server.
+    pub server_hits: u64,
+    /// Queries handled as a home node.
+    pub home_lookups: u64,
+}
+
+struct CtxTransport<'a, 'b> {
+    ctx: &'a mut Ctx<'b, SquirrelMsg>,
+}
+
+impl Transport<SQuery> for CtxTransport<'_, '_> {
+    fn send_chord(&mut self, to: NodeId, msg: ChordMsg<SQuery>) {
+        self.ctx.send(to, SquirrelMsg::Chord(msg));
+    }
+}
+
+impl SquirrelNode {
+    /// A non-participant (not in the ring; servers and idle nodes).
+    pub fn bystander(shared: Rc<SquirrelDeployment>) -> Self {
+        SquirrelNode {
+            shared,
+            chord: None,
+            cache: HashSet::new(),
+            home: HashMap::new(),
+            pending: HashMap::new(),
+            server_for: None,
+            stats: SquirrelCounters::default(),
+        }
+    }
+
+    /// An origin-server node.
+    pub fn server(shared: Rc<SquirrelDeployment>, ws: WebsiteId) -> Self {
+        let mut n = Self::bystander(shared);
+        n.server_for = Some(ws);
+        n
+    }
+
+    /// A ring participant with a pre-installed stable Chord state.
+    pub fn participant(shared: Rc<SquirrelDeployment>, chord: ChordState) -> Self {
+        let mut n = Self::bystander(shared);
+        n.chord = Some(chord);
+        n
+    }
+
+    /// Is this node in the DHT?
+    pub fn is_participant(&self) -> bool {
+        self.chord.is_some()
+    }
+
+    /// Number of objects in the local cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of objects this node is home for.
+    pub fn home_entries(&self) -> usize {
+        self.home.len()
+    }
+
+    fn on_submit(&mut self, ctx: &mut Ctx<'_, SquirrelMsg>, qid: u64, ws: WebsiteId, object: ObjectId) {
+        self.stats.queries_submitted += 1;
+        ctx.query_stats().on_submit();
+        let me = ctx.id();
+        let query = SQuery {
+            id: qid,
+            origin: me,
+            origin_locality: ctx.locality(me),
+            website: ws,
+            object,
+            submitted_at: ctx.now(),
+        };
+        // Local cache first (the Squirrel proxy model).
+        if self.cache.contains(&object) {
+            self.stats.self_hits += 1;
+            let now = ctx.now();
+            ctx.query_stats().on_resolved(now, 0, 0, ServedBy::OwnCache);
+            return;
+        }
+        self.pending
+            .insert(qid, Pending { query, candidates: Vec::new(), next: 0, home: None });
+        // Route to the object's home node through the DHT.
+        let key = chord::ChordId(object.key());
+        let Some(chord_st) = &mut self.chord else {
+            // Not a DHT member (shouldn't originate queries, but stay
+            // robust): straight to the server.
+            ctx.send(self.shared.server_of(ws), SquirrelMsg::ServerQuery { query });
+            return;
+        };
+        let mut t = CtxTransport { ctx };
+        if let Some(outcome) = chord::start_route(chord_st, &mut t, key, query, &StandardPolicy) {
+            self.on_chord_outcome(ctx, outcome);
+        }
+    }
+
+    /// Home-node processing. Directory strategy: answer with the
+    /// pointer list and optimistically record the requester as a
+    /// recent downloader. Home-store strategy: serve the stored
+    /// replica, or send the requester to the server (it will push the
+    /// replica back to us).
+    fn home_process(&mut self, ctx: &mut Ctx<'_, SquirrelMsg>, query: SQuery) {
+        self.stats.home_lookups += 1;
+        let me = ctx.id();
+        // Either strategy: a home that caches the object serves it.
+        if self.cache.contains(&query.object) {
+            self.serve_from_cache(ctx, query);
+            return;
+        }
+        let candidates = match self.shared.strategy {
+            SquirrelStrategy::HomeStore => Vec::new(),
+            SquirrelStrategy::Directory => {
+                let cap = self.shared.pointer_cap;
+                let entry = self.home.entry(query.object).or_default();
+                // Most recent downloaders first, excluding the requester.
+                let candidates: Vec<NodeId> = entry
+                    .iter()
+                    .rev()
+                    .filter(|n| **n != query.origin && **n != me)
+                    .copied()
+                    .collect();
+                // Optimistic record (the requester is about to download it).
+                entry.retain(|n| *n != query.origin);
+                entry.push(query.origin);
+                let len = entry.len();
+                if len > cap {
+                    entry.drain(0..len - cap);
+                }
+                candidates
+            }
+        };
+        ctx.send(query.origin, SquirrelMsg::Pointers { query, candidates });
+    }
+
+    fn serve_from_cache(&mut self, ctx: &mut Ctx<'_, SquirrelMsg>, query: SQuery) {
+        self.stats.serves += 1;
+        let size = self.shared.catalog.object_size(query.object);
+        let now = ctx.now();
+        ctx.send(
+            query.origin,
+            SquirrelMsg::ServeObject { query, resolved_at: now, from_server: false, size },
+        );
+    }
+
+    /// Try the next pointer candidate, else the origin server.
+    fn try_next_candidate(&mut self, ctx: &mut Ctx<'_, SquirrelMsg>, qid: u64) {
+        let Some(p) = self.pending.get_mut(&qid) else { return };
+        let query = p.query;
+        let retries = self.shared.fetch_retries;
+        if p.next < p.candidates.len() && p.next < retries {
+            let target = p.candidates[p.next];
+            p.next += 1;
+            ctx.send(target, SquirrelMsg::Fetch { query });
+            return;
+        }
+        ctx.send(self.shared.server_of(query.website), SquirrelMsg::ServerQuery { query });
+    }
+
+    fn on_resolved(
+        &mut self,
+        ctx: &mut Ctx<'_, SquirrelMsg>,
+        from: NodeId,
+        query: SQuery,
+        resolved_at: SimTime,
+        from_server: bool,
+    ) {
+        let Some(pending) = self.pending.remove(&query.id) else {
+            return;
+        };
+        // Home-store: replicate server fetches back at the home node.
+        if from_server && self.shared.strategy == SquirrelStrategy::HomeStore {
+            if let Some(home) = pending.home {
+                let size = self.shared.catalog.object_size(query.object);
+                ctx.send(home, SquirrelMsg::StoreAtHome { object: query.object, size });
+            }
+        }
+        let me = ctx.id();
+        let lookup_ms = resolved_at.since(query.submitted_at).as_ms();
+        let transfer_ms = ctx.latency_ms(me, from);
+        let served_by = if from_server {
+            ServedBy::OriginServer
+        } else if ctx.locality(from) == ctx.locality(me) {
+            // Same locality by chance — Squirrel does not aim for it,
+            // but the metric records it for the Figure 8 comparison.
+            ServedBy::LocalOverlay
+        } else {
+            ServedBy::RemoteOverlay
+        };
+        let now = ctx.now();
+        ctx.query_stats().on_resolved(now, lookup_ms, transfer_ms, served_by);
+        self.cache.insert(query.object);
+    }
+
+    fn on_chord_outcome(&mut self, ctx: &mut Ctx<'_, SquirrelMsg>, outcome: ChordOutcome<SQuery>) {
+        match outcome {
+            ChordOutcome::Deliver { payload, .. } => self.home_process(ctx, payload),
+            ChordOutcome::JoinComplete => {}
+        }
+    }
+}
+
+impl simnet::Node<SquirrelMsg> for SquirrelNode {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, SquirrelMsg>, ev: Event<SquirrelMsg>) {
+        match ev {
+            Event::Recv { from, msg } => match msg {
+                SquirrelMsg::Submit { qid, website, object } => {
+                    self.on_submit(ctx, qid, website, object)
+                }
+                SquirrelMsg::Chord(cm) => {
+                    let Some(chord_st) = &mut self.chord else { return };
+                    let mut t = CtxTransport { ctx };
+                    let outcome = chord::handle(chord_st, &mut t, from, cm, &StandardPolicy);
+                    if let Some(outcome) = outcome {
+                        self.on_chord_outcome(ctx, outcome);
+                    }
+                }
+                SquirrelMsg::Pointers { query, candidates } => {
+                    if let Some(p) = self.pending.get_mut(&query.id) {
+                        p.candidates = candidates;
+                        p.next = 0;
+                        p.home = Some(from);
+                        self.try_next_candidate(ctx, query.id);
+                    }
+                }
+                SquirrelMsg::Fetch { query } => {
+                    if self.cache.contains(&query.object) {
+                        self.serve_from_cache(ctx, query);
+                    } else {
+                        ctx.send(from, SquirrelMsg::FetchMiss { query });
+                    }
+                }
+                SquirrelMsg::FetchMiss { query } => {
+                    self.try_next_candidate(ctx, query.id);
+                }
+                SquirrelMsg::ServerQuery { query } => {
+                    debug_assert_eq!(self.server_for, Some(query.website));
+                    self.stats.server_hits += 1;
+                    ctx.gauge("server_load", 1.0);
+                    let size = self.shared.catalog.object_size(query.object);
+                    let now = ctx.now();
+                    ctx.send(
+                        query.origin,
+                        SquirrelMsg::ServeObject { query, resolved_at: now, from_server: true, size },
+                    );
+                }
+                SquirrelMsg::StoreAtHome { object, .. } => {
+                    self.cache.insert(object);
+                }
+                SquirrelMsg::ServeObject { query, resolved_at, from_server, .. } => {
+                    self.on_resolved(ctx, from, query, resolved_at, from_server)
+                }
+            },
+            Event::Timer { kind, tag: _ } => match kind {
+                timers::STABILIZE => {
+                    if let Some(chord_st) = &mut self.chord {
+                        let mut t = CtxTransport { ctx };
+                        chord::start_stabilize(chord_st, &mut t);
+                    }
+                }
+                timers::FIX_FINGER => {
+                    if let Some(chord_st) = &mut self.chord {
+                        let mut t = CtxTransport { ctx };
+                        chord::start_fix_finger(chord_st, &mut t, &StandardPolicy);
+                    }
+                }
+                _ => {}
+            },
+            Event::Undeliverable { to, msg } => match msg {
+                SquirrelMsg::Chord(cm) => {
+                    let Some(chord_st) = &mut self.chord else { return };
+                    chord::on_undeliverable(chord_st, to, &cm);
+                    if let ChordMsg::Route { key, hops, payload: RoutePayload::App(q) } = cm {
+                        // Re-route around the dead hop.
+                        let me = ctx.id();
+                        let mut t = CtxTransport { ctx };
+                        let oc = chord::handle(
+                            chord_st,
+                            &mut t,
+                            me,
+                            ChordMsg::Route { key, hops, payload: RoutePayload::App(q) },
+                            &StandardPolicy,
+                        );
+                        if let Some(oc) = oc {
+                            self.on_chord_outcome(ctx, oc);
+                        }
+                    }
+                }
+                SquirrelMsg::Fetch { query } => self.try_next_candidate(ctx, query.id),
+                SquirrelMsg::Pointers { query, .. } => {
+                    // The requester vanished; drop our optimistic pointer.
+                    if let Some(list) = self.home.get_mut(&query.object) {
+                        list.retain(|n| *n != to);
+                    }
+                }
+                _ => {}
+            },
+            Event::NodeUp => {
+                self.cache.clear();
+                self.home.clear();
+                self.pending.clear();
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Deterministic query-stream generation (§6.1 of the paper).
+//!
+//! Queries form a Poisson process at `query_rate_per_sec` (Table 1:
+//! 6 q/s), each query choosing:
+//!
+//! 1. a website uniformly among the active ones ("distributed between
+//!    the 6 active websites");
+//! 2. an object of that website by Zipf rank ("the queried object is
+//!    selected, using zipf law, among ws objects").
+//!
+//! The paper's third choice — the originator ("a new client or a
+//! content peer of ws chosen from a random locality") — depends on
+//! protocol state (who is already a content peer, which overlays are
+//! full), so it is carried out by the system harness at injection
+//! time; the stream only fixes the time, website and object of each
+//! query, which keeps Flower-CDN and Squirrel runs *trace-identical*.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bloom::ObjectId;
+
+use crate::catalog::{Catalog, WebsiteId};
+use crate::zipf::Zipf;
+
+/// Workload shape (Table 1 defaults).
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Mean query arrival rate (queries per second).
+    pub query_rate_per_sec: f64,
+    /// Length of the generated trace in milliseconds.
+    pub duration_ms: u64,
+    /// Zipf skew for object popularity.
+    pub zipf_alpha: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            query_rate_per_sec: 6.0,
+            duration_ms: 24 * 3600 * 1000,
+            zipf_alpha: Zipf::DEFAULT_ALPHA,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A short trace for tests.
+    pub fn short_test() -> Self {
+        WorkloadConfig { duration_ms: 60_000, ..Default::default() }
+    }
+}
+
+/// One query of the trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryEvent {
+    /// Submission time, milliseconds from simulation start.
+    pub at_ms: u64,
+    /// The targeted website.
+    pub website: WebsiteId,
+    /// The requested object.
+    pub object: ObjectId,
+    /// Popularity rank of the object within its website (0 = most
+    /// popular) — kept for analysis.
+    pub rank: u32,
+}
+
+/// A complete, precomputed query trace.
+#[derive(Clone, Debug)]
+pub struct QueryStream {
+    events: Vec<QueryEvent>,
+}
+
+impl QueryStream {
+    /// Generate the trace deterministically from `seed`.
+    pub fn generate(cfg: &WorkloadConfig, catalog: &Catalog, seed: u64) -> Self {
+        assert!(cfg.query_rate_per_sec > 0.0, "query rate must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0131_D000);
+        let zipf = Zipf::new(catalog.objects_per_website(), cfg.zipf_alpha);
+        let active: Vec<WebsiteId> = catalog.active_websites().collect();
+        assert!(!active.is_empty(), "no active websites to query");
+
+        let mean_gap_ms = 1000.0 / cfg.query_rate_per_sec;
+        let mut events = Vec::with_capacity(
+            (cfg.duration_ms as f64 / mean_gap_ms * 1.1) as usize,
+        );
+        let mut t = 0.0f64;
+        loop {
+            // Exponential inter-arrival (Poisson process).
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -u.ln() * mean_gap_ms;
+            let at_ms = t as u64;
+            if at_ms >= cfg.duration_ms {
+                break;
+            }
+            let website = active[rng.gen_range(0..active.len())];
+            let rank = zipf.sample(&mut rng);
+            events.push(QueryEvent {
+                at_ms,
+                website,
+                object: catalog.object_id(website, rank),
+                rank: rank as u32,
+            });
+        }
+        QueryStream { events }
+    }
+
+    /// The trace, in non-decreasing time order.
+    pub fn events(&self) -> &[QueryEvent] {
+        &self.events
+    }
+
+    /// Number of queries in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+
+    fn catalog() -> Catalog {
+        Catalog::new(CatalogConfig::default())
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        let cfg = WorkloadConfig { duration_ms: 3_600_000, ..Default::default() };
+        let s = QueryStream::generate(&cfg, &catalog(), 42);
+        // 6 q/s for an hour ≈ 21600 queries; Poisson noise ±3σ ≈ ±450.
+        let n = s.len() as f64;
+        assert!((n - 21_600.0).abs() < 600.0, "unexpected query count {n}");
+    }
+
+    #[test]
+    fn events_are_time_ordered_within_duration() {
+        let s = QueryStream::generate(&WorkloadConfig::short_test(), &catalog(), 1);
+        let mut last = 0;
+        for e in s.events() {
+            assert!(e.at_ms >= last);
+            assert!(e.at_ms < 60_000);
+            last = e.at_ms;
+        }
+    }
+
+    #[test]
+    fn only_active_websites_queried() {
+        let s = QueryStream::generate(&WorkloadConfig::short_test(), &catalog(), 2);
+        assert!(!s.is_empty());
+        for e in s.events() {
+            assert!(e.website.idx() < 6, "inactive website {}", e.website);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = QueryStream::generate(&WorkloadConfig::short_test(), &catalog(), 3);
+        let b = QueryStream::generate(&WorkloadConfig::short_test(), &catalog(), 3);
+        assert_eq!(a.events(), b.events());
+        let c = QueryStream::generate(&WorkloadConfig::short_test(), &catalog(), 4);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn objects_follow_zipf_head() {
+        let cfg = WorkloadConfig { duration_ms: 3_600_000, ..Default::default() };
+        let cat = catalog();
+        let s = QueryStream::generate(&cfg, &cat, 5);
+        let head = s.events().iter().filter(|e| e.rank < 10).count() as f64;
+        let frac = head / s.len() as f64;
+        // Compare against the analytic top-10 Zipf mass.
+        let z = Zipf::new(cat.objects_per_website(), cfg.zipf_alpha);
+        let expect: f64 = (0..10).map(|r| z.pmf(r)).sum();
+        assert!(
+            (frac - expect).abs() < 0.05,
+            "head fraction {frac:.3} vs analytic {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn object_ids_match_catalog() {
+        let cat = catalog();
+        let s = QueryStream::generate(&WorkloadConfig::short_test(), &cat, 6);
+        for e in s.events().iter().take(200) {
+            assert_eq!(e.object, cat.object_id(e.website, e.rank as usize));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Zipf-distributed sampling over object ranks.
+//!
+//! Web object popularity is Zipf-like: the probability of a request
+//! hitting the object of rank `r` is proportional to `1 / r^alpha`
+//! (Breslau et al., INFOCOM 1999, measured `alpha` between 0.64 and
+//! 0.83 across traces). The paper applies a Zipf distribution to the
+//! requests of each website (§6.1); we default to `alpha = 0.8`.
+//!
+//! Sampling uses a precomputed CDF and binary search: O(n) setup,
+//! O(log n) per sample, exact (no rejection), deterministic under a
+//! seeded RNG.
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Default skew measured for web traffic.
+    pub const DEFAULT_ALPHA: f64 = 0.8;
+
+    /// A sampler over `n` items with skew `alpha` (`alpha = 0`
+    /// degenerates to uniform).
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (`new` rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability of drawing rank `r` (0-based; rank 0 is the most
+    /// popular item).
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Draw one rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 0.8);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipf::new(50, 0.8);
+        for r in 1..50 {
+            assert!(z.pmf(0) >= z.pmf(r), "rank 0 must dominate rank {r}");
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(12345);
+        let n = 200_000;
+        let mut counts = vec![0u32; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 0..20 {
+            let freq = counts[r] as f64 / n as f64;
+            let expect = z.pmf(r);
+            assert!(
+                (freq - expect).abs() < 0.01,
+                "rank {r}: freq {freq:.4} vs pmf {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_item_always_sampled() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// Samples are always valid ranks and the pmf is a
+        /// non-increasing probability vector.
+        #[test]
+        fn sampler_laws(n in 1usize..200, alpha in 0.0f64..2.5, seed in any::<u64>()) {
+            let z = Zipf::new(n, alpha);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                let r = z.sample(&mut rng);
+                prop_assert!(r < n);
+            }
+            let mut prev = f64::INFINITY;
+            let mut total = 0.0;
+            for r in 0..n {
+                let p = z.pmf(r);
+                prop_assert!(p >= 0.0 && p <= prev + 1e-12);
+                prev = p;
+                total += p;
+            }
+            prop_assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: build a small Flower-CDN deployment, run ten simulated
+//! minutes of the paper's workload, and print the four metrics of §6.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use flower_cdn::core::system::{FlowerSystem, SystemConfig};
+
+fn main() {
+    // A miniature deployment: 300 underlay nodes, 3 localities,
+    // 6 websites (2 active), fast protocol periods.
+    let mut cfg = SystemConfig::small_test();
+    cfg.seed = 7;
+
+    println!("building Flower-CDN: {} nodes, {} localities, {} websites…",
+        cfg.topology.nodes, cfg.topology.localities, cfg.catalog.num_websites);
+    let (sys, report) = FlowerSystem::run(&cfg);
+
+    println!("\n== Flower-CDN quickstart report ==");
+    println!("queries submitted:     {}", report.submitted);
+    println!("queries resolved:      {}", report.resolved);
+    println!("hit ratio:             {:.3}", report.hit_ratio);
+    println!("mean lookup latency:   {:.1} ms", report.mean_lookup_ms);
+    println!("mean transfer dist.:   {:.1} ms", report.mean_transfer_ms);
+    println!("background traffic:    {:.1} bps/peer (gossip + push)", report.background_bps);
+    println!("participants:          {}", report.participants);
+    println!("local hits:            {:.1}%", report.local_hit_fraction * 100.0);
+
+    // Show the convergence the paper's Figure 5 plots.
+    println!("\nhit ratio per {}-second window:", cfg.window.as_secs());
+    for p in sys.engine().query_stats().hit_series().points() {
+        if p.count > 0 {
+            let bar = "#".repeat((p.mean() * 40.0) as usize);
+            println!("  {:>6}s  {:.2}  {}", p.at.as_secs(), p.mean(), bar);
+        }
+    }
+
+    assert!(report.hit_ratio > 0.3, "sanity: the CDN should be serving");
+    println!("\nok — see examples/locality_comparison.rs for the Squirrel face-off");
+}

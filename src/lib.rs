@@ -1,0 +1,29 @@
+//! # flower-cdn — reproduction of the EDBT 2009 Flower-CDN paper
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] (the `flower-core` crate) — the paper's contribution:
+//!   the D-ring directory overlay and gossip-based content overlays;
+//! * [`squirrel`] — the Squirrel baseline the paper compares against;
+//! * [`simnet`] — the discrete-event network simulator substrate;
+//! * [`chord`] — the Chord DHT substrate;
+//! * [`pastry`] — the Pastry DHT substrate (the paper's other named
+//!   overlay; backs the §3.1 portability claim);
+//! * [`gossip`] — age-based view/gossip machinery (Algorithms 4–6);
+//! * [`bloom`] — Bloom-filter content summaries;
+//! * [`workload`] — Zipf query workload generation (Table 1);
+//! * [`experiments`] — the harness regenerating every table and
+//!   figure of the paper's evaluation (§6).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use bloom;
+pub use chord;
+pub use experiments;
+pub use flower_core as core;
+pub use gossip;
+pub use pastry;
+pub use simnet;
+pub use squirrel;
+pub use workload;
