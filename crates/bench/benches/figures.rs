@@ -72,5 +72,10 @@ fn bench_churn_run(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(figures, bench_fig5_flower_run, bench_fig678_pair, bench_churn_run);
+criterion_group!(
+    figures,
+    bench_fig5_flower_run,
+    bench_fig678_pair,
+    bench_churn_run
+);
 criterion_main!(figures);

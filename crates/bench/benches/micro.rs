@@ -61,8 +61,13 @@ fn bench_gossip_view(c: &mut Criterion) {
         b.iter_batched(
             make_view,
             |mut v| {
-                let subset: Vec<ViewEntry<u32, u8>> =
-                    (100..110u32).map(|p| ViewEntry { peer: p, age: 1, data: 0 }).collect();
+                let subset: Vec<ViewEntry<u32, u8>> = (100..110u32)
+                    .map(|p| ViewEntry {
+                        peer: p,
+                        age: 1,
+                        data: 0,
+                    })
+                    .collect();
                 v.merge(999, ViewEntry::fresh(50, 0), subset);
                 v
             },
@@ -75,7 +80,10 @@ fn bench_gossip_view(c: &mut Criterion) {
 fn bench_chord(c: &mut Criterion) {
     let mut g = c.benchmark_group("chord");
     let members: Vec<PeerRef> = (0..600u64)
-        .map(|i| PeerRef { id: ChordId(chord::hash64(i)), node: NodeId(i as u32) })
+        .map(|i| PeerRef {
+            id: ChordId(chord::hash64(i)),
+            node: NodeId(i as u32),
+        })
         .collect();
     let states = stable_ring(&members, &ChordConfig::default());
     g.bench_function("stable_ring_600", |b| {
@@ -95,7 +103,12 @@ fn bench_dring(c: &mut Criterion) {
     let mut g = c.benchmark_group("dring");
     let scheme = KeyScheme::new(8, 0);
     g.bench_function("key_encode", |b| {
-        b.iter(|| scheme.key(black_box(workload::WebsiteId(42)), black_box(simnet::Locality(3))))
+        b.iter(|| {
+            scheme.key(
+                black_box(workload::WebsiteId(42)),
+                black_box(simnet::Locality(3)),
+            )
+        })
     });
     // Conditional local lookup over a realistic D-ring neighbourhood.
     let members: Vec<PeerRef> = (0..100u16)

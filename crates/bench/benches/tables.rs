@@ -78,5 +78,11 @@ fn bench_push_threshold(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(tables, bench_table2a, bench_table2b, bench_table2c, bench_push_threshold);
+criterion_group!(
+    tables,
+    bench_table2a,
+    bench_table2b,
+    bench_table2c,
+    bench_push_threshold
+);
 criterion_main!(tables);

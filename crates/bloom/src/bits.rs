@@ -11,7 +11,10 @@ impl BitVec {
     /// A zeroed bit vector of `len_bits` bits.
     pub fn new(len_bits: usize) -> Self {
         assert!(len_bits > 0, "bit vector must have at least one bit");
-        BitVec { words: vec![0; len_bits.div_ceil(64)], len_bits }
+        BitVec {
+            words: vec![0; len_bits.div_ceil(64)],
+            len_bits,
+        }
     }
 
     /// Number of bits.
@@ -26,13 +29,21 @@ impl BitVec {
 
     /// Set bit `i` to one.
     pub fn set(&mut self, i: usize) {
-        assert!(i < self.len_bits, "bit index {i} out of range {}", self.len_bits);
+        assert!(
+            i < self.len_bits,
+            "bit index {i} out of range {}",
+            self.len_bits
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
     /// Read bit `i`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len_bits, "bit index {i} out of range {}", self.len_bits);
+        assert!(
+            i < self.len_bits,
+            "bit index {i} out of range {}",
+            self.len_bits
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -56,8 +67,14 @@ impl BitVec {
 
     /// True if every set bit of `self` is also set in `other`.
     pub fn is_subset_of(&self, other: &BitVec) -> bool {
-        assert_eq!(self.len_bits, other.len_bits, "length mismatch in subset test");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        assert_eq!(
+            self.len_bits, other.len_bits,
+            "length mismatch in subset test"
+        );
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Serialized size in bytes (what a summary costs on the wire).

@@ -29,7 +29,11 @@ impl BloomFilter {
     /// A filter with `m_bits` bits and `k` probes per key.
     pub fn new(m_bits: usize, k: u32) -> Self {
         assert!(k > 0, "need at least one hash function");
-        BloomFilter { bits: BitVec::new(m_bits), k, items: 0 }
+        BloomFilter {
+            bits: BitVec::new(m_bits),
+            k,
+            items: 0,
+        }
     }
 
     /// A filter sized for `expected_items` with `bits_per_item` bits
@@ -40,7 +44,9 @@ impl BloomFilter {
     /// false-positive rate ≈ 2 %.
     pub fn with_rate(expected_items: usize, bits_per_item: usize) -> Self {
         let m = (expected_items.max(1)) * bits_per_item.max(1);
-        let k = ((bits_per_item as f64) * std::f64::consts::LN_2).round().max(1.0) as u32;
+        let k = ((bits_per_item as f64) * std::f64::consts::LN_2)
+            .round()
+            .max(1.0) as u32;
         BloomFilter::new(m, k)
     }
 

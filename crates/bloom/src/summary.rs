@@ -53,7 +53,10 @@ impl ContentSummary {
     }
 
     /// Build a summary from a set of object ids.
-    pub fn from_objects<'a>(capacity: usize, objects: impl IntoIterator<Item = &'a ObjectId>) -> Self {
+    pub fn from_objects<'a>(
+        capacity: usize,
+        objects: impl IntoIterator<Item = &'a ObjectId>,
+    ) -> Self {
         let mut s = ContentSummary::empty(capacity);
         for o in objects {
             s.insert(*o);

@@ -140,7 +140,10 @@ impl<A: Wire> ChordMsg<A> {
     /// Whether this message is routing traffic (`Route`,
     /// `FoundSuccessor`) as opposed to ring maintenance.
     pub fn is_routing(&self) -> bool {
-        matches!(self, ChordMsg::Route { .. } | ChordMsg::FoundSuccessor { .. })
+        matches!(
+            self,
+            ChordMsg::Route { .. } | ChordMsg::FoundSuccessor { .. }
+        )
     }
 }
 
@@ -260,7 +263,14 @@ fn step_route<A: Wire, T: Transport<A>>(
     if next.node == me.node {
         return terminate(st, t, key, hops, payload, DeliveryReason::Responsible);
     }
-    t.send_chord(next.node, ChordMsg::Route { key, hops: hops + 1, payload });
+    t.send_chord(
+        next.node,
+        ChordMsg::Route {
+            key,
+            hops: hops + 1,
+            payload,
+        },
+    );
     None
 }
 
@@ -273,9 +283,20 @@ fn terminate<A: Wire, T: Transport<A>>(
     reason: DeliveryReason,
 ) -> Option<ChordOutcome<A>> {
     match payload {
-        RoutePayload::App(payload) => Some(ChordOutcome::Deliver { key, payload, hops, reason }),
+        RoutePayload::App(payload) => Some(ChordOutcome::Deliver {
+            key,
+            payload,
+            hops,
+            reason,
+        }),
         RoutePayload::FindSuccessor { requester, token } => {
-            t.send_chord(requester.node, ChordMsg::FoundSuccessor { token, owner: st.me() });
+            t.send_chord(
+                requester.node,
+                ChordMsg::FoundSuccessor {
+                    token,
+                    owner: st.me(),
+                },
+            );
             None
         }
     }
@@ -297,7 +318,10 @@ pub fn start_fix_finger<A: Wire, T: Transport<A>>(
 ) {
     let (i, target) = st.next_finger_target();
     let me = st.me();
-    let payload = RoutePayload::FindSuccessor { requester: me, token: LookupToken::Finger(i) };
+    let payload = RoutePayload::FindSuccessor {
+        requester: me,
+        token: LookupToken::Finger(i),
+    };
     let _ = step_route::<A, T>(st, t, target, 0, payload, policy);
 }
 
@@ -309,7 +333,10 @@ pub fn start_join<A: Wire, T: Transport<A>>(st: &mut ChordState, t: &mut T, boot
     let msg = ChordMsg::Route {
         key: me.id,
         hops: 0,
-        payload: RoutePayload::FindSuccessor { requester: me, token: LookupToken::Join },
+        payload: RoutePayload::FindSuccessor {
+            requester: me,
+            token: LookupToken::Join,
+        },
     };
     t.send_chord(bootstrap, msg);
 }
@@ -349,7 +376,10 @@ mod tests {
         let members: Vec<PeerRef> = ids
             .iter()
             .enumerate()
-            .map(|(i, id)| PeerRef { id: ChordId(*id), node: NodeId(i as u32) })
+            .map(|(i, id)| PeerRef {
+                id: ChordId(*id),
+                node: NodeId(i as u32),
+            })
             .collect();
         stable_ring(&members, &ChordConfig::default())
     }
@@ -362,9 +392,13 @@ mod tests {
         payload: Payload,
     ) -> (usize, u8) {
         let mut t = VecTransport::default();
-        if let Some(ChordOutcome::Deliver { hops, .. }) =
-            start_route(&mut states[start], &mut t, key, payload.clone(), &StandardPolicy)
-        {
+        if let Some(ChordOutcome::Deliver { hops, .. }) = start_route(
+            &mut states[start],
+            &mut t,
+            key,
+            payload.clone(),
+            &StandardPolicy,
+        ) {
             return (start, hops);
         }
         let mut steps = 0;
@@ -372,8 +406,9 @@ mod tests {
             steps += 1;
             assert!(steps < 1000, "routing did not terminate");
             let idx = to.idx();
-            if let Some(ChordOutcome::Deliver { hops, payload: p, .. }) =
-                handle(&mut states[idx], &mut t, NodeId(0), msg, &StandardPolicy)
+            if let Some(ChordOutcome::Deliver {
+                hops, payload: p, ..
+            }) = handle(&mut states[idx], &mut t, NodeId(0), msg, &StandardPolicy)
             {
                 assert_eq!(p, payload);
                 return (idx, hops);
@@ -384,7 +419,7 @@ mod tests {
 
     #[test]
     fn routes_reach_the_owner() {
-        let ids: Vec<u64> = (0..32).map(|i| crate::id::hash64(i)).collect();
+        let ids: Vec<u64> = (0..32).map(crate::id::hash64).collect();
         let mut states = ring(&ids);
         // The owner of key k is the member minimizing clockwise k→owner.
         for probe in 0..50u64 {
@@ -394,8 +429,13 @@ mod tests {
                 .map(|s| s.me())
                 .min_by_key(|p| key.clockwise_distance(p.id))
                 .unwrap();
-            let (got, _) = route_to_completion(&mut states, (probe % 32) as usize, key, Payload(probe));
-            assert_eq!(states[got].me().node, expected.node, "wrong owner for {key:?}");
+            let (got, _) =
+                route_to_completion(&mut states, (probe % 32) as usize, key, Payload(probe));
+            assert_eq!(
+                states[got].me().node,
+                expected.node,
+                "wrong owner for {key:?}"
+            );
         }
     }
 
@@ -408,7 +448,8 @@ mod tests {
         let probes = 100u64;
         for probe in 0..probes {
             let key = ChordId(crate::id::hash64(77_000 + probe));
-            let (_, hops) = route_to_completion(&mut states, (probe % n) as usize, key, Payload(probe));
+            let (_, hops) =
+                route_to_completion(&mut states, (probe % n) as usize, key, Payload(probe));
             total_hops += hops as u32;
         }
         let avg = total_hops as f64 / probes as f64;
@@ -454,11 +495,14 @@ mod tests {
     fn join_adopts_successor_and_notifies() {
         let ids = [100u64, 200];
         let mut states = ring(&ids);
-        let newbie_ref = PeerRef { id: ChordId(150), node: NodeId(2) };
+        let newbie_ref = PeerRef {
+            id: ChordId(150),
+            node: NodeId(2),
+        };
         let mut newbie = ChordState::new(newbie_ref, ChordConfig::default());
         let mut t = VecTransport::default();
         start_join(&mut newbie, &mut t, NodeId(0));
-        let mut all = vec![states.remove(0), states.remove(0), newbie];
+        let mut all = [states.remove(0), states.remove(0), newbie];
         let mut joined = false;
         let mut guard = 0;
         while let Some((to, msg)) = t.out.pop() {
@@ -482,15 +526,24 @@ mod tests {
     fn stabilization_repairs_successor() {
         // 10 → 30 ring, node 20 interposed (it joined; 10 doesn't know).
         let mut s10 = ChordState::new(
-            PeerRef { id: ChordId(10), node: NodeId(0) },
+            PeerRef {
+                id: ChordId(10),
+                node: NodeId(0),
+            },
             ChordConfig::default(),
         );
         let mut s30 = ChordState::new(
-            PeerRef { id: ChordId(30), node: NodeId(2) },
+            PeerRef {
+                id: ChordId(30),
+                node: NodeId(2),
+            },
             ChordConfig::default(),
         );
         s10.adopt_successor(s30.me());
-        s30.on_notify(PeerRef { id: ChordId(20), node: NodeId(1) });
+        s30.on_notify(PeerRef {
+            id: ChordId(20),
+            node: NodeId(1),
+        });
         let mut t = VecTransport::default();
         start_stabilize(&mut s10, &mut t);
         // s30 answers NeighborsReq.
@@ -501,7 +554,11 @@ mod tests {
         let (to, msg) = t.out.remove(0);
         assert_eq!(to, NodeId(0));
         let _ = handle(&mut s10, &mut t, NodeId(2), msg, &StandardPolicy);
-        assert_eq!(s10.successor().unwrap().id, ChordId(20), "stabilize must adopt 20");
+        assert_eq!(
+            s10.successor().unwrap().id,
+            ChordId(20),
+            "stabilize must adopt 20"
+        );
         // And s10 notifies 20.
         assert!(t
             .out
@@ -530,7 +587,13 @@ mod tests {
         assert!(m.is_routing());
         let n: ChordMsg<Payload> = ChordMsg::NeighborsResp {
             pred: None,
-            succs: vec![PeerRef { id: ChordId(0), node: NodeId(0) }; 3],
+            succs: vec![
+                PeerRef {
+                    id: ChordId(0),
+                    node: NodeId(0)
+                };
+                3
+            ],
         };
         assert_eq!(n.wire_size(), HEADER_BYTES + 16 + 48);
         assert!(!n.is_routing());

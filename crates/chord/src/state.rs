@@ -34,7 +34,10 @@ pub struct ChordConfig {
 
 impl Default for ChordConfig {
     fn default() -> Self {
-        ChordConfig { successor_list_len: 8, max_hops: 64 }
+        ChordConfig {
+            successor_list_len: 8,
+            max_hops: 64,
+        }
     }
 }
 
@@ -256,7 +259,12 @@ impl ChordState {
         successors: Vec<PeerRef>,
         fingers: Vec<Option<PeerRef>>,
     ) {
-        assert_eq!(fingers.len(), ChordId::BITS as usize, "finger table must have {} slots", ChordId::BITS);
+        assert_eq!(
+            fingers.len(),
+            ChordId::BITS as usize,
+            "finger table must have {} slots",
+            ChordId::BITS
+        );
         self.predecessor = predecessor;
         self.successors = successors;
         self.successors.truncate(self.cfg.successor_list_len);
@@ -289,7 +297,10 @@ pub fn stable_ring(members: &[PeerRef], cfg: &ChordConfig) -> Vec<ChordState> {
     members
         .iter()
         .map(|me| {
-            let pos = sorted.iter().position(|p| p.node == me.node).expect("member in ring");
+            let pos = sorted
+                .iter()
+                .position(|p| p.node == me.node)
+                .expect("member in ring");
             let mut st = ChordState::new(*me, cfg.clone());
             let pred = sorted[(pos + n - 1) % n];
             let succs: Vec<PeerRef> = (1..=cfg.successor_list_len.min(n - 1))
@@ -318,12 +329,18 @@ mod tests {
     use super::*;
 
     fn peer(id: u64, node: u32) -> PeerRef {
-        PeerRef { id: ChordId(id), node: NodeId(node) }
+        PeerRef {
+            id: ChordId(id),
+            node: NodeId(node),
+        }
     }
 
     fn ring(ids: &[u64]) -> Vec<ChordState> {
-        let members: Vec<PeerRef> =
-            ids.iter().enumerate().map(|(i, id)| peer(*id, i as u32)).collect();
+        let members: Vec<PeerRef> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| peer(*id, i as u32))
+            .collect();
         stable_ring(&members, &ChordConfig::default())
     }
 
@@ -411,12 +428,21 @@ mod tests {
 
     #[test]
     fn successor_list_is_bounded_and_deduped() {
-        let cfg = ChordConfig { successor_list_len: 3, ..Default::default() };
+        let cfg = ChordConfig {
+            successor_list_len: 3,
+            ..Default::default()
+        };
         let mut st = ChordState::new(peer(0, 0), cfg);
         st.adopt_successor(peer(10, 1));
         st.refresh_successor_list(
             peer(10, 1),
-            &[peer(20, 2), peer(10, 1), peer(30, 3), peer(40, 4), peer(0, 0)],
+            &[
+                peer(20, 2),
+                peer(10, 1),
+                peer(30, 3),
+                peer(40, 4),
+                peer(0, 0),
+            ],
         );
         let ids: Vec<u64> = st.successors().iter().map(|p| p.id.0).collect();
         assert_eq!(ids, vec![10, 20, 30]);
@@ -458,8 +484,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn distinct_ids() -> impl Strategy<Value = Vec<u64>> {
-        proptest::collection::btree_set(any::<u64>(), 1..40)
-            .prop_map(|s| s.into_iter().collect())
+        proptest::collection::btree_set(any::<u64>(), 1..40).prop_map(|s| s.into_iter().collect())
     }
 
     proptest! {

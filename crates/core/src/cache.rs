@@ -49,7 +49,12 @@ impl CacheManager {
         if policy != CachePolicy::Unbounded {
             assert!(capacity > 0, "bounded cache needs positive capacity");
         }
-        CacheManager { policy, capacity, clock: 0, meta: HashMap::new() }
+        CacheManager {
+            policy,
+            capacity,
+            clock: 0,
+            meta: HashMap::new(),
+        }
     }
 
     /// The paper's unbounded behaviour.

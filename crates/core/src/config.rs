@@ -8,6 +8,7 @@
 use simnet::SimDuration;
 
 use crate::cache::CachePolicy;
+use crate::substrate::SubstrateKind;
 
 /// All tunables of the Flower-CDN protocol.
 #[derive(Clone, Debug)]
@@ -38,6 +39,11 @@ pub struct FlowerConfig {
     // ---- overlay capacity (§5.3, Table 1) ----
     /// Maximum content-overlay size `Sco`.
     pub max_overlay: usize,
+
+    // ---- D-ring substrate (§3.1) ----
+    /// Which structured DHT the D-ring runs on ("can be integrated
+    /// into any existing structured overlay … e.g., Chord, Pastry").
+    pub substrate: SubstrateKind,
 
     // ---- D-ring key scheme (§3.1, §5.3) ----
     /// Bits `m1` of the locality segment (2^m1 ≥ k).
@@ -103,6 +109,7 @@ impl Default for FlowerConfig {
             t_dead: 10,
             keepalive_period: SimDuration::from_mins(5),
             max_overlay: 100,
+            substrate: SubstrateKind::Chord,
             locality_bits: 8,
             instance_bits: 0,
             stabilize_period: SimDuration::from_mins(1),
@@ -157,7 +164,7 @@ impl FlowerConfig {
         if self.t_gossip.is_zero() {
             return Err("Tgossip must be positive".into());
         }
-        if !(self.push_threshold > 0.0) {
+        if self.push_threshold.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("push threshold must be positive".into());
         }
         if self.t_dead == 0 {
@@ -203,6 +210,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)]
     fn validation_rejects_bad_configs() {
         let mut c = FlowerConfig::default();
         c.l_gossip = 0;

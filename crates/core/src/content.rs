@@ -53,7 +53,13 @@ impl ContentPeerState {
         v_gossip: usize,
         summary_capacity: usize,
     ) -> Self {
-        Self::with_cache(website, locality, v_gossip, summary_capacity, CacheManager::unbounded())
+        Self::with_cache(
+            website,
+            locality,
+            v_gossip,
+            summary_capacity,
+            CacheManager::unbounded(),
+        )
     }
 
     /// A content peer with a bounded cache (the §8 replacement-policy
@@ -215,7 +221,11 @@ impl ContentPeerState {
             .view
             .select_subset(rng, l_gossip)
             .into_iter()
-            .map(|e| GossipEntry { peer: e.peer, age: e.age, summary: e.data })
+            .map(|e| GossipEntry {
+                peer: e.peer,
+                age: e.age,
+                summary: e.data,
+            })
             .collect();
         GossipPayload {
             website: self.website,
@@ -245,7 +255,11 @@ impl ContentPeerState {
         let subset = payload
             .subset
             .into_iter()
-            .map(|e| ViewEntry { peer: e.peer, age: e.age, data: e.summary })
+            .map(|e| ViewEntry {
+                peer: e.peer,
+                age: e.age,
+                data: e.summary,
+            })
             .collect();
         self.view.merge(myself, partner, subset);
         if let Some((dir, age)) = payload.dir_hint {
@@ -345,7 +359,10 @@ mod tests {
         c.insert_object(O1);
         assert!(c.current_summary().might_contain(O1));
         c.remove_object(O1);
-        assert!(!c.current_summary().might_contain(O1), "summary is rebuilt, not stale");
+        assert!(
+            !c.current_summary().might_contain(O1),
+            "summary is rebuilt, not stale"
+        );
     }
 
     #[test]
@@ -354,7 +371,10 @@ mod tests {
         c.seed_view(&[NodeId(1), NodeId(2)], ME);
         assert!(c.gossip_tick().is_some());
         // Refresh 2 via gossip; 1 becomes the oldest.
-        c.absorb_gossip(ME, NodeId(2), GossipPayload {
+        c.absorb_gossip(
+            ME,
+            NodeId(2),
+            GossipPayload {
                 website: WebsiteId(1),
                 locality: Locality(0),
                 summary: ContentSummary::empty(100),
@@ -371,11 +391,18 @@ mod tests {
         let mut c = peer();
         let mut s = ContentSummary::empty(100);
         s.insert(O1);
-        c.absorb_gossip(ME, NodeId(5), GossipPayload {
+        c.absorb_gossip(
+            ME,
+            NodeId(5),
+            GossipPayload {
                 website: WebsiteId(1),
                 locality: Locality(0),
                 summary: s,
-                subset: vec![GossipEntry { peer: NodeId(6), age: 2, summary: None }],
+                subset: vec![GossipEntry {
+                    peer: NodeId(6),
+                    age: 2,
+                    summary: None,
+                }],
                 dir_hint: None,
             },
             10,
@@ -391,11 +418,18 @@ mod tests {
         let mut c = peer();
         c.seed_view(&[ME, NodeId(1)], ME);
         assert!(!c.view().contains(ME));
-        c.absorb_gossip(ME, NodeId(1), GossipPayload {
+        c.absorb_gossip(
+            ME,
+            NodeId(1),
+            GossipPayload {
                 website: WebsiteId(1),
                 locality: Locality(0),
                 summary: ContentSummary::empty(100),
-                subset: vec![GossipEntry { peer: ME, age: 0, summary: None }],
+                subset: vec![GossipEntry {
+                    peer: ME,
+                    age: 0,
+                    summary: None,
+                }],
                 dir_hint: None,
             },
             10,
@@ -463,9 +497,16 @@ mod tests {
         let with_obj = |age: u32, p: u32| {
             let mut s = ContentSummary::empty(100);
             s.insert(O2);
-            GossipEntry { peer: NodeId(p), age, summary: Some(s) }
+            GossipEntry {
+                peer: NodeId(p),
+                age,
+                summary: Some(s),
+            }
         };
-        c.absorb_gossip(ME, NodeId(50), GossipPayload {
+        c.absorb_gossip(
+            ME,
+            NodeId(50),
+            GossipPayload {
                 website: WebsiteId(1),
                 locality: Locality(0),
                 summary: ContentSummary::empty(100),
@@ -474,6 +515,9 @@ mod tests {
             },
             10,
         );
-        assert_eq!(c.summary_candidates(O2, &[]), vec![NodeId(2), NodeId(3), NodeId(1)]);
+        assert_eq!(
+            c.summary_candidates(O2, &[]),
+            vec![NodeId(2), NodeId(3), NodeId(1)]
+        );
     }
 }

@@ -43,7 +43,11 @@ pub struct DirEntry {
 
 impl DirEntry {
     fn fresh() -> Self {
-        DirEntry { age: 0, objects: Default::default(), summary: None }
+        DirEntry {
+            age: 0,
+            objects: Default::default(),
+            summary: None,
+        }
     }
 
     /// Does this entry indicate the peer holds `o`?
@@ -303,7 +307,11 @@ impl DirectoryState {
 
     /// Store/refresh a neighbour directory's summary (§3.3).
     pub fn update_neighbor_summary(&mut self, n: NeighborSummary) {
-        if let Some(existing) = self.neighbor_summaries.iter_mut().find(|x| x.dir_id == n.dir_id) {
+        if let Some(existing) = self
+            .neighbor_summaries
+            .iter_mut()
+            .find(|x| x.dir_id == n.dir_id)
+        {
             *existing = n;
         } else {
             self.neighbor_summaries.push(n);
@@ -453,7 +461,10 @@ mod tests {
         let mut d = dir();
         let mut r = rng();
         // Empty: server.
-        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToServer);
+        assert_eq!(
+            d.process(&mut r, O1, NodeId(99), 1, 0),
+            DirDecision::ToServer
+        );
         // Neighbour summary knows O1: directory redirect.
         let mut s = ContentSummary::empty(100);
         s.insert(O1);
@@ -463,10 +474,16 @@ mod tests {
             dir_id: ChordId(5),
             summary: s,
         });
-        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToDirectory(NodeId(50)));
+        assert_eq!(
+            d.process(&mut r, O1, NodeId(99), 1, 0),
+            DirDecision::ToDirectory(NodeId(50))
+        );
         // Local holder wins over the summary.
         assert!(d.admit_or_refresh(NodeId(1), O1));
-        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToHolder(NodeId(1)));
+        assert_eq!(
+            d.process(&mut r, O1, NodeId(99), 1, 0),
+            DirDecision::ToHolder(NodeId(1))
+        );
     }
 
     #[test]
@@ -482,7 +499,10 @@ mod tests {
             summary: s,
         });
         // Budget exhausted → server, not another directory.
-        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 1), DirDecision::ToServer);
+        assert_eq!(
+            d.process(&mut r, O1, NodeId(99), 1, 1),
+            DirDecision::ToServer
+        );
     }
 
     #[test]
@@ -490,7 +510,10 @@ mod tests {
         let mut d = dir();
         let mut r = rng();
         assert!(d.admit_or_refresh(NodeId(1), O1));
-        assert_eq!(d.process(&mut r, O1, NodeId(1), 1, 0), DirDecision::ToServer);
+        assert_eq!(
+            d.process(&mut r, O1, NodeId(1), 1, 0),
+            DirDecision::ToServer
+        );
     }
 
     #[test]
@@ -516,7 +539,10 @@ mod tests {
         assert!(d.admit_or_refresh(NodeId(2), O1));
         assert!(d.admit_or_refresh(NodeId(3), O1));
         assert!(d.is_full());
-        assert!(!d.admit_or_refresh(NodeId(4), O1), "full overlay rejects new peers");
+        assert!(
+            !d.admit_or_refresh(NodeId(4), O1),
+            "full overlay rejects new peers"
+        );
         assert!(d.admit_or_refresh(NodeId(1), O2), "members always refresh");
         assert_eq!(d.overlay_size(), 3);
     }
@@ -544,8 +570,14 @@ mod tests {
         d.tick();
         d.apply_push(NodeId(1), &[O2], &[O1]);
         let mut r = rng();
-        assert_eq!(d.process(&mut r, O2, NodeId(99), 1, 0), DirDecision::ToHolder(NodeId(1)));
-        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToServer);
+        assert_eq!(
+            d.process(&mut r, O2, NodeId(99), 1, 0),
+            DirDecision::ToHolder(NodeId(1))
+        );
+        assert_eq!(
+            d.process(&mut r, O1, NodeId(99), 1, 0),
+            DirDecision::ToServer
+        );
     }
 
     #[test]
@@ -556,7 +588,10 @@ mod tests {
         for _ in 0..5 {
             d.tick(); // evicts at age 5
         }
-        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToServer);
+        assert_eq!(
+            d.process(&mut r, O1, NodeId(99), 1, 0),
+            DirDecision::ToServer
+        );
     }
 
     #[test]
@@ -597,7 +632,10 @@ mod tests {
         s.insert(O1);
         d.seed_from_view([(NodeId(7), Some(&s)), (NodeId(8), None)]);
         assert_eq!(d.overlay_size(), 2);
-        assert_eq!(d.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToHolder(NodeId(7)));
+        assert_eq!(
+            d.process(&mut r, O1, NodeId(99), 1, 0),
+            DirDecision::ToHolder(NodeId(7))
+        );
     }
 
     #[test]
@@ -611,7 +649,10 @@ mod tests {
         d2.install_snapshot(snap);
         assert!(d2.contains(NodeId(1)));
         let mut r = rng();
-        assert_eq!(d2.process(&mut r, O1, NodeId(99), 1, 0), DirDecision::ToHolder(NodeId(1)));
+        assert_eq!(
+            d2.process(&mut r, O1, NodeId(99), 1, 0),
+            DirDecision::ToHolder(NodeId(1))
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl KeyScheme {
             locality_bits + instance_bits < ChordId::BITS - 8,
             "website segment too small"
         );
-        KeyScheme { locality_bits, instance_bits }
+        KeyScheme {
+            locality_bits,
+            instance_bits,
+        }
     }
 
     /// Website bits `m2 = m − m1 − b`.
@@ -67,7 +70,7 @@ impl KeyScheme {
     /// `hash(ws)` truncated to `m2` bits (the paper's `hash(ws)` into
     /// the subspace `S'`).
     pub fn website_segment(&self, ws: WebsiteId) -> u64 {
-        hash64((ws.0 as u64) ^ 0x5EED_F10E_12_00) >> (self.locality_bits + self.instance_bits)
+        hash64((ws.0 as u64) ^ 0x5EED_F10E_1200) >> (self.locality_bits + self.instance_bits)
     }
 
     /// The D-ring peer ID / search key for `d_{ws,loc}` (base design,
@@ -78,8 +81,14 @@ impl KeyScheme {
 
     /// The §5.3 extended key for a specific directory instance.
     pub fn key_with_instance(&self, ws: WebsiteId, loc: Locality, instance: u32) -> ChordId {
-        assert!((loc.idx()) < self.max_localities(), "locality does not fit m1 bits");
-        assert!((instance as usize) < self.instances(), "instance does not fit b bits");
+        assert!(
+            (loc.idx()) < self.max_localities(),
+            "locality does not fit m1 bits"
+        );
+        assert!(
+            (instance as usize) < self.instances(),
+            "instance does not fit b bits"
+        );
         let w = self.website_segment(ws);
         ChordId(
             (w << (self.locality_bits + self.instance_bits))

@@ -46,6 +46,7 @@ pub mod id;
 pub mod msg;
 pub mod node;
 pub mod policy;
+pub mod substrate;
 pub mod system;
 
 pub use cache::{CacheManager, CachePolicy};
@@ -56,4 +57,5 @@ pub use id::KeyScheme;
 pub use msg::{FlowerMsg, GossipEntry, GossipPayload, ProviderKind, Query};
 pub use node::{Deployment, FlowerNode, NodeCounters};
 pub use policy::DringPolicy;
+pub use substrate::{ChordSubstrate, DhtSubstrate, PastrySubstrate, SubstrateKind};
 pub use system::{FlowerSystem, SystemConfig, SystemReport};

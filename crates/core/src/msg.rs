@@ -7,9 +7,11 @@
 //! message; the constants below pin the primitive sizes.
 
 use bloom::{ContentSummary, ObjectId};
-use chord::{ChordId, ChordMsg, PeerRef, Wire};
+use chord::Wire;
 use simnet::{Locality, Message, NodeId, SimTime, TrafficClass};
 use workload::WebsiteId;
+
+use crate::substrate::{DhtKey, PeerRef, SubstrateMsg};
 
 /// Modelled bytes of a peer address (IPv4 + port).
 pub const ADDR_BYTES: u32 = 6;
@@ -74,9 +76,7 @@ pub struct GossipEntry {
 
 impl GossipEntry {
     fn wire_size(&self) -> u32 {
-        ADDR_BYTES
-            + AGE_BYTES
-            + self.summary.as_ref().map_or(0, |s| s.wire_size())
+        ADDR_BYTES + AGE_BYTES + self.summary.as_ref().map_or(0, |s| s.wire_size())
     }
 }
 
@@ -131,9 +131,9 @@ pub enum FlowerMsg {
         /// Requested object.
         object: ObjectId,
     },
-    /// DHT traffic of the D-ring (routing + maintenance), carrying
-    /// queries as routed payloads.
-    Chord(ChordMsg<Query>),
+    /// DHT traffic of the D-ring (routing + maintenance) on the
+    /// configured substrate, carrying queries as routed payloads.
+    Dht(SubstrateMsg),
     /// A content peer asks its own directory peer to process a query
     /// (the post-join fast path: no D-ring routing).
     ClientQuery {
@@ -223,13 +223,13 @@ pub enum FlowerMsg {
         website: WebsiteId,
         /// Locality of the sending directory peer.
         locality: Locality,
-        /// Ring id of the sending directory peer.
-        dir_id: ChordId,
+        /// Substrate id of the sending directory peer.
+        dir_id: DhtKey,
         /// Bloom summary of its directory index.
         summary: ContentSummary,
     },
     /// Voluntary directory hand-off (§5.2): the leaving directory
-    /// transfers its directory index and ring neighbourhood to a
+    /// transfers its directory index and substrate neighbourhood to a
     /// chosen content peer.
     DirHandoff {
         /// Website served.
@@ -238,10 +238,10 @@ pub enum FlowerMsg {
         locality: Locality,
         /// The directory index snapshot.
         index: Vec<IndexSnapshotEntry>,
-        /// Ring successors to adopt.
-        successors: Vec<PeerRef>,
-        /// Ring predecessor to adopt.
-        predecessor: Option<PeerRef>,
+        /// Substrate neighbours the heir rebuilds its routing state
+        /// from (Chord: successors + predecessor; Pastry: leaf set +
+        /// table peers).
+        neighbors: Vec<PeerRef>,
     },
     /// Sender informs a contact that it left the website's overlay
     /// (locality change, §5.4); the receiver drops it like a dead
@@ -304,16 +304,19 @@ impl Message for FlowerMsg {
             FlowerMsg::Submit { .. }
             | FlowerMsg::AdminLeave
             | FlowerMsg::AdminChangeLocality { .. } => 0,
-            FlowerMsg::Chord(m) => m.wire_size(),
+            FlowerMsg::Dht(m) => m.wire_size(),
             FlowerMsg::ClientQuery { query }
             | FlowerMsg::SummaryRedirect { query }
             | FlowerMsg::RedirectToHolder { query }
             | FlowerMsg::PeerFetch { query }
             | FlowerMsg::FetchMiss { query }
             | FlowerMsg::ServerQuery { query } => MSG_HEADER_BYTES + query.wire_size(),
-            FlowerMsg::ServeObject { query, size, view_seed, .. } => {
-                MSG_HEADER_BYTES + query.wire_size() + size + ADDR_BYTES * view_seed.len() as u32
-            }
+            FlowerMsg::ServeObject {
+                query,
+                size,
+                view_seed,
+                ..
+            } => MSG_HEADER_BYTES + query.wire_size() + size + ADDR_BYTES * view_seed.len() as u32,
             FlowerMsg::Admission { view_seed, .. } => {
                 MSG_HEADER_BYTES + 1 + ADDR_BYTES * (1 + view_seed.len() as u32)
             }
@@ -322,19 +325,16 @@ impl Message for FlowerMsg {
                 MSG_HEADER_BYTES + (OBJECT_ID_BYTES + 1) * (added.len() + removed.len()) as u32
             }
             FlowerMsg::KeepAlive { .. } => MSG_HEADER_BYTES,
-            FlowerMsg::DirSummary { summary, .. } => {
-                MSG_HEADER_BYTES + 8 + summary.wire_size()
-            }
-            FlowerMsg::DirHandoff { index, successors, predecessor, .. } => {
+            FlowerMsg::DirSummary { summary, .. } => MSG_HEADER_BYTES + 8 + summary.wire_size(),
+            FlowerMsg::DirHandoff {
+                index, neighbors, ..
+            } => {
                 MSG_HEADER_BYTES
                     + index
                         .iter()
-                        .map(|e| {
-                            ADDR_BYTES + AGE_BYTES + OBJECT_ID_BYTES * e.objects.len() as u32
-                        })
+                        .map(|e| ADDR_BYTES + AGE_BYTES + OBJECT_ID_BYTES * e.objects.len() as u32)
                         .sum::<u32>()
-                    + 16 * successors.len() as u32
-                    + predecessor.map_or(0, |_| 16)
+                    + 16 * neighbors.len() as u32
             }
             FlowerMsg::Moved { .. } => MSG_HEADER_BYTES,
             FlowerMsg::ReplicaOffer { objects, .. } => {
@@ -351,7 +351,7 @@ impl Message for FlowerMsg {
             FlowerMsg::Submit { .. }
             | FlowerMsg::AdminLeave
             | FlowerMsg::AdminChangeLocality { .. } => TrafficClass::QueryControl,
-            FlowerMsg::Chord(m) => {
+            FlowerMsg::Dht(m) => {
                 if m.is_routing() {
                     TrafficClass::DhtRouting
                 } else {
@@ -443,13 +443,27 @@ mod tests {
 
     #[test]
     fn classes_separate_background_from_foreground() {
-        let push = FlowerMsg::Push { website: WebsiteId(0), added: vec![ObjectId(1)], removed: vec![] };
+        let push = FlowerMsg::Push {
+            website: WebsiteId(0),
+            added: vec![ObjectId(1)],
+            removed: vec![],
+        };
         assert!(push.class().is_background());
-        let ka = FlowerMsg::KeepAlive { website: WebsiteId(0) };
+        let ka = FlowerMsg::KeepAlive {
+            website: WebsiteId(0),
+        };
         assert!(!ka.class().is_background());
         let q = FlowerMsg::ClientQuery { query: query() };
         assert!(!q.class().is_background());
-        assert_eq!(FlowerMsg::Submit { qid: 0, website: WebsiteId(0), object: ObjectId(0) }.wire_size(), 0);
+        assert_eq!(
+            FlowerMsg::Submit {
+                qid: 0,
+                website: WebsiteId(0),
+                object: ObjectId(0)
+            }
+            .wire_size(),
+            0
+        );
     }
 
     #[test]
@@ -463,14 +477,25 @@ mod tests {
     }
 
     #[test]
-    fn chord_classes_split_routing_and_maintenance() {
-        let route: ChordMsg<Query> = ChordMsg::Route {
-            key: ChordId(0),
+    fn dht_classes_split_routing_and_maintenance() {
+        let route = SubstrateMsg::Chord(chord::ChordMsg::Route {
+            key: chord::ChordId(0),
             hops: 0,
             payload: chord::RoutePayload::App(query()),
-        };
-        assert_eq!(FlowerMsg::Chord(route).class(), TrafficClass::DhtRouting);
-        let maint: ChordMsg<Query> = ChordMsg::NeighborsReq;
-        assert_eq!(FlowerMsg::Chord(maint).class(), TrafficClass::DhtMaintenance);
+        });
+        assert_eq!(FlowerMsg::Dht(route).class(), TrafficClass::DhtRouting);
+        let maint = SubstrateMsg::Chord(chord::ChordMsg::NeighborsReq);
+        assert_eq!(FlowerMsg::Dht(maint).class(), TrafficClass::DhtMaintenance);
+        let p_route = SubstrateMsg::Pastry(pastry::PastryMsg::Route {
+            key: chord::ChordId(0),
+            hops: 0,
+            payload: pastry::proto::RoutePayload::App(query()),
+        });
+        assert_eq!(FlowerMsg::Dht(p_route).class(), TrafficClass::DhtRouting);
+        let p_maint = SubstrateMsg::Pastry(pastry::PastryMsg::LeafResp { leaves: vec![] });
+        assert_eq!(
+            FlowerMsg::Dht(p_maint).class(),
+            TrafficClass::DhtMaintenance
+        );
     }
 }

@@ -1,8 +1,10 @@
 //! The Flower-CDN protocol node: one state machine per underlay node,
 //! combining up to three roles:
 //!
-//! * **directory peer** (§3) — a D-ring member with a Chord state and
-//!   a [`DirectoryState`], processing queries per Algorithm 3;
+//! * **directory peer** (§3) — a D-ring member with a pluggable DHT
+//!   substrate role ([`DhtSubstrate`]: Chord or Pastry, chosen by
+//!   configuration) and a [`DirectoryState`], processing queries per
+//!   Algorithm 3;
 //! * **content peer** (§4) — one [`ContentPeerState`] per supported
 //!   website, gossiping, pushing and answering fetches;
 //! * **origin server** — the website's web server, the fallback
@@ -17,14 +19,11 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use bloom::ObjectId;
-use chord::{
-    ChordConfig, ChordMsg, ChordOutcome, ChordState, PeerRef, RoutePayload, Transport,
-};
 use gossip::PushPolicy;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use simnet::{Ctx, Event, Locality, NodeId, SimDuration, SimTime};
 use simnet::stats::ServedBy;
+use simnet::{Ctx, Event, Locality, NodeId, SimDuration, SimTime};
 use workload::{Catalog, WebsiteId};
 
 use crate::config::FlowerConfig;
@@ -32,7 +31,9 @@ use crate::content::ContentPeerState;
 use crate::directory::{DirDecision, DirectoryState, NeighborSummary};
 use crate::id::KeyScheme;
 use crate::msg::{FlowerMsg, IndexSnapshotEntry, ProviderKind, Query};
-use crate::policy::DringPolicy;
+use crate::substrate::{
+    DhtSubstrate, MaintTick, PeerRef, SubstrateEvent, SubstrateMsg, SubstrateOut,
+};
 
 /// Timer kinds used by [`FlowerNode`].
 pub mod timers {
@@ -42,9 +43,10 @@ pub mod timers {
     pub const KEEPALIVE: u16 = 2;
     /// Directory age tick (Algorithm 6 active behaviour).
     pub const DIR_TICK: u16 = 3;
-    /// Chord stabilization tick.
+    /// Substrate neighbour-maintenance tick (Chord: stabilize;
+    /// Pastry: leaf probing).
     pub const STABILIZE: u16 = 4;
-    /// Chord finger-repair tick.
+    /// Substrate routing-repair tick (Chord: fix one finger).
     pub const FIX_FINGER: u16 = 5;
     /// Jittered directory-replacement attempt (tag = website; §5.2).
     pub const REPLACE_DIR: u16 = 6;
@@ -83,8 +85,9 @@ impl Deployment {
 /// The directory role of a node.
 #[derive(Debug)]
 pub struct DirRole {
-    /// D-ring position and routing state.
-    pub chord: ChordState,
+    /// D-ring position and routing state on the configured DHT
+    /// substrate (Chord or Pastry).
+    pub substrate: Box<dyn DhtSubstrate>,
     /// The directory itself.
     pub dir: DirectoryState,
     /// True while a §5.2 replacement join is still in flight.
@@ -143,14 +146,15 @@ pub struct NodeCounters {
     pub replacements_lost: u64,
 }
 
-/// Adapter exposing the simulator context as a Chord transport.
+/// Adapter exposing the simulator context as the substrate's message
+/// sink.
 struct CtxTransport<'a, 'b> {
     ctx: &'a mut Ctx<'b, FlowerMsg>,
 }
 
-impl Transport<Query> for CtxTransport<'_, '_> {
-    fn send_chord(&mut self, to: NodeId, msg: ChordMsg<Query>) {
-        self.ctx.send(to, FlowerMsg::Chord(msg));
+impl SubstrateOut for CtxTransport<'_, '_> {
+    fn send(&mut self, to: NodeId, msg: SubstrateMsg) {
+        self.ctx.send(to, FlowerMsg::Dht(msg));
     }
 }
 
@@ -178,9 +182,14 @@ impl FlowerNode {
     }
 
     /// A directory-peer node for `(ws, loc)` with a pre-installed
-    /// Chord state (the paper's evaluation starts from a stable
+    /// substrate role (the paper's evaluation starts from a stable
     /// D-ring).
-    pub fn directory(shared: Rc<Deployment>, ws: WebsiteId, loc: Locality, chord: ChordState) -> Self {
+    pub fn directory(
+        shared: Rc<Deployment>,
+        ws: WebsiteId,
+        loc: Locality,
+        substrate: Box<dyn DhtSubstrate>,
+    ) -> Self {
         let dir = DirectoryState::new(
             ws,
             loc,
@@ -189,7 +198,11 @@ impl FlowerNode {
             shared.catalog.objects_per_website(),
         );
         let mut n = Self::client(shared);
-        n.dir_role = Some(DirRole { chord, dir, joining: false });
+        n.dir_role = Some(DirRole {
+            substrate,
+            dir,
+            joining: false,
+        });
         n
     }
 
@@ -221,7 +234,8 @@ impl FlowerNode {
     /// The locality this node considers itself in (§5.4 override or
     /// the topology's landmark measurement).
     fn my_locality(&self, ctx: &Ctx<'_, FlowerMsg>) -> Locality {
-        self.locality_override.unwrap_or_else(|| ctx.locality(ctx.id()))
+        self.locality_override
+            .unwrap_or_else(|| ctx.locality(ctx.id()))
     }
 
     /// §5.4: the peer detects it moved to another locality. All
@@ -268,8 +282,7 @@ impl FlowerNode {
                 website: role.dir.website(),
                 locality: role.dir.locality(),
                 index,
-                successors: role.chord.successors().to_vec(),
-                predecessor: role.chord.predecessor(),
+                neighbors: role.substrate.handoff_neighbors(),
             },
         );
         Some(target)
@@ -279,7 +292,13 @@ impl FlowerNode {
     // Query origination
     // ------------------------------------------------------------------
 
-    fn on_submit(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, qid: u64, ws: WebsiteId, object: ObjectId) {
+    fn on_submit(
+        &mut self,
+        ctx: &mut Ctx<'_, FlowerMsg>,
+        qid: u64,
+        ws: WebsiteId,
+        object: ObjectId,
+    ) {
         self.stats.queries_submitted += 1;
         ctx.query_stats().on_submit();
         let me = ctx.id();
@@ -298,7 +317,10 @@ impl FlowerNode {
             // Content-peer path (§3.4: subsequent queries bypass D-ring).
             if cp.has(object) {
                 // Served from the local cache: no lookup, no transfer.
-                self.content.get_mut(&ws).expect("checked").touch_object(object);
+                self.content
+                    .get_mut(&ws)
+                    .expect("checked")
+                    .touch_object(object);
                 self.stats.self_hits += 1;
                 let now = ctx.now();
                 ctx.query_stats().on_resolved(now, 0, 0, ServedBy::OwnCache);
@@ -306,7 +328,12 @@ impl FlowerNode {
             }
             let candidates = cp.summary_candidates(object, &[]);
             if let Some(target) = candidates.first().copied() {
-                self.pending.insert(qid, PendingQuery { tried: vec![target] });
+                self.pending.insert(
+                    qid,
+                    PendingQuery {
+                        tried: vec![target],
+                    },
+                );
                 ctx.send(target, FlowerMsg::PeerFetch { query });
                 return;
             }
@@ -335,13 +362,10 @@ impl FlowerNode {
         // If we are ourselves on the D-ring (and fully joined), route
         // from here; a node mid-join has no usable routing state yet.
         if self.dir_role.as_ref().is_some_and(|r| !r.joining) {
-            let policy = DringPolicy::new(self.shared.scheme);
             let role = self.dir_role.as_mut().expect("checked");
             let mut t = CtxTransport { ctx };
-            if let Some(outcome) = chord::start_route(&mut role.chord, &mut t, key, query, &policy)
-            {
-                self.on_chord_outcome(ctx, outcome);
-            }
+            let events = role.substrate.route(&mut t, key, query);
+            self.on_substrate_events(ctx, events);
             return;
         }
         // Otherwise enter through a random well-known directory peer.
@@ -352,7 +376,7 @@ impl FlowerNode {
             .expect("deployment has at least one bootstrap directory");
         ctx.send(
             entry,
-            FlowerMsg::Chord(ChordMsg::Route { key, hops: 0, payload: RoutePayload::App(query) }),
+            FlowerMsg::Dht(self.shared.cfg.substrate.client_entry_msg(key, query)),
         );
     }
 
@@ -365,13 +389,19 @@ impl FlowerNode {
         let Some(role) = &mut self.dir_role else {
             // Not a directory (e.g. we abdicated moments ago): let the
             // origin server handle it rather than dropping the query.
-            ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query });
+            ctx.send(
+                self.shared.server_of(query.website),
+                FlowerMsg::ServerQuery { query },
+            );
             return;
         };
         if role.dir.website() != query.website {
             // Cross-website delivery can only happen when the whole
             // website block is absent from D-ring; fall back (§3.4).
-            ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query });
+            ctx.send(
+                self.shared.server_of(query.website),
+                FlowerMsg::ServerQuery { query },
+            );
             return;
         }
 
@@ -381,8 +411,13 @@ impl FlowerNode {
             role.dir.locality() == query.origin_locality && !role.dir.contains(query.origin);
         role.dir.note_request(query.object);
         let max_hops = self.shared.cfg.max_dir_hops;
-        let decision =
-            role.dir.process(ctx.rng(), query.object, query.origin, max_hops, query.dir_hops);
+        let decision = role.dir.process(
+            ctx.rng(),
+            query.object,
+            query.origin,
+            max_hops,
+            query.dir_hops,
+        );
         if role.dir.locality() == query.origin_locality {
             let admitted = role.dir.admit_or_refresh(query.origin, query.object);
             if admits_here {
@@ -406,9 +441,10 @@ impl FlowerNode {
                 q.dir_hops += 1;
                 ctx.send(d, FlowerMsg::SummaryRedirect { query: q });
             }
-            DirDecision::ToServer => {
-                ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query })
-            }
+            DirDecision::ToServer => ctx.send(
+                self.shared.server_of(query.website),
+                FlowerMsg::ServerQuery { query },
+            ),
         }
         self.maybe_broadcast_summary(ctx);
     }
@@ -419,14 +455,18 @@ impl FlowerNode {
     fn maybe_broadcast_summary(&mut self, ctx: &mut Ctx<'_, FlowerMsg>) {
         let scheme = self.shared.scheme;
         let threshold = self.shared.cfg.summary_refresh_threshold;
-        let Some(role) = &mut self.dir_role else { return };
-        let Some(summary) = role.dir.take_summary_refresh(threshold) else { return };
-        let my_id = role.chord.id();
-        let me = role.chord.me().node;
+        let me = ctx.id();
+        let Some(role) = &mut self.dir_role else {
+            return;
+        };
+        let Some(summary) = role.dir.take_summary_refresh(threshold) else {
+            return;
+        };
+        let my_id = role.substrate.key();
         let ws = role.dir.website();
         let loc = role.dir.locality();
         let neighbours: Vec<NodeId> = role
-            .chord
+            .substrate
             .known_peers()
             .into_iter()
             .filter(|p| p.node != me && scheme.same_website(p.id, my_id))
@@ -476,7 +516,13 @@ impl FlowerNode {
         let now = ctx.now();
         ctx.send(
             query.origin,
-            FlowerMsg::ServeObject { query, resolved_at: now, provider, size, view_seed },
+            FlowerMsg::ServeObject {
+                query,
+                resolved_at: now,
+                provider,
+                size,
+                view_seed,
+            },
         );
     }
 
@@ -508,7 +554,8 @@ impl FlowerNode {
             }
         };
         let now = ctx.now();
-        ctx.query_stats().on_resolved(now, lookup_ms, transfer_ms, served_by);
+        ctx.query_stats()
+            .on_resolved(now, lookup_ms, transfer_ms, served_by);
 
         // Keep the object (§4.1: "after being served, p keeps its copy
         // of o for subsequent requests").
@@ -557,7 +604,11 @@ impl FlowerNode {
         }
         // An admission into a different locality's overlay than the
         // role we hold means we moved: start a fresh role.
-        if self.content.get(&ws).is_some_and(|cp| cp.locality() != locality) {
+        if self
+            .content
+            .get(&ws)
+            .is_some_and(|cp| cp.locality() != locality)
+        {
             self.content.remove(&ws);
         }
         let is_new = !self.content.contains_key(&ws);
@@ -567,10 +618,7 @@ impl FlowerNode {
                 locality,
                 cfg.v_gossip,
                 self.shared.catalog.objects_per_website(),
-                crate::cache::CacheManager::new(
-                    cfg.cache_policy,
-                    cfg.cache_capacity.max(1),
-                ),
+                crate::cache::CacheManager::new(cfg.cache_policy, cfg.cache_capacity.max(1)),
             )
         });
         cp.set_directory(dir);
@@ -601,7 +649,9 @@ impl FlowerNode {
     fn on_gossip_timer(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, ws: WebsiteId) {
         let l_gossip = self.shared.cfg.l_gossip;
         let t_gossip = self.shared.cfg.t_gossip;
-        let Some(cp) = self.content.get_mut(&ws) else { return };
+        let Some(cp) = self.content.get_mut(&ws) else {
+            return;
+        };
         if let Some(target) = cp.gossip_tick() {
             let payload = cp.build_gossip(ctx.rng(), l_gossip);
             self.stats.gossips_started += 1;
@@ -610,7 +660,12 @@ impl FlowerNode {
         ctx.set_timer(t_gossip, timers::GOSSIP, ws.0 as u64);
     }
 
-    fn on_gossip_req(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, from: NodeId, payload: crate::msg::GossipPayload) {
+    fn on_gossip_req(
+        &mut self,
+        ctx: &mut Ctx<'_, FlowerMsg>,
+        from: NodeId,
+        payload: crate::msg::GossipPayload,
+    ) {
         let ws = payload.website;
         let l_gossip = self.shared.cfg.l_gossip;
         let me = ctx.id();
@@ -648,9 +703,13 @@ impl FlowerNode {
 
     fn maybe_push(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, ws: WebsiteId) {
         let policy = PushPolicy::new(self.shared.cfg.push_threshold);
-        let Some(cp) = self.content.get_mut(&ws) else { return };
+        let Some(cp) = self.content.get_mut(&ws) else {
+            return;
+        };
         let Some(dir) = cp.directory() else { return };
-        let Some((added, removed)) = cp.take_push(policy) else { return };
+        let Some((added, removed)) = cp.take_push(policy) else {
+            return;
+        };
         cp.reset_dir_age();
         self.stats.pushes_sent += 1;
         if dir == ctx.id() {
@@ -660,7 +719,14 @@ impl FlowerNode {
             }
             return;
         }
-        ctx.send(dir, FlowerMsg::Push { website: ws, added, removed });
+        ctx.send(
+            dir,
+            FlowerMsg::Push {
+                website: ws,
+                added,
+                removed,
+            },
+        );
     }
 
     fn on_keepalive_timer(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, ws: WebsiteId) {
@@ -704,7 +770,9 @@ impl FlowerNode {
     fn on_replace_dir_timer(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, ws: WebsiteId) {
         self.replacing.remove(&ws);
         let me = ctx.id();
-        let Some(cp) = self.content.get(&ws) else { return };
+        let Some(cp) = self.content.get(&ws) else {
+            return;
+        };
         if cp.directory().is_some() {
             // Gossip already told us about a replacement.
             return;
@@ -718,7 +786,11 @@ impl FlowerNode {
         // bootstrap entry.
         let loc = self.my_locality(ctx);
         let key = self.shared.scheme.key(ws, loc);
-        let chord = ChordState::new(PeerRef { id: key, node: me }, ChordConfig::default());
+        let substrate = self
+            .shared
+            .cfg
+            .substrate
+            .fresh_role(self.shared.scheme, PeerRef { id: key, node: me });
         let dir = DirectoryState::new(
             ws,
             loc,
@@ -726,7 +798,11 @@ impl FlowerNode {
             self.shared.cfg.t_dead,
             self.shared.catalog.objects_per_website(),
         );
-        self.dir_role = Some(DirRole { chord, dir, joining: true });
+        self.dir_role = Some(DirRole {
+            substrate,
+            dir,
+            joining: true,
+        });
         let entry = *self
             .shared
             .bootstrap_dirs
@@ -734,7 +810,7 @@ impl FlowerNode {
             .expect("deployment has at least one bootstrap directory");
         let role = self.dir_role.as_mut().expect("just installed");
         let mut t = CtxTransport { ctx };
-        chord::start_join(&mut role.chord, &mut t, entry);
+        role.substrate.join(&mut t, entry);
         // Watchdog: lookups can be lost while the ring is healing
         // around the dead directory; retry until we win or learn of a
         // winner.
@@ -771,7 +847,7 @@ impl FlowerNode {
             .expect("deployment has at least one bootstrap directory");
         let role = self.dir_role.as_mut().expect("checked");
         let mut t = CtxTransport { ctx };
-        chord::start_join(&mut role.chord, &mut t, entry);
+        role.substrate.join(&mut t, entry);
         let watchdog = self.shared.cfg.keepalive_period.mul(2);
         ctx.set_timer(watchdog, timers::JOIN_RETRY, ws.0 as u64);
     }
@@ -780,16 +856,13 @@ impl FlowerNode {
     /// someone else took it first and we abdicate.
     fn on_join_complete(&mut self, ctx: &mut Ctx<'_, FlowerMsg>) {
         let me = ctx.id();
-        let Some(role) = &mut self.dir_role else { return };
+        let Some(role) = &mut self.dir_role else {
+            return;
+        };
         if !role.joining {
             return;
         }
-        let my_id = role.chord.id();
-        let taken_by = role
-            .chord
-            .successor()
-            .filter(|s| s.id == my_id && s.node != me)
-            .map(|s| s.node);
+        let taken_by = role.substrate.position_taken_by();
         let ws = role.dir.website();
         if let Some(winner) = taken_by {
             // Position already appropriated (§5.2): adopt the winner
@@ -807,8 +880,11 @@ impl FlowerNode {
         // their summaries ("answers first queries from its content
         // summaries").
         if let Some(cp) = self.content.get_mut(&ws) {
-            let entries: Vec<(NodeId, Option<&bloom::ContentSummary>)> =
-                cp.view().iter().map(|e| (e.peer, e.data.as_ref())).collect();
+            let entries: Vec<(NodeId, Option<&bloom::ContentSummary>)> = cp
+                .view()
+                .iter()
+                .map(|e| (e.peer, e.data.as_ref()))
+                .collect();
             role.dir.seed_from_view(entries);
             // Index ourselves with our own content.
             for o in cp.objects().collect::<Vec<_>>() {
@@ -819,14 +895,21 @@ impl FlowerNode {
         self.schedule_dir_timers(ctx);
     }
 
-    /// Arm the periodic directory-side timers.
+    /// Arm the periodic directory-side timers (maintenance ticks the
+    /// substrate has no use for are never armed).
     pub(crate) fn schedule_dir_timers(&mut self, ctx: &mut Ctx<'_, FlowerMsg>) {
         let cfg = &self.shared.cfg;
+        let wants_fix_finger = self
+            .dir_role
+            .as_ref()
+            .is_some_and(|r| r.substrate.wants_tick(MaintTick::FixFinger));
         ctx.set_timer(cfg.keepalive_period, timers::DIR_TICK, 0);
         let s = ctx.rng().gen_range(0..cfg.stabilize_period.as_ms().max(1));
         ctx.set_timer(SimDuration::from_ms(s), timers::STABILIZE, 0);
-        let f = ctx.rng().gen_range(0..cfg.fix_finger_period.as_ms().max(1));
-        ctx.set_timer(SimDuration::from_ms(f), timers::FIX_FINGER, 0);
+        if wants_fix_finger {
+            let f = ctx.rng().gen_range(0..cfg.fix_finger_period.as_ms().max(1));
+            ctx.set_timer(SimDuration::from_ms(f), timers::FIX_FINGER, 0);
+        }
         if let Some(p) = cfg.replication_period {
             let r = ctx.rng().gen_range(0..p.as_ms().max(1));
             ctx.set_timer(SimDuration::from_ms(r), timers::REPLICATE, 0);
@@ -836,28 +919,38 @@ impl FlowerNode {
     /// §8 active replication: offer our hottest objects to the
     /// same-website neighbour directories.
     fn on_replicate_timer(&mut self, ctx: &mut Ctx<'_, FlowerMsg>) {
-        let Some(period) = self.shared.cfg.replication_period else { return };
+        let Some(period) = self.shared.cfg.replication_period else {
+            return;
+        };
         let top_k = self.shared.cfg.replication_top_k;
         let scheme = self.shared.scheme;
-        let Some(role) = &mut self.dir_role else { return };
+        let me = ctx.id();
+        let Some(role) = &mut self.dir_role else {
+            return;
+        };
         if role.joining {
             ctx.set_timer(period, timers::REPLICATE, 0);
             return;
         }
         let hot = role.dir.take_hot_objects(ctx.rng(), top_k);
         if !hot.is_empty() {
-            let me = role.chord.me().node;
-            let my_id = role.chord.id();
+            let my_id = role.substrate.key();
             let ws = role.dir.website();
             let neighbours: Vec<NodeId> = role
-                .chord
+                .substrate
                 .known_peers()
                 .into_iter()
                 .filter(|p| p.node != me && scheme.same_website(p.id, my_id))
                 .map(|p| p.node)
                 .collect();
             for n in neighbours {
-                ctx.send(n, FlowerMsg::ReplicaOffer { website: ws, objects: hot.clone() });
+                ctx.send(
+                    n,
+                    FlowerMsg::ReplicaOffer {
+                        website: ws,
+                        objects: hot.clone(),
+                    },
+                );
             }
         }
         ctx.set_timer(period, timers::REPLICATE, 0);
@@ -867,8 +960,10 @@ impl FlowerNode {
     /// replacements racing): the lower node id stays, the other
     /// abdicates. Returns true if we abdicated.
     fn resolve_position_conflict(&mut self, other: PeerRef, me: NodeId) -> bool {
-        let Some(role) = &self.dir_role else { return false };
-        if other.id != role.chord.id() || other.node == me {
+        let Some(role) = &self.dir_role else {
+            return false;
+        };
+        if other.id != role.substrate.key() || other.node == me {
             return false;
         }
         if me.0 < other.node.0 {
@@ -884,49 +979,60 @@ impl FlowerNode {
     }
 
     // ------------------------------------------------------------------
-    // Chord plumbing
+    // Substrate plumbing
     // ------------------------------------------------------------------
 
-    fn on_chord_msg(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, from: NodeId, msg: ChordMsg<Query>) {
+    fn on_dht_msg(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, from: NodeId, msg: SubstrateMsg) {
         let me = ctx.id();
         // Duplicate-position detection on maintenance traffic.
-        match &msg {
-            ChordMsg::Notify { peer } => {
-                if self.resolve_position_conflict(*peer, me) {
-                    return;
-                }
+        let conflicts = self
+            .dir_role
+            .as_ref()
+            .map(|r| r.substrate.conflict_peers(&msg))
+            .unwrap_or_default();
+        for p in conflicts {
+            if self.resolve_position_conflict(p, me) {
+                return;
             }
-            ChordMsg::NeighborsResp { pred, succs } => {
-                let peers: Vec<PeerRef> = pred.iter().chain(succs.iter()).copied().collect();
-                for p in peers {
-                    if self.resolve_position_conflict(p, me) {
-                        return;
-                    }
-                }
-            }
-            _ => {}
         }
         let Some(role) = &mut self.dir_role else {
             // DHT traffic for a node that is not (or no longer) on the
             // D-ring. If it carries a query, rescue it via the origin
             // server; everything else is dropped.
-            if let ChordMsg::Route { payload: RoutePayload::App(query), .. } = msg {
-                ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query });
+            if let Some(query) = msg.carried_query() {
+                ctx.send(
+                    self.shared.server_of(query.website),
+                    FlowerMsg::ServerQuery { query },
+                );
             }
             return;
         };
-        let policy = DringPolicy::new(self.shared.scheme);
         let mut t = CtxTransport { ctx };
-        let outcome = chord::handle(&mut role.chord, &mut t, from, msg, &policy);
-        if let Some(outcome) = outcome {
-            self.on_chord_outcome(ctx, outcome);
-        }
+        let events = role.substrate.dispatch(&mut t, from, msg);
+        self.on_substrate_events(ctx, events);
     }
 
-    fn on_chord_outcome(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, outcome: ChordOutcome<Query>) {
-        match outcome {
-            ChordOutcome::Deliver { payload, .. } => self.dir_process_query(ctx, payload),
-            ChordOutcome::JoinComplete => self.on_join_complete(ctx),
+    /// Drain a substrate outcome stream.
+    fn on_substrate_events(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, events: Vec<SubstrateEvent>) {
+        for ev in events {
+            match ev {
+                SubstrateEvent::Deliver { query, .. } => self.dir_process_query(ctx, query),
+                SubstrateEvent::JoinComplete => self.on_join_complete(ctx),
+                SubstrateEvent::NeedRejoin => {
+                    // Our §5.2 join lookup was lost while the ring was
+                    // healing: retry through another entry point.
+                    if self.dir_role.as_ref().is_some_and(|r| r.joining) {
+                        let entry = *self
+                            .shared
+                            .bootstrap_dirs
+                            .choose(ctx.rng())
+                            .expect("bootstrap set non-empty");
+                        let role = self.dir_role.as_mut().expect("checked");
+                        let mut t = CtxTransport { ctx };
+                        role.substrate.join(&mut t, entry);
+                    }
+                }
+            }
         }
     }
 
@@ -936,80 +1042,20 @@ impl FlowerNode {
 
     fn on_undeliverable(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, to: NodeId, msg: FlowerMsg) {
         match msg {
-            FlowerMsg::Chord(cm) => {
-                if let Some(role) = &mut self.dir_role {
-                    chord::on_undeliverable(&mut role.chord, to, &cm);
-                }
-                match cm {
-                    ChordMsg::Route { key, hops, payload } => {
-                        // Re-route around the dead hop.
-                        match payload {
-                            RoutePayload::App(query) => {
-                                if self.dir_role.is_some() {
-                                    let me = ctx.id();
-                                    let policy = DringPolicy::new(self.shared.scheme);
-                                    let role = self.dir_role.as_mut().expect("checked");
-                                    let mut t = CtxTransport { ctx };
-                                    let oc = chord::proto::handle(
-                                        &mut role.chord,
-                                        &mut t,
-                                        me,
-                                        ChordMsg::Route { key, hops, payload: RoutePayload::App(query) },
-                                        &policy,
-                                    );
-                                    if let Some(oc) = oc {
-                                        self.on_chord_outcome(ctx, oc);
-                                    }
-                                } else {
-                                    // A client whose bootstrap died:
-                                    // try another entry point.
-                                    self.route_via_dring(ctx, query);
-                                }
-                            }
-                            RoutePayload::FindSuccessor { requester, token } => {
-                                if requester.node == ctx.id() {
-                                    // Our own join lookup bounced:
-                                    // retry through another entry
-                                    // point (finger fixes simply wait
-                                    // for the next period).
-                                    if matches!(token, chord::LookupToken::Join) {
-                                        if let Some(role) = &mut self.dir_role {
-                                            if role.joining {
-                                                let entry =
-                                                    *self.shared.bootstrap_dirs.choose(ctx.rng())
-                                                        .expect("bootstrap set non-empty");
-                                                let mut t = CtxTransport { ctx };
-                                                chord::start_join(&mut role.chord, &mut t, entry);
-                                            }
-                                        }
-                                    }
-                                } else if self.dir_role.as_ref().is_some_and(|r| !r.joining) {
-                                    // We were forwarding someone
-                                    // else's lookup and the next hop
-                                    // died: re-route around it so the
-                                    // lookup is not lost (§5.2 joins
-                                    // depend on it while the ring
-                                    // heals).
-                                    let me = ctx.id();
-                                    let policy = DringPolicy::new(self.shared.scheme);
-                                    let role = self.dir_role.as_mut().expect("checked");
-                                    let mut t = CtxTransport { ctx };
-                                    let _ = chord::proto::handle(
-                                        &mut role.chord,
-                                        &mut t,
-                                        me,
-                                        ChordMsg::Route {
-                                            key,
-                                            hops,
-                                            payload: RoutePayload::FindSuccessor { requester, token },
-                                        },
-                                        &policy,
-                                    );
-                                }
-                            }
-                        }
-                    }
-                    _ => {}
+            FlowerMsg::Dht(sm) => {
+                if self.dir_role.is_some() {
+                    // The substrate purges the dead peer, re-routes
+                    // payloads and lookups around it, and flags a lost
+                    // join lookup for retry.
+                    let role = self.dir_role.as_mut().expect("checked");
+                    let joining = role.joining;
+                    let mut t = CtxTransport { ctx };
+                    let events = role.substrate.undeliverable(&mut t, to, sm, joining);
+                    self.on_substrate_events(ctx, events);
+                } else if let Some(query) = sm.carried_query() {
+                    // A client whose bootstrap died: try another entry
+                    // point.
+                    self.route_via_dring(ctx, query);
                 }
             }
             FlowerMsg::RedirectToHolder { query } => {
@@ -1024,11 +1070,17 @@ impl FlowerNode {
                 if let Some(role) = &mut self.dir_role {
                     role.dir.remove_neighbor(to);
                 }
-                ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query });
+                ctx.send(
+                    self.shared.server_of(query.website),
+                    FlowerMsg::ServerQuery { query },
+                );
             }
             FlowerMsg::ClientQuery { query } => {
                 self.on_dir_unreachable(ctx, query.website, to);
-                ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query });
+                ctx.send(
+                    self.shared.server_of(query.website),
+                    FlowerMsg::ServerQuery { query },
+                );
             }
             FlowerMsg::PeerFetch { query } => {
                 if let Some(cp) = self.content.get_mut(&query.website) {
@@ -1069,21 +1121,33 @@ impl FlowerNode {
         let mut q = query;
         q.holder_retries += 1;
         if q.holder_retries > self.shared.cfg.holder_retries {
-            ctx.send(self.shared.server_of(q.website), FlowerMsg::ServerQuery { query: q });
+            ctx.send(
+                self.shared.server_of(q.website),
+                FlowerMsg::ServerQuery { query: q },
+            );
             return;
         }
         self.dir_process_query(ctx, q);
     }
 
     /// Continue the content-peer local search after a failed probe.
-    fn continue_local_search(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, query: Query, failed: NodeId) {
-        let Some(p) = self.pending.get_mut(&query.id) else { return };
+    fn continue_local_search(
+        &mut self,
+        ctx: &mut Ctx<'_, FlowerMsg>,
+        query: Query,
+        failed: NodeId,
+    ) {
+        let Some(p) = self.pending.get_mut(&query.id) else {
+            return;
+        };
         if !p.tried.contains(&failed) {
             p.tried.push(failed);
         }
         let tried = p.tried.clone();
         let retries = self.shared.cfg.summary_fetch_retries as usize;
-        let Some(cp) = self.content.get(&query.website) else { return };
+        let Some(cp) = self.content.get(&query.website) else {
+            return;
+        };
         if tried.len() <= retries {
             if let Some(next) = cp.summary_candidates(query.object, &tried).first().copied() {
                 if let Some(p) = self.pending.get_mut(&query.id) {
@@ -1109,7 +1173,10 @@ impl FlowerNode {
                 None => {}
             }
         }
-        ctx.send(self.shared.server_of(query.website), FlowerMsg::ServerQuery { query });
+        ctx.send(
+            self.shared.server_of(query.website),
+            FlowerMsg::ServerQuery { query },
+        );
     }
 }
 
@@ -1117,10 +1184,12 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
     fn on_event(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, ev: Event<FlowerMsg>) {
         match ev {
             Event::Recv { from, msg } => match msg {
-                FlowerMsg::Submit { qid, website, object } => {
-                    self.on_submit(ctx, qid, website, object)
-                }
-                FlowerMsg::Chord(cm) => self.on_chord_msg(ctx, from, cm),
+                FlowerMsg::Submit {
+                    qid,
+                    website,
+                    object,
+                } => self.on_submit(ctx, qid, website, object),
+                FlowerMsg::Dht(m) => self.on_dht_msg(ctx, from, m),
                 FlowerMsg::ClientQuery { query } => {
                     // Refresh the member's entry; then Algorithm 3.
                     self.dir_process_query(ctx, query);
@@ -1165,15 +1234,27 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                     }
                 }
                 FlowerMsg::ServerQuery { query } => {
-                    debug_assert_eq!(self.server_for, Some(query.website), "query at wrong server");
+                    debug_assert_eq!(
+                        self.server_for,
+                        Some(query.website),
+                        "query at wrong server"
+                    );
                     self.serve(ctx, query, ProviderKind::OriginServer);
                 }
-                FlowerMsg::ServeObject { query, resolved_at, provider, view_seed, .. } => {
-                    self.on_serve_object(ctx, from, query, resolved_at, provider, view_seed)
-                }
-                FlowerMsg::Admission { website, locality, admitted, dir, view_seed } => {
-                    self.on_admission(ctx, website, locality, admitted, dir, view_seed)
-                }
+                FlowerMsg::ServeObject {
+                    query,
+                    resolved_at,
+                    provider,
+                    view_seed,
+                    ..
+                } => self.on_serve_object(ctx, from, query, resolved_at, provider, view_seed),
+                FlowerMsg::Admission {
+                    website,
+                    locality,
+                    admitted,
+                    dir,
+                    view_seed,
+                } => self.on_admission(ctx, website, locality, admitted, dir, view_seed),
                 FlowerMsg::GossipReq(p) => self.on_gossip_req(ctx, from, p),
                 FlowerMsg::GossipResp(p) => {
                     let me = ctx.id();
@@ -1186,7 +1267,11 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                         }
                     }
                 }
-                FlowerMsg::Push { website, added, removed } => {
+                FlowerMsg::Push {
+                    website,
+                    added,
+                    removed,
+                } => {
                     match &mut self.dir_role {
                         Some(role) if role.dir.website() == website => {
                             role.dir.apply_push(from, &added, &removed);
@@ -1200,15 +1285,18 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                         }
                     }
                 }
-                FlowerMsg::KeepAlive { website } => {
-                    match &mut self.dir_role {
-                        Some(role) if role.dir.website() == website => {
-                            role.dir.keepalive(from);
-                        }
-                        _ => ctx.send(from, FlowerMsg::Moved { website }),
+                FlowerMsg::KeepAlive { website } => match &mut self.dir_role {
+                    Some(role) if role.dir.website() == website => {
+                        role.dir.keepalive(from);
                     }
-                }
-                FlowerMsg::DirSummary { website, locality, dir_id, summary } => {
+                    _ => ctx.send(from, FlowerMsg::Moved { website }),
+                },
+                FlowerMsg::DirSummary {
+                    website,
+                    locality,
+                    dir_id,
+                    summary,
+                } => {
                     if let Some(role) = &mut self.dir_role {
                         if role.dir.website() == website {
                             role.dir.update_neighbor_summary(NeighborSummary {
@@ -1220,17 +1308,20 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                         }
                     }
                 }
-                FlowerMsg::DirHandoff { website, locality, index, successors, predecessor } => {
+                FlowerMsg::DirHandoff {
+                    website,
+                    locality,
+                    index,
+                    neighbors,
+                } => {
                     // §5.2 voluntary hand-off: assume the departing
                     // directory's identity and state.
                     let me = ctx.id();
                     let key = self.shared.scheme.key(website, locality);
-                    let mut chord_st =
-                        ChordState::new(PeerRef { id: key, node: me }, ChordConfig::default());
-                    chord_st.install(
-                        predecessor,
-                        successors.into_iter().filter(|p| p.node != me).collect(),
-                        vec![None; chord::ChordId::BITS as usize],
+                    let substrate = self.shared.cfg.substrate.handoff_role(
+                        self.shared.scheme,
+                        PeerRef { id: key, node: me },
+                        &neighbors,
                     );
                     let mut dir = DirectoryState::new(
                         website,
@@ -1242,9 +1333,16 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                     let members: Vec<NodeId> =
                         index.iter().map(|e| e.peer).filter(|p| *p != me).collect();
                     dir.install_snapshot(
-                        index.into_iter().map(|e| (e.peer, e.age, e.objects)).collect(),
+                        index
+                            .into_iter()
+                            .map(|e| (e.peer, e.age, e.objects))
+                            .collect(),
                     );
-                    self.dir_role = Some(DirRole { chord: chord_st, dir, joining: false });
+                    self.dir_role = Some(DirRole {
+                        substrate,
+                        dir,
+                        joining: false,
+                    });
                     // The heir is an overlay member (it came from the
                     // directory index), but its own Admission may still
                     // be in flight: ensure the content role exists so
@@ -1272,10 +1370,10 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                         ctx.set_timer(SimDuration::from_ms(k), timers::KEEPALIVE, website.0 as u64);
                     }
                     self.schedule_dir_timers(ctx);
-                    // Tell the ring we exist.
+                    // Tell the substrate we exist.
                     let role = self.dir_role.as_mut().expect("just installed");
                     let mut t = CtxTransport { ctx };
-                    chord::start_stabilize(&mut role.chord, &mut t);
+                    role.substrate.maintenance(&mut t, MaintTick::Stabilize);
                 }
                 FlowerMsg::Moved { website } => {
                     if let Some(cp) = self.content.get_mut(&website) {
@@ -1284,7 +1382,9 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                 }
                 FlowerMsg::ReplicaOffer { website, objects } => {
                     // §8: pick a member to host each object we lack.
-                    let Some(role) = &mut self.dir_role else { return };
+                    let Some(role) = &mut self.dir_role else {
+                        return;
+                    };
                     if role.dir.website() != website {
                         return;
                     }
@@ -1300,16 +1400,21 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                         if let Some(member) = role.dir.view_seed(1, holder).first().copied() {
                             ctx.send(
                                 member,
-                                FlowerMsg::ReplicaInstruct { website, object, holder },
+                                FlowerMsg::ReplicaInstruct {
+                                    website,
+                                    object,
+                                    holder,
+                                },
                             );
                         }
                     }
                 }
-                FlowerMsg::ReplicaInstruct { website, object, holder } => {
-                    let should_pull = self
-                        .content
-                        .get(&website)
-                        .is_some_and(|cp| !cp.has(object));
+                FlowerMsg::ReplicaInstruct {
+                    website,
+                    object,
+                    holder,
+                } => {
+                    let should_pull = self.content.get(&website).is_some_and(|cp| !cp.has(object));
                     if should_pull {
                         ctx.send(holder, FlowerMsg::ReplicaPull { website, object });
                     }
@@ -1318,10 +1423,19 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                     let has = self.content.get(&website).is_some_and(|cp| cp.has(object));
                     if has {
                         let size = self.shared.catalog.object_size(object);
-                        ctx.send(from, FlowerMsg::ReplicaData { website, object, size });
+                        ctx.send(
+                            from,
+                            FlowerMsg::ReplicaData {
+                                website,
+                                object,
+                                size,
+                            },
+                        );
                     }
                 }
-                FlowerMsg::ReplicaData { website, object, .. } => {
+                FlowerMsg::ReplicaData {
+                    website, object, ..
+                } => {
                     if let Some(cp) = self.content.get_mut(&website) {
                         cp.insert_object(object);
                     }
@@ -1348,18 +1462,21 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                     let period = self.shared.cfg.stabilize_period;
                     if let Some(role) = &mut self.dir_role {
                         let mut t = CtxTransport { ctx };
-                        chord::start_stabilize(&mut role.chord, &mut t);
+                        role.substrate.maintenance(&mut t, MaintTick::Stabilize);
                         ctx.set_timer(period, timers::STABILIZE, 0);
                     }
                 }
                 timers::FIX_FINGER => {
                     let period = self.shared.cfg.fix_finger_period;
-                    if self.dir_role.is_some() {
-                        let policy = DringPolicy::new(self.shared.scheme);
-                        let role = self.dir_role.as_mut().expect("checked");
-                        let mut t = CtxTransport { ctx };
-                        chord::start_fix_finger(&mut role.chord, &mut t, &policy);
-                        ctx.set_timer(period, timers::FIX_FINGER, 0);
+                    if let Some(role) = &mut self.dir_role {
+                        // A substrate with no routing-repair work
+                        // (Pastry) lets the timer die instead of
+                        // rescheduling a no-op forever.
+                        if role.substrate.wants_tick(MaintTick::FixFinger) {
+                            let mut t = CtxTransport { ctx };
+                            role.substrate.maintenance(&mut t, MaintTick::FixFinger);
+                            ctx.set_timer(period, timers::FIX_FINGER, 0);
+                        }
                     }
                 }
                 timers::REPLACE_DIR => self.on_replace_dir_timer(ctx, WebsiteId(tag as u16)),

@@ -9,8 +9,8 @@
 //!    D-ring … with an empty directory" — and, for each *active*
 //!    website, a community of up to `Sco` potential clients per
 //!    locality;
-//! 3. bootstrap the D-ring as a converged Chord ring over the
-//!    directory peers;
+//! 3. bootstrap the D-ring as a converged network over the directory
+//!    peers on the configured DHT substrate (Chord or Pastry);
 //! 4. inject the query trace: each query picks a uniform random
 //!    locality and a uniform community member as originator ("a new
 //!    client or a content peer of ws is chosen from a random
@@ -20,7 +20,6 @@
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-use chord::PeerRef;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -33,6 +32,7 @@ use crate::config::FlowerConfig;
 use crate::id::KeyScheme;
 use crate::msg::FlowerMsg;
 use crate::node::{timers, Deployment, FlowerNode};
+use crate::substrate::PeerRef;
 
 /// Everything needed to build and run one simulation.
 #[derive(Clone, Debug)]
@@ -74,7 +74,11 @@ impl SystemConfig {
     /// websites, minute-scale horizon, second-scale protocol periods.
     pub fn small_test() -> Self {
         SystemConfig {
-            topology: TopologyConfig { nodes: 300, localities: 3, ..Default::default() },
+            topology: TopologyConfig {
+                nodes: 300,
+                localities: 3,
+                ..Default::default()
+            },
             catalog: CatalogConfig {
                 num_websites: 6,
                 active_websites: 2,
@@ -157,9 +161,9 @@ impl FlowerSystem {
         // locality's pool.
         let mut dirs: BTreeMap<(WebsiteId, Locality), NodeId> = BTreeMap::new();
         for ws in catalog.websites() {
-            for l in 0..k {
+            for (l, pool) in pools.iter_mut().enumerate() {
                 let loc = Locality(l as u16);
-                let node = pools[l]
+                let node = pool
                     .pop()
                     .unwrap_or_else(|| panic!("locality {l} too small for the D-ring"));
                 dirs.insert((ws, loc), node);
@@ -191,28 +195,28 @@ impl FlowerSystem {
         // servers never query.
         let mut communities: HashMap<(WebsiteId, Locality), Vec<NodeId>> = HashMap::new();
         for ws in catalog.active_websites() {
-            for l in 0..k {
+            for (l, pool) in pools.iter().enumerate() {
                 let loc = Locality(l as u16);
-                let pool = &pools[l];
                 let take = cfg.flower.max_overlay.min(pool.len());
-                let mut comm: Vec<NodeId> = pool
-                    .choose_multiple(&mut rng, take)
-                    .copied()
-                    .collect();
+                let mut comm: Vec<NodeId> = pool.choose_multiple(&mut rng, take).copied().collect();
                 comm.sort_unstable_by_key(|n| n.0);
                 communities.insert((ws, loc), comm);
             }
         }
 
-        // D-ring bootstrap: a converged Chord ring over all directory
-        // peers (the paper's stable start).
+        // D-ring bootstrap: a converged substrate network over all
+        // directory peers (the paper's stable start), on whichever DHT
+        // the configuration selects.
         let members: Vec<PeerRef> = dirs
             .iter()
-            .map(|((ws, loc), node)| PeerRef { id: scheme.key(*ws, *loc), node: *node })
+            .map(|((ws, loc), node)| PeerRef {
+                id: scheme.key(*ws, *loc),
+                node: *node,
+            })
             .collect();
-        let states = chord::stable_ring(&members, &chord::ChordConfig::default());
-        let state_by_node: HashMap<NodeId, chord::ChordState> =
-            members.iter().zip(states).map(|(m, s)| (m.node, s)).collect();
+        let states = cfg.flower.substrate.stable_network(scheme, &members);
+        let mut state_by_node: HashMap<NodeId, Box<dyn crate::substrate::DhtSubstrate>> =
+            members.iter().map(|m| m.node).zip(states).collect();
 
         let deployment = Rc::new(Deployment {
             cfg: cfg.flower.clone(),
@@ -234,7 +238,7 @@ impl FlowerSystem {
             .node_ids()
             .map(|n| {
                 if let Some((ws, loc)) = dir_of_node.get(&n) {
-                    let st = state_by_node.get(&n).expect("dir has ring state").clone();
+                    let st = state_by_node.remove(&n).expect("dir has substrate state");
                     FlowerNode::directory(Rc::clone(&deployment), *ws, *loc, st)
                 } else if let Some(ws) = server_of_node.get(&n) {
                     FlowerNode::server(Rc::clone(&deployment), *ws)
@@ -252,32 +256,44 @@ impl FlowerSystem {
             engine.schedule_at(
                 SimTime::from_ms(s),
                 *node,
-                Event::Timer { kind: timers::DIR_TICK, tag: 0 },
+                Event::Timer {
+                    kind: timers::DIR_TICK,
+                    tag: 0,
+                },
             );
             let s = rng.gen_range(0..cfg.flower.stabilize_period.as_ms().max(2));
             engine.schedule_at(
                 SimTime::from_ms(s),
                 *node,
-                Event::Timer { kind: timers::STABILIZE, tag: 0 },
+                Event::Timer {
+                    kind: timers::STABILIZE,
+                    tag: 0,
+                },
             );
             let s = rng.gen_range(0..cfg.flower.fix_finger_period.as_ms().max(2));
             engine.schedule_at(
                 SimTime::from_ms(s),
                 *node,
-                Event::Timer { kind: timers::FIX_FINGER, tag: 0 },
+                Event::Timer {
+                    kind: timers::FIX_FINGER,
+                    tag: 0,
+                },
             );
             if let Some(p) = cfg.flower.replication_period {
                 let s = rng.gen_range(0..p.as_ms().max(2));
                 engine.schedule_at(
                     SimTime::from_ms(s),
                     *node,
-                    Event::Timer { kind: timers::REPLICATE, tag: 0 },
+                    Event::Timer {
+                        kind: timers::REPLICATE,
+                        tag: 0,
+                    },
                 );
             }
         }
 
         // Schedule the query trace (§6.1 originator selection).
-        let stream = QueryStream::generate(&cfg.workload, &catalog, cfg.seed ^ 0x77AC_E5);
+        let stream = QueryStream::generate(&cfg.workload, &catalog, cfg.seed ^ 0x0077_ACE5);
         let mut scheduled = 0usize;
         for (qid, ev) in stream.events().iter().enumerate() {
             // "chosen from a random locality": uniform locality, then a
@@ -359,7 +375,10 @@ impl FlowerSystem {
 
     /// The community (potential clients) of `(ws, loc)`.
     pub fn community(&self, ws: WebsiteId, loc: Locality) -> &[NodeId] {
-        self.communities.get(&(ws, loc)).map(|v| v.as_slice()).unwrap_or(&[])
+        self.communities
+            .get(&(ws, loc))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Origin servers by website index.
@@ -407,14 +426,21 @@ mod tests {
     use super::*;
 
     fn run_small(seed: u64) -> (FlowerSystem, SystemReport) {
-        let cfg = SystemConfig { seed, ..SystemConfig::small_test() };
+        let cfg = SystemConfig {
+            seed,
+            ..SystemConfig::small_test()
+        };
         FlowerSystem::run(&cfg)
     }
 
     #[test]
     fn small_system_processes_queries() {
         let (sys, r) = run_small(1);
-        assert!(r.submitted > 1000, "expected thousands of queries, got {}", r.submitted);
+        assert!(
+            r.submitted > 1000,
+            "expected thousands of queries, got {}",
+            r.submitted
+        );
         // Allow a tiny number of stragglers lost to protocol corner
         // cases, but essentially everything must resolve.
         assert!(

@@ -8,7 +8,10 @@ use simnet::{Event, Locality, SimDuration, SimTime};
 use workload::WebsiteId;
 
 fn cfg(seed: u64) -> SystemConfig {
-    SystemConfig { seed, ..SystemConfig::small_test() }
+    SystemConfig {
+        seed,
+        ..SystemConfig::small_test()
+    }
 }
 
 /// §5.2 voluntary leave: `AdminLeave` makes the directory transfer its
@@ -24,17 +27,34 @@ fn admin_leave_hands_directory_to_a_member() {
     // Let the overlay form first.
     sys.run_until(SimTime::from_mins(4));
     let members_before = {
-        let role = sys.engine().node(old_dir).dir_role().expect("old dir active");
-        assert!(role.dir.overlay_size() > 0, "overlay must have members for a hand-off");
+        let role = sys
+            .engine()
+            .node(old_dir)
+            .dir_role()
+            .expect("old dir active");
+        assert!(
+            role.dir.overlay_size() > 0,
+            "overlay must have members for a hand-off"
+        );
         role.dir.overlay_size()
     };
 
     let t = SimTime::from_mins(4) + SimDuration::from_secs(1);
-    sys.engine_mut().schedule_at(t, old_dir, Event::Recv { from: old_dir, msg: FlowerMsg::AdminLeave });
+    sys.engine_mut().schedule_at(
+        t,
+        old_dir,
+        Event::Recv {
+            from: old_dir,
+            msg: FlowerMsg::AdminLeave,
+        },
+    );
     sys.run_until(SimTime::from_ms(c.workload.duration_ms) + SimDuration::from_secs(30));
 
     // The old node stood down...
-    assert!(!sys.engine().node(old_dir).is_directory(), "old directory must abdicate");
+    assert!(
+        !sys.engine().node(old_dir).is_directory(),
+        "old directory must abdicate"
+    );
     // ...and exactly one community member inherited the directory,
     // including the transferred index.
     let heirs: Vec<_> = sys
@@ -59,7 +79,12 @@ fn admin_leave_hands_directory_to_a_member() {
     );
     // The system keeps resolving queries after the hand-off.
     let r = sys.report();
-    assert!(r.resolved as f64 > r.submitted as f64 * 0.95, "{}/{}", r.resolved, r.submitted);
+    assert!(
+        r.resolved as f64 > r.submitted as f64 * 0.95,
+        "{}/{}",
+        r.resolved,
+        r.submitted
+    );
 }
 
 /// §5.4 locality change: the peer leaves its overlays and rejoins (as
@@ -85,7 +110,10 @@ fn admin_change_locality_migrates_the_peer() {
     sys.engine_mut().schedule_at(
         t,
         mover,
-        Event::Recv { from: mover, msg: FlowerMsg::AdminChangeLocality { to: new_loc } },
+        Event::Recv {
+            from: mover,
+            msg: FlowerMsg::AdminChangeLocality { to: new_loc },
+        },
     );
     sys.run_until(t + SimDuration::from_ms(1));
     assert!(
@@ -127,7 +155,10 @@ fn old_overlay_forgets_moved_peers() {
     sys.engine_mut().schedule_at(
         t,
         mover,
-        Event::Recv { from: mover, msg: FlowerMsg::AdminChangeLocality { to: Locality(2) } },
+        Event::Recv {
+            from: mover,
+            msg: FlowerMsg::AdminChangeLocality { to: Locality(2) },
+        },
     );
     // Run long enough for several gossip periods so contacts probe the
     // mover and receive `Moved`.

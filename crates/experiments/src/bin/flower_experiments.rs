@@ -2,26 +2,31 @@
 //! Flower-CDN paper (§6).
 //!
 //! ```text
-//! flower-experiments <experiment> [--scale <f|full>] [--seed <n>] [--csv-dir <dir>]
+//! flower-experiments <experiment> [--scale <f|full>] [--seed <n>]
+//!                    [--substrate <chord|pastry>] [--csv-dir <dir>]
 //!
 //! experiments:
 //!   table2a | table2b | table2c | push-threshold
 //!   fig5 | fig6 | fig7 | fig8
-//!   churn | ablation | all
+//!   churn | ablation | replication | cache | substrates | all
 //! ```
 //!
 //! `--scale 0.1` simulates 2.4 h instead of 24 h (protocol periods
 //! scale along); `--scale full` is the paper's exact setup.
+//! `--substrate pastry` runs the D-ring over Pastry instead of Chord
+//! (§3.1 portability; `substrates` compares the two side by side).
 
 use std::io::Write;
 
 use experiments::exps::{self, ExpOutput};
 use experiments::runner::RunScale;
+use experiments::SubstrateKind;
 
 struct Args {
     cmd: String,
     scale: RunScale,
     seed: u64,
+    substrate: SubstrateKind,
     csv_dir: Option<String>,
 }
 
@@ -30,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
     let cmd = args.next().ok_or_else(usage)?;
     let mut scale = RunScale::Scaled(0.1);
     let mut seed = 42u64;
+    let mut substrate = SubstrateKind::Chord;
     let mut csv_dir = None;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -41,18 +47,28 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
             }
+            "--substrate" => {
+                let v = args.next().ok_or("--substrate needs a value")?;
+                substrate = SubstrateKind::parse(&v)?;
+            }
             "--csv-dir" => {
                 csv_dir = Some(args.next().ok_or("--csv-dir needs a value")?);
             }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
-    Ok(Args { cmd, scale, seed, csv_dir })
+    Ok(Args {
+        cmd,
+        scale,
+        seed,
+        substrate,
+        csv_dir,
+    })
 }
 
 fn usage() -> String {
-    "usage: flower-experiments <table2a|table2b|table2c|push-threshold|fig5|fig6|fig7|fig8|churn|ablation|replication|cache|all> \
-     [--scale <f|full>] [--seed <n>] [--csv-dir <dir>]"
+    "usage: flower-experiments <table2a|table2b|table2c|push-threshold|fig5|fig6|fig7|fig8|churn|ablation|replication|cache|substrates|all> \
+     [--scale <f|full>] [--seed <n>] [--substrate <chord|pastry>] [--csv-dir <dir>]"
         .to_string()
 }
 
@@ -82,11 +98,13 @@ fn main() {
     };
     let scale = args.scale;
     let seed = args.seed;
+    let substrate = args.substrate;
     eprintln!(
-        "# running {} at scale {:?} seed {} ({} simulated hours)",
+        "# running {} at scale {:?} seed {} over {} ({} simulated hours)",
         args.cmd,
         scale,
         seed,
+        substrate,
         24.0 * scale.factor()
     );
     let t0 = std::time::Instant::now();
@@ -96,19 +114,29 @@ fn main() {
     match args.cmd.as_str() {
         "all" => {
             for name in ["table2a", "table2b", "table2c", "push-threshold", "fig5"] {
-                outputs.push((name.to_string(), run_one(name, scale, seed)));
+                outputs.push((name.to_string(), run_one(name, scale, seed, substrate)));
             }
-            let (fsys, ssys) = exps::comparison_pair(scale, seed);
+            let (fsys, ssys) = exps::comparison_pair(scale, seed, substrate);
             outputs.push(("fig6".into(), exps::fig6(&fsys, &ssys)));
             outputs.push(("fig7".into(), exps::fig7(&fsys, &ssys)));
             outputs.push(("fig8".into(), exps::fig8(&fsys, &ssys)));
             drop((fsys, ssys));
-            outputs.push(("churn".into(), run_one("churn", scale, seed)));
-            outputs.push(("ablation".into(), run_one("ablation", scale, seed)));
-            outputs.push(("replication".into(), run_one("replication", scale, seed)));
-            outputs.push(("cache".into(), run_one("cache", scale, seed)));
+            outputs.push(("churn".into(), run_one("churn", scale, seed, substrate)));
+            outputs.push((
+                "ablation".into(),
+                run_one("ablation", scale, seed, substrate),
+            ));
+            outputs.push((
+                "replication".into(),
+                run_one("replication", scale, seed, substrate),
+            ));
+            outputs.push(("cache".into(), run_one("cache", scale, seed, substrate)));
+            outputs.push((
+                "substrates".into(),
+                run_one("substrates", scale, seed, substrate),
+            ));
         }
-        name => outputs.push((name.to_string(), run_one(name, scale, seed))),
+        name => outputs.push((name.to_string(), run_one(name, scale, seed, substrate))),
     }
 
     for (name, out) in &outputs {
@@ -121,25 +149,26 @@ fn main() {
     }
 }
 
-fn run_one(name: &str, scale: RunScale, seed: u64) -> ExpOutput {
+fn run_one(name: &str, scale: RunScale, seed: u64, substrate: SubstrateKind) -> ExpOutput {
     match name {
-        "table2a" => exps::table2a(scale, seed),
-        "table2b" => exps::table2b(scale, seed),
-        "table2c" => exps::table2c(scale, seed),
-        "push-threshold" => exps::push_threshold(scale, seed),
-        "fig5" => exps::fig5(scale, seed),
+        "table2a" => exps::table2a(scale, seed, substrate),
+        "table2b" => exps::table2b(scale, seed, substrate),
+        "table2c" => exps::table2c(scale, seed, substrate),
+        "push-threshold" => exps::push_threshold(scale, seed, substrate),
+        "fig5" => exps::fig5(scale, seed, substrate),
         "fig6" | "fig7" | "fig8" => {
-            let (fsys, ssys) = exps::comparison_pair(scale, seed);
+            let (fsys, ssys) = exps::comparison_pair(scale, seed, substrate);
             match name {
                 "fig6" => exps::fig6(&fsys, &ssys),
                 "fig7" => exps::fig7(&fsys, &ssys),
                 _ => exps::fig8(&fsys, &ssys),
             }
         }
-        "churn" => exps::churn(scale, seed),
-        "ablation" => exps::ablation(scale, seed),
-        "replication" => exps::replication(scale, seed),
-        "cache" => exps::cache_pressure(scale, seed),
+        "churn" => exps::churn(scale, seed, substrate),
+        "ablation" => exps::ablation(scale, seed, substrate),
+        "replication" => exps::replication(scale, seed, substrate),
+        "cache" => exps::cache_pressure(scale, seed, substrate),
+        "substrates" => exps::substrates(scale, seed),
         other => {
             eprintln!("unknown experiment {other:?}\n{}", usage());
             std::process::exit(2);

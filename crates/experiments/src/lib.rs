@@ -19,4 +19,5 @@ pub mod paper;
 pub mod report;
 pub mod runner;
 
+pub use flower_core::SubstrateKind;
 pub use runner::RunScale;

@@ -15,23 +15,59 @@ pub struct Table2Row {
 
 /// Table 2(a) — `Lgossip` ∈ {5, 10, 20}.
 pub const TABLE_2A: [Table2Row; 3] = [
-    Table2Row { param: "5", hit_ratio: 0.823, background_bps: 37.0 },
-    Table2Row { param: "10", hit_ratio: 0.86, background_bps: 74.0 },
-    Table2Row { param: "20", hit_ratio: 0.89, background_bps: 147.0 },
+    Table2Row {
+        param: "5",
+        hit_ratio: 0.823,
+        background_bps: 37.0,
+    },
+    Table2Row {
+        param: "10",
+        hit_ratio: 0.86,
+        background_bps: 74.0,
+    },
+    Table2Row {
+        param: "20",
+        hit_ratio: 0.89,
+        background_bps: 147.0,
+    },
 ];
 
 /// Table 2(b) — `Tgossip` ∈ {1 min, 30 min, 1 h}.
 pub const TABLE_2B: [Table2Row; 3] = [
-    Table2Row { param: "1min", hit_ratio: 0.94, background_bps: 2239.0 },
-    Table2Row { param: "30min", hit_ratio: 0.86, background_bps: 74.0 },
-    Table2Row { param: "1h", hit_ratio: 0.81, background_bps: 37.0 },
+    Table2Row {
+        param: "1min",
+        hit_ratio: 0.94,
+        background_bps: 2239.0,
+    },
+    Table2Row {
+        param: "30min",
+        hit_ratio: 0.86,
+        background_bps: 74.0,
+    },
+    Table2Row {
+        param: "1h",
+        hit_ratio: 0.81,
+        background_bps: 37.0,
+    },
 ];
 
 /// Table 2(c) — `Vgossip` ∈ {20, 50, 70}.
 pub const TABLE_2C: [Table2Row; 3] = [
-    Table2Row { param: "20", hit_ratio: 0.78, background_bps: 74.0 },
-    Table2Row { param: "50", hit_ratio: 0.86, background_bps: 74.0 },
-    Table2Row { param: "70", hit_ratio: 0.863, background_bps: 74.0 },
+    Table2Row {
+        param: "20",
+        hit_ratio: 0.78,
+        background_bps: 74.0,
+    },
+    Table2Row {
+        param: "50",
+        hit_ratio: 0.86,
+        background_bps: 74.0,
+    },
+    Table2Row {
+        param: "70",
+        hit_ratio: 0.863,
+        background_bps: 74.0,
+    },
 ];
 
 /// §6.2 (text): push thresholds {0.1, 0.5, 0.7} perform alike.

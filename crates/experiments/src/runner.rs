@@ -7,7 +7,7 @@
 //! for iterating on event simulations. `RunScale::Full` is the
 //! paper's exact setup and the one recorded in `EXPERIMENTS.md`.
 
-use flower_core::{FlowerConfig, FlowerSystem, SystemConfig, SystemReport};
+use flower_core::{FlowerConfig, FlowerSystem, SubstrateKind, SystemConfig, SystemReport};
 use simnet::SimDuration;
 use squirrel::{SquirrelConfig, SquirrelReport, SquirrelSystem};
 
@@ -52,16 +52,20 @@ impl RunScale {
     }
 }
 
-/// The paper-scale Flower-CDN configuration at a given time scale.
+/// The paper-scale Flower-CDN configuration at a given time scale,
+/// with the D-ring on `substrate` (every paper experiment runs over
+/// either DHT from config alone; the paper's own evaluation simulates
+/// Chord).
 ///
 /// Time-like protocol parameters (`Tgossip`, keepalive, `Tdead` ticks
 /// stay ratio-identical because the tick period scales) shrink with
 /// the scale so convergence dynamics match the full run's shape.
-pub fn flower_config(scale: RunScale, seed: u64) -> SystemConfig {
+pub fn flower_config(scale: RunScale, seed: u64, substrate: SubstrateKind) -> SystemConfig {
     let mut cfg = SystemConfig::paper();
     cfg.seed = seed;
     cfg.workload.duration_ms = scale.scale_duration(SimDuration::from_hours(24)).as_ms();
     cfg.flower = scale_flower(&cfg.flower, scale);
+    cfg.flower.substrate = substrate;
     cfg.window = scale.scale_duration(SimDuration::from_mins(30));
     cfg
 }
@@ -112,13 +116,26 @@ mod tests {
     }
 
     #[test]
+    fn substrate_choice_is_config_only() {
+        let chord = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Chord);
+        let pastry = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Pastry);
+        assert_eq!(chord.flower.substrate, SubstrateKind::Chord);
+        assert_eq!(pastry.flower.substrate, SubstrateKind::Pastry);
+        assert_eq!(chord.workload.duration_ms, pastry.workload.duration_ms);
+        assert_eq!(chord.seed, pastry.seed);
+    }
+
+    #[test]
     fn scaled_config_shrinks_time_not_space() {
-        let full = flower_config(RunScale::Full, 1);
-        let tenth = flower_config(RunScale::Scaled(0.1), 1);
+        let full = flower_config(RunScale::Full, 1, SubstrateKind::Chord);
+        let tenth = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Chord);
         assert_eq!(tenth.topology.nodes, full.topology.nodes);
         assert_eq!(tenth.catalog.num_websites, full.catalog.num_websites);
         assert_eq!(tenth.workload.duration_ms, full.workload.duration_ms / 10);
-        assert_eq!(tenth.flower.t_gossip.as_ms(), full.flower.t_gossip.as_ms() / 10);
+        assert_eq!(
+            tenth.flower.t_gossip.as_ms(),
+            full.flower.t_gossip.as_ms() / 10
+        );
         assert_eq!(tenth.flower.v_gossip, full.flower.v_gossip);
     }
 }

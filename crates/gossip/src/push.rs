@@ -28,14 +28,20 @@ pub struct ChangeLog<T> {
 
 impl<T> Default for ChangeLog<T> {
     fn default() -> Self {
-        ChangeLog { added: Vec::new(), removed: Vec::new() }
+        ChangeLog {
+            added: Vec::new(),
+            removed: Vec::new(),
+        }
     }
 }
 
 impl<T: PartialEq> ChangeLog<T> {
     /// An empty log.
     pub fn new() -> Self {
-        ChangeLog { added: Vec::new(), removed: Vec::new() }
+        ChangeLog {
+            added: Vec::new(),
+            removed: Vec::new(),
+        }
     }
 
     /// Record one change. An add followed by a remove of the same item
@@ -95,7 +101,10 @@ impl PushPolicy {
     /// A policy pushing when `pending / list_len >= threshold`.
     /// Table 1 explores thresholds 0.1, 0.5 and 0.7.
     pub fn new(threshold: f64) -> Self {
-        assert!(threshold > 0.0, "a zero threshold would push on every change");
+        assert!(
+            threshold > 0.0,
+            "a zero threshold would push on every change"
+        );
         PushPolicy { threshold }
     }
 

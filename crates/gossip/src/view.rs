@@ -38,7 +38,10 @@ impl<P: Copy + Eq, S: Clone> View<P, S> {
     /// An empty view bounded by `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "view capacity must be positive");
-        View { entries: Vec::new(), capacity }
+        View {
+            entries: Vec::new(),
+            capacity,
+        }
     }
 
     /// The bound `Vgossip`.
@@ -178,7 +181,9 @@ mod tests {
         let mut v = V::new(10);
         for &(p, age) in peers {
             v.insert_fresh(p, "s");
-            v.entries.last_mut().map(|e| e.age = age);
+            if let Some(e) = v.entries.last_mut() {
+                e.age = age;
+            }
             if let Some(e) = v.entries.iter_mut().find(|e| e.peer == p) {
                 e.age = age;
             }
@@ -224,9 +229,21 @@ mod tests {
         let mut v = view_with(&[(1, 5), (2, 2)]);
         let partner = ViewEntry::fresh(3, "p");
         let subset = vec![
-            ViewEntry { peer: 1, age: 1, data: "new" },  // fresher than local
-            ViewEntry { peer: 2, age: 9, data: "old" },  // staler than local
-            ViewEntry { peer: 99, age: 0, data: "me" },  // self, must be skipped
+            ViewEntry {
+                peer: 1,
+                age: 1,
+                data: "new",
+            }, // fresher than local
+            ViewEntry {
+                peer: 2,
+                age: 9,
+                data: "old",
+            }, // staler than local
+            ViewEntry {
+                peer: 99,
+                age: 0,
+                data: "me",
+            }, // self, must be skipped
         ];
         v.merge(99, partner, subset);
         assert_eq!(v.get(1).unwrap().age, 1);
@@ -295,8 +312,11 @@ mod proptests {
 
     fn arb_entries() -> impl Strategy<Value = Vec<ViewEntry<u16, u8>>> {
         proptest::collection::vec(
-            (any::<u16>(), 0u32..100, any::<u8>())
-                .prop_map(|(p, age, d)| ViewEntry { peer: p, age, data: d }),
+            (any::<u16>(), 0u32..100, any::<u8>()).prop_map(|(p, age, d)| ViewEntry {
+                peer: p,
+                age,
+                data: d,
+            }),
             0..60,
         )
     }

@@ -24,7 +24,10 @@ impl Sim {
             v.insert_fresh(((i + 1) % n) as Peer, ());
             views.push(v);
         }
-        Sim { views, rng: StdRng::seed_from_u64(seed) }
+        Sim {
+            views,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// One full gossip round: every peer runs the active behaviour of
@@ -96,7 +99,12 @@ fn dissemination_is_epidemic_not_linear() {
     for _ in 0..16 {
         sim.round(8);
     }
-    let know_zero = sim.views.iter().enumerate().filter(|(i, v)| *i != 0 && v.contains(0)).count();
+    let know_zero = sim
+        .views
+        .iter()
+        .enumerate()
+        .filter(|(i, v)| *i != 0 && v.contains(0))
+        .count();
     assert!(
         know_zero > n / 3,
         "epidemic spread too slow: {know_zero}/{n} know peer 0 after 16 rounds"
@@ -114,7 +122,7 @@ fn dead_peers_age_out_everywhere() {
     // evicts entries older than Tdead.
     let t_dead = 12;
     for _ in 0..40 {
-        let rng_seed_round = {
+        {
             // manual round skipping peer 7, with eviction
             let nviews = sim.views.len();
             for i in 0..nviews {
@@ -138,7 +146,6 @@ fn dead_peers_age_out_everywhere() {
                 sim.views[i].merge(i as Peer, ViewEntry::fresh(partner, ()), their_subset);
             }
         };
-        let _ = rng_seed_round;
     }
     let still_known = sim
         .views

@@ -25,9 +25,11 @@
 //! directory's key is delivered to a ring-adjacent directory — with
 //! the D-ring id layout, almost always one of the same website.
 
+pub mod proto;
 pub mod routing;
 pub mod state;
 
+pub use proto::{PastryMsg, PastryOutcome};
 pub use routing::{route_synchronously, RouteOutcome};
 pub use state::{stable_mesh, PastryConfig, PastryState};
 

@@ -1,0 +1,472 @@
+//! The Pastry message protocol: recursive prefix routing, join, and
+//! leaf-set maintenance.
+//!
+//! Mirrors [`chord::proto`] in shape so that higher-level protocols
+//! (Flower-CDN's D-ring) can embed [`PastryMsg`] inside their own
+//! message enums and drive this module from their event handlers — the
+//! form the paper's §3.1 portability claim ("any existing structured
+//! overlay based on a standard DHT, e.g., Chord, Pastry") requires.
+//!
+//! Routing is *recursive*: each hop runs [`PastryState::next_hop`] and
+//! forwards; Pastry's delivery rule (the live node numerically closest
+//! to the key) terminates the route. Joining routes a `Join` payload
+//! toward the joiner's own id; the owner answers with its leaf set and
+//! routing-table peers, from which the joiner assembles its state.
+//! Maintenance is a periodic leaf-set exchange with the nearest leaf
+//! on each side, healing the mesh after failures.
+
+use chord::Wire;
+use simnet::NodeId;
+
+use crate::state::PastryState;
+use crate::{PastryId, PeerRef};
+
+/// Bytes of the fixed routing header we model for every Pastry message
+/// (key + hop counter + addressing), matching the Chord model so the
+/// substrate comparison measures protocol structure, not header
+/// accounting.
+pub const HEADER_BYTES: u32 = 24;
+
+/// Messages exchanged by Pastry peers. `A` is the application payload
+/// type routed through the mesh.
+#[derive(Clone, Debug)]
+pub enum PastryMsg<A> {
+    /// A routed message: forwarded toward the owner of `key`.
+    Route {
+        /// Destination key.
+        key: PastryId,
+        /// Hops taken so far.
+        hops: u8,
+        /// What is being routed.
+        payload: RoutePayload<A>,
+    },
+    /// Answer to a routed `Join`: the owner's neighbourhood, from
+    /// which the joiner assembles leaf sets and routing table.
+    JoinResp {
+        /// The owner itself plus its leaf set.
+        leaves: Vec<PeerRef>,
+        /// The owner's routing-table peers.
+        table_peers: Vec<PeerRef>,
+    },
+    /// Leaf-set maintenance probe.
+    LeafProbe {
+        /// The probing peer (receiver absorbs it).
+        from: PeerRef,
+    },
+    /// Leaf-set maintenance answer.
+    LeafResp {
+        /// The answering peer plus its leaf set.
+        leaves: Vec<PeerRef>,
+    },
+}
+
+/// Payloads routed through the mesh.
+#[derive(Clone, Debug)]
+pub enum RoutePayload<A> {
+    /// An application message.
+    App(A),
+    /// A join request travelling toward `joiner`'s own id.
+    Join {
+        /// The joining peer.
+        joiner: PeerRef,
+    },
+}
+
+/// Why a routed message was handed to the application.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeliveryReason {
+    /// This node is the numerically closest to the key (normal case).
+    Responsible,
+    /// The hop limit was exceeded; the application decides how to
+    /// recover (Flower-CDN falls back to the origin server).
+    HopLimit,
+}
+
+/// Outcome of handling a Pastry message, surfaced to the embedding
+/// protocol.
+#[derive(Debug)]
+pub enum PastryOutcome<A> {
+    /// A routed application payload terminated here.
+    Deliver {
+        /// The routed key.
+        key: PastryId,
+        /// The application payload.
+        payload: A,
+        /// Hops taken from the first routing step.
+        hops: u8,
+        /// Why it was delivered here.
+        reason: DeliveryReason,
+    },
+    /// This node's join completed; the state has absorbed the owner's
+    /// neighbourhood.
+    JoinComplete,
+}
+
+impl<A: Wire> PastryMsg<A> {
+    /// Modelled wire size of this message.
+    pub fn wire_size(&self) -> u32 {
+        match self {
+            PastryMsg::Route { payload, .. } => {
+                HEADER_BYTES
+                    + match payload {
+                        RoutePayload::App(a) => a.wire_size(),
+                        RoutePayload::Join { .. } => 16,
+                    }
+            }
+            PastryMsg::JoinResp {
+                leaves,
+                table_peers,
+            } => HEADER_BYTES + 16 * (leaves.len() + table_peers.len()) as u32,
+            PastryMsg::LeafProbe { .. } => HEADER_BYTES + 16,
+            PastryMsg::LeafResp { leaves } => HEADER_BYTES + 16 * leaves.len() as u32,
+        }
+    }
+
+    /// Whether this message is routing traffic (`Route`) as opposed to
+    /// mesh maintenance.
+    pub fn is_routing(&self) -> bool {
+        matches!(self, PastryMsg::Route { .. })
+    }
+}
+
+/// Message-sending abstraction the embedding protocol provides.
+pub trait Transport<A> {
+    /// Send a Pastry message to an underlay node.
+    fn send_pastry(&mut self, to: NodeId, msg: PastryMsg<A>);
+}
+
+/// Start routing `payload` toward `key` from this node (the first
+/// routing step runs locally). May deliver immediately.
+pub fn start_route<A: Wire, T: Transport<A>>(
+    st: &mut PastryState,
+    t: &mut T,
+    key: PastryId,
+    payload: A,
+) -> Option<PastryOutcome<A>> {
+    step_route(st, t, key, 0, RoutePayload::App(payload))
+}
+
+/// Join the mesh through `bootstrap`: route a join request for our own
+/// id. The [`PastryOutcome::JoinComplete`] outcome arrives via the
+/// `JoinResp` reply.
+pub fn start_join<A: Wire, T: Transport<A>>(st: &mut PastryState, t: &mut T, bootstrap: NodeId) {
+    let me = st.me();
+    t.send_pastry(
+        bootstrap,
+        PastryMsg::Route {
+            key: me.id,
+            hops: 0,
+            payload: RoutePayload::Join { joiner: me },
+        },
+    );
+}
+
+/// Periodic leaf-set maintenance: probe the nearest live leaf on each
+/// side so failures heal and new neighbours propagate.
+pub fn start_probe<A: Wire, T: Transport<A>>(st: &mut PastryState, t: &mut T) {
+    let me = st.me();
+    for target in st.nearest_leaves() {
+        t.send_pastry(target.node, PastryMsg::LeafProbe { from: me });
+    }
+}
+
+/// Handle an incoming Pastry message. Returns an outcome if something
+/// terminated at this node.
+pub fn handle<A: Wire, T: Transport<A>>(
+    st: &mut PastryState,
+    t: &mut T,
+    from: NodeId,
+    msg: PastryMsg<A>,
+) -> Option<PastryOutcome<A>> {
+    let _ = from;
+    match msg {
+        PastryMsg::Route { key, hops, payload } => step_route(st, t, key, hops, payload),
+        PastryMsg::JoinResp {
+            leaves,
+            table_peers,
+        } => {
+            for p in leaves.into_iter().chain(table_peers) {
+                st.absorb_peer(p);
+            }
+            Some(PastryOutcome::JoinComplete)
+        }
+        PastryMsg::LeafProbe { from: probe } => {
+            st.absorb_peer(probe);
+            let mut leaves: Vec<PeerRef> = vec![st.me()];
+            leaves.extend(st.leaves());
+            t.send_pastry(probe.node, PastryMsg::LeafResp { leaves });
+            None
+        }
+        PastryMsg::LeafResp { leaves } => {
+            for p in leaves {
+                st.absorb_peer(p);
+            }
+            None
+        }
+    }
+}
+
+/// One recursive routing step at this node.
+fn step_route<A: Wire, T: Transport<A>>(
+    st: &mut PastryState,
+    t: &mut T,
+    key: PastryId,
+    hops: u8,
+    payload: RoutePayload<A>,
+) -> Option<PastryOutcome<A>> {
+    let next = st.next_hop(key);
+    let (deliver, reason) = match next {
+        None => (true, DeliveryReason::Responsible),
+        Some(_) if hops >= st.config().max_hops => (true, DeliveryReason::HopLimit),
+        Some(_) => (false, DeliveryReason::Responsible),
+    };
+    if deliver {
+        return terminate(st, t, key, hops, payload, reason);
+    }
+    let next = next.expect("checked");
+    // Every hop that sees a join learns the joiner — the state
+    // transfer Pastry performs along the join route.
+    if let RoutePayload::Join { joiner } = &payload {
+        st.absorb_peer(*joiner);
+    }
+    t.send_pastry(
+        next.node,
+        PastryMsg::Route {
+            key,
+            hops: hops + 1,
+            payload,
+        },
+    );
+    None
+}
+
+fn terminate<A: Wire, T: Transport<A>>(
+    st: &mut PastryState,
+    t: &mut T,
+    key: PastryId,
+    hops: u8,
+    payload: RoutePayload<A>,
+    reason: DeliveryReason,
+) -> Option<PastryOutcome<A>> {
+    match payload {
+        RoutePayload::App(payload) => Some(PastryOutcome::Deliver {
+            key,
+            payload,
+            hops,
+            reason,
+        }),
+        RoutePayload::Join { joiner } => {
+            // We are the numerically closest existing node: hand the
+            // joiner our neighbourhood and adopt it as a leaf.
+            let mut leaves: Vec<PeerRef> = vec![st.me()];
+            leaves.extend(st.leaves());
+            let table_peers = st.known_peers();
+            st.absorb_peer(joiner);
+            t.send_pastry(
+                joiner.node,
+                PastryMsg::JoinResp {
+                    leaves,
+                    table_peers,
+                },
+            );
+            None
+        }
+    }
+}
+
+/// A previously sent message bounced (destination down): purge the
+/// dead peer from the routing state. Returns true if the state
+/// referenced it.
+pub fn on_undeliverable<A>(st: &mut PastryState, dead: NodeId, _msg: &PastryMsg<A>) -> bool {
+    st.on_peer_dead(dead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{stable_mesh, PastryConfig};
+    use std::collections::HashMap;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Payload(u64);
+    impl Wire for Payload {
+        fn wire_size(&self) -> u32 {
+            8
+        }
+    }
+
+    #[derive(Default)]
+    struct VecTransport {
+        out: Vec<(NodeId, PastryMsg<Payload>)>,
+    }
+    impl Transport<Payload> for VecTransport {
+        fn send_pastry(&mut self, to: NodeId, msg: PastryMsg<Payload>) {
+            self.out.push((to, msg));
+        }
+    }
+
+    fn mesh(n: u64) -> (HashMap<NodeId, PastryState>, Vec<PeerRef>) {
+        let members: Vec<PeerRef> = (0..n)
+            .map(|i| PeerRef {
+                id: PastryId(chord::hash64(i)),
+                node: NodeId(i as u32),
+            })
+            .collect();
+        let states = stable_mesh(&members, &PastryConfig::default());
+        (
+            members.iter().map(|m| m.node).zip(states).collect(),
+            members,
+        )
+    }
+
+    fn drive(
+        states: &mut HashMap<NodeId, PastryState>,
+        t: &mut VecTransport,
+    ) -> Vec<(NodeId, PastryOutcome<Payload>)> {
+        let mut outcomes = Vec::new();
+        let mut guard = 0;
+        while let Some((to, msg)) = t.out.pop() {
+            guard += 1;
+            assert!(guard < 10_000, "message storm");
+            let st = states.get_mut(&to).expect("known node");
+            if let Some(o) = handle(st, t, NodeId(u32::MAX), msg) {
+                outcomes.push((to, o));
+            }
+        }
+        outcomes
+    }
+
+    #[test]
+    fn routed_payloads_reach_the_owner() {
+        let (mut states, members) = mesh(40);
+        for probe in 0..32u64 {
+            let key = PastryId(chord::hash64(5_000 + probe));
+            let expect = members
+                .iter()
+                .min_by_key(|p| (p.id.ring_distance(key), p.id.0))
+                .unwrap()
+                .node;
+            let start = members[(probe % 40) as usize].node;
+            let mut t = VecTransport::default();
+            let mut outcomes = Vec::new();
+            if let Some(o) =
+                start_route(states.get_mut(&start).unwrap(), &mut t, key, Payload(probe))
+            {
+                outcomes.push((start, o));
+            }
+            outcomes.extend(drive(&mut states, &mut t));
+            assert_eq!(outcomes.len(), 1, "exactly one delivery for {key:?}");
+            let (at, o) = &outcomes[0];
+            assert_eq!(*at, expect);
+            match o {
+                PastryOutcome::Deliver {
+                    payload, reason, ..
+                } => {
+                    assert_eq!(*payload, Payload(probe));
+                    assert_eq!(*reason, DeliveryReason::Responsible);
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn join_completes_and_wires_the_newcomer_in() {
+        let (mut states, members) = mesh(24);
+        let newbie = PeerRef {
+            id: PastryId(chord::hash64(999_999)),
+            node: NodeId(24),
+        };
+        let mut st = PastryState::new(newbie, PastryConfig::default());
+        let mut t = VecTransport::default();
+        start_join(&mut st, &mut t, members[0].node);
+        states.insert(newbie.node, st);
+        let outcomes = drive(&mut states, &mut t);
+        assert!(
+            outcomes
+                .iter()
+                .any(|(at, o)| *at == newbie.node && matches!(o, PastryOutcome::JoinComplete)),
+            "join must complete: {outcomes:?}"
+        );
+        // The newcomer now owns its own id from anywhere.
+        let start = members[7].node;
+        let mut t = VecTransport::default();
+        let mut outcomes = Vec::new();
+        if let Some(o) = start_route(
+            states.get_mut(&start).unwrap(),
+            &mut t,
+            newbie.id,
+            Payload(1),
+        ) {
+            outcomes.push((start, o));
+        }
+        outcomes.extend(drive(&mut states, &mut t));
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(
+            outcomes[0].0, newbie.node,
+            "route to the joined id must land on it"
+        );
+    }
+
+    #[test]
+    fn leaf_probe_heals_after_failure() {
+        let (mut states, members) = mesh(16);
+        // Kill one node; purge it only at its ring neighbour, then let
+        // probes re-spread the neighbour's knowledge.
+        let victim = members[3].node;
+        states.remove(&victim);
+        for st in states.values_mut() {
+            st.on_peer_dead(victim);
+        }
+        let prober = members[5].node;
+        let mut t = VecTransport::default();
+        start_probe(states.get_mut(&prober).unwrap(), &mut t);
+        let outcomes = drive(&mut states, &mut t);
+        assert!(outcomes.is_empty(), "maintenance produces no app outcomes");
+        // Every remaining node still routes every key to the live
+        // numerically-closest owner.
+        let alive: Vec<&PeerRef> = members.iter().filter(|m| m.node != victim).collect();
+        for probe in 0..16u64 {
+            let key = PastryId(chord::hash64(31_000 + probe));
+            let expect = alive
+                .iter()
+                .min_by_key(|p| (p.id.ring_distance(key), p.id.0))
+                .unwrap()
+                .node;
+            let start = alive[(probe % alive.len() as u64) as usize].node;
+            let mut t = VecTransport::default();
+            let mut outcomes = Vec::new();
+            if let Some(o) =
+                start_route(states.get_mut(&start).unwrap(), &mut t, key, Payload(probe))
+            {
+                outcomes.push((start, o));
+            }
+            outcomes.extend(drive(&mut states, &mut t));
+            assert_eq!(outcomes.len(), 1);
+            assert_eq!(outcomes[0].0, expect, "key {key:?} misrouted after failure");
+        }
+    }
+
+    #[test]
+    fn undeliverable_purges_and_wire_sizes_hold() {
+        let (mut states, members) = mesh(8);
+        let st = states.get_mut(&members[0].node).unwrap();
+        let dead = st.leaves().next().unwrap().node;
+        let bounced: PastryMsg<Payload> = PastryMsg::LeafProbe { from: members[0] };
+        assert!(on_undeliverable(st, dead, &bounced));
+        assert!(st.known_peers().iter().all(|p| p.node != dead));
+
+        let m: PastryMsg<Payload> = PastryMsg::Route {
+            key: PastryId(1),
+            hops: 0,
+            payload: RoutePayload::App(Payload(9)),
+        };
+        assert_eq!(m.wire_size(), HEADER_BYTES + 8);
+        assert!(m.is_routing());
+        let r: PastryMsg<Payload> = PastryMsg::LeafResp {
+            leaves: vec![members[0]; 3],
+        };
+        assert_eq!(r.wire_size(), HEADER_BYTES + 48);
+        assert!(!r.is_routing());
+    }
+}

@@ -52,10 +52,16 @@ mod tests {
 
     fn mesh(n: u64) -> (HashMap<NodeId, PastryState>, Vec<PeerRef>) {
         let members: Vec<PeerRef> = (0..n)
-            .map(|i| PeerRef { id: PastryId(chord::hash64(i)), node: NodeId(i as u32) })
+            .map(|i| PeerRef {
+                id: PastryId(chord::hash64(i)),
+                node: NodeId(i as u32),
+            })
             .collect();
         let states = stable_mesh(&members, &PastryConfig::default());
-        (members.iter().map(|m| m.node).zip(states).collect(), members)
+        (
+            members.iter().map(|m| m.node).zip(states).collect(),
+            members,
+        )
     }
 
     fn owner_of(members: &[PeerRef], key: PastryId) -> NodeId {
@@ -118,8 +124,7 @@ mod tests {
                 st.on_peer_dead(*d);
             }
         }
-        let alive: Vec<&PeerRef> =
-            members.iter().filter(|m| !dead.contains(&m.node)).collect();
+        let alive: Vec<&PeerRef> = members.iter().filter(|m| !dead.contains(&m.node)).collect();
         for probe in 0..32u64 {
             let key = PastryId(chord::hash64(55_000 + probe));
             let expect = alive

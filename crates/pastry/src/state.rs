@@ -13,11 +13,17 @@ pub struct PastryConfig {
     /// Leaf-set half size (`L/2` peers on each side; Pastry typically
     /// uses 8 or 16 total).
     pub leaf_half: usize,
+    /// Routed messages are delivered where they stand once they have
+    /// taken this many hops (loop protection while the mesh heals).
+    pub max_hops: u8,
 }
 
 impl Default for PastryConfig {
     fn default() -> Self {
-        PastryConfig { leaf_half: 8 }
+        PastryConfig {
+            leaf_half: 8,
+            max_hops: 32,
+        }
     }
 }
 
@@ -77,7 +83,10 @@ impl PastryState {
 
     /// Both halves of the leaf set, nearest first.
     pub fn leaves(&self) -> impl Iterator<Item = PeerRef> + '_ {
-        self.leaf_smaller.iter().chain(self.leaf_larger.iter()).copied()
+        self.leaf_smaller
+            .iter()
+            .chain(self.leaf_larger.iter())
+            .copied()
     }
 
     /// All peers this node knows (leaf set + routing table).
@@ -147,7 +156,11 @@ impl PastryState {
         //    leaf (possibly us) is the destination.
         if self.key_in_leaf_range(key) {
             let c = self.closest_leaf(key);
-            return if c.node == self.me.node { None } else { Some(c) };
+            return if c.node == self.me.node {
+                None
+            } else {
+                Some(c)
+            };
         }
         // 2. Prefix routing: a peer sharing one more digit.
         let l = shared_prefix_len(key, self.me.id);
@@ -159,14 +172,93 @@ impl PastryState {
         // 3. Rare case: any known peer with at least as long a shared
         //    prefix and numerically closer to the key.
         let my_d = self.me.id.ring_distance(key);
-        let candidate = self
-            .known_peers()
+
+        self.known_peers()
             .into_iter()
             .filter(|p| p.node != self.me.node)
             .filter(|p| shared_prefix_len(p.id, key) >= l)
             .filter(|p| p.id.ring_distance(key) < my_d)
-            .min_by_key(|p| (p.id.ring_distance(key), p.id.0));
-        candidate
+            .min_by_key(|p| (p.id.ring_distance(key), p.id.0))
+    }
+
+    /// The nearest live leaf on each side — the targets of the
+    /// periodic leaf-set maintenance probe.
+    pub fn nearest_leaves(&self) -> Vec<PeerRef> {
+        let mut out = Vec::with_capacity(2);
+        if let Some(p) = self.leaf_larger.first() {
+            out.push(*p);
+        }
+        if let Some(p) = self.leaf_smaller.first() {
+            if out.iter().all(|q| q.node != p.node) {
+                out.push(*p);
+            }
+        }
+        out
+    }
+
+    /// Learn about `p`: slot it into the leaf sets (if it is among the
+    /// `L/2` numerically closest on either side) and the routing
+    /// table. Returns true if any structure changed.
+    ///
+    /// This is the state-absorption step of the join and maintenance
+    /// protocols; [`stable_mesh`] remains the bulk bootstrap path.
+    pub fn absorb_peer(&mut self, p: PeerRef) -> bool {
+        if p.node == self.me.node {
+            return false;
+        }
+        let mut changed = false;
+
+        // Leaf sets: recompute both halves from the union of current
+        // leaves and the newcomer. Clockwise distance me→p ranks the
+        // larger side, p→me the smaller side; each peer sits on the
+        // side it is nearer to, larger winning ties (mirroring the
+        // bootstrap assignment).
+        let mut candidates: Vec<PeerRef> = self.leaves().collect();
+        if candidates.iter().all(|q| q.node != p.node) {
+            candidates.push(p);
+        }
+        candidates.sort_by_key(|q| q.id.0);
+        candidates.dedup_by_key(|q| q.node);
+        let me = self.me.id;
+        let mut larger: Vec<PeerRef> = candidates
+            .iter()
+            .copied()
+            .filter(|q| me.clockwise_distance(q.id) <= q.id.clockwise_distance(me))
+            .collect();
+        let mut smaller: Vec<PeerRef> = candidates
+            .iter()
+            .copied()
+            .filter(|q| me.clockwise_distance(q.id) > q.id.clockwise_distance(me))
+            .collect();
+        larger.sort_by_key(|q| me.clockwise_distance(q.id));
+        smaller.sort_by_key(|q| q.id.clockwise_distance(me));
+        larger.truncate(self.cfg.leaf_half);
+        smaller.truncate(self.cfg.leaf_half);
+        if larger != self.leaf_larger || smaller != self.leaf_smaller {
+            self.leaf_larger = larger;
+            self.leaf_smaller = smaller;
+            changed = true;
+        }
+
+        // Routing table: fill (or improve) the prefix slot.
+        let l = shared_prefix_len(self.me.id, p.id);
+        if l < DIGITS {
+            let c = digit(p.id, l);
+            let slot = &mut self.table[l][c];
+            let better = match slot {
+                None => true,
+                Some(cur) if cur.node == p.node => false,
+                Some(cur) => {
+                    (p.id.ring_distance(self.me.id), p.id.0)
+                        < (cur.id.ring_distance(self.me.id), cur.id.0)
+                }
+            };
+            if better {
+                *slot = Some(p);
+                changed = true;
+            }
+        }
+        changed
     }
 
     /// Remove a dead peer from all structures. Returns true if it was
@@ -206,7 +298,10 @@ pub fn stable_mesh(members: &[PeerRef], cfg: &PastryConfig) -> Vec<PastryState> 
     members
         .iter()
         .map(|me| {
-            let pos = sorted.iter().position(|p| p.node == me.node).expect("member");
+            let pos = sorted
+                .iter()
+                .position(|p| p.node == me.node)
+                .expect("member");
             let mut st = PastryState::new(*me, cfg.clone());
             // Use min(leaf_half, n-1) entries split around the ring;
             // avoid double-counting when the ring is small.
@@ -274,7 +369,10 @@ mod tests {
     use simnet::NodeId;
 
     fn peer(id: u64, node: u32) -> PeerRef {
-        PeerRef { id: PastryId(id), node: NodeId(node) }
+        PeerRef {
+            id: PastryId(id),
+            node: NodeId(node),
+        }
     }
 
     #[test]
@@ -298,8 +396,9 @@ mod tests {
 
     #[test]
     fn leaf_sets_are_ring_neighbours() {
-        let members: Vec<PeerRef> =
-            (0..20u64).map(|i| peer(chord::hash64(i), i as u32)).collect();
+        let members: Vec<PeerRef> = (0..20u64)
+            .map(|i| peer(chord::hash64(i), i as u32))
+            .collect();
         let states = stable_mesh(&members, &PastryConfig::default());
         let mut sorted = members.clone();
         sorted.sort_by_key(|p| p.id.0);
@@ -315,8 +414,9 @@ mod tests {
 
     #[test]
     fn routing_table_entries_share_prefix() {
-        let members: Vec<PeerRef> =
-            (0..64u64).map(|i| peer(chord::hash64(i * 31), i as u32)).collect();
+        let members: Vec<PeerRef> = (0..64u64)
+            .map(|i| peer(chord::hash64(i * 31), i as u32))
+            .collect();
         let states = stable_mesh(&members, &PastryConfig::default());
         for st in &states {
             for (row, cols) in st.table.iter().enumerate() {
@@ -332,8 +432,9 @@ mod tests {
 
     #[test]
     fn dead_peers_are_purged() {
-        let members: Vec<PeerRef> =
-            (0..10u64).map(|i| peer(chord::hash64(i), i as u32)).collect();
+        let members: Vec<PeerRef> = (0..10u64)
+            .map(|i| peer(chord::hash64(i), i as u32))
+            .collect();
         let mut st = stable_mesh(&members, &PastryConfig::default())[0].clone();
         let victim = st.leaf_larger[0].node;
         assert!(st.on_peer_dead(victim));

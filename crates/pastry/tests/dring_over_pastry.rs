@@ -2,8 +2,15 @@
 //! into any existing structured overlay based on a standard DHT
 //! (e.g., Chord, Pastry)."
 //!
-//! This test runs the D-ring key scheme over the Pastry substrate and
-//! verifies the two properties query routing needs:
+//! Promoted from a raw-routing demo into an exercise of the real
+//! integration surface: D-ring keys travel through
+//! `flower_core::substrate::PastrySubstrate` — the same
+//! `DhtSubstrate` implementation `FlowerNode`'s directory role runs
+//! on — and the last test drives a complete Flower-CDN system over
+//! Pastry through `FlowerNode` itself, selected purely via
+//! `SystemConfig`.
+//!
+//! The routing properties verified:
 //!
 //! 1. when `d_{ws,loc}` is alive, the key `key(ws, loc)` is delivered
 //!    exactly there;
@@ -11,21 +18,30 @@
 //!    the query on a *ring-adjacent* directory — with the D-ring id
 //!    layout (website prefix ‖ locality) that is a same-website
 //!    directory whenever the website has another one, i.e. Algorithm
-//!    2's goal falls out of Pastry's delivery rule.
-
-use std::collections::HashMap;
+//!    2's goal falls out of Pastry's delivery rule;
+//! 3. hop counts stay logarithmic at the paper's D-ring scale;
+//! 4. Chord and Pastry agree on ownership (exactly for present keys,
+//!    same-website for absent ones) — through the same trait.
 
 use chord::PeerRef;
 use flower_core::id::KeyScheme;
-use pastry::{route_synchronously, stable_mesh, PastryConfig, PastryState};
-use simnet::{Locality, NodeId};
+use flower_core::msg::Query;
+use flower_core::substrate::{test_support, DhtSubstrate, SubstrateKind};
+use simnet::{Locality, NodeId, SimTime};
 use workload::WebsiteId;
 
+struct DringFixture {
+    roles: Vec<Box<dyn DhtSubstrate>>,
+    members: Vec<PeerRef>,
+    scheme: KeyScheme,
+}
+
 fn build_dring(
+    kind: SubstrateKind,
     websites: u16,
     localities: u16,
     skip: Option<(u16, u16)>,
-) -> (HashMap<NodeId, PastryState>, Vec<PeerRef>, KeyScheme) {
+) -> DringFixture {
     let scheme = KeyScheme::new(8, 0);
     let mut members = Vec::new();
     let mut idx = 0u32;
@@ -41,21 +57,53 @@ fn build_dring(
             idx += 1;
         }
     }
-    let states = stable_mesh(&members, &PastryConfig::default());
-    (members.iter().map(|m| m.node).zip(states).collect(), members, scheme)
+    let roles = kind.stable_network(scheme, &members);
+    DringFixture {
+        roles,
+        members,
+        scheme,
+    }
+}
+
+fn query(ws: u16, loc: u16) -> Query {
+    Query {
+        id: (ws as u64) << 16 | loc as u64,
+        origin: NodeId(9_999),
+        origin_locality: Locality(loc),
+        website: WebsiteId(ws),
+        object: bloom::ObjectId(1),
+        submitted_at: SimTime::ZERO,
+        dir_hops: 0,
+        holder_retries: 0,
+    }
+}
+
+/// Route through the substrate roles until the outcome stream yields
+/// the delivery; returns (member index, hops).
+fn route_to_delivery(
+    fx: &mut DringFixture,
+    start: usize,
+    key: flower_core::substrate::DhtKey,
+    q: Query,
+) -> (usize, u8) {
+    test_support::route_to_delivery(&mut fx.roles, &fx.members, start, key, q)
 }
 
 #[test]
 fn present_directories_are_hit_exactly() {
-    let (states, members, scheme) = build_dring(20, 6, None);
+    let mut fx = build_dring(SubstrateKind::Pastry, 20, 6, None);
     for ws in 0..20u16 {
         for l in 0..6u16 {
-            let key = scheme.key(WebsiteId(ws), Locality(l));
-            let expect = members.iter().find(|m| m.id == key).expect("dir exists").node;
-            // From several different start points.
-            for start in [0u32, 7, 63, 100] {
-                let got = route_synchronously(&states, NodeId(start % members.len() as u32), key);
-                assert_eq!(got.owner, expect, "d(ws{ws},loc{l}) missed");
+            let key = fx.scheme.key(WebsiteId(ws), Locality(l));
+            let expect = fx
+                .members
+                .iter()
+                .position(|m| m.id == key)
+                .expect("dir exists");
+            let n = fx.members.len();
+            for start in [0usize, 7, 63, 100] {
+                let (got, _) = route_to_delivery(&mut fx, start % n, key, query(ws, l));
+                assert_eq!(got, expect, "d(ws{ws},loc{l}) missed");
             }
         }
     }
@@ -65,17 +113,17 @@ fn present_directories_are_hit_exactly() {
 fn absent_directory_falls_to_a_same_website_neighbour() {
     // Remove d(ws=5, loc=3); queries for it must land on another
     // directory of website 5 (locality 2 or 4 — its ring neighbours).
-    let (states, members, scheme) = build_dring(20, 6, Some((5, 3)));
-    let key = scheme.key(WebsiteId(5), Locality(3));
-    for m in members.iter().step_by(7) {
-        let got = route_synchronously(&states, m.node, key);
-        let owner = members.iter().find(|p| p.node == got.owner).unwrap();
+    let mut fx = build_dring(SubstrateKind::Pastry, 20, 6, Some((5, 3)));
+    let key = fx.scheme.key(WebsiteId(5), Locality(3));
+    for start in (0..fx.members.len()).step_by(7) {
+        let (got, _) = route_to_delivery(&mut fx, start, key, query(5, 3));
+        let owner = fx.members[got];
         assert!(
-            scheme.same_website(owner.id, key),
+            fx.scheme.same_website(owner.id, key),
             "query for the absent directory landed on another website: {:?}",
             owner.id
         );
-        let landed_loc = scheme.locality_of(owner.id);
+        let landed_loc = fx.scheme.locality_of(owner.id);
         assert!(
             landed_loc == Locality(2) || landed_loc == Locality(4),
             "expected a ring-adjacent locality, got {landed_loc}"
@@ -86,15 +134,15 @@ fn absent_directory_falls_to_a_same_website_neighbour() {
 #[test]
 fn hop_counts_stay_logarithmic_at_dring_scale() {
     // The paper's D-ring: 100 websites × 6 localities = 600 members.
-    let (states, members, scheme) = build_dring(100, 6, None);
-    assert_eq!(members.len(), 600);
+    let mut fx = build_dring(SubstrateKind::Pastry, 100, 6, None);
+    assert_eq!(fx.members.len(), 600);
     let mut total = 0usize;
     let mut probes = 0usize;
     for ws in (0..100u16).step_by(9) {
         for l in 0..6u16 {
-            let key = scheme.key(WebsiteId(ws), Locality(l));
-            let start = members[(ws as usize * 31 + l as usize) % members.len()].node;
-            total += route_synchronously(&states, start, key).hops;
+            let key = fx.scheme.key(WebsiteId(ws), Locality(l));
+            let start = (ws as usize * 31 + l as usize) % fx.members.len();
+            total += route_to_delivery(&mut fx, start, key, query(ws, l)).1 as usize;
             probes += 1;
         }
     }
@@ -104,36 +152,81 @@ fn hop_counts_stay_logarithmic_at_dring_scale() {
 
 #[test]
 fn chord_and_pastry_agree_on_dring_ownership() {
-    // Same members, same keys: both substrates must deliver a key to
-    // the same directory (the numerically closest one).
-    let (pastry_states, members, scheme) = build_dring(12, 4, Some((3, 1)));
-    let chord_states = chord::stable_ring(&members, &chord::ChordConfig::default());
-    let by_node: HashMap<NodeId, &chord::ChordState> =
-        members.iter().map(|m| m.node).zip(chord_states.iter()).collect();
-
+    // Same members, same keys, same trait: both substrates must
+    // deliver a key to the same directory (the numerically closest
+    // one) when it is present, and to a same-website directory when
+    // it is absent.
+    let mut pastry_fx = build_dring(SubstrateKind::Pastry, 12, 4, Some((3, 1)));
+    let mut chord_fx = build_dring(SubstrateKind::Chord, 12, 4, Some((3, 1)));
     for ws in 0..12u16 {
         for l in 0..4u16 {
-            let key = scheme.key(WebsiteId(ws), Locality(l));
-            let pastry_owner = route_synchronously(&pastry_states, members[0].node, key).owner;
-            // Chord's owner: the member whose is_responsible holds.
-            let chord_owner = members
-                .iter()
-                .find(|m| by_node[&m.node].is_responsible(key))
-                .expect("some owner")
-                .node;
-            // Chord assigns a key to its clockwise successor, Pastry
-            // to the numerically closest node; for *present* keys both
-            // are the exact directory. For the absent key they may
-            // name the two different ring neighbours — both of the
-            // same website thanks to the id layout.
-            if members.iter().any(|m| m.id == key) {
-                assert_eq!(pastry_owner, chord_owner, "substrates disagree on ws{ws} loc{l}");
+            let key = pastry_fx.scheme.key(WebsiteId(ws), Locality(l));
+            let (p_owner, _) = route_to_delivery(&mut pastry_fx, 0, key, query(ws, l));
+            let (c_owner, _) = route_to_delivery(&mut chord_fx, 0, key, query(ws, l));
+            if pastry_fx.members.iter().any(|m| m.id == key) {
+                assert_eq!(p_owner, c_owner, "substrates disagree on ws{ws} loc{l}");
             } else {
-                let p = members.iter().find(|m| m.node == pastry_owner).unwrap();
-                let c = members.iter().find(|m| m.node == chord_owner).unwrap();
-                assert!(scheme.same_website(p.id, key));
-                assert!(scheme.same_website(c.id, key));
+                // Chord assigns an absent key to its clockwise
+                // successor, Pastry to the numerically closest node;
+                // they may name the two different ring neighbours —
+                // both of the same website thanks to the id layout.
+                let p = pastry_fx.members[p_owner];
+                let c = chord_fx.members[c_owner];
+                assert!(pastry_fx.scheme.same_website(p.id, key));
+                assert!(chord_fx.scheme.same_website(c.id, key));
             }
+        }
+    }
+}
+
+/// The full integration: a complete Flower-CDN system over the Pastry
+/// substrate, driven through `FlowerNode` — clients route queries
+/// into the D-ring, directories admit them, overlays form, gossip
+/// runs — with the substrate selected purely via `SystemConfig`.
+#[test]
+fn flower_node_runs_the_dring_over_pastry() {
+    use flower_core::system::{FlowerSystem, SystemConfig};
+
+    let mut cfg = SystemConfig::small_test();
+    cfg.flower.substrate = SubstrateKind::Pastry;
+    let (sys, report) = FlowerSystem::run(&cfg);
+
+    assert!(
+        report.submitted > 1000,
+        "expected thousands of queries, got {}",
+        report.submitted
+    );
+    assert!(
+        report.resolved as f64 >= report.submitted as f64 * 0.99,
+        "resolved {} of {}",
+        report.resolved,
+        report.submitted
+    );
+    assert!(
+        report.hit_ratio > 0.5,
+        "hit ratio {} too low over Pastry",
+        report.hit_ratio
+    );
+
+    // Directory peers of active websites processed D-ring queries:
+    // their indexes hold admitted community members, which can only
+    // happen when Pastry delivered the keys to the right directories.
+    for ws in 0..cfg.catalog.active_websites as u16 {
+        for l in 0..cfg.topology.localities as u16 {
+            let d = sys
+                .initial_directory(WebsiteId(ws), Locality(l))
+                .expect("directory exists");
+            let node = sys.engine().node(d);
+            let role = node.dir_role().expect("directory role intact");
+            assert_eq!(
+                role.substrate.key(),
+                KeyScheme::new(8, 0).key(WebsiteId(ws), Locality(l))
+            );
+            assert!(
+                role.dir.overlay_size() > 0,
+                "d(ws{ws},loc{l}) indexed nobody — D-ring routing over Pastry broken?"
+            );
+            assert!(!role.substrate.known_peers().is_empty());
         }
     }
 }

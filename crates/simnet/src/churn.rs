@@ -83,20 +83,28 @@ impl ChurnScript {
             let mut t = cfg.start;
             loop {
                 // Online session, then crash.
-                t = t + exponential(&mut rng, cfg.mean_session);
+                t += exponential(&mut rng, cfg.mean_session);
                 if t >= cfg.end {
                     break;
                 }
-                events.push(ChurnEvent { at: t, node, kind: ChurnKind::Down });
+                events.push(ChurnEvent {
+                    at: t,
+                    node,
+                    kind: ChurnKind::Down,
+                });
                 if cfg.permanent {
                     break;
                 }
                 // Offline period, then recovery.
-                t = t + exponential(&mut rng, cfg.mean_downtime);
+                t += exponential(&mut rng, cfg.mean_downtime);
                 if t >= cfg.end {
                     break;
                 }
-                events.push(ChurnEvent { at: t, node, kind: ChurnKind::Up });
+                events.push(ChurnEvent {
+                    at: t,
+                    node,
+                    kind: ChurnKind::Up,
+                });
             }
         }
         events.sort_by_key(|e| e.at);
@@ -108,7 +116,11 @@ impl ChurnScript {
     pub fn kill_at(kills: &[(SimTime, NodeId)]) -> Self {
         let mut events: Vec<ChurnEvent> = kills
             .iter()
-            .map(|(at, node)| ChurnEvent { at: *at, node: *node, kind: ChurnKind::Down })
+            .map(|(at, node)| ChurnEvent {
+                at: *at,
+                node: *node,
+                kind: ChurnKind::Down,
+            })
             .collect();
         events.sort_by_key(|e| e.at);
         ChurnScript { events }
@@ -191,10 +203,18 @@ mod tests {
         let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
         let s = ChurnScript::generate(&cfg(), &nodes, 11);
         for &n in &nodes {
-            let kinds: Vec<ChurnKind> =
-                s.events().iter().filter(|e| e.node == n).map(|e| e.kind).collect();
+            let kinds: Vec<ChurnKind> = s
+                .events()
+                .iter()
+                .filter(|e| e.node == n)
+                .map(|e| e.kind)
+                .collect();
             for (i, k) in kinds.iter().enumerate() {
-                let expect = if i % 2 == 0 { ChurnKind::Down } else { ChurnKind::Up };
+                let expect = if i % 2 == 0 {
+                    ChurnKind::Down
+                } else {
+                    ChurnKind::Up
+                };
                 assert_eq!(*k, expect, "node {n:?} event {i}");
             }
         }
@@ -202,7 +222,10 @@ mod tests {
 
     #[test]
     fn permanent_failures_never_recover() {
-        let cfg = ChurnConfig { permanent: true, ..cfg() };
+        let cfg = ChurnConfig {
+            permanent: true,
+            ..cfg()
+        };
         let nodes: Vec<NodeId> = (0..30).map(NodeId).collect();
         let s = ChurnScript::generate(&cfg, &nodes, 5);
         assert!(s.events().iter().all(|e| e.kind == ChurnKind::Down));

@@ -172,7 +172,10 @@ pub struct GaugeSet {
 
 impl GaugeSet {
     fn new(window: SimDuration) -> Self {
-        GaugeSet { window, series: Default::default() }
+        GaugeSet {
+            window,
+            series: Default::default(),
+        }
     }
 
     fn record(&mut self, at: SimTime, name: &'static str, value: f64) {
@@ -192,11 +195,18 @@ impl GaugeSet {
 /// Internal queue payload.
 #[derive(Debug)]
 enum Pending<M> {
-    App { dst: NodeId, ev: Event<M> },
+    App {
+        dst: NodeId,
+        ev: Event<M>,
+    },
     /// Traffic-accounted message in flight (recorded at send time;
     /// this wrapper only exists to detect dead destinations at
     /// delivery time).
-    Wire { from: NodeId, to: NodeId, msg: M },
+    Wire {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
     ChurnDown(NodeId),
     ChurnUp(NodeId),
 }
@@ -303,7 +313,8 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
 
     /// Schedule an event `delay` from now.
     pub fn schedule_in(&mut self, delay: SimDuration, node: NodeId, ev: Event<M>) {
-        self.queue.push(self.now + delay, Pending::App { dst: node, ev });
+        self.queue
+            .push(self.now + delay, Pending::App { dst: node, ev });
     }
 
     /// Take `node` down at time `at` (messages to it bounce, its
@@ -363,7 +374,10 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                     let back = self.topo.latency(to, from);
                     self.queue.push(
                         self.now + back,
-                        Pending::App { dst: from, ev: Event::Undeliverable { to, msg } },
+                        Pending::App {
+                            dst: from,
+                            ev: Event::Undeliverable { to, msg },
+                        },
                     );
                 }
             }
@@ -386,13 +400,20 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         for a in actions {
             match a {
                 Action::Send { to, msg } => {
-                    self.traffic.record(self.now, dst, to, msg.class(), msg.wire_size());
+                    self.traffic
+                        .record(self.now, dst, to, msg.class(), msg.wire_size());
                     let lat = self.topo.latency(dst, to);
-                    self.queue.push(self.now + lat, Pending::Wire { from: dst, to, msg });
+                    self.queue
+                        .push(self.now + lat, Pending::Wire { from: dst, to, msg });
                 }
                 Action::Timer { delay, kind, tag } => {
-                    self.queue
-                        .push(self.now + delay, Pending::App { dst, ev: Event::Timer { kind, tag } });
+                    self.queue.push(
+                        self.now + delay,
+                        Pending::App {
+                            dst,
+                            ev: Event::Timer { kind, tag },
+                        },
+                    );
                 }
             }
         }
@@ -429,8 +450,13 @@ mod tests {
     impl Node<PingMsg> for Echo {
         fn on_event(&mut self, ctx: &mut Ctx<'_, PingMsg>, ev: Event<PingMsg>) {
             match ev {
-                Event::Recv { from, msg: PingMsg::Ping } => ctx.send(from, PingMsg::Pong),
-                Event::Recv { msg: PingMsg::Pong, .. } => self.pongs += 1,
+                Event::Recv {
+                    from,
+                    msg: PingMsg::Ping,
+                } => ctx.send(from, PingMsg::Pong),
+                Event::Recv {
+                    msg: PingMsg::Pong, ..
+                } => self.pongs += 1,
                 Event::Undeliverable { .. } => self.undeliverable += 1,
                 Event::Timer { .. } => self.timer_fired = true,
                 Event::NodeUp => self.revived += 1,
@@ -450,13 +476,23 @@ mod tests {
         let a = NodeId(0);
         let b = NodeId(1);
         let one_way = e.topology().latency_ms(a, b);
-        e.schedule_at(SimTime::ZERO, a, Event::Recv { from: a, msg: PingMsg::Ping });
+        e.schedule_at(
+            SimTime::ZERO,
+            a,
+            Event::Recv {
+                from: a,
+                msg: PingMsg::Ping,
+            },
+        );
         // a "receives" a self-ping at t=0, sends Pong to itself... use b:
         let mut e = engine();
         e.schedule_at(
             SimTime::ZERO,
             b,
-            Event::Recv { from: a, msg: PingMsg::Ping },
+            Event::Recv {
+                from: a,
+                msg: PingMsg::Ping,
+            },
         );
         e.run_until(SimTime::from_secs(10));
         assert_eq!(e.node(a).pongs, 1, "a should receive the pong");
@@ -467,10 +503,25 @@ mod tests {
     #[test]
     fn traffic_recorded_on_send() {
         let mut e = engine();
-        e.schedule_at(SimTime::ZERO, NodeId(1), Event::Recv { from: NodeId(0), msg: PingMsg::Ping });
+        e.schedule_at(
+            SimTime::ZERO,
+            NodeId(1),
+            Event::Recv {
+                from: NodeId(0),
+                msg: PingMsg::Ping,
+            },
+        );
         e.run_until(SimTime::from_secs(5));
-        assert_eq!(e.traffic().sent_bytes(NodeId(1), TrafficClass::QueryControl), 8);
-        assert_eq!(e.traffic().recv_bytes(NodeId(0), TrafficClass::QueryControl), 8);
+        assert_eq!(
+            e.traffic()
+                .sent_bytes(NodeId(1), TrafficClass::QueryControl),
+            8
+        );
+        assert_eq!(
+            e.traffic()
+                .recv_bytes(NodeId(0), TrafficClass::QueryControl),
+            8
+        );
     }
 
     #[test]
@@ -480,7 +531,10 @@ mod tests {
         e.schedule_at(
             SimTime::from_ms(1),
             NodeId(0),
-            Event::Recv { from: NodeId(0), msg: PingMsg::Ping },
+            Event::Recv {
+                from: NodeId(0),
+                msg: PingMsg::Ping,
+            },
         );
         // Node 0 replies Pong to itself (from==self), that's fine; instead
         // directly test wire bounce by having node 0 ping node 1:
@@ -492,10 +546,17 @@ mod tests {
         e2.schedule_at(
             SimTime::from_ms(1),
             NodeId(0),
-            Event::Recv { from: NodeId(1), msg: PingMsg::Ping },
+            Event::Recv {
+                from: NodeId(1),
+                msg: PingMsg::Ping,
+            },
         );
         e2.run_until(SimTime::from_secs(10));
-        assert_eq!(e2.node(NodeId(0)).undeliverable, 1, "sender must learn of the bounce");
+        assert_eq!(
+            e2.node(NodeId(0)).undeliverable,
+            1,
+            "sender must learn of the bounce"
+        );
         let _ = e; // silence unused
     }
 
@@ -521,9 +582,16 @@ mod tests {
     fn timers_die_with_node() {
         let mut e = engine();
         e.schedule_down(SimTime::ZERO, NodeId(0));
-        e.schedule_at(SimTime::from_ms(1), NodeId(0), Event::Timer { kind: 1, tag: 0 });
+        e.schedule_at(
+            SimTime::from_ms(1),
+            NodeId(0),
+            Event::Timer { kind: 1, tag: 0 },
+        );
         e.run_until(SimTime::from_secs(1));
-        assert!(!e.node(NodeId(0)).timer_fired, "timer on a down node must be swallowed");
+        assert!(
+            !e.node(NodeId(0)).timer_fired,
+            "timer on a down node must be swallowed"
+        );
     }
 
     #[test]
@@ -550,7 +618,10 @@ mod tests {
                 e.schedule_at(
                     SimTime::from_ms(i as u64 * 7),
                     NodeId(i % 4),
-                    Event::Recv { from: NodeId((i + 1) % 4), msg: PingMsg::Ping },
+                    Event::Recv {
+                        from: NodeId((i + 1) % 4),
+                        msg: PingMsg::Ping,
+                    },
                 );
             }
             e.run_until(SimTime::from_secs(20));

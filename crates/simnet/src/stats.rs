@@ -103,7 +103,14 @@ impl Traffic {
     }
 
     /// Record one message of `bytes` bytes from `from` to `to`.
-    pub fn record(&mut self, at: SimTime, from: NodeId, to: NodeId, class: TrafficClass, bytes: u32) {
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        class: TrafficClass,
+        bytes: u32,
+    ) {
         let c = class.index();
         self.sent[from.idx()][c] += bytes as u64;
         self.recv[to.idx()][c] += bytes as u64;
@@ -188,7 +195,13 @@ impl Histogram {
     /// overflow bucket.
     pub fn new(bucket_width: u64, buckets: usize) -> Self {
         assert!(bucket_width > 0, "bucket width must be positive");
-        Histogram { bucket_width, counts: vec![0; buckets + 1], total: 0, sum: 0, max: 0 }
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets + 1],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
     }
 
     /// Record one observation.
@@ -288,7 +301,10 @@ impl TimeSeries {
     /// A series with the given window width.
     pub fn new(window: SimDuration) -> Self {
         assert!(!window.is_zero(), "series window must be positive");
-        TimeSeries { window, buckets: Vec::new() }
+        TimeSeries {
+            window,
+            buckets: Vec::new(),
+        }
     }
 
     /// Record `value` at time `at`.
@@ -410,7 +426,13 @@ impl QueryStats {
     ///   identified;
     /// * `transfer_ms` — link latency between requester and provider;
     /// * `served_by` — provider kind (peer ⇒ hit, server ⇒ miss).
-    pub fn on_resolved(&mut self, at: SimTime, lookup_ms: u64, transfer_ms: u64, served_by: ServedBy) {
+    pub fn on_resolved(
+        &mut self,
+        at: SimTime,
+        lookup_ms: u64,
+        transfer_ms: u64,
+        served_by: ServedBy,
+    ) {
         let hit = served_by != ServedBy::OriginServer;
         if hit {
             self.hits += 1;
@@ -436,7 +458,8 @@ impl QueryStats {
             }
         }
         let resolved = self.hits + self.misses;
-        self.cumulative_hit_series.push((at, self.hits as f64 / resolved as f64));
+        self.cumulative_hit_series
+            .push((at, self.hits as f64 / resolved as f64));
     }
 
     /// Note a redirection failure (stale directory entry; Sec. 5.1).
@@ -544,9 +567,21 @@ mod tests {
     #[test]
     fn traffic_accounting_by_class() {
         let mut t = Traffic::new(3, SimDuration::from_mins(30));
-        t.record(SimTime::ZERO, NodeId(0), NodeId(1), TrafficClass::Gossip, 100);
+        t.record(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::Gossip,
+            100,
+        );
         t.record(SimTime::ZERO, NodeId(1), NodeId(0), TrafficClass::Push, 50);
-        t.record(SimTime::ZERO, NodeId(0), NodeId(2), TrafficClass::DhtRouting, 10);
+        t.record(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(2),
+            TrafficClass::DhtRouting,
+            10,
+        );
         assert_eq!(t.sent_bytes(NodeId(0), TrafficClass::Gossip), 100);
         assert_eq!(t.recv_bytes(NodeId(1), TrafficClass::Gossip), 100);
         assert_eq!(t.background_bytes(NodeId(0)), 150); // gossip sent + push recv
@@ -559,8 +594,20 @@ mod tests {
     fn background_bps_definition() {
         let mut t = Traffic::new(2, SimDuration::from_mins(30));
         // 1000 bytes of gossip each way over 10 seconds between two peers.
-        t.record(SimTime::ZERO, NodeId(0), NodeId(1), TrafficClass::Gossip, 1000);
-        t.record(SimTime::ZERO, NodeId(1), NodeId(0), TrafficClass::Gossip, 1000);
+        t.record(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::Gossip,
+            1000,
+        );
+        t.record(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(0),
+            TrafficClass::Gossip,
+            1000,
+        );
         let bps = t.background_bps(&[NodeId(0), NodeId(1)], SimDuration::from_secs(10));
         // Each peer experienced 2000 bytes = 16000 bits over 10 s = 1600 bps.
         assert!((bps - 1600.0).abs() < 1e-9, "bps = {bps}");

@@ -195,7 +195,10 @@ mod tests {
         assert_eq!((t - SimTime::from_ms(40)).as_ms(), 110);
         // Saturating subtraction: earlier - later == 0.
         assert_eq!((SimTime::from_ms(10) - SimTime::from_ms(20)).as_ms(), 0);
-        assert_eq!(SimTime::from_ms(10).since(SimTime::from_ms(20)), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_ms(10).since(SimTime::from_ms(20)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -126,7 +126,11 @@ impl Default for TopologyConfig {
 impl TopologyConfig {
     /// A tiny topology suitable for unit tests (fast to generate).
     pub fn small_test() -> Self {
-        TopologyConfig { nodes: 60, localities: 3, ..Default::default() }
+        TopologyConfig {
+            nodes: 60,
+            localities: 3,
+            ..Default::default()
+        }
     }
 
     /// Paper-scale topology (Table 1): 5000 nodes, 6 localities.
@@ -174,13 +178,18 @@ impl Topology {
             .collect();
 
         // Non-uniform region weights: weight(i) = 1 + skew * i.
-        let weights: Vec<f64> = (0..k).map(|i| 1.0 + cfg.population_skew * i as f64).collect();
+        let weights: Vec<f64> = (0..k)
+            .map(|i| 1.0 + cfg.population_skew * i as f64)
+            .collect();
         let total_weight: f64 = weights.iter().sum();
 
         let mut points = Vec::with_capacity(cfg.nodes);
         for _ in 0..cfg.nodes {
             if rng.gen::<f64>() < cfg.background_fraction {
-                points.push(Point { x: rng.gen(), y: rng.gen() });
+                points.push(Point {
+                    x: rng.gen(),
+                    y: rng.gen(),
+                });
                 continue;
             }
             // Weighted region choice.
@@ -226,7 +235,9 @@ impl Topology {
                     .iter()
                     .enumerate()
                     .min_by(|(_, a), (_, b)| {
-                        p.dist(**a).partial_cmp(&p.dist(**b)).expect("distances are finite")
+                        p.dist(**a)
+                            .partial_cmp(&p.dist(**b))
+                            .expect("distances are finite")
                     })
                     .map(|(j, _)| j)
                     .expect("at least one landmark");
@@ -350,7 +361,7 @@ mod tests {
                 if a == b {
                     assert_eq!(l, 0);
                 } else {
-                    assert!(l >= 10 && l <= 500, "latency {l} out of range");
+                    assert!((10..=500).contains(&l), "latency {l} out of range");
                 }
             }
         }
@@ -406,14 +417,23 @@ mod tests {
     fn nodes_in_matches_population() {
         let t = topo();
         for l in 0..t.num_localities() as u16 {
-            assert_eq!(t.nodes_in(Locality(l)).len() as u32, t.population(Locality(l)));
+            assert_eq!(
+                t.nodes_in(Locality(l)).len() as u32,
+                t.population(Locality(l))
+            );
         }
     }
 
     #[test]
     #[should_panic(expected = "at least one node")]
     fn empty_topology_rejected() {
-        let _ = Topology::generate(&TopologyConfig { nodes: 0, ..Default::default() }, 0);
+        let _ = Topology::generate(
+            &TopologyConfig {
+                nodes: 0,
+                ..Default::default()
+            },
+            0,
+        );
     }
 }
 

@@ -40,7 +40,13 @@ impl Node<Token> for Relay {
                 if msg.ttl > 0 {
                     let next =
                         NodeId(((msg.tag ^ ctx.id().0 as u64) % ctx.num_nodes() as u64) as u32);
-                    ctx.send(next, Token { ttl: msg.ttl - 1, tag: msg.tag.wrapping_mul(31) });
+                    ctx.send(
+                        next,
+                        Token {
+                            ttl: msg.ttl - 1,
+                            tag: msg.tag.wrapping_mul(31),
+                        },
+                    );
                 }
             }
             Event::Timer { tag, .. } => {
@@ -60,7 +66,13 @@ fn run_schedule(injections: &[(u64, u32, u8, u64)], seed: u64) -> (u64, u64, u64
         engine.schedule_at(
             SimTime::from_ms(*at),
             NodeId(*node % n as u32),
-            Event::Recv { from: NodeId(0), msg: Token { ttl: *ttl % 16, tag: *tag } },
+            Event::Recv {
+                from: NodeId(0),
+                msg: Token {
+                    ttl: *ttl % 16,
+                    tag: *tag,
+                },
+            },
         );
     }
     engine.run_until(SimTime::from_hours(1));
@@ -152,11 +164,21 @@ fn messages_to_down_nodes_bounce_exactly_once() {
         }
     }
     let nodes: Vec<P> = (0..topo.num_nodes())
-        .map(|i| if i == 0 { P::Shim(Shim) } else { P::Probe(Probe::default()) })
+        .map(|i| {
+            if i == 0 {
+                P::Shim(Shim)
+            } else {
+                P::Probe(Probe::default())
+            }
+        })
         .collect();
     let mut engine = simnet::Engine::new(topo, nodes, 9);
     engine.schedule_down(SimTime::ZERO, NodeId(1));
-    engine.schedule_at(SimTime::from_ms(1), NodeId(0), Event::Timer { kind: 1, tag: 0 });
+    engine.schedule_at(
+        SimTime::from_ms(1),
+        NodeId(0),
+        Event::Timer { kind: 1, tag: 0 },
+    );
     engine.run_until(SimTime::from_secs(10));
     // The shim gets no bounce notification (it is node 0 = Shim which
     // ignores them), but the engine must not deliver to node 1:
@@ -187,13 +209,11 @@ fn churn_script_round_trips_through_engine() {
     // After the script ends, each node's final state matches the
     // parity of its events.
     for &node in &affected {
-        let downs =
-            script.events().iter().filter(|e| e.node == node).count();
+        let downs = script.events().iter().filter(|e| e.node == node).count();
         let last_kind = script
             .events()
             .iter()
-            .filter(|e| e.node == node)
-            .next_back()
+            .rfind(|e| e.node == node)
             .map(|e| e.kind);
         match last_kind {
             Some(simnet::ChurnKind::Down) => assert!(!engine.is_up(node), "{node} should be down"),

@@ -140,12 +140,28 @@ mod tests {
             object: ObjectId(9),
             submitted_at: SimTime::ZERO,
         };
-        let p = SquirrelMsg::Pointers { query: q, candidates: vec![NodeId(1); 4] };
+        let p = SquirrelMsg::Pointers {
+            query: q,
+            candidates: vec![NodeId(1); 4],
+        };
         assert_eq!(p.wire_size(), 16 + q.wire_size() + 24);
         assert_eq!(p.class(), TrafficClass::QueryControl);
-        let s = SquirrelMsg::ServeObject { query: q, resolved_at: SimTime::ZERO, from_server: true, size: 1000 };
+        let s = SquirrelMsg::ServeObject {
+            query: q,
+            resolved_at: SimTime::ZERO,
+            from_server: true,
+            size: 1000,
+        };
         assert_eq!(s.class(), TrafficClass::Transfer);
         assert!(s.wire_size() > 1000);
-        assert_eq!(SquirrelMsg::Submit { qid: 0, website: WebsiteId(0), object: ObjectId(0) }.wire_size(), 0);
+        assert_eq!(
+            SquirrelMsg::Submit {
+                qid: 0,
+                website: WebsiteId(0),
+                object: ObjectId(0)
+            }
+            .wire_size(),
+            0
+        );
     }
 }

@@ -160,7 +160,13 @@ impl SquirrelNode {
         self.home.len()
     }
 
-    fn on_submit(&mut self, ctx: &mut Ctx<'_, SquirrelMsg>, qid: u64, ws: WebsiteId, object: ObjectId) {
+    fn on_submit(
+        &mut self,
+        ctx: &mut Ctx<'_, SquirrelMsg>,
+        qid: u64,
+        ws: WebsiteId,
+        object: ObjectId,
+    ) {
         self.stats.queries_submitted += 1;
         ctx.query_stats().on_submit();
         let me = ctx.id();
@@ -179,14 +185,24 @@ impl SquirrelNode {
             ctx.query_stats().on_resolved(now, 0, 0, ServedBy::OwnCache);
             return;
         }
-        self.pending
-            .insert(qid, Pending { query, candidates: Vec::new(), next: 0, home: None });
+        self.pending.insert(
+            qid,
+            Pending {
+                query,
+                candidates: Vec::new(),
+                next: 0,
+                home: None,
+            },
+        );
         // Route to the object's home node through the DHT.
         let key = chord::ChordId(object.key());
         let Some(chord_st) = &mut self.chord else {
             // Not a DHT member (shouldn't originate queries, but stay
             // robust): straight to the server.
-            ctx.send(self.shared.server_of(ws), SquirrelMsg::ServerQuery { query });
+            ctx.send(
+                self.shared.server_of(ws),
+                SquirrelMsg::ServerQuery { query },
+            );
             return;
         };
         let mut t = CtxTransport { ctx };
@@ -239,13 +255,20 @@ impl SquirrelNode {
         let now = ctx.now();
         ctx.send(
             query.origin,
-            SquirrelMsg::ServeObject { query, resolved_at: now, from_server: false, size },
+            SquirrelMsg::ServeObject {
+                query,
+                resolved_at: now,
+                from_server: false,
+                size,
+            },
         );
     }
 
     /// Try the next pointer candidate, else the origin server.
     fn try_next_candidate(&mut self, ctx: &mut Ctx<'_, SquirrelMsg>, qid: u64) {
-        let Some(p) = self.pending.get_mut(&qid) else { return };
+        let Some(p) = self.pending.get_mut(&qid) else {
+            return;
+        };
         let query = p.query;
         let retries = self.shared.fetch_retries;
         if p.next < p.candidates.len() && p.next < retries {
@@ -254,7 +277,10 @@ impl SquirrelNode {
             ctx.send(target, SquirrelMsg::Fetch { query });
             return;
         }
-        ctx.send(self.shared.server_of(query.website), SquirrelMsg::ServerQuery { query });
+        ctx.send(
+            self.shared.server_of(query.website),
+            SquirrelMsg::ServerQuery { query },
+        );
     }
 
     fn on_resolved(
@@ -272,7 +298,13 @@ impl SquirrelNode {
         if from_server && self.shared.strategy == SquirrelStrategy::HomeStore {
             if let Some(home) = pending.home {
                 let size = self.shared.catalog.object_size(query.object);
-                ctx.send(home, SquirrelMsg::StoreAtHome { object: query.object, size });
+                ctx.send(
+                    home,
+                    SquirrelMsg::StoreAtHome {
+                        object: query.object,
+                        size,
+                    },
+                );
             }
         }
         let me = ctx.id();
@@ -288,7 +320,8 @@ impl SquirrelNode {
             ServedBy::RemoteOverlay
         };
         let now = ctx.now();
-        ctx.query_stats().on_resolved(now, lookup_ms, transfer_ms, served_by);
+        ctx.query_stats()
+            .on_resolved(now, lookup_ms, transfer_ms, served_by);
         self.cache.insert(query.object);
     }
 
@@ -304,11 +337,15 @@ impl simnet::Node<SquirrelMsg> for SquirrelNode {
     fn on_event(&mut self, ctx: &mut Ctx<'_, SquirrelMsg>, ev: Event<SquirrelMsg>) {
         match ev {
             Event::Recv { from, msg } => match msg {
-                SquirrelMsg::Submit { qid, website, object } => {
-                    self.on_submit(ctx, qid, website, object)
-                }
+                SquirrelMsg::Submit {
+                    qid,
+                    website,
+                    object,
+                } => self.on_submit(ctx, qid, website, object),
                 SquirrelMsg::Chord(cm) => {
-                    let Some(chord_st) = &mut self.chord else { return };
+                    let Some(chord_st) = &mut self.chord else {
+                        return;
+                    };
                     let mut t = CtxTransport { ctx };
                     let outcome = chord::handle(chord_st, &mut t, from, cm, &StandardPolicy);
                     if let Some(outcome) = outcome {
@@ -341,15 +378,23 @@ impl simnet::Node<SquirrelMsg> for SquirrelNode {
                     let now = ctx.now();
                     ctx.send(
                         query.origin,
-                        SquirrelMsg::ServeObject { query, resolved_at: now, from_server: true, size },
+                        SquirrelMsg::ServeObject {
+                            query,
+                            resolved_at: now,
+                            from_server: true,
+                            size,
+                        },
                     );
                 }
                 SquirrelMsg::StoreAtHome { object, .. } => {
                     self.cache.insert(object);
                 }
-                SquirrelMsg::ServeObject { query, resolved_at, from_server, .. } => {
-                    self.on_resolved(ctx, from, query, resolved_at, from_server)
-                }
+                SquirrelMsg::ServeObject {
+                    query,
+                    resolved_at,
+                    from_server,
+                    ..
+                } => self.on_resolved(ctx, from, query, resolved_at, from_server),
             },
             Event::Timer { kind, tag: _ } => match kind {
                 timers::STABILIZE => {
@@ -368,9 +413,16 @@ impl simnet::Node<SquirrelMsg> for SquirrelNode {
             },
             Event::Undeliverable { to, msg } => match msg {
                 SquirrelMsg::Chord(cm) => {
-                    let Some(chord_st) = &mut self.chord else { return };
+                    let Some(chord_st) = &mut self.chord else {
+                        return;
+                    };
                     chord::on_undeliverable(chord_st, to, &cm);
-                    if let ChordMsg::Route { key, hops, payload: RoutePayload::App(q) } = cm {
+                    if let ChordMsg::Route {
+                        key,
+                        hops,
+                        payload: RoutePayload::App(q),
+                    } = cm
+                    {
                         // Re-route around the dead hop.
                         let me = ctx.id();
                         let mut t = CtxTransport { ctx };
@@ -378,7 +430,11 @@ impl simnet::Node<SquirrelMsg> for SquirrelNode {
                             chord_st,
                             &mut t,
                             me,
-                            ChordMsg::Route { key, hops, payload: RoutePayload::App(q) },
+                            ChordMsg::Route {
+                                key,
+                                hops,
+                                payload: RoutePayload::App(q),
+                            },
                             &StandardPolicy,
                         );
                         if let Some(oc) = oc {

@@ -67,7 +67,11 @@ impl SquirrelConfig {
     /// `flower_core::SystemConfig::small_test`).
     pub fn small_test() -> Self {
         SquirrelConfig {
-            topology: TopologyConfig { nodes: 300, localities: 3, ..Default::default() },
+            topology: TopologyConfig {
+                nodes: 300,
+                localities: 3,
+                ..Default::default()
+            },
             catalog: CatalogConfig {
                 num_websites: 6,
                 active_websites: 2,
@@ -153,11 +157,9 @@ impl SquirrelSystem {
         let mut communities: HashMap<(u16, u16), Vec<NodeId>> = HashMap::new();
         let mut ring_members: Vec<NodeId> = Vec::new();
         for ws in catalog.active_websites() {
-            for l in 0..k {
-                let pool = &pools[l];
+            for (l, pool) in pools.iter().enumerate() {
                 let take = cfg.clients_per_locality.min(pool.len());
-                let mut comm: Vec<NodeId> =
-                    pool.choose_multiple(&mut rng, take).copied().collect();
+                let mut comm: Vec<NodeId> = pool.choose_multiple(&mut rng, take).copied().collect();
                 comm.sort_unstable_by_key(|n| n.0);
                 for n in &comm {
                     if !ring_members.contains(n) {
@@ -173,11 +175,17 @@ impl SquirrelSystem {
         // hashed (locality-blind).
         let members: Vec<PeerRef> = ring_members
             .iter()
-            .map(|n| PeerRef { id: chord::ChordId(chord::hash64(0x5014_u64 ^ n.0 as u64)), node: *n })
+            .map(|n| PeerRef {
+                id: chord::ChordId(chord::hash64(0x5014_u64 ^ n.0 as u64)),
+                node: *n,
+            })
             .collect();
         let states = chord::stable_ring(&members, &chord::ChordConfig::default());
-        let state_by_node: HashMap<NodeId, chord::ChordState> =
-            members.iter().zip(states).map(|(m, s)| (m.node, s)).collect();
+        let state_by_node: HashMap<NodeId, chord::ChordState> = members
+            .iter()
+            .zip(states)
+            .map(|(m, s)| (m.node, s))
+            .collect();
 
         let deployment = Rc::new(SquirrelDeployment {
             catalog: Catalog::new(cfg.catalog.clone()),
@@ -209,7 +217,7 @@ impl SquirrelSystem {
 
         // Schedule the trace with the same originator policy as the
         // Flower harness: uniform locality, uniform community member.
-        let stream = QueryStream::generate(&cfg.workload, &catalog, cfg.seed ^ 0x77AC_E5);
+        let stream = QueryStream::generate(&cfg.workload, &catalog, cfg.seed ^ 0x0077_ACE5);
         for (qid, ev) in stream.events().iter().enumerate() {
             let mut origin = None;
             for _ in 0..4 {
@@ -226,7 +234,11 @@ impl SquirrelSystem {
                 origin,
                 Event::Recv {
                     from: origin,
-                    msg: SquirrelMsg::Submit { qid: qid as u64, website: ev.website, object: ev.object },
+                    msg: SquirrelMsg::Submit {
+                        qid: qid as u64,
+                        website: ev.website,
+                        object: ev.object,
+                    },
                 },
             );
         }
@@ -277,7 +289,10 @@ mod tests {
     use super::*;
 
     fn run_small(seed: u64) -> (SquirrelSystem, SquirrelReport) {
-        let cfg = SquirrelConfig { seed, ..SquirrelConfig::small_test() };
+        let cfg = SquirrelConfig {
+            seed,
+            ..SquirrelConfig::small_test()
+        };
         SquirrelSystem::run(&cfg)
     }
 

@@ -98,7 +98,10 @@ impl Catalog {
             "cannot activate more websites than exist"
         );
         assert!(cfg.objects_per_website > 0, "websites must provide objects");
-        assert!(cfg.min_object_bytes <= cfg.max_object_bytes, "object size range inverted");
+        assert!(
+            cfg.min_object_bytes <= cfg.max_object_bytes,
+            "object size range inverted"
+        );
         Catalog { cfg }
     }
 
@@ -131,13 +134,20 @@ impl Catalog {
     /// The global object id of the `rank`-th most popular object of
     /// `ws` (the paper's `hash(url)`).
     pub fn object_id(&self, ws: WebsiteId, rank: usize) -> ObjectId {
-        assert!(rank < self.cfg.objects_per_website, "object rank out of range");
-        ObjectId(mix64(((ws.0 as u64) << 32) | rank as u64 | 0x0B1E_C700_0000_0000))
+        assert!(
+            rank < self.cfg.objects_per_website,
+            "object rank out of range"
+        );
+        ObjectId(mix64(
+            ((ws.0 as u64) << 32) | rank as u64 | 0x0B1E_C700_0000_0000,
+        ))
     }
 
     /// All object ids of a website, in popularity-rank order.
     pub fn objects_of(&self, ws: WebsiteId) -> Vec<ObjectId> {
-        (0..self.cfg.objects_per_website).map(|r| self.object_id(ws, r)).collect()
+        (0..self.cfg.objects_per_website)
+            .map(|r| self.object_id(ws, r))
+            .collect()
     }
 
     /// Deterministic object size in bytes within the configured range.
@@ -189,14 +199,21 @@ mod tests {
         for ws in c.active_websites() {
             for o in c.objects_of(ws) {
                 let s = c.object_size(o);
-                assert!((10 * 1024..=100 * 1024).contains(&s), "size {s} out of range");
+                assert!(
+                    (10 * 1024..=100 * 1024).contains(&s),
+                    "size {s} out of range"
+                );
             }
         }
     }
 
     #[test]
     fn fixed_size_when_range_collapsed() {
-        let cfg = CatalogConfig { min_object_bytes: 500, max_object_bytes: 500, ..Default::default() };
+        let cfg = CatalogConfig {
+            min_object_bytes: 500,
+            max_object_bytes: 500,
+            ..Default::default()
+        };
         let c = Catalog::new(cfg);
         assert_eq!(c.object_size(c.object_id(WebsiteId(0), 0)), 500);
     }

@@ -47,7 +47,10 @@ impl Default for WorkloadConfig {
 impl WorkloadConfig {
     /// A short trace for tests.
     pub fn short_test() -> Self {
-        WorkloadConfig { duration_ms: 60_000, ..Default::default() }
+        WorkloadConfig {
+            duration_ms: 60_000,
+            ..Default::default()
+        }
     }
 }
 
@@ -81,9 +84,7 @@ impl QueryStream {
         assert!(!active.is_empty(), "no active websites to query");
 
         let mean_gap_ms = 1000.0 / cfg.query_rate_per_sec;
-        let mut events = Vec::with_capacity(
-            (cfg.duration_ms as f64 / mean_gap_ms * 1.1) as usize,
-        );
+        let mut events = Vec::with_capacity((cfg.duration_ms as f64 / mean_gap_ms * 1.1) as usize);
         let mut t = 0.0f64;
         loop {
             // Exponential inter-arrival (Poisson process).
@@ -132,7 +133,10 @@ mod tests {
 
     #[test]
     fn rate_is_respected() {
-        let cfg = WorkloadConfig { duration_ms: 3_600_000, ..Default::default() };
+        let cfg = WorkloadConfig {
+            duration_ms: 3_600_000,
+            ..Default::default()
+        };
         let s = QueryStream::generate(&cfg, &catalog(), 42);
         // 6 q/s for an hour ≈ 21600 queries; Poisson noise ±3σ ≈ ±450.
         let n = s.len() as f64;
@@ -170,7 +174,10 @@ mod tests {
 
     #[test]
     fn objects_follow_zipf_head() {
-        let cfg = WorkloadConfig { duration_ms: 3_600_000, ..Default::default() };
+        let cfg = WorkloadConfig {
+            duration_ms: 3_600_000,
+            ..Default::default()
+        };
         let cat = catalog();
         let s = QueryStream::generate(&cfg, &cat, 5);
         let head = s.events().iter().filter(|e| e.rank < 10).count() as f64;

@@ -26,7 +26,10 @@ impl Zipf {
     /// degenerates to uniform).
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one item");
-        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and non-negative");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for r in 1..=n {
@@ -103,12 +106,12 @@ mod tests {
         let z = Zipf::new(20, 1.0);
         let mut rng = StdRng::seed_from_u64(12345);
         let n = 200_000;
-        let mut counts = vec![0u32; 20];
+        let mut counts = [0u32; 20];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for r in 0..20 {
-            let freq = counts[r] as f64 / n as f64;
+        for (r, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / n as f64;
             let expect = z.pmf(r);
             assert!(
                 (freq - expect).abs() < 0.01,

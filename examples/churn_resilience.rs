@@ -47,7 +47,11 @@ fn main() {
         permanent: false,
     };
     let script = ChurnScript::generate(&churn, &affected, cfg.seed);
-    println!("churning {} content peers ({} events)", affected.len(), script.len());
+    println!(
+        "churning {} content peers ({} events)",
+        affected.len(),
+        script.len()
+    );
     sys.apply_churn(&script);
 
     sys.run_until(horizon + SimDuration::from_secs(30));
@@ -62,10 +66,19 @@ fn main() {
     println!("\n== churn resilience report ==");
     println!("resolved:               {}/{}", r.resolved, r.submitted);
     println!("hit ratio:              {:.3}", r.hit_ratio);
-    println!("redirection failures:   {} (stale entries retried, §5.1)", r.redirection_failures);
+    println!(
+        "redirection failures:   {} (stale entries retried, §5.1)",
+        r.redirection_failures
+    );
     println!("directory replacements: {won} won, {lost} stood down (§5.2)");
 
-    assert!(r.resolved as f64 > r.submitted as f64 * 0.9, "queries must keep resolving");
-    assert!(won >= 1, "killed directories should be replaced by content peers");
+    assert!(
+        r.resolved as f64 > r.submitted as f64 * 0.9,
+        "queries must keep resolving"
+    );
+    assert!(
+        won >= 1,
+        "killed directories should be replaced by content peers"
+    );
     println!("\nok — the overlay survived the churn");
 }

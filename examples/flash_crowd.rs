@@ -46,16 +46,34 @@ fn main() {
         }
         let at_server = loads.get(i).map(|p| p.count).unwrap_or(0);
         let bar = "#".repeat((at_server as usize).min(60));
-        println!("{:>5}s   {:>6} {:<60}   {:.2}", h.at.as_secs(), at_server, bar, h.mean());
+        println!(
+            "{:>5}s   {:>6} {:<60}   {:.2}",
+            h.at.as_secs(),
+            at_server,
+            bar,
+            h.mean()
+        );
     }
 
-    let first = loads.iter().find(|p| p.count > 0).map(|p| p.count).unwrap_or(0);
-    let last = loads.iter().rev().find(|p| p.count > 0).map(|p| p.count).unwrap_or(0);
+    let first = loads
+        .iter()
+        .find(|p| p.count > 0)
+        .map(|p| p.count)
+        .unwrap_or(0);
+    let last = loads
+        .iter()
+        .rev()
+        .find(|p| p.count > 0)
+        .map(|p| p.count)
+        .unwrap_or(0);
     println!(
         "\nserver load: {first} queries in the first window → {last} in the last ({}% relief)",
-        if first > 0 { 100 - (last * 100 / first) } else { 0 }
+        (last * 100).checked_div(first).map_or(0, |v| 100 - v)
     );
-    println!("final hit ratio: {:.3} over {} queries", report.hit_ratio, report.resolved);
+    println!(
+        "final hit ratio: {:.3} over {} queries",
+        report.hit_ratio, report.resolved
+    );
     assert!(
         last * 2 < first || report.hit_ratio > 0.8,
         "the community should absorb the flash crowd"

@@ -13,8 +13,10 @@ fn main() {
     let mut cfg = SystemConfig::small_test();
     cfg.seed = 7;
 
-    println!("building Flower-CDN: {} nodes, {} localities, {} websites…",
-        cfg.topology.nodes, cfg.topology.localities, cfg.catalog.num_websites);
+    println!(
+        "building Flower-CDN: {} nodes, {} localities, {} websites…",
+        cfg.topology.nodes, cfg.topology.localities, cfg.catalog.num_websites
+    );
     let (sys, report) = FlowerSystem::run(&cfg);
 
     println!("\n== Flower-CDN quickstart report ==");
@@ -23,9 +25,15 @@ fn main() {
     println!("hit ratio:             {:.3}", report.hit_ratio);
     println!("mean lookup latency:   {:.1} ms", report.mean_lookup_ms);
     println!("mean transfer dist.:   {:.1} ms", report.mean_transfer_ms);
-    println!("background traffic:    {:.1} bps/peer (gossip + push)", report.background_bps);
+    println!(
+        "background traffic:    {:.1} bps/peer (gossip + push)",
+        report.background_bps
+    );
     println!("participants:          {}", report.participants);
-    println!("local hits:            {:.1}%", report.local_hit_fraction * 100.0);
+    println!(
+        "local hits:            {:.1}%",
+        report.local_hit_fraction * 100.0
+    );
 
     // Show the convergence the paper's Figure 5 plots.
     println!("\nhit ratio per {}-second window:", cfg.window.as_secs());

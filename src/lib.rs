@@ -3,20 +3,24 @@
 //! This facade crate re-exports the whole workspace:
 //!
 //! * [`core`] (the `flower-core` crate) — the paper's contribution:
-//!   the D-ring directory overlay and gossip-based content overlays;
+//!   the D-ring directory overlay over a pluggable
+//!   [`core::substrate::DhtSubstrate`] and gossip-based content
+//!   overlays;
 //! * [`squirrel`] — the Squirrel baseline the paper compares against;
 //! * [`simnet`] — the discrete-event network simulator substrate;
 //! * [`chord`] — the Chord DHT substrate;
 //! * [`pastry`] — the Pastry DHT substrate (the paper's other named
-//!   overlay; backs the §3.1 portability claim);
+//!   overlay; backs the §3.1 portability claim — select it with
+//!   `SystemConfig::flower.substrate`);
 //! * [`gossip`] — age-based view/gossip machinery (Algorithms 4–6);
 //! * [`bloom`] — Bloom-filter content summaries;
 //! * [`workload`] — Zipf query workload generation (Table 1);
 //! * [`experiments`] — the harness regenerating every table and
 //!   figure of the paper's evaluation (§6).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and
-//! `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `examples/quickstart.rs` for a five-minute tour and the
+//! top-level `README.md` for the crate map and how to run the paper's
+//! experiments.
 
 pub use bloom;
 pub use chord;

@@ -4,9 +4,20 @@
 use flower_cdn::core::system::{FlowerSystem, SystemConfig};
 use flower_cdn::squirrel::{SquirrelConfig, SquirrelSystem};
 
-fn pair(seed: u64) -> (flower_cdn::core::SystemReport, flower_cdn::squirrel::SquirrelReport) {
-    let fcfg = SystemConfig { seed, ..SystemConfig::small_test() };
-    let scfg = SquirrelConfig { seed, ..SquirrelConfig::small_test() };
+fn pair(
+    seed: u64,
+) -> (
+    flower_cdn::core::SystemReport,
+    flower_cdn::squirrel::SquirrelReport,
+) {
+    let fcfg = SystemConfig {
+        seed,
+        ..SystemConfig::small_test()
+    };
+    let scfg = SquirrelConfig {
+        seed,
+        ..SquirrelConfig::small_test()
+    };
     let (_, f) = FlowerSystem::run(&fcfg);
     let (_, s) = SquirrelSystem::run(&scfg);
     (f, s)
@@ -61,5 +72,8 @@ fn both_systems_resolve_their_traces() {
     assert!(f.resolved as f64 >= f.submitted as f64 * 0.99);
     assert!(s.resolved as f64 >= s.submitted as f64 * 0.99);
     // Trace-identical workloads: same query counts.
-    assert_eq!(f.submitted, s.submitted, "the two systems must see the same trace");
+    assert_eq!(
+        f.submitted, s.submitted,
+        "the two systems must see the same trace"
+    );
 }

@@ -8,14 +8,22 @@ use flower_cdn::simnet::{Locality, SimDuration, TrafficClass};
 use flower_cdn::workload::WebsiteId;
 
 fn small(seed: u64) -> SystemConfig {
-    SystemConfig { seed, ..SystemConfig::small_test() }
+    SystemConfig {
+        seed,
+        ..SystemConfig::small_test()
+    }
 }
 
 #[test]
 fn full_pipeline_resolves_queries() {
     let (sys, r) = FlowerSystem::run(&small(1));
     assert!(r.submitted > 1_000);
-    assert!(r.resolved as f64 >= r.submitted as f64 * 0.99, "{}/{}", r.resolved, r.submitted);
+    assert!(
+        r.resolved as f64 >= r.submitted as f64 * 0.99,
+        "{}/{}",
+        r.resolved,
+        r.submitted
+    );
     assert!(r.hit_ratio > 0.4, "hit ratio {}", r.hit_ratio);
     // Every traffic class the protocol uses shows up.
     let t = sys.engine().traffic();
@@ -53,7 +61,9 @@ fn overlays_fill_and_respect_capacity() {
         for l in 0..cfg.topology.localities as u16 {
             let d = sys.initial_directory(WebsiteId(ws), Locality(l)).unwrap();
             let node = sys.engine().node(d);
-            let role = node.dir_role().expect("directory role intact without churn");
+            let role = node
+                .dir_role()
+                .expect("directory role intact without churn");
             assert!(
                 role.dir.overlay_size() <= cfg.flower.max_overlay,
                 "overlay exceeded Sco: {}",
@@ -81,7 +91,10 @@ fn content_peers_cache_what_they_requested() {
             }
         }
     }
-    assert!(peers_with_content > 10, "only {peers_with_content} peers hold content");
+    assert!(
+        peers_with_content > 10,
+        "only {peers_with_content} peers hold content"
+    );
 }
 
 #[test]
@@ -103,7 +116,10 @@ fn gossip_views_converge_within_overlays() {
         }
     }
     let avg = view_sizes.iter().sum::<usize>() as f64 / view_sizes.len().max(1) as f64;
-    assert!(avg >= 2.0, "average view size {avg} too small for a gossiping overlay");
+    assert!(
+        avg >= 2.0,
+        "average view size {avg} too small for a gossiping overlay"
+    );
 }
 
 #[test]

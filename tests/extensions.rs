@@ -9,7 +9,10 @@ use flower_cdn::squirrel::{SquirrelConfig, SquirrelStrategy, SquirrelSystem};
 use flower_cdn::workload::WebsiteId;
 
 fn base(seed: u64) -> SystemConfig {
-    SystemConfig { seed, ..SystemConfig::small_test() }
+    SystemConfig {
+        seed,
+        ..SystemConfig::small_test()
+    }
 }
 
 #[test]
@@ -26,8 +29,7 @@ fn active_replication_spreads_hot_objects() {
     // Replication must actually move objects: replica traffic exists.
     let t = sys_on.engine().traffic();
     assert!(
-        t.total_sent(flower_cdn::simnet::TrafficClass::Push)
-            > 0,
+        t.total_sent(flower_cdn::simnet::TrafficClass::Push) > 0,
         "replication control plane silent"
     );
     // And must not hurt the system.
@@ -85,7 +87,10 @@ fn lfu_policy_also_works_end_to_end() {
 
 #[test]
 fn squirrel_home_store_strategy_serves_from_homes() {
-    let mut cfg = SquirrelConfig { seed: 54, ..SquirrelConfig::small_test() };
+    let mut cfg = SquirrelConfig {
+        seed: 54,
+        ..SquirrelConfig::small_test()
+    };
     cfg.strategy = SquirrelStrategy::HomeStore;
     let (sys, r) = SquirrelSystem::run(&cfg);
     assert!(r.hit_ratio > 0.5, "home-store hit ratio {}", r.hit_ratio);
@@ -102,8 +107,14 @@ fn squirrel_home_store_strategy_serves_from_homes() {
 
 #[test]
 fn squirrel_strategies_are_both_viable() {
-    let dir_cfg = SquirrelConfig { seed: 55, ..SquirrelConfig::small_test() };
-    let mut home_cfg = SquirrelConfig { seed: 55, ..SquirrelConfig::small_test() };
+    let dir_cfg = SquirrelConfig {
+        seed: 55,
+        ..SquirrelConfig::small_test()
+    };
+    let mut home_cfg = SquirrelConfig {
+        seed: 55,
+        ..SquirrelConfig::small_test()
+    };
     home_cfg.strategy = SquirrelStrategy::HomeStore;
     let (_, rd) = SquirrelSystem::run(&dir_cfg);
     let (_, rh) = SquirrelSystem::run(&home_cfg);

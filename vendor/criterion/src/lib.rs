@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! provides the benchmarking surface the workspace's benches use —
+//! [`Criterion`], benchmark groups, `bench_function` /
+//! `bench_with_input`, `iter` / `iter_batched`, [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! simple wall-clock timer instead of criterion's statistics engine.
+//!
+//! Each benchmark is warmed up briefly, then timed over enough
+//! iterations to fill a short measurement budget; the mean ns/iter is
+//! printed. Good enough to spot order-of-magnitude regressions, which
+//! is all a network-less container can promise.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (stable-Rust best effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the shim always runs one setup per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering just the parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(name: S, p: P) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher {
+    /// Total time measured for the routine.
+    elapsed: Duration,
+    /// Iterations measured.
+    iters: u64,
+    /// Measurement budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration cost estimate.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let target = (self.budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = target;
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let warm = Instant::now();
+        black_box(routine(input));
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let target = (self.budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let mut measured = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed = measured;
+        self.iters = target;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: Duration::from_millis(300),
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &b);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I, S: std::fmt::Display, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: Duration::from_millis(300),
+        };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), &b);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("{group}/{id}: not measured");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    println!("{group}/{id}: {ns:.0} ns/iter ({} iters)", b.iters);
+}
+
+/// The bench harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: Duration::from_millis(300),
+        };
+        f(&mut b);
+        report("bench", id, &b);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

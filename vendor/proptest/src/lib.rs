@@ -1,0 +1,318 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! reimplements the slice of proptest this workspace uses: the
+//! [`Strategy`] trait with `prop_map`, range/tuple/`any` strategies,
+//! [`collection::vec`] / [`collection::btree_set`], the [`proptest!`]
+//! macro (with optional `#![proptest_config(..)]`), and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case panics with the generated
+//!   inputs in the assertion message instead of a minimized one;
+//! * **derived determinism** — each test's input stream is seeded from
+//!   a hash of the test's name, so failures reproduce exactly across
+//!   runs and machines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving input generation.
+pub type TestRng = StdRng;
+
+/// Deterministic per-test RNG (FNV-1a over the test name).
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Runner configuration: how many random cases each property runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The generated input type.
+    type Value;
+
+    /// Draw one input.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated inputs with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Strategy for a uniform value over a type's whole domain (the shim's
+/// analogue of proptest's `Arbitrary`).
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A uniform value over `T`'s whole domain (floats: `[0, 1)`).
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::draw(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident / $v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($v,)+) = self;
+                ($($v.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A `Vec` of `size` (drawn from `sizes`) elements of `element`.
+    pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.sizes.start >= self.sizes.end {
+                self.sizes.start
+            } else {
+                rng.gen_range(self.sizes.start..self.sizes.end)
+            };
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A `BTreeSet` of distinct elements of `element`; sizes below the
+    /// requested minimum can occur only if the element domain is
+    /// smaller than the minimum.
+    pub fn btree_set<S>(element: S, sizes: std::ops::Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, sizes }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        sizes: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.sizes.start >= self.sizes.end {
+                self.sizes.start
+            } else {
+                rng.gen_range(self.sizes.start..self.sizes.end)
+            };
+            let mut out = std::collections::BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n.saturating_mul(20) + 100 {
+                out.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property (shim: a plain panic-on-failure assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Skip the current case when the assumption does not hold (shim:
+/// early-returns from the generated per-case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);)+
+                // A closure so `prop_assume!` can skip the case by
+                // returning early.
+                let mut __case_fn = || $body;
+                __case_fn();
+            }
+        }
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn collections_and_maps(
+            xs in collection::vec(0u32..100, 1..20),
+            s in collection::btree_set(any::<u64>(), 2..10),
+            pair in (0u8..5, any::<bool>()).prop_map(|(a, b)| (a as u16, b)),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|v| *v < 100));
+            prop_assert!(s.len() >= 2 && s.len() < 10);
+            prop_assert!(pair.0 < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        let s = 0u64..1000;
+        let xs: Vec<u64> = (0..32)
+            .map(|_| crate::Strategy::new_value(&s, &mut a))
+            .collect();
+        let ys: Vec<u64> = (0..32)
+            .map(|_| crate::Strategy::new_value(&s, &mut b))
+            .collect();
+        assert_eq!(xs, ys);
+    }
+}
