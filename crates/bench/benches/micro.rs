@@ -142,7 +142,12 @@ fn bench_event_queue(c: &mut Criterion) {
         b.iter(|| {
             let mut q = simnet::event::EventQueue::new();
             for i in 0..1000u64 {
-                q.push(SimTime::from_ms((i * 7919) % 1000), i);
+                let key = simnet::EventKey {
+                    at: SimTime::from_ms((i * 7919) % 1000),
+                    src: i % 7,
+                    seq: i,
+                };
+                q.push(key, i);
             }
             let mut n = 0;
             while q.pop().is_some() {

@@ -16,7 +16,7 @@
 //! conflict resolution) and locality changes.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bloom::ObjectId;
 use gossip::PushPolicy;
@@ -104,7 +104,7 @@ struct PendingQuery {
 /// The per-node protocol state machine. Implements
 /// [`simnet::Node<FlowerMsg>`].
 pub struct FlowerNode {
-    shared: Rc<Deployment>,
+    shared: Arc<Deployment>,
     /// §5.4: a peer may detect a locality different from the
     /// topology's initial assignment.
     locality_override: Option<Locality>,
@@ -160,7 +160,7 @@ impl SubstrateOut for CtxTransport<'_, '_> {
 
 impl FlowerNode {
     /// A plain client node.
-    pub fn client(shared: Rc<Deployment>) -> Self {
+    pub fn client(shared: Arc<Deployment>) -> Self {
         FlowerNode {
             shared,
             locality_override: None,
@@ -175,7 +175,7 @@ impl FlowerNode {
     }
 
     /// An origin-server node for `ws`.
-    pub fn server(shared: Rc<Deployment>, ws: WebsiteId) -> Self {
+    pub fn server(shared: Arc<Deployment>, ws: WebsiteId) -> Self {
         let mut n = Self::client(shared);
         n.server_for = Some(ws);
         n
@@ -185,7 +185,7 @@ impl FlowerNode {
     /// substrate role (the paper's evaluation starts from a stable
     /// D-ring).
     pub fn directory(
-        shared: Rc<Deployment>,
+        shared: Arc<Deployment>,
         ws: WebsiteId,
         loc: Locality,
         substrate: Box<dyn DhtSubstrate>,
@@ -323,7 +323,8 @@ impl FlowerNode {
                     .touch_object(object);
                 self.stats.self_hits += 1;
                 let now = ctx.now();
-                ctx.query_stats().on_resolved(now, 0, 0, ServedBy::OwnCache);
+                ctx.query_stats()
+                    .on_resolved(now, me, 0, 0, ServedBy::OwnCache);
                 return;
             }
             let candidates = cp.summary_candidates(object, &[]);
@@ -555,7 +556,7 @@ impl FlowerNode {
         };
         let now = ctx.now();
         ctx.query_stats()
-            .on_resolved(now, lookup_ms, transfer_ms, served_by);
+            .on_resolved(now, me, lookup_ms, transfer_ms, served_by);
 
         // Keep the object (§4.1: "after being served, p keeps its copy
         // of o for subsequent requests").

@@ -127,7 +127,7 @@ pub trait SubstrateOut {
 /// [`SubstrateKind`], so [`crate::node::DirRole`] holds a
 /// `Box<dyn DhtSubstrate>` and the rest of the node is written against
 /// this trait alone.
-pub trait DhtSubstrate: std::fmt::Debug {
+pub trait DhtSubstrate: std::fmt::Debug + Send {
     /// This role's position in the identifier space.
     fn key(&self) -> DhtKey;
 

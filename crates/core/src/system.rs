@@ -18,7 +18,7 @@
 //! 5. run and report the paper's four metrics.
 
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -49,6 +49,10 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Metric series window.
     pub window: SimDuration,
+    /// Locality shards the engine runs on (worker threads). Results
+    /// are bit-identical for every value; values above the number of
+    /// localities are clamped.
+    pub shards: usize,
 }
 
 impl Default for SystemConfig {
@@ -60,6 +64,7 @@ impl Default for SystemConfig {
             flower: FlowerConfig::default(),
             seed: 42,
             window: SimDuration::from_mins(30),
+            shards: 1,
         }
     }
 }
@@ -93,6 +98,7 @@ impl SystemConfig {
             flower: FlowerConfig::fast_test(),
             seed: 42,
             window: SimDuration::from_mins(1),
+            shards: 1,
         }
     }
 }
@@ -218,7 +224,7 @@ impl FlowerSystem {
         let mut state_by_node: HashMap<NodeId, Box<dyn crate::substrate::DhtSubstrate>> =
             members.iter().map(|m| m.node).zip(states).collect();
 
-        let deployment = Rc::new(Deployment {
+        let deployment = Arc::new(Deployment {
             cfg: cfg.flower.clone(),
             catalog: Catalog::new(cfg.catalog.clone()),
             scheme,
@@ -239,16 +245,22 @@ impl FlowerSystem {
             .map(|n| {
                 if let Some((ws, loc)) = dir_of_node.get(&n) {
                     let st = state_by_node.remove(&n).expect("dir has substrate state");
-                    FlowerNode::directory(Rc::clone(&deployment), *ws, *loc, st)
+                    FlowerNode::directory(Arc::clone(&deployment), *ws, *loc, st)
                 } else if let Some(ws) = server_of_node.get(&n) {
-                    FlowerNode::server(Rc::clone(&deployment), *ws)
+                    FlowerNode::server(Arc::clone(&deployment), *ws)
                 } else {
-                    FlowerNode::client(Rc::clone(&deployment))
+                    FlowerNode::client(Arc::clone(&deployment))
                 }
             })
             .collect();
 
-        let mut engine = Engine::with_window(topo, nodes, cfg.seed ^ 0xE6_91E, cfg.window);
+        let mut engine = Engine::with_shards(
+            topo,
+            nodes,
+            cfg.seed ^ 0xE6_91E,
+            cfg.window,
+            cfg.shards.max(1),
+        );
 
         // Arm directory timers (staggered).
         for (_, node) in dirs.iter() {
@@ -333,14 +345,19 @@ impl FlowerSystem {
         }
     }
 
-    /// Build and run to the workload horizon (plus a drain margin so
-    /// in-flight queries resolve).
+    /// Build and run to [`FlowerSystem::drain_horizon`].
     pub fn run(cfg: &SystemConfig) -> (FlowerSystem, SystemReport) {
         let mut sys = FlowerSystem::build(cfg);
-        let horizon = sys.duration + SimDuration::from_secs(30);
-        sys.engine.run_until(horizon);
+        sys.engine.run_until(sys.drain_horizon());
         let report = sys.report();
         (sys, report)
+    }
+
+    /// The standard run horizon: the workload duration plus a drain
+    /// margin so in-flight queries resolve. [`FlowerSystem::run`] and
+    /// the experiment harnesses all run to this instant.
+    pub fn drain_horizon(&self) -> SimTime {
+        self.duration + SimDuration::from_secs(30)
     }
 
     /// Advance the simulation to `t`.

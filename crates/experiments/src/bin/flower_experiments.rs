@@ -1,74 +1,124 @@
 //! Command-line driver regenerating every table and figure of the
-//! Flower-CDN paper (§6).
+//! Flower-CDN paper (§6), plus the engine-scaling sweep.
 //!
 //! ```text
 //! flower-experiments <experiment> [--scale <f|full>] [--seed <n>]
-//!                    [--substrate <chord|pastry>] [--csv-dir <dir>]
+//!                    [--substrate <chord|pastry>] [--shards <n>]
+//!                    [--csv-dir <dir>] [--bench-out <file>]
 //!
 //! experiments:
 //!   table2a | table2b | table2c | push-threshold
 //!   fig5 | fig6 | fig7 | fig8
 //!   churn | ablation | replication | cache | substrates | all
+//!   scale [--nodes <a,b,..>] [--shard-sweep <a,b,..>] [--horizon-secs <s>]
 //! ```
 //!
 //! `--scale 0.1` simulates 2.4 h instead of 24 h (protocol periods
 //! scale along); `--scale full` is the paper's exact setup.
 //! `--substrate pastry` runs the D-ring over Pastry instead of Chord
 //! (§3.1 portability; `substrates` compares the two side by side).
+//! `--shards N` runs the simulation engine on N locality shards
+//! (worker threads); results are bit-identical for every N.
+//! `scale` sweeps node counts × shard counts and reports events/sec,
+//! wall time and peak queue depth; `--bench-out BENCH_engine.json`
+//! writes all engine measurements machine-readably.
 
 use std::io::Write;
 
-use experiments::exps::{self, ExpOutput};
+use experiments::exps::{self, ExpOutput, ScaleParams};
+use experiments::report::{bench_json, BenchRecord};
 use experiments::runner::RunScale;
 use experiments::SubstrateKind;
+use simnet::SimDuration;
 
 struct Args {
     cmd: String,
     scale: RunScale,
     seed: u64,
     substrate: SubstrateKind,
+    shards: usize,
     csv_dir: Option<String>,
+    bench_out: Option<String>,
+    scale_nodes: Vec<usize>,
+    scale_shards: Vec<usize>,
+    horizon_secs: u64,
+}
+
+fn parse_list(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad list entry {p:?}"))
+        })
+        .collect()
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().ok_or_else(usage)?;
-    let mut scale = RunScale::Scaled(0.1);
-    let mut seed = 42u64;
-    let mut substrate = SubstrateKind::Chord;
-    let mut csv_dir = None;
+    let mut out = Args {
+        cmd,
+        scale: RunScale::Scaled(0.1),
+        seed: 42,
+        substrate: SubstrateKind::Chord,
+        shards: 1,
+        csv_dir: None,
+        bench_out: None,
+        scale_nodes: vec![10_000, 50_000, 100_000],
+        scale_shards: vec![1, 2, 4, 8],
+        horizon_secs: 60,
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
-                scale = RunScale::parse(&v)?;
+                out.scale = RunScale::parse(&v)?;
             }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
-                seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+                out.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
             }
             "--substrate" => {
                 let v = args.next().ok_or("--substrate needs a value")?;
-                substrate = SubstrateKind::parse(&v)?;
+                out.substrate = SubstrateKind::parse(&v)?;
+            }
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a value")?;
+                out.shards = v.parse().map_err(|_| format!("bad shard count {v:?}"))?;
+                if out.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
             }
             "--csv-dir" => {
-                csv_dir = Some(args.next().ok_or("--csv-dir needs a value")?);
+                out.csv_dir = Some(args.next().ok_or("--csv-dir needs a value")?);
+            }
+            "--bench-out" => {
+                out.bench_out = Some(args.next().ok_or("--bench-out needs a value")?);
+            }
+            "--nodes" => {
+                let v = args.next().ok_or("--nodes needs a value")?;
+                out.scale_nodes = parse_list(&v)?;
+            }
+            "--shard-sweep" => {
+                let v = args.next().ok_or("--shard-sweep needs a value")?;
+                out.scale_shards = parse_list(&v)?;
+            }
+            "--horizon-secs" => {
+                let v = args.next().ok_or("--horizon-secs needs a value")?;
+                out.horizon_secs = v.parse().map_err(|_| format!("bad horizon {v:?}"))?;
             }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
-    Ok(Args {
-        cmd,
-        scale,
-        seed,
-        substrate,
-        csv_dir,
-    })
+    Ok(out)
 }
 
 fn usage() -> String {
-    "usage: flower-experiments <table2a|table2b|table2c|push-threshold|fig5|fig6|fig7|fig8|churn|ablation|replication|cache|substrates|all> \
-     [--scale <f|full>] [--seed <n>] [--substrate <chord|pastry>] [--csv-dir <dir>]"
+    "usage: flower-experiments <table2a|table2b|table2c|push-threshold|fig5|fig6|fig7|fig8|churn|ablation|replication|cache|substrates|scale|all> \
+     [--scale <f|full>] [--seed <n>] [--substrate <chord|pastry>] [--shards <n>] \
+     [--csv-dir <dir>] [--bench-out <file>] \
+     [--nodes <a,b,..>] [--shard-sweep <a,b,..>] [--horizon-secs <s>]"
         .to_string()
 }
 
@@ -99,13 +149,10 @@ fn main() {
     let scale = args.scale;
     let seed = args.seed;
     let substrate = args.substrate;
+    let shards = args.shards;
     eprintln!(
-        "# running {} at scale {:?} seed {} over {} ({} simulated hours)",
-        args.cmd,
-        scale,
-        seed,
-        substrate,
-        24.0 * scale.factor()
+        "# running {} at scale {:?} seed {} over {} with {} shard(s)",
+        args.cmd, scale, seed, substrate, shards
     );
     let t0 = std::time::Instant::now();
     let mut failed = false;
@@ -114,34 +161,36 @@ fn main() {
     match args.cmd.as_str() {
         "all" => {
             for name in ["table2a", "table2b", "table2c", "push-threshold", "fig5"] {
-                outputs.push((name.to_string(), run_one(name, scale, seed, substrate)));
+                outputs.push((name.to_string(), run_one(name, &args)));
             }
-            let (fsys, ssys) = exps::comparison_pair(scale, seed, substrate);
+            let (fsys, ssys) = exps::comparison_pair(scale, seed, substrate, shards);
             outputs.push(("fig6".into(), exps::fig6(&fsys, &ssys)));
             outputs.push(("fig7".into(), exps::fig7(&fsys, &ssys)));
             outputs.push(("fig8".into(), exps::fig8(&fsys, &ssys)));
             drop((fsys, ssys));
-            outputs.push(("churn".into(), run_one("churn", scale, seed, substrate)));
-            outputs.push((
-                "ablation".into(),
-                run_one("ablation", scale, seed, substrate),
-            ));
-            outputs.push((
-                "replication".into(),
-                run_one("replication", scale, seed, substrate),
-            ));
-            outputs.push(("cache".into(), run_one("cache", scale, seed, substrate)));
-            outputs.push((
-                "substrates".into(),
-                run_one("substrates", scale, seed, substrate),
-            ));
+            for name in ["churn", "ablation", "replication", "cache", "substrates"] {
+                outputs.push((name.to_string(), run_one(name, &args)));
+            }
         }
-        name => outputs.push((name.to_string(), run_one(name, scale, seed, substrate))),
+        name => outputs.push((name.to_string(), run_one(name, &args))),
     }
 
+    let mut bench: Vec<BenchRecord> = Vec::new();
     for (name, out) in &outputs {
         failed |= !out.all_passed();
         emit(name, out, &args.csv_dir);
+        bench.extend(out.bench.iter().cloned());
+    }
+    if let Some(path) = &args.bench_out {
+        let host = format!(
+            "{} cpus, {}",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(0),
+            std::env::consts::ARCH
+        );
+        std::fs::write(path, bench_json(&host, &bench)).expect("write bench json");
+        eprintln!("wrote {path} ({} records)", bench.len());
     }
     eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
     if failed {
@@ -149,26 +198,33 @@ fn main() {
     }
 }
 
-fn run_one(name: &str, scale: RunScale, seed: u64, substrate: SubstrateKind) -> ExpOutput {
+fn run_one(name: &str, args: &Args) -> ExpOutput {
+    let (scale, seed, substrate, shards) = (args.scale, args.seed, args.substrate, args.shards);
     match name {
-        "table2a" => exps::table2a(scale, seed, substrate),
-        "table2b" => exps::table2b(scale, seed, substrate),
-        "table2c" => exps::table2c(scale, seed, substrate),
-        "push-threshold" => exps::push_threshold(scale, seed, substrate),
-        "fig5" => exps::fig5(scale, seed, substrate),
+        "table2a" => exps::table2a(scale, seed, substrate, shards),
+        "table2b" => exps::table2b(scale, seed, substrate, shards),
+        "table2c" => exps::table2c(scale, seed, substrate, shards),
+        "push-threshold" => exps::push_threshold(scale, seed, substrate, shards),
+        "fig5" => exps::fig5(scale, seed, substrate, shards),
         "fig6" | "fig7" | "fig8" => {
-            let (fsys, ssys) = exps::comparison_pair(scale, seed, substrate);
+            let (fsys, ssys) = exps::comparison_pair(scale, seed, substrate, shards);
             match name {
                 "fig6" => exps::fig6(&fsys, &ssys),
                 "fig7" => exps::fig7(&fsys, &ssys),
                 _ => exps::fig8(&fsys, &ssys),
             }
         }
-        "churn" => exps::churn(scale, seed, substrate),
-        "ablation" => exps::ablation(scale, seed, substrate),
-        "replication" => exps::replication(scale, seed, substrate),
-        "cache" => exps::cache_pressure(scale, seed, substrate),
-        "substrates" => exps::substrates(scale, seed),
+        "churn" => exps::churn(scale, seed, substrate, shards),
+        "ablation" => exps::ablation(scale, seed, substrate, shards),
+        "replication" => exps::replication(scale, seed, substrate, shards),
+        "cache" => exps::cache_pressure(scale, seed, substrate, shards),
+        "substrates" => exps::substrates(scale, seed, shards),
+        "scale" => exps::scale(&ScaleParams {
+            nodes: args.scale_nodes.clone(),
+            shards: args.scale_shards.clone(),
+            horizon: SimDuration::from_secs(args.horizon_secs),
+            seed,
+        }),
         other => {
             eprintln!("unknown experiment {other:?}\n{}", usage());
             std::process::exit(2);

@@ -1,4 +1,5 @@
-//! Plain-text table and CSV rendering for experiment output.
+//! Plain-text table, CSV and benchmark-JSON rendering for experiment
+//! output.
 
 use std::fmt::Write as _;
 
@@ -96,6 +97,62 @@ impl Table {
     }
 }
 
+/// One engine-performance measurement, emitted into
+/// `BENCH_engine.json` so the perf trajectory of the simulator is
+/// tracked from PR to PR.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// The experiment (or sweep cell) the measurement belongs to.
+    pub experiment: String,
+    /// Underlay nodes simulated.
+    pub nodes: usize,
+    /// Engine shards (worker threads) used.
+    pub shards: usize,
+    /// Wall-clock seconds of the run (simulation only, build
+    /// excluded).
+    pub wall_s: f64,
+    /// Events the engine dispatched.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// High-water mark of any shard's event-queue length.
+    pub peak_queue_depth: usize,
+    /// Simulated milliseconds covered by the run.
+    pub sim_ms: u64,
+}
+
+/// Render benchmark records as the `BENCH_engine.json` document
+/// (hand-rolled: the build environment has no serde).
+pub fn bench_json(host: &str, records: &[BenchRecord]) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"flower-cdn/bench-engine/v1\",");
+    let _ = writeln!(out, "  \"host\": \"{}\",", esc(host));
+    let _ = writeln!(out, "  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"experiment\": \"{}\", \"nodes\": {}, \"shards\": {}, \
+             \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \
+             \"peak_queue_depth\": {}, \"sim_ms\": {}}}{}",
+            esc(&r.experiment),
+            r.nodes,
+            r.shards,
+            r.wall_s,
+            r.events,
+            r.events_per_sec,
+            r.peak_queue_depth,
+            r.sim_ms,
+            comma
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
 /// Format a float with 3 decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -147,5 +204,38 @@ mod tests {
         assert_eq!(f3(0.8571), "0.857");
         assert_eq!(f1(74.26), "74.3");
         assert_eq!(pct(0.87), "87.0%");
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let records = vec![
+            BenchRecord {
+                experiment: "scale".into(),
+                nodes: 20_000,
+                shards: 2,
+                wall_s: 1.5,
+                events: 3_000_000,
+                events_per_sec: 2_000_000.0,
+                peak_queue_depth: 1234,
+                sim_ms: 60_000,
+            },
+            BenchRecord {
+                experiment: "fig\"5".into(),
+                nodes: 5000,
+                shards: 1,
+                wall_s: 0.25,
+                events: 100,
+                events_per_sec: 400.0,
+                peak_queue_depth: 7,
+                sim_ms: 1000,
+            },
+        ];
+        let json = bench_json("test-host", &records);
+        assert!(json.contains("\"schema\": \"flower-cdn/bench-engine/v1\""));
+        assert!(json.contains("\"nodes\": 20000"));
+        assert!(json.contains("\"events_per_sec\": 2000000.0"));
+        assert!(json.contains("fig\\\"5"), "quotes must be escaped");
+        // Exactly one trailing comma between the two records.
+        assert_eq!(json.matches("},\n").count(), 1);
     }
 }

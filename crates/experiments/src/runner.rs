@@ -11,6 +11,8 @@ use flower_core::{FlowerConfig, FlowerSystem, SubstrateKind, SystemConfig, Syste
 use simnet::SimDuration;
 use squirrel::{SquirrelConfig, SquirrelReport, SquirrelSystem};
 
+use crate::report::BenchRecord;
+
 /// How much of the 24-hour experiment to simulate.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum RunScale {
@@ -55,18 +57,25 @@ impl RunScale {
 /// The paper-scale Flower-CDN configuration at a given time scale,
 /// with the D-ring on `substrate` (every paper experiment runs over
 /// either DHT from config alone; the paper's own evaluation simulates
-/// Chord).
+/// Chord) and the engine on `shards` locality shards (bit-identical
+/// results for every shard count).
 ///
 /// Time-like protocol parameters (`Tgossip`, keepalive, `Tdead` ticks
 /// stay ratio-identical because the tick period scales) shrink with
 /// the scale so convergence dynamics match the full run's shape.
-pub fn flower_config(scale: RunScale, seed: u64, substrate: SubstrateKind) -> SystemConfig {
+pub fn flower_config(
+    scale: RunScale,
+    seed: u64,
+    substrate: SubstrateKind,
+    shards: usize,
+) -> SystemConfig {
     let mut cfg = SystemConfig::paper();
     cfg.seed = seed;
     cfg.workload.duration_ms = scale.scale_duration(SimDuration::from_hours(24)).as_ms();
     cfg.flower = scale_flower(&cfg.flower, scale);
     cfg.flower.substrate = substrate;
     cfg.window = scale.scale_duration(SimDuration::from_mins(30));
+    cfg.shards = shards.max(1);
     cfg
 }
 
@@ -82,12 +91,13 @@ pub fn scale_flower(base: &FlowerConfig, scale: RunScale) -> FlowerConfig {
 }
 
 /// The matching Squirrel configuration (same topology, catalog,
-/// workload, seed).
-pub fn squirrel_config(scale: RunScale, seed: u64) -> SquirrelConfig {
+/// workload, seed, shard count).
+pub fn squirrel_config(scale: RunScale, seed: u64, shards: usize) -> SquirrelConfig {
     let mut cfg = SquirrelConfig::paper();
     cfg.seed = seed;
     cfg.workload.duration_ms = scale.scale_duration(SimDuration::from_hours(24)).as_ms();
     cfg.window = scale.scale_duration(SimDuration::from_mins(30));
+    cfg.shards = shards.max(1);
     cfg
 }
 
@@ -95,6 +105,34 @@ pub fn squirrel_config(scale: RunScale, seed: u64) -> SquirrelConfig {
 /// its report.
 pub fn run_flower(cfg: &SystemConfig) -> (FlowerSystem, SystemReport) {
     FlowerSystem::run(cfg)
+}
+
+/// As [`run_flower`], additionally measuring the engine: wall-clock of
+/// the simulation itself (build excluded), events/second and peak
+/// queue depth, packaged as a [`BenchRecord`] for `BENCH_engine.json`.
+pub fn run_flower_timed(
+    cfg: &SystemConfig,
+    experiment: &str,
+) -> (FlowerSystem, SystemReport, BenchRecord) {
+    let mut sys = FlowerSystem::build(cfg);
+    let horizon = sys.drain_horizon();
+    let t0 = std::time::Instant::now();
+    sys.run_until(horizon);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let report = sys.report();
+    let engine = sys.engine();
+    let events = engine.events_processed();
+    let record = BenchRecord {
+        experiment: experiment.to_string(),
+        nodes: cfg.topology.nodes,
+        shards: engine.num_shards(),
+        wall_s,
+        events,
+        events_per_sec: events as f64 / wall_s.max(1e-9),
+        peak_queue_depth: engine.peak_queue_depth(),
+        sim_ms: horizon.as_ms(),
+    };
+    (sys, report, record)
 }
 
 /// Run Squirrel likewise.
@@ -117,8 +155,8 @@ mod tests {
 
     #[test]
     fn substrate_choice_is_config_only() {
-        let chord = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Chord);
-        let pastry = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Pastry);
+        let chord = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Chord, 1);
+        let pastry = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Pastry, 1);
         assert_eq!(chord.flower.substrate, SubstrateKind::Chord);
         assert_eq!(pastry.flower.substrate, SubstrateKind::Pastry);
         assert_eq!(chord.workload.duration_ms, pastry.workload.duration_ms);
@@ -126,9 +164,22 @@ mod tests {
     }
 
     #[test]
+    fn shards_flow_into_the_configs() {
+        let f = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Chord, 4);
+        assert_eq!(f.shards, 4);
+        let s = squirrel_config(RunScale::Scaled(0.1), 1, 4);
+        assert_eq!(s.shards, 4);
+        // 0 is normalized to 1.
+        assert_eq!(
+            flower_config(RunScale::Full, 1, SubstrateKind::Chord, 0).shards,
+            1
+        );
+    }
+
+    #[test]
     fn scaled_config_shrinks_time_not_space() {
-        let full = flower_config(RunScale::Full, 1, SubstrateKind::Chord);
-        let tenth = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Chord);
+        let full = flower_config(RunScale::Full, 1, SubstrateKind::Chord, 1);
+        let tenth = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Chord, 1);
         assert_eq!(tenth.topology.nodes, full.topology.nodes);
         assert_eq!(tenth.catalog.num_websites, full.catalog.num_websites);
         assert_eq!(tenth.workload.duration_ms, full.workload.duration_ms / 10);

@@ -1,31 +1,74 @@
 //! The protocol engine: message delivery with link latency, timers,
-//! failure signalling, traffic accounting, and churn.
+//! failure signalling, traffic accounting, churn — and locality-based
+//! sharding for deterministic parallel execution.
 //!
 //! Protocols are written as message-driven state machines: a node type
 //! implements [`Node`] for a protocol-specific message enum `M`
 //! implementing [`Message`]. All interaction with the outside world
 //! goes through [`Ctx`] — sending messages, arming timers, reading the
-//! clock/topology, and recording metrics — which keeps the protocol
-//! logic purely deterministic and unit-testable.
+//! clock/topology, drawing from the node's private RNG stream, and
+//! recording metrics — which keeps the protocol logic purely
+//! deterministic and unit-testable.
 //!
-//! Failure model: messages to a node that is *down* are dropped, and
-//! the sender receives an [`Event::Undeliverable`] notification one
-//! round trip later (modelling a connection-refused error). This is
-//! what drives the paper's redirection-failure handling (§5.1) and
+//! ## Sharded execution model
+//!
+//! The engine partitions nodes by network locality into `K` shards
+//! ([`Topology::shard_map`]). Each shard owns its nodes, an event
+//! queue, a clock, per-node RNG streams and a private copy of every
+//! statistics accumulator, and runs on its own thread. Shards
+//! synchronize with a *conservative epoch barrier*: the epoch length
+//! is the topology's lookahead ([`Topology::cross_locality_lookahead`]
+//! — a guaranteed lower bound on every cross-locality link latency),
+//! so a message sent during one epoch can only be due in a *later*
+//! epoch and can safely be handed to its destination shard at the
+//! barrier in between.
+//!
+//! Determinism does not come from the barrier alone but from the event
+//! ordering: every event carries an [`EventKey`] `(time, source
+//! stream, per-stream seq)` that is independent of the shard layout
+//! (see [`crate::event`]). Each shard processes its events in key
+//! order; since shards share no mutable state within an epoch and all
+//! cross-shard effects are exchanged at barriers under the lookahead
+//! guarantee, a run is equivalent to the sequential execution in
+//! global key order — **bit-identical for any shard count, including
+//! `K = 1`** (which skips threads and barriers entirely).
+//!
+//! Liveness (`up`) flags are replicated per shard and updated by
+//! broadcasting the externally scheduled churn events to every shard,
+//! so the bounce decision for a wire message never reads another
+//! shard's state.
+//!
+//! ## Randomness
+//!
+//! There is no engine-global RNG: node `n` draws from its own
+//! `StdRng` seeded with `hash(seed, n)` ([`node_stream_seed`]), so the
+//! stream a node observes does not depend on what other nodes —
+//! possibly on other shards — consumed.
+//!
+//! ## Failure model
+//!
+//! Messages to a node that is *down* are dropped, and the sender
+//! receives an [`Event::Undeliverable`] notification one round trip
+//! later (modelling a connection-refused error). This is what drives
+//! the paper's redirection-failure handling (§5.1) and
 //! directory-failure detection (§5.2) without a global liveness
 //! oracle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::event::EventQueue;
+use crate::event::{EventKey, EventQueue};
 use crate::stats::{QueryStats, TimeSeries, Traffic, TrafficClass};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{Locality, NodeId, Topology};
 
 /// A simulated wire message: every protocol message reports its size
 /// in bytes (for the paper's bandwidth metric) and its traffic class.
-pub trait Message: std::fmt::Debug {
+/// Messages cross shard threads, hence the `Send` bound.
+pub trait Message: std::fmt::Debug + Send {
     /// Modelled serialized size in bytes.
     fn wire_size(&self) -> u32;
     /// Classification for traffic accounting.
@@ -63,8 +106,10 @@ pub enum Event<M> {
     NodeUp,
 }
 
-/// A protocol state machine bound to one simulated node.
-pub trait Node<M: Message> {
+/// A protocol state machine bound to one simulated node. Nodes are
+/// owned by exactly one shard but shards run on worker threads, hence
+/// the `Send` bound.
+pub trait Node<M: Message>: Send {
     /// Handle one event. Use `ctx` to send messages, arm timers and
     /// record metrics.
     fn on_event(&mut self, ctx: &mut Ctx<'_, M>, ev: Event<M>);
@@ -136,7 +181,9 @@ impl<'a, M> Ctx<'a, M> {
         self.topo.latency_ms(a, b)
     }
 
-    /// Deterministic RNG shared by the whole simulation.
+    /// This node's private deterministic RNG stream, seeded from
+    /// `(seed, node_id)` — independent of every other node's draws and
+    /// of the shard layout.
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
@@ -151,20 +198,68 @@ impl<'a, M> Ctx<'a, M> {
         self.out.push(Action::Timer { delay, kind, tag });
     }
 
-    /// The paper's query metrics sink.
-    pub fn query_stats(&mut self) -> &mut QueryStats {
-        self.query_stats
+    /// The paper's query metrics sink. Record-only by construction
+    /// ([`QuerySink`]): the engine keeps one accumulator per shard and
+    /// merges them at read time, so letting a protocol read partial
+    /// metrics back would make behaviour depend on the shard layout —
+    /// the facade makes that a compile error rather than a doc rule.
+    pub fn query_stats(&mut self) -> QuerySink<'_> {
+        QuerySink {
+            stats: self.query_stats,
+        }
     }
 
     /// Record an application gauge sample (e.g. participant count,
     /// server load) into a named windowed series.
+    ///
+    /// Values must be integer-valued: per-shard window sums are merged
+    /// at read time, and only exactly-representable additions keep the
+    /// merged totals bit-identical across shard layouts.
     pub fn gauge(&mut self, name: &'static str, value: f64) {
+        debug_assert!(
+            value == value.trunc() && value.abs() <= 9_007_199_254_740_992.0,
+            "gauge values must be integer-valued (≤2^53) so per-shard window \
+             sums merge exactly across shard layouts; got {value}"
+        );
         self.gauges.record(self.now, name, value);
     }
 }
 
+/// Record-only facade over a shard's [`QueryStats`], handed out by
+/// [`Ctx::query_stats`]. Exposes exactly the recording entry points —
+/// no read access, so protocol behaviour cannot depend on a shard's
+/// partial view of the merged metrics.
+pub struct QuerySink<'a> {
+    stats: &'a mut QueryStats,
+}
+
+impl QuerySink<'_> {
+    /// Note a query submission.
+    pub fn on_submit(&mut self) {
+        self.stats.on_submit();
+    }
+
+    /// Record a resolved query (see [`QueryStats::on_resolved`]).
+    pub fn on_resolved(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        lookup_ms: u64,
+        transfer_ms: u64,
+        served_by: crate::stats::ServedBy,
+    ) {
+        self.stats
+            .on_resolved(at, node, lookup_ms, transfer_ms, served_by);
+    }
+
+    /// Note a redirection failure (stale directory entry; Sec. 5.1).
+    pub fn on_redirection_failure(&mut self) {
+        self.stats.on_redirection_failure();
+    }
+}
+
 /// Named application-level time series (gauges).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct GaugeSet {
     window: SimDuration,
     series: std::collections::HashMap<&'static str, TimeSeries>,
@@ -190,7 +285,42 @@ impl GaugeSet {
     pub fn get(&self, name: &'static str) -> Option<&TimeSeries> {
         self.series.get(name)
     }
+
+    /// Fold another shard's gauges into this one (per-name series
+    /// merge; commutative, so the shard iteration order is
+    /// irrelevant).
+    pub fn merge_from(&mut self, other: &GaugeSet) {
+        for (name, series) in &other.series {
+            match self.series.entry(name) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge_from(series)
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(series.clone());
+                }
+            }
+        }
+    }
 }
+
+/// The per-node RNG stream id: a SplitMix64-style mix of the master
+/// seed and the node id. Every node draws from an independent
+/// deterministic stream, so its randomness does not depend on the
+/// event interleaving with other nodes (or on the shard layout).
+pub fn node_stream_seed(seed: u64, node: NodeId) -> u64 {
+    let mut z = seed ^ (node.0 as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// External injections use source stream 0 of the [`EventKey`] space;
+/// node `n` emits on stream `n + 1`.
+const EXTERNAL_STREAM: u64 = 0;
+
+/// A keyed event staged for another shard (one entry of an
+/// outbox/inbox batch exchanged at the epoch barrier).
+type Staged<M> = (EventKey, Pending<M>);
 
 /// Internal queue payload.
 #[derive(Debug)]
@@ -211,50 +341,309 @@ enum Pending<M> {
     ChurnUp(NodeId),
 }
 
-/// The simulation driver.
-///
-/// Owns the topology, all protocol nodes, the event queue, the clock,
-/// the RNG and all statistics. See the crate docs for an end-to-end
-/// example.
-pub struct Engine<M: Message, N: Node<M>> {
-    topo: Topology,
+/// One locality shard: a slice of the node population with its own
+/// queue, clock, RNG streams and statistics.
+struct Shard<M: Message, N: Node<M>> {
+    /// Index of this shard.
+    id: usize,
+    /// Protocol nodes owned by this shard, densely packed; the
+    /// engine's `local_idx` maps global node ids into this vector.
     nodes: Vec<N>,
+    /// Per-node RNG streams, parallel to `nodes`.
+    rngs: Vec<StdRng>,
+    /// Per-node emission counters, parallel to `nodes` (sequence
+    /// numbers of the node's [`EventKey`] stream).
+    emit_seq: Vec<u64>,
+    /// Full-size liveness map, replicated on every shard and kept in
+    /// sync by the broadcast churn events.
     up: Vec<bool>,
     queue: EventQueue<Pending<M>>,
     now: SimTime,
-    rng: StdRng,
     traffic: Traffic,
     query_stats: QueryStats,
     gauges: GaugeSet,
     events_processed: u64,
 }
 
+impl<M: Message, N: Node<M>> Shard<M, N> {
+    /// The next key on this node's emission stream, at time `at`.
+    fn emit_key(&mut self, at: SimTime, emitter: NodeId, local_idx: &[u32]) -> EventKey {
+        let li = local_idx[emitter.idx()] as usize;
+        let seq = self.emit_seq[li];
+        self.emit_seq[li] += 1;
+        EventKey {
+            at,
+            src: emitter.0 as u64 + 1,
+            seq,
+        }
+    }
+
+    /// Enqueue locally or stage for the barrier exchange.
+    fn route(
+        &mut self,
+        target: usize,
+        key: EventKey,
+        p: Pending<M>,
+        outbox: &mut [Vec<Staged<M>>],
+    ) {
+        if target == self.id {
+            self.queue.push(key, p);
+        } else {
+            outbox[target].push((key, p));
+        }
+    }
+
+    /// Process every queued event with `key.at < limit`, in key order.
+    fn run_epoch(
+        &mut self,
+        limit: SimTime,
+        topo: &Topology,
+        shard_of: &[usize],
+        local_idx: &[u32],
+        outbox: &mut [Vec<Staged<M>>],
+    ) {
+        while let Some(key) = self.queue.peek_key() {
+            if key.at >= limit {
+                break;
+            }
+            let item = self.queue.pop().expect("peeked");
+            debug_assert!(item.key.at >= self.now, "time went backwards");
+            self.now = item.key.at;
+            self.dispatch(item.payload, topo, shard_of, local_idx, outbox);
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        p: Pending<M>,
+        topo: &Topology,
+        shard_of: &[usize],
+        local_idx: &[u32],
+        outbox: &mut [Vec<Staged<M>>],
+    ) {
+        match p {
+            Pending::ChurnDown(n) => {
+                self.up[n.idx()] = false;
+            }
+            Pending::ChurnUp(n) => {
+                self.up[n.idx()] = true;
+                // Churn events are broadcast to keep every shard's
+                // liveness map current; only the owner delivers.
+                if shard_of[n.idx()] == self.id {
+                    self.deliver(n, Event::NodeUp, topo, shard_of, local_idx, outbox);
+                }
+            }
+            Pending::App { dst, ev } => {
+                if self.up[dst.idx()] {
+                    self.deliver(dst, ev, topo, shard_of, local_idx, outbox);
+                }
+                // Events to down nodes are dropped: timers die with the
+                // node; externally injected events are lost, like a user
+                // whose machine is off.
+            }
+            Pending::Wire { from, to, msg } => {
+                if self.up[to.idx()] {
+                    self.deliver(
+                        to,
+                        Event::Recv { from, msg },
+                        topo,
+                        shard_of,
+                        local_idx,
+                        outbox,
+                    );
+                } else if self.up[from.idx()] {
+                    // Bounce: the sender learns after one more one-way
+                    // latency (connection refused round trip). The
+                    // bounce is emitted on the dead destination's
+                    // stream — its shard processes the wire event, so
+                    // the counter stays deterministic.
+                    let back = topo.latency(to, from);
+                    let key = self.emit_key(self.now + back, to, local_idx);
+                    self.route(
+                        shard_of[from.idx()],
+                        key,
+                        Pending::App {
+                            dst: from,
+                            ev: Event::Undeliverable { to, msg },
+                        },
+                        outbox,
+                    );
+                }
+            }
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        dst: NodeId,
+        ev: Event<M>,
+        topo: &Topology,
+        shard_of: &[usize],
+        local_idx: &[u32],
+        outbox: &mut [Vec<Staged<M>>],
+    ) {
+        self.events_processed += 1;
+        let li = local_idx[dst.idx()] as usize;
+        let mut ctx = Ctx {
+            now: self.now,
+            id: dst,
+            topo,
+            rng: &mut self.rngs[li],
+            query_stats: &mut self.query_stats,
+            gauges: &mut self.gauges,
+            out: Vec::new(),
+        };
+        self.nodes[li].on_event(&mut ctx, ev);
+        let actions = ctx.out;
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    self.traffic
+                        .record(self.now, dst, to, msg.class(), msg.wire_size());
+                    let lat = topo.latency(dst, to);
+                    let key = self.emit_key(self.now + lat, dst, local_idx);
+                    self.route(
+                        shard_of[to.idx()],
+                        key,
+                        Pending::Wire { from: dst, to, msg },
+                        outbox,
+                    );
+                }
+                Action::Timer { delay, kind, tag } => {
+                    let key = self.emit_key(self.now + delay, dst, local_idx);
+                    self.queue.push(
+                        key,
+                        Pending::App {
+                            dst,
+                            ev: Event::Timer { kind, tag },
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Statistics accumulators merged across shards, cached between runs.
+struct Merged {
+    traffic: Traffic,
+    query_stats: QueryStats,
+    gauges: GaugeSet,
+}
+
+/// The simulation driver.
+///
+/// Owns the topology, all protocol nodes (partitioned into locality
+/// shards), the event queues, the clocks, the per-node RNG streams and
+/// all statistics. See the crate docs for an end-to-end example and
+/// the module docs for the sharded execution model.
+pub struct Engine<M: Message, N: Node<M>> {
+    topo: std::sync::Arc<Topology>,
+    shards: Vec<Shard<M, N>>,
+    /// Global node id → owning shard.
+    shard_of: Vec<usize>,
+    /// Global node id → index within the owning shard's `nodes`.
+    local_idx: Vec<u32>,
+    /// Epoch length for the conservative barrier.
+    lookahead: SimDuration,
+    now: SimTime,
+    /// Counter of the external injection stream (stream 0).
+    ext_seq: u64,
+    /// Lazily merged statistics, invalidated by every run/schedule.
+    merged: std::cell::OnceCell<Merged>,
+}
+
 impl<M: Message, N: Node<M>> Engine<M, N> {
-    /// Build an engine over `topo` with one protocol node per underlay
-    /// node and a 30-minute metric window (the paper's plots).
+    /// Build a single-shard engine over `topo` with one protocol node
+    /// per underlay node and a 30-minute metric window (the paper's
+    /// plots).
     pub fn new(topo: Topology, nodes: Vec<N>, seed: u64) -> Self {
-        Self::with_window(topo, nodes, seed, SimDuration::from_mins(30))
+        Self::with_shards(topo, nodes, seed, SimDuration::from_mins(30), 1)
     }
 
     /// As [`Engine::new`] with an explicit series window.
     pub fn with_window(topo: Topology, nodes: Vec<N>, seed: u64, window: SimDuration) -> Self {
+        Self::with_shards(topo, nodes, seed, window, 1)
+    }
+
+    /// Build an engine partitioned into (up to) `shards` locality
+    /// shards. Results are bit-identical for every value of `shards`;
+    /// values above the number of localities are clamped.
+    pub fn with_shards(
+        topo: Topology,
+        nodes: Vec<N>,
+        seed: u64,
+        window: SimDuration,
+        shards: usize,
+    ) -> Self {
         assert_eq!(
             topo.num_nodes(),
             nodes.len(),
             "one protocol node per underlay node"
         );
+        assert!(shards >= 1, "need at least one shard");
         let n = nodes.len();
+        let k = shards.min(topo.num_localities());
+        let loc_shard = topo.shard_map(k);
+        let lookahead = topo.cross_locality_lookahead();
+
+        let mut shard_of = vec![0usize; n];
+        let mut local_idx = vec![0u32; n];
+        let mut member_count = vec![0usize; k];
+        for node in topo.node_ids() {
+            let s = loc_shard[topo.locality(node).idx()];
+            shard_of[node.idx()] = s;
+            local_idx[node.idx()] = member_count[s] as u32;
+            member_count[s] += 1;
+        }
+
+        // Distribute node state and RNG streams, in global id order so
+        // the local indices assigned above line up.
+        let mut slots: Vec<Vec<N>> = member_count
+            .iter()
+            .map(|c| Vec::with_capacity(*c))
+            .collect();
+        let mut rng_slots: Vec<Vec<StdRng>> = member_count
+            .iter()
+            .map(|c| Vec::with_capacity(*c))
+            .collect();
+        for (i, state) in nodes.into_iter().enumerate() {
+            let s = shard_of[i];
+            slots[s].push(state);
+            rng_slots[s].push(StdRng::seed_from_u64(node_stream_seed(
+                seed,
+                NodeId(i as u32),
+            )));
+        }
+
+        let shards_vec = slots
+            .into_iter()
+            .zip(rng_slots)
+            .enumerate()
+            .map(|(id, (nodes, rngs))| Shard {
+                id,
+                emit_seq: vec![0; nodes.len()],
+                nodes,
+                rngs,
+                up: vec![true; n],
+                queue: EventQueue::new(),
+                now: SimTime::ZERO,
+                traffic: Traffic::new(n, window),
+                query_stats: QueryStats::new(window),
+                gauges: GaugeSet::new(window),
+                events_processed: 0,
+            })
+            .collect();
+
         Engine {
-            topo,
-            nodes,
-            up: vec![true; n],
-            queue: EventQueue::new(),
+            topo: std::sync::Arc::new(topo),
+            shards: shards_vec,
+            shard_of,
+            local_idx,
+            lookahead,
             now: SimTime::ZERO,
-            rng: StdRng::seed_from_u64(seed),
-            traffic: Traffic::new(n, window),
-            query_stats: QueryStats::new(window),
-            gauges: GaugeSet::new(window),
-            events_processed: 0,
+            ext_seq: 0,
+            merged: std::cell::OnceCell::new(),
         }
     }
 
@@ -268,155 +657,215 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         &self.topo
     }
 
+    /// Number of shards the engine actually runs (the requested count
+    /// clamped to the number of localities).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The epoch length of the conservative barrier.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
     /// Immutable access to a protocol node (inspection in tests and
     /// harnesses).
     pub fn node(&self, n: NodeId) -> &N {
-        &self.nodes[n.idx()]
+        &self.shards[self.shard_of[n.idx()]].nodes[self.local_idx[n.idx()] as usize]
     }
 
     /// Mutable access to a protocol node (setup in harnesses).
     pub fn node_mut(&mut self, n: NodeId) -> &mut N {
-        &mut self.nodes[n.idx()]
+        &mut self.shards[self.shard_of[n.idx()]].nodes[self.local_idx[n.idx()] as usize]
     }
 
     /// Whether `n` is currently up.
     pub fn is_up(&self, n: NodeId) -> bool {
-        self.up[n.idx()]
+        self.shards[self.shard_of[n.idx()]].up[n.idx()]
     }
 
-    /// Traffic accounting.
+    /// Traffic accounting (merged across shards).
     pub fn traffic(&self) -> &Traffic {
-        &self.traffic
+        &self.merged().traffic
     }
 
-    /// Query metrics.
+    /// Query metrics (merged across shards).
     pub fn query_stats(&self) -> &QueryStats {
-        &self.query_stats
+        &self.merged().query_stats
     }
 
-    /// Application gauges.
+    /// Application gauges (merged across shards).
     pub fn gauges(&self) -> &GaugeSet {
-        &self.gauges
+        &self.merged().gauges
     }
 
     /// Total events dispatched so far.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.shards.iter().map(|s| s.events_processed).sum()
+    }
+
+    /// High-water mark of any shard's event-queue length (the "peak
+    /// queue depth" benchmark metric).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.queue.peak_len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn merged(&self) -> &Merged {
+        self.merged.get_or_init(|| {
+            let first = &self.shards[0];
+            let mut merged = Merged {
+                traffic: first.traffic.clone(),
+                query_stats: first.query_stats.clone(),
+                gauges: first.gauges.clone(),
+            };
+            for s in &self.shards[1..] {
+                merged.traffic.merge_from(&s.traffic);
+                merged.query_stats.merge_from(&s.query_stats);
+                merged.gauges.merge_from(&s.gauges);
+            }
+            merged
+        })
+    }
+
+    /// The next key on the external injection stream.
+    fn ext_key(&mut self, at: SimTime) -> EventKey {
+        let seq = self.ext_seq;
+        self.ext_seq += 1;
+        EventKey {
+            at,
+            src: EXTERNAL_STREAM,
+            seq,
+        }
     }
 
     /// Schedule an event for `node` at absolute time `at` (external
     /// injection: workload queries, test fixtures).
     pub fn schedule_at(&mut self, at: SimTime, node: NodeId, ev: Event<M>) {
         assert!(at >= self.now, "cannot schedule in the past");
-        self.queue.push(at, Pending::App { dst: node, ev });
+        let key = self.ext_key(at);
+        let s = self.shard_of[node.idx()];
+        self.shards[s]
+            .queue
+            .push(key, Pending::App { dst: node, ev });
     }
 
     /// Schedule an event `delay` from now.
     pub fn schedule_in(&mut self, delay: SimDuration, node: NodeId, ev: Event<M>) {
-        self.queue
-            .push(self.now + delay, Pending::App { dst: node, ev });
+        self.schedule_at(self.now + delay, node, ev);
     }
 
     /// Take `node` down at time `at` (messages to it bounce, its
-    /// timers are swallowed).
+    /// timers are swallowed). Broadcast to every shard so all liveness
+    /// maps agree.
     pub fn schedule_down(&mut self, at: SimTime, node: NodeId) {
-        self.queue.push(at, Pending::ChurnDown(node));
+        let key = self.ext_key(at);
+        for s in &mut self.shards {
+            s.queue.push(key, Pending::ChurnDown(node));
+        }
     }
 
     /// Bring `node` back up at time `at`; it receives
     /// [`Event::NodeUp`].
     pub fn schedule_up(&mut self, at: SimTime, node: NodeId) {
-        self.queue.push(at, Pending::ChurnUp(node));
+        let key = self.ext_key(at);
+        for s in &mut self.shards {
+            s.queue.push(key, Pending::ChurnUp(node));
+        }
     }
 
-    /// Run until the queue is exhausted or `deadline` is reached.
+    /// Run until the queues are exhausted or `deadline` is reached
+    /// (events scheduled exactly at `deadline` are processed).
     /// Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
-        let start_count = self.events_processed;
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                break;
-            }
-            let item = self.queue.pop().expect("peeked");
-            debug_assert!(item.at >= self.now, "time went backwards");
-            self.now = item.at;
-            self.dispatch(item.payload);
+        let start: u64 = self.events_processed();
+        self.merged.take();
+        // Exclusive bound: `at <= deadline` ⇔ `at < deadline + 1 ms`.
+        let limit = deadline + SimDuration::from_ms(1);
+        if self.shards.len() == 1 {
+            let topo = &*self.topo;
+            let shard_of = &self.shard_of[..];
+            let local_idx = &self.local_idx[..];
+            let shard = &mut self.shards[0];
+            // Single shard: no epochs, no threads; every emission is
+            // local, so the outbox stays empty.
+            let mut outbox: Vec<Vec<Staged<M>>> = vec![Vec::new()];
+            shard.run_epoch(limit, topo, shard_of, local_idx, &mut outbox);
+            debug_assert!(outbox[0].is_empty());
+            shard.now = shard.now.max(deadline);
+        } else {
+            self.run_sharded(deadline, limit);
         }
         if self.now < deadline {
             self.now = deadline;
         }
-        self.events_processed - start_count
+        self.events_processed() - start
     }
 
-    fn dispatch(&mut self, p: Pending<M>) {
-        match p {
-            Pending::ChurnDown(n) => {
-                self.up[n.idx()] = false;
+    /// The parallel path: one worker thread per shard, epochs of
+    /// `lookahead` length, cross-shard messages exchanged at the
+    /// barrier between epochs. Idle stretches are skipped by starting
+    /// each epoch at the globally earliest pending event.
+    fn run_sharded(&mut self, deadline: SimTime, limit: SimTime) {
+        let k = self.shards.len();
+        let lookahead_ms = self.lookahead.as_ms().max(1);
+        let limit_ms = limit.as_ms();
+        let barrier = Barrier::new(k);
+        let inboxes: Vec<Mutex<Vec<Staged<M>>>> = (0..k).map(|_| Mutex::new(Vec::new())).collect();
+        let next_times: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let topo = &*self.topo;
+        let shard_of = &self.shard_of[..];
+        let local_idx = &self.local_idx[..];
+        let barrier = &barrier;
+        let inboxes = &inboxes[..];
+        let next_times = &next_times[..];
+        std::thread::scope(|scope| {
+            for shard in self.shards.iter_mut() {
+                scope.spawn(move || {
+                    let me = shard.id;
+                    let mut outbox: Vec<Vec<Staged<M>>> = (0..k).map(|_| Vec::new()).collect();
+                    loop {
+                        // (1) Publish my earliest pending event, then
+                        // agree on the global minimum.
+                        let next = shard.queue.peek_time().map_or(u64::MAX, |t| t.as_ms());
+                        next_times[me].store(next, Ordering::SeqCst);
+                        barrier.wait();
+                        let min_next = next_times
+                            .iter()
+                            .map(|t| t.load(Ordering::SeqCst))
+                            .min()
+                            .expect("at least one shard");
+                        if min_next >= limit_ms {
+                            // Every thread computes the same minimum,
+                            // so all exit on the same round.
+                            shard.now = shard.now.max(deadline);
+                            break;
+                        }
+                        // (2) One epoch: anything emitted at or after
+                        // `min_next` lands at `>= min_next + lookahead`
+                        // when it crosses shards, i.e. beyond this
+                        // epoch.
+                        let epoch_end =
+                            SimTime::from_ms(min_next.saturating_add(lookahead_ms).min(limit_ms));
+                        shard.run_epoch(epoch_end, topo, shard_of, local_idx, &mut outbox);
+                        for (j, batch) in outbox.iter_mut().enumerate() {
+                            if j != me && !batch.is_empty() {
+                                inboxes[j].lock().expect("inbox poisoned").append(batch);
+                            }
+                        }
+                        // (3) Barrier, then absorb what other shards
+                        // sent us; the heap re-establishes key order.
+                        barrier.wait();
+                        for (key, p) in inboxes[me].lock().expect("inbox poisoned").drain(..) {
+                            shard.queue.push(key, p);
+                        }
+                    }
+                });
             }
-            Pending::ChurnUp(n) => {
-                self.up[n.idx()] = true;
-                self.deliver(n, Event::NodeUp);
-            }
-            Pending::App { dst, ev } => {
-                if self.up[dst.idx()] {
-                    self.deliver(dst, ev);
-                }
-                // Events to down nodes are dropped: timers die with the
-                // node; externally injected events are lost, like a user
-                // whose machine is off.
-            }
-            Pending::Wire { from, to, msg } => {
-                if self.up[to.idx()] {
-                    self.deliver(to, Event::Recv { from, msg });
-                } else if self.up[from.idx()] {
-                    // Bounce: the sender learns after one more one-way
-                    // latency (connection refused round trip).
-                    let back = self.topo.latency(to, from);
-                    self.queue.push(
-                        self.now + back,
-                        Pending::App {
-                            dst: from,
-                            ev: Event::Undeliverable { to, msg },
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    fn deliver(&mut self, dst: NodeId, ev: Event<M>) {
-        self.events_processed += 1;
-        let mut ctx = Ctx {
-            now: self.now,
-            id: dst,
-            topo: &self.topo,
-            rng: &mut self.rng,
-            query_stats: &mut self.query_stats,
-            gauges: &mut self.gauges,
-            out: Vec::new(),
-        };
-        self.nodes[dst.idx()].on_event(&mut ctx, ev);
-        let actions = ctx.out;
-        for a in actions {
-            match a {
-                Action::Send { to, msg } => {
-                    self.traffic
-                        .record(self.now, dst, to, msg.class(), msg.wire_size());
-                    let lat = self.topo.latency(dst, to);
-                    self.queue
-                        .push(self.now + lat, Pending::Wire { from: dst, to, msg });
-                }
-                Action::Timer { delay, kind, tag } => {
-                    self.queue.push(
-                        self.now + delay,
-                        Pending::App {
-                            dst,
-                            ev: Event::Timer { kind, tag },
-                        },
-                    );
-                }
-            }
-        }
+        });
     }
 }
 
@@ -465,9 +914,13 @@ mod tests {
     }
 
     fn engine() -> Engine<PingMsg, Echo> {
+        engine_sharded(1)
+    }
+
+    fn engine_sharded(shards: usize) -> Engine<PingMsg, Echo> {
         let topo = crate::topology::Topology::generate(&TopologyConfig::small_test(), 5);
         let nodes = (0..topo.num_nodes()).map(|_| Echo::default()).collect();
-        Engine::new(topo, nodes, 99)
+        Engine::with_shards(topo, nodes, 99, SimDuration::from_mins(30), shards)
     }
 
     #[test]
@@ -476,16 +929,6 @@ mod tests {
         let a = NodeId(0);
         let b = NodeId(1);
         let one_way = e.topology().latency_ms(a, b);
-        e.schedule_at(
-            SimTime::ZERO,
-            a,
-            Event::Recv {
-                from: a,
-                msg: PingMsg::Ping,
-            },
-        );
-        // a "receives" a self-ping at t=0, sends Pong to itself... use b:
-        let mut e = engine();
         e.schedule_at(
             SimTime::ZERO,
             b,
@@ -528,22 +971,9 @@ mod tests {
     fn down_node_bounces_to_sender() {
         let mut e = engine();
         e.schedule_down(SimTime::ZERO, NodeId(1));
+        // Node 0 receives a Ping "from" node 1 and pongs back to the
+        // (dead) node 1; the engine must bounce the pong.
         e.schedule_at(
-            SimTime::from_ms(1),
-            NodeId(0),
-            Event::Recv {
-                from: NodeId(0),
-                msg: PingMsg::Ping,
-            },
-        );
-        // Node 0 replies Pong to itself (from==self), that's fine; instead
-        // directly test wire bounce by having node 0 ping node 1:
-        let mut e2 = engine();
-        e2.schedule_down(SimTime::ZERO, NodeId(1));
-        // Craft: node 2 receives Ping from node 1? Simpler: use a timer-
-        // free direct send: node 0 receives a Ping "from" node 1 and
-        // pongs back to the (dead) node 1.
-        e2.schedule_at(
             SimTime::from_ms(1),
             NodeId(0),
             Event::Recv {
@@ -551,13 +981,12 @@ mod tests {
                 msg: PingMsg::Ping,
             },
         );
-        e2.run_until(SimTime::from_secs(10));
+        e.run_until(SimTime::from_secs(10));
         assert_eq!(
-            e2.node(NodeId(0)).undeliverable,
+            e.node(NodeId(0)).undeliverable,
             1,
             "sender must learn of the bounce"
         );
-        let _ = e; // silence unused
     }
 
     #[test]
@@ -628,5 +1057,53 @@ mod tests {
             (e.events_processed(), e.traffic().messages())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sharded_run_matches_single_shard() {
+        let drive = |shards: usize| {
+            let mut e = engine_sharded(shards);
+            for i in 0..40u32 {
+                e.schedule_at(
+                    SimTime::from_ms(i as u64 * 13),
+                    NodeId(i % 20),
+                    Event::Recv {
+                        from: NodeId((i + 7) % 20),
+                        msg: PingMsg::Ping,
+                    },
+                );
+            }
+            e.schedule_down(SimTime::from_ms(50), NodeId(2));
+            e.schedule_up(SimTime::from_secs(2), NodeId(2));
+            e.run_until(SimTime::from_secs(20));
+            let pongs: Vec<u32> = e.topology().node_ids().map(|n| e.node(n).pongs).collect();
+            (
+                e.events_processed(),
+                e.traffic().messages(),
+                e.traffic().total_sent(TrafficClass::QueryControl),
+                pongs,
+            )
+        };
+        let reference = drive(1);
+        for shards in [2, 3] {
+            assert_eq!(drive(shards), reference, "shards={shards} diverged");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_localities() {
+        let e = engine_sharded(64);
+        assert_eq!(e.num_shards(), 3, "small_test has 3 localities");
+        assert!(e.lookahead() >= SimDuration::from_ms(1));
+    }
+
+    #[test]
+    fn per_node_rng_streams_differ() {
+        use rand::RngCore;
+        let mut a = StdRng::seed_from_u64(node_stream_seed(7, NodeId(0)));
+        let mut b = StdRng::seed_from_u64(node_stream_seed(7, NodeId(1)));
+        let mut a2 = StdRng::seed_from_u64(node_stream_seed(7, NodeId(0)));
+        assert_ne!(a.next_u64(), b.next_u64(), "streams must be independent");
+        let _ = a2.next_u64();
     }
 }

@@ -1,30 +1,54 @@
 //! The deterministic event queue.
 //!
-//! A binary heap keyed by `(time, sequence number)`. The sequence
-//! number makes ordering of same-instant events FIFO with respect to
-//! scheduling order, which in turn makes the whole simulation
-//! deterministic: two runs with the same seed process events in the
-//! same order.
+//! A binary heap keyed by [`EventKey`] — `(time, source stream,
+//! per-stream sequence number)`. The key is a *total order over all
+//! events of a run that does not depend on how the simulation is
+//! sharded*: external injections draw from one engine-wide counter
+//! (stream 0), and every event a node emits is numbered by that node's
+//! own emission counter (stream `node_id + 1`). Because each node's
+//! processing order is itself deterministic, the keys — and therefore
+//! the global event order — are identical whether the run executes on
+//! one shard or many. This is the property the engine's epoch barrier
+//! relies on for bit-identical parallel execution (see
+//! [`crate::engine`]).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// An entry in the queue: an opaque payload `T` scheduled at `at`.
-#[derive(Debug)]
-pub struct Scheduled<T> {
+/// Globally unique, shard-layout-independent ordering key of a
+/// scheduled event.
+///
+/// Ordering is lexicographic: delivery instant first, then the source
+/// stream (0 = externally injected; `n + 1` = emitted by node `n`),
+/// then the per-stream sequence number. Same-instant events from the
+/// same stream are therefore FIFO, and ties across streams resolve by
+/// stream id — deterministically, without any global insertion
+/// counter.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventKey {
     /// Delivery instant.
     pub at: SimTime,
-    /// Monotonic tie-breaker assigned by the queue.
+    /// Source stream: 0 for external injections, `node_id + 1` for
+    /// node-emitted events.
+    pub src: u64,
+    /// Sequence number within the source stream.
     pub seq: u64,
+}
+
+/// An entry in the queue: an opaque payload `T` scheduled under `key`.
+#[derive(Debug)]
+pub struct Scheduled<T> {
+    /// The ordering key (delivery instant + tie-breakers).
+    pub key: EventKey,
     /// The payload to deliver.
     pub payload: T,
 }
 
 impl<T> PartialEq for Scheduled<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<T> Eq for Scheduled<T> {}
@@ -37,12 +61,9 @@ impl<T> PartialOrd for Scheduled<T> {
 
 impl<T> Ord for Scheduled<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event (and,
-        // within an instant, the lowest sequence number) pops first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // BinaryHeap is a max-heap; invert so the smallest key (the
+        // earliest event) pops first.
+        other.key.cmp(&self.key)
     }
 }
 
@@ -50,7 +71,7 @@ impl<T> Ord for Scheduled<T> {
 #[derive(Debug)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<Scheduled<T>>,
-    next_seq: u64,
+    peak: usize,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -64,26 +85,31 @@ impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            next_seq: 0,
+            peak: 0,
         }
     }
 
-    /// Schedule `payload` for delivery at `at`. Events scheduled for
-    /// the same instant are delivered in scheduling order.
-    pub fn push(&mut self, at: SimTime, payload: T) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+    /// Schedule `payload` for delivery under `key`. The caller is
+    /// responsible for key uniqueness (the engine derives keys from
+    /// per-stream counters, which guarantees it).
+    pub fn push(&mut self, key: EventKey, payload: T) {
+        self.heap.push(Scheduled { key, payload });
+        self.peak = self.peak.max(self.heap.len());
     }
 
-    /// Remove and return the earliest event, if any.
+    /// Remove and return the event with the smallest key, if any.
     pub fn pop(&mut self) -> Option<Scheduled<T>> {
         self.heap.pop()
     }
 
     /// The delivery time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.heap.peek().map(|s| s.key.at)
+    }
+
+    /// The full key of the earliest pending event.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|s| s.key)
     }
 
     /// Number of pending events.
@@ -95,18 +121,32 @@ impl<T> EventQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// High-water mark of the queue length over the queue's lifetime
+    /// (the "peak queue depth" benchmark metric).
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn key(at_ms: u64, src: u64, seq: u64) -> EventKey {
+        EventKey {
+            at: SimTime::from_ms(at_ms),
+            src,
+            seq,
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_ms(30), "c");
-        q.push(SimTime::from_ms(10), "a");
-        q.push(SimTime::from_ms(20), "b");
+        q.push(key(30, 0, 0), "c");
+        q.push(key(10, 0, 1), "a");
+        q.push(key(20, 0, 2), "b");
         assert_eq!(q.pop().unwrap().payload, "a");
         assert_eq!(q.pop().unwrap().payload, "b");
         assert_eq!(q.pop().unwrap().payload, "c");
@@ -114,10 +154,10 @@ mod tests {
     }
 
     #[test]
-    fn same_instant_is_fifo() {
+    fn same_instant_same_stream_is_fifo() {
         let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(SimTime::from_ms(5), i);
+        for i in 0..100u64 {
+            q.push(key(5, 3, i), i);
         }
         for i in 0..100 {
             assert_eq!(q.pop().unwrap().payload, i);
@@ -125,32 +165,48 @@ mod tests {
     }
 
     #[test]
+    fn same_instant_orders_by_stream() {
+        let mut q = EventQueue::new();
+        q.push(key(5, 7, 0), "node6");
+        q.push(key(5, 0, 9), "external");
+        q.push(key(5, 2, 0), "node1");
+        assert_eq!(q.pop().unwrap().payload, "external");
+        assert_eq!(q.pop().unwrap().payload, "node1");
+        assert_eq!(q.pop().unwrap().payload, "node6");
+    }
+
+    #[test]
     fn interleaved_push_pop() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_ms(10), 1);
-        q.push(SimTime::from_ms(5), 0);
+        q.push(key(10, 0, 0), 1);
+        q.push(key(5, 0, 1), 0);
         assert_eq!(q.pop().unwrap().payload, 0);
-        q.push(SimTime::from_ms(7), 2);
+        q.push(key(7, 0, 2), 2);
         assert_eq!(q.pop().unwrap().payload, 2);
         assert_eq!(q.pop().unwrap().payload, 1);
     }
 
     #[test]
-    fn peek_and_len() {
+    fn peek_len_and_peak() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_ms(42), ());
-        q.push(SimTime::from_ms(41), ());
+        assert_eq!(q.peek_key(), None);
+        q.push(key(42, 0, 0), ());
+        q.push(key(41, 0, 1), ());
         assert_eq!(q.len(), 2);
+        assert_eq!(q.peak_len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_ms(41)));
+        q.pop();
+        q.pop();
+        assert_eq!(q.peak_len(), 2, "peak survives drains");
     }
 
     #[test]
     fn zero_time_events() {
         let mut q = EventQueue::new();
-        q.push(SimTime::ZERO, "x");
-        assert_eq!(q.pop().unwrap().at, SimTime::ZERO);
+        q.push(key(0, 0, 0), "x");
+        assert_eq!(q.pop().unwrap().key.at, SimTime::ZERO);
     }
 }
 
@@ -160,25 +216,28 @@ mod proptests {
     use proptest::prelude::*;
 
     proptest! {
-        /// The queue is a stable priority queue: popping yields times
-        /// in non-decreasing order, and equal times preserve insertion
-        /// order.
+        /// The queue is a stable priority queue over full keys:
+        /// popping yields non-decreasing keys, and within one source
+        /// stream the per-stream sequence numbers come out in order.
         #[test]
-        fn pop_order_is_sorted_and_stable(times in proptest::collection::vec(0u64..1000, 0..200)) {
+        fn pop_order_is_sorted_by_key(entries in proptest::collection::vec((0u64..1000, 0u64..4), 0..200)) {
             let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.push(SimTime::from_ms(t), i);
+            let mut seqs = [0u64; 4];
+            for (i, &(t, src)) in entries.iter().enumerate() {
+                let seq = seqs[src as usize];
+                seqs[src as usize] += 1;
+                q.push(EventKey { at: SimTime::from_ms(t), src, seq }, i);
             }
-            let mut last: Option<(SimTime, usize)> = None;
+            let mut last: Option<EventKey> = None;
+            let mut popped = 0usize;
             while let Some(s) = q.pop() {
-                if let Some((lt, li)) = last {
-                    prop_assert!(s.at >= lt);
-                    if s.at == lt {
-                        prop_assert!(s.payload > li, "FIFO violated for equal times");
-                    }
+                popped += 1;
+                if let Some(lk) = last {
+                    prop_assert!(s.key > lk, "keys must strictly increase");
                 }
-                last = Some((s.at, s.payload));
+                last = Some(s.key);
             }
+            prop_assert_eq!(popped, entries.len());
         }
     }
 }

@@ -12,7 +12,8 @@
 //!   landmark-based network localities ([`topology`]);
 //! * a generic protocol engine ([`engine::Engine`]) that delivers
 //!   messages with link latency, runs timers, accounts traffic by
-//!   class, and injects churn;
+//!   class, injects churn — and shards the simulation by locality for
+//!   parallel execution;
 //! * measurement utilities ([`stats`]): per-class traffic accounting,
 //!   fixed-width histograms (the paper's latency/distance
 //!   distributions), windowed time series (the paper's
@@ -20,8 +21,45 @@
 //!   (hit ratio, lookup latency, transfer distance, background
 //!   traffic).
 //!
-//! The whole simulation is single-threaded and fully deterministic:
-//! a run is a pure function of its configuration and RNG seed.
+//! ## Time, ordering and determinism
+//!
+//! Simulated time is a `u64` millisecond clock. Every scheduled event
+//! carries an [`event::EventKey`] `(time, source stream, per-stream
+//! sequence number)`: external injections number themselves from one
+//! engine-wide counter (stream 0), and everything node `n` emits —
+//! sends, timers, engine-generated bounces — is numbered by `n`'s own
+//! emission counter (stream `n + 1`). Events execute in ascending key
+//! order. Because the key never references *global* insertion order,
+//! the order is a pure function of the configuration and seed — it
+//! does not depend on how the simulation is partitioned or scheduled
+//! onto threads.
+//!
+//! Randomness follows the same discipline: there is no engine-global
+//! RNG. Node `n` draws from a private `StdRng` stream seeded with
+//! `hash(seed, n)` ([`engine::node_stream_seed`]), so one node's
+//! draws never perturb another's.
+//!
+//! ## Sharded parallel execution
+//!
+//! [`Engine::with_shards`] partitions the nodes by network locality
+//! into `K` shards ([`Topology::shard_map`]), each with its own event
+//! queue, clock, RNG streams and statistics, running on its own
+//! thread. Shards synchronize through a *conservative epoch barrier*:
+//! the epoch length is the topology's **lookahead**
+//! ([`Topology::cross_locality_lookahead`]), a guaranteed lower bound
+//! on every cross-locality link latency, so a cross-shard message
+//! emitted during an epoch is always due in a later epoch and can be
+//! handed over at the barrier in between. Within an epoch shards share
+//! no mutable state (liveness flags are replicated and driven by
+//! broadcast churn events), so the parallel run is equivalent to the
+//! sequential execution in global key order. Together with the
+//! layout-independent keys and per-node RNG streams this makes runs
+//! **bit-identical for every shard count, including `K = 1`** — the
+//! single-shard path simply skips threads and barriers.
+//!
+//! Statistics are accumulated per shard and merged deterministically
+//! at read time (integer counters, plus integer-valued `f64` window
+//! sums for which IEEE addition is exact); see [`stats`].
 //!
 //! ## Example
 //!
@@ -66,7 +104,8 @@ pub mod time;
 pub mod topology;
 
 pub use churn::{ChurnConfig, ChurnEvent, ChurnKind, ChurnScript};
-pub use engine::{Action, Ctx, Engine, Event, Message, Node};
+pub use engine::{node_stream_seed, Action, Ctx, Engine, Event, Message, Node, QuerySink};
+pub use event::EventKey;
 pub use stats::{Histogram, QueryStats, SeriesPoint, TimeSeries, Traffic, TrafficClass};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Locality, NodeId, Topology, TopologyConfig};

@@ -16,6 +16,17 @@
 //! windowed series), [`QueryStats`] the other three (averages,
 //! fixed-width distributions as in Figures 7(b)/8(b), and windowed
 //! series as in Figures 5–8(a)).
+//!
+//! ## Sharded accumulation
+//!
+//! The sharded engine keeps one instance of each accumulator per
+//! shard and combines them with the `merge_from` methods at read
+//! time. All counters are integers (or integer-valued `f64` sums, for
+//! which IEEE addition is exact), so the merged totals are bit-equal
+//! no matter how the simulation was partitioned. The only
+//! order-sensitive output — the cumulative hit-ratio curve — is
+//! rebuilt on demand from a per-resolution log sorted by the
+//! shard-independent `(time, node)` key.
 
 use crate::time::{SimDuration, SimTime};
 use crate::topology::NodeId;
@@ -176,6 +187,27 @@ impl Traffic {
     pub fn background_series(&self) -> &TimeSeries {
         &self.background_series
     }
+
+    /// Fold another shard's accounting into this one. Both must cover
+    /// the same node universe and window.
+    pub fn merge_from(&mut self, other: &Traffic) {
+        assert_eq!(self.sent.len(), other.sent.len(), "node universes differ");
+        for (a, b) in self.sent.iter_mut().zip(&other.sent) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
+        }
+        for (a, b) in self.recv.iter_mut().zip(&other.recv) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
+        }
+        self.background_series.merge_from(&other.background_series);
+        self.messages += other.messages;
+        for (a, b) in self.msgs_by_class.iter_mut().zip(&other.msgs_by_class) {
+            *a += *b;
+        }
+    }
 }
 
 /// A fixed-width-bucket histogram over `u64` values (milliseconds in
@@ -264,6 +296,25 @@ impl Histogram {
     pub fn bucket_width(&self) -> u64 {
         self.bucket_width
     }
+
+    /// Fold another histogram (same shape) into this one.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket widths differ"
+        );
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket counts differ"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// One reported point of a [`TimeSeries`].
@@ -336,6 +387,19 @@ impl TimeSeries {
             .collect()
     }
 
+    /// Fold another series (same window) into this one, bucket by
+    /// bucket.
+    pub fn merge_from(&mut self, other: &TimeSeries) {
+        assert_eq!(self.window, other.window, "series windows differ");
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), (0.0, 0));
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            a.0 += b.0;
+            a.1 += b.1;
+        }
+    }
+
     /// Mean value over all records in all windows.
     pub fn overall_mean(&self) -> f64 {
         let (s, c) = self
@@ -388,7 +452,10 @@ pub struct QueryStats {
     hit_series: TimeSeries,
     lookup_series: TimeSeries,
     transfer_series: TimeSeries,
-    cumulative_hit_series: Vec<(SimTime, f64)>,
+    /// One `(time, resolver, hit)` record per resolution — the raw
+    /// material of the cumulative hit-ratio curve, kept unsorted so
+    /// per-shard logs merge by concatenation.
+    resolutions: Vec<(SimTime, NodeId, bool)>,
     redirection_failures: u64,
 }
 
@@ -410,7 +477,7 @@ impl QueryStats {
             hit_series: TimeSeries::new(window),
             lookup_series: TimeSeries::new(window),
             transfer_series: TimeSeries::new(window),
-            cumulative_hit_series: Vec::new(),
+            resolutions: Vec::new(),
             redirection_failures: 0,
         }
     }
@@ -422,6 +489,9 @@ impl QueryStats {
 
     /// Record a resolved query.
     ///
+    /// * `node` — the resolving (querying) peer, used to order the
+    ///   cumulative hit-ratio curve deterministically across shard
+    ///   layouts;
     /// * `lookup_ms` — latency from submission until the provider was
     ///   identified;
     /// * `transfer_ms` — link latency between requester and provider;
@@ -429,6 +499,7 @@ impl QueryStats {
     pub fn on_resolved(
         &mut self,
         at: SimTime,
+        node: NodeId,
         lookup_ms: u64,
         transfer_ms: u64,
         served_by: ServedBy,
@@ -457,9 +528,7 @@ impl QueryStats {
                 self.transfer_hits_hist.record(transfer_ms);
             }
         }
-        let resolved = self.hits + self.misses;
-        self.cumulative_hit_series
-            .push((at, self.hits as f64 / resolved as f64));
+        self.resolutions.push((at, node, hit));
     }
 
     /// Note a redirection failure (stale directory entry; Sec. 5.1).
@@ -549,14 +618,43 @@ impl QueryStats {
     }
 
     /// Cumulative hit ratio after each resolution (smooth convergence
-    /// curve for Figure 6).
-    pub fn cumulative_hit_series(&self) -> &[(SimTime, f64)] {
-        &self.cumulative_hit_series
+    /// curve for Figure 6), rebuilt from the resolution log ordered by
+    /// `(time, resolver)` — an order that does not depend on how the
+    /// simulation was sharded.
+    pub fn cumulative_hit_series(&self) -> Vec<(SimTime, f64)> {
+        let mut log = self.resolutions.clone();
+        // Stable: same-(time, node) records keep their per-node order.
+        log.sort_by_key(|(at, node, _)| (*at, node.0));
+        let mut out = Vec::with_capacity(log.len());
+        let mut hits = 0u64;
+        for (i, (at, _, hit)) in log.into_iter().enumerate() {
+            hits += u64::from(hit);
+            out.push((at, hits as f64 / (i as u64 + 1) as f64));
+        }
+        out
     }
 
     /// Redirection failures observed (Sec. 5.1).
     pub fn redirection_failures(&self) -> u64 {
         self.redirection_failures
+    }
+
+    /// Fold another shard's query metrics into this one.
+    pub fn merge_from(&mut self, other: &QueryStats) {
+        self.submitted += other.submitted;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.local_hits += other.local_hits;
+        self.remote_hits += other.remote_hits;
+        self.lookup_hist.merge_from(&other.lookup_hist);
+        self.transfer_hist.merge_from(&other.transfer_hist);
+        self.transfer_hits_hist
+            .merge_from(&other.transfer_hits_hist);
+        self.hit_series.merge_from(&other.hit_series);
+        self.lookup_series.merge_from(&other.lookup_series);
+        self.transfer_series.merge_from(&other.transfer_series);
+        self.resolutions.extend_from_slice(&other.resolutions);
+        self.redirection_failures += other.redirection_failures;
     }
 }
 
@@ -673,9 +771,27 @@ mod tests {
         q.on_submit();
         q.on_submit();
         q.on_submit();
-        q.on_resolved(SimTime::from_secs(1), 120, 40, ServedBy::LocalOverlay);
-        q.on_resolved(SimTime::from_secs(2), 900, 300, ServedBy::OriginServer);
-        q.on_resolved(SimTime::from_secs(3), 200, 90, ServedBy::RemoteOverlay);
+        q.on_resolved(
+            SimTime::from_secs(1),
+            NodeId(1),
+            120,
+            40,
+            ServedBy::LocalOverlay,
+        );
+        q.on_resolved(
+            SimTime::from_secs(2),
+            NodeId(2),
+            900,
+            300,
+            ServedBy::OriginServer,
+        );
+        q.on_resolved(
+            SimTime::from_secs(3),
+            NodeId(3),
+            200,
+            90,
+            ServedBy::RemoteOverlay,
+        );
         assert_eq!(q.submitted(), 3);
         assert_eq!(q.resolved(), 3);
         assert!((q.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
@@ -685,6 +801,113 @@ mod tests {
         let cum = q.cumulative_hit_series();
         assert_eq!(cum.len(), 3);
         assert!((cum[2].1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_series_orders_by_time_then_node() {
+        let mut q = QueryStats::new(SimDuration::from_mins(30));
+        // Recorded out of (time, node) order on purpose.
+        q.on_resolved(
+            SimTime::from_secs(2),
+            NodeId(9),
+            10,
+            10,
+            ServedBy::OriginServer,
+        );
+        q.on_resolved(
+            SimTime::from_secs(1),
+            NodeId(5),
+            10,
+            10,
+            ServedBy::LocalOverlay,
+        );
+        q.on_resolved(
+            SimTime::from_secs(2),
+            NodeId(3),
+            10,
+            10,
+            ServedBy::LocalOverlay,
+        );
+        let cum = q.cumulative_hit_series();
+        assert_eq!(cum.len(), 3);
+        // Sorted: (1s, n5, hit), (2s, n3, hit), (2s, n9, miss).
+        assert_eq!(cum[0].0, SimTime::from_secs(1));
+        assert!((cum[0].1 - 1.0).abs() < 1e-12);
+        assert!((cum[1].1 - 1.0).abs() < 1e-12);
+        assert!((cum[2].1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_stats_equal_unsharded_stats() {
+        // Record the same observations into one accumulator and into
+        // two "shards", then merge: every metric must agree exactly.
+        let w = SimDuration::from_mins(1);
+        let obs = [
+            (1u64, NodeId(0), 120u64, 40u64, ServedBy::LocalOverlay),
+            (2, NodeId(7), 900, 300, ServedBy::OriginServer),
+            (3, NodeId(1), 200, 90, ServedBy::RemoteOverlay),
+            (3, NodeId(4), 0, 0, ServedBy::OwnCache),
+        ];
+        let mut whole = QueryStats::new(w);
+        let mut a = QueryStats::new(w);
+        let mut b = QueryStats::new(w);
+        for (i, (t, n, l, x, s)) in obs.into_iter().enumerate() {
+            whole.on_submit();
+            whole.on_resolved(SimTime::from_secs(t), n, l, x, s);
+            let half = if i % 2 == 0 { &mut a } else { &mut b };
+            half.on_submit();
+            half.on_resolved(SimTime::from_secs(t), n, l, x, s);
+        }
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        assert_eq!(merged.submitted(), whole.submitted());
+        assert_eq!(merged.resolved(), whole.resolved());
+        assert_eq!(merged.hit_ratio(), whole.hit_ratio());
+        assert_eq!(merged.mean_lookup_ms(), whole.mean_lookup_ms());
+        assert_eq!(merged.mean_transfer_ms(), whole.mean_transfer_ms());
+        assert_eq!(merged.remote_hits(), whole.remote_hits());
+        assert_eq!(
+            merged.cumulative_hit_series(),
+            whole.cumulative_hit_series()
+        );
+        let mp = merged.hit_series().points();
+        let wp = whole.hit_series().points();
+        assert_eq!(mp.len(), wp.len());
+        for (m, w) in mp.iter().zip(&wp) {
+            assert_eq!(m.count, w.count);
+            assert_eq!(m.sum, w.sum);
+        }
+
+        // Traffic merges likewise.
+        let mut t_whole = Traffic::new(4, w);
+        let mut t_a = Traffic::new(4, w);
+        let mut t_b = Traffic::new(4, w);
+        for (i, (from, to, class, bytes)) in [
+            (NodeId(0), NodeId(1), TrafficClass::Gossip, 100u32),
+            (NodeId(1), NodeId(2), TrafficClass::Push, 60),
+            (NodeId(2), NodeId(3), TrafficClass::Transfer, 900),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            t_whole.record(SimTime::from_secs(i as u64), from, to, class, bytes);
+            let half = if i % 2 == 0 { &mut t_a } else { &mut t_b };
+            half.record(SimTime::from_secs(i as u64), from, to, class, bytes);
+        }
+        t_a.merge_from(&t_b);
+        assert_eq!(t_a.messages(), t_whole.messages());
+        for n in 0..4u32 {
+            for c in TrafficClass::ALL {
+                assert_eq!(
+                    t_a.sent_bytes(NodeId(n), c),
+                    t_whole.sent_bytes(NodeId(n), c)
+                );
+                assert_eq!(
+                    t_a.recv_bytes(NodeId(n), c),
+                    t_whole.recv_bytes(NodeId(n), c)
+                );
+            }
+        }
     }
 
     #[test]

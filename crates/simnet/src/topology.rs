@@ -107,6 +107,14 @@ pub struct TopologyConfig {
     /// 1.0 region `i` has weight proportional to `i + 1` (the paper's
     /// localities are non-uniformly populated).
     pub population_skew: f64,
+    /// Minimum latency of any *cross-locality* link, in milliseconds
+    /// (0 = no extra floor beyond `min_latency_ms`). Real inter-domain
+    /// links have a higher base latency than intra-domain ones; the
+    /// floor also determines the sharded engine's epoch length
+    /// (lookahead): larger floors permit longer epochs and therefore
+    /// less synchronization between shards. See
+    /// [`Topology::cross_locality_lookahead`].
+    pub inter_locality_floor_ms: u64,
 }
 
 impl Default for TopologyConfig {
@@ -119,6 +127,7 @@ impl Default for TopologyConfig {
             cluster_spread: 0.045,
             background_fraction: 0.05,
             population_skew: 1.0,
+            inter_locality_floor_ms: 0,
         }
     }
 }
@@ -148,6 +157,7 @@ pub struct Topology {
     landmarks: Vec<Point>,
     min_latency_ms: u64,
     max_latency_ms: u64,
+    inter_floor_ms: u64,
     /// Scale factor mapping unit-square distance to milliseconds.
     ms_per_unit: f64,
     populations: Vec<u32>,
@@ -161,6 +171,10 @@ impl Topology {
         assert!(
             cfg.min_latency_ms <= cfg.max_latency_ms,
             "min latency must not exceed max latency"
+        );
+        assert!(
+            cfg.inter_locality_floor_ms <= cfg.max_latency_ms,
+            "inter-locality floor must not exceed max latency"
         );
         let mut rng = StdRng::seed_from_u64(seed ^ 0x70_70_70);
 
@@ -222,6 +236,7 @@ impl Topology {
             landmarks,
             min_latency_ms: cfg.min_latency_ms,
             max_latency_ms: cfg.max_latency_ms,
+            inter_floor_ms: cfg.inter_locality_floor_ms,
             ms_per_unit,
             populations: vec![0; k],
         };
@@ -283,13 +298,63 @@ impl Topology {
     /// One-way link latency between two nodes, in milliseconds.
     /// Symmetric, deterministic, and clamped to the configured range.
     /// The latency of a node to itself is zero (local delivery).
+    /// Cross-locality links are additionally floored at
+    /// [`Topology::cross_locality_lookahead`], which is what makes the
+    /// sharded engine's conservative epoch barrier sound.
     pub fn latency_ms(&self, a: NodeId, b: NodeId) -> u64 {
         if a == b {
             return 0;
         }
         let d = self.points[a.idx()].dist(self.points[b.idx()]);
         let ms = self.min_latency_ms as f64 + d * self.ms_per_unit;
-        (ms.round() as u64).clamp(self.min_latency_ms, self.max_latency_ms)
+        let ms = (ms.round() as u64).clamp(self.min_latency_ms, self.max_latency_ms);
+        if self.locality_of[a.idx()] != self.locality_of[b.idx()] {
+            ms.max(self.cross_floor_ms())
+        } else {
+            ms
+        }
+    }
+
+    /// The effective cross-locality latency floor: the configured
+    /// floor, at least 1 ms (so lookahead is always positive), and at
+    /// most the configured maximum latency.
+    fn cross_floor_ms(&self) -> u64 {
+        self.inter_floor_ms.clamp(1, self.max_latency_ms.max(1))
+    }
+
+    /// A guaranteed lower bound on the latency of *any* cross-locality
+    /// link: `max(min_latency, inter_locality_floor, 1)` milliseconds.
+    ///
+    /// This is the sharded engine's *lookahead*: a message sent at
+    /// simulated time `t` between nodes of different localities (and
+    /// therefore possibly different shards) can never arrive before
+    /// `t + lookahead`, so shards that synchronize every `lookahead`
+    /// milliseconds always exchange cross-shard messages a full epoch
+    /// before they are due.
+    pub fn cross_locality_lookahead(&self) -> SimDuration {
+        SimDuration::from_ms(self.min_latency_ms.max(self.cross_floor_ms()))
+    }
+
+    /// Partition the localities over `shards` shards, balancing shard
+    /// populations greedily (largest locality first onto the lightest
+    /// shard). Returns `map[locality] = shard`; the number of shards
+    /// actually used is `min(shards, k)`. Deterministic: ties resolve
+    /// by locality and shard index.
+    pub fn shard_map(&self, shards: usize) -> Vec<usize> {
+        let k = self.num_localities();
+        let s = shards.clamp(1, k);
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by_key(|&l| (std::cmp::Reverse(self.populations[l]), l));
+        let mut load = vec![0u64; s];
+        let mut map = vec![0usize; k];
+        for l in order {
+            let target = (0..s)
+                .min_by_key(|&j| (load[j], j))
+                .expect("at least one shard");
+            map[l] = target;
+            load[target] += u64::from(self.populations[l]);
+        }
+        map
     }
 
     /// One-way link latency as a [`SimDuration`].
@@ -425,6 +490,75 @@ mod tests {
     }
 
     #[test]
+    fn shard_map_partitions_and_balances() {
+        let t = Topology::generate(&TopologyConfig::default(), 3);
+        for shards in [1usize, 2, 3, 6, 10] {
+            let map = t.shard_map(shards);
+            assert_eq!(map.len(), t.num_localities());
+            let used = shards.min(t.num_localities());
+            assert!(map.iter().all(|&s| s < used), "shard index out of range");
+            // Every shard gets at least one locality when shards <= k.
+            for s in 0..used {
+                assert!(map.contains(&s), "shard {s} empty with {shards} shards");
+            }
+        }
+        // One shard maps everything to shard 0.
+        assert!(t.shard_map(1).iter().all(|&s| s == 0));
+        // Deterministic.
+        assert_eq!(t.shard_map(4), t.shard_map(4));
+    }
+
+    #[test]
+    fn cross_locality_floor_applies_only_across_localities() {
+        let cfg = TopologyConfig {
+            nodes: 200,
+            localities: 4,
+            inter_locality_floor_ms: 120,
+            ..Default::default()
+        };
+        let t = Topology::generate(&cfg, 5);
+        assert_eq!(t.cross_locality_lookahead(), SimDuration::from_ms(120));
+        let mut saw_intra_below_floor = false;
+        for a in t.node_ids() {
+            for b in t.node_ids() {
+                if a == b {
+                    continue;
+                }
+                let l = t.latency_ms(a, b);
+                if t.locality(a) != t.locality(b) {
+                    assert!(l >= 120, "cross-locality link {a}->{b} below floor: {l}");
+                } else {
+                    saw_intra_below_floor |= l < 120;
+                }
+            }
+        }
+        assert!(
+            saw_intra_below_floor,
+            "floor should not inflate intra-locality links"
+        );
+    }
+
+    #[test]
+    fn default_floor_leaves_latencies_unchanged() {
+        // With the default (0) floor the lookahead degrades to the
+        // global minimum latency, and no link is inflated.
+        let t = Topology::generate(&TopologyConfig::small_test(), 1);
+        assert_eq!(t.cross_locality_lookahead(), SimDuration::from_ms(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "floor must not exceed max latency")]
+    fn floor_above_max_rejected() {
+        let _ = Topology::generate(
+            &TopologyConfig {
+                inter_locality_floor_ms: 1000,
+                ..Default::default()
+            },
+            0,
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "at least one node")]
     fn empty_topology_rejected() {
         let _ = Topology::generate(
@@ -458,6 +592,39 @@ mod proptests {
                     if a != b {
                         let l = t.latency_ms(a, b);
                         prop_assert!((10..=500).contains(&l));
+                    }
+                }
+            }
+        }
+
+        /// The epoch barrier's correctness assumption: cross-locality
+        /// latencies are symmetric and never below the computed
+        /// lookahead, for any generated topology and floor.
+        #[test]
+        fn cross_locality_latency_at_least_lookahead(
+            seed in 0u64..500,
+            nodes in 2usize..40,
+            k in 2usize..6,
+            floor in 0u64..400,
+        ) {
+            let cfg = TopologyConfig {
+                nodes,
+                localities: k,
+                inter_locality_floor_ms: floor,
+                ..Default::default()
+            };
+            let t = Topology::generate(&cfg, seed);
+            let lookahead = t.cross_locality_lookahead().as_ms();
+            prop_assert!(lookahead >= 1, "lookahead must be positive");
+            for a in t.node_ids() {
+                for b in t.node_ids() {
+                    prop_assert_eq!(t.latency_ms(a, b), t.latency_ms(b, a));
+                    if a != b && t.locality(a) != t.locality(b) {
+                        prop_assert!(
+                            t.latency_ms(a, b) >= lookahead,
+                            "cross-locality link below lookahead: {} < {}",
+                            t.latency_ms(a, b), lookahead
+                        );
                     }
                 }
             }

@@ -12,7 +12,7 @@
 //!   finally the origin web server.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bloom::ObjectId;
 use chord::{ChordMsg, ChordOutcome, ChordState, RoutePayload, StandardPolicy, Transport};
@@ -76,7 +76,7 @@ struct Pending {
 
 /// Per-node Squirrel state machine.
 pub struct SquirrelNode {
-    shared: Rc<SquirrelDeployment>,
+    shared: Arc<SquirrelDeployment>,
     /// Ring state (participants only; servers stay outside the DHT).
     chord: Option<ChordState>,
     /// The local web cache.
@@ -119,7 +119,7 @@ impl Transport<SQuery> for CtxTransport<'_, '_> {
 
 impl SquirrelNode {
     /// A non-participant (not in the ring; servers and idle nodes).
-    pub fn bystander(shared: Rc<SquirrelDeployment>) -> Self {
+    pub fn bystander(shared: Arc<SquirrelDeployment>) -> Self {
         SquirrelNode {
             shared,
             chord: None,
@@ -132,14 +132,14 @@ impl SquirrelNode {
     }
 
     /// An origin-server node.
-    pub fn server(shared: Rc<SquirrelDeployment>, ws: WebsiteId) -> Self {
+    pub fn server(shared: Arc<SquirrelDeployment>, ws: WebsiteId) -> Self {
         let mut n = Self::bystander(shared);
         n.server_for = Some(ws);
         n
     }
 
     /// A ring participant with a pre-installed stable Chord state.
-    pub fn participant(shared: Rc<SquirrelDeployment>, chord: ChordState) -> Self {
+    pub fn participant(shared: Arc<SquirrelDeployment>, chord: ChordState) -> Self {
         let mut n = Self::bystander(shared);
         n.chord = Some(chord);
         n
@@ -182,7 +182,8 @@ impl SquirrelNode {
         if self.cache.contains(&object) {
             self.stats.self_hits += 1;
             let now = ctx.now();
-            ctx.query_stats().on_resolved(now, 0, 0, ServedBy::OwnCache);
+            ctx.query_stats()
+                .on_resolved(now, me, 0, 0, ServedBy::OwnCache);
             return;
         }
         self.pending.insert(
@@ -321,7 +322,7 @@ impl SquirrelNode {
         };
         let now = ctx.now();
         ctx.query_stats()
-            .on_resolved(now, lookup_ms, transfer_ms, served_by);
+            .on_resolved(now, me, lookup_ms, transfer_ms, served_by);
         self.cache.insert(query.object);
     }
 

@@ -3,7 +3,7 @@
 //! with every participant in a single locality-blind DHT.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use chord::PeerRef;
 use rand::rngs::StdRng;
@@ -39,6 +39,9 @@ pub struct SquirrelConfig {
     pub seed: u64,
     /// Metric series window.
     pub window: SimDuration,
+    /// Locality shards the engine runs on (worker threads); results
+    /// are bit-identical for every value.
+    pub shards: usize,
 }
 
 impl Default for SquirrelConfig {
@@ -53,6 +56,7 @@ impl Default for SquirrelConfig {
             strategy: SquirrelStrategy::Directory,
             seed: 42,
             window: SimDuration::from_mins(30),
+            shards: 1,
         }
     }
 }
@@ -187,7 +191,7 @@ impl SquirrelSystem {
             .map(|(m, s)| (m.node, s))
             .collect();
 
-        let deployment = Rc::new(SquirrelDeployment {
+        let deployment = Arc::new(SquirrelDeployment {
             catalog: Catalog::new(cfg.catalog.clone()),
             servers: servers.clone(),
             pointer_cap: cfg.pointer_cap,
@@ -204,16 +208,22 @@ impl SquirrelSystem {
             .node_ids()
             .map(|n| {
                 if let Some(st) = state_by_node.get(&n) {
-                    SquirrelNode::participant(Rc::clone(&deployment), st.clone())
+                    SquirrelNode::participant(Arc::clone(&deployment), st.clone())
                 } else if let Some(ws) = server_of_node.get(&n) {
-                    SquirrelNode::server(Rc::clone(&deployment), workload::WebsiteId(*ws))
+                    SquirrelNode::server(Arc::clone(&deployment), workload::WebsiteId(*ws))
                 } else {
-                    SquirrelNode::bystander(Rc::clone(&deployment))
+                    SquirrelNode::bystander(Arc::clone(&deployment))
                 }
             })
             .collect();
 
-        let mut engine = Engine::with_window(topo, nodes, cfg.seed ^ 0x50_13_17, cfg.window);
+        let mut engine = Engine::with_shards(
+            topo,
+            nodes,
+            cfg.seed ^ 0x50_13_17,
+            cfg.window,
+            cfg.shards.max(1),
+        );
 
         // Schedule the trace with the same originator policy as the
         // Flower harness: uniform locality, uniform community member.

@@ -95,6 +95,7 @@ fn main() {
         },
         seed: 123,
         window: flower_cdn::simnet::SimDuration::from_secs(30),
+        shards: 2,
     };
     let (sys, report) = FlowerSystem::run(&cfg);
     println!("\ncustom deployment after 5 simulated minutes ({substrate} substrate):");
