@@ -11,7 +11,7 @@ use chord::{stable_ring, ChordConfig, ChordId, PeerRef};
 use flower_core::id::KeyScheme;
 use flower_core::policy::DringPolicy;
 use gossip::{View, ViewEntry};
-use simnet::{NodeId, SimTime};
+use simnet::{EventQueueKind, NodeId, SimTime};
 use workload::Zipf;
 
 fn bench_bloom(c: &mut Criterion) {
@@ -138,24 +138,56 @@ fn bench_workload(c: &mut Criterion) {
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("simnet");
-    g.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = simnet::event::EventQueue::new();
-            for i in 0..1000u64 {
+    for kind in [EventQueueKind::Calendar, EventQueueKind::Heap] {
+        // Bulk fill-then-drain.
+        g.bench_function(format!("event_queue_{kind}_push_pop_1k"), |b| {
+            b.iter(|| {
+                let mut q = simnet::event::EventQueue::with_kind(kind);
+                for i in 0..1000u64 {
+                    let key = simnet::EventKey {
+                        at: SimTime::from_ms((i * 7919) % 1000),
+                        src: i % 7,
+                        seq: i,
+                    };
+                    q.push(key, i);
+                }
+                let mut n = 0;
+                while q.pop().is_some() {
+                    n += 1;
+                }
+                n
+            })
+        });
+        // Steady-state hold pattern (the engine's actual profile): a
+        // deep standing population with pop-one/push-one cycles — the
+        // regime where the calendar's O(1) beats the heap's O(log n).
+        g.bench_function(format!("event_queue_{kind}_hold_16k"), |b| {
+            let mut q = simnet::event::EventQueue::with_kind(kind);
+            let mut seq = 0u64;
+            for _ in 0..16_384u64 {
                 let key = simnet::EventKey {
-                    at: SimTime::from_ms((i * 7919) % 1000),
-                    src: i % 7,
-                    seq: i,
+                    at: SimTime::from_ms((seq * 211) % 10_000),
+                    src: seq % 31,
+                    seq,
                 };
-                q.push(key, i);
+                q.push(key, seq);
+                seq += 1;
             }
-            let mut n = 0;
-            while q.pop().is_some() {
-                n += 1;
-            }
-            n
-        })
-    });
+            b.iter(|| {
+                let (k, _) = q.pop().expect("standing population");
+                q.push(
+                    simnet::EventKey {
+                        at: k.at + simnet::SimDuration::from_ms((seq * 97) % 500),
+                        src: seq % 31,
+                        seq,
+                    },
+                    seq,
+                );
+                seq += 1;
+                k
+            })
+        });
+    }
     g.finish();
 }
 

@@ -16,6 +16,25 @@
 //! summaries, then the origin server. The index is kept fresh by
 //! pushes and keepalives; entries whose age reaches `Tdead` are
 //! evicted (§5.1).
+//!
+//! ## Holder lookup cost
+//!
+//! The per-peer index is mirrored by an *inverted* index `object →
+//! sorted holder list`, maintained on every object insert/remove, so
+//! Algorithm 3's step 1 reads exactly the holders of the requested
+//! object instead of scanning the whole overlay (`Sco` grows with the
+//! deployment — at 100k nodes a scan per query dominated the engine
+//! profile). The only lookups the inverted index cannot answer are
+//! the gossip-summary entries of a freshly promoted §5.2 directory
+//! (exact object lists unknown until pushes rebuild them); those are
+//! counted, and the summary scan runs only while such entries exist.
+//! Note that a seeded entry keeps its summary for its lifetime —
+//! pushes add exact objects next to it but do not clear it — so a
+//! promoted directory pays the scan until its seeded members age out
+//! or are evicted. Clearing the summary on the first push would
+//! restore full O(holders) lookups but changes which (bloom
+//! false-positive) redirects occur, i.e. shifts pinned statistics;
+//! see the ROADMAP follow-up.
 
 use std::collections::HashMap;
 
@@ -48,11 +67,6 @@ impl DirEntry {
             objects: Default::default(),
             summary: None,
         }
-    }
-
-    /// Does this entry indicate the peer holds `o`?
-    fn indicates(&self, o: ObjectId) -> bool {
-        self.objects.contains(&o) || self.summary.as_ref().is_some_and(|s| s.might_contain(o))
     }
 }
 
@@ -102,6 +116,13 @@ pub struct DirectoryState {
     /// §8 active replication: requests per object since the last
     /// replication round (decayed each round).
     popularity: HashMap<ObjectId, u64>,
+    /// Inverted index: object → members whose *exact* object list
+    /// contains it, kept sorted by node id (the deterministic
+    /// candidate order Algorithm 3 draws from).
+    holders_of: HashMap<ObjectId, Vec<NodeId>>,
+    /// Number of entries carrying a gossip summary (§5.2 seeding);
+    /// while non-zero, holder lookups must also scan those entries.
+    summary_entries: usize,
 }
 
 impl DirectoryState {
@@ -124,6 +145,39 @@ impl DirectoryState {
             total_indexed: 0,
             summary_capacity,
             popularity: HashMap::new(),
+            holders_of: HashMap::new(),
+            summary_entries: 0,
+        }
+    }
+
+    /// Record `peer` (a member) as holding `o` in the inverted index.
+    fn add_holder(&mut self, o: ObjectId, peer: NodeId) {
+        let hs = self.holders_of.entry(o).or_default();
+        if let Err(pos) = hs.binary_search_by_key(&peer.0, |n| n.0) {
+            hs.insert(pos, peer);
+        }
+    }
+
+    /// Remove `peer` from `o`'s holder list.
+    fn remove_holder(&mut self, o: ObjectId, peer: NodeId) {
+        if let Some(hs) = self.holders_of.get_mut(&o) {
+            if let Ok(pos) = hs.binary_search_by_key(&peer.0, |n| n.0) {
+                hs.remove(pos);
+                if hs.is_empty() {
+                    self.holders_of.remove(&o);
+                }
+            }
+        }
+    }
+
+    /// Unindex every object of a removed entry.
+    fn drop_entry_holders(&mut self, peer: NodeId, e: &DirEntry) {
+        for o in &e.objects {
+            let o = *o;
+            self.remove_holder(o, peer);
+        }
+        if e.summary.is_some() {
+            self.summary_entries -= 1;
         }
     }
 
@@ -173,19 +227,37 @@ impl DirectoryState {
         max_dir_hops: u8,
         dir_hops: u8,
     ) -> DirDecision {
-        // §8 extension bookkeeping: popularity of requested objects.
-        // (The base protocol never reads this map.)
-        // NOTE: kept in process() so redirected queries count too.
-        //
-        // 1. directory-index lookup. (Sorted so the random draw is a
-        // pure function of the RNG, not of hash-map iteration order.)
+        // 1. directory-index lookup, answered from the inverted index
+        // (already in node-id order, so the random draw is a pure
+        // function of the RNG, not of hash-map iteration order).
         let mut holders: Vec<NodeId> = self
-            .index
-            .iter()
-            .filter(|(peer, e)| **peer != exclude && e.age < self.t_dead && e.indicates(object))
-            .map(|(peer, _)| *peer)
-            .collect();
-        holders.sort_unstable_by_key(|n| n.0);
+            .holders_of
+            .get(&object)
+            .map(|hs| {
+                hs.iter()
+                    .copied()
+                    .filter(|p| {
+                        *p != exclude && self.index.get(p).is_some_and(|e| e.age < self.t_dead)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        if self.summary_entries > 0 {
+            // §5.2 fresh-takeover path: members known only through
+            // gossip summaries; their exact lists are disjoint from
+            // the inverted hits (`objects` does not contain the
+            // object), so the merge needs a sort but no dedup.
+            for (peer, e) in &self.index {
+                if *peer != exclude
+                    && e.age < self.t_dead
+                    && !e.objects.contains(&object)
+                    && e.summary.as_ref().is_some_and(|s| s.might_contain(object))
+                {
+                    holders.push(*peer);
+                }
+            }
+            holders.sort_unstable_by_key(|n| n.0);
+        }
         if let Some(h) = holders.choose(rng) {
             return DirDecision::ToHolder(*h);
         }
@@ -216,6 +288,7 @@ impl DirectoryState {
                 if e.objects.insert(object) {
                     self.new_since_refresh += 1;
                     self.total_indexed += 1;
+                    self.add_holder(object, peer);
                 }
                 true
             }
@@ -228,6 +301,7 @@ impl DirectoryState {
                 self.index.insert(peer, e);
                 self.new_since_refresh += 1;
                 self.total_indexed += 1;
+                self.add_holder(object, peer);
                 true
             }
         }
@@ -243,16 +317,26 @@ impl DirectoryState {
         }
         let e = self.index.entry(peer).or_insert_with(DirEntry::fresh);
         e.age = 0;
+        let mut new_holdings = Vec::new();
         for o in added {
             if e.objects.insert(*o) {
                 self.new_since_refresh += 1;
                 self.total_indexed += 1;
+                new_holdings.push(*o);
             }
         }
+        let mut gone_holdings = Vec::new();
         for o in removed {
             if e.objects.remove(o) {
                 self.total_indexed = self.total_indexed.saturating_sub(1);
+                gone_holdings.push(*o);
             }
+        }
+        for o in new_holdings {
+            self.add_holder(o, peer);
+        }
+        for o in gone_holdings {
+            self.remove_holder(o, peer);
         }
     }
 
@@ -287,6 +371,7 @@ impl DirectoryState {
         for peer in &dead {
             if let Some(e) = self.index.remove(peer) {
                 self.total_indexed = self.total_indexed.saturating_sub(e.objects.len());
+                self.drop_entry_holders(*peer, &e);
             }
         }
         dead.sort_unstable_by_key(|n| n.0);
@@ -299,6 +384,7 @@ impl DirectoryState {
         match self.index.remove(&peer) {
             Some(e) => {
                 self.total_indexed = self.total_indexed.saturating_sub(e.objects.len());
+                self.drop_entry_holders(peer, &e);
                 true
             }
             None => false,
@@ -386,10 +472,25 @@ impl DirectoryState {
     /// A view seed for a joining client: up to `n` members (the
     /// youngest entries first — most likely alive).
     pub fn view_seed(&self, n: usize, exclude: NodeId) -> Vec<NodeId> {
-        let mut members: Vec<(&NodeId, &DirEntry)> =
-            self.index.iter().filter(|(p, _)| **p != exclude).collect();
-        members.sort_by_key(|(p, e)| (e.age, p.0));
-        members.into_iter().take(n).map(|(p, _)| *p).collect()
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut members: Vec<(u32, u32)> = self
+            .index
+            .iter()
+            .filter(|(p, _)| **p != exclude)
+            .map(|(p, e)| (e.age, p.0))
+            .collect();
+        // Keys are unique (node ids are), so select-then-sort of the
+        // n smallest yields exactly what a full sort + take(n) would —
+        // without the O(Sco log Sco) sort this used to cost per
+        // admission at scale.
+        if members.len() > n {
+            members.select_nth_unstable(n - 1);
+            members.truncate(n);
+        }
+        members.sort_unstable();
+        members.into_iter().map(|(_, p)| NodeId(p)).collect()
     }
 
     /// Seed the index from a gossip view after a §5.2 takeover: the
@@ -405,6 +506,9 @@ impl DirectoryState {
             }
             let mut e = DirEntry::fresh();
             e.summary = summary.cloned();
+            if e.summary.is_some() {
+                self.summary_entries += 1;
+            }
             self.index.insert(peer, e);
         }
     }
@@ -412,11 +516,16 @@ impl DirectoryState {
     /// Install a snapshot received in a voluntary hand-off (§5.2).
     pub fn install_snapshot(&mut self, entries: Vec<(NodeId, u32, Vec<ObjectId>)>) {
         self.index.clear();
+        self.holders_of.clear();
+        self.summary_entries = 0;
         self.total_indexed = 0;
         for (peer, age, objects) in entries {
             let mut e = DirEntry::fresh();
             e.age = age;
             self.total_indexed += objects.len();
+            for o in &objects {
+                self.add_holder(*o, peer);
+            }
             e.objects = objects.into_iter().collect();
             self.index.insert(peer, e);
         }

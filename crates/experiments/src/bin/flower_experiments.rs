@@ -4,6 +4,7 @@
 //! ```text
 //! flower-experiments <experiment> [--scale <f|full>] [--seed <n>]
 //!                    [--substrate <chord|pastry>] [--shards <n>]
+//!                    [--event-queue <calendar|heap|both>]
 //!                    [--csv-dir <dir>] [--bench-out <file>]
 //!
 //! experiments:
@@ -11,6 +12,8 @@
 //!   fig5 | fig6 | fig7 | fig8
 //!   churn | ablation | replication | cache | substrates | all
 //!   scale [--nodes <a,b,..>] [--shard-sweep <a,b,..>] [--horizon-secs <s>]
+//!   bench-check --baseline <file> --fresh <file>
+//!               [--max-drop <frac>] [--summary-out <file>]
 //! ```
 //!
 //! `--scale 0.1` simulates 2.4 h instead of 24 h (protocol periods
@@ -19,29 +22,41 @@
 //! (§3.1 portability; `substrates` compares the two side by side).
 //! `--shards N` runs the simulation engine on N locality shards
 //! (worker threads); results are bit-identical for every N.
-//! `scale` sweeps node counts × shard counts and reports events/sec,
-//! wall time and peak queue depth; `--bench-out BENCH_engine.json`
-//! writes all engine measurements machine-readably.
+//! `--event-queue` picks the engine's event storage (results are
+//! bit-identical for both backends; `both` is only valid for `scale`,
+//! which then sweeps the two side by side).
+//! `scale` sweeps node counts × shard counts × queue backends and
+//! reports events/sec, wall time and peak queue depth; `--bench-out
+//! BENCH_engine.json` writes all engine measurements machine-readably.
+//! `bench-check` is the CI regression gate: it compares a fresh
+//! bench document against the committed baseline, prints a markdown
+//! throughput summary, and exits non-zero if events/sec dropped more
+//! than `--max-drop` (default 0.20) at any matched point.
 
 use std::io::Write;
 
 use experiments::exps::{self, ExpOutput, ScaleParams};
+use experiments::gate;
 use experiments::report::{bench_json, BenchRecord};
-use experiments::runner::RunScale;
-use experiments::SubstrateKind;
+use experiments::runner::{RunOpts, RunScale};
+use experiments::{EventQueueKind, SubstrateKind};
 use simnet::SimDuration;
 
 struct Args {
     cmd: String,
-    scale: RunScale,
-    seed: u64,
-    substrate: SubstrateKind,
-    shards: usize,
+    opts: RunOpts,
+    /// Queue sweep of the `scale` experiment (`--event-queue both`).
+    queue_sweep: Vec<EventQueueKind>,
     csv_dir: Option<String>,
     bench_out: Option<String>,
     scale_nodes: Vec<usize>,
     scale_shards: Vec<usize>,
     horizon_secs: u64,
+    // bench-check:
+    baseline: Option<String>,
+    fresh: Option<String>,
+    max_drop: f64,
+    summary_out: Option<String>,
 }
 
 fn parse_list(s: &str) -> Result<Vec<usize>, String> {
@@ -59,35 +74,49 @@ fn parse_args() -> Result<Args, String> {
     let cmd = args.next().ok_or_else(usage)?;
     let mut out = Args {
         cmd,
-        scale: RunScale::Scaled(0.1),
-        seed: 42,
-        substrate: SubstrateKind::Chord,
-        shards: 1,
+        opts: RunOpts::new(),
+        queue_sweep: vec![EventQueueKind::default()],
         csv_dir: None,
         bench_out: None,
         scale_nodes: vec![10_000, 50_000, 100_000],
         scale_shards: vec![1, 2, 4, 8],
         horizon_secs: 60,
+        baseline: None,
+        fresh: None,
+        max_drop: 0.20,
+        summary_out: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
-                out.scale = RunScale::parse(&v)?;
+                out.opts.scale = RunScale::parse(&v)?;
             }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
-                out.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+                out.opts.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
             }
             "--substrate" => {
                 let v = args.next().ok_or("--substrate needs a value")?;
-                out.substrate = SubstrateKind::parse(&v)?;
+                out.opts.substrate = SubstrateKind::parse(&v)?;
             }
             "--shards" => {
                 let v = args.next().ok_or("--shards needs a value")?;
-                out.shards = v.parse().map_err(|_| format!("bad shard count {v:?}"))?;
-                if out.shards == 0 {
+                out.opts.shards = v.parse().map_err(|_| format!("bad shard count {v:?}"))?;
+                if out.opts.shards == 0 {
                     return Err("--shards must be at least 1".into());
+                }
+            }
+            "--event-queue" => {
+                let v = args.next().ok_or("--event-queue needs a value")?;
+                if v == "both" {
+                    if out.cmd != "scale" {
+                        return Err("--event-queue both is only valid for `scale`".into());
+                    }
+                    out.queue_sweep = vec![EventQueueKind::Calendar, EventQueueKind::Heap];
+                } else {
+                    out.opts.queue = EventQueueKind::parse(&v)?;
+                    out.queue_sweep = vec![out.opts.queue];
                 }
             }
             "--csv-dir" => {
@@ -108,6 +137,25 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--horizon-secs needs a value")?;
                 out.horizon_secs = v.parse().map_err(|_| format!("bad horizon {v:?}"))?;
             }
+            "--baseline" => {
+                out.baseline = Some(args.next().ok_or("--baseline needs a value")?);
+            }
+            "--fresh" => {
+                out.fresh = Some(args.next().ok_or("--fresh needs a value")?);
+            }
+            "--max-drop" => {
+                let v = args.next().ok_or("--max-drop needs a value")?;
+                out.max_drop = v.parse().map_err(|_| format!("bad max drop {v:?}"))?;
+                if !(0.0..1.0).contains(&out.max_drop) {
+                    return Err(format!(
+                        "--max-drop must be in [0, 1), got {}",
+                        out.max_drop
+                    ));
+                }
+            }
+            "--summary-out" => {
+                out.summary_out = Some(args.next().ok_or("--summary-out needs a value")?);
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -115,11 +163,52 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: flower-experiments <table2a|table2b|table2c|push-threshold|fig5|fig6|fig7|fig8|churn|ablation|replication|cache|substrates|scale|all> \
+    "usage: flower-experiments <table2a|table2b|table2c|push-threshold|fig5|fig6|fig7|fig8|churn|ablation|replication|cache|substrates|scale|bench-check|all> \
      [--scale <f|full>] [--seed <n>] [--substrate <chord|pastry>] [--shards <n>] \
-     [--csv-dir <dir>] [--bench-out <file>] \
-     [--nodes <a,b,..>] [--shard-sweep <a,b,..>] [--horizon-secs <s>]"
+     [--event-queue <calendar|heap|both>] [--csv-dir <dir>] [--bench-out <file>] \
+     [--nodes <a,b,..>] [--shard-sweep <a,b,..>] [--horizon-secs <s>] \
+     [--baseline <file> --fresh <file> [--max-drop <frac>] [--summary-out <file>]]"
         .to_string()
+}
+
+/// The CI bench-regression gate (`bench-check`): compare a fresh
+/// BENCH document against the committed baseline, print the markdown
+/// summary, and exit non-zero on a regression beyond `--max-drop`.
+///
+/// Zero matched points is an *error*, not a pass: it means the CI
+/// flags and the committed baseline have drifted apart (different
+/// horizon, sweep cells or queue backends), which would otherwise
+/// turn the gate into a permanently green no-op.
+fn bench_check(args: &Args) -> Result<bool, String> {
+    let baseline_path = args
+        .baseline
+        .as_deref()
+        .ok_or("bench-check needs --baseline <file>")?;
+    let fresh_path = args
+        .fresh
+        .as_deref()
+        .ok_or("bench-check needs --fresh <file>")?;
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"));
+    let baseline =
+        gate::parse_bench(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let fresh = gate::parse_bench(&read(fresh_path)?).map_err(|e| format!("{fresh_path}: {e}"))?;
+    let report = gate::compare(&baseline, &fresh, args.max_drop);
+    let md = report.to_markdown();
+    println!("{md}");
+    if let Some(path) = &args.summary_out {
+        std::fs::write(path, &md).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if report.rows.is_empty() {
+        return Err(
+            "bench-check: no fresh point matched the baseline — the gate would compare \
+             nothing. The smoke run's flags (experiment names, node/shard counts, queue \
+             backends, horizons) have drifted from the committed BENCH_engine.json; \
+             re-record the baseline or fix the flags."
+                .into(),
+        );
+    }
+    Ok(report.passed())
 }
 
 fn emit(name: &str, out: &ExpOutput, csv_dir: &Option<String>) {
@@ -146,13 +235,23 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let scale = args.scale;
-    let seed = args.seed;
-    let substrate = args.substrate;
-    let shards = args.shards;
+    if args.cmd == "bench-check" {
+        match bench_check(&args) {
+            Ok(true) => return,
+            Ok(false) => {
+                eprintln!("bench-check: throughput regression beyond the gate");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let opts = args.opts;
     eprintln!(
-        "# running {} at scale {:?} seed {} over {} with {} shard(s)",
-        args.cmd, scale, seed, substrate, shards
+        "# running {} at scale {:?} seed {} over {} with {} shard(s) on the {} queue",
+        args.cmd, opts.scale, opts.seed, opts.substrate, opts.shards, opts.queue
     );
     let t0 = std::time::Instant::now();
     let mut failed = false;
@@ -163,7 +262,7 @@ fn main() {
             for name in ["table2a", "table2b", "table2c", "push-threshold", "fig5"] {
                 outputs.push((name.to_string(), run_one(name, &args)));
             }
-            let (fsys, ssys) = exps::comparison_pair(scale, seed, substrate, shards);
+            let (fsys, ssys) = exps::comparison_pair(opts);
             outputs.push(("fig6".into(), exps::fig6(&fsys, &ssys)));
             outputs.push(("fig7".into(), exps::fig7(&fsys, &ssys)));
             outputs.push(("fig8".into(), exps::fig8(&fsys, &ssys)));
@@ -182,12 +281,19 @@ fn main() {
         bench.extend(out.bench.iter().cloned());
     }
     if let Some(path) = &args.bench_out {
+        let queues = args
+            .queue_sweep
+            .iter()
+            .map(|q| q.to_string())
+            .collect::<Vec<_>>()
+            .join("+");
         let host = format!(
-            "{} cpus, {}",
+            "{} cpus, {}, queue={}",
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(0),
-            std::env::consts::ARCH
+            std::env::consts::ARCH,
+            queues
         );
         std::fs::write(path, bench_json(&host, &bench)).expect("write bench json");
         eprintln!("wrote {path} ({} records)", bench.len());
@@ -199,31 +305,32 @@ fn main() {
 }
 
 fn run_one(name: &str, args: &Args) -> ExpOutput {
-    let (scale, seed, substrate, shards) = (args.scale, args.seed, args.substrate, args.shards);
+    let opts = args.opts;
     match name {
-        "table2a" => exps::table2a(scale, seed, substrate, shards),
-        "table2b" => exps::table2b(scale, seed, substrate, shards),
-        "table2c" => exps::table2c(scale, seed, substrate, shards),
-        "push-threshold" => exps::push_threshold(scale, seed, substrate, shards),
-        "fig5" => exps::fig5(scale, seed, substrate, shards),
+        "table2a" => exps::table2a(opts),
+        "table2b" => exps::table2b(opts),
+        "table2c" => exps::table2c(opts),
+        "push-threshold" => exps::push_threshold(opts),
+        "fig5" => exps::fig5(opts),
         "fig6" | "fig7" | "fig8" => {
-            let (fsys, ssys) = exps::comparison_pair(scale, seed, substrate, shards);
+            let (fsys, ssys) = exps::comparison_pair(opts);
             match name {
                 "fig6" => exps::fig6(&fsys, &ssys),
                 "fig7" => exps::fig7(&fsys, &ssys),
                 _ => exps::fig8(&fsys, &ssys),
             }
         }
-        "churn" => exps::churn(scale, seed, substrate, shards),
-        "ablation" => exps::ablation(scale, seed, substrate, shards),
-        "replication" => exps::replication(scale, seed, substrate, shards),
-        "cache" => exps::cache_pressure(scale, seed, substrate, shards),
-        "substrates" => exps::substrates(scale, seed, shards),
+        "churn" => exps::churn(opts),
+        "ablation" => exps::ablation(opts),
+        "replication" => exps::replication(opts),
+        "cache" => exps::cache_pressure(opts),
+        "substrates" => exps::substrates(opts),
         "scale" => exps::scale(&ScaleParams {
             nodes: args.scale_nodes.clone(),
             shards: args.scale_shards.clone(),
+            queues: args.queue_sweep.clone(),
             horizon: SimDuration::from_secs(args.horizon_secs),
-            seed,
+            seed: opts.seed,
         }),
         other => {
             eprintln!("unknown experiment {other:?}\n{}", usage());

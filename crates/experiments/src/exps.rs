@@ -8,12 +8,12 @@
 //! simulator, not the authors' testbed.
 
 use flower_core::{FlowerSystem, SubstrateKind, SystemConfig};
-use simnet::{ChurnConfig, ChurnScript, Locality, NodeId, SimDuration, SimTime};
+use simnet::{ChurnConfig, ChurnScript, EventQueueKind, Locality, NodeId, SimDuration, SimTime};
 use squirrel::SquirrelSystem;
 
 use crate::paper;
 use crate::report::{f1, f3, pct, BenchRecord, Table};
-use crate::runner::{self, RunScale};
+use crate::runner::{self, RunOpts, RunScale};
 
 /// Rendered output of one experiment.
 #[derive(Debug, Default)]
@@ -54,10 +54,7 @@ impl ExpOutput {
 
 fn gossip_sweep(
     title: &str,
-    scale: RunScale,
-    seed: u64,
-    substrate: SubstrateKind,
-    shards: usize,
+    opts: RunOpts,
     paper_rows: &[paper::Table2Row],
     mutate: impl Fn(&mut SystemConfig, usize),
 ) -> (ExpOutput, Vec<f64>, Vec<f64>) {
@@ -75,13 +72,13 @@ fn gossip_sweep(
     let mut hits = Vec::new();
     let mut bws = Vec::new();
     for (i, row) in paper_rows.iter().enumerate() {
-        let mut cfg = runner::flower_config(scale, seed, substrate, shards);
+        let mut cfg = runner::flower_config(opts);
         mutate(&mut cfg, i);
         let (_, r) = runner::run_flower(&cfg);
         // Scaled runs compress 24 h of gossip into less simulated
         // time; multiplying by the scale factor restores paper-time
         // bps for comparison.
-        let bps = r.background_bps * scale.factor();
+        let bps = r.background_bps * opts.scale.factor();
         table.row(vec![
             row.param.to_string(),
             f3(row.hit_ratio),
@@ -98,14 +95,11 @@ fn gossip_sweep(
 }
 
 /// **Table 2(a)** — varying `Lgossip` ∈ {5, 10, 20}.
-pub fn table2a(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usize) -> ExpOutput {
+pub fn table2a(opts: RunOpts) -> ExpOutput {
     let l_values = [5usize, 10, 20];
     let (mut out, hits, bws) = gossip_sweep(
         "Table 2(a) — effect of gossip length Lgossip (Tgossip=30min, Vgossip=50)",
-        scale,
-        seed,
-        substrate,
-        shards,
+        opts,
         &paper::TABLE_2A,
         |cfg, i| cfg.flower.l_gossip = l_values[i],
     );
@@ -125,7 +119,7 @@ pub fn table2a(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usi
 }
 
 /// **Table 2(b)** — varying `Tgossip` ∈ {1 min, 30 min, 1 h}.
-pub fn table2b(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usize) -> ExpOutput {
+pub fn table2b(opts: RunOpts) -> ExpOutput {
     let periods = [
         SimDuration::from_mins(1),
         SimDuration::from_mins(30),
@@ -133,15 +127,12 @@ pub fn table2b(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usi
     ];
     let (mut out, hits, bws) = gossip_sweep(
         "Table 2(b) — effect of gossip period Tgossip (Lgossip=10, Vgossip=50)",
-        scale,
-        seed,
-        substrate,
-        shards,
+        opts,
         &paper::TABLE_2B,
         |cfg, i| {
             // The sweep overrides the (already scaled) gossip period
             // with the scaled sweep value.
-            let scaled = match scale {
+            let scaled = match opts.scale {
                 RunScale::Full => periods[i],
                 RunScale::Scaled(f) => {
                     SimDuration::from_ms(((periods[i].as_ms() as f64 * f) as u64).max(1))
@@ -170,14 +161,11 @@ pub fn table2b(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usi
 }
 
 /// **Table 2(c)** — varying `Vgossip` ∈ {20, 50, 70}.
-pub fn table2c(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usize) -> ExpOutput {
+pub fn table2c(opts: RunOpts) -> ExpOutput {
     let v_values = [20usize, 50, 70];
     let (mut out, hits, bws) = gossip_sweep(
         "Table 2(c) — effect of view size Vgossip (Lgossip=10, Tgossip=30min)",
-        scale,
-        seed,
-        substrate,
-        shards,
+        opts,
         &paper::TABLE_2C,
         |cfg, i| cfg.flower.v_gossip = v_values[i],
     );
@@ -201,12 +189,7 @@ pub fn table2c(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usi
 
 /// **§6.2 (text)** — push threshold ∈ {0.1, 0.5, 0.7}: performance is
 /// insensitive.
-pub fn push_threshold(
-    scale: RunScale,
-    seed: u64,
-    substrate: SubstrateKind,
-    shards: usize,
-) -> ExpOutput {
+pub fn push_threshold(opts: RunOpts) -> ExpOutput {
     let mut out = ExpOutput::default();
     let mut table = Table::new(
         "Push-threshold sweep (paper §6.2: all values perform alike)",
@@ -214,13 +197,13 @@ pub fn push_threshold(
     );
     let mut hits = Vec::new();
     for th in paper::PUSH_THRESHOLDS {
-        let mut cfg = runner::flower_config(scale, seed, substrate, shards);
+        let mut cfg = runner::flower_config(opts);
         cfg.flower.push_threshold = th;
         let (_, r) = runner::run_flower(&cfg);
         table.row(vec![
             format!("{th}"),
             f3(r.hit_ratio),
-            f1(r.background_bps * scale.factor()),
+            f1(r.background_bps * opts.scale.factor()),
         ]);
         hits.push(r.hit_ratio);
     }
@@ -254,9 +237,9 @@ fn series_table(
 }
 
 /// **Figure 5** — hit ratio and background traffic vs time.
-pub fn fig5(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usize) -> ExpOutput {
+pub fn fig5(opts: RunOpts) -> ExpOutput {
     let mut out = ExpOutput::default();
-    let cfg = runner::flower_config(scale, seed, substrate, shards);
+    let cfg = runner::flower_config(opts);
     let (sys, report, record) = runner::run_flower_timed(&cfg, "fig5");
     out.bench.push(record);
     let window = cfg.window;
@@ -284,7 +267,7 @@ pub fn fig5(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usize)
         let hr = hit.get(i).map(|p| p.mean()).unwrap_or(0.0);
         let bytes = bg.get(i).map(|p| p.sum).unwrap_or(0.0);
         let parts = participants_at.get(i).copied().unwrap_or(1.0).max(1.0);
-        let bps = bytes * 8.0 / win_secs / parts * scale.factor();
+        let bps = bytes * 8.0 / win_secs / parts * opts.scale.factor();
         (h, vec![f3(hr), f1(bps)])
     });
     let t = series_table(
@@ -293,7 +276,7 @@ pub fn fig5(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usize)
         rows,
     );
     out.text = t.render();
-    let norm_bps = report.background_bps * scale.factor();
+    let norm_bps = report.background_bps * opts.scale.factor();
     out.text.push_str(&format!(
         "paper: traffic stabilizes ≈{} bps; final measured: hit {:.3}, bw {:.1} bps (paper-time)\n",
         paper::FIG5_STABLE_BPS,
@@ -323,14 +306,9 @@ pub fn fig5(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usize)
 }
 
 /// Run the shared Flower/Squirrel pair for Figures 6–8.
-pub fn comparison_pair(
-    scale: RunScale,
-    seed: u64,
-    substrate: SubstrateKind,
-    shards: usize,
-) -> (FlowerSystem, SquirrelSystem) {
-    let fcfg = runner::flower_config(scale, seed, substrate, shards);
-    let scfg = runner::squirrel_config(scale, seed, shards);
+pub fn comparison_pair(opts: RunOpts) -> (FlowerSystem, SquirrelSystem) {
+    let fcfg = runner::flower_config(opts);
+    let scfg = runner::squirrel_config(opts);
     let (fsys, _) = runner::run_flower(&fcfg);
     let (ssys, _) = runner::run_squirrel(&scfg);
     (fsys, ssys)
@@ -551,9 +529,9 @@ pub fn fig8(fsys: &FlowerSystem, ssys: &SquirrelSystem) -> ExpOutput {
 /// **Churn extension** (the paper's §8 announced analysis): session
 /// churn over the client base plus targeted directory kills; checks
 /// that §5.2 recovery keeps the system serving.
-pub fn churn(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usize) -> ExpOutput {
+pub fn churn(opts: RunOpts) -> ExpOutput {
     let mut out = ExpOutput::default();
-    let cfg = runner::flower_config(scale, seed, substrate, shards);
+    let cfg = runner::flower_config(opts);
     let mut sys = FlowerSystem::build(&cfg);
     let horizon = SimTime::from_ms(cfg.workload.duration_ms);
 
@@ -585,7 +563,7 @@ pub fn churn(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usize
         mean_downtime: SimDuration::from_ms(horizon.as_ms() / 20),
         permanent: false,
     };
-    let script = ChurnScript::generate(&churn_cfg, &affected, seed);
+    let script = ChurnScript::generate(&churn_cfg, &affected, opts.seed);
     sys.apply_churn(&script);
 
     sys.run_until(horizon + SimDuration::from_secs(60));
@@ -642,7 +620,7 @@ pub fn churn(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usize
 /// **Ablation** — the design choices DESIGN.md calls out: gossip off
 /// (no epidemic summaries) and directory summaries off (no
 /// cross-locality redirect).
-pub fn ablation(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: usize) -> ExpOutput {
+pub fn ablation(opts: RunOpts) -> ExpOutput {
     let mut out = ExpOutput::default();
     let mut t = Table::new(
         "Ablation — contribution of gossip and directory summaries",
@@ -661,7 +639,7 @@ pub fn ablation(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: us
         "dir-summaries-off",
         "member-dir-fallback",
     ] {
-        let mut cfg = runner::flower_config(scale, seed, substrate, shards);
+        let mut cfg = runner::flower_config(opts);
         match variant {
             "gossip-off" => {
                 // Push the first exchange far past the horizon.
@@ -677,7 +655,7 @@ pub fn ablation(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: us
             f3(r.hit_ratio),
             f3(r.local_hit_fraction),
             f1(r.mean_lookup_ms),
-            f1(r.background_bps * scale.factor()),
+            f1(r.background_bps * opts.scale.factor()),
         ]);
         results.push(r);
     }
@@ -720,12 +698,7 @@ pub fn ablation(scale: RunScale, seed: u64, substrate: SubstrateKind, shards: us
 /// toward other overlays of the same website. Compares the base
 /// system with replication enabled: remote queries should find
 /// replicas locally more often, shrinking the transfer distance.
-pub fn replication(
-    scale: RunScale,
-    seed: u64,
-    substrate: SubstrateKind,
-    shards: usize,
-) -> ExpOutput {
+pub fn replication(opts: RunOpts) -> ExpOutput {
     let mut out = ExpOutput::default();
     let mut t = Table::new(
         "Active replication (§8 future work) — off vs on",
@@ -739,7 +712,7 @@ pub fn replication(
     );
     let mut results = Vec::new();
     for on in [false, true] {
-        let mut cfg = runner::flower_config(scale, seed, substrate, shards);
+        let mut cfg = runner::flower_config(opts);
         if on {
             let period = SimDuration::from_ms((cfg.flower.t_gossip.as_ms()).max(1));
             cfg.flower.replication_period = Some(period);
@@ -752,7 +725,7 @@ pub fn replication(
             f3(r.hit_ratio),
             f3(r.local_hit_fraction),
             f1(hit_transfer),
-            f1(r.background_bps * scale.factor()),
+            f1(r.background_bps * opts.scale.factor()),
         ]);
         results.push((r, hit_transfer));
     }
@@ -780,12 +753,7 @@ pub fn replication(
 /// LRU/LFU. Smaller caches mean fewer self-hits and more stale
 /// directory entries (exercising §5.1 retries); the hit ratio must
 /// degrade gracefully, not collapse.
-pub fn cache_pressure(
-    scale: RunScale,
-    seed: u64,
-    substrate: SubstrateKind,
-    shards: usize,
-) -> ExpOutput {
+pub fn cache_pressure(opts: RunOpts) -> ExpOutput {
     use flower_core::CachePolicy;
     let mut out = ExpOutput::default();
     let mut t = Table::new(
@@ -805,7 +773,7 @@ pub fn cache_pressure(
         ("lfu-10", CachePolicy::Lfu, 10),
     ];
     for (name, policy, cap) in variants {
-        let mut cfg = runner::flower_config(scale, seed, substrate, shards);
+        let mut cfg = runner::flower_config(opts);
         cfg.flower.cache_policy = policy;
         cfg.flower.cache_capacity = cap;
         let (_, r) = runner::run_flower(&cfg);
@@ -842,7 +810,7 @@ pub fn cache_pressure(
 /// Pastry-backed D-ring. The protocol above the substrate is
 /// unchanged, so the headline metrics must essentially coincide; what
 /// differs is the substrate's own routing/maintenance behaviour.
-pub fn substrates(scale: RunScale, seed: u64, shards: usize) -> ExpOutput {
+pub fn substrates(opts: RunOpts) -> ExpOutput {
     let mut out = ExpOutput::default();
     let mut table = Table::new(
         "Substrate comparison — same workload over Chord and Pastry (§3.1)",
@@ -857,7 +825,10 @@ pub fn substrates(scale: RunScale, seed: u64, shards: usize) -> ExpOutput {
     );
     let mut reports = Vec::new();
     for kind in [SubstrateKind::Chord, SubstrateKind::Pastry] {
-        let cfg = runner::flower_config(scale, seed, kind, shards);
+        let cfg = runner::flower_config(RunOpts {
+            substrate: kind,
+            ..opts
+        });
         let (_, r) = runner::run_flower(&cfg);
         table.row(vec![
             kind.to_string(),
@@ -865,7 +836,7 @@ pub fn substrates(scale: RunScale, seed: u64, shards: usize) -> ExpOutput {
             format!("{}/{}", r.resolved, r.submitted),
             f1(r.mean_lookup_ms),
             f1(r.mean_transfer_ms),
-            f1(r.background_bps * scale.factor()),
+            f1(r.background_bps * opts.scale.factor()),
         ]);
         reports.push(r);
     }
@@ -910,6 +881,9 @@ pub struct ScaleParams {
     pub nodes: Vec<usize>,
     /// Shard counts to sweep per node count (e.g. `[1, 2, 4, 8]`).
     pub shards: Vec<usize>,
+    /// Event-queue backends to sweep per cell (e.g. both, to compare
+    /// the calendar queue against the binary heap on equal terms).
+    pub queues: Vec<EventQueueKind>,
     /// Simulated horizon per cell.
     pub horizon: SimDuration,
     /// Master seed.
@@ -921,6 +895,7 @@ impl Default for ScaleParams {
         ScaleParams {
             nodes: vec![10_000, 50_000, 100_000],
             shards: vec![1, 2, 4, 8],
+            queues: vec![EventQueueKind::default()],
             horizon: SimDuration::from_secs(60),
             seed: 42,
         }
@@ -932,7 +907,13 @@ impl Default for ScaleParams {
 /// is also the engine's epoch lookahead), communities sized with the
 /// node count, and a query rate proportional to the population, so the
 /// event load actually grows with `nodes`.
-fn scale_config(nodes: usize, shards: usize, horizon: SimDuration, seed: u64) -> SystemConfig {
+fn scale_config(
+    nodes: usize,
+    shards: usize,
+    queue: EventQueueKind,
+    horizon: SimDuration,
+    seed: u64,
+) -> SystemConfig {
     use flower_core::FlowerConfig;
     use simnet::TopologyConfig;
     use workload::{CatalogConfig, WorkloadConfig};
@@ -946,6 +927,7 @@ fn scale_config(nodes: usize, shards: usize, horizon: SimDuration, seed: u64) ->
             background_fraction: 0.0,
             population_skew: 0.25,
             inter_locality_floor_ms: 60,
+            event_queue: queue,
         },
         catalog: CatalogConfig {
             num_websites: 8,
@@ -972,17 +954,20 @@ fn scale_config(nodes: usize, shards: usize, horizon: SimDuration, seed: u64) ->
 /// shard counts: submitted, resolved, hit ratio, total messages.
 type CellStats = (u64, u64, f64, u64);
 
-/// **Scale** — the sharded-engine experiment: sweep the node count and
-/// the shard count, report events/second and wall-clock per cell, and
-/// assert that every shard count produces *identical* query statistics
-/// (the engine's bit-determinism guarantee, measured end to end).
+/// **Scale** — the engine-performance experiment: sweep the node
+/// count, the shard count and the event-queue backend, report
+/// events/second and wall-clock per cell, and assert that every
+/// (shards, queue) combination produces *identical* query statistics —
+/// the engine's bit-determinism guarantee (shard layout *and* event
+/// storage are execution details), measured end to end.
 pub fn scale(params: &ScaleParams) -> ExpOutput {
     let mut out = ExpOutput::default();
     let mut table = Table::new(
-        "Scale — sharded engine throughput (locality shards, conservative epoch barrier)",
+        "Scale — engine throughput (locality shards × event-queue backend)",
         &[
             "nodes",
             "shards",
+            "queue",
             "wall s",
             "events",
             "events/s",
@@ -992,50 +977,55 @@ pub fn scale(params: &ScaleParams) -> ExpOutput {
         ],
     );
     for &nodes in &params.nodes {
-        // Baseline = the first entry of the shard sweep (usually 1).
-        let mut base: Option<(f64, usize, CellStats)> = None;
+        // Baseline = the first (shards, queue) cell of the sweep.
+        let mut base: Option<(f64, String, CellStats)> = None;
         for &shards in &params.shards {
-            let cfg = scale_config(nodes, shards, params.horizon, params.seed);
-            let name = format!("scale/{nodes}n");
-            let (sys, report, record) = runner::run_flower_timed(&cfg, &name);
-            let speedup = match &base {
-                None => format!("×1.00 (base: {shards} shard(s))"),
-                Some((base_wall, _, _)) => format!("×{:.2}", base_wall / record.wall_s.max(1e-9)),
-            };
-            table.row(vec![
-                nodes.to_string(),
-                sys.engine().num_shards().to_string(),
-                format!("{:.2}", record.wall_s),
-                record.events.to_string(),
-                f1(record.events_per_sec),
-                record.peak_queue_depth.to_string(),
-                speedup,
-                f3(report.hit_ratio),
-            ]);
-            let stats = (
-                report.submitted,
-                report.resolved,
-                report.hit_ratio,
-                sys.engine().traffic().messages(),
-            );
-            match &base {
-                None => base = Some((record.wall_s, shards, stats)),
-                Some((_, base_shards, base_stats)) => out.push_check(
-                    format!(
-                        "{nodes} nodes / {shards} shards: query statistics identical to \
-                         {base_shards}-shard run ({}/{} hit {:.6}, {} msgs)",
-                        stats.0, stats.1, stats.2, stats.3
+            for &queue in &params.queues {
+                let cfg = scale_config(nodes, shards, queue, params.horizon, params.seed);
+                let name = format!("scale/{nodes}n");
+                let (sys, report, record) = runner::run_flower_timed(&cfg, &name);
+                let speedup = match &base {
+                    None => format!("×1.00 (base: {shards} shard(s), {queue})"),
+                    Some((base_wall, _, _)) => {
+                        format!("×{:.2}", base_wall / record.wall_s.max(1e-9))
+                    }
+                };
+                table.row(vec![
+                    nodes.to_string(),
+                    sys.engine().num_shards().to_string(),
+                    queue.to_string(),
+                    format!("{:.2}", record.wall_s),
+                    record.events.to_string(),
+                    f1(record.events_per_sec),
+                    record.peak_queue_depth.to_string(),
+                    speedup,
+                    f3(report.hit_ratio),
+                ]);
+                let stats = (
+                    report.submitted,
+                    report.resolved,
+                    report.hit_ratio,
+                    sys.engine().traffic().messages(),
+                );
+                match &base {
+                    None => base = Some((record.wall_s, format!("{shards} shards/{queue}"), stats)),
+                    Some((_, base_cell, base_stats)) => out.push_check(
+                        format!(
+                            "{nodes} nodes / {shards} shards / {queue}: query statistics \
+                             identical to {base_cell} run ({}/{} hit {:.6}, {} msgs)",
+                            stats.0, stats.1, stats.2, stats.3
+                        ),
+                        *base_stats == stats,
                     ),
-                    *base_stats == stats,
-                ),
+                }
+                out.bench.push(record);
             }
-            out.bench.push(record);
         }
     }
     out.text = table.render();
     out.text.push_str(
         "note: wall-clock speedup needs real cores; on a single-CPU host the sweep\n\
-         still verifies shard determinism while events/s stays flat.\n",
+         still verifies shard/queue determinism while events/s stays flat.\n",
     );
     out.text.push_str(&out.render_checks());
     out.csv.push(("scale".into(), table.to_csv()));
@@ -1051,12 +1041,14 @@ mod tests {
     /// tests are `#[ignore]`d — run them explicitly with
     /// `cargo test -p experiments --release -- --ignored`, or use the
     /// `flower-experiments` binary.
-    const S: RunScale = RunScale::Scaled(0.1);
+    fn opts(seed: u64) -> RunOpts {
+        RunOpts::new().seed(seed)
+    }
 
     #[test]
     #[ignore = "runs paper-scale simulations; use --release -- --ignored"]
     fn table2a_shape() {
-        let out = table2a(S, 11, SubstrateKind::Chord, 1);
+        let out = table2a(opts(11));
         assert!(out.all_passed(), "{}", out.render_checks());
         assert!(out.text.contains("Table 2(a)"));
     }
@@ -1064,7 +1056,7 @@ mod tests {
     #[test]
     #[ignore = "runs paper-scale simulations; use --release -- --ignored"]
     fn fig6_7_8_shapes() {
-        let (fsys, ssys) = comparison_pair(S, 13, SubstrateKind::Chord, 1);
+        let (fsys, ssys) = comparison_pair(opts(13));
         let o6 = fig6(&fsys, &ssys);
         assert!(o6.all_passed(), "{}", o6.render_checks());
         let o7 = fig7(&fsys, &ssys);
@@ -1076,23 +1068,26 @@ mod tests {
     #[test]
     #[ignore = "runs paper-scale simulations; use --release -- --ignored"]
     fn churn_recovers() {
-        let out = churn(S, 17, SubstrateKind::Chord, 1);
+        let out = churn(opts(17));
         assert!(out.all_passed(), "{}", out.render_checks());
     }
 
     #[test]
     #[ignore = "runs multi-thousand-node simulations; use --release -- --ignored"]
-    fn scale_sweep_is_shard_deterministic() {
+    fn scale_sweep_is_shard_and_queue_deterministic() {
         let out = scale(&ScaleParams {
             nodes: vec![2000],
             shards: vec![1, 2, 4],
+            queues: vec![EventQueueKind::Calendar, EventQueueKind::Heap],
             horizon: SimDuration::from_secs(20),
             seed: 9,
         });
         assert!(out.all_passed(), "{}", out.render_checks());
-        assert_eq!(out.bench.len(), 3, "one record per sweep cell");
+        assert_eq!(out.bench.len(), 6, "one record per sweep cell");
         assert!(out.bench.iter().all(|r| r.events > 0));
         assert_eq!(out.bench[0].events, out.bench[1].events);
+        assert_eq!(out.bench[0].queue, EventQueueKind::Calendar);
+        assert_eq!(out.bench[1].queue, EventQueueKind::Heap);
     }
 
     #[test]

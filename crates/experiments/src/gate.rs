@@ -1,0 +1,500 @@
+//! The CI bench-regression gate: parse two `BENCH_engine.json`
+//! documents (the committed baseline and a freshly measured one),
+//! match their records point by point, and fail if throughput dropped
+//! beyond a tolerance at any matched point.
+//!
+//! The parser is hand-rolled for exactly the document shape
+//! [`crate::report::bench_json`] emits (the build environment has no
+//! serde): a flat object with `schema`/`host` strings and a `records`
+//! array of flat objects with string and number fields. Both the `v1`
+//! schema (no `queue` field; records default to the heap backend that
+//! was the only implementation then) and the current `v2` are
+//! accepted, so the gate keeps working across the schema bump.
+
+use std::fmt::Write as _;
+
+use simnet::EventQueueKind;
+
+use crate::report::{BenchRecord, BENCH_SCHEMA};
+
+/// A parsed `BENCH_engine.json`.
+#[derive(Clone, Debug)]
+pub struct BenchDoc {
+    /// Schema tag (`flower-cdn/bench-engine/v1` or `v2`).
+    pub schema: String,
+    /// Free-form host description (core count, arch, queue backend).
+    pub host: String,
+    /// The measurements.
+    pub records: Vec<BenchRecord>,
+}
+
+/// Identity of a measured point: two records are comparable when the
+/// experiment cell, population, shard count, queue backend and
+/// simulated horizon all agree.
+fn match_key(r: &BenchRecord) -> (String, usize, usize, EventQueueKind, u64) {
+    (r.experiment.clone(), r.nodes, r.shards, r.queue, r.sim_ms)
+}
+
+// ---------------------------------------------------------------- //
+// Parsing                                                          //
+// ---------------------------------------------------------------- //
+
+#[derive(Debug, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("bench json: {what} at byte {}", self.i)
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.s.get(self.i) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.s.get(self.i) else {
+                        return Err(self.err("dangling escape"));
+                    };
+                    self.i += 1;
+                    out.push(match e {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => return Err(self.err(&format!("escape \\{}", other as char))),
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.ws();
+        let start = self.i;
+        while self
+            .s
+            .get(self.i)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(_) => Ok(Value::Num(self.number()?)),
+            None => Err(self.err("unexpected end")),
+        }
+    }
+
+    /// A flat `{"key": scalar, ...}` object.
+    fn flat_object(&mut self) -> Result<Vec<(String, Value)>, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.eat(b'}') {
+            return Ok(fields);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            if self.eat(b'}') {
+                return Ok(fields);
+            }
+            self.expect(b',')?;
+        }
+    }
+}
+
+fn record_from_fields(fields: Vec<(String, Value)>, idx: usize) -> Result<BenchRecord, String> {
+    let mut r = BenchRecord {
+        experiment: String::new(),
+        nodes: 0,
+        shards: 0,
+        // v1 documents predate the calendar backend.
+        queue: EventQueueKind::Heap,
+        wall_s: 0.0,
+        events: 0,
+        events_per_sec: 0.0,
+        peak_queue_depth: 0,
+        sim_ms: 0,
+    };
+    let mut seen_experiment = false;
+    for (key, value) in fields {
+        let bad = || format!("record {idx}: field {key:?} has the wrong type");
+        match (key.as_str(), value) {
+            ("experiment", Value::Str(s)) => {
+                r.experiment = s;
+                seen_experiment = true;
+            }
+            ("queue", Value::Str(s)) => r.queue = EventQueueKind::parse(&s)?,
+            ("nodes", Value::Num(n)) => r.nodes = n as usize,
+            ("shards", Value::Num(n)) => r.shards = n as usize,
+            ("wall_s", Value::Num(n)) => r.wall_s = n,
+            ("events", Value::Num(n)) => r.events = n as u64,
+            ("events_per_sec", Value::Num(n)) => r.events_per_sec = n,
+            ("peak_queue_depth", Value::Num(n)) => r.peak_queue_depth = n as usize,
+            ("sim_ms", Value::Num(n)) => r.sim_ms = n as u64,
+            (
+                "experiment" | "queue" | "nodes" | "shards" | "wall_s" | "events"
+                | "events_per_sec" | "peak_queue_depth" | "sim_ms",
+                _,
+            ) => return Err(bad()),
+            _ => {} // unknown fields: forward compatibility
+        }
+    }
+    if !seen_experiment {
+        return Err(format!("record {idx}: missing \"experiment\""));
+    }
+    Ok(r)
+}
+
+/// Parse a `BENCH_engine.json` document.
+pub fn parse_bench(json: &str) -> Result<BenchDoc, String> {
+    let mut p = Parser::new(json);
+    let mut doc = BenchDoc {
+        schema: String::new(),
+        host: String::new(),
+        records: Vec::new(),
+    };
+    p.expect(b'{')?;
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "schema" => doc.schema = p.string()?,
+            "host" => doc.host = p.string()?,
+            "records" => {
+                p.expect(b'[')?;
+                if !p.eat(b']') {
+                    loop {
+                        let fields = p.flat_object()?;
+                        doc.records
+                            .push(record_from_fields(fields, doc.records.len())?);
+                        if p.eat(b']') {
+                            break;
+                        }
+                        p.expect(b',')?;
+                    }
+                }
+            }
+            other => return Err(format!("unknown top-level key {other:?}")),
+        }
+        if p.eat(b'}') {
+            break;
+        }
+        p.expect(b',')?;
+    }
+    match doc.schema.as_str() {
+        "flower-cdn/bench-engine/v1" | BENCH_SCHEMA => Ok(doc),
+        other => Err(format!("unsupported schema {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Comparison                                                       //
+// ---------------------------------------------------------------- //
+
+/// One matched (baseline, fresh) measurement pair.
+#[derive(Clone, Debug)]
+pub struct GateRow {
+    /// The measured point (fresh side).
+    pub fresh: BenchRecord,
+    /// Baseline events/second at the same point.
+    pub base_eps: f64,
+    /// Relative change: `fresh/base − 1` (negative = regression).
+    pub delta: f64,
+    /// True if this point regressed beyond the tolerance.
+    pub failed: bool,
+}
+
+/// Outcome of a bench-regression check.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    /// Matched points, in fresh-document order.
+    pub rows: Vec<GateRow>,
+    /// Fresh points with no baseline counterpart (reported, not
+    /// failed: new sweep cells should not need a two-step landing).
+    pub unmatched: Vec<BenchRecord>,
+    /// Host strings of (baseline, fresh) — a mismatch makes absolute
+    /// comparisons soft, which the summary calls out.
+    pub hosts: (String, String),
+    /// The tolerated relative drop (e.g. 0.20).
+    pub max_drop: f64,
+}
+
+impl GateReport {
+    /// True if no matched point regressed beyond the tolerance.
+    pub fn passed(&self) -> bool {
+        !self.rows.iter().any(|r| r.failed)
+    }
+
+    /// Render the per-commit throughput summary as GitHub-flavoured
+    /// markdown (for `$GITHUB_STEP_SUMMARY`).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "### Engine throughput vs committed baseline ({})\n",
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        let _ = writeln!(
+            out,
+            "| experiment | nodes | shards | queue | baseline ev/s | fresh ev/s | Δ | gate |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+        for row in &self.rows {
+            let r = &row.fresh;
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {:.0} | {:.0} | {:+.1}% | {} |",
+                r.experiment,
+                r.nodes,
+                r.shards,
+                r.queue,
+                row.base_eps,
+                r.events_per_sec,
+                row.delta * 100.0,
+                if row.failed { "**FAIL**" } else { "ok" }
+            );
+        }
+        for r in &self.unmatched {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | — | {:.0} | — | new |",
+                r.experiment, r.nodes, r.shards, r.queue, r.events_per_sec
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nGate: fail if events/s drops more than {:.0}% at any matched point.",
+            self.max_drop * 100.0
+        );
+        let (base_host, fresh_host) = &self.hosts;
+        if base_host != fresh_host {
+            let _ = writeln!(
+                out,
+                "\n> Hosts differ — baseline `{base_host}`, fresh `{fresh_host}`; \
+                 absolute numbers are not strictly comparable."
+            );
+        }
+        out
+    }
+}
+
+/// Compare `fresh` against `baseline`: every fresh point that exists
+/// in the baseline (same experiment, nodes, shards, queue, sim_ms)
+/// must not lose more than `max_drop` of its events/second.
+pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc, max_drop: f64) -> GateReport {
+    let mut report = GateReport {
+        rows: Vec::new(),
+        unmatched: Vec::new(),
+        hosts: (baseline.host.clone(), fresh.host.clone()),
+        max_drop,
+    };
+    for f in &fresh.records {
+        match baseline
+            .records
+            .iter()
+            .find(|b| match_key(b) == match_key(f))
+        {
+            Some(b) => {
+                let delta = f.events_per_sec / b.events_per_sec.max(1e-9) - 1.0;
+                report.rows.push(GateRow {
+                    fresh: f.clone(),
+                    base_eps: b.events_per_sec,
+                    delta,
+                    failed: delta < -max_drop,
+                });
+            }
+            None => report.unmatched.push(f.clone()),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::bench_json;
+
+    fn record(nodes: usize, shards: usize, queue: EventQueueKind, eps: f64) -> BenchRecord {
+        BenchRecord {
+            experiment: format!("scale/{nodes}n"),
+            nodes,
+            shards,
+            queue,
+            wall_s: 1.0,
+            events: (eps * 1.0) as u64,
+            events_per_sec: eps,
+            peak_queue_depth: 10,
+            sim_ms: 30_000,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_the_emitter() {
+        let records = vec![
+            record(20_000, 1, EventQueueKind::Calendar, 500_000.0),
+            record(20_000, 2, EventQueueKind::Heap, 400_000.5),
+        ];
+        let doc = parse_bench(&bench_json("4 cpus, x86_64, queue=calendar", &records)).unwrap();
+        assert_eq!(doc.schema, BENCH_SCHEMA);
+        assert_eq!(doc.host, "4 cpus, x86_64, queue=calendar");
+        assert_eq!(doc.records, records);
+    }
+
+    #[test]
+    fn parses_v1_documents_without_queue_field() {
+        let v1 = r#"{
+  "schema": "flower-cdn/bench-engine/v1",
+  "host": "1 cpus, x86_64",
+  "records": [
+    {"experiment": "scale/10000n", "nodes": 10000, "shards": 1, "wall_s": 1.067, "events": 512338, "events_per_sec": 480300.0, "peak_queue_depth": 18347, "sim_ms": 90000}
+  ]
+}"#;
+        let doc = parse_bench(v1).unwrap();
+        assert_eq!(doc.records.len(), 1);
+        assert_eq!(doc.records[0].queue, EventQueueKind::Heap, "v1 = heap era");
+        assert_eq!(doc.records[0].events, 512_338);
+        assert_eq!(doc.records[0].events_per_sec, 480_300.0);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_bench("").is_err());
+        assert!(parse_bench("{}").unwrap_err().contains("expected"));
+        assert!(
+            parse_bench(r#"{"schema": "nope", "host": "h", "records": []}"#)
+                .unwrap_err()
+                .contains("unsupported schema")
+        );
+        assert!(parse_bench(
+            r#"{"schema": "flower-cdn/bench-engine/v2", "records": [{"nodes": 5}]}"#
+        )
+        .unwrap_err()
+        .contains("missing"),);
+        assert!(parse_bench(
+            r#"{"schema": "flower-cdn/bench-engine/v2", "records": [{"experiment": 7}]}"#
+        )
+        .unwrap_err()
+        .contains("wrong type"));
+    }
+
+    fn doc(host: &str, records: Vec<BenchRecord>) -> BenchDoc {
+        BenchDoc {
+            schema: BENCH_SCHEMA.into(),
+            host: host.into(),
+            records,
+        }
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let baseline = doc(
+            "h",
+            vec![
+                record(20_000, 1, EventQueueKind::Calendar, 100_000.0),
+                record(20_000, 2, EventQueueKind::Calendar, 100_000.0),
+            ],
+        );
+        let fresh = doc(
+            "h",
+            vec![
+                record(20_000, 1, EventQueueKind::Calendar, 85_000.0), // −15%: ok
+                record(20_000, 2, EventQueueKind::Calendar, 75_000.0), // −25%: fail
+            ],
+        );
+        let report = compare(&baseline, &fresh, 0.20);
+        assert!(!report.passed());
+        assert!(!report.rows[0].failed);
+        assert!(report.rows[1].failed);
+        let md = report.to_markdown();
+        assert!(md.contains("FAIL"), "{md}");
+        assert!(md.contains("-25.0%"), "{md}");
+    }
+
+    #[test]
+    fn gate_treats_unmatched_points_as_new() {
+        let baseline = doc("a", vec![record(20_000, 1, EventQueueKind::Calendar, 1e5)]);
+        let fresh = doc(
+            "b",
+            vec![
+                record(20_000, 1, EventQueueKind::Calendar, 1e5),
+                // Different queue backend: no baseline counterpart.
+                record(20_000, 1, EventQueueKind::Heap, 1e3),
+            ],
+        );
+        let report = compare(&baseline, &fresh, 0.20);
+        assert!(report.passed(), "new cells must not fail the gate");
+        assert_eq!(report.unmatched.len(), 1);
+        let md = report.to_markdown();
+        assert!(md.contains("new"), "{md}");
+        assert!(md.contains("Hosts differ"), "{md}");
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let baseline = doc("h", vec![record(10_000, 1, EventQueueKind::Heap, 1e5)]);
+        let fresh = doc("h", vec![record(10_000, 1, EventQueueKind::Heap, 9e5)]);
+        let report = compare(&baseline, &fresh, 0.20);
+        assert!(report.passed());
+        assert!(report.rows[0].delta > 7.0);
+    }
+}

@@ -3,6 +3,8 @@
 
 use std::fmt::Write as _;
 
+use simnet::EventQueueKind;
+
 /// A fixed-width text table.
 #[derive(Clone, Debug)]
 pub struct Table {
@@ -100,7 +102,7 @@ impl Table {
 /// One engine-performance measurement, emitted into
 /// `BENCH_engine.json` so the perf trajectory of the simulator is
 /// tracked from PR to PR.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BenchRecord {
     /// The experiment (or sweep cell) the measurement belongs to.
     pub experiment: String,
@@ -108,6 +110,8 @@ pub struct BenchRecord {
     pub nodes: usize,
     /// Engine shards (worker threads) used.
     pub shards: usize,
+    /// Event-queue backend the engine ran on.
+    pub queue: EventQueueKind,
     /// Wall-clock seconds of the run (simulation only, build
     /// excluded).
     pub wall_s: f64,
@@ -121,13 +125,18 @@ pub struct BenchRecord {
     pub sim_ms: u64,
 }
 
+/// Schema tag of the `BENCH_engine.json` document. `v2` added the
+/// per-record `queue` field (event-queue backend) and put the host
+/// core count and default queue backend into `host`.
+pub const BENCH_SCHEMA: &str = "flower-cdn/bench-engine/v2";
+
 /// Render benchmark records as the `BENCH_engine.json` document
 /// (hand-rolled: the build environment has no serde).
 pub fn bench_json(host: &str, records: &[BenchRecord]) -> String {
     let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"flower-cdn/bench-engine/v1\",");
+    let _ = writeln!(out, "  \"schema\": \"{BENCH_SCHEMA}\",");
     let _ = writeln!(out, "  \"host\": \"{}\",", esc(host));
     let _ = writeln!(out, "  \"records\": [");
     for (i, r) in records.iter().enumerate() {
@@ -135,11 +144,13 @@ pub fn bench_json(host: &str, records: &[BenchRecord]) -> String {
         let _ = writeln!(
             out,
             "    {{\"experiment\": \"{}\", \"nodes\": {}, \"shards\": {}, \
+             \"queue\": \"{}\", \
              \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \
              \"peak_queue_depth\": {}, \"sim_ms\": {}}}{}",
             esc(&r.experiment),
             r.nodes,
             r.shards,
+            r.queue,
             r.wall_s,
             r.events,
             r.events_per_sec,
@@ -213,6 +224,7 @@ mod tests {
                 experiment: "scale".into(),
                 nodes: 20_000,
                 shards: 2,
+                queue: EventQueueKind::Calendar,
                 wall_s: 1.5,
                 events: 3_000_000,
                 events_per_sec: 2_000_000.0,
@@ -223,6 +235,7 @@ mod tests {
                 experiment: "fig\"5".into(),
                 nodes: 5000,
                 shards: 1,
+                queue: EventQueueKind::Heap,
                 wall_s: 0.25,
                 events: 100,
                 events_per_sec: 400.0,
@@ -231,8 +244,10 @@ mod tests {
             },
         ];
         let json = bench_json("test-host", &records);
-        assert!(json.contains("\"schema\": \"flower-cdn/bench-engine/v1\""));
+        assert!(json.contains("\"schema\": \"flower-cdn/bench-engine/v2\""));
         assert!(json.contains("\"nodes\": 20000"));
+        assert!(json.contains("\"queue\": \"calendar\""));
+        assert!(json.contains("\"queue\": \"heap\""));
         assert!(json.contains("\"events_per_sec\": 2000000.0"));
         assert!(json.contains("fig\\\"5"), "quotes must be escaped");
         // Exactly one trailing comma between the two records.

@@ -8,10 +8,55 @@
 //! paper's exact setup and the one recorded in `EXPERIMENTS.md`.
 
 use flower_core::{FlowerConfig, FlowerSystem, SubstrateKind, SystemConfig, SystemReport};
-use simnet::SimDuration;
+use simnet::{EventQueueKind, SimDuration};
 use squirrel::{SquirrelConfig, SquirrelReport, SquirrelSystem};
 
 use crate::report::BenchRecord;
+
+/// The run parameters every experiment takes: time scale, master
+/// seed, DHT substrate, engine shard count and event-queue backend.
+/// All of them are execution/reproduction knobs orthogonal to the
+/// paper's protocol parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// How much of the 24-hour experiment to simulate.
+    pub scale: RunScale,
+    /// Master seed; a run is a pure function of config + seed.
+    pub seed: u64,
+    /// Which DHT the D-ring runs over (§3.1 portability).
+    pub substrate: SubstrateKind,
+    /// Engine locality shards (worker threads); results are
+    /// bit-identical for every value.
+    pub shards: usize,
+    /// Event-queue backend; results are bit-identical for both.
+    pub queue: EventQueueKind,
+}
+
+impl RunOpts {
+    /// Defaults: 1/10 time scale, seed 42, Chord, one shard, calendar
+    /// queue.
+    pub fn new() -> Self {
+        RunOpts {
+            scale: RunScale::Scaled(0.1),
+            seed: 42,
+            substrate: SubstrateKind::Chord,
+            shards: 1,
+            queue: EventQueueKind::default(),
+        }
+    }
+
+    /// Replace the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// How much of the 24-hour experiment to simulate.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -54,28 +99,28 @@ impl RunScale {
     }
 }
 
-/// The paper-scale Flower-CDN configuration at a given time scale,
-/// with the D-ring on `substrate` (every paper experiment runs over
-/// either DHT from config alone; the paper's own evaluation simulates
-/// Chord) and the engine on `shards` locality shards (bit-identical
-/// results for every shard count).
+/// The paper-scale Flower-CDN configuration under `opts`: the D-ring
+/// on `opts.substrate` (every paper experiment runs over either DHT
+/// from config alone; the paper's own evaluation simulates Chord), the
+/// engine on `opts.shards` locality shards and the `opts.queue` event
+/// storage (results are bit-identical for every shard count and both
+/// queue backends).
 ///
 /// Time-like protocol parameters (`Tgossip`, keepalive, `Tdead` ticks
 /// stay ratio-identical because the tick period scales) shrink with
 /// the scale so convergence dynamics match the full run's shape.
-pub fn flower_config(
-    scale: RunScale,
-    seed: u64,
-    substrate: SubstrateKind,
-    shards: usize,
-) -> SystemConfig {
+pub fn flower_config(opts: RunOpts) -> SystemConfig {
     let mut cfg = SystemConfig::paper();
-    cfg.seed = seed;
-    cfg.workload.duration_ms = scale.scale_duration(SimDuration::from_hours(24)).as_ms();
-    cfg.flower = scale_flower(&cfg.flower, scale);
-    cfg.flower.substrate = substrate;
-    cfg.window = scale.scale_duration(SimDuration::from_mins(30));
-    cfg.shards = shards.max(1);
+    cfg.seed = opts.seed;
+    cfg.workload.duration_ms = opts
+        .scale
+        .scale_duration(SimDuration::from_hours(24))
+        .as_ms();
+    cfg.flower = scale_flower(&cfg.flower, opts.scale);
+    cfg.flower.substrate = opts.substrate;
+    cfg.window = opts.scale.scale_duration(SimDuration::from_mins(30));
+    cfg.shards = opts.shards.max(1);
+    cfg.topology.event_queue = opts.queue;
     cfg
 }
 
@@ -91,13 +136,17 @@ pub fn scale_flower(base: &FlowerConfig, scale: RunScale) -> FlowerConfig {
 }
 
 /// The matching Squirrel configuration (same topology, catalog,
-/// workload, seed, shard count).
-pub fn squirrel_config(scale: RunScale, seed: u64, shards: usize) -> SquirrelConfig {
+/// workload, seed, shard count, queue backend).
+pub fn squirrel_config(opts: RunOpts) -> SquirrelConfig {
     let mut cfg = SquirrelConfig::paper();
-    cfg.seed = seed;
-    cfg.workload.duration_ms = scale.scale_duration(SimDuration::from_hours(24)).as_ms();
-    cfg.window = scale.scale_duration(SimDuration::from_mins(30));
-    cfg.shards = shards.max(1);
+    cfg.seed = opts.seed;
+    cfg.workload.duration_ms = opts
+        .scale
+        .scale_duration(SimDuration::from_hours(24))
+        .as_ms();
+    cfg.window = opts.scale.scale_duration(SimDuration::from_mins(30));
+    cfg.shards = opts.shards.max(1);
+    cfg.topology.event_queue = opts.queue;
     cfg
 }
 
@@ -126,6 +175,7 @@ pub fn run_flower_timed(
         experiment: experiment.to_string(),
         nodes: cfg.topology.nodes,
         shards: engine.num_shards(),
+        queue: engine.queue_kind(),
         wall_s,
         events,
         events_per_sec: events as f64 / wall_s.max(1e-9),
@@ -153,10 +203,19 @@ mod tests {
         assert!(RunScale::parse("x").is_err());
     }
 
+    fn opts(scale: RunScale, substrate: SubstrateKind, shards: usize) -> RunOpts {
+        RunOpts {
+            scale,
+            substrate,
+            shards,
+            ..RunOpts::new().seed(1)
+        }
+    }
+
     #[test]
     fn substrate_choice_is_config_only() {
-        let chord = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Chord, 1);
-        let pastry = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Pastry, 1);
+        let chord = flower_config(opts(RunScale::Scaled(0.1), SubstrateKind::Chord, 1));
+        let pastry = flower_config(opts(RunScale::Scaled(0.1), SubstrateKind::Pastry, 1));
         assert_eq!(chord.flower.substrate, SubstrateKind::Chord);
         assert_eq!(pastry.flower.substrate, SubstrateKind::Pastry);
         assert_eq!(chord.workload.duration_ms, pastry.workload.duration_ms);
@@ -164,22 +223,31 @@ mod tests {
     }
 
     #[test]
-    fn shards_flow_into_the_configs() {
-        let f = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Chord, 4);
+    fn shards_and_queue_flow_into_the_configs() {
+        let f = flower_config(opts(RunScale::Scaled(0.1), SubstrateKind::Chord, 4));
         assert_eq!(f.shards, 4);
-        let s = squirrel_config(RunScale::Scaled(0.1), 1, 4);
+        assert_eq!(f.topology.event_queue, EventQueueKind::Calendar);
+        let s = squirrel_config(opts(RunScale::Scaled(0.1), SubstrateKind::Chord, 4));
         assert_eq!(s.shards, 4);
         // 0 is normalized to 1.
         assert_eq!(
-            flower_config(RunScale::Full, 1, SubstrateKind::Chord, 0).shards,
+            flower_config(opts(RunScale::Full, SubstrateKind::Chord, 0)).shards,
             1
+        );
+        // The queue backend threads through both configs.
+        let mut o = opts(RunScale::Scaled(0.1), SubstrateKind::Chord, 1);
+        o.queue = EventQueueKind::Heap;
+        assert_eq!(flower_config(o).topology.event_queue, EventQueueKind::Heap);
+        assert_eq!(
+            squirrel_config(o).topology.event_queue,
+            EventQueueKind::Heap
         );
     }
 
     #[test]
     fn scaled_config_shrinks_time_not_space() {
-        let full = flower_config(RunScale::Full, 1, SubstrateKind::Chord, 1);
-        let tenth = flower_config(RunScale::Scaled(0.1), 1, SubstrateKind::Chord, 1);
+        let full = flower_config(opts(RunScale::Full, SubstrateKind::Chord, 1));
+        let tenth = flower_config(opts(RunScale::Scaled(0.1), SubstrateKind::Chord, 1));
         assert_eq!(tenth.topology.nodes, full.topology.nodes);
         assert_eq!(tenth.catalog.num_websites, full.catalog.num_websites);
         assert_eq!(tenth.workload.duration_ms, full.workload.duration_ms / 10);

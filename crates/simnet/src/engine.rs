@@ -318,6 +318,104 @@ pub fn node_stream_seed(seed: u64, node: NodeId) -> u64 {
 /// node `n` emits on stream `n + 1`.
 const EXTERNAL_STREAM: u64 = 0;
 
+/// Global node id → `(owning shard, dense local index)`, packed into
+/// one `u64` per node (shard in the high half, local index in the
+/// low). The engine's hot path resolves both halves for nearly every
+/// event — `route` needs the shard, `deliver`/`emit_key` the local
+/// index — so packing them touches one cache line per node instead of
+/// two parallel tables.
+struct Placement {
+    packed: Vec<u64>,
+}
+
+impl Placement {
+    fn new(n: usize) -> Self {
+        Placement { packed: vec![0; n] }
+    }
+
+    fn set(&mut self, node: NodeId, shard: usize, local: u32) {
+        self.packed[node.idx()] = ((shard as u64) << 32) | local as u64;
+    }
+
+    #[inline]
+    fn shard(&self, node: NodeId) -> usize {
+        (self.packed[node.idx()] >> 32) as usize
+    }
+
+    #[inline]
+    fn local(&self, node: NodeId) -> usize {
+        (self.packed[node.idx()] & 0xFFFF_FFFF) as usize
+    }
+}
+
+/// Full-population liveness map, one bit per node. Replicated on every
+/// shard (kept in sync by the broadcast churn events), so at 100k+
+/// nodes the packed form keeps each replica at ~12 KB of cache
+/// footprint instead of 100 KB for a `Vec<bool>`.
+#[derive(Clone)]
+struct Liveness {
+    words: Vec<u64>,
+}
+
+impl Liveness {
+    fn all_up(n: usize) -> Self {
+        Liveness {
+            words: vec![u64::MAX; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn get(&self, node: NodeId) -> bool {
+        let i = node.idx();
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    fn set(&mut self, node: NodeId, up: bool) {
+        let i = node.idx();
+        if up {
+            self.words[i / 64] |= 1u64 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+}
+
+/// Struct-of-arrays slab of a shard's hot per-node state, indexed by
+/// the dense local index ([`Placement::local`]). Keeping each field in
+/// its own contiguous array means an event touches only the arrays it
+/// needs — an emission counter bump does not pull the node's RNG
+/// state into cache alongside it.
+struct NodeSlab {
+    /// Per-node deterministic RNG streams
+    /// (`StdRng::seed_from_u64(node_stream_seed(seed, node))`).
+    rngs: Vec<StdRng>,
+    /// Per-node emission counters — sequence numbers of the node's
+    /// [`EventKey`] stream.
+    emit_seq: Vec<u64>,
+}
+
+impl NodeSlab {
+    fn with_capacity(c: usize) -> Self {
+        NodeSlab {
+            rngs: Vec::with_capacity(c),
+            emit_seq: Vec::with_capacity(c),
+        }
+    }
+
+    fn push(&mut self, rng: StdRng) {
+        self.rngs.push(rng);
+        self.emit_seq.push(0);
+    }
+
+    /// The next sequence number on local node `li`'s emission stream.
+    #[inline]
+    fn next_seq(&mut self, li: usize) -> u64 {
+        let seq = self.emit_seq[li];
+        self.emit_seq[li] += 1;
+        seq
+    }
+}
+
 /// A keyed event staged for another shard (one entry of an
 /// outbox/inbox batch exchanged at the epoch barrier).
 type Staged<M> = (EventKey, Pending<M>);
@@ -347,16 +445,14 @@ struct Shard<M: Message, N: Node<M>> {
     /// Index of this shard.
     id: usize,
     /// Protocol nodes owned by this shard, densely packed; the
-    /// engine's `local_idx` maps global node ids into this vector.
+    /// engine's [`Placement`] maps global node ids into this vector.
     nodes: Vec<N>,
-    /// Per-node RNG streams, parallel to `nodes`.
-    rngs: Vec<StdRng>,
-    /// Per-node emission counters, parallel to `nodes` (sequence
-    /// numbers of the node's [`EventKey`] stream).
-    emit_seq: Vec<u64>,
-    /// Full-size liveness map, replicated on every shard and kept in
-    /// sync by the broadcast churn events.
-    up: Vec<bool>,
+    /// Hot per-node engine state (RNG streams, emission counters),
+    /// parallel to `nodes` as struct-of-arrays.
+    slab: NodeSlab,
+    /// Full-population liveness bitmap, replicated on every shard and
+    /// kept in sync by the broadcast churn events.
+    up: Liveness,
     queue: EventQueue<Pending<M>>,
     now: SimTime,
     traffic: Traffic,
@@ -367,10 +463,8 @@ struct Shard<M: Message, N: Node<M>> {
 
 impl<M: Message, N: Node<M>> Shard<M, N> {
     /// The next key on this node's emission stream, at time `at`.
-    fn emit_key(&mut self, at: SimTime, emitter: NodeId, local_idx: &[u32]) -> EventKey {
-        let li = local_idx[emitter.idx()] as usize;
-        let seq = self.emit_seq[li];
-        self.emit_seq[li] += 1;
+    fn emit_key(&mut self, at: SimTime, emitter: NodeId, place: &Placement) -> EventKey {
+        let seq = self.slab.next_seq(place.local(emitter));
         EventKey {
             at,
             src: emitter.0 as u64 + 1,
@@ -398,18 +492,13 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
         &mut self,
         limit: SimTime,
         topo: &Topology,
-        shard_of: &[usize],
-        local_idx: &[u32],
+        place: &Placement,
         outbox: &mut [Vec<Staged<M>>],
     ) {
-        while let Some(key) = self.queue.peek_key() {
-            if key.at >= limit {
-                break;
-            }
-            let item = self.queue.pop().expect("peeked");
-            debug_assert!(item.key.at >= self.now, "time went backwards");
-            self.now = item.key.at;
-            self.dispatch(item.payload, topo, shard_of, local_idx, outbox);
+        while let Some((key, payload)) = self.queue.pop_if_before(limit) {
+            debug_assert!(key.at >= self.now, "time went backwards");
+            self.now = key.at;
+            self.dispatch(payload, topo, place, outbox);
         }
     }
 
@@ -417,50 +506,42 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
         &mut self,
         p: Pending<M>,
         topo: &Topology,
-        shard_of: &[usize],
-        local_idx: &[u32],
+        place: &Placement,
         outbox: &mut [Vec<Staged<M>>],
     ) {
         match p {
             Pending::ChurnDown(n) => {
-                self.up[n.idx()] = false;
+                self.up.set(n, false);
             }
             Pending::ChurnUp(n) => {
-                self.up[n.idx()] = true;
+                self.up.set(n, true);
                 // Churn events are broadcast to keep every shard's
                 // liveness map current; only the owner delivers.
-                if shard_of[n.idx()] == self.id {
-                    self.deliver(n, Event::NodeUp, topo, shard_of, local_idx, outbox);
+                if place.shard(n) == self.id {
+                    self.deliver(n, Event::NodeUp, topo, place, outbox);
                 }
             }
             Pending::App { dst, ev } => {
-                if self.up[dst.idx()] {
-                    self.deliver(dst, ev, topo, shard_of, local_idx, outbox);
+                if self.up.get(dst) {
+                    self.deliver(dst, ev, topo, place, outbox);
                 }
                 // Events to down nodes are dropped: timers die with the
                 // node; externally injected events are lost, like a user
                 // whose machine is off.
             }
             Pending::Wire { from, to, msg } => {
-                if self.up[to.idx()] {
-                    self.deliver(
-                        to,
-                        Event::Recv { from, msg },
-                        topo,
-                        shard_of,
-                        local_idx,
-                        outbox,
-                    );
-                } else if self.up[from.idx()] {
+                if self.up.get(to) {
+                    self.deliver(to, Event::Recv { from, msg }, topo, place, outbox);
+                } else if self.up.get(from) {
                     // Bounce: the sender learns after one more one-way
                     // latency (connection refused round trip). The
                     // bounce is emitted on the dead destination's
                     // stream — its shard processes the wire event, so
                     // the counter stays deterministic.
                     let back = topo.latency(to, from);
-                    let key = self.emit_key(self.now + back, to, local_idx);
+                    let key = self.emit_key(self.now + back, to, place);
                     self.route(
-                        shard_of[from.idx()],
+                        place.shard(from),
                         key,
                         Pending::App {
                             dst: from,
@@ -478,17 +559,16 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
         dst: NodeId,
         ev: Event<M>,
         topo: &Topology,
-        shard_of: &[usize],
-        local_idx: &[u32],
+        place: &Placement,
         outbox: &mut [Vec<Staged<M>>],
     ) {
         self.events_processed += 1;
-        let li = local_idx[dst.idx()] as usize;
+        let li = place.local(dst);
         let mut ctx = Ctx {
             now: self.now,
             id: dst,
             topo,
-            rng: &mut self.rngs[li],
+            rng: &mut self.slab.rngs[li],
             query_stats: &mut self.query_stats,
             gauges: &mut self.gauges,
             out: Vec::new(),
@@ -501,16 +581,16 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
                     self.traffic
                         .record(self.now, dst, to, msg.class(), msg.wire_size());
                     let lat = topo.latency(dst, to);
-                    let key = self.emit_key(self.now + lat, dst, local_idx);
+                    let key = self.emit_key(self.now + lat, dst, place);
                     self.route(
-                        shard_of[to.idx()],
+                        place.shard(to),
                         key,
                         Pending::Wire { from: dst, to, msg },
                         outbox,
                     );
                 }
                 Action::Timer { delay, kind, tag } => {
-                    let key = self.emit_key(self.now + delay, dst, local_idx);
+                    let key = self.emit_key(self.now + delay, dst, place);
                     self.queue.push(
                         key,
                         Pending::App {
@@ -540,10 +620,8 @@ struct Merged {
 pub struct Engine<M: Message, N: Node<M>> {
     topo: std::sync::Arc<Topology>,
     shards: Vec<Shard<M, N>>,
-    /// Global node id → owning shard.
-    shard_of: Vec<usize>,
-    /// Global node id → index within the owning shard's `nodes`.
-    local_idx: Vec<u32>,
+    /// Global node id → (owning shard, local index), packed.
+    place: Placement,
     /// Epoch length for the conservative barrier.
     lookahead: SimDuration,
     now: SimTime,
@@ -568,7 +646,10 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
 
     /// Build an engine partitioned into (up to) `shards` locality
     /// shards. Results are bit-identical for every value of `shards`;
-    /// values above the number of localities are clamped.
+    /// values above the number of localities are clamped. Each shard's
+    /// event queue runs on the backend the topology selects
+    /// ([`crate::topology::TopologyConfig::event_queue`]) — also
+    /// result-neutral, see [`crate::event`].
     pub fn with_shards(
         topo: Topology,
         nodes: Vec<N>,
@@ -587,13 +668,11 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         let loc_shard = topo.shard_map(k);
         let lookahead = topo.cross_locality_lookahead();
 
-        let mut shard_of = vec![0usize; n];
-        let mut local_idx = vec![0u32; n];
+        let mut place = Placement::new(n);
         let mut member_count = vec![0usize; k];
         for node in topo.node_ids() {
             let s = loc_shard[topo.locality(node).idx()];
-            shard_of[node.idx()] = s;
-            local_idx[node.idx()] = member_count[s] as u32;
+            place.set(node, s, member_count[s] as u32);
             member_count[s] += 1;
         }
 
@@ -603,30 +682,28 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
             .iter()
             .map(|c| Vec::with_capacity(*c))
             .collect();
-        let mut rng_slots: Vec<Vec<StdRng>> = member_count
+        let mut slabs: Vec<NodeSlab> = member_count
             .iter()
-            .map(|c| Vec::with_capacity(*c))
+            .map(|c| NodeSlab::with_capacity(*c))
             .collect();
         for (i, state) in nodes.into_iter().enumerate() {
-            let s = shard_of[i];
+            let node = NodeId(i as u32);
+            let s = place.shard(node);
             slots[s].push(state);
-            rng_slots[s].push(StdRng::seed_from_u64(node_stream_seed(
-                seed,
-                NodeId(i as u32),
-            )));
+            slabs[s].push(StdRng::seed_from_u64(node_stream_seed(seed, node)));
         }
 
+        let queue_kind = topo.event_queue();
         let shards_vec = slots
             .into_iter()
-            .zip(rng_slots)
+            .zip(slabs)
             .enumerate()
-            .map(|(id, (nodes, rngs))| Shard {
+            .map(|(id, (nodes, slab))| Shard {
                 id,
-                emit_seq: vec![0; nodes.len()],
                 nodes,
-                rngs,
-                up: vec![true; n],
-                queue: EventQueue::new(),
+                slab,
+                up: Liveness::all_up(n),
+                queue: EventQueue::with_kind(queue_kind),
                 now: SimTime::ZERO,
                 traffic: Traffic::new(n, window),
                 query_stats: QueryStats::new(window),
@@ -638,8 +715,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         Engine {
             topo: std::sync::Arc::new(topo),
             shards: shards_vec,
-            shard_of,
-            local_idx,
+            place,
             lookahead,
             now: SimTime::ZERO,
             ext_seq: 0,
@@ -668,20 +744,25 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         self.lookahead
     }
 
+    /// The event-queue backend the shards run on.
+    pub fn queue_kind(&self) -> crate::event::EventQueueKind {
+        self.shards[0].queue.kind()
+    }
+
     /// Immutable access to a protocol node (inspection in tests and
     /// harnesses).
     pub fn node(&self, n: NodeId) -> &N {
-        &self.shards[self.shard_of[n.idx()]].nodes[self.local_idx[n.idx()] as usize]
+        &self.shards[self.place.shard(n)].nodes[self.place.local(n)]
     }
 
     /// Mutable access to a protocol node (setup in harnesses).
     pub fn node_mut(&mut self, n: NodeId) -> &mut N {
-        &mut self.shards[self.shard_of[n.idx()]].nodes[self.local_idx[n.idx()] as usize]
+        &mut self.shards[self.place.shard(n)].nodes[self.place.local(n)]
     }
 
     /// Whether `n` is currently up.
     pub fn is_up(&self, n: NodeId) -> bool {
-        self.shards[self.shard_of[n.idx()]].up[n.idx()]
+        self.shards[self.place.shard(n)].up.get(n)
     }
 
     /// Traffic accounting (merged across shards).
@@ -747,7 +828,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
     pub fn schedule_at(&mut self, at: SimTime, node: NodeId, ev: Event<M>) {
         assert!(at >= self.now, "cannot schedule in the past");
         let key = self.ext_key(at);
-        let s = self.shard_of[node.idx()];
+        let s = self.place.shard(node);
         self.shards[s]
             .queue
             .push(key, Pending::App { dst: node, ev });
@@ -787,13 +868,12 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         let limit = deadline + SimDuration::from_ms(1);
         if self.shards.len() == 1 {
             let topo = &*self.topo;
-            let shard_of = &self.shard_of[..];
-            let local_idx = &self.local_idx[..];
+            let place = &self.place;
             let shard = &mut self.shards[0];
             // Single shard: no epochs, no threads; every emission is
             // local, so the outbox stays empty.
             let mut outbox: Vec<Vec<Staged<M>>> = vec![Vec::new()];
-            shard.run_epoch(limit, topo, shard_of, local_idx, &mut outbox);
+            shard.run_epoch(limit, topo, place, &mut outbox);
             debug_assert!(outbox[0].is_empty());
             shard.now = shard.now.max(deadline);
         } else {
@@ -817,8 +897,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         let inboxes: Vec<Mutex<Vec<Staged<M>>>> = (0..k).map(|_| Mutex::new(Vec::new())).collect();
         let next_times: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(u64::MAX)).collect();
         let topo = &*self.topo;
-        let shard_of = &self.shard_of[..];
-        let local_idx = &self.local_idx[..];
+        let place = &self.place;
         let barrier = &barrier;
         let inboxes = &inboxes[..];
         let next_times = &next_times[..];
@@ -850,7 +929,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                         // epoch.
                         let epoch_end =
                             SimTime::from_ms(min_next.saturating_add(lookahead_ms).min(limit_ms));
-                        shard.run_epoch(epoch_end, topo, shard_of, local_idx, &mut outbox);
+                        shard.run_epoch(epoch_end, topo, place, &mut outbox);
                         for (j, batch) in outbox.iter_mut().enumerate() {
                             if j != me && !batch.is_empty() {
                                 inboxes[j].lock().expect("inbox poisoned").append(batch);

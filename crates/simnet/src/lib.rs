@@ -34,6 +34,18 @@
 //! does not depend on how the simulation is partitioned or scheduled
 //! onto threads.
 //!
+//! The *storage* behind that order is a pluggable backend
+//! ([`event::EventQueueKind`], selected via
+//! [`TopologyConfig::event_queue`]): a self-resizing **calendar
+//! queue** (Brown, CACM 1988 — `O(1)` hold operations at steady
+//! state; the default) or the reference `BinaryHeap`. Same-instant
+//! ties break by the full `EventKey` under both backends — bucket
+//! width, resize thresholds and every other calendar internal are
+//! pure functions of the push/pop sequence — so the backend can only
+//! change wall-clock speed, never results (pinned by the backend
+//! parity proptests in [`event`] and the seed-42 stat pins in
+//! `tests/shard_parity.rs`).
+//!
 //! Randomness follows the same discipline: there is no engine-global
 //! RNG. Node `n` draws from a private `StdRng` stream seeded with
 //! `hash(seed, n)` ([`engine::node_stream_seed`]), so one node's
@@ -105,7 +117,7 @@ pub mod topology;
 
 pub use churn::{ChurnConfig, ChurnEvent, ChurnKind, ChurnScript};
 pub use engine::{node_stream_seed, Action, Ctx, Engine, Event, Message, Node, QuerySink};
-pub use event::EventKey;
+pub use event::{EventKey, EventQueueKind};
 pub use stats::{Histogram, QueryStats, SeriesPoint, TimeSeries, Traffic, TrafficClass};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Locality, NodeId, Topology, TopologyConfig};
@@ -114,6 +126,7 @@ pub use topology::{Locality, NodeId, Topology, TopologyConfig};
 pub mod prelude {
     pub use crate::churn::{ChurnConfig, ChurnScript};
     pub use crate::engine::{Ctx, Engine, Event, Message, Node};
+    pub use crate::event::EventQueueKind;
     pub use crate::stats::{Histogram, QueryStats, TimeSeries, Traffic, TrafficClass};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{Locality, NodeId, Topology, TopologyConfig};

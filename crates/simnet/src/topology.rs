@@ -115,6 +115,13 @@ pub struct TopologyConfig {
     /// less synchronization between shards. See
     /// [`Topology::cross_locality_lookahead`].
     pub inter_locality_floor_ms: u64,
+    /// Storage backend of the engine's per-shard event queues. An
+    /// execution knob, not a network-model parameter — it rides on the
+    /// topology config because that is the one configuration object
+    /// every engine construction path already receives. Results are
+    /// bit-identical for both backends; see
+    /// [`crate::event::EventQueueKind`].
+    pub event_queue: crate::event::EventQueueKind,
 }
 
 impl Default for TopologyConfig {
@@ -128,6 +135,7 @@ impl Default for TopologyConfig {
             background_fraction: 0.05,
             population_skew: 1.0,
             inter_locality_floor_ms: 0,
+            event_queue: crate::event::EventQueueKind::default(),
         }
     }
 }
@@ -161,6 +169,7 @@ pub struct Topology {
     /// Scale factor mapping unit-square distance to milliseconds.
     ms_per_unit: f64,
     populations: Vec<u32>,
+    event_queue: crate::event::EventQueueKind,
 }
 
 impl Topology {
@@ -239,6 +248,7 @@ impl Topology {
             inter_floor_ms: cfg.inter_locality_floor_ms,
             ms_per_unit,
             populations: vec![0; k],
+            event_queue: cfg.event_queue,
         };
 
         // Landmark binning: locality = argmin latency-to-landmark.
@@ -269,6 +279,12 @@ impl Topology {
     /// Number of underlay nodes.
     pub fn num_nodes(&self) -> usize {
         self.points.len()
+    }
+
+    /// The event-queue backend engines over this topology should use
+    /// (from [`TopologyConfig::event_queue`]).
+    pub fn event_queue(&self) -> crate::event::EventQueueKind {
+        self.event_queue
     }
 
     /// Number of network localities `k`.

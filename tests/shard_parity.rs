@@ -1,8 +1,9 @@
-//! The tentpole guarantee of the sharded-engine refactor, measured on
-//! the full Flower-CDN system: the same seed produces *identical*
+//! The tentpole guarantee of the engine's execution knobs, measured
+//! on the full Flower-CDN system: the same seed produces *identical*
 //! query statistics and traffic totals whether the engine runs on one
-//! shard or several — sharding is an execution detail, never a
-//! modelling change.
+//! shard or several, and whether events are stored in the calendar
+//! queue or the binary heap — sharding and event storage are
+//! execution details, never modelling changes.
 //!
 //! Also pins the per-node RNG streams: a fixed seed must keep
 //! producing the same hit-ratio statistics from PR to PR. If a change
@@ -11,12 +12,18 @@
 //! pin exists to make such changes loud, not to forbid them.
 
 use flower_cdn::core::system::{FlowerSystem, SystemConfig, SystemReport};
+use flower_cdn::simnet::EventQueueKind;
 
-fn run_with_shards(shards: usize, seed: u64) -> (FlowerSystem, SystemReport) {
+fn run_with(shards: usize, seed: u64, queue: EventQueueKind) -> (FlowerSystem, SystemReport) {
     let mut cfg = SystemConfig::small_test();
     cfg.seed = seed;
     cfg.shards = shards;
+    cfg.topology.event_queue = queue;
     FlowerSystem::run(&cfg)
+}
+
+fn run_with_shards(shards: usize, seed: u64) -> (FlowerSystem, SystemReport) {
+    run_with(shards, seed, EventQueueKind::default())
 }
 
 /// Everything comparable about a finished run, down to exact floats
@@ -65,6 +72,26 @@ fn sharded_run_produces_identical_statistics() {
     }
 }
 
+/// The event-queue backend is an execution detail like the shard
+/// count: the calendar queue and the binary heap must yield the same
+/// fingerprint under every shard count, for several seeds.
+#[test]
+fn queue_backend_produces_identical_statistics() {
+    for seed in [42u64, 7] {
+        for shards in [1usize, 3] {
+            let (cal_sys, cal_report) = run_with(shards, seed, EventQueueKind::Calendar);
+            let (heap_sys, heap_report) = run_with(shards, seed, EventQueueKind::Heap);
+            assert_eq!(cal_sys.engine().queue_kind(), EventQueueKind::Calendar);
+            assert_eq!(heap_sys.engine().queue_kind(), EventQueueKind::Heap);
+            assert_eq!(
+                fingerprint(&cal_sys, &cal_report),
+                fingerprint(&heap_sys, &heap_report),
+                "seed={seed} shards={shards}: queue backends diverged"
+            );
+        }
+    }
+}
+
 #[test]
 fn sharded_runs_track_seed_changes_together() {
     // Different seed ⇒ different trace, under every shard count alike.
@@ -75,25 +102,29 @@ fn sharded_runs_track_seed_changes_together() {
 
 /// Regression pin for the per-node RNG streams
 /// (`StdRng::seed_from_u64(hash(seed, node_id))`): seed 42 on the
-/// small test deployment must keep yielding exactly these statistics.
+/// small test deployment must keep yielding exactly these statistics
+/// — under *both* event-queue backends, which may never disagree.
 #[test]
 fn fixed_seed_yields_pinned_hit_ratio_stats() {
-    let (_, r) = run_with_shards(1, 42);
-    assert_eq!(r.submitted, 6033, "query trace changed");
-    assert_eq!(r.resolved, 6033, "resolution count changed");
-    assert!(
-        (r.hit_ratio - 0.912978617603).abs() < 1e-9,
-        "hit ratio drifted: {:.12}",
-        r.hit_ratio
-    );
-    assert!(
-        (r.mean_lookup_ms - 40.129289).abs() < 1e-3,
-        "mean lookup drifted: {:.6}",
-        r.mean_lookup_ms
-    );
-    assert_eq!(r.participants, 122, "participant count changed");
-    // And the pin holds under sharded execution too, by construction.
-    let (_, sharded) = run_with_shards(3, 42);
-    assert_eq!(sharded.submitted, r.submitted);
-    assert!((sharded.hit_ratio - r.hit_ratio).abs() < 1e-15);
+    for queue in [EventQueueKind::Calendar, EventQueueKind::Heap] {
+        let (_, r) = run_with(1, 42, queue);
+        assert_eq!(r.submitted, 6033, "{queue}: query trace changed");
+        assert_eq!(r.resolved, 6033, "{queue}: resolution count changed");
+        assert!(
+            (r.hit_ratio - 0.912978617603).abs() < 1e-9,
+            "{queue}: hit ratio drifted: {:.12}",
+            r.hit_ratio
+        );
+        assert!(
+            (r.mean_lookup_ms - 40.129289).abs() < 1e-3,
+            "{queue}: mean lookup drifted: {:.6}",
+            r.mean_lookup_ms
+        );
+        assert_eq!(r.participants, 122, "{queue}: participant count changed");
+        // And the pin holds under sharded execution too, by
+        // construction.
+        let (_, sharded) = run_with(3, 42, queue);
+        assert_eq!(sharded.submitted, r.submitted);
+        assert!((sharded.hit_ratio - r.hit_ratio).abs() < 1e-15);
+    }
 }
