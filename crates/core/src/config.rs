@@ -53,6 +53,17 @@ pub struct FlowerConfig {
     /// paper's base design.
     pub instance_bits: u32,
 
+    // ---- PetalUp split/merge policy (§5.3 scale-up) ----
+    /// Split a petal (double its live directory instances, up to
+    /// `2^b`) when one instance processes more than this many queries
+    /// within one directory tick window. Inert when `instance_bits`
+    /// is 0.
+    pub petal_split_threshold: u64,
+    /// Merge a petal (halve its live instances) when the *total*
+    /// windowed query load across all its live instances falls below
+    /// this floor. Must stay below the split threshold (hysteresis).
+    pub petal_merge_floor: u64,
+
     // ---- DHT maintenance ----
     /// Chord stabilization period for directory peers.
     pub stabilize_period: SimDuration,
@@ -112,6 +123,8 @@ impl Default for FlowerConfig {
             substrate: SubstrateKind::Chord,
             locality_bits: 8,
             instance_bits: 0,
+            petal_split_threshold: 500,
+            petal_merge_floor: 100,
             stabilize_period: SimDuration::from_mins(1),
             fix_finger_period: SimDuration::from_secs(30),
             holder_retries: 3,
@@ -173,14 +186,22 @@ impl FlowerConfig {
         if self.max_overlay == 0 {
             return Err("Sco must be positive".into());
         }
-        let max_loc = 1usize << self.locality_bits;
-        if num_localities > max_loc {
+        // The key-scheme geometry check lives in `KeyScheme::try_new`
+        // (the single authority): an invalid `m1 + b` is a config
+        // error here, never a panic downstream.
+        let scheme = crate::id::KeyScheme::try_new(self.locality_bits, self.instance_bits)?;
+        if num_localities > scheme.max_localities() {
             return Err(format!(
-                "2^m1 = {max_loc} localities representable, {num_localities} requested"
+                "2^m1 = {} localities representable, {num_localities} requested",
+                scheme.max_localities()
             ));
         }
-        if self.locality_bits + self.instance_bits >= 56 {
-            return Err("locality+instance bits leave too few website bits".into());
+        if self.instance_bits > 0 && self.petal_merge_floor >= self.petal_split_threshold {
+            return Err(format!(
+                "petal merge floor ({}) must stay below the split threshold ({}) \
+                 or petals would oscillate",
+                self.petal_merge_floor, self.petal_split_threshold
+            ));
         }
         if self.cache_policy != CachePolicy::Unbounded && self.cache_capacity == 0 {
             return Err("bounded cache policy needs a positive capacity".into());
@@ -227,5 +248,41 @@ mod tests {
         c = FlowerConfig::default();
         c.instance_bits = 60;
         assert!(c.validate(6).is_err());
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn key_scheme_bound_is_an_error_not_a_panic() {
+        use crate::id::KeyScheme;
+        use chord::ChordId;
+        // The widest geometry KeyScheme::try_new accepts…
+        let widest = ChordId::BITS - KeyScheme::MIN_WEBSITE_BITS;
+        let mut c = FlowerConfig::default();
+        c.locality_bits = 8;
+        c.instance_bits = widest - 8;
+        // (merge floor < split threshold holds by default)
+        assert!(c.validate(6).is_ok(), "m2 = MIN_WEBSITE_BITS is legal");
+        // …one more bit is a config *error* on this path, while
+        // `KeyScheme::new` panics — the same single boundary.
+        c.instance_bits = widest - 7;
+        let err = c.validate(6).unwrap_err();
+        assert!(err.contains("website bits"), "unexpected error: {err}");
+        assert!(KeyScheme::try_new(8, widest - 7).is_err());
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn petal_policy_needs_hysteresis() {
+        let mut c = FlowerConfig::default();
+        c.instance_bits = 2;
+        c.petal_split_threshold = 100;
+        c.petal_merge_floor = 100;
+        assert!(c.validate(6).is_err(), "floor == threshold oscillates");
+        c.petal_merge_floor = 99;
+        assert!(c.validate(6).is_ok());
+        // Inert at instance_bits = 0: the knobs are not even checked.
+        c.instance_bits = 0;
+        c.petal_merge_floor = 100;
+        assert!(c.validate(6).is_ok());
     }
 }

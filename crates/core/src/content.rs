@@ -41,6 +41,11 @@ pub struct ContentPeerState {
     view: View<NodeId, Option<ContentSummary>>,
     dir: Option<NodeId>,
     dir_age: u32,
+    /// §5.3 PetalUp: how many directory instances the petal had live
+    /// when our directory last told us (1 = base design). Lets the
+    /// peer re-derive its hash-assigned instance and ignore gossip
+    /// hints that point at a sibling instance.
+    petal_live: u32,
     summary_capacity: usize,
 }
 
@@ -80,6 +85,7 @@ impl ContentPeerState {
             view: View::new(v_gossip),
             dir: None,
             dir_age: 0,
+            petal_live: 1,
             summary_capacity,
         }
     }
@@ -185,6 +191,31 @@ impl ContentPeerState {
     pub fn clear_directory(&mut self) {
         self.dir = None;
         self.dir_age = 0;
+    }
+
+    /// The live-instance count of our petal as last announced (§5.3).
+    pub fn petal_live(&self) -> u32 {
+        self.petal_live
+    }
+
+    /// Adopt a petal live-instance count from an admission (§5.3).
+    pub fn set_petal_live(&mut self, live: u32) {
+        self.petal_live = live.max(1);
+    }
+
+    /// §5.3 re-pointing: the peer was moved to a different directory
+    /// instance; flag every held object as an unreported addition so
+    /// the next push rebuilds its entry at the new directory in full —
+    /// the same "gradually builds its directory upon receiving push
+    /// messages" mechanism §5.2 replacements rely on, just not gradual.
+    pub fn mark_all_dirty(&mut self) {
+        let mut held: Vec<ObjectId> = self.content.iter().copied().collect();
+        // Deterministic ∆list order (the content set iterates in hash
+        // order, which is not a protocol-visible order).
+        held.sort_unstable();
+        for o in held {
+            self.changes.record(o, ChangeKind::Added);
+        }
     }
 
     // ---- view management (Algorithm 4) ----

@@ -28,13 +28,11 @@
 //! the gossip-summary entries of a freshly promoted §5.2 directory
 //! (exact object lists unknown until pushes rebuild them); those are
 //! counted, and the summary scan runs only while such entries exist.
-//! Note that a seeded entry keeps its summary for its lifetime —
-//! pushes add exact objects next to it but do not clear it — so a
-//! promoted directory pays the scan until its seeded members age out
-//! or are evicted. Clearing the summary on the first push would
-//! restore full O(holders) lookups but changes which (bloom
-//! false-positive) redirects occur, i.e. shifts pinned statistics;
-//! see the ROADMAP follow-up.
+//! A seeded entry sheds its summary on the *first push* from that
+//! peer: from then on the peer's exact ∆lists are authoritative, so
+//! keeping the (stale, bloom-false-positive-prone) summary would only
+//! prolong the full-index scan. A promoted directory therefore pays
+//! the scan just until its seeded members push or age out.
 
 use std::collections::HashMap;
 
@@ -96,11 +94,35 @@ pub enum DirDecision {
     ToServer,
 }
 
-/// The state of one directory role `d_{ws,loc}`.
+/// Load counters of one directory instance (§5.3 PetalUp): what the
+/// split/merge policy and the per-instance load report read. The
+/// index size itself is [`DirectoryState::overlay_size`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirLoad {
+    /// Queries processed through Algorithm 3 (lifetime).
+    pub queries: u64,
+    /// Queries processed since the window was last taken
+    /// ([`DirectoryState::take_window_queries`]) — the split/merge
+    /// policy's signal.
+    pub window_queries: u64,
+    /// Content pushes applied (Algorithm 6).
+    pub pushes: u64,
+    /// Keepalives received (§5.1).
+    pub keepalives: u64,
+    /// Neighbour directory summaries received (§4.2.1 gossip between
+    /// directory peers).
+    pub summaries: u64,
+}
+
+/// The state of one directory role `d_{ws,loc}` — or, with §5.3
+/// instance bits, one directory *instance* `d_{ws,loc,i}`.
 #[derive(Clone, Debug)]
 pub struct DirectoryState {
     website: WebsiteId,
     locality: Locality,
+    /// Which §5.3 instance of the petal this is (0 in the base
+    /// design; the petal primary when instances are in play).
+    instance: u32,
     index: HashMap<NodeId, DirEntry>,
     neighbor_summaries: Vec<NeighborSummary>,
     /// Overlay capacity `Sco`.
@@ -123,13 +145,17 @@ pub struct DirectoryState {
     /// Number of entries carrying a gossip summary (§5.2 seeding);
     /// while non-zero, holder lookups must also scan those entries.
     summary_entries: usize,
+    /// Per-instance load counters (§5.3 PetalUp).
+    load: DirLoad,
 }
 
 impl DirectoryState {
-    /// An empty directory for `(website, locality)`.
+    /// An empty directory for `(website, locality)`, §5.3 instance
+    /// `instance` (0 in the base design).
     pub fn new(
         website: WebsiteId,
         locality: Locality,
+        instance: u32,
         capacity: usize,
         t_dead: u32,
         summary_capacity: usize,
@@ -137,6 +163,7 @@ impl DirectoryState {
         DirectoryState {
             website,
             locality,
+            instance,
             index: HashMap::new(),
             neighbor_summaries: Vec::new(),
             capacity,
@@ -147,6 +174,7 @@ impl DirectoryState {
             popularity: HashMap::new(),
             holders_of: HashMap::new(),
             summary_entries: 0,
+            load: DirLoad::default(),
         }
     }
 
@@ -189,6 +217,29 @@ impl DirectoryState {
     /// The locality this directory covers.
     pub fn locality(&self) -> Locality {
         self.locality
+    }
+
+    /// The §5.3 instance index of this directory within its petal.
+    pub fn instance(&self) -> u32 {
+        self.instance
+    }
+
+    /// The load counters of this instance.
+    pub fn load(&self) -> DirLoad {
+        self.load
+    }
+
+    /// Count one query processed through Algorithm 3 (the caller runs
+    /// [`DirectoryState::process`] right after).
+    pub fn note_query(&mut self) {
+        self.load.queries += 1;
+        self.load.window_queries += 1;
+    }
+
+    /// Read and reset the windowed query counter — one split/merge
+    /// policy window per directory tick.
+    pub fn take_window_queries(&mut self) -> u64 {
+        std::mem::take(&mut self.load.window_queries)
     }
 
     /// Number of content peers currently indexed.
@@ -317,6 +368,13 @@ impl DirectoryState {
         }
         let e = self.index.entry(peer).or_insert_with(DirEntry::fresh);
         e.age = 0;
+        // First push from a §5.2-seeded member: its exact ∆lists are
+        // authoritative from here on — drop the gossip summary (and,
+        // once no seeded entry remains, the summary-scan tax with it).
+        if e.summary.take().is_some() {
+            self.summary_entries -= 1;
+        }
+        self.load.pushes += 1;
         let mut new_holdings = Vec::new();
         for o in added {
             if e.objects.insert(*o) {
@@ -348,6 +406,7 @@ impl DirectoryState {
     /// directory "gradually builds its directory upon receiving push
     /// messages".
     pub fn keepalive(&mut self, peer: NodeId) {
+        self.load.keepalives += 1;
         match self.index.get_mut(&peer) {
             Some(e) => e.age = 0,
             None => {
@@ -393,6 +452,7 @@ impl DirectoryState {
 
     /// Store/refresh a neighbour directory's summary (§3.3).
     pub fn update_neighbor_summary(&mut self, n: NeighborSummary) {
+        self.load.summaries += 1;
         if let Some(existing) = self
             .neighbor_summaries
             .iter_mut()
@@ -555,7 +615,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn dir() -> DirectoryState {
-        DirectoryState::new(WebsiteId(1), Locality(0), 3, 5, 100)
+        DirectoryState::new(WebsiteId(1), Locality(0), 0, 3, 5, 100)
     }
 
     fn rng() -> StdRng {
@@ -627,7 +687,7 @@ mod tests {
 
     #[test]
     fn load_spreads_over_holders() {
-        let mut d = DirectoryState::new(WebsiteId(1), Locality(0), 10, 5, 100);
+        let mut d = DirectoryState::new(WebsiteId(1), Locality(0), 0, 10, 5, 100);
         let mut r = rng();
         for p in 0..5u32 {
             assert!(d.admit_or_refresh(NodeId(p), O1));
@@ -705,7 +765,7 @@ mod tests {
 
     #[test]
     fn summary_refresh_threshold() {
-        let mut d = DirectoryState::new(WebsiteId(1), Locality(0), 100, 5, 100);
+        let mut d = DirectoryState::new(WebsiteId(1), Locality(0), 0, 100, 5, 100);
         for p in 0..10u32 {
             d.admit_or_refresh(NodeId(p), ObjectId(p as u64));
         }
@@ -722,7 +782,7 @@ mod tests {
 
     #[test]
     fn view_seed_prefers_young_entries() {
-        let mut d = DirectoryState::new(WebsiteId(1), Locality(0), 100, 10, 100);
+        let mut d = DirectoryState::new(WebsiteId(1), Locality(0), 0, 100, 10, 100);
         d.admit_or_refresh(NodeId(1), O1);
         d.tick();
         d.tick();
@@ -745,6 +805,60 @@ mod tests {
             d.process(&mut r, O1, NodeId(99), 1, 0),
             DirDecision::ToHolder(NodeId(7))
         );
+    }
+
+    #[test]
+    fn first_push_clears_the_seeded_summary() {
+        let mut d = dir();
+        let mut r = rng();
+        let mut s = ContentSummary::empty(100);
+        s.insert(O1);
+        d.seed_from_view([(NodeId(7), Some(&s))]);
+        // Answered from the summary while no push arrived.
+        assert_eq!(
+            d.process(&mut r, O1, NodeId(99), 1, 0),
+            DirDecision::ToHolder(NodeId(7))
+        );
+        // The peer's first push is authoritative: it holds O2, not O1.
+        d.apply_push(NodeId(7), &[O2], &[]);
+        assert_eq!(
+            d.process(&mut r, O1, NodeId(99), 1, 0),
+            DirDecision::ToServer,
+            "stale summary must stop matching after the push"
+        );
+        assert_eq!(
+            d.process(&mut r, O2, NodeId(99), 1, 0),
+            DirDecision::ToHolder(NodeId(7))
+        );
+    }
+
+    #[test]
+    fn load_counters_track_protocol_traffic() {
+        let mut d = DirectoryState::new(WebsiteId(1), Locality(0), 3, 10, 5, 100);
+        assert_eq!(d.instance(), 3);
+        assert_eq!(d.load(), DirLoad::default());
+        d.note_query();
+        d.note_query();
+        d.apply_push(NodeId(1), &[O1], &[]);
+        d.keepalive(NodeId(1));
+        let mut s = ContentSummary::empty(100);
+        s.insert(O2);
+        d.update_neighbor_summary(NeighborSummary {
+            dir: NodeId(50),
+            locality: Locality(1),
+            dir_id: ChordId(5),
+            summary: s,
+        });
+        let l = d.load();
+        assert_eq!(
+            (l.queries, l.pushes, l.keepalives, l.summaries),
+            (2, 1, 1, 1)
+        );
+        assert_eq!(l.window_queries, 2);
+        // The window drains; the lifetime counter does not.
+        assert_eq!(d.take_window_queries(), 2);
+        assert_eq!(d.take_window_queries(), 0);
+        assert_eq!(d.load().queries, 2);
     }
 
     #[test]

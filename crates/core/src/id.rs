@@ -24,7 +24,7 @@
 //! on `d_{ws,loc}` when it is alive, and near it otherwise.
 
 use chord::{hash64, ChordId};
-use simnet::Locality;
+use simnet::{Locality, NodeId};
 use workload::WebsiteId;
 
 /// The bit layout of D-ring identifiers.
@@ -37,17 +37,40 @@ pub struct KeyScheme {
 }
 
 impl KeyScheme {
-    /// A scheme with `m1` locality bits and `b` instance bits.
-    pub fn new(locality_bits: u32, instance_bits: u32) -> Self {
-        assert!(locality_bits >= 1, "need at least one locality bit");
-        assert!(
-            locality_bits + instance_bits < ChordId::BITS - 8,
-            "website segment too small"
-        );
-        KeyScheme {
+    /// Minimum website-segment width `m2`: below 9 bits the website
+    /// hashes of even the paper's 100-website catalog start to
+    /// collide.
+    pub const MIN_WEBSITE_BITS: u32 = 9;
+
+    /// The authoritative geometry check: `m1 ≥ 1` and
+    /// `m2 = m − m1 − b ≥ MIN_WEBSITE_BITS`. [`KeyScheme::new`] and
+    /// [`crate::config::FlowerConfig::validate`] both defer to this,
+    /// so the two paths can never disagree about the boundary.
+    pub fn try_new(locality_bits: u32, instance_bits: u32) -> Result<Self, String> {
+        if locality_bits < 1 {
+            return Err("need at least one locality bit".into());
+        }
+        if locality_bits
+            .checked_add(instance_bits)
+            .is_none_or(|sum| sum > ChordId::BITS - Self::MIN_WEBSITE_BITS)
+        {
+            return Err(format!(
+                "locality ({locality_bits}) + instance ({instance_bits}) bits leave fewer \
+                 than {} website bits",
+                Self::MIN_WEBSITE_BITS
+            ));
+        }
+        Ok(KeyScheme {
             locality_bits,
             instance_bits,
-        }
+        })
+    }
+
+    /// A scheme with `m1` locality bits and `b` instance bits. Panics
+    /// on an invalid geometry; validated configuration paths use
+    /// [`KeyScheme::try_new`] and surface the error instead.
+    pub fn new(locality_bits: u32, instance_bits: u32) -> Self {
+        Self::try_new(locality_bits, instance_bits).expect("invalid key scheme")
     }
 
     /// Website bits `m2 = m − m1 − b`.
@@ -123,6 +146,24 @@ impl Default for KeyScheme {
     fn default() -> Self {
         KeyScheme::new(8, 0)
     }
+}
+
+/// §5.3 instance selection: the directory instance responsible for
+/// `client` when `live` instances of a petal are active.
+///
+/// The choice is a pure function of the client's node id (no protocol
+/// state, no RNG), so every node — and every engine shard layout —
+/// computes the same assignment. Because live instance counts are
+/// powers of two, the assignments *nest*: for `live' | live`,
+/// `instance_for(c, live') == instance_for(c, live) % live'`, which is
+/// what lets petal splits and merges move only the members of the
+/// instances that actually changed hands.
+pub fn instance_for(client: NodeId, live: u32) -> u32 {
+    if live <= 1 {
+        return 0;
+    }
+    debug_assert!(live.is_power_of_two(), "live instance counts double");
+    (hash64(client.0 as u64 ^ 0x9E7A_1BEE_5EED) % live as u64) as u32
 }
 
 #[cfg(test)]
@@ -213,6 +254,50 @@ mod tests {
         let s = KeyScheme::new(8, 1);
         let _ = s.key_with_instance(WebsiteId(0), Locality(0), 2);
     }
+
+    #[test]
+    fn try_new_is_the_authoritative_bound() {
+        // The widest legal geometry: m2 = MIN_WEBSITE_BITS exactly.
+        let widest = ChordId::BITS - KeyScheme::MIN_WEBSITE_BITS;
+        assert!(KeyScheme::try_new(8, widest - 8).is_ok());
+        // One bit more is an error — from *both* construction paths.
+        assert!(KeyScheme::try_new(8, widest - 7).is_err());
+        assert!(KeyScheme::try_new(0, 0).is_err());
+        // Overflow-proof.
+        assert!(KeyScheme::try_new(8, u32::MAX).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid key scheme")]
+    fn new_panics_where_try_new_errors() {
+        let _ = KeyScheme::new(8, ChordId::BITS - KeyScheme::MIN_WEBSITE_BITS - 7);
+    }
+
+    #[test]
+    fn instance_for_is_stable_and_in_range() {
+        for live in [1u32, 2, 4, 8] {
+            for n in 0..200u32 {
+                let i = instance_for(NodeId(n), live);
+                assert!(i < live.max(1));
+                assert_eq!(i, instance_for(NodeId(n), live), "pure function");
+            }
+        }
+        // All instances actually receive clients at live = 4.
+        let hit: std::collections::HashSet<u32> =
+            (0..200u32).map(|n| instance_for(NodeId(n), 4)).collect();
+        assert_eq!(hit.len(), 4, "hash must spread over the live set");
+    }
+
+    #[test]
+    fn instance_assignments_nest_across_doublings() {
+        for n in 0..500u32 {
+            let at4 = instance_for(NodeId(n), 4);
+            let at2 = instance_for(NodeId(n), 2);
+            let at1 = instance_for(NodeId(n), 1);
+            assert_eq!(at4 % 2, at2, "halving keeps the low bits");
+            assert_eq!(at1, 0, "a single live instance owns everyone");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +323,40 @@ mod proptests {
             prop_assert_eq!(s.locality_of(key), loc);
             prop_assert_eq!(s.instance_of(key), inst);
             prop_assert_eq!(s.website_of(key), s.website_segment(WebsiteId(ws)));
+        }
+
+        /// §5.3 round-trip with instance bits actually in play
+        /// (`b ≥ 1`): website segment, locality and instance are all
+        /// recovered, and the instance-0 key of the extended scheme is
+        /// exactly the base-design bit layout `(segment ∥ locality ∥
+        /// 0…0)` — so a deployment that never splits (and every pinned
+        /// statistic at `instance_bits = 0`) is untouched by the
+        /// extension.
+        #[test]
+        fn scale_up_roundtrip_and_instance0_layout(
+            m1 in 1u32..12,
+            b in 1u32..4,
+            ws in 0u16..1000,
+            loc_raw in 0u16..4096,
+            inst_raw in 1u32..16,
+        ) {
+            let s = KeyScheme::new(m1, b);
+            let loc = Locality(loc_raw % s.max_localities() as u16);
+            let inst = 1 + (inst_raw - 1) % (s.instances() as u32 - 1).max(1);
+            let key = s.key_with_instance(WebsiteId(ws), loc, inst);
+            prop_assert_eq!(s.website_of(key), s.website_segment(WebsiteId(ws)));
+            prop_assert_eq!(s.locality_of(key), loc);
+            prop_assert_eq!(s.instance_of(key), inst);
+            // Instance 0 is the plain-key alias…
+            let k0 = s.key(WebsiteId(ws), loc);
+            prop_assert_eq!(k0, s.key_with_instance(WebsiteId(ws), loc, 0));
+            prop_assert_eq!(s.instance_of(k0), 0);
+            // …and its bit layout is the base design shifted left by b:
+            // the base scheme's key over the *same* website segment.
+            prop_assert_eq!(
+                k0.0,
+                (s.website_segment(WebsiteId(ws)) << (m1 + b)) | ((loc.0 as u64) << b)
+            );
         }
 
         /// All keys of one website form one contiguous id block of

@@ -52,8 +52,8 @@ pub mod system;
 pub use cache::{CacheManager, CachePolicy};
 pub use config::FlowerConfig;
 pub use content::ContentPeerState;
-pub use directory::{DirDecision, DirectoryState, NeighborSummary};
-pub use id::KeyScheme;
+pub use directory::{DirDecision, DirLoad, DirectoryState, NeighborSummary};
+pub use id::{instance_for, KeyScheme};
 pub use msg::{FlowerMsg, GossipEntry, GossipPayload, ProviderKind, Query};
 pub use node::{Deployment, FlowerNode, NodeCounters};
 pub use policy::DringPolicy;

@@ -195,6 +195,10 @@ pub enum FlowerMsg {
         admitted: bool,
         /// The directory peer's address (for pushes/keepalives).
         dir: NodeId,
+        /// §5.3 PetalUp: live directory instances of the petal at
+        /// admission time (1 in the base design). Lets the member pin
+        /// its hash-assigned instance against stale gossip hints.
+        petal_live: u32,
         /// Initial contacts from the directory index.
         view_seed: Vec<NodeId>,
     },
@@ -285,6 +289,54 @@ pub enum FlowerMsg {
         /// Payload size in bytes.
         size: u32,
     },
+    /// §5.3 PetalUp split: the petal primary tells a sibling instance
+    /// that the petal now runs `live` instances. A dormant sibling
+    /// activates; an already-active one re-partitions its members
+    /// under the new live count.
+    PetalActivate {
+        /// The petal's website.
+        website: WebsiteId,
+        /// The petal's locality.
+        locality: Locality,
+        /// The new live instance count (a power of two ≤ 2^b).
+        live: u32,
+    },
+    /// §5.3 PetalUp merge: the petal primary shrinks the petal to
+    /// `live` instances. A sibling at index ≥ `live` re-points its
+    /// members to their new owning instances and goes dormant.
+    PetalDeactivate {
+        /// The petal's website.
+        website: WebsiteId,
+        /// The petal's locality.
+        locality: Locality,
+        /// The remaining live instance count.
+        live: u32,
+    },
+    /// §5.3 PetalUp: a sibling instance leaves voluntarily (§5.2
+    /// leave or §5.4 locality change). It has already re-pointed its
+    /// members to the primary; the primary shrinks the petal below
+    /// the retiring instance so forwards stop flowing there.
+    PetalRetire {
+        /// The petal's website.
+        website: WebsiteId,
+        /// The petal's locality.
+        locality: Locality,
+        /// The retiring instance.
+        instance: u32,
+    },
+    /// §5.3 PetalUp telemetry: a live sibling reports its windowed
+    /// query load to the petal primary, which runs the merge policy
+    /// over the petal total.
+    PetalLoad {
+        /// The petal's website.
+        website: WebsiteId,
+        /// The petal's locality.
+        locality: Locality,
+        /// The reporting instance.
+        instance: u32,
+        /// Queries the instance processed in the last window.
+        queries: u64,
+    },
     /// Harness/operator injection (never on the wire): ask a directory
     /// peer to leave voluntarily, handing its directory off to a
     /// stable content peer first (§5.2).
@@ -318,7 +370,8 @@ impl Message for FlowerMsg {
                 ..
             } => MSG_HEADER_BYTES + query.wire_size() + size + ADDR_BYTES * view_seed.len() as u32,
             FlowerMsg::Admission { view_seed, .. } => {
-                MSG_HEADER_BYTES + 1 + ADDR_BYTES * (1 + view_seed.len() as u32)
+                // admitted flag + live count + dir + seed addresses
+                MSG_HEADER_BYTES + 1 + 4 + ADDR_BYTES * (1 + view_seed.len() as u32)
             }
             FlowerMsg::GossipReq(p) | FlowerMsg::GossipResp(p) => p.wire_size(),
             FlowerMsg::Push { added, removed, .. } => {
@@ -343,6 +396,12 @@ impl Message for FlowerMsg {
             FlowerMsg::ReplicaInstruct { .. } => MSG_HEADER_BYTES + OBJECT_ID_BYTES + ADDR_BYTES,
             FlowerMsg::ReplicaPull { .. } => MSG_HEADER_BYTES + OBJECT_ID_BYTES,
             FlowerMsg::ReplicaData { size, .. } => MSG_HEADER_BYTES + OBJECT_ID_BYTES + size,
+            // website + locality + live count (or retiring instance)
+            FlowerMsg::PetalActivate { .. }
+            | FlowerMsg::PetalDeactivate { .. }
+            | FlowerMsg::PetalRetire { .. } => MSG_HEADER_BYTES + 2 + 2 + 4,
+            // website + locality + instance + windowed counter
+            FlowerMsg::PetalLoad { .. } => MSG_HEADER_BYTES + 2 + 2 + 4 + 8,
         }
     }
 
@@ -373,11 +432,17 @@ impl Message for FlowerMsg {
             // do; the paper counts both as background maintenance. The
             // §8 replication control plane is likewise proactive
             // maintenance.
+            // The PetalUp control plane is proactive directory
+            // maintenance, like summary refreshes.
             FlowerMsg::Push { .. }
             | FlowerMsg::DirSummary { .. }
             | FlowerMsg::ReplicaOffer { .. }
             | FlowerMsg::ReplicaInstruct { .. }
-            | FlowerMsg::ReplicaPull { .. } => TrafficClass::Push,
+            | FlowerMsg::ReplicaPull { .. }
+            | FlowerMsg::PetalActivate { .. }
+            | FlowerMsg::PetalDeactivate { .. }
+            | FlowerMsg::PetalRetire { .. }
+            | FlowerMsg::PetalLoad { .. } => TrafficClass::Push,
             FlowerMsg::ReplicaData { .. } => TrafficClass::Transfer,
             FlowerMsg::KeepAlive { .. } => TrafficClass::KeepAlive,
             FlowerMsg::DirHandoff { .. } => TrafficClass::DhtMaintenance,

@@ -29,7 +29,7 @@ use workload::{Catalog, WebsiteId};
 use crate::config::FlowerConfig;
 use crate::content::ContentPeerState;
 use crate::directory::{DirDecision, DirectoryState, NeighborSummary};
-use crate::id::KeyScheme;
+use crate::id::{instance_for, KeyScheme};
 use crate::msg::{FlowerMsg, IndexSnapshotEntry, ProviderKind, Query};
 use crate::substrate::{
     DhtSubstrate, MaintTick, PeerRef, SubstrateEvent, SubstrateMsg, SubstrateOut,
@@ -73,6 +73,12 @@ pub struct Deployment {
     /// Well-known D-ring entry points for new clients and for §5.2
     /// replacement joins.
     pub bootstrap_dirs: Vec<NodeId>,
+    /// §5.3 PetalUp: the deployed directory instances of every petal,
+    /// indexed by instance. Like `servers` and `bootstrap_dirs`, this
+    /// is the public deployment directory a real system would ship in
+    /// client configuration; liveness and the *live* instance count
+    /// remain protocol state.
+    pub dir_instances: HashMap<(WebsiteId, Locality), Vec<NodeId>>,
 }
 
 impl Deployment {
@@ -80,6 +86,94 @@ impl Deployment {
     pub fn server_of(&self, ws: WebsiteId) -> NodeId {
         self.servers[ws.idx()]
     }
+
+    /// The deployed directory node of petal `(ws, loc)` instance
+    /// `instance`.
+    pub fn instance_node(&self, ws: WebsiteId, loc: Locality, instance: u32) -> NodeId {
+        self.dir_instances[&(ws, loc)][instance as usize]
+    }
+}
+
+/// §5.3 PetalUp state of one directory instance within its petal.
+#[derive(Debug)]
+pub struct PetalState {
+    /// This role's instance index (0 = the petal primary).
+    pub instance: u32,
+    /// Live instances of the petal. Authoritative at the primary,
+    /// which runs the split/merge policy; siblings cache the count
+    /// from the last `PetalActivate`/`PetalDeactivate`.
+    pub live: u32,
+    /// Whether this instance processes queries. The primary is always
+    /// active; siblings activate on a split and go dormant on a merge
+    /// (a dormant sibling forwards deliveries to the primary).
+    pub active: bool,
+    /// Last windowed query load reported per instance (index 0 = the
+    /// primary's own window). Only maintained at the primary.
+    pub sibling_loads: Vec<u64>,
+    /// Merge back-off: ticks to wait after a resize before merging
+    /// again — a resize resets the primary's window counter mid-way,
+    /// so the very next tick would otherwise read an artificially
+    /// quiet petal and fold a fresh split straight back.
+    pub merge_hold: u8,
+    /// Instances that left for good (crashed mid-forward or retired
+    /// voluntarily) — only the primary maintains this. A sibling role
+    /// is never re-installed after the initial deployment, so a
+    /// retired slot permanently caps how far the petal can split:
+    /// re-activating it would silently black-hole its query share (an
+    /// alive-but-roleless node produces no bounce to heal from).
+    pub retired: Vec<bool>,
+}
+
+impl PetalState {
+    fn new(instance: u32, instances: u32) -> Self {
+        PetalState {
+            instance,
+            live: 1,
+            active: instance == 0,
+            sibling_loads: vec![0; instances as usize],
+            merge_hold: 0,
+            retired: vec![false; instances as usize],
+        }
+    }
+
+    /// The largest power-of-two live count the petal can still reach:
+    /// doubling stops at the first retired slot (assignments nest, so
+    /// only contiguous power-of-two prefixes are usable).
+    fn usable_instances(&self, instances: u32) -> u32 {
+        let mut l = 1u32;
+        while l * 2 <= instances
+            && self.retired[l as usize..(l * 2) as usize]
+                .iter()
+                .all(|r| !*r)
+        {
+            l *= 2;
+        }
+        l
+    }
+}
+
+/// The §5.3 split sizing: double `live` until the projected
+/// per-instance share of `load` drops under `threshold` (clamped to
+/// the deployed instance count).
+fn sized_split(live: u32, instances: u32, load: u64, threshold: u64) -> u32 {
+    let mut new_live = live;
+    let mut projected = load;
+    while new_live < instances && projected > threshold {
+        new_live *= 2;
+        projected /= 2;
+    }
+    new_live
+}
+
+/// The §5.3 shrink target when instance `below` left the petal: the
+/// largest power-of-two live count that excludes it (nesting keeps
+/// every surviving assignment valid).
+fn shrunk_below(live: u32, below: u32) -> u32 {
+    let mut new_live = live;
+    while new_live > below {
+        new_live /= 2;
+    }
+    new_live.max(1)
 }
 
 /// The directory role of a node.
@@ -92,6 +186,8 @@ pub struct DirRole {
     pub dir: DirectoryState,
     /// True while a §5.2 replacement join is still in flight.
     pub joining: bool,
+    /// §5.3 PetalUp instance state.
+    pub petal: PetalState,
 }
 
 /// A query this node originated and is still waiting on.
@@ -144,6 +240,13 @@ pub struct NodeCounters {
     pub replacements_won: u64,
     /// Directory replacement attempts abandoned (someone else won).
     pub replacements_lost: u64,
+    /// §5.3 petal splits this node decided as a petal primary.
+    pub petal_splits: u64,
+    /// §5.3 petal merges this node decided as a petal primary.
+    pub petal_merges: u64,
+    /// Queries this directory instance forwarded to another instance
+    /// of its petal (primary dispatch or dormant-sibling relay).
+    pub petal_forwards: u64,
 }
 
 /// Adapter exposing the simulator context as the substrate's message
@@ -181,27 +284,31 @@ impl FlowerNode {
         n
     }
 
-    /// A directory-peer node for `(ws, loc)` with a pre-installed
-    /// substrate role (the paper's evaluation starts from a stable
-    /// D-ring).
+    /// A directory-peer node for `(ws, loc)`, §5.3 instance
+    /// `instance`, with a pre-installed substrate role (the paper's
+    /// evaluation starts from a stable D-ring).
     pub fn directory(
         shared: Arc<Deployment>,
         ws: WebsiteId,
         loc: Locality,
+        instance: u32,
         substrate: Box<dyn DhtSubstrate>,
     ) -> Self {
         let dir = DirectoryState::new(
             ws,
             loc,
+            instance,
             shared.cfg.max_overlay,
             shared.cfg.t_dead,
             shared.catalog.objects_per_website(),
         );
+        let petal = PetalState::new(instance, shared.scheme.instances() as u32);
         let mut n = Self::client(shared);
         n.dir_role = Some(DirRole {
             substrate,
             dir,
             joining: false,
+            petal,
         });
         n
     }
@@ -262,6 +369,29 @@ impl FlowerNode {
     /// §5.2 voluntary leave: pick the youngest (most recently alive)
     /// index entry and transfer the directory to it.
     pub fn voluntary_dir_handoff(&mut self, ctx: &mut Ctx<'_, FlowerMsg>) -> Option<NodeId> {
+        let instance = self.dir_role.as_ref()?.petal.instance;
+        if instance != 0 {
+            // A §5.3 sibling instance has no hand-off protocol: it
+            // returns its members to the petal primary (Admission
+            // under live = 1; the primary re-admits and the next
+            // split redistributes them) and tells the primary to
+            // shrink the petal so forwards stop flowing here — the
+            // node stays alive, so nothing would ever bounce.
+            let me = ctx.id();
+            self.repartition_members(ctx, me, 1);
+            let role = self.dir_role.take().expect("checked above");
+            let ws = role.dir.website();
+            let loc = role.dir.locality();
+            ctx.send(
+                self.shared.instance_node(ws, loc, 0),
+                FlowerMsg::PetalRetire {
+                    website: ws,
+                    locality: loc,
+                    instance,
+                },
+            );
+            return None;
+        }
         let role = self.dir_role.take()?;
         let me = ctx.id();
         let target = role.dir.view_seed(1, me).first().copied();
@@ -357,9 +487,17 @@ impl FlowerNode {
         self.route_via_dring(ctx, query);
     }
 
-    /// Route a query into the D-ring toward `d_{ws,loc}`.
+    /// Route a query into the D-ring toward `d_{ws,loc}` — or, with
+    /// §5.3 instance bits, toward the client's hash-assigned instance
+    /// `d_{ws,loc,i}`. The instance choice is a pure function of the
+    /// client id over the *deployed* instance set; if the chosen
+    /// instance is dormant it relays to the petal primary, which
+    /// re-dispatches over the live set (the nesting property of
+    /// [`instance_for`] keeps the two consistent).
     fn route_via_dring(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, query: Query) {
-        let key = self.shared.scheme.key(query.website, query.origin_locality);
+        let scheme = self.shared.scheme;
+        let instance = instance_for(query.origin, scheme.instances() as u32);
+        let key = scheme.key_with_instance(query.website, query.origin_locality, instance);
         // If we are ourselves on the D-ring (and fully joined), route
         // from here; a node mid-join has no usable routing state yet.
         if self.dir_role.as_ref().is_some_and(|r| !r.joining) {
@@ -406,10 +544,39 @@ impl FlowerNode {
             return;
         }
 
+        // §5.3 PetalUp dispatch. A dormant sibling instance never
+        // processes: it relays to the petal primary, the one node that
+        // knows the live instance count. The primary re-selects the
+        // owning instance as a pure function of (origin id, live set)
+        // and hands the query over when it is not instance 0's.
+        if !role.petal.active {
+            let primary = self
+                .shared
+                .instance_node(query.website, role.dir.locality(), 0);
+            self.stats.petal_forwards += 1;
+            ctx.send(primary, FlowerMsg::ClientQuery { query });
+            return;
+        }
+        if role.petal.instance == 0
+            && role.petal.live > 1
+            && role.dir.locality() == query.origin_locality
+        {
+            let owner = instance_for(query.origin, role.petal.live);
+            if owner != 0 {
+                let sibling = self
+                    .shared
+                    .instance_node(query.website, role.dir.locality(), owner);
+                self.stats.petal_forwards += 1;
+                ctx.send(sibling, FlowerMsg::ClientQuery { query });
+                return;
+            }
+        }
+
         // Optimistic admission (§3.4) happens at the origin's own
         // locality directory only.
         let admits_here =
             role.dir.locality() == query.origin_locality && !role.dir.contains(query.origin);
+        role.dir.note_query();
         role.dir.note_request(query.object);
         let max_hops = self.shared.cfg.max_dir_hops;
         let decision = role.dir.process(
@@ -430,6 +597,7 @@ impl FlowerNode {
                         locality: role.dir.locality(),
                         admitted,
                         dir: me,
+                        petal_live: role.petal.live,
                         view_seed,
                     },
                 );
@@ -447,7 +615,36 @@ impl FlowerNode {
                 FlowerMsg::ServerQuery { query },
             ),
         }
+        self.maybe_split_on_load(ctx);
         self.maybe_broadcast_summary(ctx);
+    }
+
+    /// Event-driven half of the §5.3 split policy: the moment a petal
+    /// primary's windowed load crosses the split threshold it resizes,
+    /// rather than waiting out the rest of the tick window — a hot
+    /// website's first load wave otherwise lands entirely on one
+    /// instance. (The tick-driven policy still handles sibling-peak
+    /// splits and all merges.)
+    fn maybe_split_on_load(&mut self, ctx: &mut Ctx<'_, FlowerMsg>) {
+        let instances = self.shared.scheme.instances() as u32;
+        if instances <= 1 {
+            return;
+        }
+        let me = ctx.id();
+        let threshold = self.shared.cfg.petal_split_threshold;
+        let Some(role) = &self.dir_role else {
+            return;
+        };
+        let usable = role.petal.usable_instances(instances);
+        if role.joining || role.petal.instance != 0 || role.petal.live >= usable {
+            return;
+        }
+        let window = role.dir.load().window_queries;
+        if window <= threshold {
+            return;
+        }
+        let new_live = sized_split(role.petal.live, usable, window, threshold);
+        self.resize_petal(ctx, me, new_live);
     }
 
     /// §4.2.1: if enough of the index changed, send a refreshed
@@ -583,6 +780,7 @@ impl FlowerNode {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_admission(
         &mut self,
         ctx: &mut Ctx<'_, FlowerMsg>,
@@ -590,6 +788,7 @@ impl FlowerNode {
         locality: Locality,
         admitted: bool,
         dir: NodeId,
+        petal_live: u32,
         view_seed: Vec<NodeId>,
     ) {
         if !admitted {
@@ -622,7 +821,15 @@ impl FlowerNode {
                 crate::cache::CacheManager::new(cfg.cache_policy, cfg.cache_capacity.max(1)),
             )
         });
+        let prev_dir = cp.directory();
         cp.set_directory(dir);
+        cp.set_petal_live(petal_live);
+        if prev_dir.is_some_and(|d| d != dir) {
+            // §5.3 re-pointing (petal split/merge): our entry at the
+            // new instance starts empty, so flag everything held as
+            // unreported — the push below rebuilds it in full.
+            cp.mark_all_dirty();
+        }
         cp.seed_view(&view_seed, me);
         if let Some(parked) = self.parked_objects.remove(&ws) {
             for o in parked {
@@ -678,6 +885,7 @@ impl FlowerNode {
                 ctx.send(from, FlowerMsg::GossipResp(reply));
                 cp.absorb_gossip(me, from, payload, self.shared.cfg.t_dead);
                 self.pin_own_directory(me, ws);
+                self.pin_petal_directory(me, ws);
             }
             // We are not (any more) in this overlay: §5.4 — the
             // contact should forget us.
@@ -700,6 +908,224 @@ impl FlowerNode {
                 cp.set_directory(me);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // §5.3 PetalUp: load-adaptive directory instances per petal
+    // ------------------------------------------------------------------
+
+    /// Invariant repair for members of a split petal: gossip hints
+    /// point at whatever directory the sender believes in, which in a
+    /// multi-instance petal is frequently a *sibling* instance. A
+    /// member that knows its petal runs `live > 1` instances re-derives
+    /// its hash-assigned instance and pins its directory there.
+    fn pin_petal_directory(&mut self, me: NodeId, ws: WebsiteId) {
+        if self.shared.scheme.instances() <= 1 {
+            return;
+        }
+        let Some(cp) = self.content.get_mut(&ws) else {
+            return;
+        };
+        let live = cp.petal_live();
+        if live <= 1 {
+            return;
+        }
+        let assigned = self
+            .shared
+            .instance_node(ws, cp.locality(), instance_for(me, live));
+        if assigned != me && cp.directory().is_some_and(|d| d != assigned) {
+            cp.set_directory(assigned);
+        }
+    }
+
+    /// One directory-tick of the §5.3 split/merge policy. Siblings
+    /// report their window to the primary; the primary folds its own
+    /// window in and grows the petal when any live instance ran hot,
+    /// or shrinks it when the whole petal went quiet. Every decision
+    /// is a pure function of per-node protocol state, so it is
+    /// identical under any engine shard layout.
+    fn petal_policy_tick(&mut self, ctx: &mut Ctx<'_, FlowerMsg>) {
+        let instances = self.shared.scheme.instances() as u32;
+        let me = ctx.id();
+        let Some(role) = &mut self.dir_role else {
+            return;
+        };
+        if role.joining {
+            return;
+        }
+        let window = role.dir.take_window_queries();
+        if instances <= 1 {
+            return;
+        }
+        let ws = role.dir.website();
+        let loc = role.dir.locality();
+        if role.petal.instance != 0 {
+            if role.petal.active {
+                let primary = self.shared.instance_node(ws, loc, 0);
+                ctx.send(
+                    primary,
+                    FlowerMsg::PetalLoad {
+                        website: ws,
+                        locality: loc,
+                        instance: role.petal.instance,
+                        queries: window,
+                    },
+                );
+            }
+            return;
+        }
+        role.petal.sibling_loads[0] = window;
+        let live = role.petal.live;
+        let usable = role.petal.usable_instances(instances);
+        let loads = &role.petal.sibling_loads[..live as usize];
+        let peak = loads.iter().copied().max().unwrap_or(0);
+        let total: u64 = loads.iter().sum();
+        let held = role.petal.merge_hold > 0;
+        if held {
+            role.petal.merge_hold -= 1;
+        }
+        let cfg = &self.shared.cfg;
+        if live < usable && peak > cfg.petal_split_threshold {
+            // Size the split to the overload: a petal at 4× the
+            // threshold jumps straight to 4 instances instead of
+            // losing a window per doubling.
+            let new_live = sized_split(live, usable, peak, cfg.petal_split_threshold);
+            self.resize_petal(ctx, me, new_live);
+        } else if !held && live > 1 && total < cfg.petal_merge_floor {
+            self.resize_petal(ctx, me, live / 2);
+        }
+    }
+
+    /// Primary-side petal resize to `new_live` instances: informs the
+    /// siblings (activation with the new live count, or deactivation
+    /// with re-pointing duty), then re-points the primary's own moved
+    /// members. State travels by protocol — moved members push their
+    /// content to their new instance themselves.
+    fn resize_petal(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, me: NodeId, new_live: u32) {
+        let shared = Arc::clone(&self.shared);
+        let Some(role) = &mut self.dir_role else {
+            return;
+        };
+        let ws = role.dir.website();
+        let loc = role.dir.locality();
+        let old_live = role.petal.live;
+        let new_live = new_live.max(1);
+        if new_live == old_live {
+            return;
+        }
+        // Every sibling below the new live count learns it. On a
+        // split the dormant ones activate and the already-active ones
+        // re-partition under the larger set; on a merge the survivors
+        // need the shrunk count too — their admissions advertise it,
+        // and a stale value would pin members to deactivated
+        // instances. (`usable_instances` guarantees none of these
+        // slots is retired.)
+        for inst in 1..new_live {
+            ctx.send(
+                shared.instance_node(ws, loc, inst),
+                FlowerMsg::PetalActivate {
+                    website: ws,
+                    locality: loc,
+                    live: new_live,
+                },
+            );
+        }
+        if new_live > old_live {
+            self.stats.petal_splits += 1;
+        } else {
+            self.stats.petal_merges += 1;
+            for inst in new_live..old_live {
+                ctx.send(
+                    shared.instance_node(ws, loc, inst),
+                    FlowerMsg::PetalDeactivate {
+                        website: ws,
+                        locality: loc,
+                        live: new_live,
+                    },
+                );
+            }
+            for stale in &mut role.petal.sibling_loads[new_live as usize..old_live as usize] {
+                *stale = 0;
+            }
+        }
+        role.petal.live = new_live;
+        // The windowed counter restarts with the new layout (the
+        // event-driven trigger would otherwise keep escalating on the
+        // pre-split cumulative count), and merges back off for a
+        // couple of full windows.
+        role.dir.take_window_queries();
+        role.petal.merge_hold = 2;
+        self.repartition_members(ctx, me, new_live);
+    }
+
+    /// Re-point every indexed member whose hash assignment under
+    /// `live` instances is another instance of this petal: each gets a
+    /// fresh `Admission` naming its new directory, upon which it
+    /// re-pushes its full content there (`mark_all_dirty`). Entries at
+    /// this instance are left to age out — they still describe real
+    /// holders, so Algorithm 3 keeps using them meanwhile.
+    fn repartition_members(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, me: NodeId, live: u32) {
+        let shared = Arc::clone(&self.shared);
+        let Some(role) = &mut self.dir_role else {
+            return;
+        };
+        let ws = role.dir.website();
+        let loc = role.dir.locality();
+        let my_inst = role.petal.instance;
+        let mut movers: Vec<(NodeId, u32)> = role
+            .dir
+            .members()
+            .filter(|m| *m != me)
+            .map(|m| (m, instance_for(m, live)))
+            .filter(|(_, owner)| *owner != my_inst)
+            .collect();
+        movers.sort_unstable_by_key(|(m, _)| m.0);
+        for (m, owner) in movers {
+            ctx.send(
+                m,
+                FlowerMsg::Admission {
+                    website: ws,
+                    locality: loc,
+                    admitted: true,
+                    dir: shared.instance_node(ws, loc, owner),
+                    petal_live: live,
+                    view_seed: Vec::new(),
+                },
+            );
+        }
+    }
+
+    /// A query forwarded to a sibling instance bounced: the sibling is
+    /// dead. Shrink the petal below the dead instance (the power-of-two
+    /// nesting keeps every surviving assignment valid) so traffic
+    /// stops flowing at the corpse. Returns true when handled.
+    fn petal_sibling_down(
+        &mut self,
+        ctx: &mut Ctx<'_, FlowerMsg>,
+        dead: NodeId,
+        ws: WebsiteId,
+    ) -> bool {
+        let me = ctx.id();
+        let Some(role) = &self.dir_role else {
+            return false;
+        };
+        if role.petal.instance != 0 || role.petal.live <= 1 || role.dir.website() != ws {
+            return false;
+        }
+        let loc = role.dir.locality();
+        let live = role.petal.live;
+        let Some(dead_inst) = (1..live).find(|i| self.shared.instance_node(ws, loc, *i) == dead)
+        else {
+            return false;
+        };
+        // A crashed sibling never gets its role back (NodeUp wipes
+        // volatile state): cap the petal below it for good instead of
+        // re-splitting over the corpse and thrashing on every bounce.
+        if let Some(role) = &mut self.dir_role {
+            role.petal.retired[dead_inst as usize] = true;
+        }
+        self.resize_petal(ctx, me, shrunk_below(live, dead_inst));
+        true
     }
 
     fn maybe_push(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, ws: WebsiteId) {
@@ -759,6 +1185,10 @@ impl FlowerNode {
         if let Some(cp) = self.content.get_mut(&ws) {
             if cp.directory() == Some(dead) {
                 cp.clear_directory();
+                // §5.3: stop pinning to a hash-assigned instance that
+                // may be the dead node; fall back to hint-following
+                // until a fresh admission re-announces the live count.
+                cp.set_petal_live(1);
             }
             cp.forget_peer(dead);
             if self.replacing.insert(ws) {
@@ -795,14 +1225,19 @@ impl FlowerNode {
         let dir = DirectoryState::new(
             ws,
             loc,
+            0,
             self.shared.cfg.max_overlay,
             self.shared.cfg.t_dead,
             self.shared.catalog.objects_per_website(),
         );
+        // A §5.2 replacement assumes the petal-primary position; any
+        // sibling instances re-attach through the bounce/merge path.
+        let petal = PetalState::new(0, self.shared.scheme.instances() as u32);
         self.dir_role = Some(DirRole {
             substrate,
             dir,
             joining: true,
+            petal,
         });
         let entry = *self
             .shared
@@ -1077,6 +1512,13 @@ impl FlowerNode {
                 );
             }
             FlowerMsg::ClientQuery { query } => {
+                // A petal primary's intra-petal forward bounced: the
+                // sibling instance died. Shrink the petal and re-run
+                // the dispatch — the query lands on a live instance.
+                if self.petal_sibling_down(ctx, to, query.website) {
+                    self.dir_process_query(ctx, query);
+                    return;
+                }
                 self.on_dir_unreachable(ctx, query.website, to);
                 ctx.send(
                     self.shared.server_of(query.website),
@@ -1109,6 +1551,10 @@ impl FlowerNode {
             | FlowerMsg::ReplicaInstruct { .. }
             | FlowerMsg::ReplicaPull { .. }
             | FlowerMsg::ReplicaData { .. }
+            | FlowerMsg::PetalActivate { .. }
+            | FlowerMsg::PetalDeactivate { .. }
+            | FlowerMsg::PetalRetire { .. }
+            | FlowerMsg::PetalLoad { .. }
             | FlowerMsg::AdminLeave
             | FlowerMsg::AdminChangeLocality { .. } => {}
         }
@@ -1254,8 +1700,11 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                     locality,
                     admitted,
                     dir,
+                    petal_live,
                     view_seed,
-                } => self.on_admission(ctx, website, locality, admitted, dir, view_seed),
+                } => {
+                    self.on_admission(ctx, website, locality, admitted, dir, petal_live, view_seed)
+                }
                 FlowerMsg::GossipReq(p) => self.on_gossip_req(ctx, from, p),
                 FlowerMsg::GossipResp(p) => {
                     let me = ctx.id();
@@ -1265,6 +1714,7 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                         if cp.locality() == p.locality {
                             cp.absorb_gossip(me, from, p, t_dead);
                             self.pin_own_directory(me, ws);
+                            self.pin_petal_directory(me, ws);
                         }
                     }
                 }
@@ -1327,6 +1777,7 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                     let mut dir = DirectoryState::new(
                         website,
                         locality,
+                        0,
                         self.shared.cfg.max_overlay,
                         self.shared.cfg.t_dead,
                         self.shared.catalog.objects_per_website(),
@@ -1339,10 +1790,12 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                             .map(|e| (e.peer, e.age, e.objects))
                             .collect(),
                     );
+                    let petal = PetalState::new(0, self.shared.scheme.instances() as u32);
                     self.dir_role = Some(DirRole {
                         substrate,
                         dir,
                         joining: false,
+                        petal,
                     });
                     // The heir is an overlay member (it came from the
                     // directory index), but its own Admission may still
@@ -1442,6 +1895,104 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                     }
                     self.maybe_push(ctx, website);
                 }
+                FlowerMsg::PetalActivate {
+                    website,
+                    locality,
+                    live,
+                } => {
+                    let me = ctx.id();
+                    let mut repartition = false;
+                    if let Some(role) = &mut self.dir_role {
+                        if role.dir.website() == website
+                            && role.dir.locality() == locality
+                            && role.petal.instance != 0
+                        {
+                            role.petal.live = live;
+                            role.petal.active = role.petal.instance < live;
+                            repartition = role.petal.active;
+                        }
+                    }
+                    if repartition {
+                        // An already-active sibling may now own fewer
+                        // members (the petal grew): hand the moved
+                        // ones to their new instances.
+                        self.repartition_members(ctx, me, live);
+                    }
+                }
+                FlowerMsg::PetalDeactivate {
+                    website,
+                    locality,
+                    live,
+                } => {
+                    let me = ctx.id();
+                    let mut stand_down = false;
+                    if let Some(role) = &mut self.dir_role {
+                        if role.dir.website() == website
+                            && role.dir.locality() == locality
+                            && role.petal.instance != 0
+                        {
+                            role.petal.live = live;
+                            role.petal.active = role.petal.instance < live;
+                            stand_down = !role.petal.active;
+                        }
+                    }
+                    if stand_down {
+                        // Re-point every member to its owner under the
+                        // shrunk petal, then abandon the index — the
+                        // members rebuild their entries by pushing
+                        // (§5.2-style), nothing is teleported.
+                        self.repartition_members(ctx, me, live);
+                        if let Some(role) = &mut self.dir_role {
+                            role.dir.install_snapshot(Vec::new());
+                        }
+                    }
+                }
+                FlowerMsg::PetalRetire {
+                    website,
+                    locality,
+                    instance,
+                } => {
+                    let me = ctx.id();
+                    let mut shrink_live = None;
+                    if let Some(role) = &mut self.dir_role {
+                        if role.petal.instance == 0
+                            && role.dir.website() == website
+                            && role.dir.locality() == locality
+                            && instance != 0
+                            && (instance as usize) < role.petal.retired.len()
+                        {
+                            // Gone for good — even a currently dormant
+                            // retiree must never be re-activated by a
+                            // later split (it has no role to answer
+                            // with and, being alive, never bounces).
+                            role.petal.retired[instance as usize] = true;
+                            if instance < role.petal.live {
+                                shrink_live = Some(role.petal.live);
+                            }
+                        }
+                    }
+                    if let Some(live) = shrink_live {
+                        self.resize_petal(ctx, me, shrunk_below(live, instance));
+                    }
+                }
+                FlowerMsg::PetalLoad {
+                    website,
+                    locality,
+                    instance,
+                    queries,
+                } => {
+                    if let Some(role) = &mut self.dir_role {
+                        if role.dir.website() == website
+                            && role.dir.locality() == locality
+                            && role.petal.instance == 0
+                        {
+                            if let Some(slot) = role.petal.sibling_loads.get_mut(instance as usize)
+                            {
+                                *slot = queries;
+                            }
+                        }
+                    }
+                }
                 FlowerMsg::AdminLeave => {
                     self.voluntary_dir_handoff(ctx);
                 }
@@ -1458,6 +2009,8 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                         role.dir.tick();
                         ctx.set_timer(period, timers::DIR_TICK, 0);
                     }
+                    // One tick = one §5.3 split/merge policy window.
+                    self.petal_policy_tick(ctx);
                 }
                 timers::STABILIZE => {
                     let period = self.shared.cfg.stabilize_period;

@@ -129,6 +129,15 @@ pub struct SystemReport {
     pub redirection_failures: u64,
     /// Fraction of P2P hits served within the requester's locality.
     pub local_hit_fraction: f64,
+    /// §5.3 PetalUp: hottest directory instance's query load over the
+    /// mean *petal* load (total queries / loaded petals). 0 when no
+    /// directory processed a query. At `instance_bits = 0` this is the
+    /// classic max/mean directory imbalance; splits shrink it toward 1
+    /// without moving the denominator.
+    pub dir_load_max_mean: f64,
+    /// §5.3 PetalUp: live directory instances summed over all petal
+    /// primaries (= number of petals when nothing ever split).
+    pub dir_instances_live: usize,
 }
 
 /// A built (and possibly run) Flower-CDN simulation.
@@ -146,10 +155,13 @@ impl FlowerSystem {
     pub fn build(cfg: &SystemConfig) -> FlowerSystem {
         let topo = Topology::generate(&cfg.topology, cfg.seed);
         let catalog = Catalog::new(cfg.catalog.clone());
-        let scheme = KeyScheme::new(cfg.flower.locality_bits, cfg.flower.instance_bits);
+        // Validation precedes key-scheme construction: an invalid
+        // `m1 + b` geometry surfaces as the config error here, never
+        // as the KeyScheme panic.
         cfg.flower
             .validate(topo.num_localities())
             .expect("invalid Flower-CDN configuration");
+        let scheme = KeyScheme::new(cfg.flower.locality_bits, cfg.flower.instance_bits);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5E7_u64);
 
         let k = topo.num_localities();
@@ -163,16 +175,29 @@ impl FlowerSystem {
             .collect();
         debug_assert_eq!(pools.len(), k);
 
-        // Directory peers: one per (website, locality), drawn from the
-        // locality's pool.
+        // Directory peers: `2^b` instances per (website, locality)
+        // petal (1 in the base design), drawn from the locality's
+        // pool. `all_dirs` keeps deployment order for deterministic
+        // timer staggering below.
+        let instances = scheme.instances() as u32;
         let mut dirs: BTreeMap<(WebsiteId, Locality), NodeId> = BTreeMap::new();
+        let mut dir_instances: HashMap<(WebsiteId, Locality), Vec<NodeId>> = HashMap::new();
+        let mut all_dirs: Vec<((WebsiteId, Locality, u32), NodeId)> = Vec::new();
         for ws in catalog.websites() {
             for (l, pool) in pools.iter_mut().enumerate() {
                 let loc = Locality(l as u16);
-                let node = pool
-                    .pop()
-                    .unwrap_or_else(|| panic!("locality {l} too small for the D-ring"));
-                dirs.insert((ws, loc), node);
+                let mut petal = Vec::with_capacity(instances as usize);
+                for inst in 0..instances {
+                    let node = pool
+                        .pop()
+                        .unwrap_or_else(|| panic!("locality {l} too small for the D-ring"));
+                    if inst == 0 {
+                        dirs.insert((ws, loc), node);
+                    }
+                    petal.push(node);
+                    all_dirs.push(((ws, loc, inst), node));
+                }
+                dir_instances.insert((ws, loc), petal);
             }
         }
 
@@ -211,12 +236,12 @@ impl FlowerSystem {
         }
 
         // D-ring bootstrap: a converged substrate network over all
-        // directory peers (the paper's stable start), on whichever DHT
-        // the configuration selects.
-        let members: Vec<PeerRef> = dirs
+        // directory instances (the paper's stable start), on whichever
+        // DHT the configuration selects.
+        let members: Vec<PeerRef> = all_dirs
             .iter()
-            .map(|((ws, loc), node)| PeerRef {
-                id: scheme.key(*ws, *loc),
+            .map(|((ws, loc, inst), node)| PeerRef {
+                id: scheme.key_with_instance(*ws, *loc, *inst),
                 node: *node,
             })
             .collect();
@@ -230,11 +255,12 @@ impl FlowerSystem {
             scheme,
             servers: servers.clone(),
             bootstrap_dirs: members.iter().map(|m| m.node).collect(),
+            dir_instances,
         });
 
         // Instantiate protocol nodes.
-        let dir_of_node: HashMap<NodeId, (WebsiteId, Locality)> =
-            dirs.iter().map(|(kl, n)| (*n, *kl)).collect();
+        let dir_of_node: HashMap<NodeId, (WebsiteId, Locality, u32)> =
+            all_dirs.iter().map(|(kli, n)| (*n, *kli)).collect();
         let server_of_node: HashMap<NodeId, WebsiteId> = servers
             .iter()
             .enumerate()
@@ -243,9 +269,9 @@ impl FlowerSystem {
         let nodes: Vec<FlowerNode> = topo
             .node_ids()
             .map(|n| {
-                if let Some((ws, loc)) = dir_of_node.get(&n) {
+                if let Some((ws, loc, inst)) = dir_of_node.get(&n) {
                     let st = state_by_node.remove(&n).expect("dir has substrate state");
-                    FlowerNode::directory(Arc::clone(&deployment), *ws, *loc, st)
+                    FlowerNode::directory(Arc::clone(&deployment), *ws, *loc, *inst, st)
                 } else if let Some(ws) = server_of_node.get(&n) {
                     FlowerNode::server(Arc::clone(&deployment), *ws)
                 } else {
@@ -262,8 +288,10 @@ impl FlowerSystem {
             cfg.shards.max(1),
         );
 
-        // Arm directory timers (staggered).
-        for (_, node) in dirs.iter() {
+        // Arm directory timers (staggered), one set per deployed
+        // instance, in deployment order (identical to the pre-§5.3
+        // draw sequence when `instances == 1`).
+        for (_, node) in all_dirs.iter() {
             let s = rng.gen_range(0..cfg.flower.keepalive_period.as_ms().max(2));
             engine.schedule_at(
                 SimTime::from_ms(s),
@@ -418,11 +446,49 @@ impl FlowerSystem {
         script.install(&mut self.engine);
     }
 
+    /// Per-instance directory query loads: one `((website, locality,
+    /// instance), queries processed)` entry for every directory role
+    /// that processed at least one query, in deployment order.
+    pub fn dir_query_loads(&self) -> Vec<((WebsiteId, Locality, u32), u64)> {
+        let mut out = Vec::new();
+        for n in self.engine.topology().node_ids() {
+            if let Some(role) = self.engine.node(n).dir_role() {
+                let q = role.dir.load().queries;
+                if q > 0 {
+                    out.push((
+                        (role.dir.website(), role.dir.locality(), role.dir.instance()),
+                        q,
+                    ));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|((ws, loc, inst), _)| (*ws, *loc, *inst));
+        out
+    }
+
     /// Compute the end-of-run report.
     pub fn report(&self) -> SystemReport {
         let q = self.engine.query_stats();
         let participants = self.participants();
         let elapsed = self.engine.now() - SimTime::ZERO;
+        let loads = self.dir_query_loads();
+        let total: u64 = loads.iter().map(|(_, q)| q).sum();
+        let max = loads.iter().map(|(_, q)| *q).max().unwrap_or(0);
+        let petals: std::collections::HashSet<(WebsiteId, Locality)> =
+            loads.iter().map(|((ws, loc, _), _)| (*ws, *loc)).collect();
+        let dir_load_max_mean = if petals.is_empty() || total == 0 {
+            0.0
+        } else {
+            max as f64 / (total as f64 / petals.len() as f64)
+        };
+        let dir_instances_live = self
+            .engine
+            .topology()
+            .node_ids()
+            .filter_map(|n| self.engine.node(n).dir_role())
+            .filter(|r| !r.joining && r.petal.instance == 0)
+            .map(|r| r.petal.live as usize)
+            .sum();
         SystemReport {
             submitted: q.submitted(),
             resolved: q.resolved(),
@@ -434,6 +500,8 @@ impl FlowerSystem {
             participants: participants.len(),
             redirection_failures: q.redirection_failures(),
             local_hit_fraction: q.local_hit_fraction(),
+            dir_load_max_mean,
+            dir_instances_live,
         }
     }
 }

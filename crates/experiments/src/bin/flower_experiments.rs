@@ -5,6 +5,7 @@
 //! flower-experiments <experiment> [--scale <f|full>] [--seed <n>]
 //!                    [--substrate <chord|pastry>] [--shards <n>]
 //!                    [--event-queue <calendar|heap|both>]
+//!                    [--instance-bits <b|a,b,..>]
 //!                    [--csv-dir <dir>] [--bench-out <file>]
 //!
 //! experiments:
@@ -22,6 +23,9 @@
 //! (§3.1 portability; `substrates` compares the two side by side).
 //! `--shards N` runs the simulation engine on N locality shards
 //! (worker threads); results are bit-identical for every N.
+//! `--instance-bits b` enables the §5.3 PetalUp scale-up: up to `2^b`
+//! load-adaptive directory instances per (website, locality) petal
+//! (`scale` accepts a comma list and sweeps it).
 //! `--event-queue` picks the engine's event storage (results are
 //! bit-identical for both backends; `both` is only valid for `scale`,
 //! which then sweeps the two side by side).
@@ -51,6 +55,9 @@ struct Args {
     bench_out: Option<String>,
     scale_nodes: Vec<usize>,
     scale_shards: Vec<usize>,
+    /// §5.3 instance-bits sweep of the `scale` experiment (single
+    /// value for every other experiment).
+    scale_bits: Vec<u32>,
     horizon_secs: u64,
     // bench-check:
     baseline: Option<String>,
@@ -80,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
         bench_out: None,
         scale_nodes: vec![10_000, 50_000, 100_000],
         scale_shards: vec![1, 2, 4, 8],
+        scale_bits: vec![0],
         horizon_secs: 60,
         baseline: None,
         fresh: None,
@@ -133,6 +141,18 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--shard-sweep needs a value")?;
                 out.scale_shards = parse_list(&v)?;
             }
+            "--instance-bits" => {
+                let v = args.next().ok_or("--instance-bits needs a value")?;
+                let bits: Vec<u32> = parse_list(&v)?.into_iter().map(|b| b as u32).collect();
+                if bits.is_empty() {
+                    return Err("--instance-bits needs at least one value".into());
+                }
+                if bits.len() > 1 && out.cmd != "scale" {
+                    return Err("an --instance-bits sweep is only valid for `scale`".into());
+                }
+                out.opts.instance_bits = bits[0];
+                out.scale_bits = bits;
+            }
             "--horizon-secs" => {
                 let v = args.next().ok_or("--horizon-secs needs a value")?;
                 out.horizon_secs = v.parse().map_err(|_| format!("bad horizon {v:?}"))?;
@@ -165,7 +185,8 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: flower-experiments <table2a|table2b|table2c|push-threshold|fig5|fig6|fig7|fig8|churn|ablation|replication|cache|substrates|scale|bench-check|all> \
      [--scale <f|full>] [--seed <n>] [--substrate <chord|pastry>] [--shards <n>] \
-     [--event-queue <calendar|heap|both>] [--csv-dir <dir>] [--bench-out <file>] \
+     [--event-queue <calendar|heap|both>] [--instance-bits <b|a,b,..>] \
+     [--csv-dir <dir>] [--bench-out <file>] \
      [--nodes <a,b,..>] [--shard-sweep <a,b,..>] [--horizon-secs <s>] \
      [--baseline <file> --fresh <file> [--max-drop <frac>] [--summary-out <file>]]"
         .to_string()
@@ -329,6 +350,7 @@ fn run_one(name: &str, args: &Args) -> ExpOutput {
             nodes: args.scale_nodes.clone(),
             shards: args.scale_shards.clone(),
             queues: args.queue_sweep.clone(),
+            instance_bits: args.scale_bits.clone(),
             horizon: SimDuration::from_secs(args.horizon_secs),
             seed: opts.seed,
         }),

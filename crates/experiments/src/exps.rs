@@ -884,6 +884,9 @@ pub struct ScaleParams {
     /// Event-queue backends to sweep per cell (e.g. both, to compare
     /// the calendar queue against the binary heap on equal terms).
     pub queues: Vec<EventQueueKind>,
+    /// §5.3 instance-bits values to sweep (e.g. `[0, 2]` to compare
+    /// the flat D-ring against a PetalUp one on the same workload).
+    pub instance_bits: Vec<u32>,
     /// Simulated horizon per cell.
     pub horizon: SimDuration,
     /// Master seed.
@@ -896,6 +899,7 @@ impl Default for ScaleParams {
             nodes: vec![10_000, 50_000, 100_000],
             shards: vec![1, 2, 4, 8],
             queues: vec![EventQueueKind::default()],
+            instance_bits: vec![0],
             horizon: SimDuration::from_secs(60),
             seed: 42,
         }
@@ -905,22 +909,35 @@ impl Default for ScaleParams {
 /// The deployment a `scale` cell simulates: an 8-domain CDN with
 /// well-separated localities (60 ms inter-domain latency floor — which
 /// is also the engine's epoch lookahead), communities sized with the
-/// node count, and a query rate proportional to the population, so the
-/// event load actually grows with `nodes`.
+/// node count, a query rate proportional to the population (so the
+/// event load actually grows with `nodes`), and Zipf-skewed *website*
+/// popularity — the §5.3 PetalUp workload, where a couple of hot
+/// websites would overload their flat directory petals.
 fn scale_config(
     nodes: usize,
     shards: usize,
     queue: EventQueueKind,
+    instance_bits: u32,
     horizon: SimDuration,
     seed: u64,
 ) -> SystemConfig {
     use flower_core::FlowerConfig;
     use simnet::TopologyConfig;
     use workload::{CatalogConfig, WorkloadConfig};
+    let localities = SCALE_LOCALITIES;
+    let active_websites = SCALE_ACTIVE_WEBSITES;
+    let query_rate_per_sec = nodes as f64 * SCALE_QUERY_RATE_PER_NODE;
+    let flower_base = FlowerConfig::fast_test();
+    // Split when an instance runs notably hotter than the mean petal's
+    // expected per-window load; the power-of-two doubling then settles
+    // each petal at roughly load/threshold instances (≤ 2^b). Scaled
+    // from the workload so the policy is population-independent.
+    let mean_petal_window = scale_mean_petal_window(nodes);
+    let petal_split_threshold = (mean_petal_window * 0.45).max(4.0) as u64;
     SystemConfig {
         topology: TopologyConfig {
             nodes,
-            localities: 8,
+            localities,
             min_latency_ms: 10,
             max_latency_ms: 500,
             cluster_spread: 0.03,
@@ -931,18 +948,22 @@ fn scale_config(
         },
         catalog: CatalogConfig {
             num_websites: 8,
-            active_websites: 4,
+            active_websites,
             objects_per_website: 200,
             ..Default::default()
         },
         workload: WorkloadConfig {
-            query_rate_per_sec: nodes as f64 * 0.02,
+            query_rate_per_sec,
             duration_ms: horizon.as_ms(),
+            website_zipf_alpha: 1.2,
             ..Default::default()
         },
         flower: FlowerConfig {
             max_overlay: (nodes / 16).max(50),
-            ..FlowerConfig::fast_test()
+            instance_bits,
+            petal_split_threshold,
+            petal_merge_floor: (petal_split_threshold / 4).max(1),
+            ..flower_base
         },
         seed,
         window: SimDuration::from_secs(30),
@@ -950,22 +971,50 @@ fn scale_config(
     }
 }
 
+/// The `scale` deployment's shape, shared by [`scale_config`] and
+/// [`scale_mean_petal_window`] so the split threshold and the
+/// flatten-check strictness can never drift apart.
+const SCALE_LOCALITIES: usize = 8;
+/// Active websites of the `scale` deployment (petals = localities ×
+/// active websites).
+const SCALE_ACTIVE_WEBSITES: usize = 4;
+/// Query rate per node per second of the `scale` workload.
+const SCALE_QUERY_RATE_PER_NODE: f64 = 0.02;
+
+/// Expected per-window query load of the *average* petal in a
+/// [`scale_config`] deployment — the resolution the split policy has
+/// to work with (`scale_config` derives its split threshold from it,
+/// [`scale`] its strictness bounds).
+fn scale_mean_petal_window(nodes: usize) -> f64 {
+    use flower_core::FlowerConfig;
+    let window_s = FlowerConfig::fast_test().keepalive_period.as_ms() as f64 / 1000.0;
+    nodes as f64 * SCALE_QUERY_RATE_PER_NODE * window_s
+        / (SCALE_LOCALITIES * SCALE_ACTIVE_WEBSITES) as f64
+}
+
 /// The headline statistics of one scale cell that must match across
 /// shard counts: submitted, resolved, hit ratio, total messages.
 type CellStats = (u64, u64, f64, u64);
 
 /// **Scale** — the engine-performance experiment: sweep the node
-/// count, the shard count and the event-queue backend, report
-/// events/second and wall-clock per cell, and assert that every
-/// (shards, queue) combination produces *identical* query statistics —
-/// the engine's bit-determinism guarantee (shard layout *and* event
-/// storage are execution details), measured end to end.
+/// count, the §5.3 instance bits, the shard count and the event-queue
+/// backend; report events/second, wall-clock and per-instance
+/// directory load per cell; assert that within every (nodes,
+/// instance_bits) group all (shards, queue) combinations produce
+/// *identical* query statistics — the engine's bit-determinism
+/// guarantee (shard layout *and* event storage are execution details,
+/// and the §5.3 instance choice is a pure function of protocol
+/// state), measured end to end. When the sweep includes both the flat
+/// D-ring (`b = 0`) and a PetalUp one (`b ≥ 1`), it also checks that
+/// the splits actually flatten the per-instance directory load under
+/// the Zipf-skewed website workload.
 pub fn scale(params: &ScaleParams) -> ExpOutput {
     let mut out = ExpOutput::default();
     let mut table = Table::new(
-        "Scale — engine throughput (locality shards × event-queue backend)",
+        "Scale — engine throughput (instance bits × locality shards × event-queue backend)",
         &[
             "nodes",
+            "bits",
             "shards",
             "queue",
             "wall s",
@@ -974,51 +1023,94 @@ pub fn scale(params: &ScaleParams) -> ExpOutput {
             "peak queue",
             "speedup vs base",
             "hit ratio",
+            "dir max/mean",
+            "live dirs",
         ],
     );
     for &nodes in &params.nodes {
-        // Baseline = the first (shards, queue) cell of the sweep.
-        let mut base: Option<(f64, String, CellStats)> = None;
-        for &shards in &params.shards {
-            for &queue in &params.queues {
-                let cfg = scale_config(nodes, shards, queue, params.horizon, params.seed);
-                let name = format!("scale/{nodes}n");
-                let (sys, report, record) = runner::run_flower_timed(&cfg, &name);
-                let speedup = match &base {
-                    None => format!("×1.00 (base: {shards} shard(s), {queue})"),
-                    Some((base_wall, _, _)) => {
-                        format!("×{:.2}", base_wall / record.wall_s.max(1e-9))
-                    }
-                };
-                table.row(vec![
-                    nodes.to_string(),
-                    sys.engine().num_shards().to_string(),
-                    queue.to_string(),
-                    format!("{:.2}", record.wall_s),
-                    record.events.to_string(),
-                    f1(record.events_per_sec),
-                    record.peak_queue_depth.to_string(),
-                    speedup,
-                    f3(report.hit_ratio),
-                ]);
-                let stats = (
-                    report.submitted,
-                    report.resolved,
-                    report.hit_ratio,
-                    sys.engine().traffic().messages(),
-                );
-                match &base {
-                    None => base = Some((record.wall_s, format!("{shards} shards/{queue}"), stats)),
-                    Some((_, base_cell, base_stats)) => out.push_check(
-                        format!(
-                            "{nodes} nodes / {shards} shards / {queue}: query statistics \
-                             identical to {base_cell} run ({}/{} hit {:.6}, {} msgs)",
-                            stats.0, stats.1, stats.2, stats.3
+        // Per-instance load imbalance of each instance-bits group
+        // (identical across the group's cells, so the base cell's
+        // value represents it).
+        let mut load_ratios: Vec<(u32, f64)> = Vec::new();
+        for &bits in &params.instance_bits {
+            // Baseline = the first (shards, queue) cell of the group.
+            let mut base: Option<(f64, String, CellStats)> = None;
+            for &shards in &params.shards {
+                for &queue in &params.queues {
+                    let cfg = scale_config(nodes, shards, queue, bits, params.horizon, params.seed);
+                    let name = if bits == 0 {
+                        format!("scale/{nodes}n")
+                    } else {
+                        format!("scale/{nodes}n/b{bits}")
+                    };
+                    let (sys, report, record) = runner::run_flower_timed(&cfg, &name);
+                    let speedup = match &base {
+                        None => format!("×1.00 (base: {shards} shard(s), {queue})"),
+                        Some((base_wall, _, _)) => {
+                            format!("×{:.2}", base_wall / record.wall_s.max(1e-9))
+                        }
+                    };
+                    table.row(vec![
+                        nodes.to_string(),
+                        bits.to_string(),
+                        sys.engine().num_shards().to_string(),
+                        queue.to_string(),
+                        format!("{:.2}", record.wall_s),
+                        record.events.to_string(),
+                        f1(record.events_per_sec),
+                        record.peak_queue_depth.to_string(),
+                        speedup,
+                        f3(report.hit_ratio),
+                        f3(report.dir_load_max_mean),
+                        report.dir_instances_live.to_string(),
+                    ]);
+                    let stats = (
+                        report.submitted,
+                        report.resolved,
+                        report.hit_ratio,
+                        sys.engine().traffic().messages(),
+                    );
+                    match &base {
+                        None => {
+                            load_ratios.push((bits, report.dir_load_max_mean));
+                            base = Some((record.wall_s, format!("{shards} shards/{queue}"), stats));
+                        }
+                        Some((_, base_cell, base_stats)) => out.push_check(
+                            format!(
+                                "{nodes} nodes / b{bits} / {shards} shards / {queue}: query \
+                                 statistics identical to {base_cell} run ({}/{} hit {:.6}, \
+                                 {} msgs, dir load {:.4})",
+                                stats.0, stats.1, stats.2, stats.3, report.dir_load_max_mean
+                            ),
+                            *base_stats == stats,
                         ),
-                        *base_stats == stats,
-                    ),
+                    }
+                    out.bench.push(record);
                 }
-                out.bench.push(record);
+            }
+        }
+        // §5.3 PetalUp shape: splits must flatten the per-instance
+        // directory load relative to the flat D-ring on the same
+        // Zipf-skewed workload — by ≥3× once 4 instances are
+        // available, measurably at 2. The 3× bound needs the policy
+        // to have resolution (tens of queries per petal window); tiny
+        // sweeps where a window holds a handful of queries get a 2×
+        // bound instead.
+        if let Some(&(_, flat)) = load_ratios.iter().find(|(b, _)| *b == 0) {
+            let strict = scale_mean_petal_window(nodes) >= 25.0;
+            for &(bits, ratio) in load_ratios.iter().filter(|(b, _)| *b > 0) {
+                let bound = match (bits, strict) {
+                    (2.., true) => flat / 3.0,
+                    (2.., false) => flat * 0.5,
+                    _ => flat * 0.8,
+                };
+                out.push_check(
+                    format!(
+                        "{nodes} nodes: b{bits} flattens directory load \
+                         (max/mean {ratio:.3} vs flat {flat:.3}, bound {bound:.3})"
+                    ),
+                    ratio > 0.0 && ratio <= bound,
+                );
             }
         }
     }
@@ -1079,6 +1171,7 @@ mod tests {
             nodes: vec![2000],
             shards: vec![1, 2, 4],
             queues: vec![EventQueueKind::Calendar, EventQueueKind::Heap],
+            instance_bits: vec![0],
             horizon: SimDuration::from_secs(20),
             seed: 9,
         });
@@ -1088,6 +1181,28 @@ mod tests {
         assert_eq!(out.bench[0].events, out.bench[1].events);
         assert_eq!(out.bench[0].queue, EventQueueKind::Calendar);
         assert_eq!(out.bench[1].queue, EventQueueKind::Heap);
+    }
+
+    #[test]
+    #[ignore = "runs multi-thousand-node simulations; use --release -- --ignored"]
+    fn scale_sweep_petalup_flattens_directory_load() {
+        // The acceptance sweep: instance_bits ∈ {0, 1, 2} under the
+        // Zipf website workload, bit-identical across shard counts,
+        // with b = 2 flattening max/mean to ≤ 1/3 of the flat ring's.
+        let out = scale(&ScaleParams {
+            nodes: vec![20_000],
+            shards: vec![1, 2, 4],
+            queues: vec![EventQueueKind::Calendar],
+            instance_bits: vec![0, 1, 2],
+            horizon: SimDuration::from_secs(30),
+            seed: 42,
+        });
+        assert!(out.all_passed(), "{}", out.render_checks());
+        assert_eq!(out.bench.len(), 9, "3 bits × 3 shard counts");
+        assert!(out
+            .bench
+            .iter()
+            .any(|r| r.experiment.ends_with("/b2") && r.dir_load_max_mean > 0.0));
     }
 
     #[test]

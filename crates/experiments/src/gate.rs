@@ -6,10 +6,11 @@
 //! The parser is hand-rolled for exactly the document shape
 //! [`crate::report::bench_json`] emits (the build environment has no
 //! serde): a flat object with `schema`/`host` strings and a `records`
-//! array of flat objects with string and number fields. Both the `v1`
+//! array of flat objects with string and number fields. The `v1`
 //! schema (no `queue` field; records default to the heap backend that
-//! was the only implementation then) and the current `v2` are
-//! accepted, so the gate keeps working across the schema bump.
+//! was the only implementation then), `v2` (no `dir_load_max_mean`
+//! column; defaults to 0) and the current `v3` are all accepted, so
+//! the gate keeps working across schema bumps.
 
 use std::fmt::Write as _;
 
@@ -20,7 +21,7 @@ use crate::report::{BenchRecord, BENCH_SCHEMA};
 /// A parsed `BENCH_engine.json`.
 #[derive(Clone, Debug)]
 pub struct BenchDoc {
-    /// Schema tag (`flower-cdn/bench-engine/v1` or `v2`).
+    /// Schema tag (`flower-cdn/bench-engine/v1`, `v2` or `v3`).
     pub schema: String,
     /// Free-form host description (core count, arch, queue backend).
     pub host: String,
@@ -174,6 +175,8 @@ fn record_from_fields(fields: Vec<(String, Value)>, idx: usize) -> Result<BenchR
         events_per_sec: 0.0,
         peak_queue_depth: 0,
         sim_ms: 0,
+        // v1/v2 documents predate the directory-load column.
+        dir_load_max_mean: 0.0,
     };
     let mut seen_experiment = false;
     for (key, value) in fields {
@@ -191,9 +194,10 @@ fn record_from_fields(fields: Vec<(String, Value)>, idx: usize) -> Result<BenchR
             ("events_per_sec", Value::Num(n)) => r.events_per_sec = n,
             ("peak_queue_depth", Value::Num(n)) => r.peak_queue_depth = n as usize,
             ("sim_ms", Value::Num(n)) => r.sim_ms = n as u64,
+            ("dir_load_max_mean", Value::Num(n)) => r.dir_load_max_mean = n,
             (
                 "experiment" | "queue" | "nodes" | "shards" | "wall_s" | "events"
-                | "events_per_sec" | "peak_queue_depth" | "sim_ms",
+                | "events_per_sec" | "peak_queue_depth" | "sim_ms" | "dir_load_max_mean",
                 _,
             ) => return Err(bad()),
             _ => {} // unknown fields: forward compatibility
@@ -242,7 +246,7 @@ pub fn parse_bench(json: &str) -> Result<BenchDoc, String> {
         p.expect(b',')?;
     }
     match doc.schema.as_str() {
-        "flower-cdn/bench-engine/v1" | BENCH_SCHEMA => Ok(doc),
+        "flower-cdn/bench-engine/v1" | "flower-cdn/bench-engine/v2" | BENCH_SCHEMA => Ok(doc),
         other => Err(format!("unsupported schema {other:?}")),
     }
 }
@@ -385,6 +389,7 @@ mod tests {
             events_per_sec: eps,
             peak_queue_depth: 10,
             sim_ms: 30_000,
+            dir_load_max_mean: 1.5,
         }
     }
 
@@ -398,6 +403,21 @@ mod tests {
         assert_eq!(doc.schema, BENCH_SCHEMA);
         assert_eq!(doc.host, "4 cpus, x86_64, queue=calendar");
         assert_eq!(doc.records, records);
+    }
+
+    #[test]
+    fn parses_v2_documents_without_dir_load_column() {
+        let v2 = r#"{
+  "schema": "flower-cdn/bench-engine/v2",
+  "host": "1 cpus, x86_64, queue=calendar",
+  "records": [
+    {"experiment": "scale/20000n", "nodes": 20000, "shards": 1, "queue": "calendar", "wall_s": 0.5, "events": 450935, "events_per_sec": 900000.0, "peak_queue_depth": 21206, "sim_ms": 60000}
+  ]
+}"#;
+        let doc = parse_bench(v2).unwrap();
+        assert_eq!(doc.records.len(), 1);
+        assert_eq!(doc.records[0].dir_load_max_mean, 0.0, "v2 = no column");
+        assert_eq!(doc.records[0].queue, EventQueueKind::Calendar);
     }
 
     #[test]

@@ -123,12 +123,19 @@ pub struct BenchRecord {
     pub peak_queue_depth: usize,
     /// Simulated milliseconds covered by the run.
     pub sim_ms: u64,
+    /// §5.3 PetalUp: per-instance directory query load imbalance
+    /// (hottest instance over mean petal load) at the end of the run;
+    /// 0.0 for records that predate the column or runs with no
+    /// directory traffic.
+    pub dir_load_max_mean: f64,
 }
 
 /// Schema tag of the `BENCH_engine.json` document. `v2` added the
 /// per-record `queue` field (event-queue backend) and put the host
-/// core count and default queue backend into `host`.
-pub const BENCH_SCHEMA: &str = "flower-cdn/bench-engine/v2";
+/// core count and default queue backend into `host`; `v3` added the
+/// per-record `dir_load_max_mean` directory-load column (§5.3
+/// PetalUp).
+pub const BENCH_SCHEMA: &str = "flower-cdn/bench-engine/v3";
 
 /// Render benchmark records as the `BENCH_engine.json` document
 /// (hand-rolled: the build environment has no serde).
@@ -146,7 +153,7 @@ pub fn bench_json(host: &str, records: &[BenchRecord]) -> String {
             "    {{\"experiment\": \"{}\", \"nodes\": {}, \"shards\": {}, \
              \"queue\": \"{}\", \
              \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \
-             \"peak_queue_depth\": {}, \"sim_ms\": {}}}{}",
+             \"peak_queue_depth\": {}, \"sim_ms\": {}, \"dir_load_max_mean\": {:.4}}}{}",
             esc(&r.experiment),
             r.nodes,
             r.shards,
@@ -156,6 +163,7 @@ pub fn bench_json(host: &str, records: &[BenchRecord]) -> String {
             r.events_per_sec,
             r.peak_queue_depth,
             r.sim_ms,
+            r.dir_load_max_mean,
             comma
         );
     }
@@ -230,6 +238,7 @@ mod tests {
                 events_per_sec: 2_000_000.0,
                 peak_queue_depth: 1234,
                 sim_ms: 60_000,
+                dir_load_max_mean: 1.92,
             },
             BenchRecord {
                 experiment: "fig\"5".into(),
@@ -241,10 +250,12 @@ mod tests {
                 events_per_sec: 400.0,
                 peak_queue_depth: 7,
                 sim_ms: 1000,
+                dir_load_max_mean: 0.0,
             },
         ];
         let json = bench_json("test-host", &records);
-        assert!(json.contains("\"schema\": \"flower-cdn/bench-engine/v2\""));
+        assert!(json.contains("\"schema\": \"flower-cdn/bench-engine/v3\""));
+        assert!(json.contains("\"dir_load_max_mean\": 1.9200"));
         assert!(json.contains("\"nodes\": 20000"));
         assert!(json.contains("\"queue\": \"calendar\""));
         assert!(json.contains("\"queue\": \"heap\""));

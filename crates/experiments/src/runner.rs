@@ -30,11 +30,15 @@ pub struct RunOpts {
     pub shards: usize,
     /// Event-queue backend; results are bit-identical for both.
     pub queue: EventQueueKind,
+    /// §5.3 PetalUp instance bits `b`: up to `2^b` directory
+    /// instances per (website, locality) petal. 0 is the paper's base
+    /// design.
+    pub instance_bits: u32,
 }
 
 impl RunOpts {
     /// Defaults: 1/10 time scale, seed 42, Chord, one shard, calendar
-    /// queue.
+    /// queue, no §5.3 instances.
     pub fn new() -> Self {
         RunOpts {
             scale: RunScale::Scaled(0.1),
@@ -42,6 +46,7 @@ impl RunOpts {
             substrate: SubstrateKind::Chord,
             shards: 1,
             queue: EventQueueKind::default(),
+            instance_bits: 0,
         }
     }
 
@@ -118,6 +123,7 @@ pub fn flower_config(opts: RunOpts) -> SystemConfig {
         .as_ms();
     cfg.flower = scale_flower(&cfg.flower, opts.scale);
     cfg.flower.substrate = opts.substrate;
+    cfg.flower.instance_bits = opts.instance_bits;
     cfg.window = opts.scale.scale_duration(SimDuration::from_mins(30));
     cfg.shards = opts.shards.max(1);
     cfg.topology.event_queue = opts.queue;
@@ -181,6 +187,7 @@ pub fn run_flower_timed(
         events_per_sec: events as f64 / wall_s.max(1e-9),
         peak_queue_depth: engine.peak_queue_depth(),
         sim_ms: horizon.as_ms(),
+        dir_load_max_mean: report.dir_load_max_mean,
     };
     (sys, report, record)
 }
@@ -220,6 +227,21 @@ mod tests {
         assert_eq!(pastry.flower.substrate, SubstrateKind::Pastry);
         assert_eq!(chord.workload.duration_ms, pastry.workload.duration_ms);
         assert_eq!(chord.seed, pastry.seed);
+    }
+
+    #[test]
+    fn instance_bits_flow_into_the_flower_config() {
+        let mut o = opts(RunScale::Scaled(0.1), SubstrateKind::Chord, 1);
+        o.instance_bits = 2;
+        let cfg = flower_config(o);
+        assert_eq!(cfg.flower.instance_bits, 2);
+        assert_eq!(
+            flower_config(opts(RunScale::Scaled(0.1), SubstrateKind::Chord, 1))
+                .flower
+                .instance_bits,
+            0,
+            "base design by default"
+        );
     }
 
     #[test]

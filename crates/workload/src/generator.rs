@@ -32,6 +32,12 @@ pub struct WorkloadConfig {
     pub duration_ms: u64,
     /// Zipf skew for object popularity.
     pub zipf_alpha: f64,
+    /// Zipf skew for *website* popularity across the active websites
+    /// (0 = the paper's uniform choice, bit-for-bit the historical
+    /// trace). Positive values rank active websites by id — the
+    /// workload the §5.3 PetalUp scale-up is designed for, where a
+    /// few hot websites would overload their directory petals.
+    pub website_zipf_alpha: f64,
 }
 
 impl Default for WorkloadConfig {
@@ -40,6 +46,7 @@ impl Default for WorkloadConfig {
             query_rate_per_sec: 6.0,
             duration_ms: 24 * 3600 * 1000,
             zipf_alpha: Zipf::DEFAULT_ALPHA,
+            website_zipf_alpha: 0.0,
         }
     }
 }
@@ -82,6 +89,11 @@ impl QueryStream {
         let zipf = Zipf::new(catalog.objects_per_website(), cfg.zipf_alpha);
         let active: Vec<WebsiteId> = catalog.active_websites().collect();
         assert!(!active.is_empty(), "no active websites to query");
+        // Skewed website choice is opt-in: with alpha 0 the historical
+        // uniform draw runs unchanged (same RNG consumption), keeping
+        // every pinned trace valid.
+        let website_zipf =
+            (cfg.website_zipf_alpha > 0.0).then(|| Zipf::new(active.len(), cfg.website_zipf_alpha));
 
         let mean_gap_ms = 1000.0 / cfg.query_rate_per_sec;
         let mut events = Vec::with_capacity((cfg.duration_ms as f64 / mean_gap_ms * 1.1) as usize);
@@ -94,7 +106,10 @@ impl QueryStream {
             if at_ms >= cfg.duration_ms {
                 break;
             }
-            let website = active[rng.gen_range(0..active.len())];
+            let website = match &website_zipf {
+                Some(z) => active[z.sample(&mut rng)],
+                None => active[rng.gen_range(0..active.len())],
+            };
             let rank = zipf.sample(&mut rng);
             events.push(QueryEvent {
                 at_ms,
@@ -188,6 +203,40 @@ mod tests {
         assert!(
             (frac - expect).abs() < 0.05,
             "head fraction {frac:.3} vs analytic {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn website_skew_concentrates_on_low_ranks() {
+        let cfg = WorkloadConfig {
+            duration_ms: 3_600_000,
+            website_zipf_alpha: 1.2,
+            ..Default::default()
+        };
+        let cat = catalog();
+        let s = QueryStream::generate(&cfg, &cat, 7);
+        let mut counts = [0usize; 6];
+        for e in s.events() {
+            counts[e.website.idx()] += 1;
+        }
+        assert!(
+            counts[0] > counts[5] * 3,
+            "rank-0 website must dominate: {counts:?}"
+        );
+        // Every active website still sees some traffic.
+        assert!(counts.iter().all(|c| *c > 0), "{counts:?}");
+        // And alpha = 0 stays bit-identical to the uniform draw.
+        let base = WorkloadConfig {
+            duration_ms: 600_000,
+            ..Default::default()
+        };
+        let explicit_zero = WorkloadConfig {
+            website_zipf_alpha: 0.0,
+            ..base.clone()
+        };
+        assert_eq!(
+            QueryStream::generate(&base, &cat, 3).events(),
+            QueryStream::generate(&explicit_zero, &cat, 3).events(),
         );
     }
 

@@ -120,6 +120,98 @@ fn voluntary_handoff_transfers_the_directory() {
     );
 }
 
+/// §5.3 PetalUp + §5.2 voluntary leave: a *sibling* directory
+/// instance that leaves hands its members back to the petal primary
+/// and retires its slot for good — the primary must shrink the petal,
+/// never re-activate the (alive but role-less) node on a later split,
+/// and the system must keep resolving queries.
+#[test]
+fn sibling_retirement_permanently_caps_the_petal() {
+    use flower_cdn::core::msg::FlowerMsg;
+    use flower_cdn::simnet::Event;
+
+    let mut c = cfg(42);
+    c.flower.instance_bits = 2;
+    c.flower.petal_split_threshold = 4;
+    c.flower.petal_merge_floor = 2;
+    c.workload.website_zipf_alpha = 1.5;
+    let mut sys = FlowerSystem::build(&c);
+
+    // Advance until some petal primary has actually split, then pick
+    // its instance-1 sibling (deterministic: states are a pure
+    // function of the config, the probe just reads them).
+    let mut picked = None;
+    'probe: for step_s in [30u64, 45, 60, 75, 90, 105, 120] {
+        sys.run_until(SimTime::from_secs(step_s));
+        let nodes: Vec<NodeId> = sys.engine().topology().node_ids().collect();
+        for n in &nodes {
+            let Some(role) = sys.engine().node(*n).dir_role() else {
+                continue;
+            };
+            if role.petal.instance != 0 || role.petal.live <= 1 {
+                continue;
+            }
+            let (ws, loc) = (role.dir.website(), role.dir.locality());
+            let sibling = nodes.iter().copied().find(|m| {
+                sys.engine().node(*m).dir_role().is_some_and(|r| {
+                    r.dir.website() == ws && r.dir.locality() == loc && r.petal.instance == 1
+                })
+            });
+            if let Some(sib) = sibling {
+                picked = Some((*n, sib, ws, loc, step_s));
+                break 'probe;
+            }
+        }
+    }
+    let (primary, sibling, ws, loc, at_s) = picked.expect("no petal split within 2 minutes");
+
+    // The sibling leaves voluntarily.
+    sys.engine_mut().schedule_at(
+        SimTime::from_secs(at_s + 1),
+        sibling,
+        Event::Recv {
+            from: sibling,
+            msg: FlowerMsg::AdminLeave,
+        },
+    );
+    sys.run_until(SimTime::from_secs(at_s + 30));
+    assert!(
+        sys.engine().node(sibling).dir_role().is_none(),
+        "retired sibling must drop its directory role"
+    );
+    {
+        let role = sys
+            .engine()
+            .node(primary)
+            .dir_role()
+            .expect("primary stays");
+        assert!(role.petal.retired[1], "primary must record the retirement");
+        assert_eq!(role.petal.live, 1, "petal must shrink below instance 1");
+    }
+
+    // To the horizon: instance 1 caps the petal at 1 forever (a split
+    // over the role-less node would silently black-hole its share),
+    // and the system keeps answering.
+    sys.run_until(SimTime::from_ms(c.workload.duration_ms) + SimDuration::from_secs(30));
+    let role = sys
+        .engine()
+        .node(primary)
+        .dir_role()
+        .expect("primary stays");
+    assert_eq!(
+        role.petal.live, 1,
+        "petal (ws {ws:?}, loc {loc:?}) must never re-split over the retiree"
+    );
+    assert!(sys.engine().node(sibling).dir_role().is_none());
+    let r = sys.report();
+    assert!(
+        r.resolved as f64 >= r.submitted as f64 * 0.99,
+        "queries must keep resolving after the retirement ({}/{})",
+        r.resolved,
+        r.submitted
+    );
+}
+
 /// §5.1 redirection failures: churn content peers so directory
 /// entries go stale; queries must still resolve via retries.
 #[test]
