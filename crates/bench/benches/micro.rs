@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use bloom::{BloomFilter, ContentSummary, ObjectId};
+use bloom::{BloomFilter, ContentSummary, MaintainedSummary, ObjectId};
 use chord::{stable_ring, ChordConfig, ChordId, PeerRef};
 use flower_core::id::KeyScheme;
 use flower_core::policy::DringPolicy;
@@ -40,6 +40,48 @@ fn bench_bloom(c: &mut Criterion) {
         let objs: Vec<ObjectId> = (0..500).map(ObjectId).collect();
         b.iter(|| ContentSummary::from_objects(500, black_box(&objs)))
     });
+    // The maintain-vs-rebuild comparison behind the PR 5 hot-path
+    // change: what a gossip exchange costs per summary under each
+    // discipline. `snapshot` replaces `summary_rebuild_500` on the
+    // gossip/push path; `maintain_churn` is the steady-state
+    // insert+remove bookkeeping that pays for it.
+    g.bench_function("summary_snapshot_500_cached", |b| {
+        // Steady state: content unchanged since the last exchange —
+        // the snapshot is an Arc bump.
+        let mut m = MaintainedSummary::empty(500);
+        for k in 0..500u64 {
+            m.insert(ObjectId(k));
+        }
+        let _ = m.snapshot();
+        b.iter(|| black_box(m.snapshot()))
+    });
+    g.bench_function("summary_snapshot_500_dirty", |b| {
+        // Post-mutation: one churn cycle plus the O(words) rebuild of
+        // the cached projection.
+        let mut m = MaintainedSummary::empty(500);
+        for k in 0..500u64 {
+            m.insert(ObjectId(k));
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            m.remove(ObjectId(k % 500));
+            m.insert(ObjectId(k % 500));
+            k += 1;
+            black_box(m.snapshot())
+        })
+    });
+    g.bench_function("summary_maintain_churn", |b| {
+        let mut m = MaintainedSummary::empty(500);
+        for k in 0..500u64 {
+            m.insert(ObjectId(k));
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            m.remove(ObjectId(k % 500));
+            m.insert(ObjectId(k % 500));
+            k += 1;
+        })
+    });
     g.finish();
 }
 
@@ -69,6 +111,43 @@ fn bench_gossip_view(c: &mut Criterion) {
                     })
                     .collect();
                 v.merge(999, ViewEntry::fresh(50, 0), subset);
+                v
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    // The gossip-exchange view merge as the engine actually runs it:
+    // `Vgossip = 50` views whose entries carry `Option<ContentSummary>`
+    // payloads (Table 1 sizing), folding an `Lgossip = 10` subset plus
+    // the partner entry — the other profiled hot path next to the
+    // summary rebuilds.
+    g.bench_function("merge_summaries_10_into_50", |b| {
+        let summary = |seed: u64| {
+            let mut s = ContentSummary::empty(200);
+            for k in 0..20u64 {
+                s.insert(ObjectId(seed * 31 + k));
+            }
+            Some(s)
+        };
+        let make_view = || {
+            let mut v: View<u32, Option<ContentSummary>> = View::new(50);
+            for p in 0..50u32 {
+                v.insert_fresh(p, summary(p as u64));
+            }
+            v
+        };
+        let subset: Vec<ViewEntry<u32, Option<ContentSummary>>> = (40..50u32)
+            .map(|p| ViewEntry {
+                peer: p,
+                age: 0,
+                data: summary(p as u64 + 100),
+            })
+            .collect();
+        let partner = ViewEntry::fresh(77, summary(999));
+        b.iter_batched(
+            make_view,
+            |mut v| {
+                v.merge(999, partner.clone(), subset.clone());
                 v
             },
             criterion::BatchSize::SmallInput,

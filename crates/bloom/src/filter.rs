@@ -25,6 +25,29 @@ fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The Kirsch–Mitzenmacher probe sequence for `key` over `m_bits`
+/// slots with `k` probes. Shared by [`BloomFilter`] and
+/// [`crate::MaintainedSummary`] so the two can never disagree on
+/// which bits a key touches — the maintained summary's snapshots are
+/// bit-identical to from-scratch filters *because* this function is
+/// the single probe authority.
+pub(crate) fn probe_positions(m_bits: u64, k: u32, key: u64) -> impl Iterator<Item = usize> {
+    let h1 = mix64(key);
+    let h2 = mix64(key ^ 0xDEAD_BEEF_CAFE_F00D) | 1; // odd stride
+    (0..k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m_bits) as usize)
+}
+
+/// The filter geometry [`BloomFilter::with_rate`] derives from an
+/// expected item count: `(m_bits, k)`. Shared with
+/// [`crate::MaintainedSummary`] so both size identically.
+pub(crate) fn rate_geometry(expected_items: usize, bits_per_item: usize) -> (usize, u32) {
+    let m = (expected_items.max(1)) * bits_per_item.max(1);
+    let k = ((bits_per_item as f64) * std::f64::consts::LN_2)
+        .round()
+        .max(1.0) as u32;
+    (m, k)
+}
+
 impl BloomFilter {
     /// A filter with `m_bits` bits and `k` probes per key.
     pub fn new(m_bits: usize, k: u32) -> Self {
@@ -43,18 +66,20 @@ impl BloomFilter {
     /// 8·nb-ob bits`), for which the optimal `k` is 5 or 6 and the
     /// false-positive rate ≈ 2 %.
     pub fn with_rate(expected_items: usize, bits_per_item: usize) -> Self {
-        let m = (expected_items.max(1)) * bits_per_item.max(1);
-        let k = ((bits_per_item as f64) * std::f64::consts::LN_2)
-            .round()
-            .max(1.0) as u32;
+        let (m, k) = rate_geometry(expected_items, bits_per_item);
         BloomFilter::new(m, k)
     }
 
+    /// Assemble a filter from an externally maintained bit projection
+    /// (the [`crate::MaintainedSummary`] snapshot path). `items` is
+    /// the live insert count the maintained state tracked.
+    pub(crate) fn from_raw_parts(bits: BitVec, k: u32, items: usize) -> Self {
+        assert!(k > 0, "need at least one hash function");
+        BloomFilter { bits, k, items }
+    }
+
     fn probes(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
-        let h1 = mix64(key);
-        let h2 = mix64(key ^ 0xDEAD_BEEF_CAFE_F00D) | 1; // odd stride
-        let m = self.bits.len() as u64;
-        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+        probe_positions(self.bits.len() as u64, self.k, key)
     }
 
     /// Insert a key.

@@ -14,12 +14,18 @@
 //! * [`BitVec`] — a compact bit vector;
 //! * [`BloomFilter`] — insert / query / union with double hashing;
 //! * [`ContentSummary`] — the paper-facing wrapper sized per Table 1,
-//!   reporting its wire size for the bandwidth model.
+//!   reporting its wire size for the bandwidth model;
+//! * [`MaintainedSummary`] — the counting-Bloom-backed *maintained*
+//!   form: O(k) insert/remove, O(words) snapshots bit-identical to a
+//!   from-scratch [`ContentSummary`] (the hot-path replacement for
+//!   rebuild-per-gossip).
 
 pub mod bits;
 pub mod filter;
+pub mod maintained;
 pub mod summary;
 
 pub use bits::BitVec;
 pub use filter::BloomFilter;
+pub use maintained::MaintainedSummary;
 pub use summary::{ContentSummary, ObjectId};

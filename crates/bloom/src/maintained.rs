@@ -1,0 +1,367 @@
+//! Incrementally maintained content summaries.
+//!
+//! [`ContentSummary::from_objects`] rebuilds a filter from scratch —
+//! `O(items · k)` hashing per call — which PR 3's engine profile
+//! showed on the hot path: every gossip exchange rebuilt the peer's
+//! summary and every directory-summary refresh rescanned the whole
+//! index. PlanetP (Cuenca-Acuna et al.) reached the same conclusion
+//! for its gossiped Bloom digests: maintain the summary as state,
+//! don't recompute it.
+//!
+//! [`MaintainedSummary`] is the counting-Bloom-backed replacement: a
+//! per-slot counter multiset plus the ordinary bit projection kept in
+//! sync (`bit set ⇔ counter > 0`). `insert`/`remove` cost `O(k)`
+//! counter updates; [`MaintainedSummary::snapshot`] clones the bit
+//! projection in `O(words)` and is **bit-identical** (including the
+//! insert count) to the filter [`ContentSummary::from_objects`] would
+//! build from the same live multiset — both draw their probes from
+//! the one shared probe function, so the seed-pinned simulations
+//! cannot tell the difference.
+//!
+//! Counters are a multiset: inserting the same key twice requires
+//! removing it twice before the bits clear. That is exactly the
+//! directory-summary discipline, where one object is listed once per
+//! holding member; content peers insert each held object once.
+//!
+//! Most summaries are nearly empty (a fresh content peer holds one or
+//! two objects against a website of hundreds), so the counters start
+//! as a sorted sparse `(slot, count)` list and promote themselves to
+//! a dense array only once the sparse form would outgrow it — the
+//! 100k-node deployments pay dense storage only for the peers that
+//! actually fill up.
+
+use crate::bits::BitVec;
+use crate::filter::{probe_positions, rate_geometry, BloomFilter};
+use crate::summary::{ContentSummary, ObjectId, BITS_PER_OBJECT};
+
+/// Per-slot counter width. A slot's count is bounded by the number of
+/// live insertions probing it; at the paper's `8·nb-ob` sizing the
+/// expectation is `items · k / m = items · 0.75 / nb-ob`, so even a
+/// directory indexing every object of every member stays orders of
+/// magnitude under 2^16. Overflow panics rather than corrupting the
+/// summary.
+type Count = u16;
+
+/// Counter storage: sparse while few slots are touched, dense after.
+#[derive(Clone, Debug)]
+enum Counts {
+    /// Sorted `(slot, count)` pairs.
+    Sparse(Vec<(u32, Count)>),
+    /// One counter per slot.
+    Dense(Vec<Count>),
+}
+
+/// A content summary maintained as state: counting-Bloom counters
+/// plus the live bit projection, supporting `O(k)` insert/remove and
+/// `O(words)` snapshots bit-identical to a from-scratch
+/// [`ContentSummary`].
+#[derive(Clone, Debug)]
+pub struct MaintainedSummary {
+    /// The design capacity (nb-ob), echoed into snapshots.
+    capacity: usize,
+    k: u32,
+    /// Invariant: bit `i` is set ⇔ slot `i`'s counter is positive.
+    bits: BitVec,
+    counts: Counts,
+    /// Live insertions (multiset cardinality) — the `items` count a
+    /// from-scratch filter over the same multiset would report.
+    items: usize,
+    /// The last snapshot, reused until the next mutation: a summary
+    /// gossiped every `Tgossip` while the content sits still costs one
+    /// `Arc` bump per exchange instead of one bit-array copy.
+    cached: Option<ContentSummary>,
+}
+
+impl MaintainedSummary {
+    /// An empty maintained summary with the geometry of
+    /// [`ContentSummary::empty`]`(capacity)` (Table 1: `8·nb-ob`
+    /// bits).
+    pub fn empty(capacity: usize) -> Self {
+        let (m, k) = rate_geometry(capacity, BITS_PER_OBJECT);
+        MaintainedSummary {
+            capacity,
+            k,
+            bits: BitVec::new(m),
+            counts: Counts::Sparse(Vec::new()),
+            items: 0,
+            cached: None,
+        }
+    }
+
+    /// The design capacity (nb-ob).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live insertions (multiset cardinality).
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// True when nothing is inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Sparse counters outgrow the dense array past this many touched
+    /// slots (8 bytes per sparse pair vs 2 per dense slot).
+    fn promote_threshold(&self) -> usize {
+        self.bits.len() / 4
+    }
+
+    fn bump(&mut self, slot: usize) {
+        let overflow = "counting-bloom slot overflow";
+        let became_positive = match &mut self.counts {
+            Counts::Sparse(v) => match v.binary_search_by_key(&(slot as u32), |(s, _)| *s) {
+                Ok(i) => {
+                    v[i].1 = v[i].1.checked_add(1).expect(overflow);
+                    false
+                }
+                Err(i) => {
+                    v.insert(i, (slot as u32, 1));
+                    true
+                }
+            },
+            Counts::Dense(v) => {
+                v[slot] = v[slot].checked_add(1).expect(overflow);
+                v[slot] == 1
+            }
+        };
+        if became_positive {
+            self.bits.set(slot);
+        }
+        if let Counts::Sparse(v) = &self.counts {
+            if v.len() > self.promote_threshold() {
+                let mut dense = vec![0 as Count; self.bits.len()];
+                for (s, c) in v {
+                    dense[*s as usize] = *c;
+                }
+                self.counts = Counts::Dense(dense);
+            }
+        }
+    }
+
+    fn drop_one(&mut self, slot: usize) {
+        let missing = "removing a key that was never inserted";
+        let became_zero = match &mut self.counts {
+            Counts::Sparse(v) => {
+                let i = v
+                    .binary_search_by_key(&(slot as u32), |(s, _)| *s)
+                    .unwrap_or_else(|_| panic!("{missing}"));
+                assert!(v[i].1 > 0, "{missing}");
+                v[i].1 -= 1;
+                if v[i].1 == 0 {
+                    v.remove(i);
+                    true
+                } else {
+                    false
+                }
+            }
+            Counts::Dense(v) => {
+                assert!(v[slot] > 0, "{missing}");
+                v[slot] -= 1;
+                v[slot] == 0
+            }
+        };
+        if became_zero {
+            self.bits.unset(slot);
+        }
+    }
+
+    /// Add one occurrence of `o` (`O(k)`).
+    pub fn insert(&mut self, o: ObjectId) {
+        self.cached = None;
+        for p in probe_positions(self.bits.len() as u64, self.k, o.key()) {
+            self.bump(p);
+        }
+        self.items += 1;
+    }
+
+    /// Remove one occurrence of `o` (`O(k)`); panics if `o` has no
+    /// live occurrence — callers own the exact content/index state,
+    /// so a miss is a bookkeeping bug, not a runtime condition.
+    pub fn remove(&mut self, o: ObjectId) {
+        assert!(self.items > 0, "removing from an empty summary");
+        self.cached = None;
+        for p in probe_positions(self.bits.len() as u64, self.k, o.key()) {
+            self.drop_one(p);
+        }
+        self.items -= 1;
+    }
+
+    /// Probabilistic membership (same guarantees as the snapshot).
+    pub fn might_contain(&self, o: ObjectId) -> bool {
+        probe_positions(self.bits.len() as u64, self.k, o.key()).all(|p| self.bits.get(p))
+    }
+
+    /// Drop everything (§5.2 index reset / snapshot install).
+    pub fn clear(&mut self) {
+        self.cached = None;
+        self.bits.clear();
+        self.counts = Counts::Sparse(Vec::new());
+        self.items = 0;
+    }
+
+    /// The wire-ready summary of the current multiset: bit-identical
+    /// (bits *and* insert count) to `ContentSummary::from_objects`
+    /// over the same live multiset. Costs an `O(words)` clone of the
+    /// bit projection after a mutation and an `Arc` bump thereafter.
+    pub fn snapshot(&mut self) -> ContentSummary {
+        if let Some(c) = &self.cached {
+            return c.clone();
+        }
+        let s = ContentSummary::from_parts(
+            BloomFilter::from_raw_parts(self.bits.clone(), self.k, self.items),
+            self.capacity,
+        );
+        self.cached = Some(s.clone());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_matches_from_scratch_exactly() {
+        let objs: Vec<ObjectId> = (0..40).map(|i| ObjectId(i * 7919 + 3)).collect();
+        let mut m = MaintainedSummary::empty(100);
+        for o in &objs {
+            m.insert(*o);
+        }
+        assert_eq!(m.snapshot(), ContentSummary::from_objects(100, &objs));
+        assert_eq!(m.items(), 40);
+    }
+
+    #[test]
+    fn remove_restores_the_exact_previous_filter() {
+        let keep: Vec<ObjectId> = (0..10).map(|i| ObjectId(i * 31)).collect();
+        let mut m = MaintainedSummary::empty(50);
+        for o in &keep {
+            m.insert(*o);
+        }
+        let before = m.snapshot();
+        m.insert(ObjectId(999));
+        assert!(m.might_contain(ObjectId(999)));
+        m.remove(ObjectId(999));
+        assert_eq!(m.snapshot(), before, "remove must undo insert bit-exactly");
+        assert!(
+            !m.might_contain(ObjectId(999))
+                || ContentSummary::from_objects(50, &keep).might_contain(ObjectId(999)),
+            "999 may only remain as a false positive of the survivors"
+        );
+    }
+
+    #[test]
+    fn multiset_semantics_need_matching_removes() {
+        let mut m = MaintainedSummary::empty(20);
+        m.insert(ObjectId(5));
+        m.insert(ObjectId(5));
+        m.remove(ObjectId(5));
+        assert!(m.might_contain(ObjectId(5)), "one live occurrence left");
+        m.remove(ObjectId(5));
+        assert!(!m.might_contain(ObjectId(5)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn promotes_to_dense_and_stays_exact() {
+        // capacity 8 → 64 slots → promotion after >16 touched slots,
+        // i.e. after a handful of objects.
+        let objs: Vec<ObjectId> = (0..30).map(|i| ObjectId(i * 101 + 7)).collect();
+        let mut m = MaintainedSummary::empty(8);
+        for o in &objs {
+            m.insert(*o);
+        }
+        assert!(matches!(m.counts, Counts::Dense(_)), "should have promoted");
+        assert_eq!(m.snapshot(), ContentSummary::from_objects(8, &objs));
+        for o in &objs {
+            m.remove(*o);
+        }
+        assert!(m.is_empty());
+        assert_eq!(m.snapshot(), ContentSummary::empty(8));
+    }
+
+    #[test]
+    fn clear_resets_to_empty_geometry() {
+        let mut m = MaintainedSummary::empty(10);
+        m.insert(ObjectId(1));
+        m.clear();
+        assert_eq!(m.snapshot(), ContentSummary::empty(10));
+        assert_eq!(m.capacity(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "never inserted")]
+    fn removing_an_absent_key_panics() {
+        let mut m = MaintainedSummary::empty(10);
+        m.insert(ObjectId(1));
+        m.remove(ObjectId(2));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Set-discipline interleaving (the content-peer usage):
+        /// inserts and removes tracked against a reference set; the
+        /// snapshot after any interleaving equals the from-scratch
+        /// filter over the survivors, bit for bit.
+        #[test]
+        fn interleaved_set_ops_snapshot_exactly(
+            ops in proptest::collection::vec((0u64..48, any::<bool>()), 0..200),
+            capacity in 1usize..40,
+        ) {
+            let mut m = MaintainedSummary::empty(capacity);
+            let mut live = std::collections::BTreeSet::new();
+            for (key, add) in ops {
+                let o = ObjectId(key * 0x9E37 + 1);
+                if add {
+                    if live.insert(o) {
+                        m.insert(o);
+                    }
+                } else if live.remove(&o) {
+                    m.remove(o);
+                }
+            }
+            let objs: Vec<ObjectId> = live.iter().copied().collect();
+            prop_assert_eq!(m.snapshot(), ContentSummary::from_objects(capacity, &objs));
+            prop_assert_eq!(m.items(), objs.len());
+            for o in &objs {
+                prop_assert!(m.might_contain(*o), "no false negatives");
+            }
+        }
+
+        /// Multiset interleaving (the directory usage: one listing per
+        /// holding member): duplicates count, and the snapshot equals
+        /// the from-scratch filter over the surviving *multiset*,
+        /// including its duplicate-counting insert tally.
+        #[test]
+        fn interleaved_multiset_ops_snapshot_exactly(
+            ops in proptest::collection::vec((0u64..16, any::<bool>()), 0..200),
+            capacity in 1usize..20,
+        ) {
+            let mut m = MaintainedSummary::empty(capacity);
+            let mut live: Vec<ObjectId> = Vec::new();
+            for (key, add) in ops {
+                let o = ObjectId(key.wrapping_mul(0xABCD) ^ 7);
+                if add {
+                    live.push(o);
+                    m.insert(o);
+                } else if let Some(i) = live.iter().position(|x| *x == o) {
+                    live.swap_remove(i);
+                    m.remove(o);
+                }
+            }
+            // from_objects is order-insensitive on counters, but keep
+            // the reference deterministic anyway.
+            live.sort_unstable();
+            prop_assert_eq!(m.snapshot(), ContentSummary::from_objects(capacity, &live));
+            prop_assert_eq!(m.items(), live.len());
+        }
+    }
+}

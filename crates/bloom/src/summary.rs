@@ -31,9 +31,16 @@ impl std::fmt::Display for ObjectId {
 
 /// A Bloom-filter summary of a set of objects, sized per Table 1 of
 /// the paper (8 bits per potential object).
+///
+/// The filter is behind an `Arc`: a summary on the wire is an
+/// immutable value that gets cloned into every gossip subset entry,
+/// every view slot and every directory broadcast — at 100k nodes
+/// those clones (one heap copy of the bit array each) dominated the
+/// gossip profile. Cloning is now a reference bump; the rare mutation
+/// of a shared summary copies on write.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ContentSummary {
-    filter: BloomFilter,
+    filter: std::sync::Arc<BloomFilter>,
     capacity: usize,
 }
 
@@ -47,7 +54,16 @@ impl ContentSummary {
     /// website").
     pub fn empty(capacity: usize) -> Self {
         ContentSummary {
-            filter: BloomFilter::with_rate(capacity, BITS_PER_OBJECT),
+            filter: std::sync::Arc::new(BloomFilter::with_rate(capacity, BITS_PER_OBJECT)),
+            capacity,
+        }
+    }
+
+    /// Assemble a summary around an already-built filter (the
+    /// [`crate::MaintainedSummary`] snapshot path).
+    pub(crate) fn from_parts(filter: BloomFilter, capacity: usize) -> Self {
+        ContentSummary {
+            filter: std::sync::Arc::new(filter),
             capacity,
         }
     }
@@ -64,9 +80,9 @@ impl ContentSummary {
         s
     }
 
-    /// Add one object.
+    /// Add one object (copies a shared filter on write).
     pub fn insert(&mut self, o: ObjectId) {
-        self.filter.insert(o.key());
+        std::sync::Arc::make_mut(&mut self.filter).insert(o.key());
     }
 
     /// Probabilistic membership test (false positives possible, false
@@ -78,12 +94,12 @@ impl ContentSummary {
     /// Merge another summary of the same capacity.
     pub fn union_with(&mut self, other: &ContentSummary) {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
-        self.filter.union_with(&other.filter);
+        std::sync::Arc::make_mut(&mut self.filter).union_with(&other.filter);
     }
 
     /// Drop all objects.
     pub fn clear(&mut self) {
-        self.filter.clear();
+        std::sync::Arc::make_mut(&mut self.filter).clear();
     }
 
     /// The design capacity (nb-ob).

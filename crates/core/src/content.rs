@@ -19,7 +19,7 @@
 
 use std::collections::HashSet;
 
-use bloom::{ContentSummary, ObjectId};
+use bloom::{ContentSummary, MaintainedSummary, ObjectId};
 use gossip::{ChangeKind, ChangeLog, PushPolicy, View, ViewEntry};
 use rand::Rng;
 use simnet::{Locality, NodeId};
@@ -46,7 +46,11 @@ pub struct ContentPeerState {
     /// peer re-derive its hash-assigned instance and ignore gossip
     /// hints that point at a sibling instance.
     petal_live: u32,
-    summary_capacity: usize,
+    /// The peer's own content summary, *maintained* on every cache
+    /// admit/evict/invalidate instead of rebuilt per gossip exchange
+    /// (the PR 3 profile's `from_objects` hot path). Snapshots are
+    /// bit-identical to a from-scratch build over `content`.
+    summary: MaintainedSummary,
 }
 
 impl ContentPeerState {
@@ -86,7 +90,7 @@ impl ContentPeerState {
             dir: None,
             dir_age: 0,
             petal_live: 1,
-            summary_capacity,
+            summary: MaintainedSummary::empty(summary_capacity),
         }
     }
 
@@ -120,10 +124,12 @@ impl ContentPeerState {
         }
         if let Some(victim) = self.cache.evict_for_insert(self.content.len()) {
             if self.content.remove(&victim) {
+                self.summary.remove(victim);
                 self.changes.record(victim, ChangeKind::Removed);
             }
         }
         self.content.insert(o);
+        self.summary.insert(o);
         self.cache.touch(o);
         self.changes.record(o, ChangeKind::Added);
     }
@@ -137,14 +143,18 @@ impl ContentPeerState {
     /// push.
     pub fn remove_object(&mut self, o: ObjectId) {
         if self.content.remove(&o) {
+            self.summary.remove(o);
             self.cache.forget(o);
             self.changes.record(o, ChangeKind::Removed);
         }
     }
 
-    /// The peer's *current* content summary (rebuilt on demand).
-    pub fn current_summary(&self) -> ContentSummary {
-        ContentSummary::from_objects(self.summary_capacity, self.content.iter())
+    /// The peer's *current* content summary: a snapshot of the
+    /// maintained filter (cached between content mutations),
+    /// bit-identical to what a from-scratch rebuild over the content
+    /// set would produce.
+    pub fn current_summary(&mut self) -> ContentSummary {
+        self.summary.snapshot()
     }
 
     /// Pending unreported changes.
@@ -246,8 +256,9 @@ impl ContentPeerState {
     }
 
     /// Build the gossip message content: own current summary, a random
-    /// `Lgossip`-subset of the view, and the directory hint.
-    pub fn build_gossip<R: Rng>(&self, rng: &mut R, l_gossip: usize) -> GossipPayload {
+    /// `Lgossip`-subset of the view, and the directory hint. `&mut`
+    /// only for the summary-snapshot cache.
+    pub fn build_gossip<R: Rng>(&mut self, rng: &mut R, l_gossip: usize) -> GossipPayload {
         let subset = self
             .view
             .select_subset(rng, l_gossip)

@@ -36,7 +36,7 @@
 
 use std::collections::HashMap;
 
-use bloom::{ContentSummary, ObjectId};
+use bloom::{ContentSummary, MaintainedSummary, ObjectId};
 use chord::ChordId;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -133,8 +133,6 @@ pub struct DirectoryState {
     new_since_refresh: usize,
     /// Total object listings in the index (for the refresh ratio).
     total_indexed: usize,
-    /// nb-ob, for sizing summaries.
-    summary_capacity: usize,
     /// §8 active replication: requests per object since the last
     /// replication round (decayed each round).
     popularity: HashMap<ObjectId, u64>,
@@ -145,6 +143,15 @@ pub struct DirectoryState {
     /// Number of entries carrying a gossip summary (§5.2 seeding);
     /// while non-zero, holder lookups must also scan those entries.
     summary_entries: usize,
+    /// The directory summary, *maintained* on every index mutation
+    /// (one counted occurrence per `(member, object)` listing) instead
+    /// of rebuilt by scanning the whole index per §4.2.1 refresh —
+    /// the other `from_objects` hot path of the PR 3 profile.
+    /// §5.2-seeded gossip summaries never enter it, exactly as the old
+    /// from-scratch scan only visited exact object lists, so there is
+    /// no unknown-counter state to rebuild around: every mutation the
+    /// index can undergo is mirrored here exactly.
+    summary: MaintainedSummary,
     /// Per-instance load counters (§5.3 PetalUp).
     load: DirLoad,
 }
@@ -170,10 +177,10 @@ impl DirectoryState {
             t_dead,
             new_since_refresh: 0,
             total_indexed: 0,
-            summary_capacity,
             popularity: HashMap::new(),
             holders_of: HashMap::new(),
             summary_entries: 0,
+            summary: MaintainedSummary::empty(summary_capacity),
             load: DirLoad::default(),
         }
     }
@@ -203,6 +210,7 @@ impl DirectoryState {
         for o in &e.objects {
             let o = *o;
             self.remove_holder(o, peer);
+            self.summary.remove(o);
         }
         if e.summary.is_some() {
             self.summary_entries -= 1;
@@ -340,6 +348,7 @@ impl DirectoryState {
                     self.new_since_refresh += 1;
                     self.total_indexed += 1;
                     self.add_holder(object, peer);
+                    self.summary.insert(object);
                 }
                 true
             }
@@ -353,6 +362,7 @@ impl DirectoryState {
                 self.new_since_refresh += 1;
                 self.total_indexed += 1;
                 self.add_holder(object, peer);
+                self.summary.insert(object);
                 true
             }
         }
@@ -392,9 +402,11 @@ impl DirectoryState {
         }
         for o in new_holdings {
             self.add_holder(o, peer);
+            self.summary.insert(o);
         }
         for o in gone_holdings {
             self.remove_holder(o, peer);
+            self.summary.remove(o);
         }
     }
 
@@ -500,12 +512,25 @@ impl DirectoryState {
     pub fn take_hot_objects<R: Rng>(&mut self, rng: &mut R, k: usize) -> Vec<(ObjectId, NodeId)> {
         let mut ranked: Vec<(ObjectId, u64)> =
             self.popularity.iter().map(|(o, c)| (*o, *c)).collect();
-        ranked.sort_unstable_by_key(|(o, c)| (std::cmp::Reverse(*c), o.key()));
+        // Select the top `k` (highest count, ties broken by object
+        // key) instead of sorting the whole popularity map each round
+        // — the same select-then-sort move as `view_seed`, and exact
+        // for the same reason: the (count, key) ranking is total. The
+        // only divergence from the full sort is deliberate: a top-k
+        // object with no live holder no longer pulls the (k+1)-th in
+        // as a substitute, it just yields a shorter offer.
+        let rank_key = |(o, c): &(ObjectId, u64)| (std::cmp::Reverse(*c), o.key());
+        if k == 0 {
+            // No offer this round, but the decay below still runs —
+            // popularity must keep tracking the recent past.
+            ranked.clear();
+        } else if ranked.len() > k {
+            ranked.select_nth_unstable_by_key(k - 1, rank_key);
+            ranked.truncate(k);
+        }
+        ranked.sort_unstable_by_key(rank_key);
         let mut out = Vec::with_capacity(k);
         for (o, _) in ranked {
-            if out.len() >= k {
-                break;
-            }
             // Reuse Algorithm 3's holder choice for a live provider.
             if let DirDecision::ToHolder(h) = self.process(rng, o, NodeId(u32::MAX), 0, 0) {
                 out.push((o, h));
@@ -518,15 +543,18 @@ impl DirectoryState {
         out
     }
 
-    /// Bloom summary over every object currently indexed.
-    pub fn build_summary(&self) -> ContentSummary {
-        let mut s = ContentSummary::empty(self.summary_capacity);
-        for e in self.index.values() {
-            for o in &e.objects {
-                s.insert(*o);
-            }
-        }
-        s
+    /// Bloom summary over every object currently indexed: a snapshot
+    /// of the maintained filter (cached between index mutations),
+    /// bit-identical to the full-index scan this used to perform (one
+    /// counted occurrence per `(member, object)` listing, so `items`
+    /// matches the scan's insert tally too).
+    pub fn build_summary(&mut self) -> ContentSummary {
+        debug_assert_eq!(
+            self.summary.items(),
+            self.index.values().map(|e| e.objects.len()).sum::<usize>(),
+            "maintained summary drifted from the index listings"
+        );
+        self.summary.snapshot()
     }
 
     /// A view seed for a joining client: up to `n` members (the
@@ -574,17 +602,22 @@ impl DirectoryState {
     }
 
     /// Install a snapshot received in a voluntary hand-off (§5.2).
+    /// The one full summary rebuild left: the incoming index replaces
+    /// everything, so the counters restart from the snapshot's exact
+    /// listings.
     pub fn install_snapshot(&mut self, entries: Vec<(NodeId, u32, Vec<ObjectId>)>) {
         self.index.clear();
         self.holders_of.clear();
         self.summary_entries = 0;
         self.total_indexed = 0;
+        self.summary.clear();
         for (peer, age, objects) in entries {
             let mut e = DirEntry::fresh();
             e.age = age;
             self.total_indexed += objects.len();
             for o in &objects {
                 self.add_holder(*o, peer);
+                self.summary.insert(*o);
             }
             e.objects = objects.into_iter().collect();
             self.index.insert(peer, e);
@@ -859,6 +892,77 @@ mod tests {
         assert_eq!(d.take_window_queries(), 2);
         assert_eq!(d.take_window_queries(), 0);
         assert_eq!(d.load().queries, 2);
+    }
+
+    /// What `build_summary` used to compute: a from-scratch scan over
+    /// every `(member, object)` listing.
+    fn scan_summary(d: &DirectoryState) -> ContentSummary {
+        let mut s = ContentSummary::empty(d.summary.capacity());
+        for e in d.index.values() {
+            for o in &e.objects {
+                s.insert(*o);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn maintained_summary_tracks_every_index_mutation() {
+        let mut d = DirectoryState::new(WebsiteId(1), Locality(0), 0, 10, 3, 100);
+        assert_eq!(d.build_summary(), scan_summary(&d));
+        // Admissions (new entry + refresh).
+        d.admit_or_refresh(NodeId(1), O1);
+        d.admit_or_refresh(NodeId(2), O1);
+        d.admit_or_refresh(NodeId(1), O2);
+        assert_eq!(d.build_summary(), scan_summary(&d));
+        // Pushes with adds and removes, including a §5.2-seeded entry
+        // (whose gossip summary must never enter the filter).
+        let mut s = ContentSummary::empty(100);
+        s.insert(ObjectId(77));
+        d.seed_from_view([(NodeId(3), Some(&s))]);
+        assert_eq!(d.build_summary(), scan_summary(&d));
+        d.apply_push(NodeId(3), &[ObjectId(40), ObjectId(41)], &[]);
+        d.apply_push(NodeId(1), &[], &[O2]);
+        assert_eq!(d.build_summary(), scan_summary(&d));
+        // Redirection-failure removal and Tdead eviction.
+        d.remove_entry(NodeId(2));
+        assert_eq!(d.build_summary(), scan_summary(&d));
+        for _ in 0..3 {
+            d.tick();
+        }
+        assert_eq!(d.overlay_size(), 0, "everything aged out");
+        assert_eq!(d.build_summary(), scan_summary(&d));
+        assert_eq!(d.build_summary(), ContentSummary::empty(100));
+        // §5.2 hand-off snapshot install restarts the counters.
+        d.install_snapshot(vec![(NodeId(7), 1, vec![O1, O2]), (NodeId(8), 0, vec![O1])]);
+        assert_eq!(d.build_summary(), scan_summary(&d));
+        assert!(d.build_summary().might_contain(O1));
+    }
+
+    #[test]
+    fn hot_objects_rank_by_popularity_with_key_tiebreak() {
+        let mut d = DirectoryState::new(WebsiteId(1), Locality(0), 0, 10, 5, 100);
+        let mut r = rng();
+        for (o, holder) in [(ObjectId(1), 1u32), (ObjectId(2), 2), (ObjectId(3), 3)] {
+            d.admit_or_refresh(NodeId(holder), o);
+        }
+        for _ in 0..3 {
+            d.note_request(ObjectId(2));
+        }
+        d.note_request(ObjectId(1));
+        d.note_request(ObjectId(3)); // tied with ObjectId(1) → key order
+        let hot = d.take_hot_objects(&mut r, 2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, ObjectId(2), "hottest first");
+        assert_eq!(hot[1].0, ObjectId(1), "tie broken by object key");
+        // Counters decayed (3/2=1, 1/2=0, 1/2=0): only obj 2 remains.
+        let again = d.take_hot_objects(&mut r, 5);
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].0, ObjectId(2));
+        // k = 0 offers nothing but still decays (obj 2's count 1 → 0),
+        // so the following round sees an empty popularity map.
+        assert!(d.take_hot_objects(&mut r, 0).is_empty());
+        assert!(d.take_hot_objects(&mut r, 5).is_empty());
     }
 
     #[test]

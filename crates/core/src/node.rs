@@ -115,6 +115,14 @@ pub struct PetalState {
     /// so the very next tick would otherwise read an artificially
     /// quiet petal and fold a fresh split straight back.
     pub merge_hold: u8,
+    /// Where this sibling last saw the petal primary: the sender of
+    /// the most recent `PetalActivate`/`PetalDeactivate`. `None`
+    /// falls back to the statically deployed instance-0 node. After a
+    /// §5.2 primary replacement the new primary's resizes re-point
+    /// this, so sibling load reports (and dormant relays) keep
+    /// reaching whoever actually runs the split/merge policy instead
+    /// of the deployed corpse.
+    pub primary: Option<NodeId>,
     /// Instances that left for good (crashed mid-forward or retired
     /// voluntarily) — only the primary maintains this. A sibling role
     /// is never re-installed after the initial deployment, so a
@@ -132,8 +140,16 @@ impl PetalState {
             active: instance == 0,
             sibling_loads: vec![0; instances as usize],
             merge_hold: 0,
+            primary: None,
             retired: vec![false; instances as usize],
         }
+    }
+
+    /// The node this instance should address the petal primary at:
+    /// the last observed primary, or the deployed instance-0 node
+    /// before any resize was seen.
+    pub fn primary_node(&self, deployed_primary: NodeId) -> NodeId {
+        self.primary.unwrap_or(deployed_primary)
     }
 
     /// The largest power-of-two live count the petal can still reach:
@@ -383,7 +399,8 @@ impl FlowerNode {
             let ws = role.dir.website();
             let loc = role.dir.locality();
             ctx.send(
-                self.shared.instance_node(ws, loc, 0),
+                role.petal
+                    .primary_node(self.shared.instance_node(ws, loc, 0)),
                 FlowerMsg::PetalRetire {
                     website: ws,
                     locality: loc,
@@ -550,9 +567,11 @@ impl FlowerNode {
         // owning instance as a pure function of (origin id, live set)
         // and hands the query over when it is not instance 0's.
         if !role.petal.active {
-            let primary = self
-                .shared
-                .instance_node(query.website, role.dir.locality(), 0);
+            let primary = role.petal.primary_node(self.shared.instance_node(
+                query.website,
+                role.dir.locality(),
+                0,
+            ));
             self.stats.petal_forwards += 1;
             ctx.send(primary, FlowerMsg::ClientQuery { query });
             return;
@@ -961,7 +980,13 @@ impl FlowerNode {
         let loc = role.dir.locality();
         if role.petal.instance != 0 {
             if role.petal.active {
-                let primary = self.shared.instance_node(ws, loc, 0);
+                // Report to the *current* primary (last resize
+                // sender), not the statically deployed node — after a
+                // §5.2 replacement the deployed node is a corpse and
+                // load-driven split/merge would go blind.
+                let primary = role
+                    .petal
+                    .primary_node(self.shared.instance_node(ws, loc, 0));
                 ctx.send(
                     primary,
                     FlowerMsg::PetalLoad {
@@ -1539,6 +1564,17 @@ impl FlowerNode {
                     cp.forget_peer(to);
                 }
             }
+            FlowerMsg::PetalLoad { website, .. } => {
+                // Our load report bounced off a dead primary: drop the
+                // hint and fall back to the deployed instance-0 node
+                // until the next resize (from whoever replaces it per
+                // §5.2) re-points us.
+                if let Some(role) = &mut self.dir_role {
+                    if role.dir.website() == website && role.petal.primary == Some(to) {
+                        role.petal.primary = None;
+                    }
+                }
+            }
             FlowerMsg::ServeObject { .. }
             | FlowerMsg::Admission { .. }
             | FlowerMsg::FetchMiss { .. }
@@ -1554,7 +1590,6 @@ impl FlowerNode {
             | FlowerMsg::PetalActivate { .. }
             | FlowerMsg::PetalDeactivate { .. }
             | FlowerMsg::PetalRetire { .. }
-            | FlowerMsg::PetalLoad { .. }
             | FlowerMsg::AdminLeave
             | FlowerMsg::AdminChangeLocality { .. } => {}
         }
@@ -1909,6 +1944,10 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                         {
                             role.petal.live = live;
                             role.petal.active = role.petal.instance < live;
+                            // Only the petal primary resizes: its
+                            // address is authoritative (it may be a
+                            // §5.2 replacement, not the deployed node).
+                            role.petal.primary = Some(from);
                             repartition = role.petal.active;
                         }
                     }
@@ -1933,6 +1972,7 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                         {
                             role.petal.live = live;
                             role.petal.active = role.petal.instance < live;
+                            role.petal.primary = Some(from);
                             stand_down = !role.petal.active;
                         }
                     }
@@ -2049,5 +2089,29 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                 self.replacing.clear();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn petal_primary_hint_overrides_the_deployed_node() {
+        let deployed = NodeId(10);
+        let mut p = PetalState::new(2, 4);
+        assert_eq!(
+            p.primary_node(deployed),
+            deployed,
+            "no resize seen yet: fall back to the deployed instance-0 node"
+        );
+        p.primary = Some(NodeId(77));
+        assert_eq!(
+            p.primary_node(deployed),
+            NodeId(77),
+            "the last resize sender is the authoritative primary"
+        );
+        p.primary = None; // bounce reset
+        assert_eq!(p.primary_node(deployed), deployed);
     }
 }

@@ -5,6 +5,7 @@
 //! flower-experiments <experiment> [--scale <f|full>] [--seed <n>]
 //!                    [--substrate <chord|pastry>] [--shards <n>]
 //!                    [--event-queue <calendar|heap|both>]
+//!                    [--lookahead <matrix|global|both>]
 //!                    [--instance-bits <b|a,b,..>]
 //!                    [--csv-dir <dir>] [--bench-out <file>]
 //!
@@ -29,6 +30,11 @@
 //! `--event-queue` picks the engine's event storage (results are
 //! bit-identical for both backends; `both` is only valid for `scale`,
 //! which then sweeps the two side by side).
+//! `--lookahead` picks how the sharded engine bounds its epochs: the
+//! per-shard-pair lookahead matrix (default) or the single global
+//! floor — bit-identical results, fewer barrier rounds under
+//! `matrix`; `both` (scale only) sweeps the two, naming global-floor
+//! cells `…/glf`.
 //! `scale` sweeps node counts × shard counts × queue backends and
 //! reports events/sec, wall time and peak queue depth; `--bench-out
 //! BENCH_engine.json` writes all engine measurements machine-readably.
@@ -43,7 +49,7 @@ use experiments::exps::{self, ExpOutput, ScaleParams};
 use experiments::gate;
 use experiments::report::{bench_json, BenchRecord};
 use experiments::runner::{RunOpts, RunScale};
-use experiments::{EventQueueKind, SubstrateKind};
+use experiments::{EventQueueKind, LookaheadKind, SubstrateKind};
 use simnet::SimDuration;
 
 struct Args {
@@ -51,10 +57,14 @@ struct Args {
     opts: RunOpts,
     /// Queue sweep of the `scale` experiment (`--event-queue both`).
     queue_sweep: Vec<EventQueueKind>,
+    /// Lookahead sweep of the `scale` experiment (`--lookahead both`).
+    lookahead_sweep: Vec<LookaheadKind>,
     csv_dir: Option<String>,
     bench_out: Option<String>,
     scale_nodes: Vec<usize>,
     scale_shards: Vec<usize>,
+    /// Append the WAN lookahead-comparison cells to the `scale` sweep.
+    scale_wan: bool,
     /// §5.3 instance-bits sweep of the `scale` experiment (single
     /// value for every other experiment).
     scale_bits: Vec<u32>,
@@ -83,10 +93,12 @@ fn parse_args() -> Result<Args, String> {
         cmd,
         opts: RunOpts::new(),
         queue_sweep: vec![EventQueueKind::default()],
+        lookahead_sweep: vec![LookaheadKind::default()],
         csv_dir: None,
         bench_out: None,
         scale_nodes: vec![10_000, 50_000, 100_000],
         scale_shards: vec![1, 2, 4, 8],
+        scale_wan: false,
         scale_bits: vec![0],
         horizon_secs: 60,
         baseline: None,
@@ -127,6 +139,18 @@ fn parse_args() -> Result<Args, String> {
                     out.queue_sweep = vec![out.opts.queue];
                 }
             }
+            "--lookahead" => {
+                let v = args.next().ok_or("--lookahead needs a value")?;
+                if v == "both" {
+                    if out.cmd != "scale" {
+                        return Err("--lookahead both is only valid for `scale`".into());
+                    }
+                    out.lookahead_sweep = vec![LookaheadKind::Matrix, LookaheadKind::GlobalFloor];
+                } else {
+                    out.opts.lookahead = LookaheadKind::parse(&v)?;
+                    out.lookahead_sweep = vec![out.opts.lookahead];
+                }
+            }
             "--csv-dir" => {
                 out.csv_dir = Some(args.next().ok_or("--csv-dir needs a value")?);
             }
@@ -152,6 +176,12 @@ fn parse_args() -> Result<Args, String> {
                 }
                 out.opts.instance_bits = bits[0];
                 out.scale_bits = bits;
+            }
+            "--wan" => {
+                if out.cmd != "scale" {
+                    return Err("--wan is only valid for `scale`".into());
+                }
+                out.scale_wan = true;
             }
             "--horizon-secs" => {
                 let v = args.next().ok_or("--horizon-secs needs a value")?;
@@ -185,9 +215,10 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: flower-experiments <table2a|table2b|table2c|push-threshold|fig5|fig6|fig7|fig8|churn|ablation|replication|cache|substrates|scale|bench-check|all> \
      [--scale <f|full>] [--seed <n>] [--substrate <chord|pastry>] [--shards <n>] \
-     [--event-queue <calendar|heap|both>] [--instance-bits <b|a,b,..>] \
+     [--event-queue <calendar|heap|both>] [--lookahead <matrix|global|both>] \
+     [--instance-bits <b|a,b,..>] \
      [--csv-dir <dir>] [--bench-out <file>] \
-     [--nodes <a,b,..>] [--shard-sweep <a,b,..>] [--horizon-secs <s>] \
+     [--nodes <a,b,..>] [--shard-sweep <a,b,..>] [--horizon-secs <s>] [--wan] \
      [--baseline <file> --fresh <file> [--max-drop <frac>] [--summary-out <file>]]"
         .to_string()
 }
@@ -350,9 +381,11 @@ fn run_one(name: &str, args: &Args) -> ExpOutput {
             nodes: args.scale_nodes.clone(),
             shards: args.scale_shards.clone(),
             queues: args.queue_sweep.clone(),
+            lookaheads: args.lookahead_sweep.clone(),
             instance_bits: args.scale_bits.clone(),
             horizon: SimDuration::from_secs(args.horizon_secs),
             seed: opts.seed,
+            wan: args.scale_wan,
         }),
         other => {
             eprintln!("unknown experiment {other:?}\n{}", usage());

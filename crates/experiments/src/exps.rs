@@ -8,7 +8,9 @@
 //! simulator, not the authors' testbed.
 
 use flower_core::{FlowerSystem, SubstrateKind, SystemConfig};
-use simnet::{ChurnConfig, ChurnScript, EventQueueKind, Locality, NodeId, SimDuration, SimTime};
+use simnet::{
+    ChurnConfig, ChurnScript, EventQueueKind, Locality, LookaheadKind, NodeId, SimDuration, SimTime,
+};
 use squirrel::SquirrelSystem;
 
 use crate::paper;
@@ -884,6 +886,12 @@ pub struct ScaleParams {
     /// Event-queue backends to sweep per cell (e.g. both, to compare
     /// the calendar queue against the binary heap on equal terms).
     pub queues: Vec<EventQueueKind>,
+    /// Lookahead modes to sweep per cell (matrix, global floor or
+    /// both). Global-floor cells are suffixed `/glf`; when both modes
+    /// run for a multi-shard cell, the sweep checks that the matrix
+    /// synchronizes no more often (fewer or equal barrier epochs)
+    /// while producing identical statistics.
+    pub lookaheads: Vec<LookaheadKind>,
     /// §5.3 instance-bits values to sweep (e.g. `[0, 2]` to compare
     /// the flat D-ring against a PetalUp one on the same workload).
     pub instance_bits: Vec<u32>,
@@ -891,6 +899,16 @@ pub struct ScaleParams {
     pub horizon: SimDuration,
     /// Master seed.
     pub seed: u64,
+    /// Append the WAN lookahead-comparison cells: for every node count
+    /// and multi-shard count, one matrix + one global-floor run on the
+    /// [`scale_wan_config`] topology (tight metro PoPs, so the exact
+    /// inter-locality minima *exceed* the uniform 60 ms floor). In the
+    /// standard scale topology adjacent domains sit exactly at the
+    /// floor, so under a dense workload both schedules saturate at
+    /// `sim / floor` barrier rounds — the WAN cells are where the
+    /// matrix's reduction is measurable end to end (and asserted
+    /// strictly).
+    pub wan: bool,
 }
 
 impl Default for ScaleParams {
@@ -899,9 +917,11 @@ impl Default for ScaleParams {
             nodes: vec![10_000, 50_000, 100_000],
             shards: vec![1, 2, 4, 8],
             queues: vec![EventQueueKind::default()],
+            lookaheads: vec![LookaheadKind::default()],
             instance_bits: vec![0],
             horizon: SimDuration::from_secs(60),
             seed: 42,
+            wan: false,
         }
     }
 }
@@ -917,6 +937,7 @@ fn scale_config(
     nodes: usize,
     shards: usize,
     queue: EventQueueKind,
+    lookahead: LookaheadKind,
     instance_bits: u32,
     horizon: SimDuration,
     seed: u64,
@@ -945,6 +966,7 @@ fn scale_config(
             population_skew: 0.25,
             inter_locality_floor_ms: 60,
             event_queue: queue,
+            lookahead,
         },
         catalog: CatalogConfig {
             num_websites: 8,
@@ -992,6 +1014,28 @@ fn scale_mean_petal_window(nodes: usize) -> f64 {
         / (SCALE_LOCALITIES * SCALE_ACTIVE_WEBSITES) as f64
 }
 
+/// The WAN variant of [`scale_config`]: the same deployment on tight
+/// metro PoPs (cluster spread 0.012 instead of 0.03). Domains shrink
+/// to points, so the *exact* minimum latency between locality point
+/// sets rises above the uniform 60 ms inter-domain floor — adjacent
+/// domains land around 70–80 ms, opposite ones in the hundreds —
+/// which is precisely the structure the per-shard-pair lookahead
+/// matrix converts into longer epochs. A separate cell family
+/// (`…/wan`): a different topology is a different trace, and the
+/// standard cells' seed-pinned statistics must stay untouched.
+fn scale_wan_config(
+    nodes: usize,
+    shards: usize,
+    queue: EventQueueKind,
+    lookahead: LookaheadKind,
+    horizon: SimDuration,
+    seed: u64,
+) -> SystemConfig {
+    let mut cfg = scale_config(nodes, shards, queue, lookahead, 0, horizon, seed);
+    cfg.topology.cluster_spread = 0.012;
+    cfg
+}
+
 /// The headline statistics of one scale cell that must match across
 /// shard counts: submitted, resolved, hit ratio, total messages.
 type CellStats = (u64, u64, f64, u64);
@@ -1011,16 +1055,18 @@ type CellStats = (u64, u64, f64, u64);
 pub fn scale(params: &ScaleParams) -> ExpOutput {
     let mut out = ExpOutput::default();
     let mut table = Table::new(
-        "Scale — engine throughput (instance bits × locality shards × event-queue backend)",
+        "Scale — engine throughput (instance bits × locality shards × event-queue backend × lookahead)",
         &[
             "nodes",
             "bits",
             "shards",
             "queue",
+            "lookahead",
             "wall s",
             "events",
             "events/s",
             "peak queue",
+            "epochs",
             "speedup vs base",
             "hit ratio",
             "dir max/mean",
@@ -1033,59 +1079,103 @@ pub fn scale(params: &ScaleParams) -> ExpOutput {
         // value represents it).
         let mut load_ratios: Vec<(u32, f64)> = Vec::new();
         for &bits in &params.instance_bits {
-            // Baseline = the first (shards, queue) cell of the group.
+            // Baseline = the first (shards, queue, lookahead) cell of
+            // the group.
             let mut base: Option<(f64, String, CellStats)> = None;
             for &shards in &params.shards {
                 for &queue in &params.queues {
-                    let cfg = scale_config(nodes, shards, queue, bits, params.horizon, params.seed);
-                    let name = if bits == 0 {
-                        format!("scale/{nodes}n")
-                    } else {
-                        format!("scale/{nodes}n/b{bits}")
-                    };
-                    let (sys, report, record) = runner::run_flower_timed(&cfg, &name);
-                    let speedup = match &base {
-                        None => format!("×1.00 (base: {shards} shard(s), {queue})"),
-                        Some((base_wall, _, _)) => {
-                            format!("×{:.2}", base_wall / record.wall_s.max(1e-9))
+                    // Barrier epochs per lookahead mode at this
+                    // (shards, queue) point — the matrix's whole point
+                    // is shrinking this, so when both modes run they
+                    // are compared below.
+                    let mut epochs_by_mode: Vec<(LookaheadKind, u64)> = Vec::new();
+                    for &lookahead in &params.lookaheads {
+                        let cfg = scale_config(
+                            nodes,
+                            shards,
+                            queue,
+                            lookahead,
+                            bits,
+                            params.horizon,
+                            params.seed,
+                        );
+                        let mut name = if bits == 0 {
+                            format!("scale/{nodes}n")
+                        } else {
+                            format!("scale/{nodes}n/b{bits}")
+                        };
+                        if lookahead == LookaheadKind::GlobalFloor {
+                            name.push_str("/glf");
                         }
-                    };
-                    table.row(vec![
-                        nodes.to_string(),
-                        bits.to_string(),
-                        sys.engine().num_shards().to_string(),
-                        queue.to_string(),
-                        format!("{:.2}", record.wall_s),
-                        record.events.to_string(),
-                        f1(record.events_per_sec),
-                        record.peak_queue_depth.to_string(),
-                        speedup,
-                        f3(report.hit_ratio),
-                        f3(report.dir_load_max_mean),
-                        report.dir_instances_live.to_string(),
-                    ]);
-                    let stats = (
-                        report.submitted,
-                        report.resolved,
-                        report.hit_ratio,
-                        sys.engine().traffic().messages(),
-                    );
-                    match &base {
-                        None => {
-                            load_ratios.push((bits, report.dir_load_max_mean));
-                            base = Some((record.wall_s, format!("{shards} shards/{queue}"), stats));
-                        }
-                        Some((_, base_cell, base_stats)) => out.push_check(
-                            format!(
-                                "{nodes} nodes / b{bits} / {shards} shards / {queue}: query \
-                                 statistics identical to {base_cell} run ({}/{} hit {:.6}, \
-                                 {} msgs, dir load {:.4})",
-                                stats.0, stats.1, stats.2, stats.3, report.dir_load_max_mean
+                        let (sys, report, record) = runner::run_flower_timed(&cfg, &name);
+                        let speedup = match &base {
+                            None => format!("×1.00 (base: {shards} shard(s), {queue})"),
+                            Some((base_wall, _, _)) => {
+                                format!("×{:.2}", base_wall / record.wall_s.max(1e-9))
+                            }
+                        };
+                        table.row(vec![
+                            nodes.to_string(),
+                            bits.to_string(),
+                            sys.engine().num_shards().to_string(),
+                            queue.to_string(),
+                            lookahead.to_string(),
+                            format!("{:.2}", record.wall_s),
+                            record.events.to_string(),
+                            f1(record.events_per_sec),
+                            record.peak_queue_depth.to_string(),
+                            record.epochs.to_string(),
+                            speedup,
+                            f3(report.hit_ratio),
+                            f3(report.dir_load_max_mean),
+                            report.dir_instances_live.to_string(),
+                        ]);
+                        epochs_by_mode.push((lookahead, record.epochs));
+                        let stats = (
+                            report.submitted,
+                            report.resolved,
+                            report.hit_ratio,
+                            sys.engine().traffic().messages(),
+                        );
+                        match &base {
+                            None => {
+                                load_ratios.push((bits, report.dir_load_max_mean));
+                                base = Some((
+                                    record.wall_s,
+                                    format!("{shards} shards/{queue}"),
+                                    stats,
+                                ));
+                            }
+                            Some((_, base_cell, base_stats)) => out.push_check(
+                                format!(
+                                    "{nodes} nodes / b{bits} / {shards} shards / {queue} / \
+                                     {lookahead}: query statistics identical to {base_cell} run \
+                                     ({}/{} hit {:.6}, {} msgs, dir load {:.4})",
+                                    stats.0, stats.1, stats.2, stats.3, report.dir_load_max_mean
+                                ),
+                                *base_stats == stats,
                             ),
-                            *base_stats == stats,
-                        ),
+                        }
+                        out.bench.push(record);
                     }
-                    out.bench.push(record);
+                    let matrix = epochs_by_mode
+                        .iter()
+                        .find(|(k, _)| *k == LookaheadKind::Matrix);
+                    let global = epochs_by_mode
+                        .iter()
+                        .find(|(k, _)| *k == LookaheadKind::GlobalFloor);
+                    if let (Some((_, m)), Some((_, g))) = (matrix, global) {
+                        if shards > 1 {
+                            out.push_check(
+                                format!(
+                                    "{nodes} nodes / b{bits} / {shards} shards / {queue}: \
+                                     lookahead matrix reduces barrier epochs ({m} vs {g} \
+                                     global-floor)"
+                                ),
+                                m <= g && *g > 0,
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -1110,6 +1200,76 @@ pub fn scale(params: &ScaleParams) -> ExpOutput {
                          (max/mean {ratio:.3} vs flat {flat:.3}, bound {bound:.3})"
                     ),
                     ratio > 0.0 && ratio <= bound,
+                );
+            }
+        }
+        // WAN comparison cells: the topology where the lookahead
+        // matrix's epoch reduction is measurable (see
+        // [`ScaleParams::wan`]). One matrix/global-floor pair per
+        // multi-shard count, first queue backend, flat D-ring.
+        if params.wan {
+            for &shards in params.shards.iter().filter(|s| **s > 1) {
+                let queue = params.queues[0];
+                let mut wan_base: Option<CellStats> = None;
+                let mut wan_epochs: Vec<(LookaheadKind, u64)> = Vec::new();
+                for lookahead in [LookaheadKind::Matrix, LookaheadKind::GlobalFloor] {
+                    let cfg = scale_wan_config(
+                        nodes,
+                        shards,
+                        queue,
+                        lookahead,
+                        params.horizon,
+                        params.seed,
+                    );
+                    let mut name = format!("scale/{nodes}n/wan");
+                    if lookahead == LookaheadKind::GlobalFloor {
+                        name.push_str("/glf");
+                    }
+                    let (sys, report, record) = runner::run_flower_timed(&cfg, &name);
+                    table.row(vec![
+                        nodes.to_string(),
+                        "wan".into(),
+                        sys.engine().num_shards().to_string(),
+                        queue.to_string(),
+                        lookahead.to_string(),
+                        format!("{:.2}", record.wall_s),
+                        record.events.to_string(),
+                        f1(record.events_per_sec),
+                        record.peak_queue_depth.to_string(),
+                        record.epochs.to_string(),
+                        "—".into(),
+                        f3(report.hit_ratio),
+                        f3(report.dir_load_max_mean),
+                        report.dir_instances_live.to_string(),
+                    ]);
+                    wan_epochs.push((lookahead, record.epochs));
+                    let stats = (
+                        report.submitted,
+                        report.resolved,
+                        report.hit_ratio,
+                        sys.engine().traffic().messages(),
+                    );
+                    match &wan_base {
+                        None => wan_base = Some(stats),
+                        Some(base) => out.push_check(
+                            format!(
+                                "{nodes} nodes / wan / {shards} shards: global-floor \
+                                 statistics identical to the matrix run ({}/{} hit {:.6})",
+                                stats.0, stats.1, stats.2
+                            ),
+                            *base == stats,
+                        ),
+                    }
+                    out.bench.push(record);
+                }
+                let m = wan_epochs[0].1;
+                let g = wan_epochs[1].1;
+                out.push_check(
+                    format!(
+                        "{nodes} nodes / wan / {shards} shards: lookahead matrix \
+                         strictly reduces barrier epochs ({m} vs {g} global-floor)"
+                    ),
+                    m < g,
                 );
             }
         }
@@ -1166,21 +1326,42 @@ mod tests {
 
     #[test]
     #[ignore = "runs multi-thousand-node simulations; use --release -- --ignored"]
-    fn scale_sweep_is_shard_and_queue_deterministic() {
+    fn scale_sweep_is_shard_queue_and_lookahead_deterministic() {
         let out = scale(&ScaleParams {
             nodes: vec![2000],
             shards: vec![1, 2, 4],
             queues: vec![EventQueueKind::Calendar, EventQueueKind::Heap],
+            lookaheads: vec![LookaheadKind::Matrix, LookaheadKind::GlobalFloor],
             instance_bits: vec![0],
             horizon: SimDuration::from_secs(20),
             seed: 9,
+            wan: true,
         });
         assert!(out.all_passed(), "{}", out.render_checks());
-        assert_eq!(out.bench.len(), 6, "one record per sweep cell");
+        assert_eq!(
+            out.bench.len(),
+            16,
+            "12 sweep cells + 4 wan comparison cells"
+        );
         assert!(out.bench.iter().all(|r| r.events > 0));
         assert_eq!(out.bench[0].events, out.bench[1].events);
         assert_eq!(out.bench[0].queue, EventQueueKind::Calendar);
-        assert_eq!(out.bench[1].queue, EventQueueKind::Heap);
+        assert!(
+            out.bench[1].experiment.ends_with("/glf"),
+            "global-floor cells are suffixed"
+        );
+        // Multi-shard matrix cells must not out-synchronize their
+        // global-floor twins (also asserted as shape checks above).
+        let epochs = |exp: &str, shards: usize| {
+            out.bench
+                .iter()
+                .find(|r| {
+                    r.experiment == exp && r.shards == shards && r.queue == EventQueueKind::Calendar
+                })
+                .map(|r| r.epochs)
+                .unwrap()
+        };
+        assert!(epochs("scale/2000n", 2) <= epochs("scale/2000n/glf", 2));
     }
 
     #[test]
@@ -1193,9 +1374,11 @@ mod tests {
             nodes: vec![20_000],
             shards: vec![1, 2, 4],
             queues: vec![EventQueueKind::Calendar],
+            lookaheads: vec![LookaheadKind::Matrix],
             instance_bits: vec![0, 1, 2],
             horizon: SimDuration::from_secs(30),
             seed: 42,
+            wan: false,
         });
         assert!(out.all_passed(), "{}", out.render_checks());
         assert_eq!(out.bench.len(), 9, "3 bits × 3 shard counts");

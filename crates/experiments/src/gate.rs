@@ -9,8 +9,9 @@
 //! array of flat objects with string and number fields. The `v1`
 //! schema (no `queue` field; records default to the heap backend that
 //! was the only implementation then), `v2` (no `dir_load_max_mean`
-//! column; defaults to 0) and the current `v3` are all accepted, so
-//! the gate keeps working across schema bumps.
+//! column; defaults to 0), `v3` (no `epochs` barrier-round column;
+//! defaults to 0) and the current `v4` are all accepted, so the gate
+//! keeps working across schema bumps.
 
 use std::fmt::Write as _;
 
@@ -21,7 +22,7 @@ use crate::report::{BenchRecord, BENCH_SCHEMA};
 /// A parsed `BENCH_engine.json`.
 #[derive(Clone, Debug)]
 pub struct BenchDoc {
-    /// Schema tag (`flower-cdn/bench-engine/v1`, `v2` or `v3`).
+    /// Schema tag (`flower-cdn/bench-engine/v1` through `v4`).
     pub schema: String,
     /// Free-form host description (core count, arch, queue backend).
     pub host: String,
@@ -177,6 +178,8 @@ fn record_from_fields(fields: Vec<(String, Value)>, idx: usize) -> Result<BenchR
         sim_ms: 0,
         // v1/v2 documents predate the directory-load column.
         dir_load_max_mean: 0.0,
+        // v1–v3 documents predate the epochs column.
+        epochs: 0,
     };
     let mut seen_experiment = false;
     for (key, value) in fields {
@@ -195,9 +198,10 @@ fn record_from_fields(fields: Vec<(String, Value)>, idx: usize) -> Result<BenchR
             ("peak_queue_depth", Value::Num(n)) => r.peak_queue_depth = n as usize,
             ("sim_ms", Value::Num(n)) => r.sim_ms = n as u64,
             ("dir_load_max_mean", Value::Num(n)) => r.dir_load_max_mean = n,
+            ("epochs", Value::Num(n)) => r.epochs = n as u64,
             (
                 "experiment" | "queue" | "nodes" | "shards" | "wall_s" | "events"
-                | "events_per_sec" | "peak_queue_depth" | "sim_ms" | "dir_load_max_mean",
+                | "events_per_sec" | "peak_queue_depth" | "sim_ms" | "dir_load_max_mean" | "epochs",
                 _,
             ) => return Err(bad()),
             _ => {} // unknown fields: forward compatibility
@@ -246,7 +250,10 @@ pub fn parse_bench(json: &str) -> Result<BenchDoc, String> {
         p.expect(b',')?;
     }
     match doc.schema.as_str() {
-        "flower-cdn/bench-engine/v1" | "flower-cdn/bench-engine/v2" | BENCH_SCHEMA => Ok(doc),
+        "flower-cdn/bench-engine/v1"
+        | "flower-cdn/bench-engine/v2"
+        | "flower-cdn/bench-engine/v3"
+        | BENCH_SCHEMA => Ok(doc),
         other => Err(format!("unsupported schema {other:?}")),
     }
 }
@@ -300,14 +307,21 @@ impl GateReport {
         );
         let _ = writeln!(
             out,
-            "| experiment | nodes | shards | queue | baseline ev/s | fresh ev/s | Δ | gate |"
+            "| experiment | nodes | shards | queue | baseline ev/s | fresh ev/s | Δ | epochs | gate |"
         );
-        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+        let epochs_cell = |r: &BenchRecord| {
+            if r.shards > 1 {
+                r.epochs.to_string()
+            } else {
+                "—".to_string()
+            }
+        };
         for row in &self.rows {
             let r = &row.fresh;
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {:.0} | {:.0} | {:+.1}% | {} |",
+                "| {} | {} | {} | {} | {:.0} | {:.0} | {:+.1}% | {} | {} |",
                 r.experiment,
                 r.nodes,
                 r.shards,
@@ -315,14 +329,20 @@ impl GateReport {
                 row.base_eps,
                 r.events_per_sec,
                 row.delta * 100.0,
+                epochs_cell(r),
                 if row.failed { "**FAIL**" } else { "ok" }
             );
         }
         for r in &self.unmatched {
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | — | {:.0} | — | new |",
-                r.experiment, r.nodes, r.shards, r.queue, r.events_per_sec
+                "| {} | {} | {} | {} | — | {:.0} | — | {} | new |",
+                r.experiment,
+                r.nodes,
+                r.shards,
+                r.queue,
+                r.events_per_sec,
+                epochs_cell(r)
             );
         }
         let _ = writeln!(
@@ -390,6 +410,7 @@ mod tests {
             peak_queue_depth: 10,
             sim_ms: 30_000,
             dir_load_max_mean: 1.5,
+            epochs: if shards > 1 { 400 } else { 0 },
         }
     }
 
@@ -418,6 +439,21 @@ mod tests {
         assert_eq!(doc.records.len(), 1);
         assert_eq!(doc.records[0].dir_load_max_mean, 0.0, "v2 = no column");
         assert_eq!(doc.records[0].queue, EventQueueKind::Calendar);
+    }
+
+    #[test]
+    fn parses_v3_documents_without_epochs_column() {
+        let v3 = r#"{
+  "schema": "flower-cdn/bench-engine/v3",
+  "host": "1 cpus, x86_64, queue=calendar",
+  "records": [
+    {"experiment": "scale/20000n", "nodes": 20000, "shards": 2, "queue": "calendar", "wall_s": 0.5, "events": 450935, "events_per_sec": 900000.0, "peak_queue_depth": 21206, "sim_ms": 60000, "dir_load_max_mean": 1.5}
+  ]
+}"#;
+        let doc = parse_bench(v3).unwrap();
+        assert_eq!(doc.records.len(), 1);
+        assert_eq!(doc.records[0].epochs, 0, "v3 = no epochs column");
+        assert_eq!(doc.records[0].dir_load_max_mean, 1.5);
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub mod runner;
 
 pub use flower_core::SubstrateKind;
 pub use runner::{RunOpts, RunScale};
-pub use simnet::EventQueueKind;
+pub use simnet::{EventQueueKind, LookaheadKind};

@@ -128,14 +128,20 @@ pub struct BenchRecord {
     /// 0.0 for records that predate the column or runs with no
     /// directory traffic.
     pub dir_load_max_mean: f64,
+    /// Barrier rounds the sharded engine executed (0 on single-shard
+    /// runs, which have no barrier, and for records predating the
+    /// column). The adaptive lookahead matrix exists to shrink this:
+    /// compare a cell against its `/glf` (global-floor) twin.
+    pub epochs: u64,
 }
 
 /// Schema tag of the `BENCH_engine.json` document. `v2` added the
 /// per-record `queue` field (event-queue backend) and put the host
 /// core count and default queue backend into `host`; `v3` added the
 /// per-record `dir_load_max_mean` directory-load column (§5.3
-/// PetalUp).
-pub const BENCH_SCHEMA: &str = "flower-cdn/bench-engine/v3";
+/// PetalUp); `v4` added the per-record `epochs` barrier-round count
+/// (adaptive lookahead matrix).
+pub const BENCH_SCHEMA: &str = "flower-cdn/bench-engine/v4";
 
 /// Render benchmark records as the `BENCH_engine.json` document
 /// (hand-rolled: the build environment has no serde).
@@ -153,7 +159,8 @@ pub fn bench_json(host: &str, records: &[BenchRecord]) -> String {
             "    {{\"experiment\": \"{}\", \"nodes\": {}, \"shards\": {}, \
              \"queue\": \"{}\", \
              \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \
-             \"peak_queue_depth\": {}, \"sim_ms\": {}, \"dir_load_max_mean\": {:.4}}}{}",
+             \"peak_queue_depth\": {}, \"sim_ms\": {}, \"dir_load_max_mean\": {:.4}, \
+             \"epochs\": {}}}{}",
             esc(&r.experiment),
             r.nodes,
             r.shards,
@@ -164,6 +171,7 @@ pub fn bench_json(host: &str, records: &[BenchRecord]) -> String {
             r.peak_queue_depth,
             r.sim_ms,
             r.dir_load_max_mean,
+            r.epochs,
             comma
         );
     }
@@ -239,6 +247,7 @@ mod tests {
                 peak_queue_depth: 1234,
                 sim_ms: 60_000,
                 dir_load_max_mean: 1.92,
+                epochs: 512,
             },
             BenchRecord {
                 experiment: "fig\"5".into(),
@@ -251,10 +260,12 @@ mod tests {
                 peak_queue_depth: 7,
                 sim_ms: 1000,
                 dir_load_max_mean: 0.0,
+                epochs: 0,
             },
         ];
         let json = bench_json("test-host", &records);
-        assert!(json.contains("\"schema\": \"flower-cdn/bench-engine/v3\""));
+        assert!(json.contains("\"schema\": \"flower-cdn/bench-engine/v4\""));
+        assert!(json.contains("\"epochs\": 512"));
         assert!(json.contains("\"dir_load_max_mean\": 1.9200"));
         assert!(json.contains("\"nodes\": 20000"));
         assert!(json.contains("\"queue\": \"calendar\""));

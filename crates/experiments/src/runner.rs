@@ -8,7 +8,7 @@
 //! paper's exact setup and the one recorded in `EXPERIMENTS.md`.
 
 use flower_core::{FlowerConfig, FlowerSystem, SubstrateKind, SystemConfig, SystemReport};
-use simnet::{EventQueueKind, SimDuration};
+use simnet::{EventQueueKind, LookaheadKind, SimDuration};
 use squirrel::{SquirrelConfig, SquirrelReport, SquirrelSystem};
 
 use crate::report::BenchRecord;
@@ -30,6 +30,9 @@ pub struct RunOpts {
     pub shards: usize,
     /// Event-queue backend; results are bit-identical for both.
     pub queue: EventQueueKind,
+    /// Epoch-bound derivation of the sharded engine (per-pair matrix
+    /// or global floor); results are bit-identical for both.
+    pub lookahead: LookaheadKind,
     /// §5.3 PetalUp instance bits `b`: up to `2^b` directory
     /// instances per (website, locality) petal. 0 is the paper's base
     /// design.
@@ -46,6 +49,7 @@ impl RunOpts {
             substrate: SubstrateKind::Chord,
             shards: 1,
             queue: EventQueueKind::default(),
+            lookahead: LookaheadKind::default(),
             instance_bits: 0,
         }
     }
@@ -127,6 +131,7 @@ pub fn flower_config(opts: RunOpts) -> SystemConfig {
     cfg.window = opts.scale.scale_duration(SimDuration::from_mins(30));
     cfg.shards = opts.shards.max(1);
     cfg.topology.event_queue = opts.queue;
+    cfg.topology.lookahead = opts.lookahead;
     cfg
 }
 
@@ -153,6 +158,7 @@ pub fn squirrel_config(opts: RunOpts) -> SquirrelConfig {
     cfg.window = opts.scale.scale_duration(SimDuration::from_mins(30));
     cfg.shards = opts.shards.max(1);
     cfg.topology.event_queue = opts.queue;
+    cfg.topology.lookahead = opts.lookahead;
     cfg
 }
 
@@ -188,6 +194,7 @@ pub fn run_flower_timed(
         peak_queue_depth: engine.peak_queue_depth(),
         sim_ms: horizon.as_ms(),
         dir_load_max_mean: report.dir_load_max_mean,
+        epochs: engine.epochs(),
     };
     (sys, report, record)
 }

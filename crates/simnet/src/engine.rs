@@ -63,7 +63,7 @@ use rand::SeedableRng;
 use crate::event::{EventKey, EventQueue};
 use crate::stats::{QueryStats, TimeSeries, Traffic, TrafficClass};
 use crate::time::{SimDuration, SimTime};
-use crate::topology::{Locality, NodeId, Topology};
+use crate::topology::{Locality, LookaheadKind, NodeId, Topology};
 
 /// A simulated wire message: every protocol message reports its size
 /// in bytes (for the paper's bandwidth metric) and its traffic class.
@@ -318,6 +318,73 @@ pub fn node_stream_seed(seed: u64, node: NodeId) -> u64 {
 /// node `n` emits on stream `n + 1`.
 const EXTERNAL_STREAM: u64 = 0;
 
+/// The matrix mode's per-round bound coefficients, from the raw
+/// pair-lookahead matrix `l` (row-major `k × k`, `u64::MAX` diagonal).
+///
+/// `reach[m][i]` lower-bounds how long after shard `m`'s earliest
+/// pending event *anything* could become due at shard `i` that is not
+/// already in `i`'s queue: an event of `m` at time `t` can trigger an
+/// emission chain `m → … → j → i` whose hops each cost at least the
+/// pair lookahead (handlers emit at the instant of receipt, so relay
+/// delay lower-bounds at zero). Formally
+/// `reach[m][i] = min over j ≠ i of (dist(m, j) + l[j][i])` with
+/// `dist` the min-plus shortest path over `l` (`dist(m, m) = 0`).
+///
+/// The `j ≠ i` exclusion makes the diagonal the *round-trip* term
+/// `reach[i][i] = min_j (dist(i, j) + l[j][i])`: shard `i`'s own
+/// events can reflect off a peer and come back, so `i` may never
+/// outrun its own emissions by more than a round trip — the
+/// self-reflection a naive `min over peers of (next_j + l[j][i])`
+/// bound misses (an idle peer would then constrain nobody, yet a
+/// message sent to it this round can wake it and draw a reply).
+fn reachability_bounds(l: &[u64], k: usize) -> Vec<u64> {
+    // Progress guarantee: every off-diagonal pair lookahead is ≥ 1 ms
+    // (shard pairs are cross-locality by construction, and the
+    // topology's cross floor clamps to at least 1 ms), so every reach
+    // entry is ≥ 1 ms and a matrix-mode bound always lies strictly
+    // beyond the global minimum — no barrier round can spin without
+    // processing anything.
+    debug_assert!(
+        (0..k).all(|a| (0..k).all(|b| a == b || l[a * k + b] >= 1)),
+        "pair lookaheads must be positive for the barrier to progress"
+    );
+    // Min-plus all-pairs shortest path over the pair lookaheads.
+    let mut dist = vec![u64::MAX; k * k];
+    for m in 0..k {
+        dist[m * k + m] = 0;
+        for j in 0..k {
+            if m != j {
+                dist[m * k + j] = l[m * k + j];
+            }
+        }
+    }
+    for via in 0..k {
+        for a in 0..k {
+            for b in 0..k {
+                let d = dist[a * k + via].saturating_add(dist[via * k + b]);
+                if d < dist[a * k + b] {
+                    dist[a * k + b] = d;
+                }
+            }
+        }
+    }
+    let mut reach = vec![u64::MAX; k * k];
+    for m in 0..k {
+        for i in 0..k {
+            for j in 0..k {
+                if j == i {
+                    continue;
+                }
+                let r = dist[m * k + j].saturating_add(l[j * k + i]);
+                if r < reach[m * k + i] {
+                    reach[m * k + i] = r;
+                }
+            }
+        }
+    }
+    reach
+}
+
 /// Global node id → `(owning shard, dense local index)`, packed into
 /// one `u64` per node (shard in the high half, local index in the
 /// low). The engine's hot path resolves both halves for nearly every
@@ -459,6 +526,9 @@ struct Shard<M: Message, N: Node<M>> {
     query_stats: QueryStats,
     gauges: GaugeSet,
     events_processed: u64,
+    /// Barrier rounds this shard participated in (identical across
+    /// shards of a run; 0 on the thread-free single-shard path).
+    epochs: u64,
 }
 
 impl<M: Message, N: Node<M>> Shard<M, N> {
@@ -622,8 +692,22 @@ pub struct Engine<M: Message, N: Node<M>> {
     shards: Vec<Shard<M, N>>,
     /// Global node id → (owning shard, local index), packed.
     place: Placement,
-    /// Epoch length for the conservative barrier.
+    /// Epoch length for the conservative barrier (the global floor).
     lookahead: SimDuration,
+    /// How epoch bounds are derived ([`TopologyConfig::lookahead`]).
+    ///
+    /// [`TopologyConfig::lookahead`]: crate::topology::TopologyConfig::lookahead
+    lookahead_kind: LookaheadKind,
+    /// Per-shard-pair lookahead matrix (ms), row-major `K × K`: entry
+    /// `[from · K + to]` lower-bounds the latency of any message from
+    /// shard `from` to shard `to` ([`Topology::shard_lookahead_ms`]);
+    /// `u64::MAX` on the diagonal.
+    pair_lookahead_ms: Vec<u64>,
+    /// Matrix-mode bound coefficients derived from the pair
+    /// lookaheads ([`reachability_bounds`]): `[m · K + i]` is how long
+    /// after shard `m`'s earliest event anything new could become due
+    /// at shard `i`, through any emission chain.
+    reach_ms: Vec<u64>,
     now: SimTime,
     /// Counter of the external injection stream (stream 0).
     ext_seq: u64,
@@ -667,6 +751,8 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         let k = shards.min(topo.num_localities());
         let loc_shard = topo.shard_map(k);
         let lookahead = topo.cross_locality_lookahead();
+        let pair_lookahead_ms = topo.shard_lookahead_ms(&loc_shard, k);
+        let reach_ms = reachability_bounds(&pair_lookahead_ms, k);
 
         let mut place = Placement::new(n);
         let mut member_count = vec![0usize; k];
@@ -709,14 +795,18 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                 query_stats: QueryStats::new(window),
                 gauges: GaugeSet::new(window),
                 events_processed: 0,
+                epochs: 0,
             })
             .collect();
 
         Engine {
+            lookahead_kind: topo.lookahead_kind(),
             topo: std::sync::Arc::new(topo),
             shards: shards_vec,
             place,
             lookahead,
+            pair_lookahead_ms,
+            reach_ms,
             now: SimTime::ZERO,
             ext_seq: 0,
             merged: std::cell::OnceCell::new(),
@@ -739,9 +829,31 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         self.shards.len()
     }
 
-    /// The epoch length of the conservative barrier.
+    /// The epoch length of the conservative barrier — the global
+    /// cross-locality floor. In [`LookaheadKind::Matrix`] mode this is
+    /// the worst-case bound; the per-pair matrix entries are at least
+    /// this large.
     pub fn lookahead(&self) -> SimDuration {
         self.lookahead
+    }
+
+    /// How epoch bounds are derived (matrix or global floor).
+    pub fn lookahead_kind(&self) -> LookaheadKind {
+        self.lookahead_kind
+    }
+
+    /// The per-shard-pair lookahead (ms) from shard `from` to shard
+    /// `to` (`u64::MAX` when `from == to`).
+    pub fn pair_lookahead_ms(&self, from: usize, to: usize) -> u64 {
+        self.pair_lookahead_ms[from * self.shards.len() + to]
+    }
+
+    /// Barrier rounds (epochs) executed so far. 0 on single-shard
+    /// runs, which have no barrier. The adaptive lookahead matrix
+    /// exists to shrink this number: fewer, longer epochs mean less
+    /// synchronization per simulated second.
+    pub fn epochs(&self) -> u64 {
+        self.shards.iter().map(|s| s.epochs).max().unwrap_or(0)
     }
 
     /// The event-queue backend the shards run on.
@@ -885,14 +997,35 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         self.events_processed() - start
     }
 
-    /// The parallel path: one worker thread per shard, epochs of
-    /// `lookahead` length, cross-shard messages exchanged at the
-    /// barrier between epochs. Idle stretches are skipped by starting
-    /// each epoch at the globally earliest pending event.
+    /// The parallel path: one worker thread per shard, cross-shard
+    /// messages exchanged at the barrier between epochs. Idle
+    /// stretches are skipped by starting each epoch at the globally
+    /// earliest pending event.
+    ///
+    /// Epoch bounds depend on [`LookaheadKind`]:
+    ///
+    /// * `GlobalFloor` — every shard runs the same epoch
+    ///   `[min_next, min_next + global lookahead)`.
+    /// * `Matrix` — shard `i` runs to
+    ///   `min over shards m of (next_m + reach[m][i])`, where `next_m`
+    ///   is shard `m`'s earliest pending event and `reach` the
+    ///   emission-chain closure of the exact pair lookaheads
+    ///   ([`reachability_bounds`]): the earliest instant anything not
+    ///   yet in `i`'s queue could become due at `i`, including replies
+    ///   that `i`'s *own* emissions may draw out of a currently idle
+    ///   peer (the `m = i` round-trip term). A fully idle peer
+    ///   constrains nobody on its own — the temporal meaning of
+    ///   "actually communicating" — and distant shard pairs
+    ///   synchronize less often. Every bound is conservative, so
+    ///   per-shard event orderings (and therefore results) are
+    ///   bit-identical to the global-floor schedule; only the
+    ///   barrier-round count shrinks.
     fn run_sharded(&mut self, deadline: SimTime, limit: SimTime) {
         let k = self.shards.len();
         let lookahead_ms = self.lookahead.as_ms().max(1);
         let limit_ms = limit.as_ms();
+        let kind = self.lookahead_kind;
+        let reach = &self.reach_ms[..];
         let barrier = Barrier::new(k);
         let inboxes: Vec<Mutex<Vec<Staged<M>>>> = (0..k).map(|_| Mutex::new(Vec::new())).collect();
         let next_times: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(u64::MAX)).collect();
@@ -908,27 +1041,40 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                     let mut outbox: Vec<Vec<Staged<M>>> = (0..k).map(|_| Vec::new()).collect();
                     loop {
                         // (1) Publish my earliest pending event, then
-                        // agree on the global minimum.
+                        // read everyone's.
                         let next = shard.queue.peek_time().map_or(u64::MAX, |t| t.as_ms());
                         next_times[me].store(next, Ordering::SeqCst);
                         barrier.wait();
-                        let min_next = next_times
+                        let nexts: Vec<u64> = next_times
                             .iter()
                             .map(|t| t.load(Ordering::SeqCst))
-                            .min()
-                            .expect("at least one shard");
+                            .collect();
+                        let min_next = *nexts.iter().min().expect("at least one shard");
                         if min_next >= limit_ms {
                             // Every thread computes the same minimum,
                             // so all exit on the same round.
                             shard.now = shard.now.max(deadline);
                             break;
                         }
-                        // (2) One epoch: anything emitted at or after
-                        // `min_next` lands at `>= min_next + lookahead`
-                        // when it crosses shards, i.e. beyond this
-                        // epoch.
-                        let epoch_end =
-                            SimTime::from_ms(min_next.saturating_add(lookahead_ms).min(limit_ms));
+                        shard.epochs += 1;
+                        // (2) One epoch up to this shard's bound.
+                        let bound = match kind {
+                            // Anything emitted at or after `min_next`
+                            // lands at `>= min_next + lookahead` when
+                            // it crosses shards, i.e. beyond this
+                            // epoch.
+                            LookaheadKind::GlobalFloor => min_next.saturating_add(lookahead_ms),
+                            // Nothing new can become due here before
+                            // any shard's earliest event plus its
+                            // emission-chain distance to us — the
+                            // `m == me` term caps us at our own
+                            // round-trip reflection.
+                            LookaheadKind::Matrix => (0..k)
+                                .map(|m| nexts[m].saturating_add(reach[m * k + me]))
+                                .min()
+                                .unwrap_or(u64::MAX),
+                        };
+                        let epoch_end = SimTime::from_ms(bound.min(limit_ms));
                         shard.run_epoch(epoch_end, topo, place, &mut outbox);
                         for (j, batch) in outbox.iter_mut().enumerate() {
                             if j != me && !batch.is_empty() {
@@ -986,6 +1132,10 @@ mod tests {
                     msg: PingMsg::Pong, ..
                 } => self.pongs += 1,
                 Event::Undeliverable { .. } => self.undeliverable += 1,
+                // Timer kind 2 originates a Ping to node `tag` (lets
+                // tests start a cross-shard exchange from a pure-local
+                // event, leaving the target's shard queue empty).
+                Event::Timer { kind: 2, tag } => ctx.send(NodeId(tag as u32), PingMsg::Ping),
                 Event::Timer { .. } => self.timer_fired = true,
                 Event::NodeUp => self.revived += 1,
             }
@@ -1174,6 +1324,147 @@ mod tests {
         let e = engine_sharded(64);
         assert_eq!(e.num_shards(), 3, "small_test has 3 localities");
         assert!(e.lookahead() >= SimDuration::from_ms(1));
+    }
+
+    fn engine_with_lookahead(
+        shards: usize,
+        kind: crate::topology::LookaheadKind,
+    ) -> Engine<PingMsg, Echo> {
+        let cfg = TopologyConfig {
+            lookahead: kind,
+            ..TopologyConfig::small_test()
+        };
+        let topo = crate::topology::Topology::generate(&cfg, 5);
+        let nodes = (0..topo.num_nodes()).map(|_| Echo::default()).collect();
+        Engine::with_shards(topo, nodes, 99, SimDuration::from_mins(30), shards)
+    }
+
+    /// The tentpole guarantee of the lookahead matrix: the adaptive
+    /// schedule is an execution detail — bit-identical observable
+    /// behaviour, strictly fewer barrier rounds.
+    #[test]
+    fn lookahead_matrix_matches_global_floor_with_fewer_epochs() {
+        use crate::topology::LookaheadKind;
+        let drive = |shards: usize, kind: LookaheadKind| {
+            let mut e = engine_with_lookahead(shards, kind);
+            for i in 0..60u32 {
+                e.schedule_at(
+                    SimTime::from_ms(i as u64 * 211),
+                    NodeId(i % 20),
+                    Event::Recv {
+                        from: NodeId((i + 7) % 20),
+                        msg: PingMsg::Ping,
+                    },
+                );
+            }
+            e.schedule_down(SimTime::from_ms(50), NodeId(2));
+            e.schedule_up(SimTime::from_secs(2), NodeId(2));
+            e.run_until(SimTime::from_secs(30));
+            let pongs: Vec<u32> = e.topology().node_ids().map(|n| e.node(n).pongs).collect();
+            let fingerprint = (e.events_processed(), e.traffic().messages(), pongs);
+            (fingerprint, e.epochs())
+        };
+        for shards in [2usize, 3] {
+            let (global_fp, global_epochs) = drive(shards, LookaheadKind::GlobalFloor);
+            let (matrix_fp, matrix_epochs) = drive(shards, LookaheadKind::Matrix);
+            assert_eq!(matrix_fp, global_fp, "shards={shards}: results diverged");
+            assert!(global_epochs > 0, "sharded runs must count epochs");
+            assert!(
+                matrix_epochs <= global_epochs,
+                "shards={shards}: matrix must not synchronize more often \
+                 ({matrix_epochs} vs {global_epochs})"
+            );
+        }
+        // Single-shard runs have no barrier and count no epochs.
+        let (_, epochs) = drive(1, LookaheadKind::Matrix);
+        assert_eq!(epochs, 0);
+    }
+
+    /// The causality trap a naive peers-only bound falls into: an
+    /// idle shard looks unconstraining, but a message sent to it this
+    /// round can wake it and draw a reply (here: a bounce off a dead
+    /// node, emitted by the idle shard) due one round trip later. The
+    /// overrunning shard must not process its own far-future events
+    /// before that reply — the `reach` diagonal (round-trip
+    /// reflection) enforces exactly this.
+    #[test]
+    fn matrix_mode_waits_for_replies_drawn_from_idle_shards() {
+        use crate::topology::LookaheadKind;
+        let drive = |kind: LookaheadKind| {
+            let mut e = engine_with_lookahead(2, kind);
+            // A node in shard 0 and a node in shard 1.
+            let shard_of = |e: &Engine<PingMsg, Echo>, s: usize| {
+                e.topology()
+                    .node_ids()
+                    .find(|n| e.place.shard(*n) == s)
+                    .expect("both shards populated")
+            };
+            let a = shard_of(&e, 0);
+            let c = shard_of(&e, 1);
+            // Shard 1 starts with an *empty* queue. At t=1 a pure
+            // shard-0 event (timer kind 2) makes `a` ping `c`; the
+            // pong comes back one round trip later — while `a` also
+            // holds a far-future timer that must not run first.
+            e.schedule_at(
+                SimTime::from_ms(1),
+                a,
+                Event::Timer {
+                    kind: 2,
+                    tag: c.0 as u64,
+                },
+            );
+            e.schedule_at(SimTime::from_secs(50), a, Event::Timer { kind: 1, tag: 0 });
+            e.run_until(SimTime::from_secs(60));
+            (e.node(a).pongs, e.node(a).timer_fired, e.events_processed())
+        };
+        let global = drive(LookaheadKind::GlobalFloor);
+        let matrix = drive(LookaheadKind::Matrix);
+        assert_eq!(matrix, global, "reply chain processed out of order");
+        assert_eq!(matrix.0, 1, "the pong must reach the pinger");
+    }
+
+    #[test]
+    fn reachability_bounds_close_over_emission_chains() {
+        // Two shards, asymmetric lookaheads 10/30.
+        let l = vec![u64::MAX, 10, 30, u64::MAX];
+        let r = reachability_bounds(&l, 2);
+        // Diagonal = own round trip; off-diagonal = direct hop.
+        assert_eq!(r, vec![10 + 30, 10, 30, 30 + 10]);
+        // Three shards where relaying through 1 beats the direct
+        // 0 → 2 lookahead: dist(0,2) = 5 + 5 < 100.
+        let l3 = vec![
+            u64::MAX,
+            5,
+            100, // from 0
+            5,
+            u64::MAX,
+            5, // from 1
+            100,
+            5,
+            u64::MAX, // from 2
+        ];
+        let r3 = reachability_bounds(&l3, 3);
+        // Earliest an event of shard 0 can become due at shard 2:
+        // relay 0 → 1 (5) then hop 1 → 2 (5).
+        assert_eq!(r3[2], 10); // row 0, column 2
+                               // Shard 0's own reflection: out and back via shard 1.
+        assert_eq!(r3[0], 10);
+    }
+
+    #[test]
+    fn pair_lookahead_is_at_least_the_global_floor() {
+        let e = engine_sharded(3);
+        assert_eq!(e.lookahead_kind(), crate::topology::LookaheadKind::Matrix);
+        let floor = e.lookahead().as_ms();
+        for i in 0..e.num_shards() {
+            for j in 0..e.num_shards() {
+                if i == j {
+                    assert_eq!(e.pair_lookahead_ms(i, j), u64::MAX);
+                } else {
+                    assert!(e.pair_lookahead_ms(i, j) >= floor);
+                }
+            }
+        }
     }
 
     #[test]

@@ -120,7 +120,7 @@ pub use engine::{node_stream_seed, Action, Ctx, Engine, Event, Message, Node, Qu
 pub use event::{EventKey, EventQueueKind};
 pub use stats::{Histogram, QueryStats, SeriesPoint, TimeSeries, Traffic, TrafficClass};
 pub use time::{SimDuration, SimTime};
-pub use topology::{Locality, NodeId, Topology, TopologyConfig};
+pub use topology::{Locality, LookaheadKind, NodeId, Topology, TopologyConfig};
 
 /// Convenient glob-import of the types almost every consumer needs.
 pub mod prelude {
@@ -129,5 +129,5 @@ pub mod prelude {
     pub use crate::event::EventQueueKind;
     pub use crate::stats::{Histogram, QueryStats, TimeSeries, Traffic, TrafficClass};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::topology::{Locality, NodeId, Topology, TopologyConfig};
+    pub use crate::topology::{Locality, LookaheadKind, NodeId, Topology, TopologyConfig};
 }

@@ -27,6 +27,8 @@
 //! Latencies are symmetric and deterministic, so the "transfer
 //! distance" metric is well defined.
 
+use std::collections::HashMap;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,6 +68,49 @@ impl std::fmt::Display for Locality {
         write!(f, "loc{}", self.0)
     }
 }
+
+/// How the sharded engine derives its epoch synchronization bounds
+/// from the topology. An execution knob like
+/// [`crate::event::EventQueueKind`]: results are bit-identical for
+/// both — only the number of barrier rounds (and therefore wall
+/// clock) changes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LookaheadKind {
+    /// Per-shard-pair lookaheads: each pair's bound is the exact
+    /// minimum latency between the two shards' locality point sets,
+    /// and a shard's epoch runs to the earliest instant any *other*
+    /// shard could still reach it — distant shard pairs synchronize
+    /// less often.
+    #[default]
+    Matrix,
+    /// The pre-matrix behaviour: one global epoch of
+    /// [`Topology::cross_locality_lookahead`] length for every shard
+    /// (kept for comparison runs and the parity tests).
+    GlobalFloor,
+}
+
+impl LookaheadKind {
+    /// Parse `"matrix"` or `"global"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "matrix" => Ok(LookaheadKind::Matrix),
+            "global" => Ok(LookaheadKind::GlobalFloor),
+            other => Err(format!("unknown lookahead kind {other:?} (matrix|global)")),
+        }
+    }
+}
+
+impl std::fmt::Display for LookaheadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LookaheadKind::Matrix => "matrix",
+            LookaheadKind::GlobalFloor => "global",
+        })
+    }
+}
+
+/// A grid cell index used by the locality-distance computation.
+type Cell = (usize, usize);
 
 /// A point in the unit square used for latency embedding.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -122,6 +167,11 @@ pub struct TopologyConfig {
     /// bit-identical for both backends; see
     /// [`crate::event::EventQueueKind`].
     pub event_queue: crate::event::EventQueueKind,
+    /// How the sharded engine bounds its epochs: the per-shard-pair
+    /// lookahead matrix (default) or the single global floor. Another
+    /// execution knob riding here for the same reason as
+    /// `event_queue`; results are bit-identical for both.
+    pub lookahead: LookaheadKind,
 }
 
 impl Default for TopologyConfig {
@@ -136,6 +186,7 @@ impl Default for TopologyConfig {
             population_skew: 1.0,
             inter_locality_floor_ms: 0,
             event_queue: crate::event::EventQueueKind::default(),
+            lookahead: LookaheadKind::default(),
         }
     }
 }
@@ -170,6 +221,14 @@ pub struct Topology {
     ms_per_unit: f64,
     populations: Vec<u32>,
     event_queue: crate::event::EventQueueKind,
+    lookahead: LookaheadKind,
+    /// Exact minimum latency (ms) between the point sets of every
+    /// locality pair, row-major `k × k`; `u64::MAX` on the diagonal
+    /// and for pairs involving an unpopulated locality (no link
+    /// exists, so any bound is vacuously sound). Each entry is a hard
+    /// lower bound on the latency of *any* link between the two
+    /// localities — the sharded engine's per-pair lookahead.
+    loc_min_lat_ms: Vec<u64>,
 }
 
 impl Topology {
@@ -249,6 +308,8 @@ impl Topology {
             ms_per_unit,
             populations: vec![0; k],
             event_queue: cfg.event_queue,
+            lookahead: cfg.lookahead,
+            loc_min_lat_ms: Vec::new(),
         };
 
         // Landmark binning: locality = argmin latency-to-landmark.
@@ -273,7 +334,93 @@ impl Topology {
             topo.populations[l.idx()] += 1;
         }
         topo.locality_of = localities;
+        topo.loc_min_lat_ms = topo.compute_locality_min_latencies();
         topo
+    }
+
+    /// Exact minimum distance between every pair of locality point
+    /// sets (bichromatic closest pair), accelerated by a uniform grid:
+    /// cell-level bounds first narrow the candidate cell pairs, then
+    /// only near-boundary cells are compared point by point. Runs once
+    /// per topology; a few milliseconds even at 100k nodes.
+    fn compute_locality_min_latencies(&self) -> Vec<u64> {
+        const GRID: usize = 64;
+        let k = self.num_localities();
+        let cell_of = |p: Point| -> Cell {
+            let cx = ((p.x * GRID as f64) as usize).min(GRID - 1);
+            let cy = ((p.y * GRID as f64) as usize).min(GRID - 1);
+            (cx, cy)
+        };
+        let centre_of = |(cx, cy): Cell| Point {
+            x: (cx as f64 + 0.5) / GRID as f64,
+            y: (cy as f64 + 0.5) / GRID as f64,
+        };
+        // Two points of the same cell are at most one cell diagonal
+        // apart from its centre combined, so cell-centre distance ±
+        // one diagonal brackets every cross-cell point distance.
+        let diag = std::f64::consts::SQRT_2 / GRID as f64;
+        // Per-locality buckets: cell → point indices.
+        let mut buckets: Vec<HashMap<Cell, Vec<usize>>> = vec![HashMap::new(); k];
+        for (i, p) in self.points.iter().enumerate() {
+            buckets[self.locality_of[i].idx()]
+                .entry(cell_of(*p))
+                .or_default()
+                .push(i);
+        }
+        let mut out = vec![u64::MAX; k * k];
+        for a in 0..k {
+            for b in (a + 1)..k {
+                let (ca, cb) = (&buckets[a], &buckets[b]);
+                if ca.is_empty() || cb.is_empty() {
+                    continue;
+                }
+                // Pass 1: cell-level upper bound on the pair minimum —
+                // every non-empty cell pair contains a point pair no
+                // farther than centre distance + diagonal. Bound-only,
+                // no allocation: localities spanning many cells would
+                // otherwise materialize a |Ca|·|Cb| cross product.
+                let mut upper = f64::INFINITY;
+                for cell_a in ca.keys() {
+                    let pa = centre_of(*cell_a);
+                    for cell_b in cb.keys() {
+                        upper = upper.min(pa.dist(centre_of(*cell_b)) + diag);
+                    }
+                }
+                // Pass 2: collect only the near-boundary cell pairs
+                // whose lower bound can still beat that, then compare
+                // their points exactly, nearest pairs first.
+                let mut candidates: Vec<(f64, Cell, Cell)> = Vec::new();
+                for cell_a in ca.keys() {
+                    let pa = centre_of(*cell_a);
+                    for cell_b in cb.keys() {
+                        let lb = (pa.dist(centre_of(*cell_b)) - diag).max(0.0);
+                        if lb <= upper {
+                            candidates.push((lb, *cell_a, *cell_b));
+                        }
+                    }
+                }
+                candidates.sort_unstable_by(|x, y| x.0.total_cmp(&y.0));
+                let mut best = f64::INFINITY;
+                for (lb, cell_a, cell_b) in candidates {
+                    if lb >= best {
+                        break;
+                    }
+                    for &i in &ca[&cell_a] {
+                        for &j in &cb[&cell_b] {
+                            best = best.min(self.points[i].dist(self.points[j]));
+                        }
+                    }
+                }
+                // Same mapping as `latency_ms` (round, clamp, cross
+                // floor) — monotone in distance, so applying it to the
+                // exact minimum distance yields the exact minimum
+                // latency of any link between the two localities.
+                let lat = self.dist_to_latency_ms(best, true);
+                out[a * k + b] = lat;
+                out[b * k + a] = lat;
+            }
+        }
+        out
     }
 
     /// Number of underlay nodes.
@@ -322,9 +469,17 @@ impl Topology {
             return 0;
         }
         let d = self.points[a.idx()].dist(self.points[b.idx()]);
+        self.dist_to_latency_ms(d, self.locality_of[a.idx()] != self.locality_of[b.idx()])
+    }
+
+    /// The distance → latency mapping shared by [`Topology::latency_ms`]
+    /// and the lookahead-matrix computation: affine in the embedding
+    /// distance, rounded, clamped to the configured range, and floored
+    /// for cross-locality links. Monotone non-decreasing in `d`.
+    fn dist_to_latency_ms(&self, d: f64, cross_locality: bool) -> u64 {
         let ms = self.min_latency_ms as f64 + d * self.ms_per_unit;
         let ms = (ms.round() as u64).clamp(self.min_latency_ms, self.max_latency_ms);
-        if self.locality_of[a.idx()] != self.locality_of[b.idx()] {
+        if cross_locality {
             ms.max(self.cross_floor_ms())
         } else {
             ms
@@ -349,6 +504,46 @@ impl Topology {
     /// before they are due.
     pub fn cross_locality_lookahead(&self) -> SimDuration {
         SimDuration::from_ms(self.min_latency_ms.max(self.cross_floor_ms()))
+    }
+
+    /// The lookahead mode engines over this topology should run
+    /// (from [`TopologyConfig::lookahead`]).
+    pub fn lookahead_kind(&self) -> LookaheadKind {
+        self.lookahead
+    }
+
+    /// The exact minimum latency of any link between localities `a`
+    /// and `b` (ms): the latency of the closest cross pair of their
+    /// point sets. `u64::MAX` when `a == b` or either locality is
+    /// unpopulated (no such link exists). Always at least
+    /// [`Topology::cross_locality_lookahead`].
+    pub fn min_inter_locality_latency_ms(&self, a: Locality, b: Locality) -> u64 {
+        self.loc_min_lat_ms[a.idx() * self.num_localities() + b.idx()]
+    }
+
+    /// The sharded engine's per-shard-pair lookahead matrix under a
+    /// [`Topology::shard_map`] assignment: entry `[from · shards + to]`
+    /// is the minimum of [`Topology::min_inter_locality_latency_ms`]
+    /// over the locality pairs the two shards hold — a hard lower
+    /// bound (ms) on how long any message needs to travel from a node
+    /// of shard `from` to a node of shard `to`. Diagonal entries are
+    /// `u64::MAX` (a shard never constrains itself: its own events sit
+    /// in its own queue in key order). Symmetric, like the latencies.
+    pub fn shard_lookahead_ms(&self, shard_map: &[usize], shards: usize) -> Vec<u64> {
+        let k = self.num_localities();
+        assert_eq!(shard_map.len(), k, "one shard assignment per locality");
+        let mut m = vec![u64::MAX; shards * shards];
+        for la in 0..k {
+            for lb in 0..k {
+                let (sa, sb) = (shard_map[la], shard_map[lb]);
+                if sa == sb {
+                    continue;
+                }
+                let cell = &mut m[sa * shards + sb];
+                *cell = (*cell).min(self.loc_min_lat_ms[la * k + lb]);
+            }
+        }
+        m
     }
 
     /// Partition the localities over `shards` shards, balancing shard
@@ -562,6 +757,99 @@ mod tests {
         assert_eq!(t.cross_locality_lookahead(), SimDuration::from_ms(10));
     }
 
+    /// Brute-force reference for the grid-accelerated computation.
+    fn brute_min_inter_latency(t: &Topology, a: u16, b: u16) -> u64 {
+        let mut best = u64::MAX;
+        for u in t.node_ids() {
+            for v in t.node_ids() {
+                if t.locality(u) == Locality(a) && t.locality(v) == Locality(b) && a != b {
+                    best = best.min(t.latency_ms(u, v));
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn locality_min_latency_is_exact() {
+        for (seed, floor) in [(1u64, 0u64), (9, 120)] {
+            let cfg = TopologyConfig {
+                nodes: 120,
+                localities: 4,
+                inter_locality_floor_ms: floor,
+                ..Default::default()
+            };
+            let t = Topology::generate(&cfg, seed);
+            for a in 0..4u16 {
+                for b in 0..4u16 {
+                    let got = t.min_inter_locality_latency_ms(Locality(a), Locality(b));
+                    if a == b {
+                        assert_eq!(got, u64::MAX, "diagonal must be unconstrained");
+                    } else {
+                        assert_eq!(
+                            got,
+                            brute_min_inter_latency(&t, a, b),
+                            "seed {seed} floor {floor}: pair ({a},{b}) not exact"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_lookahead_matrix_lower_bounds_every_cross_link() {
+        let t = Topology::generate(&TopologyConfig::default(), 3);
+        let shards = 3;
+        let map = t.shard_map(shards);
+        let m = t.shard_lookahead_ms(&map, shards);
+        let global = t.cross_locality_lookahead().as_ms();
+        for i in 0..shards {
+            assert_eq!(m[i * shards + i], u64::MAX, "diagonal unconstrained");
+            for j in 0..shards {
+                if i != j {
+                    assert_eq!(m[i * shards + j], m[j * shards + i], "symmetric");
+                    assert!(
+                        m[i * shards + j] >= global,
+                        "pair lookahead below the global floor"
+                    );
+                }
+            }
+        }
+        // Spot-check the bound against actual links (sampled).
+        for a in (0..t.num_nodes() as u32).step_by(131).map(NodeId) {
+            for b in (0..t.num_nodes() as u32).step_by(97).map(NodeId) {
+                let (sa, sb) = (map[t.locality(a).idx()], map[t.locality(b).idx()]);
+                if sa != sb {
+                    assert!(t.latency_ms(a, b) >= m[sa * shards + sb]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_kind_parses_and_rides_the_config() {
+        assert_eq!(
+            LookaheadKind::parse("matrix").unwrap(),
+            LookaheadKind::Matrix
+        );
+        assert_eq!(
+            LookaheadKind::parse("global").unwrap(),
+            LookaheadKind::GlobalFloor
+        );
+        assert!(LookaheadKind::parse("x").is_err());
+        assert_eq!(format!("{}", LookaheadKind::Matrix), "matrix");
+        assert_eq!(format!("{}", LookaheadKind::GlobalFloor), "global");
+        let t = Topology::generate(
+            &TopologyConfig {
+                lookahead: LookaheadKind::GlobalFloor,
+                ..TopologyConfig::small_test()
+            },
+            1,
+        );
+        assert_eq!(t.lookahead_kind(), LookaheadKind::GlobalFloor);
+    }
+
     #[test]
     #[should_panic(expected = "floor must not exceed max latency")]
     fn floor_above_max_rejected() {
@@ -641,6 +929,43 @@ mod proptests {
                             "cross-locality link below lookahead: {} < {}",
                             t.latency_ms(a, b), lookahead
                         );
+                    }
+                }
+            }
+        }
+
+        /// The grid-accelerated per-locality-pair minimum latency is
+        /// exact: it equals the brute-force minimum over all cross
+        /// pairs, for any generated topology and floor.
+        #[test]
+        fn locality_min_latency_matches_brute_force(
+            seed in 0u64..200,
+            nodes in 2usize..50,
+            k in 2usize..5,
+            floor in 0u64..300,
+        ) {
+            let cfg = TopologyConfig {
+                nodes,
+                localities: k,
+                inter_locality_floor_ms: floor,
+                ..Default::default()
+            };
+            let t = Topology::generate(&cfg, seed);
+            for a in 0..k as u16 {
+                for b in 0..k as u16 {
+                    let got = t.min_inter_locality_latency_ms(Locality(a), Locality(b));
+                    if a == b {
+                        prop_assert_eq!(got, u64::MAX);
+                    } else {
+                        let mut brute = u64::MAX;
+                        for u in t.node_ids() {
+                            for v in t.node_ids() {
+                                if t.locality(u) == Locality(a) && t.locality(v) == Locality(b) {
+                                    brute = brute.min(t.latency_ms(u, v));
+                                }
+                            }
+                        }
+                        prop_assert_eq!(got, brute, "pair ({}, {})", a, b);
                     }
                 }
             }

@@ -309,3 +309,94 @@ fn dead_peers_age_out_of_the_directory_index() {
         );
     }
 }
+
+/// The §5.3 sibling→primary control plane must survive a §5.2 primary
+/// replacement: once the deployed instance-0 node is dead, sibling
+/// load reports must stop being addressed to the corpse — the hint
+/// resets on the first bounced report and re-points to whichever node
+/// announces the next resize.
+#[test]
+fn sibling_load_reports_stop_chasing_a_dead_primary() {
+    let mut c = cfg(42);
+    c.flower.instance_bits = 2;
+    c.flower.petal_split_threshold = 4;
+    c.flower.petal_merge_floor = 2;
+    c.workload.website_zipf_alpha = 1.5;
+    let mut sys = FlowerSystem::build(&c);
+
+    // Advance until some petal split (same deterministic probe as the
+    // retirement test), keeping the instance-1 sibling in hand.
+    let mut picked = None;
+    'probe: for step_s in [30u64, 45, 60, 75, 90, 105, 120] {
+        sys.run_until(SimTime::from_secs(step_s));
+        let nodes: Vec<NodeId> = sys.engine().topology().node_ids().collect();
+        for n in &nodes {
+            let Some(role) = sys.engine().node(*n).dir_role() else {
+                continue;
+            };
+            if role.petal.instance != 0 || role.petal.live <= 1 {
+                continue;
+            }
+            let (ws, loc) = (role.dir.website(), role.dir.locality());
+            let sibling = nodes.iter().copied().find(|m| {
+                sys.engine().node(*m).dir_role().is_some_and(|r| {
+                    r.dir.website() == ws && r.dir.locality() == loc && r.petal.instance == 1
+                })
+            });
+            if let Some(sib) = sibling {
+                picked = Some((*n, sib, ws, loc, step_s));
+                break 'probe;
+            }
+        }
+    }
+    let (primary, sibling, ws, loc, at_s) = picked.expect("no petal split within 2 minutes");
+
+    // The split's `PetalActivate` came from the deployed primary, so
+    // right after the split the sibling's hint names it.
+    {
+        let role = sys.engine().node(sibling).dir_role().expect("sibling role");
+        assert_eq!(
+            role.petal.primary,
+            Some(primary),
+            "post-split hint must name the resize sender"
+        );
+    }
+
+    // Kill the deployed primary and run to the horizon.
+    sys.apply_churn(&ChurnScript::kill_at(&[(
+        SimTime::from_secs(at_s + 1),
+        primary,
+    )]));
+    sys.run_until(SimTime::from_ms(c.workload.duration_ms) + SimDuration::from_secs(30));
+
+    // The surviving sibling no longer addresses the corpse: its next
+    // load report bounced and reset the hint (falling back to the
+    // deployed node until some §5.2 replacement's resize re-points
+    // it), or a replacement already re-pointed it to itself.
+    let role = sys
+        .engine()
+        .node(sibling)
+        .dir_role()
+        .expect("surviving sibling keeps its role");
+    assert_ne!(
+        role.petal.primary,
+        Some(primary),
+        "sibling must not keep reporting load to the dead primary"
+    );
+    if let Some(hinted) = role.petal.primary {
+        assert!(
+            sys.engine().is_up(hinted)
+                && sys.engine().node(hinted).dir_role().is_some_and(|r| {
+                    r.dir.website() == ws && r.dir.locality() == loc && r.petal.instance == 0
+                }),
+            "a re-pointed hint must name a live petal primary"
+        );
+    }
+    let r = sys.report();
+    assert!(
+        r.resolved as f64 >= r.submitted as f64 * 0.95,
+        "queries must keep resolving across the primary replacement ({}/{})",
+        r.resolved,
+        r.submitted
+    );
+}

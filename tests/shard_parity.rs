@@ -196,3 +196,41 @@ fn fixed_seed_yields_pinned_hit_ratio_stats() {
         assert!((sharded.hit_ratio - r.hit_ratio).abs() < 1e-15);
     }
 }
+
+/// The adaptive lookahead matrix is an execution detail like the
+/// shard count and the queue backend: at --shards 1/2/4 it must
+/// produce the bit-identical fingerprint of the global-floor
+/// schedule, while synchronizing no more often (barrier epochs).
+#[test]
+fn lookahead_matrix_matches_global_floor_bit_for_bit() {
+    use flower_cdn::simnet::LookaheadKind;
+    let run = |shards: usize, kind: LookaheadKind| {
+        let mut cfg = SystemConfig::small_test();
+        cfg.seed = 42;
+        cfg.shards = shards;
+        cfg.topology.lookahead = kind;
+        FlowerSystem::run(&cfg)
+    };
+    for shards in [1usize, 2, 4] {
+        let (m_sys, m_report) = run(shards, LookaheadKind::Matrix);
+        let (g_sys, g_report) = run(shards, LookaheadKind::GlobalFloor);
+        assert_eq!(m_sys.engine().lookahead_kind(), LookaheadKind::Matrix);
+        assert_eq!(g_sys.engine().lookahead_kind(), LookaheadKind::GlobalFloor);
+        assert_eq!(
+            fingerprint(&m_sys, &m_report),
+            fingerprint(&g_sys, &g_report),
+            "shards={shards}: lookahead modes diverged"
+        );
+        let (m_epochs, g_epochs) = (m_sys.engine().epochs(), g_sys.engine().epochs());
+        if shards == 1 {
+            assert_eq!((m_epochs, g_epochs), (0, 0), "no barrier on one shard");
+        } else {
+            assert!(g_epochs > 0, "sharded runs count barrier rounds");
+            assert!(
+                m_epochs < g_epochs,
+                "shards={shards}: the matrix must synchronize less often \
+                 ({m_epochs} vs {g_epochs} rounds)"
+            );
+        }
+    }
+}
