@@ -909,6 +909,11 @@ pub struct ScaleParams {
     /// matrix's reduction is measurable end to end (and asserted
     /// strictly).
     pub wan: bool,
+    /// Pin shard worker threads to cores under the latency-aware
+    /// placement (the `--pin` flag). A wall-clock knob: results are
+    /// bit-identical with pinning on or off, and hosts with fewer
+    /// cores than shards (or denied affinity) degrade gracefully.
+    pub pin: bool,
 }
 
 impl Default for ScaleParams {
@@ -922,6 +927,7 @@ impl Default for ScaleParams {
             horizon: SimDuration::from_secs(60),
             seed: 42,
             wan: false,
+            pin: false,
         }
     }
 }
@@ -967,6 +973,7 @@ fn scale_config(
             inter_locality_floor_ms: 60,
             event_queue: queue,
             lookahead,
+            pin: false,
         },
         catalog: CatalogConfig {
             num_websites: 8,
@@ -1090,7 +1097,7 @@ pub fn scale(params: &ScaleParams) -> ExpOutput {
                     // are compared below.
                     let mut epochs_by_mode: Vec<(LookaheadKind, u64)> = Vec::new();
                     for &lookahead in &params.lookaheads {
-                        let cfg = scale_config(
+                        let mut cfg = scale_config(
                             nodes,
                             shards,
                             queue,
@@ -1099,6 +1106,7 @@ pub fn scale(params: &ScaleParams) -> ExpOutput {
                             params.horizon,
                             params.seed,
                         );
+                        cfg.topology.pin = params.pin;
                         let mut name = if bits == 0 {
                             format!("scale/{nodes}n")
                         } else {
@@ -1213,7 +1221,7 @@ pub fn scale(params: &ScaleParams) -> ExpOutput {
                 let mut wan_base: Option<CellStats> = None;
                 let mut wan_epochs: Vec<(LookaheadKind, u64)> = Vec::new();
                 for lookahead in [LookaheadKind::Matrix, LookaheadKind::GlobalFloor] {
-                    let cfg = scale_wan_config(
+                    let mut cfg = scale_wan_config(
                         nodes,
                         shards,
                         queue,
@@ -1221,6 +1229,7 @@ pub fn scale(params: &ScaleParams) -> ExpOutput {
                         params.horizon,
                         params.seed,
                     );
+                    cfg.topology.pin = params.pin;
                     let mut name = format!("scale/{nodes}n/wan");
                     if lookahead == LookaheadKind::GlobalFloor {
                         name.push_str("/glf");
@@ -1336,6 +1345,7 @@ mod tests {
             horizon: SimDuration::from_secs(20),
             seed: 9,
             wan: true,
+            pin: false,
         });
         assert!(out.all_passed(), "{}", out.render_checks());
         assert_eq!(
@@ -1379,6 +1389,7 @@ mod tests {
             horizon: SimDuration::from_secs(30),
             seed: 42,
             wan: false,
+            pin: false,
         });
         assert!(out.all_passed(), "{}", out.render_checks());
         assert_eq!(out.bench.len(), 9, "3 bits × 3 shard counts");

@@ -6,12 +6,20 @@
 //! The parser is hand-rolled for exactly the document shape
 //! [`crate::report::bench_json`] emits (the build environment has no
 //! serde): a flat object with `schema`/`host` strings and a `records`
-//! array of flat objects with string and number fields. The `v1`
-//! schema (no `queue` field; records default to the heap backend that
-//! was the only implementation then), `v2` (no `dir_load_max_mean`
-//! column; defaults to 0), `v3` (no `epochs` barrier-round column;
-//! defaults to 0) and the current `v4` are all accepted, so the gate
-//! keeps working across schema bumps.
+//! array of flat objects with string and number fields. Every schema
+//! from `v1` through the current `v5` is accepted, so the gate keeps
+//! working across schema bumps: `v1` (no `queue` field; records
+//! default to the heap backend that was the only implementation
+//! then), `v2` (no `dir_load_max_mean` column; defaults to 0), `v3`
+//! (no `epochs` barrier-round column; defaults to 0), `v4` (no
+//! `cores`/`fused_rounds`/barrier-idle columns; `cores` falls back to
+//! the count parsed from the `host` string, the rest default to 0).
+//!
+//! Records are matched **within one core count only**: throughput on
+//! a 1-core container says nothing about an 8-core runner, so a
+//! baseline measured on a different core count yields an explicit
+//! *skip* ([`GateReport::core_skip`]) rather than a hollow pass or a
+//! bogus fail.
 
 use std::fmt::Write as _;
 
@@ -22,7 +30,7 @@ use crate::report::{BenchRecord, BENCH_SCHEMA};
 /// A parsed `BENCH_engine.json`.
 #[derive(Clone, Debug)]
 pub struct BenchDoc {
-    /// Schema tag (`flower-cdn/bench-engine/v1` through `v4`).
+    /// Schema tag (`flower-cdn/bench-engine/v1` through `v5`).
     pub schema: String,
     /// Free-form host description (core count, arch, queue backend).
     pub host: String,
@@ -31,10 +39,32 @@ pub struct BenchDoc {
 }
 
 /// Identity of a measured point: two records are comparable when the
-/// experiment cell, population, shard count, queue backend and
-/// simulated horizon all agree.
-fn match_key(r: &BenchRecord) -> (String, usize, usize, EventQueueKind, u64) {
+/// experiment cell, population, shard count, queue backend, simulated
+/// horizon *and host core count* all agree.
+fn match_key(r: &BenchRecord) -> (String, usize, usize, EventQueueKind, u64, usize) {
+    (
+        r.experiment.clone(),
+        r.nodes,
+        r.shards,
+        r.queue,
+        r.sim_ms,
+        r.cores,
+    )
+}
+
+/// As [`match_key`] without the core count — used to tell a *new*
+/// cell (nothing like it in the baseline) from a *skipped* one (same
+/// cell, measured on a host with a different core count).
+fn cell_key(r: &BenchRecord) -> (String, usize, usize, EventQueueKind, u64) {
     (r.experiment.clone(), r.nodes, r.shards, r.queue, r.sim_ms)
+}
+
+/// The core count a host string like `"8 cpus, x86_64, …"` advertises
+/// (every emitter since `v1` has used that shape); `None` when the
+/// string does not lead with an integer.
+fn host_cores(host: &str) -> Option<usize> {
+    let digits: String = host.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
 }
 
 // ---------------------------------------------------------------- //
@@ -180,6 +210,12 @@ fn record_from_fields(fields: Vec<(String, Value)>, idx: usize) -> Result<BenchR
         dir_load_max_mean: 0.0,
         // v1–v3 documents predate the epochs column.
         epochs: 0,
+        // v1–v4 documents predate the multi-core columns; `cores` is
+        // backfilled from the host string by [`parse_bench`].
+        cores: 0,
+        fused_rounds: 0,
+        barrier_idle_mean_s: 0.0,
+        barrier_idle_max_s: 0.0,
     };
     let mut seen_experiment = false;
     for (key, value) in fields {
@@ -199,9 +235,26 @@ fn record_from_fields(fields: Vec<(String, Value)>, idx: usize) -> Result<BenchR
             ("sim_ms", Value::Num(n)) => r.sim_ms = n as u64,
             ("dir_load_max_mean", Value::Num(n)) => r.dir_load_max_mean = n,
             ("epochs", Value::Num(n)) => r.epochs = n as u64,
+            ("cores", Value::Num(n)) => r.cores = n as usize,
+            ("fused_rounds", Value::Num(n)) => r.fused_rounds = n as u64,
+            ("barrier_idle_mean_s", Value::Num(n)) => r.barrier_idle_mean_s = n,
+            ("barrier_idle_max_s", Value::Num(n)) => r.barrier_idle_max_s = n,
             (
-                "experiment" | "queue" | "nodes" | "shards" | "wall_s" | "events"
-                | "events_per_sec" | "peak_queue_depth" | "sim_ms" | "dir_load_max_mean" | "epochs",
+                "experiment"
+                | "queue"
+                | "nodes"
+                | "shards"
+                | "wall_s"
+                | "events"
+                | "events_per_sec"
+                | "peak_queue_depth"
+                | "sim_ms"
+                | "dir_load_max_mean"
+                | "epochs"
+                | "cores"
+                | "fused_rounds"
+                | "barrier_idle_mean_s"
+                | "barrier_idle_max_s",
                 _,
             ) => return Err(bad()),
             _ => {} // unknown fields: forward compatibility
@@ -253,7 +306,20 @@ pub fn parse_bench(json: &str) -> Result<BenchDoc, String> {
         "flower-cdn/bench-engine/v1"
         | "flower-cdn/bench-engine/v2"
         | "flower-cdn/bench-engine/v3"
-        | BENCH_SCHEMA => Ok(doc),
+        | "flower-cdn/bench-engine/v4"
+        | BENCH_SCHEMA => {
+            // Pre-v5 records carry no `cores` column; the host string
+            // has advertised the core count since v1, so backfill the
+            // gate's comparison key from it.
+            if let Some(cores) = host_cores(&doc.host) {
+                for r in &mut doc.records {
+                    if r.cores == 0 {
+                        r.cores = cores;
+                    }
+                }
+            }
+            Ok(doc)
+        }
         other => Err(format!("unsupported schema {other:?}")),
     }
 }
@@ -283,6 +349,11 @@ pub struct GateReport {
     /// Fresh points with no baseline counterpart (reported, not
     /// failed: new sweep cells should not need a two-step landing).
     pub unmatched: Vec<BenchRecord>,
+    /// Fresh points whose baseline counterpart was measured on a host
+    /// with a *different core count* (same cell otherwise). These are
+    /// skipped, not compared: cross-core-count throughput deltas are
+    /// meaningless.
+    pub skipped_cores: Vec<BenchRecord>,
     /// Host strings of (baseline, fresh) — a mismatch makes absolute
     /// comparisons soft, which the summary calls out.
     pub hosts: (String, String),
@@ -296,6 +367,13 @@ impl GateReport {
         !self.rows.iter().any(|r| r.failed)
     }
 
+    /// True when the check decided nothing at all because every cell
+    /// the baseline covers was measured on a different core count —
+    /// the caller should report a SKIP, not a pass.
+    pub fn core_skip(&self) -> bool {
+        self.rows.is_empty() && !self.skipped_cores.is_empty()
+    }
+
     /// Render the per-commit throughput summary as GitHub-flavoured
     /// markdown (for `$GITHUB_STEP_SUMMARY`).
     pub fn to_markdown(&self) -> String {
@@ -303,7 +381,13 @@ impl GateReport {
         let _ = writeln!(
             out,
             "### Engine throughput vs committed baseline ({})\n",
-            if self.passed() { "PASS" } else { "FAIL" }
+            if !self.passed() {
+                "FAIL"
+            } else if self.core_skip() {
+                "SKIP — core counts differ"
+            } else {
+                "PASS"
+            }
         );
         let _ = writeln!(
             out,
@@ -345,6 +429,19 @@ impl GateReport {
                 epochs_cell(r)
             );
         }
+        for r in &self.skipped_cores {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | — | {:.0} | — | {} | skip ({} cores ≠ baseline) |",
+                r.experiment,
+                r.nodes,
+                r.shards,
+                r.queue,
+                r.events_per_sec,
+                epochs_cell(r),
+                r.cores
+            );
+        }
         let _ = writeln!(
             out,
             "\nGate: fail if events/s drops more than {:.0}% at any matched point.",
@@ -363,12 +460,16 @@ impl GateReport {
 }
 
 /// Compare `fresh` against `baseline`: every fresh point that exists
-/// in the baseline (same experiment, nodes, shards, queue, sim_ms)
-/// must not lose more than `max_drop` of its events/second.
+/// in the baseline (same experiment, nodes, shards, queue, sim_ms
+/// *and cores*) must not lose more than `max_drop` of its
+/// events/second. A fresh point whose baseline twin differs only in
+/// core count lands in [`GateReport::skipped_cores`] — the caller
+/// should surface a skip, never call it a pass or a regression.
 pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc, max_drop: f64) -> GateReport {
     let mut report = GateReport {
         rows: Vec::new(),
         unmatched: Vec::new(),
+        skipped_cores: Vec::new(),
         hosts: (baseline.host.clone(), fresh.host.clone()),
         max_drop,
     };
@@ -386,6 +487,9 @@ pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc, max_drop: f64) -> GateRepo
                     delta,
                     failed: delta < -max_drop,
                 });
+            }
+            None if baseline.records.iter().any(|b| cell_key(b) == cell_key(f)) => {
+                report.skipped_cores.push(f.clone());
             }
             None => report.unmatched.push(f.clone()),
         }
@@ -411,6 +515,10 @@ mod tests {
             sim_ms: 30_000,
             dir_load_max_mean: 1.5,
             epochs: if shards > 1 { 400 } else { 0 },
+            cores: 4,
+            fused_rounds: if shards > 1 { 25 } else { 0 },
+            barrier_idle_mean_s: if shards > 1 { 0.125 } else { 0.0 },
+            barrier_idle_max_s: if shards > 1 { 0.25 } else { 0.0 },
         }
     }
 
@@ -457,6 +565,24 @@ mod tests {
     }
 
     #[test]
+    fn parses_v4_documents_backfilling_cores_from_the_host() {
+        let v4 = r#"{
+  "schema": "flower-cdn/bench-engine/v4",
+  "host": "2 cpus, x86_64, queue=calendar",
+  "records": [
+    {"experiment": "scale/20000n", "nodes": 20000, "shards": 2, "queue": "calendar", "wall_s": 0.5, "events": 450935, "events_per_sec": 900000.0, "peak_queue_depth": 21206, "sim_ms": 60000, "dir_load_max_mean": 1.5, "epochs": 512}
+  ]
+}"#;
+        let doc = parse_bench(v4).unwrap();
+        assert_eq!(doc.records.len(), 1);
+        assert_eq!(doc.records[0].epochs, 512);
+        assert_eq!(doc.records[0].cores, 2, "cores come from the host string");
+        assert_eq!(doc.records[0].fused_rounds, 0, "v4 = no fused column");
+        assert_eq!(doc.records[0].barrier_idle_mean_s, 0.0);
+        assert_eq!(doc.records[0].barrier_idle_max_s, 0.0);
+    }
+
+    #[test]
     fn parses_v1_documents_without_queue_field() {
         let v1 = r#"{
   "schema": "flower-cdn/bench-engine/v1",
@@ -470,6 +596,7 @@ mod tests {
         assert_eq!(doc.records[0].queue, EventQueueKind::Heap, "v1 = heap era");
         assert_eq!(doc.records[0].events, 512_338);
         assert_eq!(doc.records[0].events_per_sec, 480_300.0);
+        assert_eq!(doc.records[0].cores, 1, "backfilled from the host string");
     }
 
     #[test]
@@ -552,5 +679,48 @@ mod tests {
         let report = compare(&baseline, &fresh, 0.20);
         assert!(report.passed());
         assert!(report.rows[0].delta > 7.0);
+    }
+
+    #[test]
+    fn core_count_mismatch_is_a_skip_not_a_pass_or_fail() {
+        // Baseline measured on 4 cores (the record() default); the
+        // fresh run lands on 8 — same cell otherwise, and even a huge
+        // apparent drop must not fail (or silently pass) the gate.
+        let baseline = doc(
+            "4 cpus, x86_64",
+            vec![record(20_000, 2, EventQueueKind::Calendar, 1e6)],
+        );
+        let mut slow = record(20_000, 2, EventQueueKind::Calendar, 1e4);
+        slow.cores = 8;
+        let fresh = doc("8 cpus, x86_64", vec![slow]);
+        let report = compare(&baseline, &fresh, 0.20);
+        assert!(report.rows.is_empty());
+        assert!(report.unmatched.is_empty(), "not a new cell");
+        assert_eq!(report.skipped_cores.len(), 1);
+        assert!(report.core_skip());
+        assert!(report.passed(), "no matched point can have failed");
+        let md = report.to_markdown();
+        assert!(md.contains("SKIP"), "{md}");
+        assert!(md.contains("8 cores"), "{md}");
+    }
+
+    #[test]
+    fn mixed_core_counts_compare_the_matching_cells_only() {
+        // A baseline holding both a 4-core and an 8-core measurement
+        // of the same cell: the fresh 8-core point compares against
+        // the 8-core twin only.
+        let mut base8 = record(20_000, 2, EventQueueKind::Calendar, 2e6);
+        base8.cores = 8;
+        let baseline = doc(
+            "mixed",
+            vec![record(20_000, 2, EventQueueKind::Calendar, 1e6), base8],
+        );
+        let mut fresh8 = record(20_000, 2, EventQueueKind::Calendar, 1.9e6);
+        fresh8.cores = 8;
+        let report = compare(&baseline, &doc("8 cpus", vec![fresh8]), 0.20);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].base_eps, 2e6, "matched the 8-core twin");
+        assert!(!report.core_skip());
+        assert!(report.passed());
     }
 }

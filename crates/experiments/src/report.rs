@@ -133,6 +133,23 @@ pub struct BenchRecord {
     /// column). The adaptive lookahead matrix exists to shrink this:
     /// compare a cell against its `/glf` (global-floor) twin.
     pub epochs: u64,
+    /// Logical cores of the host the record was measured on (0 for
+    /// records predating the column). Throughput numbers are only
+    /// comparable within one core count, so the regression gate keys
+    /// its record matching on this field.
+    pub cores: usize,
+    /// Of the `epochs`, how many were fused solo rounds (a lone
+    /// working shard running ahead while the rest skip the round); 0
+    /// for single-shard runs and records predating the column.
+    pub fused_rounds: u64,
+    /// Mean over shards of the wall-clock seconds each shard thread
+    /// spent waiting at the epoch barrier — the synchronization +
+    /// load-imbalance overhead of the parallel run (0.0 on
+    /// single-shard runs and for records predating the column).
+    pub barrier_idle_mean_s: f64,
+    /// Maximum over shards of the barrier-wait seconds (the
+    /// worst-placed shard; 0.0 where `barrier_idle_mean_s` is 0.0).
+    pub barrier_idle_max_s: f64,
 }
 
 /// Schema tag of the `BENCH_engine.json` document. `v2` added the
@@ -140,8 +157,11 @@ pub struct BenchRecord {
 /// core count and default queue backend into `host`; `v3` added the
 /// per-record `dir_load_max_mean` directory-load column (§5.3
 /// PetalUp); `v4` added the per-record `epochs` barrier-round count
-/// (adaptive lookahead matrix).
-pub const BENCH_SCHEMA: &str = "flower-cdn/bench-engine/v4";
+/// (adaptive lookahead matrix); `v5` added the per-record `cores`
+/// host-core count (the gate's comparison key), the `fused_rounds`
+/// count and the `barrier_idle_mean_s`/`barrier_idle_max_s`
+/// per-shard barrier-wait breakdown (multi-core execution).
+pub const BENCH_SCHEMA: &str = "flower-cdn/bench-engine/v5";
 
 /// Render benchmark records as the `BENCH_engine.json` document
 /// (hand-rolled: the build environment has no serde).
@@ -160,7 +180,8 @@ pub fn bench_json(host: &str, records: &[BenchRecord]) -> String {
              \"queue\": \"{}\", \
              \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \
              \"peak_queue_depth\": {}, \"sim_ms\": {}, \"dir_load_max_mean\": {:.4}, \
-             \"epochs\": {}}}{}",
+             \"epochs\": {}, \"cores\": {}, \"fused_rounds\": {}, \
+             \"barrier_idle_mean_s\": {:.3}, \"barrier_idle_max_s\": {:.3}}}{}",
             esc(&r.experiment),
             r.nodes,
             r.shards,
@@ -172,6 +193,10 @@ pub fn bench_json(host: &str, records: &[BenchRecord]) -> String {
             r.sim_ms,
             r.dir_load_max_mean,
             r.epochs,
+            r.cores,
+            r.fused_rounds,
+            r.barrier_idle_mean_s,
+            r.barrier_idle_max_s,
             comma
         );
     }
@@ -248,6 +273,10 @@ mod tests {
                 sim_ms: 60_000,
                 dir_load_max_mean: 1.92,
                 epochs: 512,
+                cores: 8,
+                fused_rounds: 17,
+                barrier_idle_mean_s: 0.25,
+                barrier_idle_max_s: 0.5,
             },
             BenchRecord {
                 experiment: "fig\"5".into(),
@@ -261,11 +290,19 @@ mod tests {
                 sim_ms: 1000,
                 dir_load_max_mean: 0.0,
                 epochs: 0,
+                cores: 1,
+                fused_rounds: 0,
+                barrier_idle_mean_s: 0.0,
+                barrier_idle_max_s: 0.0,
             },
         ];
         let json = bench_json("test-host", &records);
-        assert!(json.contains("\"schema\": \"flower-cdn/bench-engine/v4\""));
+        assert!(json.contains("\"schema\": \"flower-cdn/bench-engine/v5\""));
         assert!(json.contains("\"epochs\": 512"));
+        assert!(json.contains("\"cores\": 8"));
+        assert!(json.contains("\"fused_rounds\": 17"));
+        assert!(json.contains("\"barrier_idle_mean_s\": 0.250"));
+        assert!(json.contains("\"barrier_idle_max_s\": 0.500"));
         assert!(json.contains("\"dir_load_max_mean\": 1.9200"));
         assert!(json.contains("\"nodes\": 20000"));
         assert!(json.contains("\"queue\": \"calendar\""));

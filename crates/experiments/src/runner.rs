@@ -37,6 +37,10 @@ pub struct RunOpts {
     /// instances per (website, locality) petal. 0 is the paper's base
     /// design.
     pub instance_bits: u32,
+    /// Pin shard worker threads to cores under the engine's
+    /// latency-aware placement (`--pin`); wall-clock only, results
+    /// are bit-identical either way.
+    pub pin: bool,
 }
 
 impl RunOpts {
@@ -51,6 +55,7 @@ impl RunOpts {
             queue: EventQueueKind::default(),
             lookahead: LookaheadKind::default(),
             instance_bits: 0,
+            pin: false,
         }
     }
 
@@ -132,6 +137,7 @@ pub fn flower_config(opts: RunOpts) -> SystemConfig {
     cfg.shards = opts.shards.max(1);
     cfg.topology.event_queue = opts.queue;
     cfg.topology.lookahead = opts.lookahead;
+    cfg.topology.pin = opts.pin;
     cfg
 }
 
@@ -159,6 +165,7 @@ pub fn squirrel_config(opts: RunOpts) -> SquirrelConfig {
     cfg.shards = opts.shards.max(1);
     cfg.topology.event_queue = opts.queue;
     cfg.topology.lookahead = opts.lookahead;
+    cfg.topology.pin = opts.pin;
     cfg
 }
 
@@ -183,6 +190,13 @@ pub fn run_flower_timed(
     let report = sys.report();
     let engine = sys.engine();
     let events = engine.events_processed();
+    let idle = engine.barrier_idle_secs();
+    let idle_mean = if idle.is_empty() {
+        0.0
+    } else {
+        idle.iter().sum::<f64>() / idle.len() as f64
+    };
+    let idle_max = idle.iter().copied().fold(0.0f64, f64::max);
     let record = BenchRecord {
         experiment: experiment.to_string(),
         nodes: cfg.topology.nodes,
@@ -195,6 +209,10 @@ pub fn run_flower_timed(
         sim_ms: horizon.as_ms(),
         dir_load_max_mean: report.dir_load_max_mean,
         epochs: engine.epochs(),
+        cores: simnet::available_cores(),
+        fused_rounds: engine.fused_rounds(),
+        barrier_idle_mean_s: idle_mean,
+        barrier_idle_max_s: idle_max,
     };
     (sys, report, record)
 }

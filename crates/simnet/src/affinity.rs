@@ -1,0 +1,271 @@
+//! CPU affinity and latency-aware shard→core placement.
+//!
+//! The sharded engine's barrier round is short (one lookahead window,
+//! 60 ms of simulated time), so where the OS scheduler parks the
+//! shard threads matters: two shards that exchange mail every round
+//! want adjacent cores (shared cache, cheap cacheline handoff for the
+//! mailbox slots), and a thread that migrates cores mid-run drags its
+//! event queue's working set across caches. This module provides the
+//! two halves of the `--pin` flag:
+//!
+//! * [`place_shards`] turns the topology's pairwise lookahead matrix
+//!   ([`Topology::shard_lookahead_ms`](crate::topology::Topology::shard_lookahead_ms))
+//!   into a shard→core map — the *smallest* pair lookahead marks the
+//!   *chattiest* pair (they synchronize most often), so the map walks
+//!   a greedy nearest-neighbour path through the matrix and lays it
+//!   out on consecutive core ids;
+//! * [`pin_current_thread`] applies one entry of that map via the raw
+//!   `sched_setaffinity` syscall (the workspace deliberately has no
+//!   libc dependency), degrading gracefully — an `Err` on foreign
+//!   platforms or denied affinity, never a panic, and results are
+//!   bit-identical either way because placement only moves threads,
+//!   never events.
+
+/// Number of logical cores the process may run on (1 if unknown).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |c| c.get())
+}
+
+/// Pin the calling thread to logical CPU `core`.
+///
+/// Implemented as a raw `sched_setaffinity(0, …)` syscall on Linux
+/// (x86-64 and aarch64); on any other target it returns an error
+/// without side effects. Callers treat failure as advisory: the
+/// engine logs nothing, keeps the thread unpinned and produces
+/// bit-identical results, because pinning is a scheduling hint with
+/// no semantic content.
+pub fn pin_current_thread(core: usize) -> Result<(), PinError> {
+    let mut mask = [0u64; 16]; // up to 1024 CPUs
+    if core >= mask.len() * 64 {
+        return Err(PinError::NoSuchCore(core));
+    }
+    mask[core / 64] = 1u64 << (core % 64);
+    match sched_setaffinity_raw(&mask) {
+        0 => Ok(()),
+        errno => Err(PinError::Syscall(errno)),
+    }
+}
+
+/// Why a [`pin_current_thread`] call could not take effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinError {
+    /// The requested core index exceeds the supported mask width.
+    NoSuchCore(usize),
+    /// The kernel rejected the call (negated errno: e.g. `-22`
+    /// EINVAL for a core the process may not use, `-1` EPERM), or
+    /// the platform has no affinity syscall at all (`0` is never
+    /// reported here).
+    Syscall(i64),
+    /// Compiled for a target without `sched_setaffinity`.
+    Unsupported,
+}
+
+impl std::fmt::Display for PinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PinError::NoSuchCore(c) => write!(f, "core {c} beyond the affinity mask"),
+            PinError::Syscall(e) => write!(f, "sched_setaffinity failed (errno {})", -e),
+            PinError::Unsupported => write!(f, "thread pinning unsupported on this target"),
+        }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn sched_setaffinity_raw(mask: &[u64]) -> i64 {
+    const SYS_SCHED_SETAFFINITY: i64 = 203;
+    let ret: i64;
+    // SAFETY: sched_setaffinity reads `len` bytes from `mask` and has
+    // no other memory effects; pid 0 targets the calling thread.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_SCHED_SETAFFINITY => ret,
+            in("rdi") 0usize,
+            in("rsi") std::mem::size_of_val(mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack, readonly)
+        );
+    }
+    ret
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+fn sched_setaffinity_raw(mask: &[u64]) -> i64 {
+    const SYS_SCHED_SETAFFINITY: i64 = 122;
+    let ret: i64;
+    // SAFETY: as above; aarch64 passes the syscall number in x8 and
+    // returns in x0.
+    unsafe {
+        std::arch::asm!(
+            "svc 0",
+            in("x8") SYS_SCHED_SETAFFINITY,
+            inlateout("x0") 0usize => ret,
+            in("x1") std::mem::size_of_val(mask),
+            in("x2") mask.as_ptr(),
+            options(nostack, readonly)
+        );
+    }
+    ret
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn sched_setaffinity_raw(_mask: &[u64]) -> i64 {
+    // Report ENOSYS; pin_current_thread surfaces it as Syscall(-38),
+    // which callers already treat as "leave the thread unpinned".
+    -38
+}
+
+/// Lay `k` shards out on `cores` logical CPUs so that the chattiest
+/// shard pairs land on *adjacent* core ids.
+///
+/// `pair_ms` is the row-major `k × k` pairwise lookahead matrix (the
+/// diagonal is ignored): a **small** entry means the two shards are
+/// close in the simulated network, exchange mail in short epochs and
+/// synchronize often — so the heuristic treats the matrix as a cost
+/// function and builds a greedy nearest-neighbour path: start at the
+/// globally cheapest pair, then repeatedly extend whichever end of
+/// the path has the cheapest unplaced neighbour. Position `i` along
+/// the path is assigned core `i % cores`, which both honours
+/// adjacency when cores suffice and degrades to round-robin sharing
+/// when `cores < k` (the 1-CPU container maps everything to core 0).
+///
+/// Entirely deterministic: ties break towards the smaller shard
+/// index, so the map is a pure function of the topology — results
+/// never depend on it anyway, but a stable map keeps wall-clock runs
+/// comparable.
+pub fn place_shards(pair_ms: &[u64], k: usize, cores: usize) -> Vec<usize> {
+    let cores = cores.max(1);
+    assert!(pair_ms.len() >= k * k, "pair matrix must be k×k");
+    if k <= 1 {
+        return vec![0; k];
+    }
+    let at = |a: usize, b: usize| pair_ms[a * k + b];
+    // Seed with the globally cheapest (chattiest) pair.
+    let (mut best, mut seed) = (u64::MAX, (0usize, 1usize));
+    for a in 0..k {
+        for b in (a + 1)..k {
+            let c = at(a, b).min(at(b, a));
+            if c < best {
+                best = c;
+                seed = (a, b);
+            }
+        }
+    }
+    let mut path = std::collections::VecDeque::with_capacity(k);
+    path.push_back(seed.0);
+    path.push_back(seed.1);
+    let mut placed = vec![false; k];
+    placed[seed.0] = true;
+    placed[seed.1] = true;
+    while path.len() < k {
+        let ends = [
+            *path.front().expect("non-empty"),
+            *path.back().expect("non-empty"),
+        ];
+        // The cheapest unplaced extension at either end; ties prefer
+        // the tail (index 1) and the smaller shard id.
+        let mut pick: Option<(u64, usize, usize)> = None; // (cost, end, shard)
+        for (e, &end) in ends.iter().enumerate() {
+            for (s, _) in placed.iter().enumerate().filter(|(_, &p)| !p) {
+                let c = at(end, s).min(at(s, end));
+                let cand = (c, 1 - e, s); // prefer tail on cost ties
+                if pick.is_none_or(|p| cand < p) {
+                    pick = Some(cand);
+                }
+            }
+        }
+        let (_, flipped_end, s) = pick.expect("an unplaced shard exists");
+        placed[s] = true;
+        if flipped_end == 1 {
+            path.push_front(s);
+        } else {
+            path.push_back(s);
+        }
+    }
+    let mut map = vec![0usize; k];
+    for (pos, shard) in path.iter().enumerate() {
+        map[*shard] = pos % cores;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-shard matrix where (1,2) is the chattiest pair, 0 hangs
+    /// off 1, and 3 is far from everyone.
+    fn matrix() -> Vec<u64> {
+        let inf = u64::MAX;
+        vec![
+            inf, 70, 200, 300, //
+            70, inf, 60, 300, //
+            200, 60, inf, 250, //
+            300, 300, 250, inf,
+        ]
+    }
+
+    #[test]
+    fn chattiest_pairs_land_adjacent() {
+        let map = place_shards(&matrix(), 4, 8);
+        // The greedy path is 0–1–2–3, so core distance mirrors
+        // lookahead closeness.
+        let d = |a: usize, b: usize| map[a].abs_diff(map[b]);
+        assert_eq!(d(1, 2), 1, "chattiest pair must be adjacent: {map:?}");
+        assert_eq!(d(0, 1), 1, "second-chattiest pair adjacent: {map:?}");
+        assert!(d(0, 3) >= 2, "distant shards spread out: {map:?}");
+        let mut cores = map.clone();
+        cores.sort_unstable();
+        cores.dedup();
+        assert_eq!(cores.len(), 4, "4 shards on 8 cores use 4 cores");
+    }
+
+    #[test]
+    fn placement_degrades_round_robin_when_cores_are_short() {
+        let map = place_shards(&matrix(), 4, 2);
+        assert!(map.iter().all(|&c| c < 2), "only cores 0..2: {map:?}");
+        assert_eq!(place_shards(&matrix(), 4, 1), vec![0; 4]);
+        // cores = 0 is normalized to 1.
+        assert_eq!(place_shards(&matrix(), 4, 0), vec![0; 4]);
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let a = place_shards(&matrix(), 4, 4);
+        let b = place_shards(&matrix(), 4, 4);
+        assert_eq!(a, b);
+        assert_eq!(place_shards(&[], 0, 4), Vec::<usize>::new());
+        assert_eq!(place_shards(&[u64::MAX], 1, 4), vec![0]);
+        // A uniform matrix still yields a valid 1:1 map.
+        let uni = vec![60u64; 9];
+        let mut m = place_shards(&uni, 3, 3);
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pinning_degrades_gracefully() {
+        assert_eq!(
+            pin_current_thread(100_000),
+            Err(PinError::NoSuchCore(100_000))
+        );
+        // Pinning to the current host's core 0 either succeeds (Linux)
+        // or reports a syscall error — never panics. Immediately pin
+        // back to the full mask so the test thread is not left
+        // restricted.
+        match pin_current_thread(0) {
+            Ok(()) => {
+                let mut all = [u64::MAX; 16];
+                all[0] = u64::MAX;
+                let _ = sched_setaffinity_raw(&all);
+            }
+            Err(PinError::Syscall(e)) => assert!(e < 0, "errno must be negative, got {e}"),
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+}

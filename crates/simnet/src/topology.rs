@@ -172,6 +172,13 @@ pub struct TopologyConfig {
     /// execution knob riding here for the same reason as
     /// `event_queue`; results are bit-identical for both.
     pub lookahead: LookaheadKind,
+    /// Whether the sharded engine pins its worker threads to cores
+    /// under the latency-aware placement ([`crate::affinity`]). A
+    /// wall-clock knob only — placement moves threads, never events,
+    /// so results are bit-identical with pinning on or off, and the
+    /// engine degrades gracefully when the host denies affinity or
+    /// has fewer cores than shards.
+    pub pin: bool,
 }
 
 impl Default for TopologyConfig {
@@ -187,6 +194,7 @@ impl Default for TopologyConfig {
             inter_locality_floor_ms: 0,
             event_queue: crate::event::EventQueueKind::default(),
             lookahead: LookaheadKind::default(),
+            pin: false,
         }
     }
 }
@@ -222,6 +230,7 @@ pub struct Topology {
     populations: Vec<u32>,
     event_queue: crate::event::EventQueueKind,
     lookahead: LookaheadKind,
+    pin: bool,
     /// Exact minimum latency (ms) between the point sets of every
     /// locality pair, row-major `k × k`; `u64::MAX` on the diagonal
     /// and for pairs involving an unpopulated locality (no link
@@ -309,6 +318,7 @@ impl Topology {
             populations: vec![0; k],
             event_queue: cfg.event_queue,
             lookahead: cfg.lookahead,
+            pin: cfg.pin,
             loc_min_lat_ms: Vec::new(),
         };
 
@@ -510,6 +520,12 @@ impl Topology {
     /// (from [`TopologyConfig::lookahead`]).
     pub fn lookahead_kind(&self) -> LookaheadKind {
         self.lookahead
+    }
+
+    /// Whether engines over this topology should pin shard threads to
+    /// cores (from [`TopologyConfig::pin`]).
+    pub fn pin_threads(&self) -> bool {
+        self.pin
     }
 
     /// The exact minimum latency of any link between localities `a`

@@ -94,6 +94,70 @@ fn queue_backend_produces_identical_statistics() {
     }
 }
 
+/// The same guarantee at the target shard width: on an 8-locality
+/// deployment, 2/4/8 shards (and 9, exercising the clamp) all
+/// reproduce the single-shard fingerprint bit for bit.
+#[test]
+fn eight_shard_run_produces_identical_statistics() {
+    fn wide_cfg(shards: usize) -> SystemConfig {
+        let mut cfg = SystemConfig::small_test();
+        cfg.topology.localities = 8;
+        cfg.topology.nodes = 480;
+        cfg.seed = 42;
+        cfg.shards = shards;
+        cfg
+    }
+    let (ref_sys, ref_report) = FlowerSystem::run(&wide_cfg(1));
+    assert_eq!(ref_sys.engine().num_shards(), 1);
+    let reference = fingerprint(&ref_sys, &ref_report);
+    for shards in [2usize, 4, 8, 9] {
+        let (sys, report) = FlowerSystem::run(&wide_cfg(shards));
+        assert_eq!(sys.engine().num_shards(), shards.min(8));
+        assert_eq!(
+            fingerprint(&sys, &report),
+            reference,
+            "shards={shards} diverged from the single-shard run at 8 localities"
+        );
+    }
+}
+
+/// Core placement and thread pinning are wall-clock knobs only: any
+/// shard→core map, with pinning on or off, produces the bit-identical
+/// run. (On hosts with fewer cores than the map names, pinning
+/// degrades gracefully — which this test also exercises.)
+#[test]
+fn placement_and_pinning_never_change_results() {
+    fn run_placed(core_map: Option<Vec<usize>>, pin: bool) -> (FlowerSystem, SystemReport) {
+        let mut cfg = SystemConfig::small_test();
+        cfg.seed = 42;
+        cfg.shards = 3;
+        cfg.topology.pin = pin;
+        let mut sys = FlowerSystem::build(&cfg);
+        if let Some(map) = core_map {
+            sys.engine_mut().set_placement(map, pin);
+        }
+        let horizon = sys.drain_horizon();
+        sys.run_until(horizon);
+        let report = sys.report();
+        (sys, report)
+    }
+    let (ref_sys, ref_report) = run_placed(None, false);
+    let reference = fingerprint(&ref_sys, &ref_report);
+    for (map, pin) in [
+        (Some(vec![0, 0, 0]), false),
+        (Some(vec![2, 1, 0]), false),
+        (Some(vec![0, 1, 2]), true),
+        (None, true),
+    ] {
+        let (sys, report) = run_placed(map.clone(), pin);
+        assert_eq!(
+            fingerprint(&sys, &report),
+            reference,
+            "core_map={map:?} pin={pin} changed simulation results"
+        );
+    }
+}
+
 #[test]
 fn sharded_runs_track_seed_changes_together() {
     // Different seed ⇒ different trace, under every shard count alike.
