@@ -338,6 +338,148 @@ fn bench_shard_exchange(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_dispatch_batched_vs_single(c: &mut Criterion) {
+    use simnet::{Ctx, DeliveryMode, Engine, Event, Node, Topology, TopologyConfig};
+
+    // A hot-spot protocol: every peer pings node 0, node 0 answers —
+    // so consecutive queue heads share a destination and the batched
+    // path can amortise the node lookup and liveness check per batch
+    // instead of per event. `Single` is the retired one-at-a-time
+    // reference the parity suite compares against.
+    #[derive(Clone, Debug)]
+    struct Ping(u8);
+    impl simnet::Message for Ping {
+        fn wire_size(&self) -> u32 {
+            16
+        }
+        fn class(&self) -> simnet::TrafficClass {
+            simnet::TrafficClass::QueryControl
+        }
+    }
+    #[derive(Default)]
+    struct Hot {
+        seen: u64,
+    }
+    impl Node<Ping> for Hot {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Ping>, ev: Event<Ping>) {
+            if let Event::Recv {
+                from,
+                msg: Ping(ttl),
+            } = ev
+            {
+                self.seen += 1;
+                if ttl > 0 {
+                    let dst = if ctx.id() == NodeId(0) {
+                        from
+                    } else {
+                        NodeId(0)
+                    };
+                    ctx.send(dst, Ping(ttl - 1));
+                }
+            }
+        }
+    }
+    let build = |mode: DeliveryMode| {
+        let topo = Topology::generate(
+            &TopologyConfig {
+                nodes: 256,
+                localities: 2,
+                ..Default::default()
+            },
+            7,
+        );
+        let n = topo.num_nodes();
+        let nodes = (0..n).map(|_| Hot::default()).collect();
+        let mut e: Engine<Ping, Hot> = Engine::new(topo, nodes, 7);
+        e.set_delivery_mode(mode);
+        for i in 1..n as u32 {
+            e.schedule_at(
+                SimTime::from_ms(1 + (i as u64 % 40)),
+                NodeId(i),
+                Event::Recv {
+                    from: NodeId(i),
+                    msg: Ping(40),
+                },
+            );
+        }
+        e
+    };
+    let mut g = c.benchmark_group("dispatch_batched_vs_single");
+    for (name, mode) in [
+        ("batched", DeliveryMode::Batched),
+        ("single", DeliveryMode::Single),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || build(mode),
+                |mut e| {
+                    e.run_until(SimTime::from_secs(60));
+                    e.events_processed()
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_stats_streaming_vs_log_replay(c: &mut Criterion) {
+    use simnet::stats::ServedBy;
+    use simnet::{QueryStats, SimDuration};
+
+    // The streaming cumulative-hit accumulator versus the design it
+    // replaced: an unbounded per-resolution log replayed into the
+    // curve at report time. Both record N resolutions and then
+    // produce the cumulative hit series; the streaming side is O(N)
+    // time and O(buckets) memory, the log is O(N) memory and pays a
+    // sort at replay.
+    const N: u64 = 20_000;
+    let window = SimDuration::from_mins(30);
+    let resolution = |i: u64| {
+        let at = SimTime::from_ms((i.wrapping_mul(7919)) % window.as_ms());
+        let served = if i.is_multiple_of(3) {
+            ServedBy::OriginServer
+        } else {
+            ServedBy::LocalOverlay
+        };
+        (at, served)
+    };
+    let mut g = c.benchmark_group("stats_streaming_vs_log_replay");
+    g.bench_function("streaming", |b| {
+        b.iter(|| {
+            let mut q = QueryStats::new(window);
+            for i in 0..N {
+                let (at, served) = resolution(i);
+                q.on_submit();
+                q.on_resolved(at, NodeId(0), 10, 20, served);
+            }
+            black_box(q.cumulative_hit_series())
+        })
+    });
+    g.bench_function("log_replay", |b| {
+        b.iter(|| {
+            let mut log: Vec<(SimTime, bool)> = Vec::new();
+            for i in 0..N {
+                let (at, served) = resolution(i);
+                log.push((at, served != ServedBy::OriginServer));
+            }
+            log.sort_by_key(|(at, _)| *at);
+            let mut hits = 0u64;
+            let mut total = 0u64;
+            let out: Vec<(SimTime, f64)> = log
+                .iter()
+                .map(|(at, hit)| {
+                    hits += u64::from(*hit);
+                    total += 1;
+                    (*at, hits as f64 / total as f64)
+                })
+                .collect();
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     micro,
     bench_bloom,
@@ -346,6 +488,8 @@ criterion_group!(
     bench_dring,
     bench_workload,
     bench_event_queue,
-    bench_shard_exchange
+    bench_shard_exchange,
+    bench_dispatch_batched_vs_single,
+    bench_stats_streaming_vs_log_replay
 );
 criterion_main!(micro);

@@ -143,6 +143,18 @@ pub struct DirectoryState {
     /// Number of entries carrying a gossip summary (§5.2 seeding);
     /// while non-zero, holder lookups must also scan those entries.
     summary_entries: usize,
+    /// Monotone count of [`DirectoryState::tick`] calls, backing the
+    /// `recency` stamps.
+    ticks: i64,
+    /// Members in exactly the order `view_seed` wants them — by
+    /// `(age, id)` ascending — represented as `(age − ticks, id)`:
+    /// every tick raises all ages *and* `ticks` by one, so the stored
+    /// keys never move and only refreshes/insertions/evictions pay an
+    /// `O(log Sco)` update. (The representations order identically
+    /// until an age saturates, i.e. not before 2^32 ticks.) Scanning
+    /// the whole index per admission instead was the top entry of the
+    /// million-node profile.
+    recency: std::collections::BTreeSet<(i64, u32)>,
     /// The directory summary, *maintained* on every index mutation
     /// (one counted occurrence per `(member, object)` listing) instead
     /// of rebuilt by scanning the whole index per §4.2.1 refresh —
@@ -180,6 +192,8 @@ impl DirectoryState {
             popularity: HashMap::new(),
             holders_of: HashMap::new(),
             summary_entries: 0,
+            ticks: 0,
+            recency: std::collections::BTreeSet::new(),
             summary: MaintainedSummary::empty(summary_capacity),
             load: DirLoad::default(),
         }
@@ -289,23 +303,53 @@ impl DirectoryState {
         // 1. directory-index lookup, answered from the inverted index
         // (already in node-id order, so the random draw is a pure
         // function of the RNG, not of hash-map iteration order).
-        let mut holders: Vec<NodeId> = self
-            .holders_of
-            .get(&object)
-            .map(|hs| {
-                hs.iter()
-                    .copied()
-                    .filter(|p| {
-                        *p != exclude && self.index.get(p).is_some_and(|e| e.age < self.t_dead)
-                    })
-                    .collect()
-            })
-            .unwrap_or_default();
-        if self.summary_entries > 0 {
+        if self.summary_entries == 0 {
+            // Steady-state path. Outside `tick()` every indexed entry
+            // has `age < t_dead` (tick evicts at the threshold within
+            // the same call, and validated configs forbid `Tdead` 0),
+            // and `holders_of` only lists indexed members — so every
+            // listed holder is live, and the only candidate the old
+            // per-holder scan ever rejected is `exclude` itself. That
+            // makes step 1 O(log H): locate `exclude` by binary
+            // search, make the same `gen_range(0..count)` draw
+            // `choose` made on the collected slice, and index
+            // straight into the sorted holder list. The per-query
+            // collect this replaces grew with `Sco` and dominated the
+            // million-node profile.
+            if let Some(hs) = self.holders_of.get(&object) {
+                let excluded = hs.binary_search_by_key(&exclude.0, |n| n.0).ok();
+                let count = hs.len() - usize::from(excluded.is_some());
+                if count > 0 {
+                    let i = rng.gen_range(0..count);
+                    let at = match excluded {
+                        Some(ep) if i >= ep => i + 1,
+                        _ => i,
+                    };
+                    let h = hs[at];
+                    debug_assert!(
+                        h != exclude && self.index.get(&h).is_some_and(|e| e.age < self.t_dead),
+                        "holder list out of sync with the index"
+                    );
+                    return DirDecision::ToHolder(h);
+                }
+            }
+        } else {
             // §5.2 fresh-takeover path: members known only through
             // gossip summaries; their exact lists are disjoint from
             // the inverted hits (`objects` does not contain the
             // object), so the merge needs a sort but no dedup.
+            let mut holders: Vec<NodeId> = self
+                .holders_of
+                .get(&object)
+                .map(|hs| {
+                    hs.iter()
+                        .copied()
+                        .filter(|p| {
+                            *p != exclude && self.index.get(p).is_some_and(|e| e.age < self.t_dead)
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
             for (peer, e) in &self.index {
                 if *peer != exclude
                     && e.age < self.t_dead
@@ -316,9 +360,9 @@ impl DirectoryState {
                 }
             }
             holders.sort_unstable_by_key(|n| n.0);
-        }
-        if let Some(h) = holders.choose(rng) {
-            return DirDecision::ToHolder(*h);
+            if let Some(h) = holders.choose(rng) {
+                return DirDecision::ToHolder(*h);
+            }
         }
         // 2. directory summaries (only if the query may still travel).
         if dir_hops < max_dir_hops {
@@ -341,9 +385,14 @@ impl DirectoryState {
     /// F with its requested object, and age zero". Returns false when
     /// the peer is new and the overlay is full (admission denied).
     pub fn admit_or_refresh(&mut self, peer: NodeId, object: ObjectId) -> bool {
+        let ticks = self.ticks;
         match self.index.get_mut(&peer) {
             Some(e) => {
-                e.age = 0;
+                if e.age != 0 {
+                    self.recency.remove(&(e.age as i64 - ticks, peer.0));
+                    self.recency.insert((-ticks, peer.0));
+                    e.age = 0;
+                }
                 if e.objects.insert(object) {
                     self.new_since_refresh += 1;
                     self.total_indexed += 1;
@@ -359,6 +408,7 @@ impl DirectoryState {
                 let mut e = DirEntry::fresh();
                 e.objects.insert(object);
                 self.index.insert(peer, e);
+                self.recency.insert((-ticks, peer.0));
                 self.new_since_refresh += 1;
                 self.total_indexed += 1;
                 self.add_holder(object, peer);
@@ -376,8 +426,13 @@ impl DirectoryState {
         if !self.index.contains_key(&peer) && self.is_full() {
             return;
         }
+        let ticks = self.ticks;
         let e = self.index.entry(peer).or_insert_with(DirEntry::fresh);
-        e.age = 0;
+        if e.age != 0 {
+            self.recency.remove(&(e.age as i64 - ticks, peer.0));
+            e.age = 0;
+        }
+        self.recency.insert((-ticks, peer.0));
         // First push from a §5.2-seeded member: its exact ∆lists are
         // authoritative from here on — drop the gossip summary (and,
         // once no seeded entry remains, the summary-scan tax with it).
@@ -419,11 +474,19 @@ impl DirectoryState {
     /// messages".
     pub fn keepalive(&mut self, peer: NodeId) {
         self.load.keepalives += 1;
+        let ticks = self.ticks;
         match self.index.get_mut(&peer) {
-            Some(e) => e.age = 0,
+            Some(e) => {
+                if e.age != 0 {
+                    self.recency.remove(&(e.age as i64 - ticks, peer.0));
+                    self.recency.insert((-ticks, peer.0));
+                    e.age = 0;
+                }
+            }
             None => {
                 if !self.is_full() {
                     self.index.insert(peer, DirEntry::fresh());
+                    self.recency.insert((-ticks, peer.0));
                 }
             }
         }
@@ -432,6 +495,10 @@ impl DirectoryState {
     /// Directory tick (Algorithm 6 active behaviour): age all entries,
     /// evicting those that reached `Tdead`. Returns the evicted peers.
     pub fn tick(&mut self) -> Vec<NodeId> {
+        // Ages and `ticks` move together, so every `recency` key
+        // (age − ticks, id) stays put: aging a million-member index
+        // costs the sweep below and no ordered-set rebalancing.
+        self.ticks += 1;
         let mut dead = Vec::new();
         for (peer, e) in &mut self.index {
             e.age = e.age.saturating_add(1);
@@ -442,6 +509,7 @@ impl DirectoryState {
         for peer in &dead {
             if let Some(e) = self.index.remove(peer) {
                 self.total_indexed = self.total_indexed.saturating_sub(e.objects.len());
+                self.recency.remove(&(e.age as i64 - self.ticks, peer.0));
                 self.drop_entry_holders(*peer, &e);
             }
         }
@@ -455,6 +523,7 @@ impl DirectoryState {
         match self.index.remove(&peer) {
             Some(e) => {
                 self.total_indexed = self.total_indexed.saturating_sub(e.objects.len());
+                self.recency.remove(&(e.age as i64 - self.ticks, peer.0));
                 self.drop_entry_holders(peer, &e);
                 true
             }
@@ -563,22 +632,22 @@ impl DirectoryState {
         if n == 0 {
             return Vec::new();
         }
-        let mut members: Vec<(u32, u32)> = self
-            .index
+        // The `recency` set already holds the members in (age, id)
+        // ascending order — take the first n that aren't `exclude`.
+        // O(n) against the O(Sco) full-index scan this replaces,
+        // which was the top entry of the million-node profile (41% of
+        // total CPU: every admission paid a walk of the whole index).
+        debug_assert_eq!(
+            self.recency.len(),
+            self.index.len(),
+            "recency order drifted from the index"
+        );
+        self.recency
             .iter()
-            .filter(|(p, _)| **p != exclude)
-            .map(|(p, e)| (e.age, p.0))
-            .collect();
-        // Keys are unique (node ids are), so select-then-sort of the
-        // n smallest yields exactly what a full sort + take(n) would —
-        // without the O(Sco log Sco) sort this used to cost per
-        // admission at scale.
-        if members.len() > n {
-            members.select_nth_unstable(n - 1);
-            members.truncate(n);
-        }
-        members.sort_unstable();
-        members.into_iter().map(|(_, p)| NodeId(p)).collect()
+            .map(|&(_, p)| NodeId(p))
+            .filter(|p| *p != exclude)
+            .take(n)
+            .collect()
     }
 
     /// Seed the index from a gossip view after a §5.2 takeover: the
@@ -598,6 +667,7 @@ impl DirectoryState {
                 self.summary_entries += 1;
             }
             self.index.insert(peer, e);
+            self.recency.insert((-self.ticks, peer.0));
         }
     }
 
@@ -611,6 +681,7 @@ impl DirectoryState {
         self.summary_entries = 0;
         self.total_indexed = 0;
         self.summary.clear();
+        self.recency.clear();
         for (peer, age, objects) in entries {
             let mut e = DirEntry::fresh();
             e.age = age;
@@ -621,6 +692,7 @@ impl DirectoryState {
             }
             e.objects = objects.into_iter().collect();
             self.index.insert(peer, e);
+            self.recency.insert((age as i64 - self.ticks, peer.0));
         }
     }
 

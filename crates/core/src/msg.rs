@@ -246,6 +246,11 @@ pub enum FlowerMsg {
         /// from (Chord: successors + predecessor; Pastry: leaf set +
         /// table peers).
         neighbors: Vec<PeerRef>,
+        /// Live §5.3 petal instance count at the moment of the
+        /// hand-off. The heir continues with the running petal rather
+        /// than restarting at `live = 1` and orphaning the active
+        /// siblings.
+        live: u32,
     },
     /// Sender informs a contact that it left the website's overlay
     /// (locality change, §5.4); the receiver drops it like a dead
@@ -382,12 +387,14 @@ impl Message for FlowerMsg {
             FlowerMsg::DirHandoff {
                 index, neighbors, ..
             } => {
+                // Header + index + neighbours + live petal count.
                 MSG_HEADER_BYTES
                     + index
                         .iter()
                         .map(|e| ADDR_BYTES + AGE_BYTES + OBJECT_ID_BYTES * e.objects.len() as u32)
                         .sum::<u32>()
                     + 16 * neighbors.len() as u32
+                    + 4
             }
             FlowerMsg::Moved { .. } => MSG_HEADER_BYTES,
             FlowerMsg::ReplicaOffer { objects, .. } => {

@@ -339,6 +339,12 @@ impl FlowerNode {
         self.dir_role.as_ref()
     }
 
+    /// Mutable directory role (harness setup, e.g. staging a §5.3
+    /// petal state before driving an administrative path).
+    pub fn dir_role_mut(&mut self) -> Option<&mut DirRole> {
+        self.dir_role.as_mut()
+    }
+
     /// Is this node a content peer of `ws`?
     pub fn is_content_peer(&self, ws: WebsiteId) -> bool {
         self.content.contains_key(&ws)
@@ -430,6 +436,7 @@ impl FlowerNode {
                 locality: role.dir.locality(),
                 index,
                 neighbors: role.substrate.handoff_neighbors(),
+                live: role.petal.live,
             },
         );
         Some(target)
@@ -1799,6 +1806,7 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                     locality,
                     index,
                     neighbors,
+                    live,
                 } => {
                     // §5.2 voluntary hand-off: assume the departing
                     // directory's identity and state.
@@ -1825,7 +1833,14 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                             .map(|e| (e.peer, e.age, e.objects))
                             .collect(),
                     );
-                    let petal = PetalState::new(0, self.shared.scheme.instances() as u32);
+                    // §5.2 + §5.3: the departing primary's petal keeps
+                    // running — the heir inherits the live-instance
+                    // count instead of restarting at 1, which would
+                    // orphan the active siblings (they keep serving
+                    // and reporting load, but nothing would ever route
+                    // to them or shrink them again).
+                    let mut petal = PetalState::new(0, self.shared.scheme.instances() as u32);
+                    petal.live = live.clamp(1, self.shared.scheme.instances() as u32);
                     self.dir_role = Some(DirRole {
                         substrate,
                         dir,

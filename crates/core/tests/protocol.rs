@@ -87,6 +87,56 @@ fn admin_leave_hands_directory_to_a_member() {
     );
 }
 
+/// §5.2 + §5.3: when the primary of a *split* petal leaves
+/// voluntarily, the heir inherits the live-instance count instead of
+/// restarting at `live = 1` — restarting would orphan the active
+/// siblings (still serving, never routed to, never merged away).
+#[test]
+fn dir_handoff_carries_live_instance_count() {
+    let mut c = cfg(41);
+    c.flower.instance_bits = 2; // deploy up to 4 instances per petal
+    c.flower.petal_merge_floor = 0; // idle-load merges would re-fold the petal
+    let mut sys = FlowerSystem::build(&c);
+    let ws = WebsiteId(0);
+    let loc = Locality(0);
+    let old_dir = sys.initial_directory(ws, loc).unwrap();
+
+    sys.run_until(SimTime::from_mins(4));
+    // Stage a split petal at the primary (the §5.3 policy would get
+    // here under load; staging it keeps the test fast and exact).
+    sys.engine_mut()
+        .node_mut(old_dir)
+        .dir_role_mut()
+        .expect("old dir active")
+        .petal
+        .live = 2;
+
+    let t = SimTime::from_mins(4) + SimDuration::from_secs(1);
+    sys.engine_mut().schedule_at(
+        t,
+        old_dir,
+        Event::Recv {
+            from: old_dir,
+            msg: FlowerMsg::AdminLeave,
+        },
+    );
+    sys.run_until(t + SimDuration::from_secs(10));
+
+    assert!(!sys.engine().node(old_dir).is_directory());
+    let heir_live: Vec<u32> = sys
+        .community(ws, loc)
+        .iter()
+        .filter_map(|n| sys.engine().node(*n).dir_role())
+        .filter(|r| r.dir.website() == ws && r.dir.locality() == loc)
+        .map(|r| r.petal.live)
+        .collect();
+    assert_eq!(
+        heir_live,
+        vec![2],
+        "the heir must continue the split petal at live = 2"
+    );
+}
+
 /// §5.4 locality change: the peer leaves its overlays and rejoins (as
 /// a new client) in the new locality on its next query.
 #[test]

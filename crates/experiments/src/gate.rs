@@ -6,14 +6,17 @@
 //! The parser is hand-rolled for exactly the document shape
 //! [`crate::report::bench_json`] emits (the build environment has no
 //! serde): a flat object with `schema`/`host` strings and a `records`
-//! array of flat objects with string and number fields. Every schema
-//! from `v1` through the current `v5` is accepted, so the gate keeps
-//! working across schema bumps: `v1` (no `queue` field; records
+//! array of flat objects with string, number and `null` fields. Every
+//! schema from `v1` through the current `v6` is accepted, so the gate
+//! keeps working across schema bumps: `v1` (no `queue` field; records
 //! default to the heap backend that was the only implementation
 //! then), `v2` (no `dir_load_max_mean` column; defaults to 0), `v3`
 //! (no `epochs` barrier-round column; defaults to 0), `v4` (no
 //! `cores`/`fused_rounds`/barrier-idle columns; `cores` falls back to
-//! the count parsed from the `host` string, the rest default to 0).
+//! the count parsed from the `host` string, the rest default to 0),
+//! `v5` (no `peak_rss_mb` column; backfilled as `None`, i.e. "not
+//! measured" — memory deltas are *reported* in the summary but never
+//! gate the build).
 //!
 //! Records are matched **within one core count only**: throughput on
 //! a 1-core container says nothing about an 8-core runner, so a
@@ -30,7 +33,7 @@ use crate::report::{BenchRecord, BENCH_SCHEMA};
 /// A parsed `BENCH_engine.json`.
 #[derive(Clone, Debug)]
 pub struct BenchDoc {
-    /// Schema tag (`flower-cdn/bench-engine/v1` through `v5`).
+    /// Schema tag (`flower-cdn/bench-engine/v1` through `v6`).
     pub schema: String,
     /// Free-form host description (core count, arch, queue backend).
     pub host: String,
@@ -75,6 +78,9 @@ fn host_cores(host: &str) -> Option<usize> {
 enum Value {
     Str(String),
     Num(f64),
+    /// JSON `null` — used by nullable columns (`peak_rss_mb`) for
+    /// "not measured".
+    Null,
 }
 
 struct Parser<'a> {
@@ -170,6 +176,14 @@ impl<'a> Parser<'a> {
     fn value(&mut self) -> Result<Value, String> {
         match self.peek() {
             Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'n') => {
+                if self.s[self.i..].starts_with(b"null") {
+                    self.i += 4;
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("expected null"))
+                }
+            }
             Some(_) => Ok(Value::Num(self.number()?)),
             None => Err(self.err("unexpected end")),
         }
@@ -216,6 +230,9 @@ fn record_from_fields(fields: Vec<(String, Value)>, idx: usize) -> Result<BenchR
         fused_rounds: 0,
         barrier_idle_mean_s: 0.0,
         barrier_idle_max_s: 0.0,
+        // v1–v5 documents predate the peak-RSS column; `None` means
+        // "not measured", which the memory report renders as a dash.
+        peak_rss_mb: None,
     };
     let mut seen_experiment = false;
     for (key, value) in fields {
@@ -239,6 +256,8 @@ fn record_from_fields(fields: Vec<(String, Value)>, idx: usize) -> Result<BenchR
             ("fused_rounds", Value::Num(n)) => r.fused_rounds = n as u64,
             ("barrier_idle_mean_s", Value::Num(n)) => r.barrier_idle_mean_s = n,
             ("barrier_idle_max_s", Value::Num(n)) => r.barrier_idle_max_s = n,
+            ("peak_rss_mb", Value::Num(n)) => r.peak_rss_mb = Some(n),
+            ("peak_rss_mb", Value::Null) => r.peak_rss_mb = None,
             (
                 "experiment"
                 | "queue"
@@ -254,7 +273,8 @@ fn record_from_fields(fields: Vec<(String, Value)>, idx: usize) -> Result<BenchR
                 | "cores"
                 | "fused_rounds"
                 | "barrier_idle_mean_s"
-                | "barrier_idle_max_s",
+                | "barrier_idle_max_s"
+                | "peak_rss_mb",
                 _,
             ) => return Err(bad()),
             _ => {} // unknown fields: forward compatibility
@@ -307,6 +327,7 @@ pub fn parse_bench(json: &str) -> Result<BenchDoc, String> {
         | "flower-cdn/bench-engine/v2"
         | "flower-cdn/bench-engine/v3"
         | "flower-cdn/bench-engine/v4"
+        | "flower-cdn/bench-engine/v5"
         | BENCH_SCHEMA => {
             // Pre-v5 records carry no `cores` column; the host string
             // has advertised the core count since v1, so backfill the
@@ -339,7 +360,18 @@ pub struct GateRow {
     pub delta: f64,
     /// True if this point regressed beyond the tolerance.
     pub failed: bool,
+    /// Baseline peak RSS at the same point (`None` when the baseline
+    /// predates the v6 column). Memory is *reported*, never gated —
+    /// see [`MEM_REPORT_GROWTH`].
+    pub base_rss_mb: Option<f64>,
 }
+
+/// Relative peak-RSS growth beyond which the markdown summary calls a
+/// matched point out as a memory regression. Informational only: RSS
+/// never contributes to [`GateReport::passed`] — the process
+/// high-water mark is monotone over a multi-cell sweep, so per-cell
+/// attribution is too soft to gate on yet.
+pub const MEM_REPORT_GROWTH: f64 = 0.10;
 
 /// Outcome of a bench-regression check.
 #[derive(Clone, Debug)]
@@ -391,9 +423,9 @@ impl GateReport {
         );
         let _ = writeln!(
             out,
-            "| experiment | nodes | shards | queue | baseline ev/s | fresh ev/s | Δ | epochs | gate |"
+            "| experiment | nodes | shards | queue | baseline ev/s | fresh ev/s | Δ | epochs | peak RSS | gate |"
         );
-        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|");
         let epochs_cell = |r: &BenchRecord| {
             if r.shards > 1 {
                 r.epochs.to_string()
@@ -401,11 +433,18 @@ impl GateReport {
                 "—".to_string()
             }
         };
+        let rss_cell = |fresh: Option<f64>, base: Option<f64>| match (fresh, base) {
+            (Some(f), Some(b)) if b > 0.0 => {
+                format!("{:.0} MB ({:+.1}%)", f, (f / b - 1.0) * 100.0)
+            }
+            (Some(f), _) => format!("{f:.0} MB"),
+            (None, _) => "—".to_string(),
+        };
         for row in &self.rows {
             let r = &row.fresh;
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {:.0} | {:.0} | {:+.1}% | {} | {} |",
+                "| {} | {} | {} | {} | {:.0} | {:.0} | {:+.1}% | {} | {} | {} |",
                 r.experiment,
                 r.nodes,
                 r.shards,
@@ -414,31 +453,34 @@ impl GateReport {
                 r.events_per_sec,
                 row.delta * 100.0,
                 epochs_cell(r),
+                rss_cell(r.peak_rss_mb, row.base_rss_mb),
                 if row.failed { "**FAIL**" } else { "ok" }
             );
         }
         for r in &self.unmatched {
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | — | {:.0} | — | {} | new |",
-                r.experiment,
-                r.nodes,
-                r.shards,
-                r.queue,
-                r.events_per_sec,
-                epochs_cell(r)
-            );
-        }
-        for r in &self.skipped_cores {
-            let _ = writeln!(
-                out,
-                "| {} | {} | {} | {} | — | {:.0} | — | {} | skip ({} cores ≠ baseline) |",
+                "| {} | {} | {} | {} | — | {:.0} | — | {} | {} | new |",
                 r.experiment,
                 r.nodes,
                 r.shards,
                 r.queue,
                 r.events_per_sec,
                 epochs_cell(r),
+                rss_cell(r.peak_rss_mb, None)
+            );
+        }
+        for r in &self.skipped_cores {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | — | {:.0} | — | {} | {} | skip ({} cores ≠ baseline) |",
+                r.experiment,
+                r.nodes,
+                r.shards,
+                r.queue,
+                r.events_per_sec,
+                epochs_cell(r),
+                rss_cell(r.peak_rss_mb, None),
                 r.cores
             );
         }
@@ -447,6 +489,26 @@ impl GateReport {
             "\nGate: fail if events/s drops more than {:.0}% at any matched point.",
             self.max_drop * 100.0
         );
+        let mem_regressed: Vec<String> = self
+            .rows
+            .iter()
+            .filter(|row| {
+                matches!(
+                    (row.fresh.peak_rss_mb, row.base_rss_mb),
+                    (Some(f), Some(b)) if b > 0.0 && f / b - 1.0 > MEM_REPORT_GROWTH
+                )
+            })
+            .map(|row| row.fresh.experiment.clone())
+            .collect();
+        if !mem_regressed.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n> Memory report (informational, not gated): peak RSS grew more \
+                 than {:.0}% at {}.",
+                MEM_REPORT_GROWTH * 100.0,
+                mem_regressed.join(", ")
+            );
+        }
         let (base_host, fresh_host) = &self.hosts;
         if base_host != fresh_host {
             let _ = writeln!(
@@ -486,6 +548,7 @@ pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc, max_drop: f64) -> GateRepo
                     base_eps: b.events_per_sec,
                     delta,
                     failed: delta < -max_drop,
+                    base_rss_mb: b.peak_rss_mb,
                 });
             }
             None if baseline.records.iter().any(|b| cell_key(b) == cell_key(f)) => {
@@ -519,14 +582,19 @@ mod tests {
             fused_rounds: if shards > 1 { 25 } else { 0 },
             barrier_idle_mean_s: if shards > 1 { 0.125 } else { 0.0 },
             barrier_idle_max_s: if shards > 1 { 0.25 } else { 0.0 },
+            peak_rss_mb: Some(nodes as f64 / 100.0),
         }
     }
 
     #[test]
     fn roundtrips_through_the_emitter() {
+        // One record without an RSS measurement: `null` must survive
+        // the emit → parse cycle as `None`.
+        let mut no_rss = record(20_000, 2, EventQueueKind::Heap, 400_000.5);
+        no_rss.peak_rss_mb = None;
         let records = vec![
             record(20_000, 1, EventQueueKind::Calendar, 500_000.0),
-            record(20_000, 2, EventQueueKind::Heap, 400_000.5),
+            no_rss,
         ];
         let doc = parse_bench(&bench_json("4 cpus, x86_64, queue=calendar", &records)).unwrap();
         assert_eq!(doc.schema, BENCH_SCHEMA);
@@ -583,6 +651,21 @@ mod tests {
     }
 
     #[test]
+    fn parses_v5_documents_backfilling_null_rss() {
+        let v5 = r#"{
+  "schema": "flower-cdn/bench-engine/v5",
+  "host": "4 cpus, x86_64, queue=calendar",
+  "records": [
+    {"experiment": "scale/20000n", "nodes": 20000, "shards": 2, "queue": "calendar", "wall_s": 0.5, "events": 450935, "events_per_sec": 900000.0, "peak_queue_depth": 21206, "sim_ms": 60000, "dir_load_max_mean": 1.5, "epochs": 512, "cores": 4, "fused_rounds": 17, "barrier_idle_mean_s": 0.125, "barrier_idle_max_s": 0.25}
+  ]
+}"#;
+        let doc = parse_bench(v5).unwrap();
+        assert_eq!(doc.records.len(), 1);
+        assert_eq!(doc.records[0].fused_rounds, 17);
+        assert_eq!(doc.records[0].peak_rss_mb, None, "v5 = no RSS column");
+    }
+
+    #[test]
     fn parses_v1_documents_without_queue_field() {
         let v1 = r#"{
   "schema": "flower-cdn/bench-engine/v1",
@@ -618,6 +701,32 @@ mod tests {
         )
         .unwrap_err()
         .contains("wrong type"));
+        // `null` is only legal for the nullable column.
+        assert!(parse_bench(
+            r#"{"schema": "flower-cdn/bench-engine/v6", "records": [{"experiment": "x", "nodes": null}]}"#
+        )
+        .unwrap_err()
+        .contains("wrong type"));
+    }
+
+    #[test]
+    fn memory_regressions_are_reported_not_gated() {
+        let mut base = record(20_000, 1, EventQueueKind::Calendar, 1e5);
+        base.peak_rss_mb = Some(100.0);
+        let mut fresh_r = record(20_000, 1, EventQueueKind::Calendar, 1e5);
+        fresh_r.peak_rss_mb = Some(150.0);
+        let report = compare(&doc("h", vec![base]), &doc("h", vec![fresh_r]), 0.20);
+        assert!(report.passed(), "RSS growth must never fail the gate");
+        let md = report.to_markdown();
+        assert!(md.contains("150 MB (+50.0%)"), "{md}");
+        assert!(md.contains("Memory report (informational"), "{md}");
+        // No note when memory is flat.
+        let flat = compare(
+            &doc("h", vec![record(20_000, 1, EventQueueKind::Calendar, 1e5)]),
+            &doc("h", vec![record(20_000, 1, EventQueueKind::Calendar, 1e5)]),
+            0.20,
+        );
+        assert!(!flat.to_markdown().contains("Memory report"));
     }
 
     fn doc(host: &str, records: Vec<BenchRecord>) -> BenchDoc {

@@ -150,6 +150,14 @@ pub struct BenchRecord {
     /// Maximum over shards of the barrier-wait seconds (the
     /// worst-placed shard; 0.0 where `barrier_idle_mean_s` is 0.0).
     pub barrier_idle_max_s: f64,
+    /// Peak resident-set size of the *process* in MB when the cell's
+    /// run finished (Linux `VmHWM`; the high-water mark is monotone
+    /// over a multi-cell process, so within one document a cell's
+    /// value reflects the largest run up to and including it — the
+    /// biggest cell's value is the one that matters). `None` for
+    /// records predating the column (schemas v1–v5) and on platforms
+    /// without `/proc`.
+    pub peak_rss_mb: Option<f64>,
 }
 
 /// Schema tag of the `BENCH_engine.json` document. `v2` added the
@@ -160,8 +168,11 @@ pub struct BenchRecord {
 /// (adaptive lookahead matrix); `v5` added the per-record `cores`
 /// host-core count (the gate's comparison key), the `fused_rounds`
 /// count and the `barrier_idle_mean_s`/`barrier_idle_max_s`
-/// per-shard barrier-wait breakdown (multi-core execution).
-pub const BENCH_SCHEMA: &str = "flower-cdn/bench-engine/v5";
+/// per-shard barrier-wait breakdown (multi-core execution); `v6`
+/// added the per-record `peak_rss_mb` process high-water RSS (`null`
+/// where unavailable) so memory regressions show up in the bench
+/// trajectory alongside throughput.
+pub const BENCH_SCHEMA: &str = "flower-cdn/bench-engine/v6";
 
 /// Render benchmark records as the `BENCH_engine.json` document
 /// (hand-rolled: the build environment has no serde).
@@ -174,6 +185,10 @@ pub fn bench_json(host: &str, records: &[BenchRecord]) -> String {
     let _ = writeln!(out, "  \"records\": [");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 == records.len() { "" } else { "," };
+        let rss = match r.peak_rss_mb {
+            Some(mb) => format!("{mb:.1}"),
+            None => "null".into(),
+        };
         let _ = writeln!(
             out,
             "    {{\"experiment\": \"{}\", \"nodes\": {}, \"shards\": {}, \
@@ -181,7 +196,8 @@ pub fn bench_json(host: &str, records: &[BenchRecord]) -> String {
              \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \
              \"peak_queue_depth\": {}, \"sim_ms\": {}, \"dir_load_max_mean\": {:.4}, \
              \"epochs\": {}, \"cores\": {}, \"fused_rounds\": {}, \
-             \"barrier_idle_mean_s\": {:.3}, \"barrier_idle_max_s\": {:.3}}}{}",
+             \"barrier_idle_mean_s\": {:.3}, \"barrier_idle_max_s\": {:.3}, \
+             \"peak_rss_mb\": {}}}{}",
             esc(&r.experiment),
             r.nodes,
             r.shards,
@@ -197,6 +213,7 @@ pub fn bench_json(host: &str, records: &[BenchRecord]) -> String {
             r.fused_rounds,
             r.barrier_idle_mean_s,
             r.barrier_idle_max_s,
+            rss,
             comma
         );
     }
@@ -277,6 +294,7 @@ mod tests {
                 fused_rounds: 17,
                 barrier_idle_mean_s: 0.25,
                 barrier_idle_max_s: 0.5,
+                peak_rss_mb: Some(812.3),
             },
             BenchRecord {
                 experiment: "fig\"5".into(),
@@ -294,10 +312,13 @@ mod tests {
                 fused_rounds: 0,
                 barrier_idle_mean_s: 0.0,
                 barrier_idle_max_s: 0.0,
+                peak_rss_mb: None,
             },
         ];
         let json = bench_json("test-host", &records);
-        assert!(json.contains("\"schema\": \"flower-cdn/bench-engine/v5\""));
+        assert!(json.contains("\"schema\": \"flower-cdn/bench-engine/v6\""));
+        assert!(json.contains("\"peak_rss_mb\": 812.3"));
+        assert!(json.contains("\"peak_rss_mb\": null"));
         assert!(json.contains("\"epochs\": 512"));
         assert!(json.contains("\"cores\": 8"));
         assert!(json.contains("\"fused_rounds\": 17"));

@@ -213,8 +213,22 @@ pub fn run_flower_timed(
         fused_rounds: engine.fused_rounds(),
         barrier_idle_mean_s: idle_mean,
         barrier_idle_max_s: idle_max,
+        peak_rss_mb: peak_rss_mb(),
     };
     (sys, report, record)
+}
+
+/// Peak resident-set size of this process in MB (Linux `VmHWM` from
+/// `/proc/self/status`), or `None` where the proc filesystem is
+/// unavailable. The kernel reports the high-water mark since process
+/// start, so in a multi-cell sweep the value attached to a cell is
+/// "largest footprint so far" — exact for the biggest cell, an upper
+/// bound for the rest.
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
 }
 
 /// Run Squirrel likewise.

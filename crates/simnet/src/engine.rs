@@ -61,7 +61,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::event::{EventKey, EventQueue};
-use crate::stats::{QueryStats, TimeSeries, Traffic, TrafficClass};
+use crate::stats::{QueryStats, ShardTraffic, TimeSeries, Traffic, TrafficClass};
 use crate::sync::{MailboxGrid, SenseBarrier};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{Locality, LookaheadKind, NodeId, Topology};
@@ -138,6 +138,11 @@ pub enum Action<M> {
 }
 
 /// The per-event execution context handed to [`Node::on_event`].
+///
+/// The action buffer is a persistent per-shard scratch vector lent to
+/// the context for the duration of the handler — after warm-up no
+/// event allocates on the delivery path, however many actions it
+/// emits.
 pub struct Ctx<'a, M> {
     now: SimTime,
     id: NodeId,
@@ -145,7 +150,7 @@ pub struct Ctx<'a, M> {
     rng: &'a mut StdRng,
     query_stats: &'a mut QueryStats,
     gauges: &'a mut GaugeSet,
-    out: Vec<Action<M>>,
+    out: &'a mut Vec<Action<M>>,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -488,6 +493,31 @@ impl NodeSlab {
 /// outbox/inbox batch exchanged at the epoch barrier).
 type Staged<M> = (EventKey, Pending<M>);
 
+/// How a shard's epoch loop hands events to [`Node::on_event`].
+///
+/// Both modes process events in exactly the same [`EventKey`] order —
+/// batching only changes how much per-event engine overhead
+/// (placement resolution, liveness check, dispatch match) is paid —
+/// so results are bit-identical; `tests/batch_parity.rs` holds the
+/// engine to that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// Deliver consecutive same-destination queue heads as one batch:
+    /// the destination's placement and liveness are resolved once and
+    /// the dispatch loop stays in the node's state until the head
+    /// changes destination. Simulation workloads are bursty per node
+    /// (a gossip round, a query fan-in), so batches are common. The
+    /// continuation check peeks at the *live* queue head each step —
+    /// an event emitted by the batch itself that sorts before the
+    /// remaining entries is picked up (or ends the batch) exactly as
+    /// the one-at-a-time loop would.
+    #[default]
+    Batched,
+    /// Pop and fully dispatch one event at a time — the reference
+    /// path, kept for A/B parity tests and the dispatch micro bench.
+    Single,
+}
+
 /// Internal queue payload.
 #[derive(Debug)]
 enum Pending<M> {
@@ -523,9 +553,15 @@ struct Shard<M: Message, N: Node<M>> {
     up: Liveness,
     queue: EventQueue<Pending<M>>,
     now: SimTime,
-    traffic: Traffic,
+    /// Dense per-owned-node traffic rows; folded into a global
+    /// [`Traffic`] view at read time ([`Traffic::absorb_shard`]).
+    traffic: ShardTraffic,
     query_stats: QueryStats,
     gauges: GaugeSet,
+    /// Reusable action buffer lent to [`Ctx`] for each handler call;
+    /// drained (capacity kept) after every event.
+    scratch: Vec<Action<M>>,
+    delivery: DeliveryMode,
     events_processed: u64,
     /// Barrier rounds this shard participated in (identical across
     /// shards of a run; 0 on the thread-free single-shard path).
@@ -567,6 +603,12 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
     }
 
     /// Process every queued event with `key.at < limit`, in key order.
+    ///
+    /// In [`DeliveryMode::Batched`] the loop peels deliverable events
+    /// off into per-destination batches ([`Shard::deliver_batch`]);
+    /// everything else — churn, drops, bounces — takes the one-event
+    /// [`Shard::dispatch`] path. The pop order is identical in both
+    /// modes.
     fn run_epoch(
         &mut self,
         limit: SimTime,
@@ -574,10 +616,34 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
         place: &Placement,
         outbox: &mut [Vec<Staged<M>>],
     ) {
+        let batched = self.delivery == DeliveryMode::Batched;
         while let Some((key, payload)) = self.queue.pop_if_before(limit) {
             debug_assert!(key.at >= self.now, "time went backwards");
             self.now = key.at;
-            self.dispatch(payload, topo, place, outbox);
+            if batched {
+                match payload {
+                    Pending::App { dst, ev } if self.up.get(dst) => {
+                        self.deliver_batch(dst, ev, limit, topo, place, outbox);
+                        continue;
+                    }
+                    Pending::Wire { from, to, msg } if self.up.get(to) => {
+                        self.traffic
+                            .record_recv(place.local(to), msg.class(), msg.wire_size());
+                        self.deliver_batch(
+                            to,
+                            Event::Recv { from, msg },
+                            limit,
+                            topo,
+                            place,
+                            outbox,
+                        );
+                        continue;
+                    }
+                    other => self.dispatch(other, topo, place, outbox),
+                }
+            } else {
+                self.dispatch(payload, topo, place, outbox);
+            }
         }
     }
 
@@ -638,6 +704,8 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
             }
             Pending::Wire { from, to, msg } => {
                 if self.up.get(to) {
+                    self.traffic
+                        .record_recv(place.local(to), msg.class(), msg.wire_size());
                     self.deliver(to, Event::Recv { from, msg }, topo, place, outbox);
                 } else if self.up.get(from) {
                     // Bounce: the sender learns after one more one-way
@@ -661,6 +729,8 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
         }
     }
 
+    /// Deliver one event to `dst` (known up): run the handler against
+    /// the shard's scratch action buffer, then flush the actions.
     fn deliver(
         &mut self,
         dst: NodeId,
@@ -671,6 +741,8 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
     ) {
         self.events_processed += 1;
         let li = place.local(dst);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        debug_assert!(scratch.is_empty());
         let mut ctx = Ctx {
             now: self.now,
             id: dst,
@@ -678,15 +750,90 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
             rng: &mut self.slab.rngs[li],
             query_stats: &mut self.query_stats,
             gauges: &mut self.gauges,
-            out: Vec::new(),
+            out: &mut scratch,
         };
         self.nodes[li].on_event(&mut ctx, ev);
-        let actions = ctx.out;
-        for a in actions {
+        self.flush_actions(dst, li, &mut scratch, topo, place, outbox);
+        self.scratch = scratch;
+    }
+
+    /// Deliver `first_ev` to `dst` (known up) and keep going while the
+    /// live queue head is another deliverable event for the same
+    /// destination within `limit`. Placement and liveness are resolved
+    /// once for the whole batch: nothing a handler can do
+    /// ([`Action::Send`]/[`Action::Timer`]) changes liveness, and the
+    /// churn events that do are broadcast through the queue, where
+    /// they end the batch like any other head for a different target.
+    fn deliver_batch(
+        &mut self,
+        dst: NodeId,
+        first_ev: Event<M>,
+        limit: SimTime,
+        topo: &Topology,
+        place: &Placement,
+        outbox: &mut [Vec<Staged<M>>],
+    ) {
+        let li = place.local(dst);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        debug_assert!(scratch.is_empty());
+        let mut ev = first_ev;
+        loop {
+            self.events_processed += 1;
+            let mut ctx = Ctx {
+                now: self.now,
+                id: dst,
+                topo,
+                rng: &mut self.slab.rngs[li],
+                query_stats: &mut self.query_stats,
+                gauges: &mut self.gauges,
+                out: &mut scratch,
+            };
+            self.nodes[li].on_event(&mut ctx, ev);
+            self.flush_actions(dst, li, &mut scratch, topo, place, outbox);
+            // Continue only on the *current* head — it may be an event
+            // this very batch just emitted (same-instant self-sends
+            // sort by seq), which is exactly what the one-at-a-time
+            // loop would pop next.
+            match self.queue.peek() {
+                Some((at, p)) if at < limit => match p {
+                    Pending::App { dst: d, .. } if *d == dst => {}
+                    Pending::Wire { to, .. } if *to == dst => {}
+                    _ => break,
+                },
+                _ => break,
+            }
+            let (key, payload) = self.queue.pop().expect("head just peeked");
+            debug_assert!(key.at >= self.now, "time went backwards");
+            self.now = key.at;
+            ev = match payload {
+                Pending::App { ev, .. } => ev,
+                Pending::Wire { from, msg, .. } => {
+                    self.traffic.record_recv(li, msg.class(), msg.wire_size());
+                    Event::Recv { from, msg }
+                }
+                _ => unreachable!("continuation is App/Wire by the peek above"),
+            };
+        }
+        self.scratch = scratch;
+    }
+
+    /// Turn the actions a handler buffered into queued/staged events
+    /// and traffic records. `dst`/`li` identify the emitting node.
+    #[inline]
+    fn flush_actions(
+        &mut self,
+        dst: NodeId,
+        li: usize,
+        scratch: &mut Vec<Action<M>>,
+        topo: &Topology,
+        place: &Placement,
+        outbox: &mut [Vec<Staged<M>>],
+    ) {
+        for a in scratch.drain(..) {
             match a {
                 Action::Send { to, msg } => {
                     self.traffic
-                        .record(self.now, dst, to, msg.class(), msg.wire_size());
+                        .record_sent(self.now, li, msg.class(), msg.wire_size());
                     let lat = topo.latency(dst, to);
                     let key = self.emit_key(self.now + lat, dst, place);
                     self.route(
@@ -804,12 +951,13 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         let reach_ms = reachability_bounds(&pair_lookahead_ms, k);
 
         let mut place = Placement::new(n);
-        let mut member_count = vec![0usize; k];
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
         for node in topo.node_ids() {
             let s = loc_shard[topo.locality(node).idx()];
-            place.set(node, s, member_count[s] as u32);
-            member_count[s] += 1;
+            place.set(node, s, members[s].len() as u32);
+            members[s].push(node);
         }
+        let member_count: Vec<usize> = members.iter().map(Vec::len).collect();
 
         // Distribute node state and RNG streams, in global id order so
         // the local indices assigned above line up.
@@ -832,17 +980,20 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         let shards_vec = slots
             .into_iter()
             .zip(slabs)
+            .zip(members)
             .enumerate()
-            .map(|(id, (nodes, slab))| Shard {
+            .map(|(id, ((nodes, slab), members))| Shard {
                 id,
                 nodes,
                 slab,
                 up: Liveness::all_up(n),
                 queue: EventQueue::with_kind(queue_kind),
                 now: SimTime::ZERO,
-                traffic: Traffic::new(n, window),
+                traffic: ShardTraffic::new(members, window),
                 query_stats: QueryStats::new(window),
                 gauges: GaugeSet::new(window),
+                scratch: Vec::new(),
+                delivery: DeliveryMode::default(),
                 events_processed: 0,
                 epochs: 0,
                 fused: 0,
@@ -969,6 +1120,21 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         self.shards[0].queue.kind()
     }
 
+    /// How events are handed to `Node::on_event` (default
+    /// [`DeliveryMode::Batched`]). Result-neutral by design — the
+    /// parity suite drives both modes against each other.
+    pub fn delivery_mode(&self) -> DeliveryMode {
+        self.shards[0].delivery
+    }
+
+    /// Switch the delivery mode (see [`DeliveryMode`]); takes effect
+    /// from the next `run_until`.
+    pub fn set_delivery_mode(&mut self, mode: DeliveryMode) {
+        for s in &mut self.shards {
+            s.delivery = mode;
+        }
+    }
+
     /// Immutable access to a protocol node (inspection in tests and
     /// harnesses).
     pub fn node(&self, n: NodeId) -> &N {
@@ -1019,12 +1185,14 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         self.merged.get_or_init(|| {
             let first = &self.shards[0];
             let mut merged = Merged {
-                traffic: first.traffic.clone(),
+                traffic: Traffic::new(self.topo.num_nodes(), first.traffic.window()),
                 query_stats: first.query_stats.clone(),
                 gauges: first.gauges.clone(),
             };
+            for s in &self.shards {
+                merged.traffic.absorb_shard(&s.traffic);
+            }
             for s in &self.shards[1..] {
-                merged.traffic.merge_from(&s.traffic);
                 merged.query_stats.merge_from(&s.query_stats);
                 merged.gauges.merge_from(&s.gauges);
             }

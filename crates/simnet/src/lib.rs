@@ -119,9 +119,13 @@ pub mod topology;
 
 pub use affinity::{available_cores, pin_current_thread, place_shards, PinError};
 pub use churn::{ChurnConfig, ChurnEvent, ChurnKind, ChurnScript};
-pub use engine::{node_stream_seed, Action, Ctx, Engine, Event, Message, Node, QuerySink};
+pub use engine::{
+    node_stream_seed, Action, Ctx, DeliveryMode, Engine, Event, Message, Node, QuerySink,
+};
 pub use event::{EventKey, EventQueueKind};
-pub use stats::{Histogram, QueryStats, SeriesPoint, TimeSeries, Traffic, TrafficClass};
+pub use stats::{
+    Histogram, QueryStats, SeriesPoint, ShardTraffic, TimeSeries, Traffic, TrafficClass,
+};
 pub use sync::{MailboxGrid, SenseBarrier, SenseWaiter};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Locality, LookaheadKind, NodeId, Topology, TopologyConfig};

@@ -20,13 +20,15 @@
 //! ## Sharded accumulation
 //!
 //! The sharded engine keeps one instance of each accumulator per
-//! shard and combines them with the `merge_from` methods at read
-//! time. All counters are integers (or integer-valued `f64` sums, for
-//! which IEEE addition is exact), so the merged totals are bit-equal
-//! no matter how the simulation was partitioned. The only
-//! order-sensitive output — the cumulative hit-ratio curve — is
-//! rebuilt on demand from a per-resolution log sorted by the
-//! shard-independent `(time, node)` key.
+//! shard and combines them at read time. All counters are integers
+//! (or integer-valued `f64` sums, for which IEEE addition is exact),
+//! so the merged totals are bit-equal no matter how the simulation
+//! was partitioned. Per-shard traffic lives in a [`ShardTraffic`]
+//! whose rows cover only the shard's *own* nodes (dense local
+//! indices); the engine folds them into one global [`Traffic`] view
+//! on demand. The cumulative hit-ratio curve is streamed into
+//! fixed-width time buckets as resolutions happen — every accumulator
+//! is O(nodes + buckets), never O(events).
 
 use crate::time::{SimDuration, SimTime};
 use crate::topology::NodeId;
@@ -207,6 +209,99 @@ impl Traffic {
         for (a, b) in self.msgs_by_class.iter_mut().zip(&other.msgs_by_class) {
             *a += *b;
         }
+    }
+
+    /// Scatter a shard's dense accounting into this global view. Each
+    /// shard row is indexed by the shard's local node index; the
+    /// shard's member table maps it back to the global id.
+    pub fn absorb_shard(&mut self, shard: &ShardTraffic) {
+        for (li, node) in shard.members.iter().enumerate() {
+            let sent = &mut self.sent[node.idx()];
+            let recv = &mut self.recv[node.idx()];
+            for c in 0..N_CLASSES {
+                sent[c] += shard.sent[li][c];
+                recv[c] += shard.recv[li][c];
+            }
+        }
+        self.background_series.merge_from(&shard.background_series);
+        self.messages += shard.messages;
+        for (a, b) in self.msgs_by_class.iter_mut().zip(&shard.msgs_by_class) {
+            *a += *b;
+        }
+    }
+}
+
+/// One shard's traffic accounting: per-class byte rows for the
+/// shard's *own* nodes only, indexed by the dense local index the
+/// engine's placement assigns. A sharded run used to replicate the
+/// full `O(all nodes)` [`Traffic`] table per shard; at a million
+/// nodes × 8 shards those replicas alone were ~1.8 GB. Send bytes are
+/// recorded where the sender executes and receive bytes where the
+/// wire message is delivered — both are, by construction, nodes of
+/// the recording shard — so rows never index foreign nodes and the
+/// fold into the global [`Traffic`] view ([`Traffic::absorb_shard`])
+/// is a disjoint scatter.
+#[derive(Clone, Debug)]
+pub struct ShardTraffic {
+    /// Global node id of each local row: `members[local] = node`.
+    members: Vec<NodeId>,
+    /// `sent[local][class]` = bytes sent by the shard's node `local`.
+    sent: Vec<[u64; N_CLASSES]>,
+    /// `recv[local][class]` = bytes received by node `local`.
+    recv: Vec<[u64; N_CLASSES]>,
+    /// Background (gossip+push) bytes, windowed; recorded at send
+    /// time for both endpoints, exactly like the unsharded metric.
+    background_series: TimeSeries,
+    messages: u64,
+    msgs_by_class: [u64; N_CLASSES],
+}
+
+impl ShardTraffic {
+    /// Accounting for a shard owning `members` (local index order).
+    pub fn new(members: Vec<NodeId>, window: SimDuration) -> Self {
+        let n = members.len();
+        ShardTraffic {
+            members,
+            sent: vec![[0; N_CLASSES]; n],
+            recv: vec![[0; N_CLASSES]; n],
+            background_series: TimeSeries::new(window),
+            messages: 0,
+            msgs_by_class: [0; N_CLASSES],
+        }
+    }
+
+    /// The series window.
+    pub fn window(&self) -> SimDuration {
+        self.background_series.window()
+    }
+
+    /// Record one message of `bytes` bytes sent by local node `local`.
+    /// Counts the message and, for background classes, both endpoints'
+    /// bytes into the windowed series (the receive *row* is updated at
+    /// delivery time on the destination's shard via
+    /// [`ShardTraffic::record_recv`]).
+    #[inline]
+    pub fn record_sent(&mut self, at: SimTime, local: usize, class: TrafficClass, bytes: u32) {
+        let c = class.index();
+        self.sent[local][c] += bytes as u64;
+        self.messages += 1;
+        self.msgs_by_class[c] += 1;
+        if class.is_background() {
+            // Both endpoints experience the bytes (the paper's metric
+            // is "traffic experienced by a peer").
+            self.background_series.record(at, 2.0 * bytes as f64);
+        }
+    }
+
+    /// Record the receipt of a wire message by local node `local`.
+    #[inline]
+    pub fn record_recv(&mut self, local: usize, class: TrafficClass, bytes: u32) {
+        self.recv[local][class.index()] += bytes as u64;
+    }
+
+    /// Total messages recorded by this shard.
+    pub fn messages(&self) -> u64 {
+        self.messages
     }
 }
 
@@ -452,10 +547,14 @@ pub struct QueryStats {
     hit_series: TimeSeries,
     lookup_series: TimeSeries,
     transfer_series: TimeSeries,
-    /// One `(time, resolver, hit)` record per resolution — the raw
-    /// material of the cumulative hit-ratio curve, kept unsorted so
-    /// per-shard logs merge by concatenation.
-    resolutions: Vec<(SimTime, NodeId, bool)>,
+    /// Width (ms) of the cumulative hit-curve buckets: a fixed
+    /// subdivision of the series window, derived purely from config so
+    /// every shard buckets identically and merging is an elementwise
+    /// add. Replaces the old one-entry-per-resolution log, which grew
+    /// O(events).
+    cum_width_ms: u64,
+    /// `(hits, resolved)` per `cum_width_ms`-wide bucket since t = 0.
+    cum_buckets: Vec<(u64, u64)>,
     redirection_failures: u64,
 }
 
@@ -477,7 +576,10 @@ impl QueryStats {
             hit_series: TimeSeries::new(window),
             lookup_series: TimeSeries::new(window),
             transfer_series: TimeSeries::new(window),
-            resolutions: Vec::new(),
+            // 30 points per window keeps the convergence curve smooth
+            // at any experiment scale without logging every event.
+            cum_width_ms: (window.as_ms() / 30).max(1),
+            cum_buckets: Vec::new(),
             redirection_failures: 0,
         }
     }
@@ -489,9 +591,9 @@ impl QueryStats {
 
     /// Record a resolved query.
     ///
-    /// * `node` — the resolving (querying) peer, used to order the
-    ///   cumulative hit-ratio curve deterministically across shard
-    ///   layouts;
+    /// * `node` — the resolving (querying) peer (bucketed stats no
+    ///   longer depend on it, but the signature keeps the recording
+    ///   site honest about who resolved);
     /// * `lookup_ms` — latency from submission until the provider was
     ///   identified;
     /// * `transfer_ms` — link latency between requester and provider;
@@ -504,6 +606,7 @@ impl QueryStats {
         transfer_ms: u64,
         served_by: ServedBy,
     ) {
+        let _ = node;
         let hit = served_by != ServedBy::OriginServer;
         if hit {
             self.hits += 1;
@@ -528,7 +631,13 @@ impl QueryStats {
                 self.transfer_hits_hist.record(transfer_ms);
             }
         }
-        self.resolutions.push((at, node, hit));
+        let bucket = (at.as_ms() / self.cum_width_ms) as usize;
+        if bucket >= self.cum_buckets.len() {
+            self.cum_buckets.resize(bucket + 1, (0, 0));
+        }
+        let slot = &mut self.cum_buckets[bucket];
+        slot.0 += u64::from(hit);
+        slot.1 += 1;
     }
 
     /// Note a redirection failure (stale directory entry; Sec. 5.1).
@@ -617,19 +726,24 @@ impl QueryStats {
         &self.transfer_series
     }
 
-    /// Cumulative hit ratio after each resolution (smooth convergence
-    /// curve for Figure 6), rebuilt from the resolution log ordered by
-    /// `(time, resolver)` — an order that does not depend on how the
-    /// simulation was sharded.
+    /// Cumulative hit ratio over time (smooth convergence curve for
+    /// Figure 6): one point per non-empty time bucket, carrying the
+    /// ratio over *all* resolutions up to that bucket's end. Buckets
+    /// are fixed-width and config-derived, so the curve is identical
+    /// for any shard layout; the final point equals
+    /// [`QueryStats::hit_ratio`].
     pub fn cumulative_hit_series(&self) -> Vec<(SimTime, f64)> {
-        let mut log = self.resolutions.clone();
-        // Stable: same-(time, node) records keep their per-node order.
-        log.sort_by_key(|(at, node, _)| (*at, node.0));
-        let mut out = Vec::with_capacity(log.len());
+        let mut out = Vec::new();
         let mut hits = 0u64;
-        for (i, (at, _, hit)) in log.into_iter().enumerate() {
-            hits += u64::from(hit);
-            out.push((at, hits as f64 / (i as u64 + 1) as f64));
+        let mut resolved = 0u64;
+        for (b, &(h, r)) in self.cum_buckets.iter().enumerate() {
+            if r == 0 {
+                continue;
+            }
+            hits += h;
+            resolved += r;
+            let end = SimTime::from_ms((b as u64 + 1) * self.cum_width_ms);
+            out.push((end, hits as f64 / resolved as f64));
         }
         out
     }
@@ -653,7 +767,17 @@ impl QueryStats {
         self.hit_series.merge_from(&other.hit_series);
         self.lookup_series.merge_from(&other.lookup_series);
         self.transfer_series.merge_from(&other.transfer_series);
-        self.resolutions.extend_from_slice(&other.resolutions);
+        assert_eq!(
+            self.cum_width_ms, other.cum_width_ms,
+            "bucket widths differ"
+        );
+        if other.cum_buckets.len() > self.cum_buckets.len() {
+            self.cum_buckets.resize(other.cum_buckets.len(), (0, 0));
+        }
+        for (a, b) in self.cum_buckets.iter_mut().zip(&other.cum_buckets) {
+            a.0 += b.0;
+            a.1 += b.1;
+        }
         self.redirection_failures += other.redirection_failures;
     }
 }
@@ -798,43 +922,97 @@ mod tests {
         assert!((q.local_hit_fraction() - 0.5).abs() < 1e-9);
         assert_eq!(q.remote_hits(), 1);
         assert!((q.mean_lookup_ms() - (120.0 + 900.0 + 200.0) / 3.0).abs() < 1e-9);
+        // 30-minute window ⇒ 60 s cumulative buckets; all three
+        // resolutions land in bucket 0.
         let cum = q.cumulative_hit_series();
-        assert_eq!(cum.len(), 3);
-        assert!((cum[2].1 - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cum.len(), 1);
+        assert!((cum[0].1 - 2.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]
-    fn cumulative_series_orders_by_time_then_node() {
-        let mut q = QueryStats::new(SimDuration::from_mins(30));
-        // Recorded out of (time, node) order on purpose.
-        q.on_resolved(
-            SimTime::from_secs(2),
-            NodeId(9),
-            10,
-            10,
-            ServedBy::OriginServer,
-        );
-        q.on_resolved(
-            SimTime::from_secs(1),
-            NodeId(5),
-            10,
-            10,
-            ServedBy::LocalOverlay,
-        );
-        q.on_resolved(
-            SimTime::from_secs(2),
-            NodeId(3),
-            10,
-            10,
-            ServedBy::LocalOverlay,
-        );
-        let cum = q.cumulative_hit_series();
-        assert_eq!(cum.len(), 3);
-        // Sorted: (1s, n5, hit), (2s, n3, hit), (2s, n9, miss).
-        assert_eq!(cum[0].0, SimTime::from_secs(1));
+    fn cumulative_series_is_insertion_order_independent() {
+        // 30 s window ⇒ 1 s buckets. Recording order must not matter:
+        // the curve is rebuilt from fixed time buckets, not a log.
+        let obs = [
+            (2u64, NodeId(9), ServedBy::OriginServer),
+            (1, NodeId(5), ServedBy::LocalOverlay),
+            (2, NodeId(3), ServedBy::LocalOverlay),
+        ];
+        let mut fwd = QueryStats::new(SimDuration::from_secs(30));
+        let mut rev = QueryStats::new(SimDuration::from_secs(30));
+        for (t, n, s) in obs {
+            fwd.on_resolved(SimTime::from_secs(t), n, 10, 10, s);
+        }
+        for (t, n, s) in obs.into_iter().rev() {
+            rev.on_resolved(SimTime::from_secs(t), n, 10, 10, s);
+        }
+        let cum = fwd.cumulative_hit_series();
+        assert_eq!(cum, rev.cumulative_hit_series());
+        // Bucket [1 s, 2 s): one hit; bucket [2 s, 3 s): 2/3 overall.
+        assert_eq!(cum.len(), 2);
+        assert_eq!(cum[0].0, SimTime::from_secs(2));
         assert!((cum[0].1 - 1.0).abs() < 1e-12);
-        assert!((cum[1].1 - 1.0).abs() < 1e-12);
-        assert!((cum[2].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cum[1].0, SimTime::from_secs(3));
+        assert!((cum[1].1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_traffic_absorbs_into_global_view() {
+        let w = SimDuration::from_mins(1);
+        // Shard A owns nodes {0, 2}; shard B owns {1, 3}.
+        let mut a = ShardTraffic::new(vec![NodeId(0), NodeId(2)], w);
+        let mut b = ShardTraffic::new(vec![NodeId(1), NodeId(3)], w);
+        // 0 → 1: gossip, 100 bytes (send on A, receipt on B).
+        a.record_sent(SimTime::ZERO, 0, TrafficClass::Gossip, 100);
+        b.record_recv(0, TrafficClass::Gossip, 100);
+        // 3 → 2: push, 40 bytes (send on B, receipt on A).
+        b.record_sent(SimTime::from_secs(1), 1, TrafficClass::Push, 40);
+        a.record_recv(1, TrafficClass::Push, 40);
+
+        // The same history recorded unsharded.
+        let mut whole = Traffic::new(4, w);
+        whole.record(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::Gossip,
+            100,
+        );
+        whole.record(
+            SimTime::from_secs(1),
+            NodeId(3),
+            NodeId(2),
+            TrafficClass::Push,
+            40,
+        );
+
+        let mut folded = Traffic::new(4, w);
+        folded.absorb_shard(&a);
+        folded.absorb_shard(&b);
+        assert_eq!(folded.messages(), whole.messages());
+        for n in 0..4u32 {
+            for c in TrafficClass::ALL {
+                assert_eq!(
+                    folded.sent_bytes(NodeId(n), c),
+                    whole.sent_bytes(NodeId(n), c)
+                );
+                assert_eq!(
+                    folded.recv_bytes(NodeId(n), c),
+                    whole.recv_bytes(NodeId(n), c)
+                );
+            }
+        }
+        let fp = folded.background_series().points();
+        let wp = whole.background_series().points();
+        assert_eq!(fp.len(), wp.len());
+        for (f, w) in fp.iter().zip(&wp) {
+            assert_eq!(f.count, w.count);
+            assert_eq!(f.sum, w.sum);
+        }
+        assert_eq!(
+            folded.total_sent(TrafficClass::Gossip),
+            whole.total_sent(TrafficClass::Gossip)
+        );
     }
 
     #[test]
