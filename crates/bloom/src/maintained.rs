@@ -202,6 +202,13 @@ impl MaintainedSummary {
         self.items = 0;
     }
 
+    /// Whether the next [`MaintainedSummary::snapshot`] is a cached
+    /// `Arc` bump (no mutation since the last snapshot) rather than a
+    /// bit-projection rebuild.
+    pub fn is_cached(&self) -> bool {
+        self.cached.is_some()
+    }
+
     /// The wire-ready summary of the current multiset: bit-identical
     /// (bits *and* insert count) to `ContentSummary::from_objects`
     /// over the same live multiset. Costs an `O(words)` clone of the

@@ -157,6 +157,13 @@ impl ContentPeerState {
         self.summary.snapshot()
     }
 
+    /// Whether the next [`ContentPeerState::current_summary`] call is
+    /// served from the maintained filter's cache (cheap copy-on-write
+    /// clone) instead of rebuilding the bit projection.
+    pub fn summary_is_cached(&self) -> bool {
+        self.summary.is_cached()
+    }
+
     /// Pending unreported changes.
     pub fn pending_changes(&self) -> usize {
         self.changes.count()

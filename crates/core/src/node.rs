@@ -20,10 +20,11 @@ use std::sync::Arc;
 
 use bloom::ObjectId;
 use gossip::PushPolicy;
+use metrics::{Counter, Hist};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use simnet::stats::ServedBy;
-use simnet::{Ctx, Event, Locality, NodeId, SimDuration, SimTime};
+use simnet::{Ctx, Event, Locality, Message as _, NodeId, SimDuration, SimTime};
 use workload::{Catalog, WebsiteId};
 
 use crate::config::FlowerConfig;
@@ -417,7 +418,13 @@ impl FlowerNode {
         }
         let role = self.dir_role.take()?;
         let me = ctx.id();
-        let target = role.dir.view_seed(1, me).first().copied();
+        let seeded = role.dir.view_seed(1, me);
+        {
+            let mut m = ctx.metrics();
+            m.incr(Counter::DirViewSeeds);
+            m.record(Hist::DirViewSeedLen, seeded.len() as u64);
+        }
+        let target = seeded.first().copied();
         let Some(target) = target else {
             // Nobody to hand off to; the directory simply disappears
             // and §5.2 crash recovery will eventually elect a peer.
@@ -612,10 +619,14 @@ impl FlowerNode {
             max_hops,
             query.dir_hops,
         );
+        ctx.metrics().incr(Counter::DirProcess);
         if role.dir.locality() == query.origin_locality {
             let admitted = role.dir.admit_or_refresh(query.origin, query.object);
             if admits_here {
                 let view_seed = role.dir.view_seed(8, query.origin);
+                let mut m = ctx.metrics();
+                m.incr(Counter::DirViewSeeds);
+                m.record(Hist::DirViewSeedLen, view_seed.len() as u64);
                 ctx.send(
                     query.origin,
                     FlowerMsg::Admission {
@@ -630,16 +641,23 @@ impl FlowerNode {
             }
         }
         match decision {
-            DirDecision::ToHolder(h) => ctx.send(h, FlowerMsg::RedirectToHolder { query }),
+            DirDecision::ToHolder(h) => {
+                ctx.metrics().incr(Counter::DirToHolder);
+                ctx.send(h, FlowerMsg::RedirectToHolder { query });
+            }
             DirDecision::ToDirectory(d) => {
+                ctx.metrics().incr(Counter::DirToDirectory);
                 let mut q = query;
                 q.dir_hops += 1;
                 ctx.send(d, FlowerMsg::SummaryRedirect { query: q });
             }
-            DirDecision::ToServer => ctx.send(
-                self.shared.server_of(query.website),
-                FlowerMsg::ServerQuery { query },
-            ),
+            DirDecision::ToServer => {
+                ctx.metrics().incr(Counter::DirToServer);
+                ctx.send(
+                    self.shared.server_of(query.website),
+                    FlowerMsg::ServerQuery { query },
+                );
+            }
         }
         self.maybe_split_on_load(ctx);
         self.maybe_broadcast_summary(ctx);
@@ -887,9 +905,21 @@ impl FlowerNode {
             return;
         };
         if let Some(target) = cp.gossip_tick() {
+            let cached = cp.summary_is_cached();
             let payload = cp.build_gossip(ctx.rng(), l_gossip);
             self.stats.gossips_started += 1;
-            ctx.send(target, FlowerMsg::GossipReq(payload));
+            let msg = FlowerMsg::GossipReq(payload);
+            {
+                let mut m = ctx.metrics();
+                m.incr(Counter::GossipExchanges);
+                m.record(Hist::GossipPayloadBytes, msg.wire_size() as u64);
+                m.incr(if cached {
+                    Counter::BloomCowClones
+                } else {
+                    Counter::BloomRebuilds
+                });
+            }
+            ctx.send(target, msg);
         }
         ctx.set_timer(t_gossip, timers::GOSSIP, ws.0 as u64);
     }
@@ -907,8 +937,19 @@ impl FlowerNode {
             // Overlays are scoped by (website, locality): only
             // same-overlay exchanges are answered.
             Some(cp) if cp.locality() == payload.locality => {
+                let cached = cp.summary_is_cached();
                 let reply = cp.build_gossip(ctx.rng(), l_gossip);
-                ctx.send(from, FlowerMsg::GossipResp(reply));
+                let msg = FlowerMsg::GossipResp(reply);
+                {
+                    let mut m = ctx.metrics();
+                    m.record(Hist::GossipPayloadBytes, msg.wire_size() as u64);
+                    m.incr(if cached {
+                        Counter::BloomCowClones
+                    } else {
+                        Counter::BloomRebuilds
+                    });
+                }
+                ctx.send(from, msg);
                 cp.absorb_gossip(me, from, payload, self.shared.cfg.t_dead);
                 self.pin_own_directory(me, ws);
                 self.pin_petal_directory(me, ws);
@@ -1064,8 +1105,10 @@ impl FlowerNode {
         }
         if new_live > old_live {
             self.stats.petal_splits += 1;
+            ctx.metrics().incr(Counter::DirPetalSplits);
         } else {
             self.stats.petal_merges += 1;
+            ctx.metrics().incr(Counter::DirPetalMerges);
             for inst in new_live..old_live {
                 ctx.send(
                     shared.instance_node(ws, loc, inst),
@@ -1841,6 +1884,7 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                     // to them or shrink them again).
                     let mut petal = PetalState::new(0, self.shared.scheme.instances() as u32);
                     petal.live = live.clamp(1, self.shared.scheme.instances() as u32);
+                    let inherited_live = petal.live;
                     self.dir_role = Some(DirRole {
                         substrate,
                         dir,
@@ -1866,6 +1910,12 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                         )
                     });
                     cp.set_directory(me);
+                    // §5.3: the content role adopts the carried live
+                    // count too — the heir's own pushes and instance
+                    // pinning must keep honouring the split petal, not
+                    // fall back to single-instance routing until the
+                    // next admission re-announces it.
+                    cp.set_petal_live(inherited_live);
                     cp.seed_view(&members, me);
                     if is_new_role {
                         let g = ctx.rng().gen_range(0..cfg.t_gossip.as_ms().max(1));
@@ -1898,10 +1948,17 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                             role.dir.process(ctx.rng(), object, NodeId(u32::MAX), 0, 0),
                             crate::directory::DirDecision::ToHolder(_)
                         );
+                        ctx.metrics().incr(Counter::DirProcess);
                         if already {
                             continue;
                         }
-                        if let Some(member) = role.dir.view_seed(1, holder).first().copied() {
+                        let seeded = role.dir.view_seed(1, holder);
+                        {
+                            let mut m = ctx.metrics();
+                            m.incr(Counter::DirViewSeeds);
+                            m.record(Hist::DirViewSeedLen, seeded.len() as u64);
+                        }
+                        if let Some(member) = seeded.first().copied() {
                             ctx.send(
                                 member,
                                 FlowerMsg::ReplicaInstruct {

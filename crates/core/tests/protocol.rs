@@ -135,6 +135,32 @@ fn dir_handoff_carries_live_instance_count() {
         vec![2],
         "the heir must continue the split petal at live = 2"
     );
+    // The heir's *content* role adopts the carried count too: its own
+    // pushes and §5.3 instance pinning must keep honouring the split
+    // petal instead of falling back to single-instance routing until
+    // the next admission re-announces it.
+    let heir = sys
+        .community(ws, loc)
+        .iter()
+        .copied()
+        .find(|n| {
+            sys.engine()
+                .node(*n)
+                .dir_role()
+                .map(|r| r.dir.website() == ws && r.dir.locality() == loc)
+                .unwrap_or(false)
+        })
+        .expect("heir found above");
+    let cp = sys
+        .engine()
+        .node(heir)
+        .content_role(ws)
+        .expect("the heir keeps a content role");
+    assert_eq!(
+        cp.petal_live(),
+        2,
+        "the heir's content role must adopt the carried live count"
+    );
 }
 
 /// §5.4 locality change: the peer leaves its overlays and rejoins (as

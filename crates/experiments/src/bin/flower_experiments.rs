@@ -8,6 +8,7 @@
 //!                    [--lookahead <matrix|global|both>]
 //!                    [--instance-bits <b|a,b,..>] [--pin]
 //!                    [--csv-dir <dir>] [--bench-out <file>]
+//!                    [--metrics-out <file>]
 //!
 //! experiments:
 //!   table2a | table2b | table2c | push-threshold
@@ -15,7 +16,8 @@
 //!   churn | ablation | replication | cache | substrates | all
 //!   scale [--nodes <a,b,..>] [--shard-sweep <a,b,..>] [--horizon-secs <s>]
 //!   bench-check --baseline <file> --fresh <file>
-//!               [--max-drop <frac>] [--summary-out <file>]
+//!               [--max-drop <frac>] [--summary-out <file>] [--metrics <file>]
+//!   metrics-check --metrics <file> [--summary-out <file>]
 //! ```
 //!
 //! `--scale 0.1` simulates 2.4 h instead of 24 h (protocol periods
@@ -48,13 +50,19 @@
 //! throughput summary, and exits non-zero if events/sec dropped more
 //! than `--max-drop` (default 0.20) at any matched point. Records
 //! only compare within one host core count; a core-count mismatch is
-//! an explicit SKIP (exit 0), not a pass.
+//! an explicit SKIP (exit 0), not a pass. With `--metrics
+//! METRICS.json` it validates the run's registry snapshots and
+//! appends the per-subsystem attribution table to the summary.
+//! `--metrics-out METRICS.json` (for `scale` and `churn`) writes the
+//! registry snapshots of every cell machine-readably;
+//! `metrics-check` validates such a document standalone (the CI
+//! metrics-smoke assertions) and prints its attribution table.
 
 use std::io::Write;
 
 use experiments::exps::{self, ExpOutput, ScaleParams};
 use experiments::gate;
-use experiments::report::{bench_json, BenchRecord};
+use experiments::report::{bench_json, metrics_json, BenchRecord, MetricsRecord};
 use experiments::runner::{RunOpts, RunScale};
 use experiments::{EventQueueKind, LookaheadKind, SubstrateKind};
 use simnet::SimDuration;
@@ -68,6 +76,11 @@ struct Args {
     lookahead_sweep: Vec<LookaheadKind>,
     csv_dir: Option<String>,
     bench_out: Option<String>,
+    /// `--metrics-out`: write the registry snapshots as METRICS.json.
+    metrics_out: Option<String>,
+    /// `--metrics`: METRICS.json to validate (metrics-check) or fold
+    /// into the bench-check summary.
+    metrics_in: Option<String>,
     scale_nodes: Vec<usize>,
     scale_shards: Vec<usize>,
     /// Append the WAN lookahead-comparison cells to the `scale` sweep.
@@ -103,6 +116,8 @@ fn parse_args() -> Result<Args, String> {
         lookahead_sweep: vec![LookaheadKind::default()],
         csv_dir: None,
         bench_out: None,
+        metrics_out: None,
+        metrics_in: None,
         scale_nodes: vec![10_000, 50_000, 100_000],
         scale_shards: vec![1, 2, 4, 8],
         scale_wan: false,
@@ -164,6 +179,12 @@ fn parse_args() -> Result<Args, String> {
             "--bench-out" => {
                 out.bench_out = Some(args.next().ok_or("--bench-out needs a value")?);
             }
+            "--metrics-out" => {
+                out.metrics_out = Some(args.next().ok_or("--metrics-out needs a value")?);
+            }
+            "--metrics" => {
+                out.metrics_in = Some(args.next().ok_or("--metrics needs a value")?);
+            }
             "--nodes" => {
                 let v = args.next().ok_or("--nodes needs a value")?;
                 out.scale_nodes = parse_list(&v)?;
@@ -223,13 +244,13 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: flower-experiments <table2a|table2b|table2c|push-threshold|fig5|fig6|fig7|fig8|churn|ablation|replication|cache|substrates|scale|bench-check|all> \
+    "usage: flower-experiments <table2a|table2b|table2c|push-threshold|fig5|fig6|fig7|fig8|churn|ablation|replication|cache|substrates|scale|bench-check|metrics-check|all> \
      [--scale <f|full>] [--seed <n>] [--substrate <chord|pastry>] [--shards <n>] \
      [--event-queue <calendar|heap|both>] [--lookahead <matrix|global|both>] \
      [--instance-bits <b|a,b,..>] [--pin] \
-     [--csv-dir <dir>] [--bench-out <file>] \
+     [--csv-dir <dir>] [--bench-out <file>] [--metrics-out <file>] \
      [--nodes <a,b,..>] [--shard-sweep <a,b,..>] [--horizon-secs <s>] [--wan] \
-     [--baseline <file> --fresh <file> [--max-drop <frac>] [--summary-out <file>]]"
+     [--baseline <file> --fresh <file> [--max-drop <frac>] [--summary-out <file>] [--metrics <file>]]"
         .to_string()
 }
 
@@ -260,7 +281,13 @@ fn bench_check(args: &Args) -> Result<bool, String> {
         gate::parse_bench(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
     let fresh = gate::parse_bench(&read(fresh_path)?).map_err(|e| format!("{fresh_path}: {e}"))?;
     let report = gate::compare(&baseline, &fresh, args.max_drop);
-    let md = report.to_markdown();
+    let mut md = report.to_markdown();
+    if let Some(path) = &args.metrics_in {
+        let doc = gate::parse_metrics(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+        gate::validate_metrics(&doc).map_err(|e| format!("{path}: {e}"))?;
+        md.push('\n');
+        md.push_str(&gate::metrics_markdown(&doc));
+    }
     println!("{md}");
     if let Some(path) = &args.summary_out {
         std::fs::write(path, &md).map_err(|e| format!("write {path}: {e}"))?;
@@ -290,6 +317,33 @@ fn bench_check(args: &Args) -> Result<bool, String> {
     Ok(report.passed())
 }
 
+/// The CI metrics-smoke check (`metrics-check`): parse a METRICS.json
+/// document, run the [`gate::validate_metrics`] assertions (non-empty
+/// registry, counter cross-invariants, histogram count/sum
+/// consistency, sim-scope equality across execution variants), and
+/// print the per-subsystem attribution table.
+fn metrics_check(args: &Args) -> Result<(), String> {
+    let path = args
+        .metrics_in
+        .as_deref()
+        .ok_or("metrics-check needs --metrics <file>")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = gate::parse_metrics(&json).map_err(|e| format!("{path}: {e}"))?;
+    gate::validate_metrics(&doc).map_err(|e| format!("{path}: {e}"))?;
+    let md = gate::metrics_markdown(&doc);
+    println!("{md}");
+    if let Some(out) = &args.summary_out {
+        std::fs::write(out, &md).map_err(|e| format!("write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    eprintln!(
+        "metrics-check: OK — {} record(s), schema {}",
+        doc.records.len(),
+        doc.schema
+    );
+    Ok(())
+}
+
 fn emit(name: &str, out: &ExpOutput, csv_dir: &Option<String>) {
     println!("{}", out.text);
     if let Some(dir) = csv_dir {
@@ -314,6 +368,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.cmd == "metrics-check" {
+        match metrics_check(&args) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if args.cmd == "bench-check" {
         match bench_check(&args) {
             Ok(true) => return,
@@ -354,28 +417,34 @@ fn main() {
     }
 
     let mut bench: Vec<BenchRecord> = Vec::new();
+    let mut metrics_records: Vec<MetricsRecord> = Vec::new();
     for (name, out) in &outputs {
         failed |= !out.all_passed();
         emit(name, out, &args.csv_dir);
         bench.extend(out.bench.iter().cloned());
+        metrics_records.extend(out.metrics.iter().cloned());
     }
+    let queues = args
+        .queue_sweep
+        .iter()
+        .map(|q| q.to_string())
+        .collect::<Vec<_>>()
+        .join("+");
+    let host = format!(
+        "{} cpus, {}, queue={}",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0),
+        std::env::consts::ARCH,
+        queues
+    );
     if let Some(path) = &args.bench_out {
-        let queues = args
-            .queue_sweep
-            .iter()
-            .map(|q| q.to_string())
-            .collect::<Vec<_>>()
-            .join("+");
-        let host = format!(
-            "{} cpus, {}, queue={}",
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(0),
-            std::env::consts::ARCH,
-            queues
-        );
         std::fs::write(path, bench_json(&host, &bench)).expect("write bench json");
         eprintln!("wrote {path} ({} records)", bench.len());
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, metrics_json(&host, &metrics_records)).expect("write metrics json");
+        eprintln!("wrote {path} ({} records)", metrics_records.len());
     }
     eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
     if failed {

@@ -14,7 +14,7 @@ use simnet::{
 use squirrel::SquirrelSystem;
 
 use crate::paper;
-use crate::report::{f1, f3, pct, BenchRecord, Table};
+use crate::report::{f1, f3, pct, BenchRecord, MetricsRecord, Table};
 use crate::runner::{self, RunOpts, RunScale};
 
 /// Rendered output of one experiment.
@@ -28,6 +28,9 @@ pub struct ExpOutput {
     pub checks: Vec<(String, bool)>,
     /// Engine-performance measurements for `BENCH_engine.json`.
     pub bench: Vec<BenchRecord>,
+    /// Registry snapshots for `METRICS.json` (per-subsystem hot-path
+    /// attribution; written by `--metrics-out`).
+    pub metrics: Vec<MetricsRecord>,
 }
 
 impl ExpOutput {
@@ -570,6 +573,12 @@ pub fn churn(opts: RunOpts) -> ExpOutput {
 
     sys.run_until(horizon + SimDuration::from_secs(60));
     let r = sys.report();
+    out.metrics.push(MetricsRecord {
+        experiment: "churn".into(),
+        sim_key: format!("churn/seed{}", opts.seed),
+        shards: sys.engine().num_shards(),
+        set: sys.engine().metrics().clone(),
+    });
 
     let replacements: u64 = sys
         .engine()
@@ -1164,6 +1173,16 @@ pub fn scale(params: &ScaleParams) -> ExpOutput {
                                 *base_stats == stats,
                             ),
                         }
+                        out.metrics.push(MetricsRecord {
+                            experiment: name.clone(),
+                            // Shards/queue are execution knobs; the
+                            // /glf suffix only switches the lookahead
+                            // mode, so the /glf twin simulates the
+                            // same trace and shares the key.
+                            sim_key: name.trim_end_matches("/glf").to_string(),
+                            shards: sys.engine().num_shards(),
+                            set: sys.engine().metrics().clone(),
+                        });
                         out.bench.push(record);
                     }
                     let matrix = epochs_by_mode
@@ -1269,6 +1288,12 @@ pub fn scale(params: &ScaleParams) -> ExpOutput {
                             *base == stats,
                         ),
                     }
+                    out.metrics.push(MetricsRecord {
+                        experiment: name.clone(),
+                        sim_key: name.trim_end_matches("/glf").to_string(),
+                        shards: sys.engine().num_shards(),
+                        set: sys.engine().metrics().clone(),
+                    });
                     out.bench.push(record);
                 }
                 let m = wan_epochs[0].1;

@@ -1,8 +1,9 @@
-//! Plain-text table, CSV and benchmark-JSON rendering for experiment
-//! output.
+//! Plain-text table, CSV, benchmark-JSON and metrics-JSON rendering
+//! for experiment output.
 
 use std::fmt::Write as _;
 
+use metrics::{Counter, Gauge, Hist, MetricSet, METRICS_SCHEMA_NAME};
 use simnet::EventQueueKind;
 
 /// A fixed-width text table.
@@ -222,6 +223,108 @@ pub fn bench_json(host: &str, records: &[BenchRecord]) -> String {
     out
 }
 
+/// One run's registry snapshot, emitted into `METRICS.json` so the CI
+/// dashboard can attribute hot-path work per subsystem.
+#[derive(Clone, Debug)]
+pub struct MetricsRecord {
+    /// The experiment (or sweep cell) the snapshot belongs to.
+    pub experiment: String,
+    /// Simulation-identity key: cells that simulate the same trace
+    /// under different *execution* knobs (shard count, queue backend,
+    /// lookahead mode) share this key, and the metrics gate asserts
+    /// their `Scope::Sim` cells are identical.
+    pub sim_key: String,
+    /// Engine shards the run executed on.
+    pub shards: usize,
+    /// The merged registry cells at the end of the run.
+    pub set: MetricSet,
+}
+
+/// Render registry snapshots as the versioned `METRICS.json` document
+/// (schema [`METRICS_SCHEMA_NAME`]; hand-rolled like [`bench_json`]).
+///
+/// Every registered counter and gauge is emitted (zeros included, so
+/// the gate can check cross-metric invariants without guessing about
+/// absent cells); histograms carry their exact count/sum plus the
+/// non-empty `[bucket index, count]` pairs.
+pub fn metrics_json(host: &str, records: &[MetricsRecord]) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{METRICS_SCHEMA_NAME}\",");
+    let _ = writeln!(out, "  \"host\": \"{}\",", esc(host));
+    let _ = writeln!(out, "  \"records\": [");
+    for (ri, r) in records.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"experiment\": \"{}\",", esc(&r.experiment));
+        let _ = writeln!(out, "      \"sim_key\": \"{}\",", esc(&r.sim_key));
+        let _ = writeln!(out, "      \"shards\": {},", r.shards);
+        let _ = writeln!(out, "      \"counters\": [");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            let d = c.def();
+            let _ = writeln!(
+                out,
+                "        {{\"name\": \"{}\", \"subsystem\": \"{}\", \"scope\": \"{}\", \
+                 \"unit\": \"{}\", \"value\": {}}}{}",
+                d.name,
+                d.subsystem.name(),
+                d.scope.name(),
+                d.unit,
+                r.set.counter(*c),
+                if i + 1 == Counter::ALL.len() { "" } else { "," }
+            );
+        }
+        let _ = writeln!(out, "      ],");
+        let _ = writeln!(out, "      \"gauges\": [");
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            let d = g.def();
+            let _ = writeln!(
+                out,
+                "        {{\"name\": \"{}\", \"subsystem\": \"{}\", \"scope\": \"{}\", \
+                 \"unit\": \"{}\", \"value\": {}}}{}",
+                d.name,
+                d.subsystem.name(),
+                d.scope.name(),
+                d.unit,
+                r.set.gauge(*g),
+                if i + 1 == Gauge::ALL.len() { "" } else { "," }
+            );
+        }
+        let _ = writeln!(out, "      ],");
+        let _ = writeln!(out, "      \"hists\": [");
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            let d = h.def();
+            let hist = r.set.hist(*h);
+            let buckets: Vec<String> = hist
+                .nonzero()
+                .map(|(idx, c)| format!("[{idx}, {c}]"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "        {{\"name\": \"{}\", \"subsystem\": \"{}\", \"scope\": \"{}\", \
+                 \"unit\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [{}]}}{}",
+                d.name,
+                d.subsystem.name(),
+                d.scope.name(),
+                d.unit,
+                hist.count(),
+                hist.sum(),
+                buckets.join(", "),
+                if i + 1 == Hist::ALL.len() { "" } else { "," }
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if ri + 1 == records.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
 /// Format a float with 3 decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -332,5 +435,39 @@ mod tests {
         assert!(json.contains("fig\\\"5"), "quotes must be escaped");
         // Exactly one trailing comma between the two records.
         assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let mut set = MetricSet::new();
+        set.add(Counter::EngineEvents, 1000);
+        set.incr(Counter::DirProcess);
+        set.gauge_max(Gauge::PeakQueueDepth, 77);
+        set.record(Hist::GossipPayloadBytes, 129);
+        let records = vec![MetricsRecord {
+            experiment: "scale/20000n".into(),
+            sim_key: "scale/20000n".into(),
+            shards: 2,
+            set,
+        }];
+        let json = metrics_json("test-host", &records);
+        assert!(json.contains(&format!("\"schema\": \"{METRICS_SCHEMA_NAME}\"")));
+        assert!(json.contains("\"experiment\": \"scale/20000n\""));
+        assert!(json.contains("\"sim_key\": \"scale/20000n\""));
+        assert!(json.contains("\"shards\": 2"));
+        assert!(json.contains(
+            "{\"name\": \"engine_events_total\", \"subsystem\": \"engine\", \
+             \"scope\": \"sim\", \"unit\": \"events\", \"value\": 1000}"
+        ));
+        // Zero cells are emitted too.
+        assert!(json.contains("\"name\": \"gossip_exchanges\""));
+        assert!(json.contains("\"value\": 0"));
+        // The recorded histogram value lands in exactly one bucket.
+        let idx = metrics::bucket_index(129);
+        assert!(json.contains(&format!(
+            "\"count\": 1, \"sum\": 129, \"buckets\": [[{idx}, 1]]"
+        )));
+        // Empty histograms emit an empty bucket list.
+        assert!(json.contains("\"count\": 0, \"sum\": 0, \"buckets\": []"));
     }
 }

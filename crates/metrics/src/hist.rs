@@ -1,0 +1,206 @@
+//! Log-linear histogram over the full `u64` range.
+//!
+//! Layout (the rezolus / h2histogram shape): values below
+//! `2^(GROUP_BITS + 1)` get one bucket each (exact); above that, every
+//! power of two is split into `2^GROUP_BITS` linear sub-buckets, so
+//! the relative width of any bucket is at most `2^-GROUP_BITS`. With
+//! `GROUP_BITS = 2` that is 252 buckets and ≤ 25% relative error —
+//! plenty for attribution, and small enough to keep a per-shard array
+//! in cache.
+//!
+//! Everything is integer arithmetic: recording is a leading-zeros
+//! count plus shifts, merging is a bucket-wise add, so histograms are
+//! exactly as deterministic as the counters.
+
+/// Linear sub-buckets per power of two, as a bit count.
+pub const GROUP_BITS: u32 = 2;
+
+const GROUPS: usize = 1 << GROUP_BITS;
+
+/// Total bucket count for the full `u64` range.
+pub const BUCKETS: usize = (64 - GROUP_BITS as usize + 1) * GROUPS;
+
+/// Bucket index a value lands in.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < (1 << (GROUP_BITS + 1)) {
+        v as usize
+    } else {
+        let p = 63 - v.leading_zeros();
+        let shift = p - GROUP_BITS;
+        ((shift as usize) << GROUP_BITS) + (v >> shift) as usize
+    }
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `i`.
+///
+/// Panics if `i >= BUCKETS`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket {i} out of range");
+    if i < (1 << (GROUP_BITS + 1)) {
+        (i as u64, i as u64)
+    } else {
+        let q = i >> GROUP_BITS;
+        let shift = (q - 1) as u32;
+        let s = (i - ((shift as usize) << GROUP_BITS)) as u64;
+        let lower = s << shift;
+        (lower, lower + ((1u64 << shift) - 1))
+    }
+}
+
+/// A fixed-size log-linear histogram: per-bucket counts plus the
+/// exact count and sum of recorded values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogLinearHist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl LogLinearHist {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        LogLinearHist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// The non-empty buckets as `(index, count)`, ascending.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Bucket-wise merge of another histogram into this one.
+    pub fn merge_from(&mut self, other: &LogLinearHist) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Mean of the recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl Default for LogLinearHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..(1u64 << (GROUP_BITS + 1)) {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_range() {
+        // Consecutive buckets touch: upper(i) + 1 == lower(i + 1).
+        for i in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo_next, "gap after bucket {i}");
+        }
+        assert_eq!(bucket_bounds(0).0, 0);
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn index_and_bounds_agree() {
+        let probes = [
+            0,
+            1,
+            7,
+            8,
+            9,
+            15,
+            16,
+            100,
+            1023,
+            1024,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for v in probes {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} i={i} lo={lo} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = LogLinearHist::new();
+        let mut b = LogLinearHist::new();
+        for v in [1u64, 5, 9, 100] {
+            a.record(v);
+        }
+        for v in [2u64, 9, 1000] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        assert_eq!(merged.count(), 7);
+        assert_eq!(merged.sum(), 1 + 5 + 9 + 100 + 2 + 9 + 1000);
+        assert_eq!(merged.bucket(bucket_index(9)), 2);
+        let total: u64 = merged.nonzero().map(|(_, c)| c).sum();
+        assert_eq!(total, merged.count());
+        assert!(merged.mean() > 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn every_value_lands_inside_its_bucket(v in any::<u64>()) {
+            let i = bucket_index(v);
+            prop_assert!(i < BUCKETS);
+            let (lo, hi) = bucket_bounds(i);
+            prop_assert!(lo <= v && v <= hi);
+        }
+    }
+}

@@ -55,8 +55,9 @@
 //! oracle.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
+use metrics::{Counter, Gauge, MetricSet, MetricSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -150,6 +151,7 @@ pub struct Ctx<'a, M> {
     rng: &'a mut StdRng,
     query_stats: &'a mut QueryStats,
     gauges: &'a mut GaugeSet,
+    metrics: &'a mut MetricSet,
     out: &'a mut Vec<Action<M>>,
 }
 
@@ -213,6 +215,15 @@ impl<'a, M> Ctx<'a, M> {
         QuerySink {
             stats: self.query_stats,
         }
+    }
+
+    /// The static metric registry's recording facade. Like
+    /// [`Ctx::query_stats`], record-only by construction
+    /// ([`MetricSink`]): each shard owns private metric cells merged
+    /// at read time, so reading partial values back from a handler
+    /// would make behaviour depend on the shard layout.
+    pub fn metrics(&mut self) -> MetricSink<'_> {
+        MetricSink::new(self.metrics)
     }
 
     /// Record an application gauge sample (e.g. participant count,
@@ -562,19 +573,28 @@ struct Shard<M: Message, N: Node<M>> {
     /// drained (capacity kept) after every event.
     scratch: Vec<Action<M>>,
     delivery: DeliveryMode,
-    events_processed: u64,
-    /// Barrier rounds this shard participated in (identical across
-    /// shards of a run; 0 on the thread-free single-shard path).
-    epochs: u64,
-    /// Of those, fused solo rounds — rounds in which this shard was
-    /// either the sole worker (running ahead under the extended
-    /// bound) or idle (identical across shards, like `epochs`).
-    fused: u64,
-    /// Wall-clock time this shard's thread spent waiting at the epoch
-    /// barrier — the load-imbalance + synchronization overhead of the
-    /// parallel run, reported in the bench records.
-    barrier_idle: Duration,
+    /// This shard's private cells of the static metric registry:
+    /// engine counters (events dispatched, per-class receives,
+    /// timers, bounces, epoch/fused rounds, barrier idle) plus
+    /// whatever the protocol records through [`Ctx::metrics`]. What
+    /// used to be loose `u64` fields here (`events_processed`,
+    /// `epochs`, `fused`, `barrier_idle`) now lives in these cells;
+    /// the engine accessors read them back out of the merge.
+    metrics: MetricSet,
 }
+
+/// Per-traffic-class receive counters, indexed by
+/// [`TrafficClass::index`] — declaration order of both sides is
+/// pinned by a test below.
+const RECV_COUNTER: [Counter; 7] = [
+    Counter::RecvGossip,
+    Counter::RecvPush,
+    Counter::RecvKeepAlive,
+    Counter::RecvDhtRouting,
+    Counter::RecvDhtMaintenance,
+    Counter::RecvQueryControl,
+    Counter::RecvTransfer,
+];
 
 impl<M: Message, N: Node<M>> Shard<M, N> {
     /// The next key on this node's emission stream, at time `at`.
@@ -627,8 +647,10 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
                         continue;
                     }
                     Pending::Wire { from, to, msg } if self.up.get(to) => {
+                        let class = msg.class();
                         self.traffic
-                            .record_recv(place.local(to), msg.class(), msg.wire_size());
+                            .record_recv(place.local(to), class, msg.wire_size());
+                        self.metrics.incr(RECV_COUNTER[class.index()]);
                         self.deliver_batch(
                             to,
                             Event::Recv { from, msg },
@@ -704,8 +726,10 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
             }
             Pending::Wire { from, to, msg } => {
                 if self.up.get(to) {
+                    let class = msg.class();
                     self.traffic
-                        .record_recv(place.local(to), msg.class(), msg.wire_size());
+                        .record_recv(place.local(to), class, msg.wire_size());
+                    self.metrics.incr(RECV_COUNTER[class.index()]);
                     self.deliver(to, Event::Recv { from, msg }, topo, place, outbox);
                 } else if self.up.get(from) {
                     // Bounce: the sender learns after one more one-way
@@ -713,6 +737,7 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
                     // bounce is emitted on the dead destination's
                     // stream — its shard processes the wire event, so
                     // the counter stays deterministic.
+                    self.metrics.incr(Counter::EngineBounces);
                     let back = topo.latency(to, from);
                     let key = self.emit_key(self.now + back, to, place);
                     self.route(
@@ -739,7 +764,10 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
         place: &Placement,
         outbox: &mut [Vec<Staged<M>>],
     ) {
-        self.events_processed += 1;
+        self.metrics.incr(Counter::EngineEvents);
+        if matches!(ev, Event::Timer { .. }) {
+            self.metrics.incr(Counter::EngineTimers);
+        }
         let li = place.local(dst);
         let mut scratch = std::mem::take(&mut self.scratch);
         debug_assert!(scratch.is_empty());
@@ -750,6 +778,7 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
             rng: &mut self.slab.rngs[li],
             query_stats: &mut self.query_stats,
             gauges: &mut self.gauges,
+            metrics: &mut self.metrics,
             out: &mut scratch,
         };
         self.nodes[li].on_event(&mut ctx, ev);
@@ -778,7 +807,10 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
         debug_assert!(scratch.is_empty());
         let mut ev = first_ev;
         loop {
-            self.events_processed += 1;
+            self.metrics.incr(Counter::EngineEvents);
+            if matches!(ev, Event::Timer { .. }) {
+                self.metrics.incr(Counter::EngineTimers);
+            }
             let mut ctx = Ctx {
                 now: self.now,
                 id: dst,
@@ -786,6 +818,7 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
                 rng: &mut self.slab.rngs[li],
                 query_stats: &mut self.query_stats,
                 gauges: &mut self.gauges,
+                metrics: &mut self.metrics,
                 out: &mut scratch,
             };
             self.nodes[li].on_event(&mut ctx, ev);
@@ -808,7 +841,9 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
             ev = match payload {
                 Pending::App { ev, .. } => ev,
                 Pending::Wire { from, msg, .. } => {
-                    self.traffic.record_recv(li, msg.class(), msg.wire_size());
+                    let class = msg.class();
+                    self.traffic.record_recv(li, class, msg.wire_size());
+                    self.metrics.incr(RECV_COUNTER[class.index()]);
                     Event::Recv { from, msg }
                 }
                 _ => unreachable!("continuation is App/Wire by the peek above"),
@@ -863,6 +898,7 @@ struct Merged {
     traffic: Traffic,
     query_stats: QueryStats,
     gauges: GaugeSet,
+    metrics: MetricSet,
 }
 
 /// The simulation driver.
@@ -994,10 +1030,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                 gauges: GaugeSet::new(window),
                 scratch: Vec::new(),
                 delivery: DeliveryMode::default(),
-                events_processed: 0,
-                epochs: 0,
-                fused: 0,
-                barrier_idle: Duration::ZERO,
+                metrics: MetricSet::new(),
             })
             .collect();
 
@@ -1064,7 +1097,11 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
     /// ([`Engine::fused_rounds`]) shrink it further by letting a lone
     /// working shard cover many windows in one round.
     pub fn epochs(&self) -> u64 {
-        self.shards.iter().map(|s| s.epochs).max().unwrap_or(0)
+        self.shards
+            .iter()
+            .map(|s| s.metrics.counter(Counter::EngineEpochs))
+            .max()
+            .unwrap_or(0)
     }
 
     /// How many of the [`Engine::epochs`] were *fused solo rounds*:
@@ -1075,7 +1112,11 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
     /// skipped the round entirely. Identical across shards, like the
     /// epoch count itself.
     pub fn fused_rounds(&self) -> u64 {
-        self.shards.iter().map(|s| s.fused).max().unwrap_or(0)
+        self.shards
+            .iter()
+            .map(|s| s.metrics.counter(Counter::EngineFusedRounds))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Per-shard wall-clock seconds spent waiting at the epoch
@@ -1085,7 +1126,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
     pub fn barrier_idle_secs(&self) -> Vec<f64> {
         self.shards
             .iter()
-            .map(|s| s.barrier_idle.as_secs_f64())
+            .map(|s| s.metrics.counter(Counter::EngineBarrierIdleNs) as f64 / 1e9)
             .collect()
     }
 
@@ -1168,7 +1209,19 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
 
     /// Total events dispatched so far.
     pub fn events_processed(&self) -> u64 {
-        self.shards.iter().map(|s| s.events_processed).sum()
+        self.shards
+            .iter()
+            .map(|s| s.metrics.counter(Counter::EngineEvents))
+            .sum()
+    }
+
+    /// The static metric registry, merged across shards in shard
+    /// order, with the engine-level execution gauges (peak queue
+    /// depth, worst-shard barrier idle) written in. `Scope::Sim`
+    /// cells are bit-identical for every shard layout; `Scope::Exec`
+    /// cells describe this run's execution.
+    pub fn metrics(&self) -> &MetricSet {
+        &self.merged().metrics
     }
 
     /// High-water mark of any shard's event-queue length (the "peak
@@ -1188,6 +1241,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                 traffic: Traffic::new(self.topo.num_nodes(), first.traffic.window()),
                 query_stats: first.query_stats.clone(),
                 gauges: first.gauges.clone(),
+                metrics: first.metrics.clone(),
             };
             for s in &self.shards {
                 merged.traffic.absorb_shard(&s.traffic);
@@ -1195,7 +1249,20 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
             for s in &self.shards[1..] {
                 merged.query_stats.merge_from(&s.query_stats);
                 merged.gauges.merge_from(&s.gauges);
+                merged.metrics.merge_from(&s.metrics);
             }
+            // Engine-level execution gauges, written at merge time:
+            // high-water marks the shard loops track elsewhere.
+            merged
+                .metrics
+                .gauge_max(Gauge::PeakQueueDepth, self.peak_queue_depth() as u64);
+            let idle_max = self
+                .shards
+                .iter()
+                .map(|s| s.metrics.counter(Counter::EngineBarrierIdleNs))
+                .max()
+                .unwrap_or(0);
+            merged.metrics.gauge_max(Gauge::BarrierIdleMaxNs, idle_max);
             merged
         })
     }
@@ -1385,7 +1452,10 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                         unsafe { grid.publish(p, me, &mut outbox) };
                         let at_barrier = Instant::now();
                         barrier.wait(&mut waiter);
-                        shard.barrier_idle += at_barrier.elapsed();
+                        shard.metrics.add(
+                            Counter::EngineBarrierIdleNs,
+                            at_barrier.elapsed().as_nanos() as u64,
+                        );
                         // (2) Absorb this round's incoming mail; the
                         // queue re-establishes key order. Relaxed
                         // loads below are sound for the same reason
@@ -1415,7 +1485,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                             shard.now = shard.now.max(deadline);
                             break;
                         }
-                        shard.epochs += 1;
+                        shard.metrics.incr(Counter::EngineEpochs);
                         // (4) Conservative per-shard bound; identical
                         // on every thread for a given `i`.
                         let bound_of = |i: usize| -> u64 {
@@ -1443,7 +1513,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                             // run_epoch_until_cross covers replies to
                             // its own mail); everyone else skips the
                             // round.
-                            shard.fused += 1;
+                            shard.metrics.incr(Counter::EngineFusedRounds);
                             if solo == me {
                                 let inbound = (0..k)
                                     .filter(|m| *m != me)
@@ -1692,6 +1762,89 @@ mod tests {
             )
         };
         let reference = drive(1);
+        for shards in [2, 3] {
+            assert_eq!(drive(shards), reference, "shards={shards} diverged");
+        }
+    }
+
+    #[test]
+    fn recv_counter_table_matches_traffic_class_order() {
+        assert_eq!(RECV_COUNTER.len(), TrafficClass::ALL.len());
+        let expected = [
+            (TrafficClass::Gossip, "engine_recv_gossip"),
+            (TrafficClass::Push, "engine_recv_push"),
+            (TrafficClass::KeepAlive, "engine_recv_keepalive"),
+            (TrafficClass::DhtRouting, "engine_recv_dht_routing"),
+            (TrafficClass::DhtMaintenance, "engine_recv_dht_maintenance"),
+            (TrafficClass::QueryControl, "engine_recv_query_control"),
+            (TrafficClass::Transfer, "engine_recv_transfer"),
+        ];
+        for (i, (class, name)) in expected.iter().enumerate() {
+            assert_eq!(TrafficClass::ALL[i], *class, "class order drifted");
+            assert_eq!(class.index(), i, "class index drifted");
+            assert_eq!(
+                RECV_COUNTER[i].def().name,
+                *name,
+                "RECV_COUNTER[{i}] does not match {class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_counts_events_classes_and_bounces() {
+        let mut e = engine();
+        e.schedule_down(SimTime::ZERO, NodeId(1));
+        e.schedule_at(
+            SimTime::from_ms(5),
+            NodeId(0),
+            // Timer kind 2: node 0 pings the (dead) node 1.
+            Event::Timer { kind: 2, tag: 1 },
+        );
+        e.schedule_at(
+            SimTime::from_ms(7),
+            NodeId(2),
+            Event::Recv {
+                from: NodeId(3),
+                msg: PingMsg::Ping,
+            },
+        );
+        e.run_until(SimTime::from_secs(10));
+        let m = e.metrics();
+        assert_eq!(
+            m.counter(metrics::Counter::EngineEvents),
+            e.events_processed(),
+            "registry replaces the events side-channel"
+        );
+        assert_eq!(m.counter(metrics::Counter::EngineTimers), 1);
+        assert_eq!(m.counter(metrics::Counter::EngineBounces), 1);
+        // node 2's ping reply reached node 3: one QueryControl receive
+        // (the ping to the dead node 1 was never received).
+        assert!(m.counter(metrics::Counter::RecvQueryControl) >= 1);
+        assert_eq!(m.counter(metrics::Counter::RecvGossip), 0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn registry_sim_cells_are_shard_invariant() {
+        let drive = |shards: usize| {
+            let mut e = engine_sharded(shards);
+            for i in 0..40u32 {
+                e.schedule_at(
+                    SimTime::from_ms(i as u64 * 13),
+                    NodeId(i % 20),
+                    Event::Recv {
+                        from: NodeId((i + 7) % 20),
+                        msg: PingMsg::Ping,
+                    },
+                );
+            }
+            e.schedule_down(SimTime::from_ms(50), NodeId(2));
+            e.schedule_up(SimTime::from_secs(2), NodeId(2));
+            e.run_until(SimTime::from_secs(20));
+            e.metrics().sim_fingerprint()
+        };
+        let reference = drive(1);
+        assert!(!reference.iter().all(|&v| v == 0));
         for shards in [2, 3] {
             assert_eq!(drive(shards), reference, "shards={shards} diverged");
         }

@@ -158,6 +158,45 @@ fn placement_and_pinning_never_change_results() {
     }
 }
 
+/// The metric registry obeys the same law as the statistics above:
+/// every sim-scoped cell (counters, gauges and histogram buckets
+/// tagged `Scope::Sim`) is a pure function of the simulated trace, so
+/// merging the per-shard cells in shard order yields the bit-identical
+/// flattened fingerprint under every shard count, queue backend and
+/// lookahead mode. Exec-scoped cells (epochs, fused rounds, barrier
+/// idle) are deliberately excluded — they measure the execution, not
+/// the simulation.
+#[test]
+fn metric_registry_sim_cells_are_execution_invariant() {
+    use flower_cdn::simnet::LookaheadKind;
+    let run = |shards: usize, queue: EventQueueKind, lookahead: LookaheadKind| {
+        let mut cfg = SystemConfig::small_test();
+        cfg.seed = 42;
+        cfg.shards = shards;
+        cfg.topology.event_queue = queue;
+        cfg.topology.lookahead = lookahead;
+        let (sys, _) = FlowerSystem::run(&cfg);
+        sys.engine().metrics().sim_fingerprint()
+    };
+    let reference = run(1, EventQueueKind::Calendar, LookaheadKind::GlobalFloor);
+    assert!(
+        reference.iter().any(|&v| v > 0),
+        "the single-shard run must populate sim-scoped metric cells"
+    );
+    for shards in [1usize, 2, 4] {
+        for queue in [EventQueueKind::Calendar, EventQueueKind::Heap] {
+            for lookahead in [LookaheadKind::GlobalFloor, LookaheadKind::Matrix] {
+                assert_eq!(
+                    run(shards, queue, lookahead),
+                    reference,
+                    "shards={shards} queue={queue} lookahead={lookahead:?}: \
+                     sim-scoped metric cells diverged"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn sharded_runs_track_seed_changes_together() {
     // Different seed ⇒ different trace, under every shard count alike.
