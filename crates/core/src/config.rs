@@ -94,6 +94,19 @@ pub struct FlowerConfig {
     /// Maximum jitter before a content peer attempts to replace a dead
     /// directory (reduces join collisions; §5.2).
     pub dir_replacement_jitter: SimDuration,
+    /// Timeout armed on every pending query. The paper's §5 failure
+    /// handling relies on *synchronous* bounces from dead
+    /// destinations; partitions and silent message loss give no such
+    /// signal, so a pending query that hears nothing for this long
+    /// fires a retry (doubling the timeout each attempt, re-routed to
+    /// a sibling petal instance where the §5.3 scheme provides one)
+    /// and, past [`FlowerConfig::query_retry_budget`], degrades to
+    /// the origin server. `None` (the default, the paper's base
+    /// system) disables timeouts entirely.
+    pub query_timeout: Option<SimDuration>,
+    /// Timed-out re-route attempts before a query degrades to the
+    /// origin server. Only meaningful with `query_timeout` set.
+    pub query_retry_budget: u8,
 
     // ---- §8 extensions (off by default: the paper's base system) ----
     /// Cache replacement policy of content peers (paper: unbounded).
@@ -132,6 +145,8 @@ impl Default for FlowerConfig {
             summary_fetch_retries: 2,
             member_dir_fallback: false,
             dir_replacement_jitter: SimDuration::from_secs(60),
+            query_timeout: None,
+            query_retry_budget: 2,
             cache_policy: CachePolicy::Unbounded,
             cache_capacity: 0,
             replication_period: None,
@@ -209,6 +224,11 @@ impl FlowerConfig {
         if let Some(p) = self.replication_period {
             if p.is_zero() {
                 return Err("replication period must be positive".into());
+            }
+        }
+        if let Some(t) = self.query_timeout {
+            if t.is_zero() {
+                return Err("query timeout must be positive".into());
             }
         }
         Ok(())

@@ -56,6 +56,10 @@ pub mod timers {
     pub const JOIN_RETRY: u16 = 7;
     /// §8 active-replication round at a directory peer.
     pub const REPLICATE: u16 = 8;
+    /// Pending-query timeout (tag = query id): fires when neither a
+    /// serve nor a bounce arrived — the silent-loss/partition case
+    /// the §5 synchronous failure signals cannot cover.
+    pub const QUERY_TIMEOUT: u16 = 9;
 }
 
 /// Deployment-wide shared knowledge (who the origin servers are, how
@@ -212,6 +216,11 @@ pub struct DirRole {
 struct PendingQuery {
     /// Summary candidates already probed (includes bounced peers).
     tried: Vec<NodeId>,
+    /// The query itself, kept for timeout-driven re-routing (only
+    /// populated when `query_timeout` is configured).
+    query: Option<Query>,
+    /// Timeout-driven re-route attempts made so far.
+    retries: u8,
 }
 
 /// The per-node protocol state machine. Implements
@@ -264,6 +273,12 @@ pub struct NodeCounters {
     /// Queries this directory instance forwarded to another instance
     /// of its petal (primary dispatch or dormant-sibling relay).
     pub petal_forwards: u64,
+    /// Pending-query timeouts that fired on this node.
+    pub query_timeouts: u64,
+    /// Timed-out queries re-routed within the retry budget.
+    pub query_retries: u64,
+    /// Timed-out queries degraded to the origin server.
+    pub query_origin_fallbacks: u64,
 }
 
 /// Adapter exposing the simulator context as the substrate's message
@@ -494,28 +509,110 @@ impl FlowerNode {
                     qid,
                     PendingQuery {
                         tried: vec![target],
+                        query: self.shared.cfg.query_timeout.map(|_| query),
+                        retries: 0,
                     },
                 );
+                self.arm_query_timeout(ctx, qid, 0);
                 ctx.send(target, FlowerMsg::PeerFetch { query });
                 return;
             }
             // §3.4: members use the content overlay *instead of* the
             // D-ring; with no summary match the query leaves the P2P
             // system (unless the dir-fallback variant is enabled).
-            self.pending.insert(qid, PendingQuery::default());
-            if self.shared.cfg.member_dir_fallback {
-                if let Some(dir) = cp.directory() {
-                    ctx.send(dir, FlowerMsg::ClientQuery { query });
-                    return;
-                }
+            let fallback_dir = cp
+                .directory()
+                .filter(|_| self.shared.cfg.member_dir_fallback);
+            self.track_pending(ctx, query);
+            if let Some(dir) = fallback_dir {
+                ctx.send(dir, FlowerMsg::ClientQuery { query });
+                return;
             }
             ctx.send(self.shared.server_of(ws), FlowerMsg::ServerQuery { query });
             return;
         }
 
         // New-client path: route through the D-ring (§3.4).
-        self.pending.insert(qid, PendingQuery::default());
+        self.track_pending(ctx, query);
         self.route_via_dring(ctx, query);
+    }
+
+    /// Register `query` in the pending map and arm its timeout (when
+    /// configured).
+    fn track_pending(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, query: Query) {
+        self.pending.insert(
+            query.id,
+            PendingQuery {
+                tried: Vec::new(),
+                query: self.shared.cfg.query_timeout.map(|_| query),
+                retries: 0,
+            },
+        );
+        self.arm_query_timeout(ctx, query.id, 0);
+    }
+
+    /// Arm the pending-query timeout for attempt number `retries`
+    /// (exponential backoff: the base timeout doubles per attempt).
+    /// A no-op when `query_timeout` is `None` — the paper's base
+    /// system, which relies purely on synchronous bounces.
+    fn arm_query_timeout(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, qid: u64, retries: u8) {
+        if let Some(t) = self.shared.cfg.query_timeout {
+            let delay = SimDuration::from_ms(t.as_ms() << retries.min(5));
+            ctx.set_timer(delay, timers::QUERY_TIMEOUT, qid);
+        }
+    }
+
+    /// A pending query heard nothing — no serve, no bounce — for a
+    /// whole timeout window: partitions and silent loss leave exactly
+    /// this trace. Re-route within the retry budget (a sibling petal
+    /// instance where §5.3 provides one, else a fresh D-ring entry),
+    /// then degrade to the origin server, which is reachable whenever
+    /// the client's own uplink works.
+    fn on_query_timeout(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, qid: u64) {
+        let Some(p) = self.pending.get_mut(&qid) else {
+            // Resolved in the meantime: the timer outlived the query.
+            return;
+        };
+        let Some(query) = p.query else {
+            return;
+        };
+        p.retries += 1;
+        let retries = p.retries;
+        self.stats.query_timeouts += 1;
+        ctx.metrics().incr(Counter::DirQueryTimeouts);
+        if retries <= self.shared.cfg.query_retry_budget {
+            self.stats.query_retries += 1;
+            ctx.metrics().incr(Counter::DirQueryRetries);
+            self.arm_query_timeout(ctx, qid, retries);
+            self.reroute_query(ctx, query, retries);
+        } else {
+            // Retry budget exhausted: graceful degradation. Counted
+            // as a miss by the hit-ratio series, but the user is
+            // served — availability over locality.
+            self.stats.query_origin_fallbacks += 1;
+            ctx.metrics().incr(Counter::DirQueryOriginFallbacks);
+            self.arm_query_timeout(ctx, qid, retries);
+            ctx.send(
+                self.shared.server_of(query.website),
+                FlowerMsg::ServerQuery { query },
+            );
+        }
+    }
+
+    /// Timeout-driven re-route of attempt `attempt`: with §5.3
+    /// instance bits the query walks to the *next* sibling petal
+    /// instance (a deterministic rotation from the client's
+    /// hash-assigned one); on the flat D-ring it re-enters through a
+    /// freshly drawn bootstrap directory.
+    fn reroute_query(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, query: Query, attempt: u8) {
+        let instances = self.shared.scheme.instances() as u32;
+        if instances > 1 {
+            let base = instance_for(query.origin, instances);
+            let instance = (base + attempt as u32) % instances;
+            self.route_via_dring_instance(ctx, query, instance);
+        } else {
+            self.route_via_dring(ctx, query);
+        }
     }
 
     /// Route a query into the D-ring toward `d_{ws,loc}` — or, with
@@ -526,8 +623,19 @@ impl FlowerNode {
     /// re-dispatches over the live set (the nesting property of
     /// [`instance_for`] keeps the two consistent).
     fn route_via_dring(&mut self, ctx: &mut Ctx<'_, FlowerMsg>, query: Query) {
+        let instance = instance_for(query.origin, self.shared.scheme.instances() as u32);
+        self.route_via_dring_instance(ctx, query, instance);
+    }
+
+    /// As [`FlowerNode::route_via_dring`], but toward an explicit
+    /// petal instance (timeout re-routes rotate through siblings).
+    fn route_via_dring_instance(
+        &mut self,
+        ctx: &mut Ctx<'_, FlowerMsg>,
+        query: Query,
+        instance: u32,
+    ) {
         let scheme = self.shared.scheme;
-        let instance = instance_for(query.origin, scheme.instances() as u32);
         let key = scheme.key_with_instance(query.website, query.origin_locality, instance);
         // If we are ourselves on the D-ring (and fully joined), route
         // from here; a node mid-join has no usable routing state yet.
@@ -2148,6 +2256,7 @@ impl simnet::Node<FlowerMsg> for FlowerNode {
                 timers::REPLACE_DIR => self.on_replace_dir_timer(ctx, WebsiteId(tag as u16)),
                 timers::JOIN_RETRY => self.on_join_retry_timer(ctx, WebsiteId(tag as u16)),
                 timers::REPLICATE => self.on_replicate_timer(ctx),
+                timers::QUERY_TIMEOUT => self.on_query_timeout(ctx, tag),
                 _ => {}
             },
             Event::Undeliverable { to, msg } => self.on_undeliverable(ctx, to, msg),

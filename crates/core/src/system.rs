@@ -446,6 +446,12 @@ impl FlowerSystem {
         script.install(&mut self.engine);
     }
 
+    /// Install a fault-injection script (partitions, link loss,
+    /// regional failures) over the engine.
+    pub fn apply_faults(&mut self, plane: &simnet::FaultPlane) {
+        self.engine.set_fault_plane(plane.clone());
+    }
+
     /// Per-instance directory query loads: one `((website, locality,
     /// instance), queries processed)` entry for every directory role
     /// that processed at least one query, in deployment order.

@@ -13,7 +13,7 @@
 //! experiments:
 //!   table2a | table2b | table2c | push-threshold
 //!   fig5 | fig6 | fig7 | fig8
-//!   churn | ablation | replication | cache | substrates | all
+//!   churn | ablation | replication | cache | substrates | chaos | all
 //!   scale [--nodes <a,b,..>] [--shard-sweep <a,b,..>] [--horizon-secs <s>]
 //!   bench-check --baseline <file> --fresh <file>
 //!               [--max-drop <frac>] [--summary-out <file>] [--metrics <file>]
@@ -53,10 +53,21 @@
 //! an explicit SKIP (exit 0), not a pass. With `--metrics
 //! METRICS.json` it validates the run's registry snapshots and
 //! appends the per-subsystem attribution table to the summary.
-//! `--metrics-out METRICS.json` (for `scale` and `churn`) writes the
-//! registry snapshots of every cell machine-readably;
+//! `--metrics-out METRICS.json` (for `scale`, `churn` and `chaos`)
+//! writes the registry snapshots of every cell machine-readably;
 //! `metrics-check` validates such a document standalone (the CI
 //! metrics-smoke assertions) and prints its attribution table.
+//! `chaos` runs the fault-injection plane end to end (scripted
+//! partition + heal, flash crowd, cross-locality message loss,
+//! correlated regional failure), each family across a shard sweep
+//! that must stay bit-identical, and reports the availability each
+//! fault costs (hit-ratio dip depth, time-to-recover after heal).
+//! Chaos cells are availability experiments, not throughput cells, so
+//! the committed bench baseline omits them: a bench-check whose fresh
+//! document holds only chaos cells prints an explicit per-cell SKIP
+//! and exits 0 instead of the zero-matches hard error.
+//! `--nodes` with a single value overrides the underlay node count of
+//! any experiment (e.g. `churn --nodes 50000`, `chaos --nodes 1000`).
 
 use std::io::Write;
 
@@ -188,6 +199,13 @@ fn parse_args() -> Result<Args, String> {
             "--nodes" => {
                 let v = args.next().ok_or("--nodes needs a value")?;
                 out.scale_nodes = parse_list(&v)?;
+                // Outside `scale` the flag is a single node-count
+                // override for the experiment's deployment.
+                if out.scale_nodes.len() == 1 {
+                    out.opts.nodes = Some(out.scale_nodes[0]);
+                } else if out.cmd != "scale" {
+                    return Err("--nodes takes a single value outside `scale`".into());
+                }
             }
             "--shard-sweep" => {
                 let v = args.next().ok_or("--shard-sweep needs a value")?;
@@ -244,7 +262,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: flower-experiments <table2a|table2b|table2c|push-threshold|fig5|fig6|fig7|fig8|churn|ablation|replication|cache|substrates|scale|bench-check|metrics-check|all> \
+    "usage: flower-experiments <table2a|table2b|table2c|push-threshold|fig5|fig6|fig7|fig8|churn|ablation|replication|cache|substrates|chaos|scale|bench-check|metrics-check|all> \
      [--scale <f|full>] [--seed <n>] [--substrate <chord|pastry>] [--shards <n>] \
      [--event-queue <calendar|heap|both>] [--lookahead <matrix|global|both>] \
      [--instance-bits <b|a,b,..>] [--pin] \
@@ -302,6 +320,22 @@ fn bench_check(args: &Args) -> Result<bool, String> {
             report.skipped_cores.len(),
             baseline.host,
             fresh.host,
+        );
+        return Ok(true);
+    }
+    if report.chaos_skip() {
+        for r in &report.unmatched {
+            eprintln!(
+                "bench-check: SKIP {} ({} nodes, {} shards): chaos cell not in the \
+                 committed baseline",
+                r.experiment, r.nodes, r.shards
+            );
+        }
+        eprintln!(
+            "bench-check: SKIPPED, not passed — all {} fresh point(s) are chaos \
+             availability cells the committed baseline intentionally omits; the \
+             throughput gate decides nothing here.",
+            report.unmatched.len()
         );
         return Ok(true);
     }
@@ -469,6 +503,7 @@ fn run_one(name: &str, args: &Args) -> ExpOutput {
             }
         }
         "churn" => exps::churn(opts),
+        "chaos" => exps::chaos(opts),
         "ablation" => exps::ablation(opts),
         "replication" => exps::replication(opts),
         "cache" => exps::cache_pressure(opts),

@@ -7,11 +7,14 @@
 //! trends). Absolute constants are not asserted: the substrate is a
 //! simulator, not the authors' testbed.
 
-use flower_core::{FlowerSystem, SubstrateKind, SystemConfig};
+use flower_core::{FlowerSystem, SubstrateKind, SystemConfig, SystemReport};
+use metrics::Counter;
 use simnet::{
-    ChurnConfig, ChurnScript, EventQueueKind, Locality, LookaheadKind, NodeId, SimDuration, SimTime,
+    ChurnConfig, ChurnScript, EventQueueKind, FaultPlane, LinkLoss, Locality, LookaheadKind,
+    NodeId, Partition, RegionalFailure, SeriesPoint, SimDuration, SimTime,
 };
 use squirrel::SquirrelSystem;
+use workload::Surge;
 
 use crate::paper;
 use crate::report::{f1, f3, pct, BenchRecord, MetricsRecord, Table};
@@ -1318,6 +1321,536 @@ pub fn scale(params: &ScaleParams) -> ExpOutput {
     out
 }
 
+// ------------------------------------------------------------------
+// Chaos — the fault-injection plane exercised end to end
+// ------------------------------------------------------------------
+
+/// Node count of the chaos deployment. Small enough that the whole
+/// cell matrix (four families × their shard sweeps) finishes inside a
+/// CI release job, large enough that every locality hosts communities
+/// and directory petals worth disrupting.
+const CHAOS_NODES: usize = 2000;
+
+/// Localities of the chaos deployment (same shape as `scale`).
+const CHAOS_LOCALITIES: usize = 8;
+
+/// The scripted fault window shared by every chaos family: strike at
+/// 150 s, heal/end at 240 s of the 360 s horizon — a settled plateau
+/// on both sides of the disruption.
+fn chaos_fault_window() -> (SimTime, SimTime) {
+    (SimTime::from_secs(150), SimTime::from_secs(240))
+}
+
+/// Hit-ratio bucket width of the chaos cells — fine enough to resolve
+/// the dip and the recovery point inside the 90 s fault window.
+fn chaos_window() -> SimDuration {
+    SimDuration::from_secs(15)
+}
+
+/// The chaos deployment: `scale`-shaped topology (8 localities, WAN
+/// latencies) but only 2 active websites, so the origin servers live
+/// in exactly localities 1 and 2 (round-robin placement starts at
+/// locality 1) and the partition script can keep them reachable from
+/// everywhere. Query timeouts are armed (2 s initial, retry budget 2):
+/// lookups swallowed by a fault retry against a sibling instance and
+/// eventually degrade to the origin server.
+pub fn chaos_config(nodes: usize, shards: usize, seed: u64) -> SystemConfig {
+    use flower_core::FlowerConfig;
+    use simnet::TopologyConfig;
+    use workload::{CatalogConfig, WorkloadConfig};
+    SystemConfig {
+        topology: TopologyConfig {
+            nodes,
+            localities: CHAOS_LOCALITIES,
+            min_latency_ms: 10,
+            max_latency_ms: 500,
+            cluster_spread: 0.03,
+            background_fraction: 0.0,
+            population_skew: 0.25,
+            inter_locality_floor_ms: 60,
+            event_queue: EventQueueKind::Calendar,
+            lookahead: LookaheadKind::Matrix,
+            pin: false,
+        },
+        catalog: CatalogConfig {
+            num_websites: 8,
+            active_websites: 2,
+            objects_per_website: 200,
+            ..Default::default()
+        },
+        workload: WorkloadConfig {
+            query_rate_per_sec: nodes as f64 * SCALE_QUERY_RATE_PER_NODE,
+            duration_ms: SimDuration::from_secs(360).as_ms(),
+            website_zipf_alpha: 1.2,
+            ..Default::default()
+        },
+        flower: FlowerConfig {
+            max_overlay: (nodes / 16).max(50),
+            query_timeout: Some(SimDuration::from_secs(2)),
+            ..FlowerConfig::fast_test()
+        },
+        seed,
+        window: chaos_window(),
+        shards,
+    }
+}
+
+/// The flash-crowd variant of [`chaos_config`]: no network fault —
+/// instead the colder of the two active websites (popularity rank 1)
+/// receives a surge of extra queries across the fault window, roughly
+/// tripling the deployment's total query rate while it lasts.
+pub fn chaos_flash_config(nodes: usize, shards: usize, seed: u64) -> SystemConfig {
+    let mut cfg = chaos_config(nodes, shards, seed);
+    let (start, end) = chaos_fault_window();
+    cfg.workload.surges = vec![Surge::FlashCrowd {
+        start_ms: start.as_ms(),
+        end_ms: end.as_ms(),
+        website_rank: 1,
+        extra_rate_per_sec: cfg.workload.query_rate_per_sec * 2.0,
+    }];
+    cfg
+}
+
+/// The partition script: pairwise islands. Every pair among the six
+/// victim localities {0, 3, 4, 5, 6, 7} is severed, while localities
+/// 1 and 2 — hosting the two active websites' origin servers — stay
+/// connected to everyone, so the degradation path (retry budget
+/// exhausted → origin) always has a route. Victim clients keep their
+/// intra-locality overlays but lose every D-ring route hopping
+/// through another victim locality.
+fn chaos_partition_plane(start: SimTime, heal: SimTime) -> FaultPlane {
+    let victims = [0u16, 3, 4, 5, 6, 7];
+    let mut plane = FaultPlane::new();
+    for (i, &a) in victims.iter().enumerate() {
+        for &b in &victims[i + 1..] {
+            plane = plane.partition(Partition {
+                start,
+                heal,
+                side_a: vec![Locality(a)],
+                side_b: vec![Locality(b)],
+            });
+        }
+    }
+    plane
+}
+
+/// Steady session churn over a third of every community: rejoining
+/// nodes come back stateless (fresh clients), keeping a continuous
+/// flow of D-ring lookups — the traffic a partition actually breaks —
+/// through the whole run instead of only during the join wave.
+fn chaos_churn(sys: &FlowerSystem, cfg: &SystemConfig, seed: u64) -> ChurnScript {
+    let horizon = SimTime::from_ms(cfg.workload.duration_ms);
+    let mut affected: Vec<NodeId> = Vec::new();
+    for ws in 0..cfg.catalog.active_websites as u16 {
+        for l in 0..cfg.topology.localities as u16 {
+            let comm = sys.community(workload::WebsiteId(ws), Locality(l));
+            affected.extend(comm.iter().take(comm.len() / 3));
+        }
+    }
+    affected.sort_unstable_by_key(|n| n.0);
+    affected.dedup();
+    ChurnScript::generate(
+        &ChurnConfig {
+            start: SimTime::from_secs(30),
+            end: horizon,
+            mean_session: SimDuration::from_secs(90),
+            mean_downtime: SimDuration::from_secs(15),
+            permanent: false,
+        },
+        &affected,
+        seed,
+    )
+}
+
+/// Availability readout of one fault cell: the windowed hit-ratio
+/// series summarised relative to a scripted fault window.
+#[derive(Clone, Copy, Debug)]
+pub struct Availability {
+    /// Count-weighted mean hit ratio of the settled pre-fault windows.
+    pub pre_hit: f64,
+    /// Worst windowed hit ratio while the fault was active.
+    pub min_fault_hit: f64,
+    /// `pre_hit − min_fault_hit`: how deep availability dipped.
+    pub dip_depth: f64,
+    /// Seconds from the heal instant until the end of the first
+    /// window whose hit ratio is back within 5% of `pre_hit`; `None`
+    /// when the run ends without recovering.
+    pub recovery_s: Option<f64>,
+    /// Count-weighted mean hit ratio from the recovery window onward
+    /// (0 when the system never recovered).
+    pub recovered_hit: f64,
+}
+
+/// Fraction of the pre-fault hit ratio a post-heal window must reach
+/// to count as recovered (the acceptance bound: within 5%).
+pub const RECOVERY_FRACTION: f64 = 0.95;
+
+/// Summarise a windowed hit-ratio series ([`simnet::TimeSeries`]
+/// points of bucket width `window`) against a fault active over
+/// `[fault_start, fault_end)`. Pre-fault statistics ignore windows
+/// before `settle` (warm-up) and the window overlapping the fault
+/// onset; empty windows never count. When no non-empty window
+/// overlaps the fault, `min_fault_hit` falls back to `pre_hit` (no
+/// dip evidence).
+pub fn availability(
+    points: &[SeriesPoint],
+    window: SimDuration,
+    settle: SimTime,
+    fault_start: SimTime,
+    fault_end: SimTime,
+) -> Availability {
+    let weighted = |pts: &[SeriesPoint]| -> f64 {
+        let (sum, count) = pts
+            .iter()
+            .fold((0.0, 0u64), |(s, c), p| (s + p.sum, c + p.count));
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    };
+    let pre: Vec<SeriesPoint> = points
+        .iter()
+        .filter(|p| p.count > 0 && p.at >= settle && p.at + window <= fault_start)
+        .copied()
+        .collect();
+    let pre_hit = weighted(&pre);
+    let min_fault_hit = points
+        .iter()
+        .filter(|p| p.count > 0 && p.at < fault_end && p.at + window > fault_start)
+        .map(|p| p.mean())
+        .fold(f64::INFINITY, f64::min);
+    let min_fault_hit = if min_fault_hit.is_finite() {
+        min_fault_hit
+    } else {
+        pre_hit
+    };
+    let mut recovery_s = None;
+    let mut recovered: Vec<SeriesPoint> = Vec::new();
+    for p in points.iter().filter(|p| p.count > 0 && p.at >= fault_end) {
+        if recovery_s.is_none() {
+            if p.mean() < RECOVERY_FRACTION * pre_hit {
+                continue;
+            }
+            recovery_s = Some(((p.at + window) - fault_end).as_ms() as f64 / 1000.0);
+        }
+        recovered.push(*p);
+    }
+    Availability {
+        pre_hit,
+        min_fault_hit,
+        dip_depth: pre_hit - min_fault_hit,
+        recovery_s,
+        recovered_hit: weighted(&recovered),
+    }
+}
+
+/// Run one chaos cell family across `shard_sweep`: every multi-shard
+/// run must be bit-identical to the first (checked on the full
+/// windowed hit series, not just the totals), every cell records a
+/// metrics snapshot under the family's shared `sim_key` — so the
+/// metrics gate re-checks the parity from the registry side — and a
+/// bench row. Returns the first cell's system and report for series
+/// analysis.
+fn run_chaos_family(
+    out: &mut ExpOutput,
+    family: &str,
+    seed: u64,
+    shard_sweep: &[usize],
+    mk_cfg: &dyn Fn(usize) -> SystemConfig,
+    prep: &dyn Fn(&mut FlowerSystem, &SystemConfig),
+) -> (FlowerSystem, SystemReport) {
+    let mut first: Option<(FlowerSystem, SystemReport, String)> = None;
+    for &shards in shard_sweep {
+        let cfg = mk_cfg(shards);
+        let name = format!("chaos/{family}");
+        let (sys, report, record) = runner::run_flower_timed_with(&cfg, &name, |s| prep(s, &cfg));
+        let windows: Vec<(u64, u64)> = sys
+            .engine()
+            .query_stats()
+            .hit_series()
+            .points()
+            .iter()
+            .map(|p| (p.count, (p.sum * 1e6) as u64))
+            .collect();
+        let fingerprint = format!(
+            "{}/{} hit {:.12} msgs {} fault_drops {} windows {:?}",
+            report.submitted,
+            report.resolved,
+            report.hit_ratio,
+            sys.engine().traffic().messages(),
+            sys.engine().metrics().counter(Counter::EngineFaultDrops),
+            windows,
+        );
+        out.metrics.push(MetricsRecord {
+            experiment: name.clone(),
+            sim_key: format!("{name}/seed{seed}"),
+            shards: sys.engine().num_shards(),
+            set: sys.engine().metrics().clone(),
+        });
+        out.bench.push(record);
+        match &first {
+            None => first = Some((sys, report, fingerprint)),
+            Some((_, _, base)) => out.push_check(
+                format!(
+                    "chaos/{family}: {shards}-shard run bit-identical to \
+                     the {}-shard run",
+                    shard_sweep[0]
+                ),
+                fingerprint == *base,
+            ),
+        }
+    }
+    let (sys, report, _) = first.expect("chaos shard sweep is non-empty");
+    (sys, report)
+}
+
+/// One availability row of the chaos table.
+fn chaos_row(t: &mut Table, cell: &str, sys: &FlowerSystem, r: &SystemReport, a: &Availability) {
+    let m = sys.engine().metrics();
+    t.row(vec![
+        cell.into(),
+        f3(a.pre_hit),
+        f3(a.min_fault_hit),
+        f3(a.dip_depth),
+        a.recovery_s.map_or("-".into(), |s| format!("{s:.0}")),
+        m.counter(Counter::DirQueryTimeouts).to_string(),
+        m.counter(Counter::DirQueryRetries).to_string(),
+        m.counter(Counter::DirQueryOriginFallbacks).to_string(),
+        m.counter(Counter::EngineFaultDrops).to_string(),
+        format!("{}/{}", r.resolved, r.submitted),
+    ]);
+}
+
+/// **Chaos** — the fault-injection plane exercised end to end: a
+/// pairwise-island partition with heal, a flash crowd on the colder
+/// active website, probabilistic cross-locality message loss, and a
+/// correlated regional failure with staggered recovery. Each family
+/// runs across a shard sweep that must stay bit-identical, and each
+/// is summarised by its availability profile: settled pre-fault hit
+/// ratio, dip depth while the fault holds, and time-to-recover after
+/// the heal.
+pub fn chaos(opts: RunOpts) -> ExpOutput {
+    let mut out = ExpOutput::default();
+    let seed = opts.seed;
+    let nodes = opts.nodes.unwrap_or(CHAOS_NODES);
+    let (start, heal) = chaos_fault_window();
+    let settle = SimTime::from_secs(60);
+    let window = chaos_window();
+    let mut table = Table::new(
+        "Chaos — scripted faults, surges and the availability they cost",
+        &[
+            "cell",
+            "pre hit",
+            "fault min",
+            "dip",
+            "recover s",
+            "timeouts",
+            "retries",
+            "origin fb",
+            "fault drops",
+            "resolved/submitted",
+        ],
+    );
+
+    // --- partition + heal -------------------------------------------
+    let plane = chaos_partition_plane(start, heal);
+    let (sys, report) = run_chaos_family(
+        &mut out,
+        "partition",
+        seed,
+        &[1, 2, 4],
+        &|shards| chaos_config(nodes, shards, seed),
+        &|s, cfg| {
+            let script = chaos_churn(s, cfg, seed);
+            s.apply_churn(&script);
+            s.apply_faults(&plane);
+        },
+    );
+    let a = availability(
+        &sys.engine().query_stats().hit_series().points(),
+        window,
+        settle,
+        start,
+        heal,
+    );
+    chaos_row(&mut table, "partition", &sys, &report, &a);
+    let m = sys.engine().metrics();
+    out.push_check(
+        format!(
+            "partition: lookups time out while the D-ring is cut ({} timeouts)",
+            m.counter(Counter::DirQueryTimeouts)
+        ),
+        m.counter(Counter::DirQueryTimeouts) > 0,
+    );
+    out.push_check(
+        format!(
+            "partition: exhausted retries degrade to the origin server \
+             ({} fallbacks)",
+            m.counter(Counter::DirQueryOriginFallbacks)
+        ),
+        m.counter(Counter::DirQueryOriginFallbacks) > 0,
+    );
+    out.push_check(
+        format!(
+            "partition: availability dips while cut (hit {:.3} → {:.3})",
+            a.pre_hit, a.min_fault_hit
+        ),
+        a.dip_depth > 0.02,
+    );
+    out.push_check(
+        format!(
+            "partition: hit ratio back within 5% of pre-fault after heal \
+             (recovered {:.3} vs pre {:.3}, {} s)",
+            a.recovered_hit,
+            a.pre_hit,
+            a.recovery_s.map_or("inf".into(), |s| format!("{s:.0}")),
+        ),
+        a.recovery_s.is_some() && a.recovered_hit >= RECOVERY_FRACTION * a.pre_hit,
+    );
+
+    // --- flash crowd -------------------------------------------------
+    let (sys, report) = run_chaos_family(
+        &mut out,
+        "flash",
+        seed,
+        &[1, 2, 4],
+        &|shards| chaos_flash_config(nodes, shards, seed),
+        &|_, _| {},
+    );
+    let points = sys.engine().query_stats().hit_series().points();
+    let a = availability(&points, window, settle, start, heal);
+    chaos_row(&mut table, "flash", &sys, &report, &a);
+    // Resolution throughput per second, from the windowed counts.
+    let rate = |lo: SimTime, hi: SimTime| -> f64 {
+        let (mut n, mut ms) = (0u64, 0u64);
+        for p in &points {
+            if p.at >= lo && p.at + window <= hi {
+                n += p.count;
+                ms += window.as_ms();
+            }
+        }
+        if ms == 0 {
+            0.0
+        } else {
+            n as f64 / (ms as f64 / 1000.0)
+        }
+    };
+    let pre_rate = rate(settle, start);
+    let surge_rate = rate(start, heal);
+    out.push_check(
+        format!(
+            "flash: the crowd actually arrives ({surge_rate:.0}/s vs {pre_rate:.0}/s baseline)"
+        ),
+        surge_rate > 1.5 * pre_rate,
+    );
+    out.push_check(
+        format!(
+            "flash: the overlay absorbs the crowd (resolved {}/{})",
+            report.resolved, report.submitted
+        ),
+        report.resolved as f64 >= report.submitted as f64 * 0.9,
+    );
+    out.push_check(
+        format!(
+            "flash: hit ratio back within 5% of pre-surge once it passes \
+             (recovered {:.3} vs pre {:.3})",
+            a.recovered_hit, a.pre_hit
+        ),
+        a.recovery_s.is_some() && a.recovered_hit >= RECOVERY_FRACTION * a.pre_hit,
+    );
+
+    // --- cross-locality message loss ---------------------------------
+    let loss_plane = FaultPlane::new().link_loss(LinkLoss {
+        start,
+        end: heal,
+        probability: 0.25,
+        cross_locality_only: true,
+    });
+    let (sys, report) = run_chaos_family(
+        &mut out,
+        "loss",
+        seed,
+        &[1, 4],
+        &|shards| chaos_config(nodes, shards, seed),
+        &|s, _| s.apply_faults(&loss_plane),
+    );
+    let a = availability(
+        &sys.engine().query_stats().hit_series().points(),
+        window,
+        settle,
+        start,
+        heal,
+    );
+    chaos_row(&mut table, "loss", &sys, &report, &a);
+    let m = sys.engine().metrics();
+    out.push_check(
+        format!(
+            "loss: the lossy window drops traffic ({} fault drops)",
+            m.counter(Counter::EngineFaultDrops)
+        ),
+        m.counter(Counter::EngineFaultDrops) > 0,
+    );
+    out.push_check(
+        format!(
+            "loss: retries absorb 25% cross-locality loss (resolved {}/{})",
+            report.resolved, report.submitted
+        ),
+        report.resolved as f64 >= report.submitted as f64 * 0.9,
+    );
+
+    // --- correlated regional failure ---------------------------------
+    let victim = Locality(5);
+    let regional_plane = FaultPlane::new().regional_failure(RegionalFailure {
+        at: start,
+        locality: victim,
+        recover_start: heal,
+        stagger: SimDuration::from_ms(50),
+    });
+    let (sys, report) = run_chaos_family(
+        &mut out,
+        "regional",
+        seed,
+        &[1, 4],
+        &|shards| chaos_config(nodes, shards, seed),
+        &|s, _| s.apply_faults(&regional_plane),
+    );
+    let a = availability(
+        &sys.engine().query_stats().hit_series().points(),
+        window,
+        settle,
+        start,
+        heal,
+    );
+    chaos_row(&mut table, "regional", &sys, &report, &a);
+    let back_up = sys
+        .engine()
+        .topology()
+        .nodes_in(victim)
+        .iter()
+        .all(|&n| sys.engine().is_up(n));
+    out.push_check(
+        format!(
+            "regional: staggered recovery brings locality {} fully back",
+            victim.0
+        ),
+        back_up,
+    );
+    out.push_check(
+        format!(
+            "regional: the surviving localities keep serving \
+             (resolved {}/{})",
+            report.resolved, report.submitted
+        ),
+        report.resolved as f64 >= report.submitted as f64 * 0.8,
+    );
+
+    out.text = table.render();
+    out.text.push_str(&out.render_checks());
+    out.csv.push(("chaos".into(), table.to_csv()));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1434,5 +1967,85 @@ mod tests {
         let rendered = o.render_checks();
         assert!(rendered.contains("[PASS] a"));
         assert!(rendered.contains("[FAIL] b"));
+    }
+
+    /// A synthetic hit-ratio point: mean and count, `sum` derived.
+    fn pt(secs: u64, mean: f64, count: u64) -> SeriesPoint {
+        SeriesPoint {
+            at: SimTime::from_secs(secs),
+            sum: mean * count as f64,
+            count,
+        }
+    }
+
+    #[test]
+    fn availability_summarises_a_dip_and_recovery() {
+        let w = SimDuration::from_secs(10);
+        let points = vec![
+            pt(0, 0.2, 10), // warm-up: before settle, ignored
+            pt(10, 0.9, 10),
+            pt(20, 0.9, 30),  // pre-fault: count-weighted mean 0.9
+            pt(30, 0.5, 10),  // fault
+            pt(40, 0.3, 10),  // fault: the dip floor
+            pt(50, 0.7, 10),  // post-heal, not yet recovered
+            pt(60, 0.88, 10), // recovered (≥ 0.95 × 0.9 = 0.855)
+            pt(70, 0.9, 10),
+        ];
+        let a = availability(
+            &points,
+            w,
+            SimTime::from_secs(10),
+            SimTime::from_secs(30),
+            SimTime::from_secs(50),
+        );
+        assert!((a.pre_hit - 0.9).abs() < 1e-12);
+        assert!((a.min_fault_hit - 0.3).abs() < 1e-12);
+        assert!((a.dip_depth - 0.6).abs() < 1e-12);
+        // The recovery window [60 s, 70 s) ends 20 s after the heal.
+        assert_eq!(a.recovery_s, Some(20.0));
+        assert!((a.recovered_hit - 0.89).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_reports_no_recovery_and_no_dip_evidence() {
+        let w = SimDuration::from_secs(10);
+        // The only bucket overlapping the fault window is empty, and
+        // the post-heal ratio never gets back within 5% of pre-fault.
+        let points = vec![pt(0, 0.8, 10), pt(10, 0.0, 0), pt(20, 0.5, 10)];
+        let a = availability(
+            &points,
+            w,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        );
+        assert!((a.pre_hit - 0.8).abs() < 1e-12);
+        assert!((a.min_fault_hit - 0.8).abs() < 1e-12, "no dip evidence");
+        assert!(a.dip_depth.abs() < 1e-12);
+        assert_eq!(a.recovery_s, None);
+        assert!(a.recovered_hit.abs() < 1e-12);
+    }
+
+    #[test]
+    fn chaos_partition_plane_spares_the_origin_localities() {
+        let (start, heal) = chaos_fault_window();
+        let plane = chaos_partition_plane(start, heal);
+        let mid = SimTime::from_secs((start.as_secs() + heal.as_secs()) / 2);
+        // 6 victims pairwise severed: C(6,2) = 15 cuts, all healed.
+        assert!(plane.cuts(mid, Locality(0), Locality(3)));
+        assert!(plane.cuts(mid, Locality(6), Locality(7)));
+        assert!(!plane.cuts(heal, Locality(0), Locality(3)));
+        // Origin-server localities 1 and 2 stay reachable throughout.
+        for l in [0u16, 3, 4, 5, 6, 7] {
+            assert!(!plane.cuts(mid, Locality(1), Locality(l)));
+            assert!(!plane.cuts(mid, Locality(2), Locality(l)));
+        }
+    }
+
+    #[test]
+    #[ignore = "runs multi-thousand-node simulations; use --release -- --ignored"]
+    fn chaos_cells_pass_their_checks() {
+        let out = chaos(RunOpts::new().seed(42));
+        assert!(out.all_passed(), "{}", out.render_checks());
     }
 }

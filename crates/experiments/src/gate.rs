@@ -496,6 +496,21 @@ impl GateReport {
         self.rows.is_empty() && !self.skipped_cores.is_empty()
     }
 
+    /// True when the check decided nothing because every fresh point
+    /// is a chaos cell absent from the committed baseline (the chaos
+    /// families are availability experiments, not throughput cells, so
+    /// the baseline intentionally omits them). The caller should
+    /// report an explicit SKIP naming the cells — never a hollow pass.
+    pub fn chaos_skip(&self) -> bool {
+        self.rows.is_empty()
+            && self.skipped_cores.is_empty()
+            && !self.unmatched.is_empty()
+            && self
+                .unmatched
+                .iter()
+                .all(|r| r.experiment.starts_with("chaos/"))
+    }
+
     /// Render the per-commit throughput summary as GitHub-flavoured
     /// markdown (for `$GITHUB_STEP_SUMMARY`).
     pub fn to_markdown(&self) -> String {
@@ -864,6 +879,51 @@ pub fn validate_metrics(doc: &MetricsDoc) -> Result<(), String> {
                     "metrics {who}: {decisions} Algorithm 3 decisions from only \
                      {process} invocations"
                 ));
+            }
+        }
+        // Per-class message ledger: deliveries, bounces and fault
+        // drops of a traffic class can never exceed its sends (`≤`,
+        // not `==`: messages still in flight at the horizon were sent
+        // but never resolved). Checked only when the class's full
+        // ledger is present so older registries stay parseable.
+        for class in [
+            "gossip",
+            "push",
+            "keepalive",
+            "dht_routing",
+            "dht_maintenance",
+            "query_control",
+            "transfer",
+        ] {
+            let (Some(sent), Some(recv), Some(dropped), Some(bounced)) = (
+                r.counter(&format!("engine_sent_{class}")),
+                r.counter(&format!("engine_recv_{class}")),
+                r.counter(&format!("engine_drop_{class}")),
+                r.counter(&format!("engine_bounce_{class}")),
+            ) else {
+                continue;
+            };
+            if recv + bounced + dropped > sent {
+                return Err(format!(
+                    "metrics {who}: {class} ledger broken — {recv} delivered + \
+                     {bounced} bounced + {dropped} dropped from {sent} sends"
+                ));
+            }
+        }
+        // Every per-class bounce is one of the engine's bounced sends,
+        // and vice versa: the split must sum back exactly.
+        if r.counters
+            .iter()
+            .any(|c| c.name.starts_with("engine_bounce_"))
+        {
+            if let Some(total) = r.counter("engine_bounced_sends") {
+                let split = r.counter_sum(|c| c.name.starts_with("engine_bounce_"));
+                if split != total {
+                    return Err(format!(
+                        "metrics {who}: per-class bounces sum to {split} but \
+                         engine_bounced_sends says {total}"
+                    ));
+                }
             }
         }
         if let (Some(exchanges), Some(cow), Some(rebuilt)) = (
@@ -1280,6 +1340,8 @@ mod tests {
         let mut s = MetricSet::new();
         s.add(Counter::EngineEvents, 1000 * scale);
         s.add(Counter::EngineTimers, 100 * scale);
+        // A consistent gossip ledger: every delivery was sent first.
+        s.add(Counter::SentGossip, 10 * scale);
         s.add(Counter::RecvGossip, 10 * scale);
         s.add(Counter::DirProcess, 50 * scale);
         s.add(Counter::DirToHolder, 40 * scale);
@@ -1436,6 +1498,64 @@ mod tests {
         ]))
         .unwrap();
         validate_metrics(&doc4).unwrap();
+    }
+
+    #[test]
+    fn metrics_validation_enforces_the_message_ledger() {
+        use metrics::Counter;
+        // A consistent ledger passes: 20 sent, 10 delivered (from the
+        // fixture), 3 bounced, 2 dropped, 5 still in flight.
+        let mut ok = metrics_set(1);
+        ok.add(Counter::SentGossip, 10);
+        ok.add(Counter::BounceGossip, 3);
+        ok.add(Counter::DropGossip, 2);
+        ok.add(Counter::EngineBounces, 3);
+        let doc = parse_metrics(&metrics_doc_json(vec![metrics_record("x", "x", 1, ok)])).unwrap();
+        validate_metrics(&doc).unwrap();
+        // More deliveries + bounces + drops than sends fails…
+        let mut broken = metrics_set(1);
+        broken.add(Counter::BounceGossip, 3);
+        broken.add(Counter::DropGossip, 2);
+        broken.add(Counter::EngineBounces, 3);
+        let doc2 =
+            parse_metrics(&metrics_doc_json(vec![metrics_record("x", "x", 1, broken)])).unwrap();
+        assert!(validate_metrics(&doc2)
+            .unwrap_err()
+            .contains("ledger broken"));
+        // …and the per-class bounce split must sum back exactly to
+        // the engine's bounced-sends total.
+        let mut skewed = metrics_set(1);
+        skewed.add(Counter::SentGossip, 10);
+        skewed.add(Counter::BounceGossip, 3);
+        skewed.add(Counter::EngineBounces, 5);
+        let doc3 =
+            parse_metrics(&metrics_doc_json(vec![metrics_record("x", "x", 1, skewed)])).unwrap();
+        assert!(validate_metrics(&doc3)
+            .unwrap_err()
+            .contains("bounces sum to"));
+    }
+
+    #[test]
+    fn chaos_cells_absent_from_the_baseline_are_an_explicit_skip() {
+        let baseline = doc("h", vec![record(20_000, 2, EventQueueKind::Calendar, 1e6)]);
+        let mut chaos_cell = record(2_000, 1, EventQueueKind::Calendar, 5e5);
+        chaos_cell.experiment = "chaos/partition".into();
+        let fresh = doc("h", vec![chaos_cell.clone()]);
+        let report = compare(&baseline, &fresh, 0.2);
+        assert!(report.chaos_skip(), "all-unmatched chaos cells skip");
+        assert!(!report.core_skip());
+        // A fresh doc mixing chaos cells with a comparable scale cell
+        // is a real comparison, not a skip.
+        let mixed = doc(
+            "h",
+            vec![
+                chaos_cell,
+                record(20_000, 2, EventQueueKind::Calendar, 1.1e6),
+            ],
+        );
+        let report2 = compare(&baseline, &mixed, 0.2);
+        assert!(!report2.chaos_skip());
+        assert_eq!(report2.rows.len(), 1);
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub struct RunOpts {
     /// latency-aware placement (`--pin`); wall-clock only, results
     /// are bit-identical either way.
     pub pin: bool,
+    /// Override the underlay node count (`--nodes` on non-`scale`
+    /// experiments); `None` keeps the paper's population. Communities
+    /// and the D-ring keep their configured sizes — a larger
+    /// population grows the topology and its background machinery,
+    /// which is exactly what the 50k churn smoke exercises.
+    pub nodes: Option<usize>,
 }
 
 impl RunOpts {
@@ -56,6 +62,7 @@ impl RunOpts {
             lookahead: LookaheadKind::default(),
             instance_bits: 0,
             pin: false,
+            nodes: None,
         }
     }
 
@@ -138,6 +145,9 @@ pub fn flower_config(opts: RunOpts) -> SystemConfig {
     cfg.topology.event_queue = opts.queue;
     cfg.topology.lookahead = opts.lookahead;
     cfg.topology.pin = opts.pin;
+    if let Some(n) = opts.nodes {
+        cfg.topology.nodes = n;
+    }
     cfg
 }
 
@@ -149,6 +159,7 @@ pub fn scale_flower(base: &FlowerConfig, scale: RunScale) -> FlowerConfig {
     f.stabilize_period = scale.scale_duration(f.stabilize_period);
     f.fix_finger_period = scale.scale_duration(f.fix_finger_period);
     f.dir_replacement_jitter = scale.scale_duration(f.dir_replacement_jitter);
+    f.query_timeout = f.query_timeout.map(|t| scale.scale_duration(t));
     f
 }
 
@@ -182,7 +193,20 @@ pub fn run_flower_timed(
     cfg: &SystemConfig,
     experiment: &str,
 ) -> (FlowerSystem, SystemReport, BenchRecord) {
+    run_flower_timed_with(cfg, experiment, |_| {})
+}
+
+/// As [`run_flower_timed`], with a hook run on the freshly built
+/// system before the clock starts — the chaos cells use it to install
+/// their `FaultPlane` and churn scripts (scripted state, not wall
+/// time, so it stays outside the measurement).
+pub fn run_flower_timed_with(
+    cfg: &SystemConfig,
+    experiment: &str,
+    prep: impl FnOnce(&mut FlowerSystem),
+) -> (FlowerSystem, SystemReport, BenchRecord) {
     let mut sys = FlowerSystem::build(cfg);
+    prep(&mut sys);
     let horizon = sys.drain_horizon();
     let t0 = std::time::Instant::now();
     sys.run_until(horizon);

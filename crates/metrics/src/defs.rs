@@ -147,6 +147,22 @@ registry! {
         "Of the dispatched events, timer firings.";
     EngineBounces => "engine_bounced_sends", "messages", Engine, Sim,
         "Sends to dead nodes turned into bounce notifications.";
+    EngineFaultDrops => "engine_fault_dropped", "messages", Engine, Sim,
+        "Messages silently dropped by the fault plane (partition cuts and link loss).";
+    SentGossip => "engine_sent_gossip", "messages", Engine, Sim,
+        "Messages emitted in the Gossip traffic class.";
+    SentPush => "engine_sent_push", "messages", Engine, Sim,
+        "Messages emitted in the Push traffic class.";
+    SentKeepAlive => "engine_sent_keepalive", "messages", Engine, Sim,
+        "Messages emitted in the KeepAlive traffic class.";
+    SentDhtRouting => "engine_sent_dht_routing", "messages", Engine, Sim,
+        "Messages emitted in the DhtRouting traffic class.";
+    SentDhtMaintenance => "engine_sent_dht_maintenance", "messages", Engine, Sim,
+        "Messages emitted in the DhtMaintenance traffic class.";
+    SentQueryControl => "engine_sent_query_control", "messages", Engine, Sim,
+        "Messages emitted in the QueryControl traffic class.";
+    SentTransfer => "engine_sent_transfer", "messages", Engine, Sim,
+        "Messages emitted in the Transfer traffic class.";
     RecvGossip => "engine_recv_gossip", "messages", Engine, Sim,
         "Messages delivered in the Gossip traffic class.";
     RecvPush => "engine_recv_push", "messages", Engine, Sim,
@@ -161,6 +177,34 @@ registry! {
         "Messages delivered in the QueryControl traffic class.";
     RecvTransfer => "engine_recv_transfer", "messages", Engine, Sim,
         "Messages delivered in the Transfer traffic class.";
+    DropGossip => "engine_drop_gossip", "messages", Engine, Sim,
+        "Gossip-class messages dropped undelivered (fault cuts, loss, dead senders).";
+    DropPush => "engine_drop_push", "messages", Engine, Sim,
+        "Push-class messages dropped undelivered (fault cuts, loss, dead senders).";
+    DropKeepAlive => "engine_drop_keepalive", "messages", Engine, Sim,
+        "KeepAlive-class messages dropped undelivered (fault cuts, loss, dead senders).";
+    DropDhtRouting => "engine_drop_dht_routing", "messages", Engine, Sim,
+        "DhtRouting-class messages dropped undelivered (fault cuts, loss, dead senders).";
+    DropDhtMaintenance => "engine_drop_dht_maintenance", "messages", Engine, Sim,
+        "DhtMaintenance-class messages dropped undelivered (fault cuts, loss, dead senders).";
+    DropQueryControl => "engine_drop_query_control", "messages", Engine, Sim,
+        "QueryControl-class messages dropped undelivered (fault cuts, loss, dead senders).";
+    DropTransfer => "engine_drop_transfer", "messages", Engine, Sim,
+        "Transfer-class messages dropped undelivered (fault cuts, loss, dead senders).";
+    BounceGossip => "engine_bounce_gossip", "messages", Engine, Sim,
+        "Gossip-class sends bounced off dead destinations.";
+    BouncePush => "engine_bounce_push", "messages", Engine, Sim,
+        "Push-class sends bounced off dead destinations.";
+    BounceKeepAlive => "engine_bounce_keepalive", "messages", Engine, Sim,
+        "KeepAlive-class sends bounced off dead destinations.";
+    BounceDhtRouting => "engine_bounce_dht_routing", "messages", Engine, Sim,
+        "DhtRouting-class sends bounced off dead destinations.";
+    BounceDhtMaintenance => "engine_bounce_dht_maintenance", "messages", Engine, Sim,
+        "DhtMaintenance-class sends bounced off dead destinations.";
+    BounceQueryControl => "engine_bounce_query_control", "messages", Engine, Sim,
+        "QueryControl-class sends bounced off dead destinations.";
+    BounceTransfer => "engine_bounce_transfer", "messages", Engine, Sim,
+        "Transfer-class sends bounced off dead destinations.";
     EngineEpochs => "engine_epochs", "rounds", Engine, Exec,
         "Conservative-barrier epoch rounds the sharded engine ran.";
     EngineFusedRounds => "engine_fused_rounds", "rounds", Engine, Exec,
@@ -181,6 +225,12 @@ registry! {
         "§5.3 PetalUp petal splits (live instance count doubled).";
     DirPetalMerges => "dir_petal_merges", "merges", Directory, Sim,
         "§5.3 PetalUp petal merges (live instance count halved).";
+    DirQueryTimeouts => "dir_query_timeouts", "queries", Directory, Sim,
+        "Pending queries whose timeout fired before any response arrived.";
+    DirQueryRetries => "dir_query_retries", "queries", Directory, Sim,
+        "Timed-out queries re-routed within the retry budget (sibling petal or fresh bootstrap).";
+    DirQueryOriginFallbacks => "dir_query_degraded_origin", "queries", Directory, Sim,
+        "Queries that exhausted the retry budget and degraded straight to the origin server.";
     GossipExchanges => "gossip_exchanges", "exchanges", Gossip, Sim,
         "Periodic gossip exchanges initiated by content peers.";
     BloomCowClones => "bloom_snapshot_cow_clones", "snapshots", Gossip, Sim,

@@ -113,6 +113,12 @@ impl ChurnScript {
 
     /// A script that kills exactly the given nodes at the given times
     /// (targeted failure injection, e.g. killing a directory peer).
+    ///
+    /// Unsorted input is accepted (the script sorts it), but a
+    /// duplicate `(time, node)` pair panics: a node killed twice at
+    /// the same instant would silently corrupt the per-node down/up
+    /// alternation every other script constructor guarantees, and the
+    /// caller is always in a position to dedupe deliberately.
     pub fn kill_at(kills: &[(SimTime, NodeId)]) -> Self {
         let mut events: Vec<ChurnEvent> = kills
             .iter()
@@ -122,7 +128,16 @@ impl ChurnScript {
                 kind: ChurnKind::Down,
             })
             .collect();
-        events.sort_by_key(|e| e.at);
+        events.sort_by_key(|e| (e.at, e.node.0));
+        for w in events.windows(2) {
+            assert!(
+                (w[0].at, w[0].node) != (w[1].at, w[1].node),
+                "ChurnScript::kill_at: duplicate kill of {:?} at {:?} — \
+                 dedupe the kill list before building the script",
+                w[0].node,
+                w[0].at,
+            );
+        }
         ChurnScript { events }
     }
 
@@ -244,5 +259,25 @@ mod tests {
         assert_eq!(s.events()[0].node, NodeId(1));
         assert_eq!(s.events()[1].node, NodeId(2));
         assert!(s.events().iter().all(|e| e.kind == ChurnKind::Down));
+    }
+
+    #[test]
+    fn kill_at_accepts_same_node_at_distinct_times_and_same_time_distinct_nodes() {
+        let s = ChurnScript::kill_at(&[
+            (SimTime::from_secs(5), NodeId(1)),
+            (SimTime::from_secs(5), NodeId(2)),
+            (SimTime::from_secs(9), NodeId(1)),
+        ]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate kill")]
+    fn kill_at_rejects_duplicate_time_node_pairs() {
+        let _ = ChurnScript::kill_at(&[
+            (SimTime::from_secs(9), NodeId(3)),
+            (SimTime::from_secs(5), NodeId(1)),
+            (SimTime::from_secs(9), NodeId(3)),
+        ]);
     }
 }

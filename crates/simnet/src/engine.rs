@@ -59,7 +59,7 @@ use std::time::Instant;
 
 use metrics::{Counter, Gauge, MetricSet, MetricSink};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::event::{EventKey, EventQueue};
 use crate::stats::{QueryStats, ShardTraffic, TimeSeries, Traffic, TrafficClass};
@@ -581,6 +581,10 @@ struct Shard<M: Message, N: Node<M>> {
     /// `epochs`, `fused`, `barrier_idle`) now lives in these cells;
     /// the engine accessors read them back out of the merge.
     metrics: MetricSet,
+    /// The installed fault script, replicated on every shard (like the
+    /// liveness map) so cut/loss decisions never read another shard's
+    /// state. `None` (the default) short-circuits every check.
+    fault: Option<std::sync::Arc<crate::fault::FaultPlane>>,
 }
 
 /// Per-traffic-class receive counters, indexed by
@@ -596,7 +600,57 @@ const RECV_COUNTER: [Counter; 7] = [
     Counter::RecvTransfer,
 ];
 
+/// Per-traffic-class send counters, mirror of [`RECV_COUNTER`].
+const SENT_COUNTER: [Counter; 7] = [
+    Counter::SentGossip,
+    Counter::SentPush,
+    Counter::SentKeepAlive,
+    Counter::SentDhtRouting,
+    Counter::SentDhtMaintenance,
+    Counter::SentQueryControl,
+    Counter::SentTransfer,
+];
+
+/// Per-traffic-class undelivered-drop counters (fault cuts, link
+/// loss, dead senders), mirror of [`RECV_COUNTER`]. Together with
+/// [`BOUNCE_COUNTER`] these close the per-class message ledger the CI
+/// gate checks: `recv + bounce + drop ≤ sent` (strict equality is
+/// impossible — messages still in flight at the horizon are neither).
+const DROP_COUNTER: [Counter; 7] = [
+    Counter::DropGossip,
+    Counter::DropPush,
+    Counter::DropKeepAlive,
+    Counter::DropDhtRouting,
+    Counter::DropDhtMaintenance,
+    Counter::DropQueryControl,
+    Counter::DropTransfer,
+];
+
+/// Per-traffic-class bounce counters, mirror of [`RECV_COUNTER`].
+/// Sums to [`Counter::EngineBounces`] exactly.
+const BOUNCE_COUNTER: [Counter; 7] = [
+    Counter::BounceGossip,
+    Counter::BouncePush,
+    Counter::BounceKeepAlive,
+    Counter::BounceDhtRouting,
+    Counter::BounceDhtMaintenance,
+    Counter::BounceQueryControl,
+    Counter::BounceTransfer,
+];
+
 impl<M: Message, N: Node<M>> Shard<M, N> {
+    /// Does the installed fault plane cut a wire message from `from`
+    /// to `to` delivered at `at`? A pure function of `(at, sender
+    /// locality, destination locality, static script)` — evaluated
+    /// identically on every shard layout.
+    #[inline]
+    fn fault_cut(&self, at: SimTime, from: NodeId, to: NodeId, topo: &Topology) -> bool {
+        match &self.fault {
+            Some(f) => f.cuts(at, topo.locality(from), topo.locality(to)),
+            None => false,
+        }
+    }
+
     /// The next key on this node's emission stream, at time `at`.
     fn emit_key(&mut self, at: SimTime, emitter: NodeId, place: &Placement) -> EventKey {
         let seq = self.slab.next_seq(place.local(emitter));
@@ -646,7 +700,12 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
                         self.deliver_batch(dst, ev, limit, topo, place, outbox);
                         continue;
                     }
-                    Pending::Wire { from, to, msg } if self.up.get(to) => {
+                    // A fault-cut message fails the guard and falls
+                    // through to `dispatch`, which counts the drop —
+                    // the only place that does, in both modes.
+                    Pending::Wire { from, to, msg }
+                        if self.up.get(to) && !self.fault_cut(self.now, from, to, topo) =>
+                    {
                         let class = msg.class();
                         self.traffic
                             .record_recv(place.local(to), class, msg.wire_size());
@@ -725,7 +784,14 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
                 // whose machine is off.
             }
             Pending::Wire { from, to, msg } => {
-                if self.up.get(to) {
+                if self.fault_cut(self.now, from, to, topo) {
+                    // Partition cut: dropped *silently* — a severed
+                    // network gives the sender no connection-refused
+                    // signal, unlike a dead destination. This is what
+                    // forces the protocol's query timeouts.
+                    self.metrics.incr(Counter::EngineFaultDrops);
+                    self.metrics.incr(DROP_COUNTER[msg.class().index()]);
+                } else if self.up.get(to) {
                     let class = msg.class();
                     self.traffic
                         .record_recv(place.local(to), class, msg.wire_size());
@@ -738,6 +804,7 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
                     // stream — its shard processes the wire event, so
                     // the counter stays deterministic.
                     self.metrics.incr(Counter::EngineBounces);
+                    self.metrics.incr(BOUNCE_COUNTER[msg.class().index()]);
                     let back = topo.latency(to, from);
                     let key = self.emit_key(self.now + back, to, place);
                     self.route(
@@ -749,6 +816,9 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
                         },
                         outbox,
                     );
+                } else {
+                    // Dead sender, dead destination: nobody to notify.
+                    self.metrics.incr(DROP_COUNTER[msg.class().index()]);
                 }
             }
         }
@@ -830,7 +900,10 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
             match self.queue.peek() {
                 Some((at, p)) if at < limit => match p {
                     Pending::App { dst: d, .. } if *d == dst => {}
-                    Pending::Wire { to, .. } if *to == dst => {}
+                    // A fault-cut head ends the batch so the one-event
+                    // dispatch path pops it and counts the drop.
+                    Pending::Wire { from, to, .. }
+                        if *to == dst && !self.fault_cut(at, *from, *to, topo) => {}
                     _ => break,
                 },
                 _ => break,
@@ -867,8 +940,26 @@ impl<M: Message, N: Node<M>> Shard<M, N> {
         for a in scratch.drain(..) {
             match a {
                 Action::Send { to, msg } => {
+                    let class = msg.class();
                     self.traffic
-                        .record_sent(self.now, li, msg.class(), msg.wire_size());
+                        .record_sent(self.now, li, class, msg.wire_size());
+                    self.metrics.incr(SENT_COUNTER[class.index()]);
+                    // Link loss: the coin is flipped at send time from
+                    // the *emitter's* RNG stream — the same stream on
+                    // every shard layout — and only when a loss window
+                    // actually applies, so an inactive plane consumes
+                    // no randomness and perturbs nothing.
+                    if let Some(f) = &self.fault {
+                        let crosses = topo.locality(dst) != topo.locality(to);
+                        if let Some(p) = f.loss_probability(self.now, crosses) {
+                            let u: f64 = self.slab.rngs[li].gen_range(0.0..1.0);
+                            if u < p {
+                                self.metrics.incr(Counter::EngineFaultDrops);
+                                self.metrics.incr(DROP_COUNTER[class.index()]);
+                                continue;
+                            }
+                        }
+                    }
                     let lat = topo.latency(dst, to);
                     let key = self.emit_key(self.now + lat, dst, place);
                     self.route(
@@ -1031,6 +1122,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                 scratch: Vec::new(),
                 delivery: DeliveryMode::default(),
                 metrics: MetricSet::new(),
+                fault: None,
             })
             .collect();
 
@@ -1311,6 +1403,31 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         for s in &mut self.shards {
             s.queue.push(key, Pending::ChurnUp(node));
         }
+    }
+
+    /// Install a [`FaultPlane`](crate::fault::FaultPlane): compile its
+    /// regional failures into broadcast churn events (one `ext_key`
+    /// per node transition, exactly like
+    /// [`ChurnScript::install`](crate::churn::ChurnScript::install))
+    /// and replicate the script onto every shard so the delivery path
+    /// can consult it. Partitions and loss windows entirely in the
+    /// past are harmless; regional failures must still be ahead of
+    /// the clock (asserted by [`Engine::schedule_down`]'s key
+    /// invariant).
+    pub fn set_fault_plane(&mut self, plane: crate::fault::FaultPlane) {
+        for r in plane.regional_failures() {
+            let nodes = self.topo.nodes_in(r.locality);
+            for (i, n) in nodes.into_iter().enumerate() {
+                self.schedule_down(r.at, n);
+                let back = r.recover_start + SimDuration::from_ms(r.stagger.as_ms() * i as u64);
+                self.schedule_up(back, n);
+            }
+        }
+        let plane = std::sync::Arc::new(plane);
+        for s in &mut self.shards {
+            s.fault = Some(std::sync::Arc::clone(&plane));
+        }
+        self.merged.take();
     }
 
     /// Run until the queues are exhausted or `deadline` is reached
@@ -1667,6 +1784,108 @@ mod tests {
     }
 
     #[test]
+    fn partition_cut_drops_silently_without_bounce() {
+        use crate::fault::{FaultPlane, Partition};
+        let mut e = engine();
+        let a = NodeId(0);
+        let la = e.topology().locality(a);
+        let b = e
+            .topology()
+            .node_ids()
+            .find(|n| e.topology().locality(*n) != la)
+            .expect("small_test has several localities");
+        let lb = e.topology().locality(b);
+        e.set_fault_plane(FaultPlane::new().partition(Partition {
+            start: SimTime::ZERO,
+            heal: SimTime::from_secs(5),
+            side_a: vec![la],
+            side_b: vec![lb],
+        }));
+        // `a` pongs the (partitioned) `b`: the pong is a real wire
+        // send, so the cut swallows it — silently, with no bounce.
+        e.schedule_at(
+            SimTime::from_ms(1),
+            a,
+            Event::Recv {
+                from: b,
+                msg: PingMsg::Ping,
+            },
+        );
+        e.run_until(SimTime::from_secs(4));
+        assert_eq!(e.node(b).pongs, 0, "pong must be cut");
+        assert_eq!(
+            e.node(a).undeliverable,
+            0,
+            "a partition gives the sender no synchronous signal"
+        );
+        assert_eq!(e.metrics().counter(metrics::Counter::EngineFaultDrops), 1);
+        assert_eq!(e.metrics().counter(metrics::Counter::DropQueryControl), 1);
+        assert_eq!(e.metrics().counter(metrics::Counter::EngineBounces), 0);
+        // After the heal the same exchange goes through.
+        e.schedule_at(
+            SimTime::from_secs(6),
+            a,
+            Event::Recv {
+                from: b,
+                msg: PingMsg::Ping,
+            },
+        );
+        e.run_until(SimTime::from_secs(10));
+        assert_eq!(e.node(b).pongs, 1, "healed link must deliver");
+    }
+
+    #[test]
+    fn certain_link_loss_drops_every_send() {
+        use crate::fault::{FaultPlane, LinkLoss};
+        let mut e = engine();
+        e.set_fault_plane(FaultPlane::new().link_loss(LinkLoss {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(60),
+            probability: 1.0,
+            cross_locality_only: false,
+        }));
+        e.schedule_at(
+            SimTime::from_ms(1),
+            NodeId(0),
+            Event::Recv {
+                from: NodeId(1),
+                msg: PingMsg::Ping,
+            },
+        );
+        e.run_until(SimTime::from_secs(10));
+        assert_eq!(e.node(NodeId(1)).pongs, 0);
+        assert_eq!(e.metrics().counter(metrics::Counter::EngineFaultDrops), 1);
+        assert_eq!(
+            e.metrics().counter(metrics::Counter::SentQueryControl),
+            e.metrics().counter(metrics::Counter::DropQueryControl),
+            "with p = 1 every send is a drop"
+        );
+    }
+
+    #[test]
+    fn regional_failure_kills_locality_and_staggers_recovery() {
+        use crate::fault::{FaultPlane, RegionalFailure};
+        let mut e = engine();
+        let loc = e.topology().locality(NodeId(0));
+        let victims = e.topology().nodes_in(loc);
+        e.set_fault_plane(FaultPlane::new().regional_failure(RegionalFailure {
+            at: SimTime::from_secs(1),
+            locality: loc,
+            recover_start: SimTime::from_secs(2),
+            stagger: SimDuration::from_ms(100),
+        }));
+        e.run_until(SimTime::from_ms(1500));
+        for n in &victims {
+            assert!(!e.is_up(*n), "{n:?} must be down mid-failure");
+        }
+        e.run_until(SimTime::from_secs(10));
+        for n in &victims {
+            assert!(e.is_up(*n), "{n:?} must have recovered");
+            assert_eq!(e.node(*n).revived, 1);
+        }
+    }
+
+    #[test]
     fn revive_delivers_node_up() {
         let mut e = engine();
         e.schedule_down(SimTime::ZERO, NodeId(3));
@@ -1768,6 +1987,67 @@ mod tests {
     }
 
     #[test]
+    fn fault_plane_results_are_shard_invariant() {
+        use crate::fault::{FaultPlane, LinkLoss, Partition, RegionalFailure};
+        let drive = |shards: usize| {
+            let mut e = engine_sharded(shards);
+            let la = e.topology().locality(NodeId(0));
+            let lb = e
+                .topology()
+                .node_ids()
+                .map(|n| e.topology().locality(n))
+                .find(|l| *l != la)
+                .expect("several localities");
+            e.set_fault_plane(
+                FaultPlane::new()
+                    .partition(Partition {
+                        start: SimTime::from_ms(100),
+                        heal: SimTime::from_secs(3),
+                        side_a: vec![la],
+                        side_b: vec![lb],
+                    })
+                    .link_loss(LinkLoss {
+                        start: SimTime::from_secs(4),
+                        end: SimTime::from_secs(8),
+                        probability: 0.4,
+                        cross_locality_only: false,
+                    })
+                    .regional_failure(RegionalFailure {
+                        at: SimTime::from_secs(9),
+                        locality: lb,
+                        recover_start: SimTime::from_secs(10),
+                        stagger: SimDuration::from_ms(50),
+                    }),
+            );
+            for i in 0..120u32 {
+                e.schedule_at(
+                    SimTime::from_ms(i as u64 * 97),
+                    NodeId(i % 20),
+                    Event::Recv {
+                        from: NodeId((i + 7) % 20),
+                        msg: PingMsg::Ping,
+                    },
+                );
+            }
+            e.run_until(SimTime::from_secs(20));
+            let pongs: Vec<u32> = e.topology().node_ids().map(|n| e.node(n).pongs).collect();
+            (
+                e.events_processed(),
+                e.traffic().messages(),
+                e.metrics().counter(metrics::Counter::EngineFaultDrops),
+                e.metrics().counter(metrics::Counter::DropQueryControl),
+                e.metrics().counter(metrics::Counter::EngineBounces),
+                pongs,
+            )
+        };
+        let reference = drive(1);
+        assert!(reference.2 > 0, "the plane must actually drop something");
+        for shards in [2, 3] {
+            assert_eq!(drive(shards), reference, "shards={shards} diverged");
+        }
+    }
+
+    #[test]
     fn recv_counter_table_matches_traffic_class_order() {
         assert_eq!(RECV_COUNTER.len(), TrafficClass::ALL.len());
         let expected = [
@@ -1786,6 +2066,39 @@ mod tests {
                 RECV_COUNTER[i].def().name,
                 *name,
                 "RECV_COUNTER[{i}] does not match {class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sent_drop_bounce_counter_tables_match_traffic_class_order() {
+        assert_eq!(SENT_COUNTER.len(), TrafficClass::ALL.len());
+        assert_eq!(DROP_COUNTER.len(), TrafficClass::ALL.len());
+        assert_eq!(BOUNCE_COUNTER.len(), TrafficClass::ALL.len());
+        let suffixes = [
+            "gossip",
+            "push",
+            "keepalive",
+            "dht_routing",
+            "dht_maintenance",
+            "query_control",
+            "transfer",
+        ];
+        for (i, suffix) in suffixes.iter().enumerate() {
+            assert_eq!(
+                SENT_COUNTER[i].def().name,
+                format!("engine_sent_{suffix}"),
+                "SENT_COUNTER[{i}] drifted"
+            );
+            assert_eq!(
+                DROP_COUNTER[i].def().name,
+                format!("engine_drop_{suffix}"),
+                "DROP_COUNTER[{i}] drifted"
+            );
+            assert_eq!(
+                BOUNCE_COUNTER[i].def().name,
+                format!("engine_bounce_{suffix}"),
+                "BOUNCE_COUNTER[{i}] drifted"
             );
         }
     }

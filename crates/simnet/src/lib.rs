@@ -112,6 +112,7 @@ pub mod affinity;
 pub mod churn;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod stats;
 pub mod sync;
 pub mod time;
@@ -123,6 +124,7 @@ pub use engine::{
     node_stream_seed, Action, Ctx, DeliveryMode, Engine, Event, Message, Node, QuerySink,
 };
 pub use event::{EventKey, EventQueueKind};
+pub use fault::{FaultPlane, LinkLoss, Partition, RegionalFailure};
 pub use stats::{
     Histogram, QueryStats, SeriesPoint, ShardTraffic, TimeSeries, Traffic, TrafficClass,
 };
@@ -135,6 +137,7 @@ pub mod prelude {
     pub use crate::churn::{ChurnConfig, ChurnScript};
     pub use crate::engine::{Ctx, Engine, Event, Message, Node};
     pub use crate::event::EventQueueKind;
+    pub use crate::fault::{FaultPlane, LinkLoss, Partition, RegionalFailure};
     pub use crate::stats::{Histogram, QueryStats, TimeSeries, Traffic, TrafficClass};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{Locality, LookaheadKind, NodeId, Topology, TopologyConfig};

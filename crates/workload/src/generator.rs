@@ -38,6 +38,43 @@ pub struct WorkloadConfig {
     /// workload the §5.3 PetalUp scale-up is designed for, where a
     /// few hot websites would overload their directory petals.
     pub website_zipf_alpha: f64,
+    /// Scripted load surges overlaid on the base Poisson trace
+    /// (flash crowds, diurnal cycles). Strictly *additive*: each
+    /// surge's extra queries come from its own derived RNG stream, so
+    /// the base trace — and every seed pin built on it — stays
+    /// bit-identical whether the list is empty or not.
+    pub surges: Vec<Surge>,
+}
+
+/// One scripted surge of extra load (see [`WorkloadConfig::surges`]).
+#[derive(Clone, Debug)]
+pub enum Surge {
+    /// A flash crowd: `extra_rate_per_sec` additional queries, all
+    /// aimed at one website, for the window `[start_ms, end_ms)` —
+    /// the fCDN motivating case where a single site's demand spikes
+    /// orders of magnitude above baseline.
+    FlashCrowd {
+        /// Window start, milliseconds from trace start.
+        start_ms: u64,
+        /// Window end (exclusive).
+        end_ms: u64,
+        /// Popularity rank of the targeted website among the active
+        /// ones (0 = first active website); clamped to the active set.
+        website_rank: usize,
+        /// Additional mean arrival rate during the window.
+        extra_rate_per_sec: f64,
+    },
+    /// A diurnal cycle: extra load rising and falling with a
+    /// sinusoidal day profile — Poisson arrivals at
+    /// `peak_extra_rate_per_sec`, thinned by `max(0, sin(2πt/period))`
+    /// so load is only *added* during the daytime half-cycle (an
+    /// additive overlay cannot model negative modulation).
+    Diurnal {
+        /// Full day length in trace milliseconds.
+        period_ms: u64,
+        /// Additional arrival rate at the daytime peak.
+        peak_extra_rate_per_sec: f64,
+    },
 }
 
 impl Default for WorkloadConfig {
@@ -47,6 +84,7 @@ impl Default for WorkloadConfig {
             duration_ms: 24 * 3600 * 1000,
             zipf_alpha: Zipf::DEFAULT_ALPHA,
             website_zipf_alpha: 0.0,
+            surges: Vec::new(),
         }
     }
 }
@@ -118,12 +156,35 @@ impl QueryStream {
                 rank: rank as u32,
             });
         }
+        // Surges are generated *after* the base trace, each from its
+        // own derived RNG stream, and merged by a stable sort — so
+        // the base events (and their relative order at equal
+        // timestamps) are untouched by any surge configuration.
+        for (i, surge) in cfg.surges.iter().enumerate() {
+            let mut srng = StdRng::seed_from_u64(seed ^ 0x5a26_e000 ^ ((i as u64) << 32));
+            surge_events(surge, cfg, catalog, &zipf, &active, &mut srng, &mut events);
+        }
+        if !cfg.surges.is_empty() {
+            events.sort_by_key(|e| e.at_ms);
+        }
         QueryStream { events }
     }
 
     /// The trace, in non-decreasing time order.
     pub fn events(&self) -> &[QueryEvent] {
         &self.events
+    }
+
+    /// Queries per second in `[from_ms, to_ms)` — for sanity checks
+    /// on surge shapes.
+    pub fn rate_in(&self, from_ms: u64, to_ms: u64) -> f64 {
+        assert!(from_ms < to_ms);
+        let n = self
+            .events
+            .iter()
+            .filter(|e| e.at_ms >= from_ms && e.at_ms < to_ms)
+            .count();
+        n as f64 * 1000.0 / (to_ms - from_ms) as f64
     }
 
     /// Number of queries in the trace.
@@ -134,6 +195,86 @@ impl QueryStream {
     /// True if the trace is empty.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+}
+
+/// Append one surge's extra queries to `events` (unsorted; the caller
+/// merges). Object ranks follow the same Zipf law as the base trace.
+fn surge_events(
+    surge: &Surge,
+    cfg: &WorkloadConfig,
+    catalog: &Catalog,
+    zipf: &Zipf,
+    active: &[WebsiteId],
+    rng: &mut StdRng,
+    events: &mut Vec<QueryEvent>,
+) {
+    match *surge {
+        Surge::FlashCrowd {
+            start_ms,
+            end_ms,
+            website_rank,
+            extra_rate_per_sec,
+        } => {
+            assert!(start_ms < end_ms, "flash crowd window must be non-empty");
+            assert!(
+                extra_rate_per_sec > 0.0,
+                "flash crowd rate must be positive"
+            );
+            let website = active[website_rank.min(active.len() - 1)];
+            let mean_gap_ms = 1000.0 / extra_rate_per_sec;
+            let mut t = start_ms as f64;
+            loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -u.ln() * mean_gap_ms;
+                let at_ms = t as u64;
+                if at_ms >= end_ms.min(cfg.duration_ms) {
+                    break;
+                }
+                let rank = zipf.sample(rng);
+                events.push(QueryEvent {
+                    at_ms,
+                    website,
+                    object: catalog.object_id(website, rank),
+                    rank: rank as u32,
+                });
+            }
+        }
+        Surge::Diurnal {
+            period_ms,
+            peak_extra_rate_per_sec,
+        } => {
+            assert!(period_ms > 0, "diurnal period must be positive");
+            assert!(
+                peak_extra_rate_per_sec > 0.0,
+                "diurnal peak rate must be positive"
+            );
+            // Thinned Poisson process: candidates at the peak rate,
+            // each kept with probability max(0, sin(2πt/period)).
+            let mean_gap_ms = 1000.0 / peak_extra_rate_per_sec;
+            let mut t = 0.0f64;
+            loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -u.ln() * mean_gap_ms;
+                let at_ms = t as u64;
+                if at_ms >= cfg.duration_ms {
+                    break;
+                }
+                let phase = (t / period_ms as f64) * std::f64::consts::TAU;
+                let keep: f64 = rng.gen_range(0.0..1.0);
+                if keep >= phase.sin() {
+                    continue;
+                }
+                let website = active[rng.gen_range(0..active.len())];
+                let rank = zipf.sample(rng);
+                events.push(QueryEvent {
+                    at_ms,
+                    website,
+                    object: catalog.object_id(website, rank),
+                    rank: rank as u32,
+                });
+            }
+        }
     }
 }
 
@@ -237,6 +378,91 @@ mod tests {
         assert_eq!(
             QueryStream::generate(&base, &cat, 3).events(),
             QueryStream::generate(&explicit_zero, &cat, 3).events(),
+        );
+    }
+
+    #[test]
+    fn flash_crowd_spikes_one_website_and_leaves_base_trace_intact() {
+        let base = WorkloadConfig {
+            duration_ms: 600_000,
+            ..Default::default()
+        };
+        let surged = WorkloadConfig {
+            surges: vec![Surge::FlashCrowd {
+                start_ms: 200_000,
+                end_ms: 400_000,
+                website_rank: 2,
+                extra_rate_per_sec: 30.0,
+            }],
+            ..base.clone()
+        };
+        let cat = catalog();
+        let plain = QueryStream::generate(&base, &cat, 11);
+        let s = QueryStream::generate(&surged, &cat, 11);
+        // The surge multiplies load inside its window…
+        assert!(
+            s.rate_in(200_000, 400_000) > plain.rate_in(200_000, 400_000) * 4.0,
+            "flash crowd must dominate the window"
+        );
+        // …leaves the rest of the trace at the base rate…
+        assert!((s.rate_in(0, 200_000) - plain.rate_in(0, 200_000)).abs() < 1.0);
+        // …aims at exactly one website…
+        let ws2 = cat.active_websites().nth(2).unwrap();
+        let in_window: Vec<_> = s
+            .events()
+            .iter()
+            .filter(|e| e.at_ms >= 200_000 && e.at_ms < 400_000)
+            .collect();
+        let on_target = in_window.iter().filter(|e| e.website == ws2).count();
+        assert!(
+            on_target as f64 > in_window.len() as f64 * 0.7,
+            "most window queries must hit the flash-crowd site"
+        );
+        // …and is purely additive: every base event survives verbatim.
+        let as_set: Vec<_> = s.events().to_vec();
+        for e in plain.events() {
+            assert!(as_set.contains(e), "base event {e:?} lost");
+        }
+        // Time order is preserved through the merge.
+        assert!(s.events().windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+    }
+
+    #[test]
+    fn diurnal_cycle_peaks_in_daytime_half() {
+        let cfg = WorkloadConfig {
+            duration_ms: 1_200_000,
+            query_rate_per_sec: 1.0,
+            surges: vec![Surge::Diurnal {
+                period_ms: 1_200_000,
+                peak_extra_rate_per_sec: 20.0,
+            }],
+            ..Default::default()
+        };
+        let s = QueryStream::generate(&cfg, &catalog(), 13);
+        // Daytime = first half-period (sin > 0); night adds nothing.
+        let day = s.rate_in(0, 600_000);
+        let night = s.rate_in(600_000, 1_200_000);
+        assert!(
+            day > night * 3.0,
+            "daytime rate {day:.2} must dwarf night {night:.2}"
+        );
+        assert!(s.events().windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+    }
+
+    #[test]
+    fn empty_surge_list_is_bit_identical_to_default() {
+        let base = WorkloadConfig {
+            duration_ms: 600_000,
+            ..Default::default()
+        };
+        let explicit = WorkloadConfig {
+            surges: Vec::new(),
+            ..base.clone()
+        };
+        let cat = catalog();
+        assert_eq!(
+            QueryStream::generate(&base, &cat, 3).events(),
+            QueryStream::generate(&explicit, &cat, 3).events(),
         );
     }
 

@@ -22,5 +22,5 @@ pub mod generator;
 pub mod zipf;
 
 pub use catalog::{Catalog, CatalogConfig, WebsiteId};
-pub use generator::{QueryEvent, QueryStream, WorkloadConfig};
+pub use generator::{QueryEvent, QueryStream, Surge, WorkloadConfig};
 pub use zipf::Zipf;

@@ -300,6 +300,136 @@ fn fixed_seed_yields_pinned_hit_ratio_stats() {
     }
 }
 
+/// Property check on the fault-injection plane: *any* scripted
+/// combination of a partition (with heal), probabilistic link loss
+/// and a correlated regional failure with staggered recovery must
+/// leave the run bit-identical across shard counts 1/2/4 and both
+/// event-queue backends. Partition cuts are decided at delivery time
+/// from the static script, loss draws come from the emitter's own RNG
+/// stream, and regional recovery is a pure stagger off the node index
+/// — none of it may observe the shard layout.
+mod fault_plane_proptests {
+    use super::*;
+    use flower_cdn::simnet::{
+        FaultPlane, LinkLoss, Locality, Partition, RegionalFailure, SimDuration, SimTime,
+    };
+    use proptest::prelude::*;
+
+    fn faulted_cfg(shards: usize, queue: EventQueueKind) -> SystemConfig {
+        let mut cfg = SystemConfig::small_test();
+        cfg.seed = 42;
+        cfg.shards = shards;
+        cfg.topology.event_queue = queue;
+        // Arm the timeout path so swallowed lookups retry and degrade
+        // instead of hanging — the hardening under test.
+        cfg.flower.query_timeout = Some(SimDuration::from_secs(2));
+        cfg
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn scripted_faults_stay_shard_and_queue_invariant(
+            part_start in 60u64..240,
+            part_len in 30u64..120,
+            loss_pct in 5u64..45,
+            victim in 0u16..3,
+            stagger_ms in 1u64..200,
+        ) {
+            let plane = FaultPlane::new()
+                .partition(Partition {
+                    start: SimTime::from_secs(part_start),
+                    heal: SimTime::from_secs(part_start + part_len),
+                    side_a: vec![Locality(victim)],
+                    side_b: vec![Locality((victim + 1) % 3)],
+                })
+                .link_loss(LinkLoss {
+                    start: SimTime::from_secs(part_start / 2),
+                    end: SimTime::from_secs(part_start / 2 + part_len),
+                    probability: loss_pct as f64 / 100.0,
+                    cross_locality_only: true,
+                })
+                .regional_failure(RegionalFailure {
+                    at: SimTime::from_secs(part_start + part_len + 30),
+                    locality: Locality((victim + 2) % 3),
+                    recover_start: SimTime::from_secs(part_start + part_len + 90),
+                    stagger: SimDuration::from_ms(stagger_ms),
+                });
+            let run = |shards: usize, queue: EventQueueKind| {
+                let cfg = faulted_cfg(shards, queue);
+                let mut sys = FlowerSystem::build(&cfg);
+                sys.apply_faults(&plane);
+                let horizon = sys.drain_horizon();
+                sys.run_until(horizon);
+                let report = sys.report();
+                fingerprint(&sys, &report)
+            };
+            let reference = run(1, EventQueueKind::Calendar);
+            for shards in [2usize, 4] {
+                for queue in [EventQueueKind::Calendar, EventQueueKind::Heap] {
+                    prop_assert!(
+                        run(shards, queue) == reference,
+                        "shards={} queue={} diverged under scripted faults",
+                        shards,
+                        queue
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Regression pin for the chaos flash-crowd cell at small scale: the
+/// surged query trace and the availability analysis over it must keep
+/// producing exactly these statistics from PR to PR (same contract as
+/// [`fixed_seed_yields_pinned_hit_ratio_stats`]: update the constants
+/// alongside an *intentional* behaviour change, loudly).
+#[test]
+fn flash_crowd_cell_pins_dip_and_recovery() {
+    use flower_cdn::experiments::exps::{availability, chaos_flash_config, RECOVERY_FRACTION};
+    use flower_cdn::simnet::{SimDuration, SimTime};
+    let cfg = chaos_flash_config(600, 1, 42);
+    let (sys, r) = FlowerSystem::run(&cfg);
+    let a = availability(
+        &sys.engine().query_stats().hit_series().points(),
+        SimDuration::from_secs(15),
+        SimTime::from_secs(60),
+        SimTime::from_secs(150),
+        SimTime::from_secs(240),
+    );
+    assert_eq!(r.submitted, 6566, "query trace changed: {}", r.submitted);
+    assert_eq!(r.resolved, 6566, "resolution count changed: {}", r.resolved);
+    assert!(
+        (a.pre_hit - 0.369175627240).abs() < 1e-9,
+        "pre-surge hit ratio drifted: {:.12}",
+        a.pre_hit
+    );
+    assert!(
+        (a.dip_depth - 0.026709873815).abs() < 1e-9,
+        "surge dip depth drifted: {:.12}",
+        a.dip_depth
+    );
+    assert_eq!(
+        a.recovery_s.map(|s| s as u64),
+        Some(15),
+        "recovery time changed: {:?}",
+        a.recovery_s
+    );
+    assert!(
+        a.recovered_hit >= RECOVERY_FRACTION * a.pre_hit,
+        "the cell must recover to within 5% of pre-surge"
+    );
+    // The pin holds bit-for-bit under sharded execution too.
+    let mut sharded_cfg = chaos_flash_config(600, 2, 42);
+    sharded_cfg.shards = 2;
+    let (sharded_sys, sharded_r) = FlowerSystem::run(&sharded_cfg);
+    assert_eq!(
+        fingerprint(&sharded_sys, &sharded_r),
+        fingerprint(&sys, &r),
+        "2-shard flash cell diverged from the 1-shard run"
+    );
+}
+
 /// The adaptive lookahead matrix is an execution detail like the
 /// shard count and the queue backend: at --shards 1/2/4 it must
 /// produce the bit-identical fingerprint of the global-floor
